@@ -1,0 +1,64 @@
+//! # mom-arch — architectural state and functional simulation
+//!
+//! This crate holds the architectural state of the machine the SC'99 MOM
+//! paper studies and an instruction-accurate functional simulator for all
+//! four ISAs defined in `mom-isa`:
+//!
+//! * the scalar integer register file and a flat byte-addressable [`Memory`],
+//! * the MMX/MDMX packed register file and the MDMX packed accumulators,
+//! * the **MOM architectural state** — 16 matrix registers of 16 × 64-bit
+//!   words, the vector-length register, two packed matrix accumulators and
+//!   the matrix-transpose operation ([`mom`]),
+//! * a functional executor, [`Machine`], that runs a [`mom_isa::Program`]
+//!   against this state and records the dynamic instruction [`Trace`] that
+//!   the timing simulator (`mom-pipeline`) replays.
+//!
+//! The functional simulator plays the role of the paper's emulation
+//! libraries (the hand-written routines behind each MMX/MDMX/MOM
+//! "instruction call"), and the trace plays the role of the ATOM-instrumented
+//! instruction stream fed to the Jinks simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use mom_arch::{Machine, Memory};
+//! use mom_isa::prelude::*;
+//!
+//! // d[i][j] = saturating_add(c[i][j], a[j]) over a 4x4 halfword matrix.
+//! let mut b = AsmBuilder::new(IsaKind::Mom);
+//! b.li(1, 0x100);  // &c
+//! b.li(2, 0x200);  // &a (one packed row)
+//! b.li(3, 0x300);  // &d
+//! b.li(4, 8);      // row stride
+//! b.set_vl_imm(4);
+//! b.mmx_load(0, 2, 0, ElemType::I16);
+//! b.mom_load(0, 1, 4, ElemType::I16);
+//! b.mom_op(PackedOp::Add(Overflow::Saturate), ElemType::I16, 1, 0, MomOperand::Mmx(0));
+//! b.mom_store(1, 3, 4, ElemType::I16);
+//! let program = b.finish();
+//!
+//! let mut machine = Machine::new(Memory::new(0x1000));
+//! // c = 4x4 matrix of 100s, a = [1, 2, 3, 4]
+//! for i in 0..16 { machine.memory_mut().write_i16(0x100 + 2 * i, 100).unwrap(); }
+//! for (j, v) in [1i16, 2, 3, 4].iter().enumerate() {
+//!     machine.memory_mut().write_i16(0x200 + 2 * j as u64, *v).unwrap();
+//! }
+//! let trace = machine.run(&program).unwrap();
+//! assert_eq!(machine.memory().read_i16(0x300).unwrap(), 101);
+//! assert_eq!(machine.memory().read_i16(0x300 + 2).unwrap(), 102);
+//! assert!(trace.len() == program.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod mem;
+pub mod mom;
+pub mod regfile;
+pub mod trace;
+
+pub use machine::{ExecError, Machine};
+pub use mem::Memory;
+pub use mom::{transpose, MomAccumulator, MomRegisterFile};
+pub use regfile::{MdmxAccumulator, MmxRegisterFile, ScalarRegisterFile};
+pub use trace::{Trace, TraceEntry, TraceStats};

@@ -1,0 +1,620 @@
+//! The functional simulator: executes programs of any of the four ISAs
+//! against the architectural state and records the dynamic instruction
+//! trace.
+
+use crate::mem::Memory;
+use crate::mom::{transpose, MomAccumulatorFile, MomRegisterFile, VectorLength};
+use crate::regfile::{MdmxAccumulatorFile, MmxRegisterFile, ScalarRegisterFile};
+use crate::trace::{Trace, TraceEntry};
+use mom_isa::{Instruction, MomOperand, Program};
+use mom_simd::logic::splat;
+
+/// Errors the functional simulator can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A load or store fell outside the allocated memory.
+    Memory(crate::mem::OutOfBounds),
+    /// The dynamic instruction limit was exceeded (runaway loop guard).
+    InstructionLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The program failed static validation.
+    InvalidProgram(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Memory(e) => write!(f, "memory fault: {e}"),
+            ExecError::InstructionLimit { limit } => {
+                write!(f, "dynamic instruction limit of {limit} exceeded")
+            }
+            ExecError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<crate::mem::OutOfBounds> for ExecError {
+    fn from(e: crate::mem::OutOfBounds) -> Self {
+        ExecError::Memory(e)
+    }
+}
+
+/// The complete architectural state plus memory: the functional machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    ints: ScalarRegisterFile,
+    mmx: MmxRegisterFile,
+    mdmx_accs: MdmxAccumulatorFile,
+    mom_regs: MomRegisterFile,
+    mom_accs: MomAccumulatorFile,
+    vl: VectorLength,
+    mem: Memory,
+    instruction_limit: u64,
+}
+
+impl Machine {
+    /// Creates a machine with the given memory and all registers zeroed
+    /// (the vector length starts at its maximum, 16).
+    pub fn new(mem: Memory) -> Self {
+        Machine {
+            ints: ScalarRegisterFile::new(),
+            mmx: MmxRegisterFile::new(),
+            mdmx_accs: MdmxAccumulatorFile::new(),
+            mom_regs: MomRegisterFile::new(),
+            mom_accs: MomAccumulatorFile::new(),
+            vl: VectorLength::new(),
+            mem,
+            instruction_limit: 100_000_000,
+        }
+    }
+
+    /// Sets the runaway-loop guard: the maximum number of dynamic
+    /// instructions one `run` may execute (default 10⁸).
+    pub fn set_instruction_limit(&mut self, limit: u64) {
+        self.instruction_limit = limit;
+    }
+
+    /// Immutable access to memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (for loading workload data).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Reads a scalar integer register.
+    pub fn int_reg(&self, r: u8) -> i64 {
+        self.ints.read(r)
+    }
+
+    /// Writes a scalar integer register (useful to pass kernel arguments).
+    pub fn set_int_reg(&mut self, r: u8, value: i64) {
+        self.ints.write(r, value);
+    }
+
+    /// Reads a packed (MMX) register.
+    pub fn mmx_reg(&self, v: u8) -> u64 {
+        self.mmx.read(v)
+    }
+
+    /// Reads one row of a MOM matrix register.
+    pub fn mom_row(&self, m: u8, row: usize) -> u64 {
+        self.mom_regs.read_row(m, row)
+    }
+
+    /// The current vector length.
+    pub fn vector_length(&self) -> usize {
+        self.vl.get()
+    }
+
+    /// Runs a program from its first instruction until it falls off the end,
+    /// returning the dynamic trace.
+    ///
+    /// The program is validated first; execution stops with
+    /// [`ExecError::InstructionLimit`] if the dynamic instruction count
+    /// exceeds the configured limit.
+    pub fn run(&mut self, program: &Program) -> Result<Trace, ExecError> {
+        program
+            .validate()
+            .map_err(ExecError::InvalidProgram)?;
+        let mut trace = Trace::new();
+        let mut pc = 0usize;
+        let mut executed: u64 = 0;
+        while pc < program.len() {
+            if executed >= self.instruction_limit {
+                return Err(ExecError::InstructionLimit {
+                    limit: self.instruction_limit,
+                });
+            }
+            let ins = *program.instr(pc);
+            let (next_pc, taken) = self.step(&ins, pc, program)?;
+            trace.push(TraceEntry {
+                instr: ins,
+                vl: if ins.is_vl_dependent() {
+                    self.vl.get() as u16
+                } else {
+                    1
+                },
+                taken,
+            });
+            pc = next_pc;
+            executed += 1;
+        }
+        Ok(trace)
+    }
+
+    /// Executes a single instruction at `pc`, returning the next program
+    /// counter and whether a branch was taken.
+    fn step(
+        &mut self,
+        ins: &Instruction,
+        pc: usize,
+        program: &Program,
+    ) -> Result<(usize, bool), ExecError> {
+        use Instruction::*;
+        let mut next = pc + 1;
+        let mut taken = false;
+        match *ins {
+            // -------------------------- scalar --------------------------
+            Li { rd, imm } => self.ints.write(rd, imm),
+            Alu { op, rd, ra, rb } => {
+                let old = self.ints.read(rd);
+                let v = op.eval(self.ints.read(ra), self.ints.read(rb), old);
+                self.ints.write(rd, v);
+            }
+            AluImm { op, rd, ra, imm } => {
+                let old = self.ints.read(rd);
+                let v = op.eval(self.ints.read(ra), imm, old);
+                self.ints.write(rd, v);
+            }
+            Load {
+                size,
+                signed,
+                rd,
+                base,
+                offset,
+            } => {
+                let addr = (self.ints.read(base) + offset) as u64;
+                let raw = self.mem.read_uint(addr, size.bytes())?;
+                let v = if signed {
+                    mom_simd::lanes::sign_extend(raw, 8 * size.bytes() as u32)
+                } else {
+                    raw as i64
+                };
+                self.ints.write(rd, v);
+            }
+            Store {
+                size,
+                rs,
+                base,
+                offset,
+            } => {
+                let addr = (self.ints.read(base) + offset) as u64;
+                self.mem
+                    .write_uint(addr, self.ints.read(rs) as u64, size.bytes())?;
+            }
+            Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
+                if cond.taken(self.ints.read(ra), self.ints.read(rb)) {
+                    next = program.resolve(target);
+                    taken = true;
+                }
+            }
+            Nop => {}
+
+            // --------------------------- MMX ----------------------------
+            MmxLoad { vd, base, offset, .. } => {
+                let addr = (self.ints.read(base) + offset) as u64;
+                let w = self.mem.read_u64(addr)?;
+                self.mmx.write(vd, w);
+            }
+            MmxStore { vs, base, offset, .. } => {
+                let addr = (self.ints.read(base) + offset) as u64;
+                self.mem.write_u64(addr, self.mmx.read(vs))?;
+            }
+            MmxOp { op, ty, vd, va, vb } => {
+                let r = op.apply(self.mmx.read(va), self.mmx.read(vb), ty);
+                self.mmx.write(vd, r);
+            }
+            MmxSplat { vd, ra, ty } => {
+                self.mmx.write(vd, splat(self.ints.read(ra), ty));
+            }
+            MmxToInt { rd, va } => self.ints.write(rd, self.mmx.read(va) as i64),
+            MmxFromInt { vd, ra } => self.mmx.write(vd, self.ints.read(ra) as u64),
+
+            // --------------------- MDMX accumulators --------------------
+            AccClear { acc } => self.mdmx_accs.get_mut(acc).clear(),
+            AccStep { op, ty, acc, va, vb } => {
+                let a = self.mmx.read(va);
+                let b = self.mmx.read(vb);
+                op.accumulate(self.mdmx_accs.get_mut(acc).lanes_mut(), a, b, ty);
+            }
+            AccRead {
+                vd,
+                acc,
+                ty,
+                shift,
+                saturating,
+            } => {
+                let w = self.mdmx_accs.get(acc).read(ty, shift, saturating);
+                self.mmx.write(vd, w);
+            }
+            AccReadScalar { rd, acc } => {
+                let sum: i64 = self.mdmx_accs.get(acc).lanes().iter().sum();
+                self.ints.write(rd, sum);
+            }
+
+            // --------------------------- MOM -----------------------------
+            SetVlImm { vl } => self.vl.set(vl as i64),
+            SetVl { ra } => self.vl.set(self.ints.read(ra)),
+            MomLoad { md, base, stride, .. } => {
+                let base_addr = self.ints.read(base);
+                let stride = self.ints.read(stride);
+                for row in 0..self.vl.get() {
+                    let addr = (base_addr + stride * row as i64) as u64;
+                    let w = self.mem.read_u64(addr)?;
+                    self.mom_regs.write_row(md, row, w);
+                }
+            }
+            MomStore { ms, base, stride, .. } => {
+                let base_addr = self.ints.read(base);
+                let stride = self.ints.read(stride);
+                for row in 0..self.vl.get() {
+                    let addr = (base_addr + stride * row as i64) as u64;
+                    self.mem.write_u64(addr, self.mom_regs.read_row(ms, row))?;
+                }
+            }
+            MomOp { op, ty, md, ma, mb } => {
+                for row in 0..self.vl.get() {
+                    let a = self.mom_regs.read_row(ma, row);
+                    let b = self.mom_operand_row(mb, row);
+                    self.mom_regs.write_row(md, row, op.apply(a, b, ty));
+                }
+            }
+            MomTranspose { md, ms, ty } => {
+                let t = transpose(&self.mom_regs.read_all(ms), ty);
+                self.mom_regs.write_all(md, t);
+            }
+            MomAccClear { acc } => self.mom_accs.get_mut(acc).clear(),
+            MomAccStep { op, ty, acc, ma, mb } => {
+                for row in 0..self.vl.get() {
+                    let a = self.mom_regs.read_row(ma, row);
+                    let b = self.mom_operand_row(mb, row);
+                    op.accumulate(self.mom_accs.get_mut(acc).lanes_mut(), a, b, ty);
+                }
+            }
+            MomAccRead {
+                vd,
+                acc,
+                ty,
+                shift,
+                saturating,
+            } => {
+                let w = self.mom_accs.get(acc).read(ty, shift, saturating);
+                self.mmx.write(vd, w);
+            }
+            MomAccReadScalar { rd, acc } => {
+                let sum = self.mom_accs.get(acc).horizontal_sum(mom_simd::MAX_LANES);
+                self.ints.write(rd, sum);
+            }
+            MomRowToMmx { vd, ms, row } => {
+                self.mmx.write(vd, self.mom_regs.read_row(ms, row as usize));
+            }
+            MomRowFromMmx { md, va, row } => {
+                self.mom_regs
+                    .write_row(md, row as usize, self.mmx.read(va));
+            }
+        }
+        Ok((next, taken))
+    }
+
+    /// Resolves the second operand of a MOM matrix instruction for a given
+    /// row: another matrix row, a broadcast packed register or an immediate.
+    fn mom_operand_row(&self, operand: MomOperand, row: usize) -> u64 {
+        match operand {
+            MomOperand::Mat(m) => self.mom_regs.read_row(m, row),
+            MomOperand::Mmx(v) => self.mmx.read(v),
+            MomOperand::Imm(w) => w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::prelude::*;
+
+    fn machine() -> Machine {
+        Machine::new(Memory::new(0x10000))
+    }
+
+    #[test]
+    fn scalar_loop_sums_an_array() {
+        // sum of bytes 0..10 stored at 0x100
+        let mut m = machine();
+        for i in 0..10u8 {
+            m.memory_mut().write_u8(0x100 + i as u64, i + 1).unwrap();
+        }
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.li(1, 0x100); // pointer
+        b.li(2, 0); // sum
+        b.li(3, 10); // counter
+        b.label("loop");
+        b.load(MemSize::Byte, false, 4, 1, 0);
+        b.add(2, 2, 4);
+        b.addi(1, 1, 1);
+        b.addi(3, 3, -1);
+        b.branch(BranchCond::Gt, 3, 31, "loop");
+        let p = b.finish();
+        let trace = m.run(&p).unwrap();
+        assert_eq!(m.int_reg(2), 55);
+        // 3 setup + 10 iterations * 5 instructions
+        assert_eq!(trace.len(), 3 + 50);
+        // The loop branch is taken 9 times, not taken once.
+        let takens = trace
+            .iter()
+            .filter(|e| matches!(e.instr, Instruction::Branch { .. }) && e.taken)
+            .count();
+        assert_eq!(takens, 9);
+    }
+
+    #[test]
+    fn mmx_saturating_add_kernel() {
+        let mut m = machine();
+        m.memory_mut()
+            .load_u8_slice(0x100, &[250, 250, 250, 250, 1, 2, 3, 4])
+            .unwrap();
+        m.memory_mut()
+            .load_u8_slice(0x200, &[10, 10, 10, 10, 10, 10, 10, 10])
+            .unwrap();
+        let mut b = AsmBuilder::new(IsaKind::Mmx);
+        b.li(1, 0x100);
+        b.li(2, 0x200);
+        b.li(3, 0x300);
+        b.mmx_load(0, 1, 0, ElemType::U8);
+        b.mmx_load(1, 2, 0, ElemType::U8);
+        b.mmx_op(PackedOp::Add(Overflow::Saturate), ElemType::U8, 2, 0, 1);
+        b.mmx_store(2, 3, 0, ElemType::U8);
+        let p = b.finish();
+        m.run(&p).unwrap();
+        assert_eq!(
+            m.memory().dump_u8(0x300, 8).unwrap(),
+            vec![255, 255, 255, 255, 11, 12, 13, 14]
+        );
+    }
+
+    #[test]
+    fn mdmx_accumulator_dot_product() {
+        // dot product of two 8-element i16 vectors using the MDMX accumulator
+        let mut m = machine();
+        let x: Vec<i16> = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let y: Vec<i16> = vec![10, -10, 20, -20, 30, -30, 40, -40];
+        m.memory_mut().load_i16_slice(0x100, &x).unwrap();
+        m.memory_mut().load_i16_slice(0x200, &y).unwrap();
+        let expect: i64 = x.iter().zip(&y).map(|(a, b)| *a as i64 * *b as i64).sum();
+
+        let mut b = AsmBuilder::new(IsaKind::Mdmx);
+        b.li(1, 0x100);
+        b.li(2, 0x200);
+        b.acc_clear(0);
+        for i in 0..2 {
+            b.mmx_load(0, 1, 8 * i, ElemType::I16);
+            b.mmx_load(1, 2, 8 * i, ElemType::I16);
+            b.acc_step(AccumOp::MulAdd, ElemType::I16, 0, 0, 1);
+        }
+        // The accumulator has 4 lanes (16-bit sources); read them out at the
+        // same granularity. The partial sums fit comfortably in 16 bits here.
+        b.acc_read(2, 0, ElemType::I16, 0, true);
+        let p = b.finish();
+        m.run(&p).unwrap();
+        // A kernel would finish with a horizontal sum; verify the lane sums
+        // match the scalar dot product.
+        let lanes = mom_simd::lanes::to_lanes(m.mmx_reg(2), ElemType::I16);
+        assert_eq!(lanes.sum(), expect);
+    }
+
+    #[test]
+    fn mom_matrix_add_with_broadcast() {
+        // The lib.rs doc example, verified lane by lane.
+        let mut m = machine();
+        for i in 0..16 {
+            m.memory_mut().write_i16(0x100 + 2 * i, 100).unwrap();
+        }
+        m.memory_mut()
+            .load_i16_slice(0x200, &[1, 2, 3, 4])
+            .unwrap();
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.li(1, 0x100);
+        b.li(2, 0x200);
+        b.li(3, 0x300);
+        b.li(4, 8);
+        b.set_vl_imm(4);
+        b.mmx_load(0, 2, 0, ElemType::I16);
+        b.mom_load(0, 1, 4, ElemType::I16);
+        b.mom_op(
+            PackedOp::Add(Overflow::Saturate),
+            ElemType::I16,
+            1,
+            0,
+            MomOperand::Mmx(0),
+        );
+        b.mom_store(1, 3, 4, ElemType::I16);
+        let p = b.finish();
+        let trace = m.run(&p).unwrap();
+        let out = m.memory().dump_i16(0x300, 16).unwrap();
+        for r in 0..4 {
+            assert_eq!(&out[4 * r..4 * r + 4], &[101, 102, 103, 104]);
+        }
+        // Matrix instructions carried VL = 4 in the trace.
+        let vls: Vec<u16> = trace
+            .iter()
+            .filter(|e| e.instr.is_vl_dependent())
+            .map(|e| e.vl)
+            .collect();
+        assert_eq!(vls, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn mom_strided_load_gathers_rows() {
+        // Rows of a 4x4 byte sub-matrix inside a wider 16-byte-pitch image.
+        let mut m = machine();
+        for r in 0..4u64 {
+            for c in 0..8u64 {
+                m.memory_mut()
+                    .write_u8(0x100 + 16 * r + c, (10 * r + c) as u8)
+                    .unwrap();
+            }
+        }
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.li(1, 0x100);
+        b.li(2, 16); // stride = image pitch
+        b.set_vl_imm(4);
+        b.mom_load(0, 1, 2, ElemType::U8);
+        let p = b.finish();
+        m.run(&p).unwrap();
+        for r in 0..4 {
+            let row = m.mom_row(0, r);
+            let lanes = mom_simd::lanes::to_lanes(row, ElemType::U8);
+            assert_eq!(lanes[0], (10 * r) as i64);
+            assert_eq!(lanes[7], (10 * r + 7) as i64);
+        }
+    }
+
+    #[test]
+    fn mom_transpose_instruction() {
+        let mut m = machine();
+        // Store an 8x8 byte matrix with element (r, c) = r*8 + c at 0x400.
+        for r in 0..8u64 {
+            for c in 0..8u64 {
+                m.memory_mut()
+                    .write_u8(0x400 + 8 * r + c, (8 * r + c) as u8)
+                    .unwrap();
+            }
+        }
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.li(1, 0x400);
+        b.li(2, 8);
+        b.li(3, 0x500);
+        b.set_vl_imm(8);
+        b.mom_load(0, 1, 2, ElemType::U8);
+        b.mom_transpose(1, 0, ElemType::U8);
+        b.mom_store(1, 3, 2, ElemType::U8);
+        let p = b.finish();
+        m.run(&p).unwrap();
+        for r in 0..8u64 {
+            for c in 0..8u64 {
+                let v = m.memory().read_u8(0x500 + 8 * r + c).unwrap();
+                assert_eq!(v as u64, 8 * c + r, "transposed ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn mom_accumulator_sad_over_matrix() {
+        // SAD between two 8x8 byte blocks using the MOM accumulator: each of
+        // the 8 byte lanes accumulates its column's absolute differences.
+        // Reading the accumulator at 16-bit granularity exposes the partial
+        // sums of lanes 0..3, which we check against a scalar reference.
+        let mut m = machine();
+        for i in 0..64u64 {
+            let a = (i * 3 % 251) as u8;
+            let b = (i * 7 % 241) as u8;
+            m.memory_mut().write_u8(0x100 + i, a).unwrap();
+            m.memory_mut().write_u8(0x200 + i, b).unwrap();
+        }
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.li(1, 0x100);
+        b.li(2, 0x200);
+        b.li(3, 8);
+        b.set_vl_imm(8);
+        b.mom_load(0, 1, 3, ElemType::U8);
+        b.mom_load(1, 2, 3, ElemType::U8);
+        b.mom_acc_clear(0);
+        b.mom_acc_step(AccumOp::AbsDiffAdd, ElemType::U8, 0, 0, MomOperand::Mat(1));
+        b.mom_acc_read(5, 0, ElemType::I16, 0, true);
+        let p = b.finish();
+        m.run(&p).unwrap();
+        let visible = mom_simd::lanes::to_lanes(m.mmx_reg(5), ElemType::I16);
+        for lane in 0..4u64 {
+            let mut expect = 0i64;
+            for r in 0..8u64 {
+                let a = m.memory().read_u8(0x100 + 8 * r + lane).unwrap() as i64;
+                let b = m.memory().read_u8(0x200 + 8 * r + lane).unwrap() as i64;
+                expect += (a - b).abs();
+            }
+            assert_eq!(visible[lane as usize], expect, "column {lane}");
+        }
+    }
+
+    #[test]
+    fn vl_register_defaults_and_clamps() {
+        let mut m = machine();
+        assert_eq!(m.vector_length(), 16);
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.li(1, 100);
+        b.set_vl(1);
+        let p = b.finish();
+        m.run(&p).unwrap();
+        assert_eq!(m.vector_length(), 16);
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.set_vl_imm(5);
+        m.run(&b.finish()).unwrap();
+        assert_eq!(m.vector_length(), 5);
+    }
+
+    #[test]
+    fn instruction_limit_guards_runaway_loops() {
+        let mut m = machine();
+        m.set_instruction_limit(1000);
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.label("forever");
+        b.br("forever");
+        let err = m.run(&b.finish()).unwrap_err();
+        assert_eq!(err, ExecError::InstructionLimit { limit: 1000 });
+    }
+
+    #[test]
+    fn memory_fault_is_reported() {
+        let mut m = Machine::new(Memory::new(16));
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.li(1, 1000);
+        b.load(MemSize::Quad, false, 2, 1, 0);
+        let err = m.run(&b.finish()).unwrap_err();
+        assert!(matches!(err, ExecError::Memory(_)));
+        assert!(err.to_string().contains("memory fault"));
+    }
+
+    #[test]
+    fn invalid_program_is_rejected() {
+        let mut m = machine();
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.mmx_load(0, 1, 0, ElemType::U8);
+        let err = m.run(&b.finish()).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidProgram(_)));
+    }
+
+    #[test]
+    fn row_moves_between_mmx_and_matrix() {
+        let mut m = machine();
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.li(1, 0x1234_5678);
+        b.mmx_from_int(0, 1);
+        b.mom_row_from_mmx(2, 0, 5);
+        b.mom_row_to_mmx(1, 2, 5);
+        b.mmx_to_int(2, 1);
+        let p = b.finish();
+        m.run(&p).unwrap();
+        assert_eq!(m.int_reg(2), 0x1234_5678);
+        assert_eq!(m.mom_row(2, 5), 0x1234_5678);
+    }
+}

@@ -1,0 +1,240 @@
+//! A flat, byte-addressable, little-endian memory.
+//!
+//! The paper models an idealised memory system (no bandwidth limits, fixed
+//! latency); functionally all that is needed is a byte array with typed
+//! accessors. Addresses are `u64` byte offsets from zero.
+
+use std::fmt;
+
+/// Error returned when an access falls outside the allocated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBounds {
+    /// The first byte address of the offending access.
+    pub addr: u64,
+    /// The size of the access in bytes.
+    pub size: usize,
+    /// The size of the memory in bytes.
+    pub capacity: usize,
+}
+
+impl fmt::Display for OutOfBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory access of {} bytes at address {:#x} exceeds capacity {:#x}",
+            self.size, self.addr, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfBounds {}
+
+/// A flat little-endian memory of fixed size.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocates a zero-initialised memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Size of the memory in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn check(&self, addr: u64, size: usize) -> Result<usize, OutOfBounds> {
+        let start = addr as usize;
+        if addr > usize::MAX as u64 || start.checked_add(size).is_none_or(|end| end > self.bytes.len()) {
+            Err(OutOfBounds {
+                addr,
+                size,
+                capacity: self.bytes.len(),
+            })
+        } else {
+            Ok(start)
+        }
+    }
+
+    /// Reads `N` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, out: &mut [u8]) -> Result<(), OutOfBounds> {
+        let start = self.check(addr, out.len())?;
+        out.copy_from_slice(&self.bytes[start..start + out.len()]);
+        Ok(())
+    }
+
+    /// Writes the given bytes starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), OutOfBounds> {
+        let start = self.check(addr, data.len())?;
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads an unsigned value of `size` bytes (1, 2, 4 or 8), little-endian.
+    pub fn read_uint(&self, addr: u64, size: usize) -> Result<u64, OutOfBounds> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let start = self.check(addr, size)?;
+        let mut v: u64 = 0;
+        for (i, b) in self.bytes[start..start + size].iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr`, little-endian.
+    pub fn write_uint(&mut self, addr: u64, value: u64, size: usize) -> Result<(), OutOfBounds> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let start = self.check(addr, size)?;
+        for i in 0..size {
+            self.bytes[start + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Reads a 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, OutOfBounds> {
+        self.read_uint(addr, 8)
+    }
+
+    /// Writes a 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), OutOfBounds> {
+        self.write_uint(addr, value, 8)
+    }
+
+    /// Reads an unsigned byte.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, OutOfBounds> {
+        Ok(self.read_uint(addr, 1)? as u8)
+    }
+
+    /// Writes a byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), OutOfBounds> {
+        self.write_uint(addr, value as u64, 1)
+    }
+
+    /// Reads a signed 16-bit value.
+    pub fn read_i16(&self, addr: u64) -> Result<i16, OutOfBounds> {
+        Ok(self.read_uint(addr, 2)? as u16 as i16)
+    }
+
+    /// Writes a signed 16-bit value.
+    pub fn write_i16(&mut self, addr: u64, value: i16) -> Result<(), OutOfBounds> {
+        self.write_uint(addr, value as u16 as u64, 2)
+    }
+
+    /// Reads a signed 32-bit value.
+    pub fn read_i32(&self, addr: u64) -> Result<i32, OutOfBounds> {
+        Ok(self.read_uint(addr, 4)? as u32 as i32)
+    }
+
+    /// Writes a signed 32-bit value.
+    pub fn write_i32(&mut self, addr: u64, value: i32) -> Result<(), OutOfBounds> {
+        self.write_uint(addr, value as u32 as u64, 4)
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn load_u8_slice(&mut self, addr: u64, data: &[u8]) -> Result<(), OutOfBounds> {
+        self.write_bytes(addr, data)
+    }
+
+    /// Copies a slice of `i16` values into memory starting at `addr`.
+    pub fn load_i16_slice(&mut self, addr: u64, data: &[i16]) -> Result<(), OutOfBounds> {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_i16(addr + 2 * i as u64, v)?;
+        }
+        Ok(())
+    }
+
+    /// Copies a slice of `i32` values into memory starting at `addr`.
+    pub fn load_i32_slice(&mut self, addr: u64, data: &[i32]) -> Result<(), OutOfBounds> {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_i32(addr + 4 * i as u64, v)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `count` bytes starting at `addr` into a vector.
+    pub fn dump_u8(&self, addr: u64, count: usize) -> Result<Vec<u8>, OutOfBounds> {
+        let mut out = vec![0u8; count];
+        self.read_bytes(addr, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads `count` signed 16-bit values starting at `addr`.
+    pub fn dump_i16(&self, addr: u64, count: usize) -> Result<Vec<i16>, OutOfBounds> {
+        (0..count).map(|i| self.read_i16(addr + 2 * i as u64)).collect()
+    }
+
+    /// Reads `count` signed 32-bit values starting at `addr`.
+    pub fn dump_i32(&self, addr: u64, count: usize) -> Result<Vec<i32>, OutOfBounds> {
+        (0..count).map(|i| self.read_i32(addr + 4 * i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip_little_endian() {
+        let mut m = Memory::new(64);
+        m.write_u64(8, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(m.read_u64(8).unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u8(8).unwrap(), 0x08);
+        assert_eq!(m.read_u8(15).unwrap(), 0x01);
+    }
+
+    #[test]
+    fn sized_accessors() {
+        let mut m = Memory::new(64);
+        m.write_i16(0, -2).unwrap();
+        assert_eq!(m.read_i16(0).unwrap(), -2);
+        assert_eq!(m.read_uint(0, 2).unwrap(), 0xFFFE);
+        m.write_i32(4, -100_000).unwrap();
+        assert_eq!(m.read_i32(4).unwrap(), -100_000);
+        m.write_u8(10, 0xAB).unwrap();
+        assert_eq!(m.read_u8(10).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut m = Memory::new(16);
+        assert!(m.read_u64(9).is_err());
+        assert!(m.read_u64(8).is_ok());
+        assert!(m.write_u64(16, 0).is_err());
+        let err = m.read_u64(100).unwrap_err();
+        assert_eq!(err.addr, 100);
+        assert_eq!(err.size, 8);
+        assert_eq!(err.capacity, 16);
+        assert!(err.to_string().contains("0x64"));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = Memory::new(64);
+        m.load_u8_slice(0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.dump_u8(0, 4).unwrap(), vec![1, 2, 3, 4]);
+        m.load_i16_slice(16, &[-1, 300, 5]).unwrap();
+        assert_eq!(m.dump_i16(16, 3).unwrap(), vec![-1, 300, 5]);
+        m.load_i32_slice(32, &[-70000, 70000]).unwrap();
+        assert_eq!(m.dump_i32(32, 2).unwrap(), vec![-70000, 70000]);
+    }
+
+    #[test]
+    fn zero_initialised() {
+        let m = Memory::new(32);
+        assert_eq!(m.len(), 32);
+        assert!(!m.is_empty());
+        assert_eq!(m.read_u64(0).unwrap(), 0);
+        assert_eq!(m.dump_u8(0, 32).unwrap(), vec![0; 32]);
+    }
+}

@@ -1,0 +1,304 @@
+//! MOM architectural state: the matrix register file, the vector-length
+//! register, the packed matrix accumulators and the matrix transpose.
+//!
+//! This module is the heart of the paper's proposal (Section 3): 16 matrix
+//! registers of 16 × 64-bit words, a vector-length (VL) register bounding
+//! the dimension-Y length of every matrix instruction, two packed
+//! accumulators that pipeline dimension-Y reductions, and a transpose unit
+//! that swaps the two vectorisation dimensions in a single instruction.
+
+use mom_isa::{NUM_MOM_ACCS, NUM_MOM_REGS, MOM_ROWS};
+use mom_simd::{lanes, ElemType, MAX_LANES};
+
+/// The MOM matrix register file: 16 registers, each holding 16 × 64-bit
+/// words (a matrix of up to 16 × 8 sub-word elements).
+#[derive(Debug, Clone)]
+pub struct MomRegisterFile {
+    regs: [[u64; MOM_ROWS]; NUM_MOM_REGS],
+}
+
+impl Default for MomRegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MomRegisterFile {
+    /// Creates a zeroed matrix register file.
+    pub fn new() -> Self {
+        MomRegisterFile {
+            regs: [[0; MOM_ROWS]; NUM_MOM_REGS],
+        }
+    }
+
+    /// Reads row `row` of matrix register `m`.
+    pub fn read_row(&self, m: u8, row: usize) -> u64 {
+        self.check(m, row);
+        self.regs[m as usize][row]
+    }
+
+    /// Writes row `row` of matrix register `m`.
+    pub fn write_row(&mut self, m: u8, row: usize, value: u64) {
+        self.check(m, row);
+        self.regs[m as usize][row] = value;
+    }
+
+    /// Reads all rows of matrix register `m`.
+    pub fn read_all(&self, m: u8) -> [u64; MOM_ROWS] {
+        self.check(m, 0);
+        self.regs[m as usize]
+    }
+
+    /// Writes all rows of matrix register `m`.
+    pub fn write_all(&mut self, m: u8, rows: [u64; MOM_ROWS]) {
+        self.check(m, 0);
+        self.regs[m as usize] = rows;
+    }
+
+    fn check(&self, m: u8, row: usize) {
+        assert!(
+            (m as usize) < NUM_MOM_REGS,
+            "MOM matrix register {m} out of range"
+        );
+        assert!(row < MOM_ROWS, "matrix row {row} out of range");
+    }
+}
+
+/// One MOM packed accumulator.
+///
+/// Like the MDMX accumulator it holds one widened lane per sub-word lane,
+/// but it is fed by *matrix* accumulate instructions that reduce along
+/// dimension Y: one `MomAccStep` adds `VL` row contributions. The paper
+/// notes the hardware pipelines this reduction (tolerating the extra latency
+/// with the streaming execution); architecturally the result is simply the
+/// sum of all row contributions.
+#[derive(Debug, Clone)]
+pub struct MomAccumulator {
+    lanes: [i64; MAX_LANES],
+}
+
+impl Default for MomAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MomAccumulator {
+    /// Creates a cleared accumulator.
+    pub fn new() -> Self {
+        MomAccumulator {
+            lanes: [0; MAX_LANES],
+        }
+    }
+
+    /// Clears all lanes.
+    pub fn clear(&mut self) {
+        self.lanes = [0; MAX_LANES];
+    }
+
+    /// The widened accumulator lanes.
+    pub fn lanes(&self) -> &[i64; MAX_LANES] {
+        &self.lanes
+    }
+
+    /// Mutable access to the widened accumulator lanes.
+    pub fn lanes_mut(&mut self) -> &mut [i64; MAX_LANES] {
+        &mut self.lanes
+    }
+
+    /// Reads the accumulator out into a packed word (scale, round, clip) —
+    /// identical semantics to the MDMX read-out.
+    pub fn read(&self, ty: ElemType, shift: u32, saturating: bool) -> u64 {
+        mom_isa::packed::accumulator_read(&self.lanes, ty, shift, saturating)
+    }
+
+    /// Horizontal sum of the first `n` lanes (used when a kernel needs a
+    /// single scalar out of the accumulator, e.g. a full dot product).
+    pub fn horizontal_sum(&self, n: usize) -> i64 {
+        self.lanes[..n.min(MAX_LANES)].iter().sum()
+    }
+}
+
+/// The set of MOM accumulators (`MA0..MA1`).
+#[derive(Debug, Clone, Default)]
+pub struct MomAccumulatorFile {
+    accs: [MomAccumulator; NUM_MOM_ACCS],
+}
+
+impl MomAccumulatorFile {
+    /// Creates cleared accumulators.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Immutable access to accumulator `a`.
+    pub fn get(&self, a: u8) -> &MomAccumulator {
+        assert!((a as usize) < NUM_MOM_ACCS, "MOM accumulator {a} out of range");
+        &self.accs[a as usize]
+    }
+
+    /// Mutable access to accumulator `a`.
+    pub fn get_mut(&mut self, a: u8) -> &mut MomAccumulator {
+        assert!((a as usize) < NUM_MOM_ACCS, "MOM accumulator {a} out of range");
+        &mut self.accs[a as usize]
+    }
+}
+
+/// The MOM vector-length register.
+///
+/// The architectural maximum is [`MOM_ROWS`] (16); `set` clamps to that
+/// range, matching the paper's "maximum vector length on dimension Y has
+/// been set to 16".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VectorLength(u8);
+
+impl VectorLength {
+    /// Creates a vector-length register initialised to the maximum (16).
+    pub fn new() -> Self {
+        VectorLength(MOM_ROWS as u8)
+    }
+
+    /// Current vector length.
+    pub fn get(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Sets the vector length, clamping into `0..=16`.
+    pub fn set(&mut self, vl: i64) {
+        self.0 = vl.clamp(0, MOM_ROWS as i64) as u8;
+    }
+}
+
+/// Transposes the square sub-word block held in the first `n` rows of a
+/// matrix register, where `n` is the number of lanes of `ty` (8×8 for bytes,
+/// 4×4 for halfwords, 2×2 for 32-bit words).
+///
+/// Element `(r, c)` of the result is element `(c, r)` of the input. Rows
+/// beyond the block are copied through unchanged, so transposing twice is
+/// the identity for the whole register.
+pub fn transpose(rows: &[u64; MOM_ROWS], ty: ElemType) -> [u64; MOM_ROWS] {
+    let n = ty.lanes();
+    let mut out = *rows;
+    for (r, out_row) in out.iter_mut().enumerate().take(n) {
+        let mut new_row = *out_row;
+        for c in 0..n {
+            let v = lanes::extract_lane(rows[c], r, ty);
+            new_row = lanes::insert_lane(new_row, c, v, ty);
+        }
+        *out_row = new_row;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::AccumOp;
+    use mom_simd::lanes::from_lanes;
+
+    #[test]
+    fn matrix_register_file_round_trip() {
+        let mut f = MomRegisterFile::new();
+        f.write_row(3, 7, 0xABCD);
+        assert_eq!(f.read_row(3, 7), 0xABCD);
+        assert_eq!(f.read_row(3, 6), 0);
+        let mut rows = [0u64; MOM_ROWS];
+        rows[0] = 1;
+        rows[15] = 2;
+        f.write_all(9, rows);
+        assert_eq!(f.read_all(9)[15], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn matrix_register_bounds() {
+        MomRegisterFile::new().read_row(16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 16 out of range")]
+    fn matrix_row_bounds() {
+        MomRegisterFile::new().read_row(0, 16);
+    }
+
+    #[test]
+    fn vector_length_clamps() {
+        let mut vl = VectorLength::new();
+        assert_eq!(vl.get(), 16);
+        vl.set(4);
+        assert_eq!(vl.get(), 4);
+        vl.set(100);
+        assert_eq!(vl.get(), 16);
+        vl.set(-3);
+        assert_eq!(vl.get(), 0);
+    }
+
+    #[test]
+    fn transpose_8x8_bytes() {
+        let mut rows = [0u64; MOM_ROWS];
+        // rows[r] lane c = r*10 + c
+        for (r, row) in rows.iter_mut().enumerate().take(8) {
+            let vals: Vec<i64> = (0..8).map(|c| (r * 10 + c) as i64).collect();
+            *row = from_lanes(&vals, ElemType::U8);
+        }
+        let t = transpose(&rows, ElemType::U8);
+        for r in 0..8 {
+            for c in 0..8 {
+                assert_eq!(
+                    lanes::extract_lane(t[r], c, ElemType::U8),
+                    (c * 10 + r) as i64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let mut rows = [0u64; MOM_ROWS];
+        for (i, row) in rows.iter_mut().enumerate() {
+            *row = 0x0101_0101_0101_0101u64.wrapping_mul(i as u64 + 1) ^ 0x1234_5678;
+        }
+        for ty in [ElemType::U8, ElemType::I16, ElemType::I32] {
+            let tt = transpose(&transpose(&rows, ty), ty);
+            assert_eq!(tt, rows, "double transpose must be identity for {ty:?}");
+        }
+    }
+
+    #[test]
+    fn transpose_4x4_halfwords() {
+        let mut rows = [0u64; MOM_ROWS];
+        rows[0] = from_lanes(&[1, 2, 3, 4], ElemType::I16);
+        rows[1] = from_lanes(&[5, 6, 7, 8], ElemType::I16);
+        rows[2] = from_lanes(&[9, 10, 11, 12], ElemType::I16);
+        rows[3] = from_lanes(&[13, 14, 15, 16], ElemType::I16);
+        let t = transpose(&rows, ElemType::I16);
+        assert_eq!(
+            mom_simd::lanes::to_lanes(t[0], ElemType::I16).as_slice(),
+            &[1, 5, 9, 13]
+        );
+        assert_eq!(
+            mom_simd::lanes::to_lanes(t[3], ElemType::I16).as_slice(),
+            &[4, 8, 12, 16]
+        );
+        // Rows beyond the block are untouched.
+        assert_eq!(t[4], rows[4]);
+    }
+
+    #[test]
+    fn mom_accumulator_matrix_reduction() {
+        // Accumulate a dot product over 4 rows of 4 halfword lanes.
+        let mut accs = MomAccumulatorFile::new();
+        let a: Vec<u64> = (0..4)
+            .map(|r| from_lanes(&[r + 1, 2, 3, 4], ElemType::I16))
+            .collect();
+        let b = from_lanes(&[10, 10, 10, 10], ElemType::I16);
+        for row in &a {
+            AccumOp::MulAdd.accumulate(accs.get_mut(1).lanes_mut(), *row, b, ElemType::I16);
+        }
+        // Lane 0: (1+2+3+4)*10 = 100 ; lanes 1..3: 4*{20,30,40}
+        assert_eq!(&accs.get(1).lanes()[..4], &[100, 80, 120, 160]);
+        assert_eq!(accs.get(1).horizontal_sum(4), 460);
+        accs.get_mut(1).clear();
+        assert_eq!(accs.get(1).horizontal_sum(8), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Scalar, packed (MMX/MDMX) register files and the MDMX packed
+//! accumulators.
+
+use mom_isa::{NUM_INT_REGS, NUM_MDMX_ACCS, NUM_MMX_REGS};
+use mom_simd::{ElemType, MAX_LANES};
+
+/// The scalar integer register file (`R0..R31`, with `R31` hardwired to
+/// zero as on the Alpha).
+#[derive(Debug, Clone)]
+pub struct ScalarRegisterFile {
+    regs: [i64; NUM_INT_REGS],
+}
+
+impl Default for ScalarRegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScalarRegisterFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> Self {
+        ScalarRegisterFile {
+            regs: [0; NUM_INT_REGS],
+        }
+    }
+
+    /// Reads register `r` (`R31` always reads zero).
+    pub fn read(&self, r: u8) -> i64 {
+        let r = r as usize;
+        assert!(r < NUM_INT_REGS, "integer register {r} out of range");
+        if r == NUM_INT_REGS - 1 {
+            0
+        } else {
+            self.regs[r]
+        }
+    }
+
+    /// Writes register `r` (writes to `R31` are discarded).
+    pub fn write(&mut self, r: u8, value: i64) {
+        let r = r as usize;
+        assert!(r < NUM_INT_REGS, "integer register {r} out of range");
+        if r != NUM_INT_REGS - 1 {
+            self.regs[r] = value;
+        }
+    }
+}
+
+/// The packed (MMX/MDMX) register file: 32 registers of one 64-bit word.
+#[derive(Debug, Clone)]
+pub struct MmxRegisterFile {
+    regs: [u64; NUM_MMX_REGS],
+}
+
+impl Default for MmxRegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MmxRegisterFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> Self {
+        MmxRegisterFile {
+            regs: [0; NUM_MMX_REGS],
+        }
+    }
+
+    /// Reads packed register `v`.
+    pub fn read(&self, v: u8) -> u64 {
+        assert!((v as usize) < NUM_MMX_REGS, "MMX register {v} out of range");
+        self.regs[v as usize]
+    }
+
+    /// Writes packed register `v`.
+    pub fn write(&mut self, v: u8, value: u64) {
+        assert!((v as usize) < NUM_MMX_REGS, "MMX register {v} out of range");
+        self.regs[v as usize] = value;
+    }
+}
+
+/// One MDMX-style packed accumulator: one widened lane per sub-word lane.
+///
+/// The paper's Figure 3 shows a 192-bit accumulator holding four 48-bit
+/// partial sums for 16-bit operands; we hold each lane as an `i64`, which is
+/// wide enough for every operand width the kernels use (8- and 16-bit
+/// sources over at most a few thousand accumulation steps), and record the
+/// nominal architectural lane width for documentation and overflow checks.
+#[derive(Debug, Clone)]
+pub struct MdmxAccumulator {
+    lanes: [i64; MAX_LANES],
+}
+
+impl Default for MdmxAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MdmxAccumulator {
+    /// Architectural width, in bits, of one accumulator lane for a given
+    /// source element type (paper: 8-bit sources accumulate into 24-bit
+    /// lanes, 16-bit sources into 48-bit lanes).
+    pub fn lane_bits(ty: ElemType) -> u32 {
+        ty.bits() * 3
+    }
+
+    /// Creates a cleared accumulator.
+    pub fn new() -> Self {
+        MdmxAccumulator {
+            lanes: [0; MAX_LANES],
+        }
+    }
+
+    /// Clears all lanes.
+    pub fn clear(&mut self) {
+        self.lanes = [0; MAX_LANES];
+    }
+
+    /// The widened accumulator lanes.
+    pub fn lanes(&self) -> &[i64; MAX_LANES] {
+        &self.lanes
+    }
+
+    /// Mutable access to the widened accumulator lanes.
+    pub fn lanes_mut(&mut self) -> &mut [i64; MAX_LANES] {
+        &mut self.lanes
+    }
+
+    /// Reads the accumulator out into a packed word: scale by `shift` with
+    /// rounding, then clip (or wrap) into `ty` lanes.
+    pub fn read(&self, ty: ElemType, shift: u32, saturating: bool) -> u64 {
+        mom_isa::packed::accumulator_read(&self.lanes, ty, shift, saturating)
+    }
+}
+
+/// The set of MDMX accumulators (`A0..A3`).
+#[derive(Debug, Clone, Default)]
+pub struct MdmxAccumulatorFile {
+    accs: [MdmxAccumulator; NUM_MDMX_ACCS],
+}
+
+impl MdmxAccumulatorFile {
+    /// Creates cleared accumulators.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Immutable access to accumulator `a`.
+    pub fn get(&self, a: u8) -> &MdmxAccumulator {
+        assert!((a as usize) < NUM_MDMX_ACCS, "MDMX accumulator {a} out of range");
+        &self.accs[a as usize]
+    }
+
+    /// Mutable access to accumulator `a`.
+    pub fn get_mut(&mut self, a: u8) -> &mut MdmxAccumulator {
+        assert!((a as usize) < NUM_MDMX_ACCS, "MDMX accumulator {a} out of range");
+        &mut self.accs[a as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::AccumOp;
+    use mom_simd::lanes::from_lanes;
+
+    #[test]
+    fn scalar_file_r31_is_zero() {
+        let mut f = ScalarRegisterFile::new();
+        f.write(0, 42);
+        f.write(31, 99);
+        assert_eq!(f.read(0), 42);
+        assert_eq!(f.read(31), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scalar_file_rejects_bad_index() {
+        ScalarRegisterFile::new().read(32);
+    }
+
+    #[test]
+    fn mmx_file_read_write() {
+        let mut f = MmxRegisterFile::new();
+        f.write(5, 0xDEAD_BEEF);
+        assert_eq!(f.read(5), 0xDEAD_BEEF);
+        assert_eq!(f.read(6), 0);
+    }
+
+    #[test]
+    fn accumulator_dot_product() {
+        let mut file = MdmxAccumulatorFile::new();
+        let a = from_lanes(&[1, 2, 3, 4], ElemType::I16);
+        let b = from_lanes(&[10, 20, 30, 40], ElemType::I16);
+        for _ in 0..3 {
+            AccumOp::MulAdd.accumulate(file.get_mut(0).lanes_mut(), a, b, ElemType::I16);
+        }
+        assert_eq!(&file.get(0).lanes()[..4], &[30, 120, 270, 480]);
+        // Read out with no scaling, saturating to 16 bits.
+        let out = file.get(0).read(ElemType::I16, 0, true);
+        assert_eq!(
+            mom_simd::lanes::to_lanes(out, ElemType::I16).as_slice(),
+            &[30, 120, 270, 480]
+        );
+        file.get_mut(0).clear();
+        assert_eq!(file.get(0).lanes(), &[0; MAX_LANES]);
+    }
+
+    #[test]
+    fn accumulator_lane_widths_follow_the_paper() {
+        assert_eq!(MdmxAccumulator::lane_bits(ElemType::U8), 24);
+        assert_eq!(MdmxAccumulator::lane_bits(ElemType::I16), 48);
+    }
+}

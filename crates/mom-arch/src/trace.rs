@@ -1,0 +1,269 @@
+//! Dynamic instruction traces and their statistics.
+//!
+//! The functional simulator records one [`TraceEntry`] per executed
+//! (graduated) instruction.  The timing simulator replays the trace; the
+//! statistics module computes the quantities the paper's Tables 1–9 report:
+//! instruction counts, operation counts, the fraction of vector instructions
+//! *F*, and the average vector lengths VLx (sub-word lanes) and VLy
+//! (dimension-Y rows).
+
+use mom_isa::Instruction;
+
+/// One dynamically executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The executed instruction.
+    pub instr: Instruction,
+    /// The effective vector length (dimension Y) at execution time; 1 for
+    /// non-matrix instructions.
+    pub vl: u16,
+    /// For branches, whether the branch was taken.
+    pub taken: bool,
+}
+
+impl TraceEntry {
+    /// Number of elementary operations this dynamic instruction performed.
+    pub fn ops(&self) -> u64 {
+        self.instr.ops(self.vl as u64)
+    }
+}
+
+/// A dynamic instruction trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The trace entries in program (graduation) order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Concatenates another trace onto this one (used when a kernel is run
+    /// for several iterations to reach a steady state).
+    pub fn extend(&mut self, other: &Trace) {
+        self.entries.extend_from_slice(&other.entries);
+    }
+
+    /// Computes the summary statistics of the trace.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for e in &self.entries {
+            s.instructions += 1;
+            s.operations += e.ops();
+            if e.instr.is_media() {
+                s.media_instructions += 1;
+                s.sum_vlx += e.instr.vlx();
+                if e.instr.is_vl_dependent() {
+                    s.matrix_instructions += 1;
+                    s.sum_vly += e.vl as u64;
+                }
+            }
+            if e.instr.is_memory() {
+                s.memory_instructions += 1;
+            }
+        }
+        s
+    }
+}
+
+impl FromIterator<TraceEntry> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEntry>>(iter: T) -> Self {
+        Trace {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Summary statistics of a dynamic trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total dynamic instructions.
+    pub instructions: u64,
+    /// Total elementary operations (the paper's NOPS).
+    pub operations: u64,
+    /// Dynamic multimedia ("vector") instructions.
+    pub media_instructions: u64,
+    /// Dynamic MOM matrix (VL-dependent) instructions.
+    pub matrix_instructions: u64,
+    /// Dynamic memory instructions (scalar, packed and matrix).
+    pub memory_instructions: u64,
+    /// Sum of VLx over media instructions (for the average).
+    pub sum_vlx: u64,
+    /// Sum of VLy over matrix instructions (for the average).
+    pub sum_vly: u64,
+}
+
+impl TraceStats {
+    /// Fraction of dynamic instructions that are multimedia instructions
+    /// (the paper's *F*).
+    pub fn media_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.media_instructions as f64 / self.instructions as f64
+        }
+    }
+
+    /// Average operations per instruction (the paper's OPI).
+    pub fn opi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.operations as f64 / self.instructions as f64
+        }
+    }
+
+    /// Average sub-word lanes per multimedia instruction (the paper's VLx).
+    pub fn avg_vlx(&self) -> f64 {
+        if self.media_instructions == 0 {
+            1.0
+        } else {
+            self.sum_vlx as f64 / self.media_instructions as f64
+        }
+    }
+
+    /// Average dimension-Y vector length per matrix instruction (the paper's
+    /// VLy). 1.0 when the trace has no matrix instructions (as for MMX and
+    /// MDMX code).
+    pub fn avg_vly(&self) -> f64 {
+        if self.matrix_instructions == 0 {
+            1.0
+        } else {
+            self.sum_vly as f64 / self.matrix_instructions as f64
+        }
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.instructions += other.instructions;
+        self.operations += other.operations;
+        self.media_instructions += other.media_instructions;
+        self.matrix_instructions += other.matrix_instructions;
+        self.memory_instructions += other.memory_instructions;
+        self.sum_vlx += other.sum_vlx;
+        self.sum_vly += other.sum_vly;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::prelude::*;
+
+    fn entry(instr: Instruction, vl: u16) -> TraceEntry {
+        TraceEntry {
+            instr,
+            vl,
+            taken: false,
+        }
+    }
+
+    #[test]
+    fn stats_of_scalar_trace() {
+        let t: Trace = vec![
+            entry(Instruction::Li { rd: 1, imm: 0 }, 1),
+            entry(
+                Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: 1,
+                    ra: 1,
+                    rb: 2,
+                },
+                1,
+            ),
+            entry(
+                Instruction::Load {
+                    size: MemSize::Quad,
+                    signed: false,
+                    rd: 2,
+                    base: 1,
+                    offset: 0,
+                },
+                1,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let s = t.stats();
+        assert_eq!(s.instructions, 3);
+        assert_eq!(s.operations, 3);
+        assert_eq!(s.media_instructions, 0);
+        assert_eq!(s.memory_instructions, 1);
+        assert_eq!(s.media_fraction(), 0.0);
+        assert_eq!(s.opi(), 1.0);
+        assert_eq!(s.avg_vlx(), 1.0);
+        assert_eq!(s.avg_vly(), 1.0);
+    }
+
+    #[test]
+    fn stats_of_mixed_mom_trace() {
+        let mom_load = Instruction::MomLoad {
+            md: 0,
+            base: 1,
+            stride: 2,
+            ty: ElemType::U8,
+        };
+        let mom_add = Instruction::MomOp {
+            op: PackedOp::Add(Overflow::Saturate),
+            ty: ElemType::U8,
+            md: 1,
+            ma: 0,
+            mb: MomOperand::Mat(0),
+        };
+        let scalar = Instruction::Li { rd: 1, imm: 0 };
+        let t: Trace = vec![entry(scalar, 1), entry(mom_load, 16), entry(mom_add, 16)]
+            .into_iter()
+            .collect();
+        let s = t.stats();
+        assert_eq!(s.instructions, 3);
+        // 1 + 8*16 + 8*16
+        assert_eq!(s.operations, 1 + 128 + 128);
+        assert_eq!(s.media_instructions, 2);
+        assert_eq!(s.matrix_instructions, 2);
+        assert!((s.media_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.opi() - 257.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.avg_vlx(), 8.0);
+        assert_eq!(s.avg_vly(), 16.0);
+    }
+
+    #[test]
+    fn merge_and_extend() {
+        let e = entry(Instruction::Nop, 1);
+        let mut a: Trace = vec![e, e].into_iter().collect();
+        let b: Trace = vec![e].into_iter().collect();
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+
+        let mut s1 = a.stats();
+        let s2 = b.stats();
+        s1.merge(&s2);
+        assert_eq!(s1.instructions, 4);
+    }
+}

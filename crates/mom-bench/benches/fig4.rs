@@ -1,0 +1,41 @@
+//! Criterion bench regenerating Figure 4 (speed-up vs issue width).
+//!
+//! Each benchmark measures the end-to-end simulation of one kernel/ISA pair
+//! on the 4-way core (the figure's centre point); the full sweep over issue
+//! widths is printed once at the end so that `cargo bench` reproduces the
+//! figure's data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mom_bench::{simulate, EXPERIMENT_SEED};
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::MemoryModel;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10);
+    for kernel in [KernelId::Motion1, KernelId::Idct, KernelId::LtpFilt] {
+        for isa in [IsaKind::Alpha, IsaKind::Mmx, IsaKind::Mom] {
+            group.bench_function(format!("{}/{}", kernel.name(), isa.name()), |b| {
+                b.iter(|| {
+                    black_box(simulate(
+                        kernel,
+                        isa,
+                        4,
+                        MemoryModel::PERFECT,
+                        EXPERIMENT_SEED,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Print the full figure once so `cargo bench` leaves the data in its log.
+    let points = mom_bench::figure4();
+    println!("\n{}", mom_bench::format_figure4(&points));
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench regenerating Figure 5 (memory-latency tolerance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mom_bench::{simulate, EXPERIMENT_SEED};
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::MemoryModel;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    for kernel in [KernelId::Motion2, KernelId::Compensation] {
+        for isa in [IsaKind::Alpha, IsaKind::Mmx, IsaKind::Mom] {
+            for memory in MemoryModel::FIGURE5_POINTS {
+                group.bench_function(
+                    format!("{}/{}/lat{}", kernel.name(), isa.name(), memory.latency),
+                    |b| {
+                        b.iter(|| {
+                            black_box(simulate(kernel, isa, 4, memory, EXPERIMENT_SEED))
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+
+    let points = mom_bench::figure5();
+    println!("\n{}", mom_bench::format_figure5(&points));
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

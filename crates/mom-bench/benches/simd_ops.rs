@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the packed sub-word primitives and of the functional
+//! and timing simulators themselves (simulator throughput, not simulated
+//! performance).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mom_bench::{steady_state_trace, EXPERIMENT_SEED};
+use mom_isa::IsaKind;
+use mom_kernels::{run_kernel, KernelId};
+use mom_pipeline::{Pipeline, PipelineConfig};
+use mom_simd::{arith, mul, sad, ElemType, Overflow};
+use std::hint::black_box;
+
+fn bench_simd_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd-primitives");
+    let a = 0x0123_4567_89AB_CDEFu64;
+    let b = 0xFEDC_BA98_7654_3210u64;
+    group.bench_function("padd_sat_u8", |bench| {
+        bench.iter(|| black_box(arith::padd(black_box(a), black_box(b), ElemType::U8, Overflow::Saturate)))
+    });
+    group.bench_function("pmul_widening_i16", |bench| {
+        bench.iter(|| black_box(mul::pmul_widening(black_box(a), black_box(b), ElemType::I16)))
+    });
+    group.bench_function("psad_u8", |bench| {
+        bench.iter(|| black_box(sad::psad(black_box(a), black_box(b), ElemType::U8)))
+    });
+    group.finish();
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator-throughput");
+    group.sample_size(10);
+    // Functional simulation (trace generation + verification).
+    group.bench_function("functional/motion1/mom", |b| {
+        b.iter(|| black_box(run_kernel(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED, 1)))
+    });
+    // Timing simulation, reported in simulated instructions per second.
+    let (trace, _) = steady_state_trace(KernelId::Motion1, IsaKind::Alpha, EXPERIMENT_SEED);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let pipeline = Pipeline::new(PipelineConfig::way(4));
+    group.bench_function("timing/motion1/alpha", |b| {
+        b.iter(|| black_box(pipeline.simulate(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simd_primitives, bench_simulator_throughput);
+criterion_main!(benches);

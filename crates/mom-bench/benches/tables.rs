@@ -1,0 +1,30 @@
+//! Criterion bench regenerating Tables 1–9 (speed-up decomposition).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mom_bench::{steady_state_trace, EXPERIMENT_SEED};
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::{Pipeline, PipelineConfig};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    // Benchmark the timing-simulation step itself on pre-built traces.
+    for kernel in [KernelId::Motion2, KernelId::Rgb2Ycc, KernelId::AddBlock] {
+        for isa in IsaKind::ALL {
+            let (trace, _) = steady_state_trace(kernel, isa, EXPERIMENT_SEED);
+            let pipeline = Pipeline::new(PipelineConfig::way(4));
+            group.bench_function(format!("{}/{}", kernel.name(), isa.name()), |b| {
+                b.iter(|| black_box(pipeline.simulate(&trace)))
+            });
+        }
+    }
+    group.finish();
+
+    let rows = mom_bench::tables();
+    println!("\n{}", mom_bench::format_tables(&rows));
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

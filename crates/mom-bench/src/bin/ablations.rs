@@ -1,0 +1,39 @@
+//! Ablation studies beyond the paper's figures:
+//!
+//! * multimedia lane count — the paper's claim that MOM scales by
+//!   "replicating the number of parallel functional units ... without any
+//!   need of increasing the fetch/issue rate",
+//! * reorder-buffer size under 50-cycle memory — why MOM tolerates latency
+//!   with a much smaller instruction window.
+
+use mom_kernels::KernelId;
+
+fn main() {
+    println!("Ablation 1: multimedia lanes (4-way, perfect memory), cycles per invocation");
+    println!("{:<10} {:>6} {:>12} {:>12}", "kernel", "lanes", "MOM", "MMX");
+    for kernel in [KernelId::Motion1, KernelId::Idct, KernelId::Compensation] {
+        for p in mom_bench::ablation_lanes(kernel) {
+            println!(
+                "{:<10} {:>6} {:>12.0} {:>12.0}",
+                p.kernel.name(),
+                p.value,
+                p.mom_cycles,
+                p.mmx_cycles
+            );
+        }
+    }
+    println!();
+    println!("Ablation 2: reorder-buffer size (4-way, 50-cycle memory), cycles per invocation");
+    println!("{:<10} {:>6} {:>12} {:>12}", "kernel", "rob", "MOM", "MMX");
+    for kernel in [KernelId::Motion1, KernelId::Compensation] {
+        for p in mom_bench::ablation_rob(kernel) {
+            println!(
+                "{:<10} {:>6} {:>12.0} {:>12.0}",
+                p.kernel.name(),
+                p.value,
+                p.mom_cycles,
+                p.mmx_cycles
+            );
+        }
+    }
+}

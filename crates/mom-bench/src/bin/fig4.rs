@@ -1,0 +1,7 @@
+//! Reproduces Figure 4 of the paper: speed-up of the MMX, MDMX and MOM ISAs
+//! over the scalar baseline for 1/2/4/8-way machines with a perfect memory.
+
+fn main() {
+    let points = mom_bench::figure4();
+    print!("{}", mom_bench::format_figure4(&points));
+}

@@ -1,0 +1,7 @@
+//! Reproduces Figure 5 of the paper: the impact of memory latency (1, 12 and
+//! 50 cycles) on every kernel and ISA, on the 4-way core.
+
+fn main() {
+    let points = mom_bench::figure5();
+    print!("{}", mom_bench::format_figure5(&points));
+}

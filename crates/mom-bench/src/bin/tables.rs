@@ -1,0 +1,7 @@
+//! Reproduces Tables 1–9 of the paper: the IPC / OPI / R / S / F / VLx / VLy
+//! speed-up decomposition for every kernel on the 4-way core.
+
+fn main() {
+    let rows = mom_bench::tables();
+    print!("{}", mom_bench::format_tables(&rows));
+}

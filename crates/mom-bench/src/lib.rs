@@ -1,0 +1,509 @@
+//! # mom-bench — experiment drivers for the SC'99 MOM evaluation
+//!
+//! This crate turns the kernels (`mom-kernels`) and the timing simulator
+//! (`mom-pipeline`) into the paper's experiments:
+//!
+//! * [`figure4`] — speed-up of MMX / MDMX / MOM over the scalar baseline for
+//!   issue widths 1, 2, 4 and 8 with a perfect (1-cycle) memory,
+//! * [`figure5`] — cycle counts of all four ISAs on the 4-way core as the
+//!   memory latency grows from 1 to 12 to 50 cycles,
+//! * [`tables`] — the per-kernel IPC / OPI / R / S / F / VLx / VLy breakdown
+//!   of Tables 1–9 (4-way, 1-cycle memory),
+//! * [`ablations`] — additional studies beyond the paper: MOM without its
+//!   packed accumulators cannot be expressed (the kernels rely on them), so
+//!   the ablations vary the number of multimedia lanes and the reorder
+//!   buffer size instead, quantifying the "replicate the functional units"
+//!   claim of Section 4.4 and the latency-tolerance mechanism.
+//!
+//! Binaries `fig4`, `fig5`, `tables` and `ablations` print the corresponding
+//! results as aligned text tables; the Criterion benches under `benches/`
+//! wrap the same drivers so `cargo bench` regenerates every figure and
+//! table.
+
+#![warn(missing_docs)]
+
+use mom_arch::Trace;
+use mom_isa::IsaKind;
+use mom_kernels::{run_kernel, KernelId};
+use mom_pipeline::{MemoryModel, Pipeline, PipelineConfig, SimResult};
+
+/// Seed used by every experiment (the workloads are deterministic).
+pub const EXPERIMENT_SEED: u64 = 0x5C99;
+
+/// Target dynamic-trace length used to reach steady state; one kernel
+/// invocation is replicated until the trace is at least this long, mirroring
+/// the paper's "simulated a certain number of times in a loop".
+pub const STEADY_STATE_INSTRUCTIONS: usize = 4000;
+
+/// One measured point: a kernel, an ISA and a machine configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentPoint {
+    /// The kernel measured.
+    pub kernel: KernelId,
+    /// The ISA of the program.
+    pub isa: IsaKind,
+    /// Issue width of the simulated core.
+    pub width: usize,
+    /// Memory latency in cycles.
+    pub mem_latency: u64,
+    /// Timing-simulation result.
+    pub result: SimResult,
+    /// Trace-level statistics (F, VLx, VLy).
+    pub stats: mom_arch::TraceStats,
+}
+
+impl ExperimentPoint {
+    /// Cycles normalised per kernel invocation (the trace may contain many
+    /// invocations to reach steady state).
+    pub fn cycles_per_invocation(&self, invocations: usize) -> f64 {
+        self.result.cycles as f64 / invocations.max(1) as f64
+    }
+}
+
+/// Builds a steady-state trace for one kernel/ISA pair: the single-invocation
+/// trace is verified against the golden reference and then replicated until
+/// it reaches [`STEADY_STATE_INSTRUCTIONS`] dynamic instructions.
+///
+/// Returns the trace and the number of invocations it contains.
+pub fn steady_state_trace(kernel: KernelId, isa: IsaKind, seed: u64) -> (Trace, usize) {
+    let one = run_kernel(kernel, isa, seed, 1);
+    let per_invocation = one.trace.len().max(1);
+    let invocations = STEADY_STATE_INSTRUCTIONS.div_ceil(per_invocation).max(1);
+    let mut trace = Trace::new();
+    for _ in 0..invocations {
+        trace.extend(&one.trace);
+    }
+    (trace, invocations)
+}
+
+/// Simulates one kernel/ISA pair on a core of the given width and memory
+/// latency.
+pub fn simulate(
+    kernel: KernelId,
+    isa: IsaKind,
+    width: usize,
+    memory: MemoryModel,
+    seed: u64,
+) -> ExperimentPoint {
+    let (trace, _) = steady_state_trace(kernel, isa, seed);
+    let stats = trace.stats();
+    let config = PipelineConfig::way_with_memory(width, memory);
+    let result = Pipeline::new(config).simulate(&trace);
+    ExperimentPoint {
+        kernel,
+        isa,
+        width,
+        mem_latency: memory.latency,
+        result,
+        stats,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 4: the speed-up of a multimedia ISA over the scalar
+/// baseline at a given issue width.
+#[derive(Debug, Clone)]
+pub struct Figure4Point {
+    /// Kernel.
+    pub kernel: KernelId,
+    /// Multimedia ISA (MMX, MDMX or MOM).
+    pub isa: IsaKind,
+    /// Issue width.
+    pub width: usize,
+    /// Speed-up over the scalar baseline at the same width.
+    pub speedup: f64,
+}
+
+/// The issue widths of Figure 4.
+pub const FIG4_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Reproduces Figure 4: speed-up of each multimedia ISA over Alpha code for
+/// every kernel and issue width, with a 1-cycle memory.
+pub fn figure4() -> Vec<Figure4Point> {
+    let mut points = Vec::new();
+    for kernel in KernelId::ALL {
+        for width in FIG4_WIDTHS {
+            let baseline = simulate(
+                kernel,
+                IsaKind::Alpha,
+                width,
+                MemoryModel::PERFECT,
+                EXPERIMENT_SEED,
+            );
+            let base_per_inst = normalised_cycles(&baseline, kernel, IsaKind::Alpha);
+            for isa in IsaKind::MEDIA {
+                let point = simulate(kernel, isa, width, MemoryModel::PERFECT, EXPERIMENT_SEED);
+                let isa_per_inst = normalised_cycles(&point, kernel, isa);
+                points.push(Figure4Point {
+                    kernel,
+                    isa,
+                    width,
+                    speedup: base_per_inst / isa_per_inst,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Cycles per kernel invocation for an experiment point (recomputing the
+/// invocation count used when the trace was built).
+fn normalised_cycles(point: &ExperimentPoint, kernel: KernelId, isa: IsaKind) -> f64 {
+    let one = run_kernel(kernel, isa, EXPERIMENT_SEED, 1);
+    let per_invocation = one.trace.len().max(1);
+    let invocations = STEADY_STATE_INSTRUCTIONS.div_ceil(per_invocation).max(1);
+    point.result.cycles as f64 / invocations as f64
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+/// One line point of Figure 5: cycles per invocation for a kernel/ISA at a
+/// given memory latency (4-way core).
+#[derive(Debug, Clone)]
+pub struct Figure5Point {
+    /// Kernel.
+    pub kernel: KernelId,
+    /// ISA (all four, the paper labels the scalar one "SS").
+    pub isa: IsaKind,
+    /// Memory latency in cycles.
+    pub mem_latency: u64,
+    /// Cycles per kernel invocation.
+    pub cycles_per_invocation: f64,
+    /// Slow-down relative to the same ISA at 1-cycle latency (filled by the
+    /// caller once all latencies are known; 1.0 for the 1-cycle point).
+    pub slowdown: f64,
+}
+
+/// Reproduces Figure 5: the impact of memory latency (1, 12, 50 cycles) on
+/// each kernel and ISA, on the 4-way core.
+pub fn figure5() -> Vec<Figure5Point> {
+    let mut points = Vec::new();
+    for kernel in KernelId::ALL {
+        for isa in IsaKind::ALL {
+            let mut series = Vec::new();
+            for memory in MemoryModel::FIGURE5_POINTS {
+                let point = simulate(kernel, isa, 4, memory, EXPERIMENT_SEED);
+                series.push((memory.latency, normalised_cycles(&point, kernel, isa)));
+            }
+            let base = series[0].1;
+            for (latency, cycles) in series {
+                points.push(Figure5Point {
+                    kernel,
+                    isa,
+                    mem_latency: latency,
+                    cycles_per_invocation: cycles,
+                    slowdown: cycles / base,
+                });
+            }
+        }
+    }
+    points
+}
+
+// ---------------------------------------------------------------------------
+// Tables 1-9
+// ---------------------------------------------------------------------------
+
+/// One row of a per-kernel table: the speed-up decomposition for one ISA.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Kernel.
+    pub kernel: KernelId,
+    /// ISA of this row.
+    pub isa: IsaKind,
+    /// Committed instructions per cycle.
+    pub ipc: f64,
+    /// Operations per instruction.
+    pub opi: f64,
+    /// Operation-reduction factor relative to the scalar baseline.
+    pub r: f64,
+    /// Speed-up over the scalar baseline.
+    pub s: f64,
+    /// Fraction of multimedia ("vector") instructions.
+    pub f: f64,
+    /// Average sub-word vector length (dimension X).
+    pub vlx: f64,
+    /// Average dimension-Y vector length.
+    pub vly: f64,
+}
+
+/// Reproduces Tables 1–9: the IPC / OPI / R / S / F / VLx / VLy breakdown for
+/// every kernel on the 4-way, 1-cycle-memory core.
+pub fn tables() -> Vec<TableRow> {
+    let mut rows = Vec::new();
+    for kernel in KernelId::ALL {
+        let baseline = simulate(
+            kernel,
+            IsaKind::Alpha,
+            4,
+            MemoryModel::PERFECT,
+            EXPERIMENT_SEED,
+        );
+        let base_cycles = normalised_cycles(&baseline, kernel, IsaKind::Alpha);
+        let base_ops_per_inv =
+            baseline.result.operations as f64 / (baseline.result.cycles as f64 / base_cycles);
+        for isa in IsaKind::ALL {
+            let point = if isa == IsaKind::Alpha {
+                baseline.clone()
+            } else {
+                simulate(kernel, isa, 4, MemoryModel::PERFECT, EXPERIMENT_SEED)
+            };
+            let cycles = normalised_cycles(&point, kernel, isa);
+            let ops_per_inv =
+                point.result.operations as f64 / (point.result.cycles as f64 / cycles);
+            rows.push(TableRow {
+                kernel,
+                isa,
+                ipc: point.result.ipc(),
+                opi: point.result.opi(),
+                r: base_ops_per_inv / ops_per_inv,
+                s: base_cycles / cycles,
+                f: point.stats.media_fraction(),
+                vlx: point.stats.avg_vlx(),
+                vly: point.stats.avg_vly(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// One ablation point: MOM cycles per invocation while varying a
+/// micro-architectural parameter the paper discusses qualitatively.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Kernel.
+    pub kernel: KernelId,
+    /// Which parameter was varied.
+    pub parameter: &'static str,
+    /// The parameter value.
+    pub value: usize,
+    /// Cycles per invocation for MOM.
+    pub mom_cycles: f64,
+    /// Cycles per invocation for MMX at the same setting (for contrast).
+    pub mmx_cycles: f64,
+}
+
+/// Varies the number of multimedia lanes (the paper's "replicating the
+/// number of parallel functional units which execute a matrix instruction")
+/// and the vector memory port width together, on the 4-way core.
+pub fn ablation_lanes(kernel: KernelId) -> Vec<AblationPoint> {
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|lanes| {
+            let run = |isa: IsaKind| {
+                let (trace, invocations) = steady_state_trace(kernel, isa, EXPERIMENT_SEED);
+                let mut config = PipelineConfig::way(4);
+                config.media_lanes = lanes;
+                config.vec_mem_words = lanes;
+                let result = Pipeline::new(config).simulate(&trace);
+                result.cycles as f64 / invocations as f64
+            };
+            AblationPoint {
+                kernel,
+                parameter: "media-lanes",
+                value: lanes,
+                mom_cycles: run(IsaKind::Mom),
+                mmx_cycles: run(IsaKind::Mmx),
+            }
+        })
+        .collect()
+}
+
+/// Varies the reorder-buffer size on the 4-way core with 50-cycle memory,
+/// showing that MOM needs far less instruction window to tolerate latency.
+pub fn ablation_rob(kernel: KernelId) -> Vec<AblationPoint> {
+    [16usize, 32, 64, 128]
+        .into_iter()
+        .map(|rob| {
+            let run = |isa: IsaKind| {
+                let (trace, invocations) = steady_state_trace(kernel, isa, EXPERIMENT_SEED);
+                let mut config = PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY);
+                config.rob_size = rob;
+                let result = Pipeline::new(config).simulate(&trace);
+                result.cycles as f64 / invocations as f64
+            };
+            AblationPoint {
+                kernel,
+                parameter: "rob-size",
+                value: rob,
+                mom_cycles: run(IsaKind::Mom),
+                mmx_cycles: run(IsaKind::Mmx),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Reporting helpers shared by the binaries and benches
+// ---------------------------------------------------------------------------
+
+/// Formats the Figure 4 results as an aligned text table.
+pub fn format_figure4(points: &[Figure4Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4: speed-up over Alpha code (perfect memory)\n");
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>8} {:>8} {:>8}\n",
+        "kernel", "way", "MMX", "MDMX", "MOM"
+    ));
+    for kernel in KernelId::ALL {
+        for width in FIG4_WIDTHS {
+            let get = |isa: IsaKind| {
+                points
+                    .iter()
+                    .find(|p| p.kernel == kernel && p.width == width && p.isa == isa)
+                    .map(|p| p.speedup)
+                    .unwrap_or(f64::NAN)
+            };
+            out.push_str(&format!(
+                "{:<10} {:>6} {:>8.2} {:>8.2} {:>8.2}\n",
+                kernel.name(),
+                width,
+                get(IsaKind::Mmx),
+                get(IsaKind::Mdmx),
+                get(IsaKind::Mom)
+            ));
+        }
+    }
+    out
+}
+
+/// Formats the Figure 5 results as an aligned text table.
+pub fn format_figure5(points: &[Figure5Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5: cycles per invocation vs memory latency (4-way)\n");
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>12} {:>12} {:>12} {:>10}\n",
+        "kernel", "isa", "lat 1", "lat 12", "lat 50", "slowdown"
+    ));
+    for kernel in KernelId::ALL {
+        for isa in IsaKind::ALL {
+            let get = |lat: u64| {
+                points
+                    .iter()
+                    .find(|p| p.kernel == kernel && p.isa == isa && p.mem_latency == lat)
+                    .cloned()
+            };
+            let (l1, l12, l50) = (get(1), get(12), get(50));
+            out.push_str(&format!(
+                "{:<10} {:>6} {:>12.0} {:>12.0} {:>12.0} {:>9.2}x\n",
+                kernel.name(),
+                if isa == IsaKind::Alpha { "SS" } else { isa.name() },
+                l1.as_ref().map(|p| p.cycles_per_invocation).unwrap_or(f64::NAN),
+                l12.as_ref().map(|p| p.cycles_per_invocation).unwrap_or(f64::NAN),
+                l50.as_ref().map(|p| p.cycles_per_invocation).unwrap_or(f64::NAN),
+                l50.as_ref().map(|p| p.slowdown).unwrap_or(f64::NAN),
+            ));
+        }
+    }
+    out
+}
+
+/// Formats the Tables 1–9 results as aligned per-kernel tables.
+pub fn format_tables(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    for kernel in KernelId::ALL {
+        out.push_str(&format!(
+            "Table ({}): speed-up breakdown, 4-way, 1-cycle memory\n",
+            kernel.name()
+        ));
+        out.push_str(&format!(
+            "{:<6} {:>6} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7}\n",
+            "ISA", "IPC", "OPI", "R", "S", "F", "VLx", "VLy"
+        ));
+        for isa in IsaKind::ALL {
+            if let Some(r) = rows.iter().find(|r| r.kernel == kernel && r.isa == isa) {
+                out.push_str(&format!(
+                    "{:<6} {:>6.2} {:>7.2} {:>6.2} {:>6.1} {:>6.2} {:>6.2} {:>7.2}\n",
+                    isa.name(),
+                    r.ipc,
+                    r.opi,
+                    r.r,
+                    r.s,
+                    r.f,
+                    r.vlx,
+                    r.vly
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_traces_reach_the_target_length() {
+        let (trace, invocations) =
+            steady_state_trace(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED);
+        assert!(trace.len() >= STEADY_STATE_INSTRUCTIONS);
+        assert!(invocations > 1, "the tiny MOM kernel must be replicated");
+        let (trace, invocations) =
+            steady_state_trace(KernelId::LtpPar, IsaKind::Alpha, EXPERIMENT_SEED);
+        assert!(invocations >= 1);
+        assert!(trace.len() >= STEADY_STATE_INSTRUCTIONS);
+    }
+
+    #[test]
+    fn simulate_produces_nonzero_results() {
+        let p = simulate(
+            KernelId::AddBlock,
+            IsaKind::Mom,
+            4,
+            MemoryModel::PERFECT,
+            EXPERIMENT_SEED,
+        );
+        assert!(p.result.cycles > 0);
+        assert!(p.result.opi() > 1.0);
+        assert!(p.stats.avg_vly() > 1.0);
+    }
+
+    #[test]
+    fn mom_beats_mmx_on_a_motion_kernel_at_4_way() {
+        let mmx = simulate(
+            KernelId::Motion1,
+            IsaKind::Mmx,
+            4,
+            MemoryModel::PERFECT,
+            EXPERIMENT_SEED,
+        );
+        let mom = simulate(
+            KernelId::Motion1,
+            IsaKind::Mom,
+            4,
+            MemoryModel::PERFECT,
+            EXPERIMENT_SEED,
+        );
+        let mmx_cycles = normalised_cycles(&mmx, KernelId::Motion1, IsaKind::Mmx);
+        let mom_cycles = normalised_cycles(&mom, KernelId::Motion1, IsaKind::Mom);
+        assert!(
+            mom_cycles < mmx_cycles,
+            "MOM ({mom_cycles:.0} cycles) must beat MMX ({mmx_cycles:.0} cycles)"
+        );
+    }
+
+    #[test]
+    fn formatting_contains_all_kernels() {
+        // Use a tiny synthetic set of points to keep this test fast.
+        let points = vec![Figure4Point {
+            kernel: KernelId::Idct,
+            isa: IsaKind::Mom,
+            width: 4,
+            speedup: 5.0,
+        }];
+        let text = format_figure4(&points);
+        assert!(text.contains("idct"));
+        assert!(text.contains("MOM"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Textual disassembly of instructions and programs.
+//!
+//! The mnemonics follow the paper's style (`mom_ldq`, `mom_paddb`, ...) for
+//! the MOM instructions and MMX/MDMX conventions for the packed ones, so
+//! that dumped kernels read like the listings in the paper.
+
+use crate::instr::{Instruction, MomOperand};
+use crate::packed::{AccumOp, PackedOp};
+use crate::program::Program;
+use crate::scalar::AluOp;
+use mom_simd::{ElemType, Overflow};
+use std::fmt;
+
+/// Suffix used for an element type (`b` = byte, `h` = halfword, `w` = word,
+/// with a `u` prefix for the unsigned variants).
+fn ty_suffix(ty: ElemType) -> &'static str {
+    match ty {
+        ElemType::U8 => "ub",
+        ElemType::I8 => "b",
+        ElemType::U16 => "uh",
+        ElemType::I16 => "h",
+        ElemType::U32 => "uw",
+        ElemType::I32 => "w",
+    }
+}
+
+/// Mnemonic stem of a packed operation.
+fn packed_stem(op: PackedOp) -> String {
+    match op {
+        PackedOp::Add(Overflow::Wrap) => "padd".into(),
+        PackedOp::Add(Overflow::Saturate) => "padds".into(),
+        PackedOp::Sub(Overflow::Wrap) => "psub".into(),
+        PackedOp::Sub(Overflow::Saturate) => "psubs".into(),
+        PackedOp::MulLow => "pmull".into(),
+        PackedOp::MulHigh => "pmulh".into(),
+        PackedOp::MulRoundShift(n) => format!("pmulrs{n}"),
+        PackedOp::MaddPairs => "pmadd".into(),
+        PackedOp::AbsDiff => "pabsdiff".into(),
+        PackedOp::Sad => "psad".into(),
+        PackedOp::Ssd => "pssd".into(),
+        PackedOp::Avg => "pavg".into(),
+        PackedOp::Min => "pmin".into(),
+        PackedOp::Max => "pmax".into(),
+        PackedOp::CmpEq => "pcmpeq".into(),
+        PackedOp::CmpGt => "pcmpgt".into(),
+        PackedOp::And => "pand".into(),
+        PackedOp::Or => "por".into(),
+        PackedOp::Xor => "pxor".into(),
+        PackedOp::AndNot => "pandn".into(),
+        PackedOp::SllImm(n) => format!("psll{n}"),
+        PackedOp::SrlImm(n) => format!("psrl{n}"),
+        PackedOp::SraImm(n) => format!("psra{n}"),
+        PackedOp::PackSat(to) => format!("pack.{}", ty_suffix(to)),
+        PackedOp::UnpackLow => "punpckl".into(),
+        PackedOp::UnpackHigh => "punpckh".into(),
+        PackedOp::WidenLow => "pwidenl".into(),
+        PackedOp::WidenHigh => "pwidenh".into(),
+        PackedOp::HSum => "phsum".into(),
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::CmpLt => "cmplt",
+        AluOp::CmpLe => "cmple",
+        AluOp::CmpEq => "cmpeq",
+        AluOp::CmovNz => "cmovnz",
+        AluOp::CmovZ => "cmovz",
+    }
+}
+
+fn acc_name(op: AccumOp) -> &'static str {
+    match op {
+        AccumOp::MulAdd => "muladd",
+        AccumOp::AbsDiffAdd => "absdiffadd",
+        AccumOp::SqrDiffAdd => "sqrdiffadd",
+        AccumOp::AddAcc => "addacc",
+    }
+}
+
+fn mom_operand(op: MomOperand) -> String {
+    match op {
+        MomOperand::Mat(m) => format!("m{m}"),
+        MomOperand::Mmx(v) => format!("v{v}"),
+        MomOperand::Imm(i) => format!("#{i:#x}"),
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Li { rd, imm } => write!(f, "li r{rd}, {imm}"),
+            Alu { op, rd, ra, rb } => write!(f, "{} r{rd}, r{ra}, r{rb}", alu_name(op)),
+            AluImm { op, rd, ra, imm } => write!(f, "{}i r{rd}, r{ra}, {imm}", alu_name(op)),
+            Load {
+                size,
+                signed,
+                rd,
+                base,
+                offset,
+            } => write!(
+                f,
+                "ld{}{} r{rd}, {offset}(r{base})",
+                size,
+                if signed { "s" } else { "u" }
+            ),
+            Store {
+                size,
+                rs,
+                base,
+                offset,
+            } => write!(f, "st{} r{rs}, {offset}(r{base})", size),
+            Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => write!(f, "b{cond:?} r{ra}, r{rb}, L{}", target.0),
+            Nop => write!(f, "nop"),
+            MmxLoad { vd, base, offset, ty } => {
+                write!(f, "mmx_ldq.{} v{vd}, {offset}(r{base})", ty_suffix(ty))
+            }
+            MmxStore { vs, base, offset, ty } => {
+                write!(f, "mmx_stq.{} v{vs}, {offset}(r{base})", ty_suffix(ty))
+            }
+            MmxOp { op, ty, vd, va, vb } => {
+                write!(f, "{}.{} v{vd}, v{va}, v{vb}", packed_stem(op), ty_suffix(ty))
+            }
+            MmxSplat { vd, ra, ty } => write!(f, "splat.{} v{vd}, r{ra}", ty_suffix(ty)),
+            MmxToInt { rd, va } => write!(f, "mfmmx r{rd}, v{va}"),
+            MmxFromInt { vd, ra } => write!(f, "mtmmx v{vd}, r{ra}"),
+            AccClear { acc } => write!(f, "acc_clear a{acc}"),
+            AccStep { op, ty, acc, va, vb } => write!(
+                f,
+                "acc_{}.{} a{acc}, v{va}, v{vb}",
+                acc_name(op),
+                ty_suffix(ty)
+            ),
+            AccRead {
+                vd,
+                acc,
+                ty,
+                shift,
+                saturating,
+            } => write!(
+                f,
+                "acc_read{}.{} v{vd}, a{acc}, >>{shift}",
+                if saturating { "s" } else { "" },
+                ty_suffix(ty)
+            ),
+            AccReadScalar { rd, acc } => write!(f, "acc_readsum r{rd}, a{acc}"),
+            SetVlImm { vl } => write!(f, "setvl {vl}"),
+            SetVl { ra } => write!(f, "setvl r{ra}"),
+            MomLoad { md, base, stride, ty } => write!(
+                f,
+                "mom_ldq.{} m{md}, (r{base}), r{stride}",
+                ty_suffix(ty)
+            ),
+            MomStore { ms, base, stride, ty } => write!(
+                f,
+                "mom_stq.{} m{ms}, (r{base}), r{stride}",
+                ty_suffix(ty)
+            ),
+            MomOp { op, ty, md, ma, mb } => write!(
+                f,
+                "mom_{}.{} m{md}, m{ma}, {}",
+                packed_stem(op),
+                ty_suffix(ty),
+                mom_operand(mb)
+            ),
+            MomTranspose { md, ms, ty } => {
+                write!(f, "mom_transpose.{} m{md}, m{ms}", ty_suffix(ty))
+            }
+            MomAccClear { acc } => write!(f, "mom_acc_clear ma{acc}"),
+            MomAccStep { op, ty, acc, ma, mb } => write!(
+                f,
+                "mom_acc_{}.{} ma{acc}, m{ma}, {}",
+                acc_name(op),
+                ty_suffix(ty),
+                mom_operand(mb)
+            ),
+            MomAccRead {
+                vd,
+                acc,
+                ty,
+                shift,
+                saturating,
+            } => write!(
+                f,
+                "mom_acc_read{}.{} v{vd}, ma{acc}, >>{shift}",
+                if saturating { "s" } else { "" },
+                ty_suffix(ty)
+            ),
+            MomAccReadScalar { rd, acc } => write!(f, "mom_acc_readsum r{rd}, ma{acc}"),
+            MomRowToMmx { vd, ms, row } => write!(f, "mom_rowget v{vd}, m{ms}[{row}]"),
+            MomRowFromMmx { md, va, row } => write!(f, "mom_rowput m{md}[{row}], v{va}"),
+        }
+    }
+}
+
+/// Disassembles a whole program, one instruction per line, with label
+/// markers in front of branch targets.
+pub fn disassemble(program: &Program) -> String {
+    use std::collections::HashMap;
+    // Collect label targets so we can print them inline.
+    let mut labels: HashMap<usize, Vec<usize>> = HashMap::new();
+    for ins in program.instructions() {
+        if let Instruction::Branch { target, .. } = ins {
+            labels.entry(program.resolve(*target)).or_default().push(target.0);
+        }
+    }
+    let mut out = String::new();
+    for (pc, ins) in program.instructions().iter().enumerate() {
+        if labels.contains_key(&pc) {
+            out.push_str(&format!("L{pc}:\n"));
+        }
+        match ins {
+            Instruction::Branch { cond, ra, rb, target } => {
+                out.push_str(&format!(
+                    "    b{:?} r{}, r{}, L{}\n",
+                    cond,
+                    ra,
+                    rb,
+                    program.resolve(*target)
+                ));
+            }
+            _ => out.push_str(&format!("    {ins}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn scalar_and_packed_mnemonics() {
+        let i = Instruction::Alu {
+            op: AluOp::Add,
+            rd: 1,
+            ra: 2,
+            rb: 3,
+        };
+        assert_eq!(i.to_string(), "add r1, r2, r3");
+        let i = Instruction::MmxOp {
+            op: PackedOp::Add(Overflow::Saturate),
+            ty: ElemType::U8,
+            vd: 1,
+            va: 2,
+            vb: 3,
+        };
+        assert_eq!(i.to_string(), "padds.ub v1, v2, v3");
+        let i = Instruction::MomLoad {
+            md: 0,
+            base: 1,
+            stride: 2,
+            ty: ElemType::U8,
+        };
+        assert_eq!(i.to_string(), "mom_ldq.ub m0, (r1), r2");
+        let i = Instruction::MomAccStep {
+            op: AccumOp::MulAdd,
+            ty: ElemType::I16,
+            acc: 0,
+            ma: 1,
+            mb: MomOperand::Mat(2),
+        };
+        assert_eq!(i.to_string(), "mom_acc_muladd.h ma0, m1, m2");
+    }
+
+    #[test]
+    fn loads_and_stores_show_addressing() {
+        let i = Instruction::Load {
+            size: MemSize::Half,
+            signed: true,
+            rd: 5,
+            base: 6,
+            offset: -4,
+        };
+        assert_eq!(i.to_string(), "ldhs r5, -4(r6)");
+        let i = Instruction::MmxStore {
+            vs: 7,
+            base: 8,
+            offset: 16,
+            ty: ElemType::I16,
+        };
+        assert_eq!(i.to_string(), "mmx_stq.h v7, 16(r8)");
+    }
+
+    #[test]
+    fn every_instruction_kind_has_a_nonempty_rendering() {
+        // A representative of every variant.
+        let samples: Vec<Instruction> = vec![
+            Instruction::Li { rd: 1, imm: 7 },
+            Instruction::Nop,
+            Instruction::AluImm { op: AluOp::Sll, rd: 1, ra: 2, imm: 3 },
+            Instruction::Store { size: MemSize::Quad, rs: 1, base: 2, offset: 0 },
+            Instruction::Branch { cond: BranchCond::Ne, ra: 1, rb: 2, target: Label(0) },
+            Instruction::MmxLoad { vd: 0, base: 1, offset: 0, ty: ElemType::U8 },
+            Instruction::MmxSplat { vd: 0, ra: 1, ty: ElemType::I16 },
+            Instruction::MmxToInt { rd: 1, va: 0 },
+            Instruction::MmxFromInt { vd: 0, ra: 1 },
+            Instruction::AccClear { acc: 0 },
+            Instruction::AccRead { vd: 0, acc: 0, ty: ElemType::I16, shift: 8, saturating: true },
+            Instruction::AccReadScalar { rd: 1, acc: 0 },
+            Instruction::SetVlImm { vl: 8 },
+            Instruction::SetVl { ra: 1 },
+            Instruction::MomStore { ms: 0, base: 1, stride: 2, ty: ElemType::I16 },
+            Instruction::MomTranspose { md: 0, ms: 1, ty: ElemType::U8 },
+            Instruction::MomAccClear { acc: 0 },
+            Instruction::MomAccRead { vd: 0, acc: 0, ty: ElemType::I16, shift: 15, saturating: true },
+            Instruction::MomAccReadScalar { rd: 1, acc: 0 },
+            Instruction::MomRowToMmx { vd: 0, ms: 1, row: 3 },
+            Instruction::MomRowFromMmx { md: 1, va: 0, row: 3 },
+        ];
+        for s in samples {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn program_disassembly_marks_labels() {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.li(1, 3);
+        b.label("loop");
+        b.addi(1, 1, -1);
+        b.branch(BranchCond::Gt, 1, 31, "loop");
+        let p = b.finish();
+        let text = disassemble(&p);
+        assert!(text.contains("L1:"), "{text}");
+        assert!(text.contains("bGt r1, r31, L1"), "{text}");
+        assert!(text.lines().count() >= 4);
+    }
+}

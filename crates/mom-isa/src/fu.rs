@@ -1,0 +1,119 @@
+//! Functional-unit classes.
+//!
+//! Each instruction maps to one functional-unit class; the timing simulator
+//! configures, per class, how many units exist, their latency and whether
+//! they are pipelined. The split mirrors the paper's Jinks configuration: a
+//! superscalar core (integer ALUs, integer multiplier, memory ports) plus
+//! dedicated multimedia units fed from the multimedia register file.
+
+use std::fmt;
+
+/// Classes of functional units an instruction can execute on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuClass {
+    /// Scalar integer ALU (add, sub, logic, shifts, compares, conditional
+    /// moves).
+    IntAlu,
+    /// Scalar integer multiplier.
+    IntMul,
+    /// Branch/jump resolution unit.
+    Branch,
+    /// Scalar and MMX 64-bit memory port.
+    Mem,
+    /// Vector (MOM) memory port; moves up to `lanes` 64-bit words per cycle.
+    VecMem,
+    /// Packed (sub-word) ALU: add/sub/logic/compare/min/max/average/SAD.
+    MediaAlu,
+    /// Packed multiplier: packed multiplies, multiply-add, accumulator
+    /// multiply-accumulate.
+    MediaMul,
+    /// Pack/unpack, widen/narrow and other data-rearrangement operations.
+    MediaPack,
+    /// The MOM matrix-transpose unit (non-pipelined, per the paper:
+    /// "8 + C cycles of latency ... non pipeline-able").
+    MediaTranspose,
+}
+
+impl FuClass {
+    /// All functional-unit classes.
+    pub const ALL: [FuClass; 9] = [
+        FuClass::IntAlu,
+        FuClass::IntMul,
+        FuClass::Branch,
+        FuClass::Mem,
+        FuClass::VecMem,
+        FuClass::MediaAlu,
+        FuClass::MediaMul,
+        FuClass::MediaPack,
+        FuClass::MediaTranspose,
+    ];
+
+    /// Whether this class belongs to the multimedia (packed / matrix) part
+    /// of the machine.
+    pub fn is_media(self) -> bool {
+        matches!(
+            self,
+            FuClass::MediaAlu
+                | FuClass::MediaMul
+                | FuClass::MediaPack
+                | FuClass::MediaTranspose
+                | FuClass::VecMem
+        )
+    }
+
+    /// Whether instructions of this class access memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, FuClass::Mem | FuClass::VecMem)
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::IntAlu => "int-alu",
+            FuClass::IntMul => "int-mul",
+            FuClass::Branch => "branch",
+            FuClass::Mem => "mem",
+            FuClass::VecMem => "vec-mem",
+            FuClass::MediaAlu => "media-alu",
+            FuClass::MediaMul => "media-mul",
+            FuClass::MediaPack => "media-pack",
+            FuClass::MediaTranspose => "media-transpose",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_classification() {
+        assert!(FuClass::MediaAlu.is_media());
+        assert!(FuClass::VecMem.is_media());
+        assert!(!FuClass::IntAlu.is_media());
+        assert!(!FuClass::Mem.is_media());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(FuClass::Mem.is_memory());
+        assert!(FuClass::VecMem.is_memory());
+        assert!(!FuClass::MediaAlu.is_memory());
+        assert!(!FuClass::Branch.is_memory());
+    }
+
+    #[test]
+    fn all_is_complete_and_unique() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = FuClass::ALL.iter().collect();
+        assert_eq!(set.len(), FuClass::ALL.len());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(FuClass::MediaTranspose.to_string(), "media-transpose");
+        assert_eq!(FuClass::IntAlu.to_string(), "int-alu");
+    }
+}

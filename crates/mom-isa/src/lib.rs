@@ -1,0 +1,95 @@
+//! # mom-isa — instruction set definitions for the MOM study
+//!
+//! This crate defines the four instruction sets the SC'99 MOM paper compares:
+//!
+//! * a **scalar baseline** resembling the paper's DEC Alpha code (loads,
+//!   stores, integer ALU operations, conditional moves and branches),
+//! * an **MMX-like** packed/sub-word extension (the paper's "dimension X"),
+//! * an **MDMX-like** extension that adds packed accumulators,
+//! * **MOM**, the matrix-oriented extension that vectorises packed
+//!   instructions along a second dimension ("dimension Y") controlled by a
+//!   vector-length register, with strided matrix loads/stores, a matrix
+//!   transpose and pipelined matrix accumulators.
+//!
+//! The crate is purely *descriptive*: it defines registers ([`reg`]),
+//! functional-unit classes ([`fu`]), packed element operations ([`packed`]),
+//! scalar operations ([`scalar`]), the [`Instruction`] enum itself
+//! ([`instr`]), program containers and an assembler-style builder
+//! ([`program`]), and per-ISA validation plus the instruction inventory
+//! ([`isa`]).  Executing instructions is the job of `mom-arch` (functional)
+//! and `mom-pipeline` (timing).
+//!
+//! ## Example
+//!
+//! ```
+//! use mom_isa::prelude::*;
+//!
+//! // Build the MOM version of the paper's Figure 2 example:
+//! //   for i in 0..4 { for j in 0..4 { d[i][j] = c[i][j] + a[i]; } }
+//! let mut b = AsmBuilder::new(IsaKind::Mom);
+//! let (rc, ra, rd, rstride) = (1, 2, 3, 4);
+//! b.li(rc, 0x1000);          // &c
+//! b.li(ra, 0x2000);          // &a
+//! b.li(rd, 0x3000);          // &d
+//! b.li(rstride, 8);          // row stride in bytes
+//! b.set_vl_imm(4);           // 4 rows (dimension Y)
+//! b.mom_load(0, rc, rstride, ElemType::I16);
+//! b.mom_load(1, ra, rstride, ElemType::I16);
+//! b.mom_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 2, 0, MomOperand::Mat(1));
+//! b.mom_store(2, rd, rstride, ElemType::I16);
+//! let program = b.finish();
+//! assert_eq!(program.len(), 9);
+//! assert!(program.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod disasm;
+pub mod fu;
+pub mod instr;
+pub mod isa;
+pub mod packed;
+pub mod program;
+pub mod reg;
+pub mod scalar;
+
+pub use disasm::disassemble;
+pub use fu::FuClass;
+pub use instr::{Instruction, MomOperand};
+pub use isa::IsaKind;
+pub use packed::{AccumOp, PackedOp};
+pub use instr::Label;
+pub use program::{AsmBuilder, Program};
+pub use reg::{Reg, RegClass};
+pub use scalar::{AluOp, BranchCond, MemSize};
+
+/// Commonly used items, re-exported for kernel writers.
+pub mod prelude {
+    pub use crate::fu::FuClass;
+    pub use crate::instr::{Instruction, MomOperand};
+    pub use crate::isa::IsaKind;
+    pub use crate::packed::{AccumOp, PackedOp};
+    pub use crate::instr::Label;
+    pub use crate::program::{AsmBuilder, Program};
+    pub use crate::reg::{Reg, RegClass};
+    pub use crate::scalar::{AluOp, BranchCond, MemSize};
+    pub use mom_simd::{ElemType, ElemWidth, Overflow};
+}
+
+/// Number of architectural integer registers in the scalar baseline.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of architectural floating-point registers (present for
+/// completeness; the studied kernels are integer-only).
+pub const NUM_FP_REGS: usize = 32;
+/// Number of logical MMX/MDMX packed registers (the paper's "enhanced"
+/// configuration uses 32).
+pub const NUM_MMX_REGS: usize = 32;
+/// Number of MDMX packed accumulators.
+pub const NUM_MDMX_ACCS: usize = 4;
+/// Number of MOM matrix registers.
+pub const NUM_MOM_REGS: usize = 16;
+/// Number of MOM packed accumulators.
+pub const NUM_MOM_ACCS: usize = 2;
+/// Number of 64-bit words in one MOM matrix register (the maximum vector
+/// length along dimension Y).
+pub const MOM_ROWS: usize = 16;

@@ -1,0 +1,360 @@
+//! Packed (sub-word) element operations shared by the MMX-like, MDMX-like and
+//! MOM instruction sets, together with their accumulator counterparts.
+//!
+//! A MOM arithmetic instruction is "a vector/stream version of an MMX
+//! instruction, where each single operation of a vector instruction is
+//! independent from the others" (paper, Section 3).  Factoring the per-word
+//! operation out into [`PackedOp`] lets the three ISAs share one semantic
+//! definition: an MMX instruction applies it to one 64-bit word, a MOM
+//! instruction applies it to `VL` words of a matrix register.
+
+use mom_simd::{arith, cmp, logic, mul, pack, sad, sat, ElemType, Overflow};
+
+/// A packed element-wise operation on one 64-bit word (or, in its MOM form,
+/// on each row of a matrix register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackedOp {
+    /// Packed add with the given overflow behaviour.
+    Add(Overflow),
+    /// Packed subtract with the given overflow behaviour.
+    Sub(Overflow),
+    /// Packed multiply keeping the low half of each product.
+    MulLow,
+    /// Packed multiply keeping the high half of each product.
+    MulHigh,
+    /// Packed fixed-point multiply: `(a*b + 2^(n-1)) >> n`, saturated.
+    MulRoundShift(u32),
+    /// Multiply 16-bit lanes and add adjacent products into 32-bit lanes
+    /// (`pmaddwd`).
+    MaddPairs,
+    /// Packed absolute difference.
+    AbsDiff,
+    /// Sum of absolute differences across lanes; scalar result in the word.
+    Sad,
+    /// Sum of squared differences across lanes; scalar result in the word.
+    Ssd,
+    /// Packed rounding average `(a + b + 1) >> 1`.
+    Avg,
+    /// Packed minimum.
+    Min,
+    /// Packed maximum.
+    Max,
+    /// Packed compare-equal producing all-ones / all-zeros lane masks.
+    CmpEq,
+    /// Packed compare-greater-than producing lane masks.
+    CmpGt,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise AND-NOT (`!a & b`).
+    AndNot,
+    /// Per-element logical shift left by an immediate count.
+    SllImm(u32),
+    /// Per-element logical shift right by an immediate count.
+    SrlImm(u32),
+    /// Per-element arithmetic shift right by an immediate count.
+    SraImm(u32),
+    /// Narrow both operands to the given type with saturation and
+    /// concatenate (`pack` family). The field is the destination type.
+    PackSat(ElemType),
+    /// Interleave the low halves of the operands.
+    UnpackLow,
+    /// Interleave the high halves of the operands.
+    UnpackHigh,
+    /// Widen the low half of the first operand to twice the element width.
+    WidenLow,
+    /// Widen the high half of the first operand to twice the element width.
+    WidenHigh,
+    /// Horizontal sum of all lanes of the first operand, result in the whole
+    /// word (used to finish reductions).
+    HSum,
+}
+
+impl PackedOp {
+    /// Applies the operation to two packed words interpreted with element
+    /// type `ty`, returning the result word.
+    ///
+    /// Unary operations (`WidenLow`, `WidenHigh`, `HSum`, shifts) ignore `b`.
+    pub fn apply(self, a: u64, b: u64, ty: ElemType) -> u64 {
+        match self {
+            PackedOp::Add(ovf) => arith::padd(a, b, ty, ovf),
+            PackedOp::Sub(ovf) => arith::psub(a, b, ty, ovf),
+            PackedOp::MulLow => mul::pmul_low(a, b, ty),
+            PackedOp::MulHigh => mul::pmul_high(a, b, ty),
+            PackedOp::MulRoundShift(n) => mul::pmul_round_shift(a, b, ty, n),
+            PackedOp::MaddPairs => mul::pmaddwd(a, b, ty),
+            PackedOp::AbsDiff => sad::pabsdiff(a, b, ty),
+            PackedOp::Sad => sad::psad(a, b, ty),
+            PackedOp::Ssd => sad::pssd(a, b, ty),
+            PackedOp::Avg => cmp::pavg(a, b, ty),
+            PackedOp::Min => cmp::pmin(a, b, ty),
+            PackedOp::Max => cmp::pmax(a, b, ty),
+            PackedOp::CmpEq => cmp::pcmpeq(a, b, ty),
+            PackedOp::CmpGt => cmp::pcmpgt(a, b, ty),
+            PackedOp::And => logic::pand(a, b),
+            PackedOp::Or => logic::por(a, b),
+            PackedOp::Xor => logic::pxor(a, b),
+            PackedOp::AndNot => logic::pandn(a, b),
+            PackedOp::SllImm(n) => mom_simd::shift::psll(a, n, ty),
+            PackedOp::SrlImm(n) => mom_simd::shift::psrl(a, n, ty),
+            PackedOp::SraImm(n) => mom_simd::shift::psra(a, n, ty),
+            PackedOp::PackSat(to) => pack::pack_sat(a, b, ty, to),
+            PackedOp::UnpackLow => pack::unpack_low(a, b, ty),
+            PackedOp::UnpackHigh => pack::unpack_high(a, b, ty),
+            PackedOp::WidenLow => pack::widen_low(a, ty),
+            PackedOp::WidenHigh => pack::widen_high(a, ty),
+            PackedOp::HSum => sad::phsum(a, ty) as u64,
+        }
+    }
+
+    /// The functional-unit class this operation executes on.
+    pub fn fu_class(self) -> crate::FuClass {
+        use crate::FuClass::*;
+        match self {
+            PackedOp::MulLow
+            | PackedOp::MulHigh
+            | PackedOp::MulRoundShift(_)
+            | PackedOp::MaddPairs => MediaMul,
+            PackedOp::PackSat(_)
+            | PackedOp::UnpackLow
+            | PackedOp::UnpackHigh
+            | PackedOp::WidenLow
+            | PackedOp::WidenHigh => MediaPack,
+            _ => MediaAlu,
+        }
+    }
+
+    /// Whether the second operand is actually read.
+    pub fn uses_second_operand(self) -> bool {
+        !matches!(
+            self,
+            PackedOp::WidenLow
+                | PackedOp::WidenHigh
+                | PackedOp::HSum
+                | PackedOp::SllImm(_)
+                | PackedOp::SrlImm(_)
+                | PackedOp::SraImm(_)
+        )
+    }
+
+    /// Number of sub-word operations this packed operation performs on one
+    /// 64-bit word (the paper's "dimension X" length, used for the OPI /
+    /// VLx statistics).
+    pub fn ops_per_word(self, ty: ElemType) -> u64 {
+        ty.lanes() as u64
+    }
+
+    /// A representative inventory of packed operations (used to enumerate
+    /// the per-ISA instruction counts; see [`crate::isa`]).
+    pub fn inventory() -> Vec<PackedOp> {
+        use PackedOp::*;
+        vec![
+            Add(Overflow::Wrap),
+            Add(Overflow::Saturate),
+            Sub(Overflow::Wrap),
+            Sub(Overflow::Saturate),
+            MulLow,
+            MulHigh,
+            MulRoundShift(15),
+            MaddPairs,
+            AbsDiff,
+            Sad,
+            Ssd,
+            Avg,
+            Min,
+            Max,
+            CmpEq,
+            CmpGt,
+            And,
+            Or,
+            Xor,
+            AndNot,
+            SllImm(1),
+            SrlImm(1),
+            SraImm(1),
+            PackSat(ElemType::U8),
+            UnpackLow,
+            UnpackHigh,
+            WidenLow,
+            WidenHigh,
+            HSum,
+        ]
+    }
+}
+
+/// Accumulator operations (MDMX-style, and their MOM matrix forms).
+///
+/// The accumulator holds one widened lane per sub-word lane of the source
+/// operands (e.g. four 48-bit lanes for 16-bit sources, held as `i64` here).
+/// An accumulator operation reads both packed sources, combines them
+/// lane-wise and **adds** the result into the accumulator lanes, preserving
+/// full precision (paper, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccumOp {
+    /// `acc[i] += a[i] * b[i]` — the multiply-accumulate behind dot products
+    /// (ltp filtering/parameters, idct row/column passes).
+    MulAdd,
+    /// `acc[i] += |a[i] - b[i]|` — motion-estimation SAD accumulation.
+    AbsDiffAdd,
+    /// `acc[i] += (a[i] - b[i])^2` — motion2's sum of quadratic differences.
+    SqrDiffAdd,
+    /// `acc[i] += a[i] + b[i]` — plain widened addition into the accumulator.
+    AddAcc,
+}
+
+impl AccumOp {
+    /// Applies the accumulate step for one 64-bit word pair: `acc_lanes`
+    /// holds the widened accumulator lanes (one per sub-word lane of `ty`).
+    ///
+    /// # Panics
+    /// Panics if `acc_lanes.len() < ty.lanes()`.
+    pub fn accumulate(self, acc_lanes: &mut [i64], a: u64, b: u64, ty: ElemType) {
+        assert!(acc_lanes.len() >= ty.lanes());
+        let contrib = match self {
+            AccumOp::MulAdd => mul::pmul_widening(a, b, ty),
+            AccumOp::AbsDiffAdd => sad::pabsdiff_widening(a, b, ty),
+            AccumOp::SqrDiffAdd => sad::psqdiff_widening(a, b, ty),
+            AccumOp::AddAcc => {
+                let la = mom_simd::lanes::to_lanes(a, ty);
+                let lb = mom_simd::lanes::to_lanes(b, ty);
+                la.zip_with(&lb, |x, y| x + y)
+            }
+        };
+        for (acc, c) in acc_lanes.iter_mut().zip(contrib.iter()) {
+            *acc += c;
+        }
+    }
+
+    /// Functional-unit class for this accumulate operation.
+    pub fn fu_class(self) -> crate::FuClass {
+        match self {
+            AccumOp::MulAdd | AccumOp::SqrDiffAdd => crate::FuClass::MediaMul,
+            AccumOp::AbsDiffAdd | AccumOp::AddAcc => crate::FuClass::MediaAlu,
+        }
+    }
+
+    /// All accumulator operations.
+    pub const ALL: [AccumOp; 4] = [
+        AccumOp::MulAdd,
+        AccumOp::AbsDiffAdd,
+        AccumOp::SqrDiffAdd,
+        AccumOp::AddAcc,
+    ];
+}
+
+/// Reads out accumulator lanes into a packed word: scale down by
+/// `shift` bits with rounding, then clip (saturate) to the element type.
+///
+/// This models the MDMX "truncated, clipped and conveniently rounded"
+/// read-out the paper describes, and is shared by the MDMX and MOM
+/// accumulators.
+pub fn accumulator_read(acc_lanes: &[i64], ty: ElemType, shift: u32, saturating: bool) -> u64 {
+    let mut out = [0i64; mom_simd::MAX_LANES];
+    for (o, &l) in out.iter_mut().zip(acc_lanes.iter()).take(ty.lanes()) {
+        let scaled = sat::round_shift(l, shift);
+        *o = if saturating {
+            sat::saturate(scaled, ty)
+        } else {
+            sat::wrap(scaled, ty)
+        };
+    }
+    mom_simd::lanes::from_lanes(&out[..ty.lanes()], ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_simd::lanes::{from_lanes, to_lanes};
+
+    #[test]
+    fn packed_add_dispatch() {
+        let a = from_lanes(&[250, 1, 2, 3, 4, 5, 6, 7], ElemType::U8);
+        let b = from_lanes(&[10, 1, 1, 1, 1, 1, 1, 1], ElemType::U8);
+        let wrap = PackedOp::Add(Overflow::Wrap).apply(a, b, ElemType::U8);
+        let sat = PackedOp::Add(Overflow::Saturate).apply(a, b, ElemType::U8);
+        assert_eq!(to_lanes(wrap, ElemType::U8)[0], 4);
+        assert_eq!(to_lanes(sat, ElemType::U8)[0], 255);
+    }
+
+    #[test]
+    fn unary_ops_ignore_b() {
+        let a = from_lanes(&[1, 2, 3, 4], ElemType::I16);
+        assert_eq!(
+            PackedOp::HSum.apply(a, 0xDEAD, ElemType::I16),
+            PackedOp::HSum.apply(a, 0, ElemType::I16)
+        );
+        assert_eq!(PackedOp::HSum.apply(a, 0, ElemType::I16), 10);
+        assert!(!PackedOp::HSum.uses_second_operand());
+        assert!(PackedOp::Add(Overflow::Wrap).uses_second_operand());
+    }
+
+    #[test]
+    fn fu_classes() {
+        assert_eq!(PackedOp::MulLow.fu_class(), crate::FuClass::MediaMul);
+        assert_eq!(PackedOp::Sad.fu_class(), crate::FuClass::MediaAlu);
+        assert_eq!(
+            PackedOp::PackSat(ElemType::U8).fu_class(),
+            crate::FuClass::MediaPack
+        );
+        assert_eq!(AccumOp::MulAdd.fu_class(), crate::FuClass::MediaMul);
+        assert_eq!(AccumOp::AbsDiffAdd.fu_class(), crate::FuClass::MediaAlu);
+    }
+
+    #[test]
+    fn ops_per_word_is_lane_count() {
+        assert_eq!(PackedOp::Avg.ops_per_word(ElemType::U8), 8);
+        assert_eq!(PackedOp::Avg.ops_per_word(ElemType::I16), 4);
+        assert_eq!(PackedOp::Avg.ops_per_word(ElemType::I32), 2);
+    }
+
+    #[test]
+    fn accumulate_muladd_preserves_precision() {
+        let mut acc = [0i64; 4];
+        let a = from_lanes(&[30000, -30000, 1, 2], ElemType::I16);
+        let b = from_lanes(&[30000, 30000, 1, 2], ElemType::I16);
+        AccumOp::MulAdd.accumulate(&mut acc, a, b, ElemType::I16);
+        AccumOp::MulAdd.accumulate(&mut acc, a, b, ElemType::I16);
+        assert_eq!(acc[0], 2 * 30000i64 * 30000);
+        assert_eq!(acc[1], -2 * 30000i64 * 30000);
+        assert_eq!(acc[2], 2);
+        assert_eq!(acc[3], 8);
+    }
+
+    #[test]
+    fn accumulate_absdiff() {
+        let mut acc = [0i64; 8];
+        let a = from_lanes(&[10, 0, 5, 5, 0, 0, 0, 0], ElemType::U8);
+        let b = from_lanes(&[3, 4, 5, 6, 0, 0, 0, 0], ElemType::U8);
+        AccumOp::AbsDiffAdd.accumulate(&mut acc, a, b, ElemType::U8);
+        assert_eq!(&acc[..4], &[7, 4, 0, 1]);
+    }
+
+    #[test]
+    fn accumulator_readout_rounds_and_clips() {
+        let acc = [100_000, -100_000, 5, 16];
+        // No shift: clip to i16 range.
+        let w = accumulator_read(&acc, ElemType::I16, 0, true);
+        assert_eq!(
+            to_lanes(w, ElemType::I16).as_slice(),
+            &[32767, -32768, 5, 16]
+        );
+        // Shift by 4 with rounding: 100000/16 = 6250, 5/16 rounds to 0, 16/16 = 1.
+        let w = accumulator_read(&acc, ElemType::I16, 4, true);
+        assert_eq!(
+            to_lanes(w, ElemType::I16).as_slice(),
+            &[6250, -6250, 0, 1]
+        );
+    }
+
+    #[test]
+    fn inventory_has_no_duplicates() {
+        use std::collections::HashSet;
+        let inv = PackedOp::inventory();
+        let set: HashSet<_> = inv.iter().collect();
+        assert_eq!(set.len(), inv.len());
+        assert!(inv.len() >= 25);
+    }
+}

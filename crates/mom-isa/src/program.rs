@@ -1,0 +1,547 @@
+//! Program container and an assembler-style builder with named labels.
+//!
+//! Kernels in `mom-kernels` are written against [`AsmBuilder`], which plays
+//! the role of the hand-written assembly (or of the emulation-library calls)
+//! the paper's authors used: each call appends one instruction of the target
+//! ISA.
+
+use crate::instr::{Instruction, Label, MomOperand};
+use crate::isa::IsaKind;
+use crate::packed::{AccumOp, PackedOp};
+use crate::scalar::{AluOp, BranchCond, MemSize};
+use mom_simd::ElemType;
+use std::collections::HashMap;
+
+/// A finished program: a list of instructions plus resolved branch labels,
+/// tagged with the ISA it was written for.
+#[derive(Debug, Clone)]
+pub struct Program {
+    isa: IsaKind,
+    instrs: Vec<Instruction>,
+    label_targets: Vec<usize>,
+    label_names: Vec<String>,
+}
+
+impl Program {
+    /// The ISA this program is written for.
+    pub fn isa(&self) -> IsaKind {
+        self.isa
+    }
+
+    /// Number of (static) instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at index `pc`.
+    pub fn instr(&self, pc: usize) -> &Instruction {
+        &self.instrs[pc]
+    }
+
+    /// All instructions, in order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Resolves a label to its target instruction index.
+    ///
+    /// # Panics
+    /// Panics if the label does not belong to this program.
+    pub fn resolve(&self, label: Label) -> usize {
+        self.label_targets[label.0]
+    }
+
+    /// The name a label was declared with (for diagnostics).
+    pub fn label_name(&self, label: Label) -> &str {
+        &self.label_names[label.0]
+    }
+
+    /// Validates the program: every register index must be architecturally
+    /// valid, every branch label must point inside the program, and every
+    /// instruction must be allowed by the program's ISA.
+    pub fn validate(&self) -> Result<(), String> {
+        for (pc, ins) in self.instrs.iter().enumerate() {
+            for r in ins.dests().iter().chain(ins.sources().iter()) {
+                r.validate().map_err(|e| format!("pc {pc}: {e}"))?;
+            }
+            if !self.isa.allows(ins) {
+                return Err(format!(
+                    "pc {pc}: instruction {ins:?} is not part of the {:?} ISA",
+                    self.isa
+                ));
+            }
+            if let Instruction::Branch { target, .. } = ins {
+                if target.0 >= self.label_targets.len() {
+                    return Err(format!("pc {pc}: undefined label {}", target.0));
+                }
+                if self.label_targets[target.0] > self.instrs.len() {
+                    return Err(format!(
+                        "pc {pc}: label {} targets instruction {} beyond the program end",
+                        self.label_names[target.0], self.label_targets[target.0]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Static instruction-count histogram per functional-unit class
+    /// (useful for quick sanity checks of generated kernels).
+    pub fn fu_histogram(&self) -> HashMap<crate::FuClass, usize> {
+        let mut h = HashMap::new();
+        for ins in &self.instrs {
+            *h.entry(ins.fu_class()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// An assembler-style program builder with named, forward-referencable
+/// labels.
+#[derive(Debug)]
+pub struct AsmBuilder {
+    isa: IsaKind,
+    instrs: Vec<Instruction>,
+    labels: HashMap<String, Label>,
+    label_targets: Vec<Option<usize>>,
+    label_names: Vec<String>,
+}
+
+impl AsmBuilder {
+    /// Creates a builder for the given ISA.
+    pub fn new(isa: IsaKind) -> Self {
+        AsmBuilder {
+            isa,
+            instrs: Vec::new(),
+            labels: HashMap::new(),
+            label_targets: Vec::new(),
+            label_names: Vec::new(),
+        }
+    }
+
+    /// The ISA this builder targets.
+    pub fn isa(&self) -> IsaKind {
+        self.isa
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, ins: Instruction) -> &mut Self {
+        self.instrs.push(ins);
+        self
+    }
+
+    /// Returns (creating if needed) the label with the given name, without
+    /// binding it to a position.
+    pub fn label_ref(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = Label(self.label_targets.len());
+        self.label_targets.push(None);
+        self.label_names.push(name.to_string());
+        self.labels.insert(name.to_string(), l);
+        l
+    }
+
+    /// Binds the label `name` to the *next* instruction to be emitted.
+    ///
+    /// # Panics
+    /// Panics if the label was already bound.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let l = self.label_ref(name);
+        assert!(
+            self.label_targets[l.0].is_none(),
+            "label '{name}' bound twice"
+        );
+        self.label_targets[l.0] = Some(self.instrs.len());
+        self
+    }
+
+    /// Finishes the program, resolving all labels.
+    ///
+    /// # Panics
+    /// Panics if any referenced label was never bound.
+    pub fn finish(self) -> Program {
+        let mut targets = Vec::with_capacity(self.label_targets.len());
+        for (i, t) in self.label_targets.iter().enumerate() {
+            match t {
+                Some(pc) => targets.push(*pc),
+                None => panic!("label '{}' referenced but never bound", self.label_names[i]),
+            }
+        }
+        Program {
+            isa: self.isa,
+            instrs: self.instrs,
+            label_targets: targets,
+            label_names: self.label_names,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar convenience emitters
+    // ------------------------------------------------------------------
+
+    /// `rd <- imm`
+    pub fn li(&mut self, rd: u8, imm: i64) -> &mut Self {
+        self.push(Instruction::Li { rd, imm })
+    }
+
+    /// `rd <- ra op rb`
+    pub fn alu(&mut self, op: AluOp, rd: u8, ra: u8, rb: u8) -> &mut Self {
+        self.push(Instruction::Alu { op, rd, ra, rb })
+    }
+
+    /// `rd <- ra op imm`
+    pub fn alui(&mut self, op: AluOp, rd: u8, ra: u8, imm: i64) -> &mut Self {
+        self.push(Instruction::AluImm { op, rd, ra, imm })
+    }
+
+    /// `rd <- ra + rb`
+    pub fn add(&mut self, rd: u8, ra: u8, rb: u8) -> &mut Self {
+        self.alu(AluOp::Add, rd, ra, rb)
+    }
+
+    /// `rd <- ra + imm`
+    pub fn addi(&mut self, rd: u8, ra: u8, imm: i64) -> &mut Self {
+        self.alui(AluOp::Add, rd, ra, imm)
+    }
+
+    /// `rd <- ra - rb`
+    pub fn sub(&mut self, rd: u8, ra: u8, rb: u8) -> &mut Self {
+        self.alu(AluOp::Sub, rd, ra, rb)
+    }
+
+    /// `rd <- ra * rb`
+    pub fn mul(&mut self, rd: u8, ra: u8, rb: u8) -> &mut Self {
+        self.alu(AluOp::Mul, rd, ra, rb)
+    }
+
+    /// `rd <- ra * imm`
+    pub fn muli(&mut self, rd: u8, ra: u8, imm: i64) -> &mut Self {
+        self.alui(AluOp::Mul, rd, ra, imm)
+    }
+
+    /// `rd <- ra << imm`
+    pub fn slli(&mut self, rd: u8, ra: u8, imm: i64) -> &mut Self {
+        self.alui(AluOp::Sll, rd, ra, imm)
+    }
+
+    /// `rd <- ra >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: u8, ra: u8, imm: i64) -> &mut Self {
+        self.alui(AluOp::Sra, rd, ra, imm)
+    }
+
+    /// Scalar load.
+    pub fn load(&mut self, size: MemSize, signed: bool, rd: u8, base: u8, offset: i64) -> &mut Self {
+        self.push(Instruction::Load {
+            size,
+            signed,
+            rd,
+            base,
+            offset,
+        })
+    }
+
+    /// Scalar store.
+    pub fn store(&mut self, size: MemSize, rs: u8, base: u8, offset: i64) -> &mut Self {
+        self.push(Instruction::Store {
+            size,
+            rs,
+            base,
+            offset,
+        })
+    }
+
+    /// Conditional branch to a named label.
+    pub fn branch(&mut self, cond: BranchCond, ra: u8, rb: u8, target: &str) -> &mut Self {
+        let target = self.label_ref(target);
+        self.push(Instruction::Branch {
+            cond,
+            ra,
+            rb,
+            target,
+        })
+    }
+
+    /// Unconditional branch to a named label.
+    pub fn br(&mut self, target: &str) -> &mut Self {
+        self.branch(BranchCond::Always, 31, 31, target)
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::Nop)
+    }
+
+    // ------------------------------------------------------------------
+    // MMX convenience emitters
+    // ------------------------------------------------------------------
+
+    /// Packed 64-bit load into MMX register `vd`.
+    pub fn mmx_load(&mut self, vd: u8, base: u8, offset: i64, ty: ElemType) -> &mut Self {
+        self.push(Instruction::MmxLoad {
+            vd,
+            base,
+            offset,
+            ty,
+        })
+    }
+
+    /// Packed 64-bit store from MMX register `vs`.
+    pub fn mmx_store(&mut self, vs: u8, base: u8, offset: i64, ty: ElemType) -> &mut Self {
+        self.push(Instruction::MmxStore {
+            vs,
+            base,
+            offset,
+            ty,
+        })
+    }
+
+    /// Packed register-register operation.
+    pub fn mmx_op(&mut self, op: PackedOp, ty: ElemType, vd: u8, va: u8, vb: u8) -> &mut Self {
+        self.push(Instruction::MmxOp { op, ty, vd, va, vb })
+    }
+
+    /// Broadcast an integer register into all lanes of `vd`.
+    pub fn mmx_splat(&mut self, vd: u8, ra: u8, ty: ElemType) -> &mut Self {
+        self.push(Instruction::MmxSplat { vd, ra, ty })
+    }
+
+    /// Move MMX register to integer register (raw 64 bits).
+    pub fn mmx_to_int(&mut self, rd: u8, va: u8) -> &mut Self {
+        self.push(Instruction::MmxToInt { rd, va })
+    }
+
+    /// Move integer register to MMX register (raw 64 bits).
+    pub fn mmx_from_int(&mut self, vd: u8, ra: u8) -> &mut Self {
+        self.push(Instruction::MmxFromInt { vd, ra })
+    }
+
+    // ------------------------------------------------------------------
+    // MDMX accumulator emitters
+    // ------------------------------------------------------------------
+
+    /// Clear MDMX accumulator `acc`.
+    pub fn acc_clear(&mut self, acc: u8) -> &mut Self {
+        self.push(Instruction::AccClear { acc })
+    }
+
+    /// Accumulate `op(va, vb)` into MDMX accumulator `acc`.
+    pub fn acc_step(&mut self, op: AccumOp, ty: ElemType, acc: u8, va: u8, vb: u8) -> &mut Self {
+        self.push(Instruction::AccStep {
+            op,
+            ty,
+            acc,
+            va,
+            vb,
+        })
+    }
+
+    /// Read MDMX accumulator `acc` into MMX register `vd`.
+    pub fn acc_read(&mut self, vd: u8, acc: u8, ty: ElemType, shift: u32, saturating: bool) -> &mut Self {
+        self.push(Instruction::AccRead {
+            vd,
+            acc,
+            ty,
+            shift,
+            saturating,
+        })
+    }
+
+    /// Reduce MDMX accumulator `acc` to its horizontal sum in integer
+    /// register `rd`.
+    pub fn acc_read_scalar(&mut self, rd: u8, acc: u8) -> &mut Self {
+        self.push(Instruction::AccReadScalar { rd, acc })
+    }
+
+    // ------------------------------------------------------------------
+    // MOM emitters
+    // ------------------------------------------------------------------
+
+    /// Set the vector length from an immediate.
+    pub fn set_vl_imm(&mut self, vl: u8) -> &mut Self {
+        self.push(Instruction::SetVlImm { vl })
+    }
+
+    /// Set the vector length from an integer register.
+    pub fn set_vl(&mut self, ra: u8) -> &mut Self {
+        self.push(Instruction::SetVl { ra })
+    }
+
+    /// Strided matrix load (`mom_ldq`).
+    pub fn mom_load(&mut self, md: u8, base: u8, stride: u8, ty: ElemType) -> &mut Self {
+        self.push(Instruction::MomLoad {
+            md,
+            base,
+            stride,
+            ty,
+        })
+    }
+
+    /// Strided matrix store (`mom_stq`).
+    pub fn mom_store(&mut self, ms: u8, base: u8, stride: u8, ty: ElemType) -> &mut Self {
+        self.push(Instruction::MomStore {
+            ms,
+            base,
+            stride,
+            ty,
+        })
+    }
+
+    /// Matrix arithmetic/logic operation.
+    pub fn mom_op(&mut self, op: PackedOp, ty: ElemType, md: u8, ma: u8, mb: MomOperand) -> &mut Self {
+        self.push(Instruction::MomOp { op, ty, md, ma, mb })
+    }
+
+    /// Matrix transpose.
+    pub fn mom_transpose(&mut self, md: u8, ms: u8, ty: ElemType) -> &mut Self {
+        self.push(Instruction::MomTranspose { md, ms, ty })
+    }
+
+    /// Clear MOM accumulator `acc`.
+    pub fn mom_acc_clear(&mut self, acc: u8) -> &mut Self {
+        self.push(Instruction::MomAccClear { acc })
+    }
+
+    /// Matrix accumulate step.
+    pub fn mom_acc_step(&mut self, op: AccumOp, ty: ElemType, acc: u8, ma: u8, mb: MomOperand) -> &mut Self {
+        self.push(Instruction::MomAccStep {
+            op,
+            ty,
+            acc,
+            ma,
+            mb,
+        })
+    }
+
+    /// Read MOM accumulator `acc` into MMX register `vd`.
+    pub fn mom_acc_read(&mut self, vd: u8, acc: u8, ty: ElemType, shift: u32, saturating: bool) -> &mut Self {
+        self.push(Instruction::MomAccRead {
+            vd,
+            acc,
+            ty,
+            shift,
+            saturating,
+        })
+    }
+
+    /// Reduce MOM accumulator `acc` to its horizontal sum in integer
+    /// register `rd`.
+    pub fn mom_acc_read_scalar(&mut self, rd: u8, acc: u8) -> &mut Self {
+        self.push(Instruction::MomAccReadScalar { rd, acc })
+    }
+
+    /// Extract row `row` of matrix register `ms` into MMX register `vd`.
+    pub fn mom_row_to_mmx(&mut self, vd: u8, ms: u8, row: u8) -> &mut Self {
+        self.push(Instruction::MomRowToMmx { vd, ms, row })
+    }
+
+    /// Insert MMX register `va` into row `row` of matrix register `md`.
+    pub fn mom_row_from_mmx(&mut self, md: u8, va: u8, row: u8) -> &mut Self {
+        self.push(Instruction::MomRowFromMmx { md, va, row })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_simd::Overflow;
+
+    #[test]
+    fn build_simple_loop() {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.li(1, 0); // i = 0
+        b.li(2, 10); // limit
+        b.label("loop");
+        b.addi(1, 1, 1);
+        b.branch(BranchCond::Lt, 1, 2, "loop");
+        let p = b.finish();
+        assert_eq!(p.len(), 4);
+        assert!(p.validate().is_ok());
+        // The loop label points at the addi.
+        if let Instruction::Branch { target, .. } = p.instr(3) {
+            assert_eq!(p.resolve(*target), 2);
+            assert_eq!(p.label_name(*target), "loop");
+        } else {
+            panic!("expected branch");
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.branch(BranchCond::Always, 31, 31, "end");
+        b.li(1, 1);
+        b.label("end");
+        b.nop();
+        let p = b.finish();
+        if let Instruction::Branch { target, .. } = p.instr(0) {
+            assert_eq!(p.resolve(*target), 2);
+        } else {
+            panic!("expected branch");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.branch(BranchCond::Always, 31, 31, "nowhere");
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bound_label_panics() {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.label("x");
+        b.nop();
+        b.label("x");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_isa() {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::U8, 0, 1, 2);
+        let p = b.finish();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_register() {
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.mom_load(20, 1, 2, ElemType::U8); // matrix register 20 does not exist
+        let p = b.finish();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn fu_histogram_counts() {
+        let mut b = AsmBuilder::new(IsaKind::Mmx);
+        b.li(1, 0);
+        b.mmx_load(0, 1, 0, ElemType::U8);
+        b.mmx_op(PackedOp::Add(Overflow::Saturate), ElemType::U8, 2, 0, 0);
+        b.mmx_op(PackedOp::MulLow, ElemType::I16, 3, 2, 2);
+        let p = b.finish();
+        let h = p.fu_histogram();
+        assert_eq!(h[&crate::FuClass::IntAlu], 1);
+        assert_eq!(h[&crate::FuClass::Mem], 1);
+        assert_eq!(h[&crate::FuClass::MediaAlu], 1);
+        assert_eq!(h[&crate::FuClass::MediaMul], 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Architectural register name spaces.
+
+use std::fmt;
+
+/// A logical (architectural) register of any of the ISAs under study.
+///
+/// The index ranges are bounded by the constants in the crate root
+/// ([`crate::NUM_INT_REGS`], [`crate::NUM_MMX_REGS`], ...); the
+/// [`Reg::validate`] helper checks them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// Scalar integer register `R0..R31`. `R31` reads as zero, as on the
+    /// Alpha.
+    Int(u8),
+    /// Scalar floating-point register `F0..F31` (unused by the integer
+    /// multimedia kernels, present for completeness).
+    Fp(u8),
+    /// MMX/MDMX packed 64-bit register `V0..V31`.
+    Mmx(u8),
+    /// MDMX packed accumulator `A0..A3`.
+    Acc(u8),
+    /// MOM matrix register `M0..M15` (16 × 64-bit words each).
+    Mat(u8),
+    /// MOM packed accumulator `MA0..MA1`.
+    MatAcc(u8),
+    /// MOM vector-length register (dimension-Y length of matrix operations).
+    Vl,
+}
+
+/// The rename-table class a register belongs to.
+///
+/// The paper's Jinks configuration has three rename tables: integer,
+/// floating point and multimedia. All packed/matrix/accumulator state
+/// renames through the multimedia table; the vector-length register is
+/// renamed like a control register through the integer table (it is written
+/// by scalar code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// Scalar integer registers (and the VL control register).
+    Int,
+    /// Scalar floating-point registers.
+    Fp,
+    /// Multimedia registers: MMX/MDMX packed registers, MDMX accumulators,
+    /// MOM matrix registers and MOM accumulators.
+    Media,
+}
+
+impl Reg {
+    /// The rename class of this register.
+    pub fn class(self) -> RegClass {
+        match self {
+            Reg::Int(_) | Reg::Vl => RegClass::Int,
+            Reg::Fp(_) => RegClass::Fp,
+            Reg::Mmx(_) | Reg::Acc(_) | Reg::Mat(_) | Reg::MatAcc(_) => RegClass::Media,
+        }
+    }
+
+    /// Whether this is the hardwired zero register (`R31`).
+    pub fn is_zero(self) -> bool {
+        matches!(self, Reg::Int(31))
+    }
+
+    /// Checks that the register index is within the architectural limits.
+    pub fn validate(self) -> Result<(), String> {
+        let (idx, limit, name) = match self {
+            Reg::Int(i) => (i as usize, crate::NUM_INT_REGS, "integer"),
+            Reg::Fp(i) => (i as usize, crate::NUM_FP_REGS, "floating-point"),
+            Reg::Mmx(i) => (i as usize, crate::NUM_MMX_REGS, "MMX/MDMX"),
+            Reg::Acc(i) => (i as usize, crate::NUM_MDMX_ACCS, "MDMX accumulator"),
+            Reg::Mat(i) => (i as usize, crate::NUM_MOM_REGS, "MOM matrix"),
+            Reg::MatAcc(i) => (i as usize, crate::NUM_MOM_ACCS, "MOM accumulator"),
+            Reg::Vl => return Ok(()),
+        };
+        if idx < limit {
+            Ok(())
+        } else {
+            Err(format!(
+                "{name} register index {idx} out of range (limit {limit})"
+            ))
+        }
+    }
+
+    /// A compact unique numeric id, useful as a map/scoreboard key.
+    pub fn id(self) -> usize {
+        match self {
+            Reg::Int(i) => i as usize,
+            Reg::Fp(i) => 64 + i as usize,
+            Reg::Mmx(i) => 128 + i as usize,
+            Reg::Acc(i) => 192 + i as usize,
+            Reg::Mat(i) => 200 + i as usize,
+            Reg::MatAcc(i) => 220 + i as usize,
+            Reg::Vl => 255,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Int(i) => write!(f, "r{i}"),
+            Reg::Fp(i) => write!(f, "f{i}"),
+            Reg::Mmx(i) => write!(f, "v{i}"),
+            Reg::Acc(i) => write!(f, "a{i}"),
+            Reg::Mat(i) => write!(f, "m{i}"),
+            Reg::MatAcc(i) => write!(f, "ma{i}"),
+            Reg::Vl => write!(f, "vl"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(Reg::Int(3).class(), RegClass::Int);
+        assert_eq!(Reg::Fp(3).class(), RegClass::Fp);
+        assert_eq!(Reg::Mmx(3).class(), RegClass::Media);
+        assert_eq!(Reg::Acc(0).class(), RegClass::Media);
+        assert_eq!(Reg::Mat(15).class(), RegClass::Media);
+        assert_eq!(Reg::MatAcc(1).class(), RegClass::Media);
+        assert_eq!(Reg::Vl.class(), RegClass::Int);
+    }
+
+    #[test]
+    fn validation_limits() {
+        assert!(Reg::Int(31).validate().is_ok());
+        assert!(Reg::Int(32).validate().is_err());
+        assert!(Reg::Mmx(31).validate().is_ok());
+        assert!(Reg::Mmx(32).validate().is_err());
+        assert!(Reg::Acc(3).validate().is_ok());
+        assert!(Reg::Acc(4).validate().is_err());
+        assert!(Reg::Mat(15).validate().is_ok());
+        assert!(Reg::Mat(16).validate().is_err());
+        assert!(Reg::MatAcc(1).validate().is_ok());
+        assert!(Reg::MatAcc(2).validate().is_err());
+        assert!(Reg::Vl.validate().is_ok());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        let mut regs: Vec<Reg> = Vec::new();
+        for i in 0..32 {
+            regs.push(Reg::Int(i));
+            regs.push(Reg::Fp(i));
+            regs.push(Reg::Mmx(i));
+        }
+        for i in 0..4 {
+            regs.push(Reg::Acc(i));
+        }
+        for i in 0..16 {
+            regs.push(Reg::Mat(i));
+        }
+        regs.push(Reg::MatAcc(0));
+        regs.push(Reg::MatAcc(1));
+        regs.push(Reg::Vl);
+        for r in regs {
+            assert!(seen.insert(r.id()), "duplicate id for {r}");
+        }
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::Int(31).is_zero());
+        assert!(!Reg::Int(0).is_zero());
+        assert!(!Reg::Mmx(31).is_zero());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::Int(5).to_string(), "r5");
+        assert_eq!(Reg::Mat(2).to_string(), "m2");
+        assert_eq!(Reg::MatAcc(1).to_string(), "ma1");
+        assert_eq!(Reg::Vl.to_string(), "vl");
+    }
+}

@@ -1,0 +1,252 @@
+//! Scalar (baseline "Alpha-like") operation definitions: integer ALU
+//! operations, branch conditions and memory access sizes.
+
+use std::fmt;
+
+/// Scalar integer ALU operations.
+///
+/// The set approximates what a compiler emits for the studied kernels on a
+/// 64-bit RISC machine: arithmetic, logic, shifts, compare-and-set and
+/// conditional move (the Alpha's `CMOVxx`, which scalar saturation code
+/// relies on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (integer multiplier, longer latency).
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set to 1 if `a < b` (signed), else 0.
+    CmpLt,
+    /// Set to 1 if `a <= b` (signed), else 0.
+    CmpLe,
+    /// Set to 1 if `a == b`, else 0.
+    CmpEq,
+    /// Conditional move: `rd = b` if `a != 0`, otherwise `rd` keeps its old
+    /// value (modelled as reading the old destination).
+    CmovNz,
+    /// Conditional move: `rd = b` if `a == 0`.
+    CmovZ,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two scalar operands. For conditional
+    /// moves, `old` is the previous value of the destination register.
+    pub fn eval(self, a: i64, b: i64, old: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => {
+                let sh = (b as u64) & 63;
+                ((a as u64) << sh) as i64
+            }
+            AluOp::Srl => {
+                let sh = (b as u64) & 63;
+                ((a as u64) >> sh) as i64
+            }
+            AluOp::Sra => {
+                let sh = (b as u64) & 63;
+                a >> sh
+            }
+            AluOp::CmpLt => (a < b) as i64,
+            AluOp::CmpLe => (a <= b) as i64,
+            AluOp::CmpEq => (a == b) as i64,
+            AluOp::CmovNz => {
+                if a != 0 {
+                    b
+                } else {
+                    old
+                }
+            }
+            AluOp::CmovZ => {
+                if a == 0 {
+                    b
+                } else {
+                    old
+                }
+            }
+        }
+    }
+
+    /// Whether this operation reads the previous destination value
+    /// (conditional moves do; everything else does not).
+    pub fn reads_dest(self) -> bool {
+        matches!(self, AluOp::CmovNz | AluOp::CmovZ)
+    }
+
+    /// Whether this operation executes on the integer multiplier.
+    pub fn is_multiply(self) -> bool {
+        matches!(self, AluOp::Mul)
+    }
+
+    /// All scalar ALU operations.
+    pub const ALL: [AluOp; 14] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::CmpLt,
+        AluOp::CmpLe,
+        AluOp::CmpEq,
+        AluOp::CmovNz,
+        AluOp::CmovZ,
+    ];
+}
+
+/// Branch conditions, comparing two registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less than (signed).
+    Lt,
+    /// Branch if greater or equal (signed).
+    Ge,
+    /// Branch if less or equal (signed).
+    Le,
+    /// Branch if greater than (signed).
+    Gt,
+    /// Always branch (unconditional).
+    Always,
+}
+
+impl BranchCond {
+    /// Evaluates the condition.
+    pub fn taken(self, a: i64, b: i64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+            BranchCond::Le => a <= b,
+            BranchCond::Gt => a > b,
+            BranchCond::Always => true,
+        }
+    }
+}
+
+/// Memory access sizes for scalar loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// 1 byte.
+    Byte,
+    /// 2 bytes.
+    Half,
+    /// 4 bytes.
+    Word,
+    /// 8 bytes.
+    Quad,
+}
+
+impl MemSize {
+    /// Size in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            MemSize::Byte => 1,
+            MemSize::Half => 2,
+            MemSize::Word => 4,
+            MemSize::Quad => 8,
+        }
+    }
+}
+
+impl fmt::Display for MemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemSize::Byte => "b",
+            MemSize::Half => "h",
+            MemSize::Word => "w",
+            MemSize::Quad => "q",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_basics() {
+        assert_eq!(AluOp::Add.eval(2, 3, 0), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3, 0), -1);
+        assert_eq!(AluOp::Mul.eval(-4, 3, 0), -12);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010, 0), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010, 0), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010, 0), 0b0110);
+    }
+
+    #[test]
+    fn alu_shifts() {
+        assert_eq!(AluOp::Sll.eval(1, 4, 0), 16);
+        assert_eq!(AluOp::Srl.eval(-1, 60, 0), 15);
+        assert_eq!(AluOp::Sra.eval(-16, 2, 0), -4);
+        // Shift counts are taken modulo 64.
+        assert_eq!(AluOp::Sll.eval(1, 64, 0), 1);
+    }
+
+    #[test]
+    fn alu_compares_and_cmov() {
+        assert_eq!(AluOp::CmpLt.eval(1, 2, 0), 1);
+        assert_eq!(AluOp::CmpLt.eval(2, 1, 0), 0);
+        assert_eq!(AluOp::CmpLe.eval(2, 2, 0), 1);
+        assert_eq!(AluOp::CmpEq.eval(2, 2, 0), 1);
+        assert_eq!(AluOp::CmovNz.eval(1, 42, 7), 42);
+        assert_eq!(AluOp::CmovNz.eval(0, 42, 7), 7);
+        assert_eq!(AluOp::CmovZ.eval(0, 42, 7), 42);
+        assert_eq!(AluOp::CmovZ.eval(1, 42, 7), 7);
+        assert!(AluOp::CmovNz.reads_dest());
+        assert!(!AluOp::Add.reads_dest());
+    }
+
+    #[test]
+    fn alu_wrapping_does_not_panic() {
+        assert_eq!(AluOp::Add.eval(i64::MAX, 1, 0), i64::MIN);
+        assert_eq!(AluOp::Mul.eval(i64::MAX, 2, 0), -2);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.taken(3, 3));
+        assert!(!BranchCond::Eq.taken(3, 4));
+        assert!(BranchCond::Ne.taken(3, 4));
+        assert!(BranchCond::Lt.taken(-1, 0));
+        assert!(BranchCond::Ge.taken(0, 0));
+        assert!(BranchCond::Le.taken(0, 0));
+        assert!(BranchCond::Gt.taken(1, 0));
+        assert!(BranchCond::Always.taken(9, -9));
+    }
+
+    #[test]
+    fn mem_sizes() {
+        assert_eq!(MemSize::Byte.bytes(), 1);
+        assert_eq!(MemSize::Half.bytes(), 2);
+        assert_eq!(MemSize::Word.bytes(), 4);
+        assert_eq!(MemSize::Quad.bytes(), 8);
+        assert_eq!(MemSize::Quad.to_string(), "q");
+    }
+}

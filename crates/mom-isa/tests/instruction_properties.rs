@@ -1,0 +1,199 @@
+//! Property-based tests over the instruction metadata: for arbitrary
+//! instructions, the operand lists, functional-unit classes, operation
+//! counts, ISA membership and disassembly must stay mutually consistent.
+
+use mom_isa::prelude::*;
+use mom_isa::{Instruction, Reg};
+use proptest::prelude::*;
+
+fn elem() -> impl Strategy<Value = ElemType> {
+    prop::sample::select(ElemType::ALL.to_vec())
+}
+
+fn packed_op() -> impl Strategy<Value = PackedOp> {
+    prop::sample::select(PackedOp::inventory())
+}
+
+fn accum_op() -> impl Strategy<Value = AccumOp> {
+    prop::sample::select(AccumOp::ALL.to_vec())
+}
+
+fn mom_operand() -> impl Strategy<Value = MomOperand> {
+    prop_oneof![
+        (0u8..16).prop_map(MomOperand::Mat),
+        (0u8..32).prop_map(MomOperand::Mmx),
+        any::<u64>().prop_map(MomOperand::Imm),
+    ]
+}
+
+/// A strategy over well-formed instructions of every kind.
+fn instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (0u8..31, any::<i64>()).prop_map(|(rd, imm)| Instruction::Li { rd, imm }),
+        (0u8..31, 0u8..31, 0u8..31).prop_map(|(rd, ra, rb)| Instruction::Alu {
+            op: AluOp::Add,
+            rd,
+            ra,
+            rb
+        }),
+        (0u8..31, 0u8..31).prop_map(|(rd, base)| Instruction::Load {
+            size: MemSize::Byte,
+            signed: false,
+            rd,
+            base,
+            offset: 4
+        }),
+        (0u8..31, 0u8..31).prop_map(|(rs, base)| Instruction::Store {
+            size: MemSize::Half,
+            rs,
+            base,
+            offset: -2
+        }),
+        (packed_op(), elem(), 0u8..32, 0u8..32, 0u8..32)
+            .prop_map(|(op, ty, vd, va, vb)| Instruction::MmxOp { op, ty, vd, va, vb }),
+        (0u8..32, 0u8..31, elem()).prop_map(|(vd, base, ty)| Instruction::MmxLoad {
+            vd,
+            base,
+            offset: 0,
+            ty
+        }),
+        (accum_op(), elem(), 0u8..4, 0u8..32, 0u8..32)
+            .prop_map(|(op, ty, acc, va, vb)| Instruction::AccStep { op, ty, acc, va, vb }),
+        (0u8..16, 0u8..31, 0u8..31, elem()).prop_map(|(md, base, stride, ty)| {
+            Instruction::MomLoad { md, base, stride, ty }
+        }),
+        (packed_op(), elem(), 0u8..16, 0u8..16, mom_operand())
+            .prop_map(|(op, ty, md, ma, mb)| Instruction::MomOp { op, ty, md, ma, mb }),
+        (accum_op(), elem(), 0u8..2, 0u8..16, mom_operand())
+            .prop_map(|(op, ty, acc, ma, mb)| Instruction::MomAccStep { op, ty, acc, ma, mb }),
+        (0u8..16, 0u8..16, elem())
+            .prop_map(|(md, ms, ty)| Instruction::MomTranspose { md, ms, ty }),
+        (1u8..=16).prop_map(|vl| Instruction::SetVlImm { vl }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every instruction has at most one destination, and the destination is
+    /// never the hardwired zero register as a *source-only* artefact.
+    #[test]
+    fn operand_lists_are_well_formed(ins in instruction()) {
+        let dests = ins.dests();
+        let sources = ins.sources();
+        prop_assert!(dests.len() <= 1, "at most one architectural destination");
+        prop_assert!(sources.len() <= 4);
+        for r in dests.iter().chain(sources.iter()) {
+            prop_assert!(r.validate().is_ok(), "operand {r} out of range for {ins:?}");
+        }
+    }
+
+    /// The operation count scales monotonically with the vector length and
+    /// equals the lane count for VL = 1 packed work.
+    #[test]
+    fn operation_counts_scale_with_vl(ins in instruction(), vl_small in 1u64..8, extra in 1u64..8) {
+        let vl_large = vl_small + extra;
+        prop_assert!(ins.ops(vl_large) >= ins.ops(vl_small));
+        if ins.is_vl_dependent() {
+            prop_assert_eq!(ins.ops(vl_small), ins.vlx() * vl_small);
+        } else {
+            prop_assert_eq!(ins.ops(vl_small), ins.ops(vl_large), "non-matrix work is VL-independent");
+        }
+        prop_assert!(ins.ops(1) >= 1);
+    }
+
+    /// Media classification is consistent between the instruction and its
+    /// functional-unit class, and memory classification matches the class.
+    #[test]
+    fn classification_is_consistent(ins in instruction()) {
+        let fu = ins.fu_class();
+        if fu.is_media() {
+            prop_assert!(ins.is_media());
+        }
+        prop_assert_eq!(ins.is_memory(), fu.is_memory());
+        // Scalar-only instructions are allowed by every ISA.
+        if mom_isa::isa::is_scalar_only(&ins) {
+            for isa in IsaKind::ALL {
+                prop_assert!(isa.allows(&ins));
+            }
+        }
+        // Everything is allowed by at least one ISA.
+        prop_assert!(IsaKind::ALL.iter().any(|isa| isa.allows(&ins)));
+    }
+
+    /// MOM-only instructions are rejected by the other ISAs and accepted by
+    /// MOM; MDMX accumulator instructions are MDMX-only among the packed
+    /// ISAs.
+    #[test]
+    fn isa_membership_is_exclusive(ins in instruction()) {
+        let is_mom_only = ins.is_vl_dependent()
+            || matches!(ins, Instruction::MomTranspose { .. } | Instruction::SetVlImm { .. });
+        if is_mom_only {
+            prop_assert!(IsaKind::Mom.allows(&ins));
+            prop_assert!(!IsaKind::Mmx.allows(&ins));
+            prop_assert!(!IsaKind::Mdmx.allows(&ins));
+            prop_assert!(!IsaKind::Alpha.allows(&ins));
+        }
+        if matches!(ins, Instruction::AccStep { .. }) {
+            prop_assert!(IsaKind::Mdmx.allows(&ins));
+            prop_assert!(!IsaKind::Mmx.allows(&ins));
+            prop_assert!(!IsaKind::Mom.allows(&ins));
+        }
+    }
+
+    /// Every instruction disassembles to a non-empty, single-line string.
+    #[test]
+    fn disassembly_is_single_line(ins in instruction()) {
+        let text = ins.to_string();
+        prop_assert!(!text.is_empty());
+        prop_assert!(!text.contains('\n'));
+    }
+
+    /// Writing a program through the builder and validating it succeeds for
+    /// any sequence of instructions drawn from the ISA it targets.
+    #[test]
+    fn builder_round_trip_validates(instrs in prop::collection::vec(instruction(), 1..40)) {
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        let mut expected = 0usize;
+        for ins in &instrs {
+            if IsaKind::Mom.allows(ins) {
+                b.push(*ins);
+                expected += 1;
+            }
+        }
+        if expected == 0 {
+            return Ok(());
+        }
+        let p = b.finish();
+        prop_assert_eq!(p.len(), expected);
+        prop_assert!(p.validate().is_ok());
+        // The static FU histogram covers exactly the pushed instructions.
+        let total: usize = p.fu_histogram().values().sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    /// The packed-operation `apply` never panics for any operand pair and
+    /// any of the inventory operations, for every element type it is defined
+    /// on (pack/madd restrict their types).
+    #[test]
+    fn packed_apply_is_total(op in packed_op(), a in any::<u64>(), b in any::<u64>(), ty in elem()) {
+        // Restrict to type combinations the ISA actually offers: multiply-add
+        // and pack are halfword operations, widening needs a narrower source,
+        // squared differences and fixed-point multiplies are 8/16-bit.
+        let ty = match op {
+            PackedOp::MaddPairs | PackedOp::PackSat(_) | PackedOp::MulRoundShift(_) => ElemType::I16,
+            PackedOp::Ssd => ElemType::U8,
+            PackedOp::WidenLow | PackedOp::WidenHigh => {
+                if ty.widened().is_some() { ty } else { ElemType::U8 }
+            }
+            _ => ty,
+        };
+        let op = if let PackedOp::PackSat(_) = op {
+            PackedOp::PackSat(ElemType::U8)
+        } else {
+            op
+        };
+        let _ = op.apply(a, b, ty);
+        prop_assert!(op.ops_per_word(ty) >= 1);
+    }
+}

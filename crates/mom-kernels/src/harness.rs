@@ -1,0 +1,142 @@
+//! The kernel harness: preparing workloads, running the functional
+//! simulator, verifying outputs and producing traces for the timing
+//! simulator.
+
+use crate::layout::MEMORY_SIZE;
+use crate::KernelId;
+use mom_arch::{Machine, Memory, Trace, TraceStats};
+use mom_isa::{IsaKind, Program};
+
+/// The interface every kernel implements: workload preparation, program
+/// generation per ISA, and output verification against the golden
+/// reference.
+pub trait KernelSpec {
+    /// Which kernel this is.
+    fn id(&self) -> KernelId;
+
+    /// Loads the kernel's workload (inputs and any constant tables) into the
+    /// simulated memory, at the addresses defined in [`crate::layout`].
+    fn prepare(&self, mem: &mut Memory, seed: u64);
+
+    /// Builds the program performing one kernel invocation for the given
+    /// ISA. The program must leave its results at the layout's output
+    /// addresses.
+    fn program(&self, isa: IsaKind) -> Program;
+
+    /// Verifies the output region of `mem` against the golden Rust reference
+    /// for the same `seed`. Returns a description of the first mismatch.
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String>;
+}
+
+/// The outcome of running a kernel functionally: the dynamic trace (for the
+/// timing simulator) and its statistics.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Which kernel ran.
+    pub kernel: KernelId,
+    /// Which ISA the program used.
+    pub isa: IsaKind,
+    /// The concatenated dynamic trace of all iterations.
+    pub trace: Trace,
+    /// Trace statistics (instructions, operations, F, VLx, VLy).
+    pub stats: TraceStats,
+}
+
+/// Runs `iterations` back-to-back invocations of a kernel on the functional
+/// simulator, verifying the output of the first invocation, and returns the
+/// concatenated trace.
+///
+/// Running the kernel several times mirrors the paper's methodology of
+/// simulating each kernel "a certain number of times in a loop" so that the
+/// steady-state behaviour dominates.
+///
+/// # Panics
+/// Panics if the generated program fails validation, execution faults, or
+/// the output does not match the golden reference.
+pub fn run_kernel(kernel: KernelId, isa: IsaKind, seed: u64, iterations: usize) -> KernelRun {
+    assert!(iterations >= 1, "at least one iteration is required");
+    let spec = kernel.spec();
+    let program = spec.program(isa);
+    program
+        .validate()
+        .unwrap_or_else(|e| panic!("{kernel}/{isa}: invalid program: {e}"));
+
+    let mut machine = Machine::new(Memory::new(MEMORY_SIZE));
+    spec.prepare(machine.memory_mut(), seed);
+
+    let mut trace = Trace::new();
+    for iter in 0..iterations {
+        let t = machine
+            .run(&program)
+            .unwrap_or_else(|e| panic!("{kernel}/{isa}: execution failed: {e}"));
+        if iter == 0 {
+            spec.verify(machine.memory(), seed)
+                .unwrap_or_else(|e| panic!("{kernel}/{isa}: output mismatch: {e}"));
+        }
+        trace.extend(&t);
+    }
+    let stats = trace.stats();
+    KernelRun {
+        kernel,
+        isa,
+        trace,
+        stats,
+    }
+}
+
+/// Runs one invocation of a kernel and verifies it against the golden
+/// reference, returning the verification result instead of panicking.
+pub fn verify_kernel(kernel: KernelId, isa: IsaKind, seed: u64) -> Result<(), String> {
+    let spec = kernel.spec();
+    let program = spec.program(isa);
+    program.validate()?;
+    let mut machine = Machine::new(Memory::new(MEMORY_SIZE));
+    spec.prepare(machine.memory_mut(), seed);
+    machine
+        .run(&program)
+        .map_err(|e| format!("execution failed: {e}"))?;
+    spec.verify(machine.memory(), seed)
+}
+
+/// Helper shared by kernel implementations: formats a mismatch between a
+/// reference value and a simulated value at a given element index.
+pub fn mismatch<T: std::fmt::Debug>(what: &str, index: usize, expect: T, got: T) -> String {
+    format!("{what}[{index}]: expected {expect:?}, got {got:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Kernel-specific verification tests live next to each kernel; here we
+    // exercise the generic harness paths on one representative kernel.
+
+    #[test]
+    fn run_kernel_produces_a_growing_trace() {
+        let one = run_kernel(KernelId::Compensation, IsaKind::Mom, 1, 1);
+        let three = run_kernel(KernelId::Compensation, IsaKind::Mom, 1, 3);
+        assert_eq!(one.trace.len() * 3, three.trace.len());
+        assert_eq!(one.kernel, KernelId::Compensation);
+        assert_eq!(one.isa, IsaKind::Mom);
+        assert!(one.stats.instructions > 0);
+    }
+
+    #[test]
+    fn verify_kernel_reports_ok_for_all_isas_of_one_kernel() {
+        for isa in IsaKind::ALL {
+            assert_eq!(
+                verify_kernel(KernelId::Compensation, isa, 42),
+                Ok(()),
+                "comp/{isa}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatch_formatting() {
+        let m = mismatch("pixel", 3, 5u8, 7u8);
+        assert!(m.contains("pixel[3]"));
+        assert!(m.contains('5'));
+        assert!(m.contains('7'));
+    }
+}

@@ -1,0 +1,217 @@
+//! `addblock` — saturated residual addition (mpeg2 decode motion
+//! compensation).
+//!
+//! The decoder adds the 8×8 signed IDCT residual to the 8×8 unsigned
+//! prediction and clamps the result to the 0..=255 pixel range:
+//!
+//! ```text
+//! out[r][c] = clamp(pred[r][c] + resid[r][c], 0, 255)
+//! ```
+//!
+//! The prediction and the output live in the reference frame (pitch
+//! [`FRAME_PITCH`]); the residual is a dense 8×8 block of 16-bit values.
+
+use crate::harness::{mismatch, KernelSpec};
+use crate::layout::{DST, FRAME_PITCH, SRC_A, SRC_B};
+use crate::workload::{pixel_block, residual_block};
+use crate::KernelId;
+use mom_arch::Memory;
+use mom_isa::prelude::*;
+
+/// Block width and height in pixels.
+pub const BLOCK: usize = 8;
+
+/// Golden reference.
+pub fn reference(pred: &[u8], pred_pitch: usize, resid: &[i16]) -> Vec<u8> {
+    let mut out = vec![0u8; BLOCK * BLOCK];
+    for r in 0..BLOCK {
+        for c in 0..BLOCK {
+            let v = pred[r * pred_pitch + c] as i32 + resid[r * BLOCK + c] as i32;
+            out[r * BLOCK + c] = v.clamp(0, 255) as u8;
+        }
+    }
+    out
+}
+
+/// The `addblock` kernel.
+pub struct AddBlock;
+
+impl AddBlock {
+    fn build_alpha(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        // r1 = &resid, r2 = &pred, r3 = &out, r20 = 255
+        b.li(1, SRC_A as i64);
+        b.li(2, SRC_B as i64);
+        b.li(3, DST as i64);
+        b.li(20, 255);
+        b.li(10, BLOCK as i64);
+        b.label("row");
+        b.li(11, BLOCK as i64);
+        b.label("col");
+        b.load(MemSize::Byte, false, 5, 2, 0); // pred
+        b.load(MemSize::Half, true, 6, 1, 0); // resid
+        b.add(7, 5, 6);
+        // clamp low: if 7 < 0 then 7 = 0
+        b.alu(AluOp::CmpLt, 8, 7, 31);
+        b.alu(AluOp::CmovNz, 7, 8, 31);
+        // clamp high: if 255 < 7 then 7 = 255
+        b.alu(AluOp::CmpLt, 8, 20, 7);
+        b.alu(AluOp::CmovNz, 7, 8, 20);
+        b.store(MemSize::Byte, 7, 3, 0);
+        b.addi(1, 1, 2);
+        b.addi(2, 2, 1);
+        b.addi(3, 3, 1);
+        b.addi(11, 11, -1);
+        b.branch(BranchCond::Gt, 11, 31, "col");
+        b.addi(2, 2, FRAME_PITCH as i64 - BLOCK as i64);
+        b.addi(3, 3, FRAME_PITCH as i64 - BLOCK as i64);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "row");
+        b.finish()
+    }
+
+    /// MMX and MDMX are identical: widen the prediction to 16 bits, add the
+    /// residual, pack back with unsigned-byte saturation (the pack performs
+    /// the clamp), as the paper's identical Table 7 rows reflect.
+    fn build_mmx(&self, isa: IsaKind) -> Program {
+        let mut b = AsmBuilder::new(isa);
+        b.li(1, SRC_A as i64);
+        b.li(2, SRC_B as i64);
+        b.li(3, DST as i64);
+        b.li(10, BLOCK as i64);
+        b.label("row");
+        b.mmx_load(0, 2, 0, ElemType::U8); // pred row (8 pixels)
+        b.mmx_op(PackedOp::WidenLow, ElemType::U8, 1, 0, 0); // pred[0..4] as i16
+        b.mmx_op(PackedOp::WidenHigh, ElemType::U8, 2, 0, 0); // pred[4..8] as i16
+        b.mmx_load(3, 1, 0, ElemType::I16); // resid[0..4]
+        b.mmx_load(4, 1, 8, ElemType::I16); // resid[4..8]
+        b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 5, 1, 3);
+        b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 6, 2, 4);
+        b.mmx_op(PackedOp::PackSat(ElemType::U8), ElemType::I16, 7, 5, 6);
+        b.mmx_store(7, 3, 0, ElemType::U8);
+        b.addi(1, 1, 2 * BLOCK as i64);
+        b.addi(2, 2, FRAME_PITCH as i64);
+        b.addi(3, 3, FRAME_PITCH as i64);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "row");
+        b.finish()
+    }
+
+    fn build_mom(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        // r1 = &resid, r2 = &pred, r3 = &out, r4 = frame pitch, r5 = resid pitch
+        b.li(1, SRC_A as i64);
+        b.li(2, SRC_B as i64);
+        b.li(3, DST as i64);
+        b.li(4, FRAME_PITCH as i64);
+        b.li(5, 2 * BLOCK as i64);
+        b.li(6, SRC_A as i64 + 8);
+        b.set_vl_imm(BLOCK as u8);
+        b.mom_load(0, 2, 4, ElemType::U8); // prediction, 8 rows of 8 pixels
+        b.mom_op(PackedOp::WidenLow, ElemType::U8, 1, 0, MomOperand::Mat(0));
+        b.mom_op(PackedOp::WidenHigh, ElemType::U8, 2, 0, MomOperand::Mat(0));
+        b.mom_load(3, 1, 5, ElemType::I16); // residual columns 0..4
+        b.mom_load(4, 6, 5, ElemType::I16); // residual columns 4..8
+        b.mom_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 5, 1, MomOperand::Mat(3));
+        b.mom_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 6, 2, MomOperand::Mat(4));
+        b.mom_op(PackedOp::PackSat(ElemType::U8), ElemType::I16, 7, 5, MomOperand::Mat(6));
+        b.mom_store(7, 3, 4, ElemType::U8);
+        b.finish()
+    }
+}
+
+impl KernelSpec for AddBlock {
+    fn id(&self) -> KernelId {
+        KernelId::AddBlock
+    }
+
+    fn prepare(&self, mem: &mut Memory, seed: u64) {
+        let pred = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
+        let resid = residual_block(seed ^ 0xADD, BLOCK * BLOCK);
+        mem.load_i16_slice(SRC_A, &resid).unwrap();
+        mem.load_u8_slice(SRC_B, &pred.data).unwrap();
+    }
+
+    fn program(&self, isa: IsaKind) -> Program {
+        match isa {
+            IsaKind::Alpha => self.build_alpha(),
+            IsaKind::Mmx | IsaKind::Mdmx => self.build_mmx(isa),
+            IsaKind::Mom => self.build_mom(),
+        }
+    }
+
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+        let pred = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
+        let resid = residual_block(seed ^ 0xADD, BLOCK * BLOCK);
+        let expect = reference(&pred.data, FRAME_PITCH as usize, &resid);
+        for r in 0..BLOCK {
+            let got = mem
+                .dump_u8(DST + r as u64 * FRAME_PITCH, BLOCK)
+                .unwrap();
+            for c in 0..BLOCK {
+                if got[c] != expect[r * BLOCK + c] {
+                    return Err(mismatch(
+                        "addblock output",
+                        r * BLOCK + c,
+                        expect[r * BLOCK + c],
+                        got[c],
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::verify_kernel;
+
+    #[test]
+    fn reference_clamps_both_ends() {
+        let pred = [10u8, 250, 128, 0, 0, 0, 0, 0].repeat(8);
+        let mut resid = vec![0i16; 64];
+        resid[0] = -50; // 10 - 50 -> 0
+        resid[1] = 50; // 250 + 50 -> 255
+        resid[2] = 100; // 128 + 100 -> 228
+        let out = reference(&pred, 8, &resid);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[1], 255);
+        assert_eq!(out[2], 228);
+    }
+
+    #[test]
+    fn all_isas_match_reference() {
+        for isa in IsaKind::ALL {
+            for seed in [2, 31, 77] {
+                verify_kernel(KernelId::AddBlock, isa, seed)
+                    .unwrap_or_else(|e| panic!("addblock/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn clamping_is_exercised_by_the_workload() {
+        // At least one element of the default workloads must hit each clamp
+        // bound; otherwise the saturating paths would be untested.
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for seed in 0..20 {
+            let pred = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
+            let resid = residual_block(seed ^ 0xADD, BLOCK * BLOCK);
+            for r in 0..BLOCK {
+                for c in 0..BLOCK {
+                    let v = pred.at(r, c) as i32 + resid[r * BLOCK + c] as i32;
+                    if v < 0 {
+                        saw_low = true;
+                    }
+                    if v > 255 {
+                        saw_high = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_low && saw_high);
+    }
+}

@@ -1,0 +1,193 @@
+//! `comp` — motion-compensation blending (mpeg2 decode).
+//!
+//! Bidirectional motion compensation averages a forward and a backward
+//! prediction block with rounding:
+//!
+//! ```text
+//! out[r][c] = (fwd[r][c] + bwd[r][c] + 1) >> 1      for a 16×16 block
+//! ```
+//!
+//! The prediction blocks live inside a larger reference frame (row pitch
+//! [`FRAME_PITCH`]); the output block is written densely (pitch 16).
+
+use crate::harness::{mismatch, KernelSpec};
+use crate::layout::{DST, FRAME_PITCH, SRC_A, SRC_B};
+use crate::workload::pixel_block;
+use crate::KernelId;
+use mom_arch::Memory;
+use mom_isa::prelude::*;
+
+/// Block width and height in pixels.
+pub const BLOCK: usize = 16;
+
+/// Golden reference: rounding average of two blocks.
+pub fn reference(fwd: &[u8], bwd: &[u8], pitch: usize) -> Vec<u8> {
+    let mut out = vec![0u8; BLOCK * BLOCK];
+    for r in 0..BLOCK {
+        for c in 0..BLOCK {
+            let a = fwd[r * pitch + c] as u16;
+            let b = bwd[r * pitch + c] as u16;
+            out[r * BLOCK + c] = ((a + b + 1) >> 1) as u8;
+        }
+    }
+    out
+}
+
+/// The `comp` kernel.
+pub struct Compensation;
+
+impl Compensation {
+    fn build_alpha(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        // r1 = &fwd, r2 = &bwd, r3 = &out, r10 = row counter, r11 = col counter
+        b.li(1, SRC_A as i64);
+        b.li(2, SRC_B as i64);
+        b.li(3, DST as i64);
+        b.li(10, BLOCK as i64);
+        b.label("row");
+        b.li(11, BLOCK as i64);
+        b.label("col");
+        b.load(MemSize::Byte, false, 5, 1, 0);
+        b.load(MemSize::Byte, false, 6, 2, 0);
+        b.add(7, 5, 6);
+        b.addi(7, 7, 1);
+        b.srai(7, 7, 1);
+        b.store(MemSize::Byte, 7, 3, 0);
+        b.addi(1, 1, 1);
+        b.addi(2, 2, 1);
+        b.addi(3, 3, 1);
+        b.addi(11, 11, -1);
+        b.branch(BranchCond::Gt, 11, 31, "col");
+        b.addi(1, 1, FRAME_PITCH as i64 - BLOCK as i64);
+        b.addi(2, 2, FRAME_PITCH as i64 - BLOCK as i64);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "row");
+        b.finish()
+    }
+
+    /// The MMX and MDMX versions are identical (there is no reduction for
+    /// the accumulators to help with), as the paper's Table 6 reflects.
+    fn build_mmx(&self, isa: IsaKind) -> Program {
+        let mut b = AsmBuilder::new(isa);
+        b.li(1, SRC_A as i64);
+        b.li(2, SRC_B as i64);
+        b.li(3, DST as i64);
+        b.li(10, BLOCK as i64);
+        b.label("row");
+        // Two 8-pixel words per 16-pixel row; the row body is unrolled.
+        for half in 0..2 {
+            let off = 8 * half;
+            b.mmx_load(0, 1, off, ElemType::U8);
+            b.mmx_load(1, 2, off, ElemType::U8);
+            b.mmx_op(PackedOp::Avg, ElemType::U8, 2, 0, 1);
+            b.mmx_store(2, 3, off, ElemType::U8);
+        }
+        b.addi(1, 1, FRAME_PITCH as i64);
+        b.addi(2, 2, FRAME_PITCH as i64);
+        b.addi(3, 3, BLOCK as i64);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "row");
+        b.finish()
+    }
+
+    fn build_mom(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        // r1 = &fwd, r2 = &bwd, r3 = &out, r4 = frame pitch, r5 = output pitch
+        b.li(1, SRC_A as i64);
+        b.li(2, SRC_B as i64);
+        b.li(3, DST as i64);
+        b.li(4, FRAME_PITCH as i64);
+        b.li(5, BLOCK as i64);
+        b.set_vl_imm(BLOCK as u8);
+        for half in 0..2u8 {
+            let off = 8 * half as i64;
+            // Rebase the pointers for the second 8-pixel column strip.
+            if half == 1 {
+                b.addi(1, 1, off);
+                b.addi(2, 2, off);
+                b.addi(3, 3, off);
+            }
+            b.mom_load(0, 1, 4, ElemType::U8);
+            b.mom_load(1, 2, 4, ElemType::U8);
+            b.mom_op(PackedOp::Avg, ElemType::U8, 2, 0, MomOperand::Mat(1));
+            b.mom_store(2, 3, 5, ElemType::U8);
+        }
+        b.finish()
+    }
+}
+
+impl KernelSpec for Compensation {
+    fn id(&self) -> KernelId {
+        KernelId::Compensation
+    }
+
+    fn prepare(&self, mem: &mut Memory, seed: u64) {
+        let fwd = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
+        let bwd = pixel_block(seed ^ 0xB1D, BLOCK, BLOCK, FRAME_PITCH as usize);
+        mem.load_u8_slice(SRC_A, &fwd.data).unwrap();
+        mem.load_u8_slice(SRC_B, &bwd.data).unwrap();
+    }
+
+    fn program(&self, isa: IsaKind) -> Program {
+        match isa {
+            IsaKind::Alpha => self.build_alpha(),
+            IsaKind::Mmx | IsaKind::Mdmx => self.build_mmx(isa),
+            IsaKind::Mom => self.build_mom(),
+        }
+    }
+
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+        let fwd = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
+        let bwd = pixel_block(seed ^ 0xB1D, BLOCK, BLOCK, FRAME_PITCH as usize);
+        let expect = reference(&fwd.data, &bwd.data, FRAME_PITCH as usize);
+        let got = mem.dump_u8(DST, BLOCK * BLOCK).unwrap();
+        for (i, (e, g)) in expect.iter().zip(got.iter()).enumerate() {
+            if e != g {
+                return Err(mismatch("comp output", i, *e, *g));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::verify_kernel;
+
+    #[test]
+    fn reference_rounds_up() {
+        let fwd = vec![10u8; 256];
+        let bwd = vec![11u8; 256];
+        let out = reference(&fwd, &bwd, 16);
+        assert!(out.iter().all(|&v| v == 11));
+    }
+
+    #[test]
+    fn all_isas_match_reference() {
+        for isa in IsaKind::ALL {
+            for seed in [1, 7, 99] {
+                verify_kernel(KernelId::Compensation, isa, seed)
+                    .unwrap_or_else(|e| panic!("comp/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn mom_executes_an_order_of_magnitude_fewer_instructions_than_scalar() {
+        let scalar = crate::run_kernel(KernelId::Compensation, IsaKind::Alpha, 5, 1)
+            .trace
+            .len();
+        let mom = crate::run_kernel(KernelId::Compensation, IsaKind::Mom, 5, 1)
+            .trace
+            .len();
+        assert!(scalar > 50 * mom, "scalar {scalar} vs MOM {mom}");
+    }
+
+    #[test]
+    fn mmx_and_mdmx_are_identical_programs() {
+        let mmx = Compensation.program(IsaKind::Mmx);
+        let mdmx = Compensation.program(IsaKind::Mdmx);
+        assert_eq!(mmx.len(), mdmx.len());
+    }
+}

@@ -1,0 +1,254 @@
+//! `h2v2` — 2×2 chroma upsampling (jpeg decode).
+//!
+//! The JPEG decoder expands a sub-sampled chroma plane by a factor of two in
+//! both directions. Each input pixel produces a 2×2 output tile built from
+//! the pixel and its right / down / diagonal neighbours with rounding
+//! averages:
+//!
+//! ```text
+//! out[2r][2c]     = in[r][c]
+//! out[2r][2c+1]   = avg(in[r][c],   in[r][c+1])
+//! out[2r+1][2c]   = avg(in[r][c],   in[r+1][c])
+//! out[2r+1][2c+1] = avg(avg(in[r][c], in[r+1][c]), avg(in[r][c+1], in[r+1][c+1]))
+//! ```
+//!
+//! with `avg(x, y) = (x + y + 1) >> 1`. The input plane carries one extra
+//! row and column of valid samples so no edge special-casing is needed.
+
+use crate::harness::{mismatch, KernelSpec};
+use crate::layout::{DST, SRC_A};
+use crate::workload::pixel_block;
+use crate::KernelId;
+use mom_arch::Memory;
+use mom_isa::prelude::*;
+
+/// Input plane width (pixels actually upsampled; one more column is valid).
+pub const IN_W: usize = 16;
+/// Input plane height (one more row is valid).
+pub const IN_H: usize = 16;
+/// Input row pitch in bytes.
+pub const IN_PITCH: usize = 32;
+/// Output row pitch in bytes.
+pub const OUT_PITCH: usize = 2 * IN_W;
+
+fn avg(a: u8, b: u8) -> u8 {
+    ((a as u16 + b as u16 + 1) >> 1) as u8
+}
+
+/// Golden reference: upsamples the `IN_W`×`IN_H` region of `input` (which
+/// must have `IN_H + 1` rows and `IN_W + 1` columns of valid data at pitch
+/// `IN_PITCH`).
+pub fn reference(input: &[u8]) -> Vec<u8> {
+    let at = |r: usize, c: usize| input[r * IN_PITCH + c];
+    let mut out = vec![0u8; 2 * IN_H * OUT_PITCH];
+    for r in 0..IN_H {
+        for c in 0..IN_W {
+            let cur = at(r, c);
+            let right = at(r, c + 1);
+            let down = at(r + 1, c);
+            let diag = at(r + 1, c + 1);
+            out[2 * r * OUT_PITCH + 2 * c] = cur;
+            out[2 * r * OUT_PITCH + 2 * c + 1] = avg(cur, right);
+            out[(2 * r + 1) * OUT_PITCH + 2 * c] = avg(cur, down);
+            out[(2 * r + 1) * OUT_PITCH + 2 * c + 1] = avg(avg(cur, down), avg(right, diag));
+        }
+    }
+    out
+}
+
+/// The `h2v2` kernel.
+pub struct H2v2;
+
+impl H2v2 {
+    fn build_alpha(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        // r1 = &in[r][c], r3 = &out[2r][2c]
+        b.li(1, SRC_A as i64);
+        b.li(3, DST as i64);
+        b.li(10, IN_H as i64);
+        b.label("row");
+        b.li(11, IN_W as i64);
+        b.label("col");
+        b.load(MemSize::Byte, false, 5, 1, 0); // cur
+        b.load(MemSize::Byte, false, 6, 1, 1); // right
+        b.load(MemSize::Byte, false, 7, 1, IN_PITCH as i64); // down
+        b.load(MemSize::Byte, false, 8, 1, IN_PITCH as i64 + 1); // diag
+        // out[2r][2c] = cur
+        b.store(MemSize::Byte, 5, 3, 0);
+        // out[2r][2c+1] = avg(cur, right)
+        b.add(9, 5, 6);
+        b.addi(9, 9, 1);
+        b.srai(9, 9, 1);
+        b.store(MemSize::Byte, 9, 3, 1);
+        // out[2r+1][2c] = avg(cur, down)
+        b.add(12, 5, 7);
+        b.addi(12, 12, 1);
+        b.srai(12, 12, 1);
+        b.store(MemSize::Byte, 12, 3, OUT_PITCH as i64);
+        // out[2r+1][2c+1] = avg(avg(cur,down), avg(right,diag))
+        b.add(13, 6, 8);
+        b.addi(13, 13, 1);
+        b.srai(13, 13, 1);
+        b.add(13, 12, 13);
+        b.addi(13, 13, 1);
+        b.srai(13, 13, 1);
+        b.store(MemSize::Byte, 13, 3, OUT_PITCH as i64 + 1);
+        b.addi(1, 1, 1);
+        b.addi(3, 3, 2);
+        b.addi(11, 11, -1);
+        b.branch(BranchCond::Gt, 11, 31, "col");
+        b.addi(1, 1, IN_PITCH as i64 - IN_W as i64);
+        b.addi(3, 3, 2 * OUT_PITCH as i64 - 2 * IN_W as i64);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "row");
+        b.finish()
+    }
+
+    /// MMX and MDMX are identical (pure data-parallel averaging, no
+    /// reductions), as the paper's Table 5 reflects.
+    fn build_mmx(&self, isa: IsaKind) -> Program {
+        let mut b = AsmBuilder::new(isa);
+        b.li(1, SRC_A as i64);
+        b.li(3, DST as i64);
+        b.li(10, IN_H as i64);
+        b.label("row");
+        for group in 0..(IN_W / 8) {
+            let off = 8 * group as i64;
+            let out_off = 16 * group as i64;
+            b.mmx_load(0, 1, off, ElemType::U8); // cur
+            b.mmx_load(1, 1, off + 1, ElemType::U8); // right
+            b.mmx_load(2, 1, off + IN_PITCH as i64, ElemType::U8); // down
+            b.mmx_load(3, 1, off + IN_PITCH as i64 + 1, ElemType::U8); // diag
+            b.mmx_op(PackedOp::Avg, ElemType::U8, 4, 0, 1); // horizontal
+            b.mmx_op(PackedOp::Avg, ElemType::U8, 5, 0, 2); // vertical
+            b.mmx_op(PackedOp::Avg, ElemType::U8, 6, 1, 3); // right/diag
+            b.mmx_op(PackedOp::Avg, ElemType::U8, 6, 5, 6); // diagonal output
+            // Even output row: interleave cur with the horizontal averages.
+            b.mmx_op(PackedOp::UnpackLow, ElemType::U8, 7, 0, 4);
+            b.mmx_op(PackedOp::UnpackHigh, ElemType::U8, 8, 0, 4);
+            b.mmx_store(7, 3, out_off, ElemType::U8);
+            b.mmx_store(8, 3, out_off + 8, ElemType::U8);
+            // Odd output row: interleave vertical with diagonal averages.
+            b.mmx_op(PackedOp::UnpackLow, ElemType::U8, 7, 5, 6);
+            b.mmx_op(PackedOp::UnpackHigh, ElemType::U8, 8, 5, 6);
+            b.mmx_store(7, 3, out_off + OUT_PITCH as i64, ElemType::U8);
+            b.mmx_store(8, 3, out_off + OUT_PITCH as i64 + 8, ElemType::U8);
+        }
+        b.addi(1, 1, IN_PITCH as i64);
+        b.addi(3, 3, 2 * OUT_PITCH as i64);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "row");
+        b.finish()
+    }
+
+    fn build_mom(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        // r1 = &in, r3 = &out, r4 = input pitch, r5 = 2*output pitch,
+        // r6 = &in + pitch (next row), r7 = &out + OUT_PITCH (odd rows)
+        b.li(1, SRC_A as i64);
+        b.li(3, DST as i64);
+        b.li(4, IN_PITCH as i64);
+        b.li(5, 2 * OUT_PITCH as i64);
+        b.set_vl_imm(IN_H as u8);
+        for group in 0..(IN_W / 8) {
+            let off = 8 * group as i64;
+            let out_off = 16 * group as i64;
+            // Pointers for this 8-pixel column group.
+            b.li(2, SRC_A as i64 + off);
+            b.li(6, SRC_A as i64 + off + IN_PITCH as i64);
+            b.li(7, DST as i64 + out_off);
+            b.li(8, DST as i64 + out_off + OUT_PITCH as i64);
+            b.li(9, DST as i64 + out_off + 8);
+            b.li(12, DST as i64 + out_off + OUT_PITCH as i64 + 8);
+            b.li(13, SRC_A as i64 + off + 1);
+            b.li(14, SRC_A as i64 + off + IN_PITCH as i64 + 1);
+            b.mom_load(0, 2, 4, ElemType::U8); // cur rows
+            b.mom_load(1, 13, 4, ElemType::U8); // right
+            b.mom_load(2, 6, 4, ElemType::U8); // down
+            b.mom_load(3, 14, 4, ElemType::U8); // diag
+            b.mom_op(PackedOp::Avg, ElemType::U8, 4, 0, MomOperand::Mat(1)); // horizontal
+            b.mom_op(PackedOp::Avg, ElemType::U8, 5, 0, MomOperand::Mat(2)); // vertical
+            b.mom_op(PackedOp::Avg, ElemType::U8, 6, 1, MomOperand::Mat(3)); // right/diag
+            b.mom_op(PackedOp::Avg, ElemType::U8, 6, 5, MomOperand::Mat(6)); // diagonal
+            b.mom_op(PackedOp::UnpackLow, ElemType::U8, 7, 0, MomOperand::Mat(4));
+            b.mom_op(PackedOp::UnpackHigh, ElemType::U8, 8, 0, MomOperand::Mat(4));
+            b.mom_op(PackedOp::UnpackLow, ElemType::U8, 9, 5, MomOperand::Mat(6));
+            b.mom_op(PackedOp::UnpackHigh, ElemType::U8, 10, 5, MomOperand::Mat(6));
+            b.mom_store(7, 7, 5, ElemType::U8); // even rows, left 8 outputs
+            b.mom_store(8, 9, 5, ElemType::U8); // even rows, right 8 outputs
+            b.mom_store(9, 8, 5, ElemType::U8); // odd rows, left 8 outputs
+            b.mom_store(10, 12, 5, ElemType::U8); // odd rows, right 8 outputs
+        }
+        b.finish()
+    }
+}
+
+impl KernelSpec for H2v2 {
+    fn id(&self) -> KernelId {
+        KernelId::H2v2
+    }
+
+    fn prepare(&self, mem: &mut Memory, seed: u64) {
+        // One extra row and column of valid samples for the neighbourhood.
+        let plane = pixel_block(seed, IN_W + 1, IN_H + 1, IN_PITCH);
+        mem.load_u8_slice(SRC_A, &plane.data).unwrap();
+    }
+
+    fn program(&self, isa: IsaKind) -> Program {
+        match isa {
+            IsaKind::Alpha => self.build_alpha(),
+            IsaKind::Mmx | IsaKind::Mdmx => self.build_mmx(isa),
+            IsaKind::Mom => self.build_mom(),
+        }
+    }
+
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+        let plane = pixel_block(seed, IN_W + 1, IN_H + 1, IN_PITCH);
+        let expect = reference(&plane.data);
+        let got = mem.dump_u8(DST, expect.len()).unwrap();
+        for (i, (e, g)) in expect.iter().zip(got.iter()).enumerate() {
+            if e != g {
+                return Err(mismatch("h2v2 output", i, *e, *g));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::verify_kernel;
+
+    #[test]
+    fn reference_tile_structure() {
+        // A constant plane upsamples to the same constant everywhere.
+        let plane = vec![42u8; (IN_H + 1) * IN_PITCH];
+        let out = reference(&plane);
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| (i % OUT_PITCH) >= 2 * IN_W || v == 42));
+        // The even-row, even-column samples replicate the input exactly.
+        let mut plane = vec![0u8; (IN_H + 1) * IN_PITCH];
+        plane[0] = 200;
+        plane[1] = 100;
+        plane[IN_PITCH] = 50;
+        plane[IN_PITCH + 1] = 10;
+        let out = reference(&plane);
+        assert_eq!(out[0], 200);
+        assert_eq!(out[1], avg(200, 100));
+        assert_eq!(out[OUT_PITCH], avg(200, 50));
+        assert_eq!(out[OUT_PITCH + 1], avg(avg(200, 50), avg(100, 10)));
+    }
+
+    #[test]
+    fn all_isas_match_reference() {
+        for isa in IsaKind::ALL {
+            for seed in [4, 21] {
+                verify_kernel(KernelId::H2v2, isa, seed)
+                    .unwrap_or_else(|e| panic!("h2v2/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+}

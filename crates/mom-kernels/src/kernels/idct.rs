@@ -1,0 +1,501 @@
+//! `idct` — the 8×8 inverse discrete cosine transform (mpeg2 / jpeg decode).
+//!
+//! The 2-D IDCT is `out = Cᵀ·in·C`, where `C` is the 8×8 DCT basis matrix in
+//! Q13 fixed point. It is computed as two identical 1-D column passes with a
+//! transpose in between (and one at the end):
+//!
+//! ```text
+//! colpass(X, s)[r][c] = sat16(round((Σ_k C[k][r]·X[k][c]) / 2^s))
+//! out = transpose(colpass(transpose(colpass(in, 11)), 15))
+//! ```
+//!
+//! with `round(v / 2^s) = (v + 2^(s-1)) >> s`. All four ISA variants follow
+//! this exact specification, so their outputs are bit-identical:
+//!
+//! * the scalar version computes dot products element by element and stores
+//!   each pass transposed (the transpose is free in the addressing),
+//! * the MMX version transposes the input in registers with the classic
+//!   unpack sequence and uses `pmaddwd` dot products,
+//! * the MDMX version replaces the multiply-add/`hsum` sequence with its
+//!   packed accumulator,
+//! * the MOM version expresses each pass as eight accumulator reductions
+//!   along dimension Y (one per output row), using constant splat-coefficient
+//!   matrices, and uses the matrix-transpose instruction between passes —
+//!   the "switch vector dimensions" use case of Section 3.
+
+use crate::harness::{mismatch, KernelSpec};
+use crate::layout::{COEF, DST, SCRATCH, SRC_A};
+use crate::workload::dct_block;
+use crate::KernelId;
+use mom_arch::Memory;
+use mom_isa::prelude::*;
+use mom_simd::lanes::from_lanes;
+
+/// Fixed-point scale of the DCT basis matrix (Q13).
+pub const BASIS_SHIFT: u32 = 13;
+/// Rounding shift after the first (column) pass.
+pub const PASS1_SHIFT: u32 = 11;
+/// Rounding shift after the second pass (total 2·13 = 26).
+pub const PASS2_SHIFT: u32 = 15;
+
+/// The Q13 DCT basis matrix: `C[u][x] = round(s(u)·cos((2x+1)uπ/16)·2^13)`
+/// with `s(0) = √(1/8)` and `s(u>0) = 1/2`.
+pub fn basis() -> [[i16; 8]; 8] {
+    let mut c = [[0i16; 8]; 8];
+    for (u, row) in c.iter_mut().enumerate() {
+        for (x, v) in row.iter_mut().enumerate() {
+            let s = if u == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                0.5
+            };
+            let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            *v = (s * angle.cos() * f64::from(1 << BASIS_SHIFT)).round() as i16;
+        }
+    }
+    c
+}
+
+fn sat16(v: i64) -> i64 {
+    v.clamp(i16::MIN as i64, i16::MAX as i64)
+}
+
+fn round_shift(v: i64, s: u32) -> i64 {
+    (v + (1 << (s - 1))) >> s
+}
+
+fn colpass(x: &[[i64; 8]; 8], shift: u32) -> [[i64; 8]; 8] {
+    let c = basis();
+    let mut y = [[0i64; 8]; 8];
+    for r in 0..8 {
+        for col in 0..8 {
+            let sum: i64 = (0..8).map(|k| c[k][r] as i64 * x[k][col]).sum();
+            y[r][col] = sat16(round_shift(sum, shift));
+        }
+    }
+    y
+}
+
+fn transpose8(x: &[[i64; 8]; 8]) -> [[i64; 8]; 8] {
+    let mut t = [[0i64; 8]; 8];
+    for r in 0..8 {
+        for c in 0..8 {
+            t[r][c] = x[c][r];
+        }
+    }
+    t
+}
+
+/// Golden reference 2-D IDCT.
+pub fn reference(input: &[[i16; 8]; 8]) -> [[i16; 8]; 8] {
+    let x: [[i64; 8]; 8] =
+        std::array::from_fn(|r| std::array::from_fn(|c| input[r][c] as i64));
+    let p1 = colpass(&x, PASS1_SHIFT);
+    let p2 = colpass(&transpose8(&p1), PASS2_SHIFT);
+    let out = transpose8(&p2);
+    std::array::from_fn(|r| std::array::from_fn(|c| out[r][c] as i16))
+}
+
+/// A straightforward floating-point IDCT, used only to sanity-check the
+/// fixed-point reference.
+pub fn reference_f64(input: &[[i16; 8]; 8]) -> [[f64; 8]; 8] {
+    let mut out = [[0.0f64; 8]; 8];
+    for (x, row) in out.iter_mut().enumerate() {
+        for (y, v) in row.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for u in 0..8 {
+                for w in 0..8 {
+                    let su = if u == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
+                    let sw = if w == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
+                    sum += su
+                        * sw
+                        * input[u][w] as f64
+                        * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos()
+                        * ((2.0 * y as f64 + 1.0) * w as f64 * std::f64::consts::PI / 16.0).cos();
+                }
+            }
+            *v = sum;
+        }
+    }
+    out
+}
+
+// Memory layout of the constant tables written by `prepare`:
+//   COEF          : C row-major (C[k][x]), 64 halfwords
+//   COEF + 0x100  : C columns (column r = C[0..8][r]), 8 × 16 bytes
+//   COEF + 0x400  : MOM splat matrices W_r (row k = splat4(C[k][r])), 8 × 64 bytes
+const COEF_COLS: u64 = COEF + 0x100;
+const COEF_SPLAT: u64 = COEF + 0x400;
+/// Row pitch of the 8×8 halfword blocks in memory.
+const PITCH: i64 = 16;
+
+/// The `idct` kernel.
+pub struct Idct;
+
+impl Idct {
+    fn build_alpha(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        // Two passes; pass `p` reads from `src`, stores its result transposed
+        // into `dst` (element [r][c] is stored at [c][r]).
+        for (src, dst, shift) in [
+            (SRC_A, SCRATCH, PASS1_SHIFT),
+            (SCRATCH, DST, PASS2_SHIFT),
+        ] {
+            b.li(1, src as i64);
+            b.li(2, dst as i64);
+            b.li(3, COEF as i64);
+            b.li(28, 32767);
+            b.li(29, -32768);
+            b.li(10, 8); // r counter
+            b.li(11, 0); // r index
+            b.label(&format!("p{shift}_row"));
+            // Hoist the eight C[k][r] coefficients for this output row.
+            // &C[k][r] = COEF + (8k + r)*2
+            b.slli(5, 11, 1);
+            b.add(5, 5, 3);
+            for k in 0..8u8 {
+                b.load(MemSize::Half, true, 20 + k, 5, (16 * k) as i64);
+            }
+            b.li(12, 8); // c counter
+            b.li(13, 0); // c index
+            b.label(&format!("p{shift}_col"));
+            // &X[k][c] = src + 16k + 2c
+            b.slli(6, 13, 1);
+            b.add(6, 6, 1);
+            b.li(7, 0);
+            for k in 0..8u8 {
+                b.load(MemSize::Half, true, 8, 6, (16 * k) as i64);
+                b.mul(8, 8, 20 + k);
+                b.add(7, 7, 8);
+            }
+            b.addi(7, 7, 1 << (shift - 1));
+            b.srai(7, 7, shift as i64);
+            b.alu(AluOp::CmpLt, 9, 28, 7);
+            b.alu(AluOp::CmovNz, 7, 9, 28);
+            b.alu(AluOp::CmpLt, 9, 7, 29);
+            b.alu(AluOp::CmovNz, 7, 9, 29);
+            // Store transposed: &dst[c][r] = dst + 16c + 2r
+            b.slli(9, 13, 4);
+            b.add(9, 9, 2);
+            b.slli(14, 11, 1);
+            b.add(9, 9, 14);
+            b.store(MemSize::Half, 7, 9, 0);
+            b.addi(13, 13, 1);
+            b.addi(12, 12, -1);
+            b.branch(BranchCond::Gt, 12, 31, &format!("p{shift}_col"));
+            b.addi(11, 11, 1);
+            b.addi(10, 10, -1);
+            b.branch(BranchCond::Gt, 10, 31, &format!("p{shift}_row"));
+        }
+        b.finish()
+    }
+
+    /// Emits the classic in-register 4×4 halfword transpose: `rows` are four
+    /// MMX registers holding 4 halfwords each; results land in `out`.
+    fn emit_mmx_transpose4(b: &mut AsmBuilder, rows: [u8; 4], out: [u8; 4], tmp: [u8; 4]) {
+        b.mmx_op(PackedOp::UnpackLow, ElemType::I16, tmp[0], rows[0], rows[1]);
+        b.mmx_op(PackedOp::UnpackHigh, ElemType::I16, tmp[1], rows[0], rows[1]);
+        b.mmx_op(PackedOp::UnpackLow, ElemType::I16, tmp[2], rows[2], rows[3]);
+        b.mmx_op(PackedOp::UnpackHigh, ElemType::I16, tmp[3], rows[2], rows[3]);
+        b.mmx_op(PackedOp::UnpackLow, ElemType::I32, out[0], tmp[0], tmp[2]);
+        b.mmx_op(PackedOp::UnpackHigh, ElemType::I32, out[1], tmp[0], tmp[2]);
+        b.mmx_op(PackedOp::UnpackLow, ElemType::I32, out[2], tmp[1], tmp[3]);
+        b.mmx_op(PackedOp::UnpackHigh, ElemType::I32, out[3], tmp[1], tmp[3]);
+    }
+
+    /// Shared structure of the MMX and MDMX versions: transpose the input in
+    /// registers, then two element-wise dot-product passes. The `mdmx` flag
+    /// switches the reduction between pmaddwd/hsum and the packed
+    /// accumulator.
+    fn build_mmx_like(&self, isa: IsaKind) -> Program {
+        let mdmx = isa == IsaKind::Mdmx;
+        let mut b = AsmBuilder::new(isa);
+        b.li(28, 32767);
+        b.li(29, -32768);
+
+        // ---- load the input block and transpose it in registers ----
+        // v0..v15: row k left half in v(2k), right half in v(2k+1).
+        b.li(1, SRC_A as i64);
+        for k in 0..8u8 {
+            b.mmx_load(2 * k, 1, (16 * k) as i64, ElemType::I16);
+            b.mmx_load(2 * k + 1, 1, (16 * k) as i64 + 8, ElemType::I16);
+        }
+        // Transpose: quadrants A (rows 0-3, left), B (rows 0-3, right),
+        // C (rows 4-7, left), D (rows 4-7, right).
+        // Xᵀ rows 0-3 = [Aᵀ | Cᵀ], rows 4-7 = [Bᵀ | Dᵀ]; afterwards
+        // v(2c)/v(2c+1) hold column c of the original block.
+        Self::emit_mmx_transpose4(&mut b, [0, 2, 4, 6], [16, 18, 20, 22], [24, 25, 26, 27]); // Aᵀ
+        Self::emit_mmx_transpose4(&mut b, [8, 10, 12, 14], [17, 19, 21, 23], [24, 25, 26, 27]); // Cᵀ
+        Self::emit_mmx_transpose4(&mut b, [1, 3, 5, 7], [0, 2, 4, 6], [24, 25, 26, 27]); // Bᵀ
+        Self::emit_mmx_transpose4(&mut b, [9, 11, 13, 15], [1, 3, 5, 7], [24, 25, 26, 27]); // Dᵀ
+        // Move Bᵀ/Dᵀ into the odd destinations and Aᵀ/Cᵀ back into the even
+        // ones so that v(2c), v(2c+1) = column c (low half, high half).
+        for c in 0..4u8 {
+            b.mmx_op(PackedOp::Or, ElemType::I16, 8 + 2 * c, 2 * c, 2 * c); // save Bᵀ row
+            b.mmx_op(PackedOp::Or, ElemType::I16, 9 + 2 * c, 1 + 2 * c, 1 + 2 * c); // save Dᵀ row
+        }
+        for c in 0..4u8 {
+            b.mmx_op(PackedOp::Or, ElemType::I16, 2 * c, 16 + 2 * c, 16 + 2 * c); // Aᵀ
+            b.mmx_op(PackedOp::Or, ElemType::I16, 2 * c + 1, 17 + 2 * c, 17 + 2 * c); // Cᵀ
+        }
+
+        // ---- pass 1: P1[r][c] = colpass(in); store row-major to SCRATCH ----
+        // ---- pass 2: out[c][r] = colpass(P1ᵀ)[r][c]; store transposed to DST
+        for (pass, shift) in [(0u8, PASS1_SHIFT), (1u8, PASS2_SHIFT)] {
+            b.li(2, COEF_COLS as i64);
+            b.li(3, if pass == 0 { SCRATCH as i64 } else { DST as i64 });
+            if pass == 1 {
+                b.li(1, SCRATCH as i64);
+            }
+            for r in 0..8u8 {
+                // C column r (the eight C[k][r]) as two halfword words.
+                b.mmx_load(30, 2, (16 * r) as i64, ElemType::I16);
+                b.mmx_load(31, 2, (16 * r) as i64 + 8, ElemType::I16);
+                for c in 0..8u8 {
+                    // The k-vector: pass 1 uses input column c (in registers
+                    // after the transpose); pass 2 uses P1 row c (from memory).
+                    let (lo, hi) = if pass == 0 {
+                        (2 * c, 2 * c + 1)
+                    } else {
+                        b.mmx_load(24, 1, (16 * c) as i64, ElemType::I16);
+                        b.mmx_load(25, 1, (16 * c) as i64 + 8, ElemType::I16);
+                        (24, 25)
+                    };
+                    if mdmx {
+                        b.acc_clear(0);
+                        b.acc_step(AccumOp::MulAdd, ElemType::I16, 0, lo, 30);
+                        b.acc_step(AccumOp::MulAdd, ElemType::I16, 0, hi, 31);
+                        b.acc_read_scalar(7, 0);
+                    } else {
+                        b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 26, lo, 30);
+                        b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 27, hi, 31);
+                        b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I32, 26, 26, 27);
+                        b.mmx_op(PackedOp::HSum, ElemType::I32, 26, 26, 26);
+                        b.mmx_to_int(7, 26);
+                    }
+                    b.addi(7, 7, 1 << (shift - 1));
+                    b.srai(7, 7, shift as i64);
+                    b.alu(AluOp::CmpLt, 9, 28, 7);
+                    b.alu(AluOp::CmovNz, 7, 9, 28);
+                    b.alu(AluOp::CmpLt, 9, 7, 29);
+                    b.alu(AluOp::CmovNz, 7, 9, 29);
+                    // Pass 1 stores P1 row-major; pass 2 stores the final
+                    // result transposed (out[c][r]).
+                    let offset = if pass == 0 {
+                        (16 * r + 2 * c) as i64
+                    } else {
+                        (16 * c + 2 * r) as i64
+                    };
+                    b.store(MemSize::Half, 7, 3, offset);
+                }
+            }
+        }
+        b.finish()
+    }
+
+    /// Emits the 8×8 halfword transpose of the matrix held in registers
+    /// (`l`, `h`) into (`out_l`, `out_h`), using matrix temporaries `t` and
+    /// `s` and MMX register 1, via four 4×4 `MomTranspose` blocks.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_mom_transpose8(
+        b: &mut AsmBuilder,
+        l: u8,
+        h: u8,
+        out_l: u8,
+        out_h: u8,
+        t: u8,
+        s: u8,
+    ) {
+        // out_l rows 0-3 = Aᵀ (A = l rows 0-3).
+        b.mom_transpose(out_l, l, ElemType::I16);
+        // t rows 0-3 = Bᵀ (B = h rows 0-3); move into out_l rows 4-7.
+        b.mom_transpose(t, h, ElemType::I16);
+        for j in 0..4u8 {
+            b.mom_row_to_mmx(1, t, j);
+            b.mom_row_from_mmx(out_l, 1, 4 + j);
+        }
+        // s rows 0-3 = C (l rows 4-7); out_h rows 0-3 = Cᵀ.
+        for j in 0..4u8 {
+            b.mom_row_to_mmx(1, l, 4 + j);
+            b.mom_row_from_mmx(s, 1, j);
+        }
+        b.mom_transpose(out_h, s, ElemType::I16);
+        // s rows 0-3 = D (h rows 4-7); t rows 0-3 = Dᵀ; move into out_h 4-7.
+        for j in 0..4u8 {
+            b.mom_row_to_mmx(1, h, 4 + j);
+            b.mom_row_from_mmx(s, 1, j);
+        }
+        b.mom_transpose(t, s, ElemType::I16);
+        for j in 0..4u8 {
+            b.mom_row_to_mmx(1, t, j);
+            b.mom_row_from_mmx(out_h, 1, 4 + j);
+        }
+    }
+
+    fn build_mom(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        // Matrix register allocation:
+        //   M0/M1   input halves (columns 0-3 / 4-7), later the transposed
+        //           intermediate,
+        //   M2/M3   pass results,
+        //   M4/M5   transpose temporaries, M6/M7 final transposed output,
+        //   M8-M15  the eight constant splat-coefficient matrices W_r.
+        b.li(1, SRC_A as i64);
+        b.li(2, PITCH);
+        b.li(3, 8);
+        b.set_vl_imm(8);
+        // Hoist the eight W_r matrices.
+        for r in 0..8u8 {
+            b.li(4, (COEF_SPLAT + 64 * r as u64) as i64);
+            b.mom_load(8 + r, 4, 3, ElemType::I16);
+        }
+        // Load the input block halves.
+        b.li(5, SRC_A as i64 + 8);
+        b.mom_load(0, 1, 2, ElemType::I16);
+        b.mom_load(1, 5, 2, ElemType::I16);
+        // Two column passes with a transpose in between.
+        for (pass, shift) in [(0u8, PASS1_SHIFT), (1u8, PASS2_SHIFT)] {
+            for r in 0..8u8 {
+                for half in 0..2u8 {
+                    b.mom_acc_clear(0);
+                    b.mom_acc_step(
+                        AccumOp::MulAdd,
+                        ElemType::I16,
+                        0,
+                        half,
+                        MomOperand::Mat(8 + r),
+                    );
+                    b.mom_acc_read(2, 0, ElemType::I16, shift, true);
+                    b.mom_row_from_mmx(2 + half, 2, r);
+                }
+            }
+            if pass == 0 {
+                // Feed pass 2 with the transposed intermediate.
+                Self::emit_mom_transpose8(&mut b, 2, 3, 0, 1, 4, 5);
+            }
+        }
+        // Final transpose and store.
+        Self::emit_mom_transpose8(&mut b, 2, 3, 6, 7, 4, 5);
+        b.li(6, DST as i64);
+        b.li(7, DST as i64 + 8);
+        b.mom_store(6, 6, 2, ElemType::I16);
+        b.mom_store(7, 7, 2, ElemType::I16);
+        b.finish()
+    }
+}
+
+impl KernelSpec for Idct {
+    fn id(&self) -> KernelId {
+        KernelId::Idct
+    }
+
+    fn prepare(&self, mem: &mut Memory, seed: u64) {
+        let block = dct_block(seed);
+        for (r, row) in block.iter().enumerate() {
+            mem.load_i16_slice(SRC_A + (PITCH as u64) * r as u64, row)
+                .unwrap();
+        }
+        let c = basis();
+        // Row-major C.
+        for (k, row) in c.iter().enumerate() {
+            mem.load_i16_slice(COEF + 16 * k as u64, row).unwrap();
+        }
+        // Column-major C (column r contiguous).
+        for r in 0..8 {
+            let col: Vec<i16> = (0..8).map(|k| c[k][r]).collect();
+            mem.load_i16_slice(COEF_COLS + 16 * r as u64, &col).unwrap();
+        }
+        // MOM splat matrices: W_r row k = splat4(C[k][r]).
+        for r in 0..8 {
+            for (k, row) in c.iter().enumerate() {
+                let w = from_lanes(&[row[r] as i64; 4], ElemType::I16);
+                mem.write_u64(COEF_SPLAT + 64 * r as u64 + 8 * k as u64, w)
+                    .unwrap();
+            }
+        }
+    }
+
+    fn program(&self, isa: IsaKind) -> Program {
+        match isa {
+            IsaKind::Alpha => self.build_alpha(),
+            IsaKind::Mmx | IsaKind::Mdmx => self.build_mmx_like(isa),
+            IsaKind::Mom => self.build_mom(),
+        }
+    }
+
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+        let block = dct_block(seed);
+        let expect = reference(&block);
+        for r in 0..8 {
+            let got = mem.dump_i16(DST + (PITCH as u64) * r as u64, 8).unwrap();
+            for c in 0..8 {
+                if got[c] != expect[r][c] {
+                    return Err(mismatch("idct output", 8 * r + c, expect[r][c], got[c]));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::verify_kernel;
+
+    #[test]
+    fn basis_is_orthonormal_in_fixed_point() {
+        let c = basis();
+        // CᵀC ≈ 2^26 · I within fixed-point rounding error.
+        for i in 0..8 {
+            for j in 0..8 {
+                let dot: i64 = (0..8).map(|k| c[k][i] as i64 * c[k][j] as i64).sum();
+                let expect = if i == j { 1i64 << 26 } else { 0 };
+                assert!(
+                    (dot - expect).abs() < 1 << 17,
+                    "basis column dot ({i},{j}) = {dot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_reference_tracks_floating_point() {
+        for seed in [1u64, 5, 42] {
+            let block = dct_block(seed);
+            let fixed = reference(&block);
+            let float = reference_f64(&block);
+            for r in 0..8 {
+                for c in 0..8 {
+                    let err = (fixed[r][c] as f64 - float[r][c]).abs();
+                    assert!(
+                        err <= 2.0,
+                        "seed {seed} ({r},{c}): fixed {} vs float {:.2}",
+                        fixed[r][c],
+                        float[r][c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dc_only_block_produces_flat_output() {
+        let mut block = [[0i16; 8]; 8];
+        block[0][0] = 256;
+        let out = reference(&block);
+        let expect = out[0][0];
+        assert!(out.iter().flatten().all(|&v| (v - expect).abs() <= 1));
+        assert!(expect > 0);
+    }
+
+    #[test]
+    fn all_isas_match_reference() {
+        for isa in IsaKind::ALL {
+            for seed in [5, 77] {
+                verify_kernel(KernelId::Idct, isa, seed)
+                    .unwrap_or_else(|e| panic!("idct/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! `ltppar` and `ltpsfilt` — GSM long-term-predictor kernels.
+//!
+//! * `ltppar` (gsm encode, `Calculation_of_the_LTP_parameters`): for every
+//!   candidate lag λ in 40..=120, correlate the 40-sample weighted window
+//!   `wt` against the reconstructed short-term residual `dp` delayed by λ,
+//!   and return the lag with the maximum correlation (and the correlation
+//!   value itself).
+//!
+//! * `ltpsfilt` (gsm decode, long-/short-term filtering): an 8-tap FIR filter
+//!   over a 120-sample frame,
+//!   `out[i] = sat16(round((Σ_j coef[j]·x[i+j]) / 2^15))`,
+//!   with `round(v / 2^s) = (v + 2^(s-1)) >> s`.
+//!
+//! Both are the "special dot products" the paper extracts from the GSM
+//! codec.
+
+use crate::harness::{mismatch, KernelSpec};
+use crate::layout::{COEF, DST, SRC_A, SRC_B};
+use crate::workload::pcm_samples;
+use crate::KernelId;
+use mom_arch::Memory;
+use mom_isa::prelude::*;
+use mom_simd::lanes::from_lanes;
+
+// ---------------------------------------------------------------------------
+// ltppar
+// ---------------------------------------------------------------------------
+
+/// Number of samples in the correlation window.
+pub const WT_LEN: usize = 40;
+/// Smallest candidate lag.
+pub const LAG_MIN: usize = 40;
+/// Largest candidate lag.
+pub const LAG_MAX: usize = 120;
+/// Number of history samples (`dp[-LAG_MAX .. 0]`, stored oldest first).
+pub const DP_LEN: usize = LAG_MAX + WT_LEN;
+
+/// Golden reference for `ltppar`: returns `(best_lag, max_correlation)`.
+///
+/// `dp` holds `DP_LEN` samples, where `dp[j]` is the reconstructed residual
+/// at time `j - LAG_MAX` (so the window for lag λ starts at `LAG_MAX - λ`).
+pub fn reference_ltppar(wt: &[i16], dp: &[i16]) -> (i64, i64) {
+    let mut best_lag = LAG_MIN as i64;
+    let mut best = i64::MIN;
+    for lag in LAG_MIN..=LAG_MAX {
+        let base = LAG_MAX - lag;
+        let corr: i64 = (0..WT_LEN)
+            .map(|i| wt[i] as i64 * dp[base + i] as i64)
+            .sum();
+        if corr > best {
+            best = corr;
+            best_lag = lag as i64;
+        }
+    }
+    (best_lag, best)
+}
+
+/// The `ltppar` kernel.
+pub struct LtpPar;
+
+impl LtpPar {
+    fn build_alpha(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        // r1 = &wt, r2 = &dp window, r20 = best corr, r21 = best lag, r22 = lag
+        b.li(1, SRC_A as i64);
+        b.li(20, i64::MIN);
+        b.li(21, LAG_MIN as i64);
+        b.li(22, LAG_MIN as i64);
+        b.li(23, LAG_MAX as i64);
+        b.label("lag");
+        // Window base for this lag: dp + 2*(LAG_MAX - lag).
+        b.li(2, (SRC_B + 2 * LAG_MAX as u64) as i64);
+        b.slli(5, 22, 1);
+        b.sub(2, 2, 5);
+        b.li(3, 0); // correlation accumulator
+        b.li(10, WT_LEN as i64);
+        b.li(4, SRC_A as i64);
+        b.label("sample");
+        b.load(MemSize::Half, true, 5, 4, 0);
+        b.load(MemSize::Half, true, 6, 2, 0);
+        b.mul(7, 5, 6);
+        b.add(3, 3, 7);
+        b.addi(4, 4, 2);
+        b.addi(2, 2, 2);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "sample");
+        // max update
+        b.alu(AluOp::CmpLt, 8, 20, 3);
+        b.alu(AluOp::CmovNz, 20, 8, 3);
+        b.alu(AluOp::CmovNz, 21, 8, 22);
+        b.addi(22, 22, 1);
+        b.branch(BranchCond::Le, 22, 23, "lag");
+        b.li(9, DST as i64);
+        b.store(MemSize::Quad, 21, 9, 0);
+        b.store(MemSize::Quad, 20, 9, 8);
+        b.finish()
+    }
+
+    fn build_mmx(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mmx);
+        // Hoist the ten wt words into v0..v9.
+        b.li(1, SRC_A as i64);
+        for w in 0..(WT_LEN / 4) as u8 {
+            b.mmx_load(w, 1, 8 * w as i64, ElemType::I16);
+        }
+        b.li(20, i64::MIN);
+        b.li(21, LAG_MIN as i64);
+        b.li(22, LAG_MIN as i64);
+        b.li(23, LAG_MAX as i64);
+        b.label("lag");
+        b.li(2, (SRC_B + 2 * LAG_MAX as u64) as i64);
+        b.slli(5, 22, 1);
+        b.sub(2, 2, 5);
+        // v15 accumulates two 32-bit partial sums.
+        b.li(5, 0);
+        b.mmx_from_int(15, 5);
+        for w in 0..(WT_LEN / 4) as u8 {
+            b.mmx_load(10, 2, 8 * w as i64, ElemType::I16);
+            b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 11, w, 10);
+            b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I32, 15, 15, 11);
+        }
+        b.mmx_op(PackedOp::HSum, ElemType::I32, 14, 15, 15);
+        b.mmx_to_int(3, 14);
+        b.alu(AluOp::CmpLt, 8, 20, 3);
+        b.alu(AluOp::CmovNz, 20, 8, 3);
+        b.alu(AluOp::CmovNz, 21, 8, 22);
+        b.addi(22, 22, 1);
+        b.branch(BranchCond::Le, 22, 23, "lag");
+        b.li(9, DST as i64);
+        b.store(MemSize::Quad, 21, 9, 0);
+        b.store(MemSize::Quad, 20, 9, 8);
+        b.finish()
+    }
+
+    fn build_mdmx(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mdmx);
+        b.li(1, SRC_A as i64);
+        for w in 0..(WT_LEN / 4) as u8 {
+            b.mmx_load(w, 1, 8 * w as i64, ElemType::I16);
+        }
+        b.li(20, i64::MIN);
+        b.li(21, LAG_MIN as i64);
+        b.li(22, LAG_MIN as i64);
+        b.li(23, LAG_MAX as i64);
+        b.label("lag");
+        b.li(2, (SRC_B + 2 * LAG_MAX as u64) as i64);
+        b.slli(5, 22, 1);
+        b.sub(2, 2, 5);
+        b.acc_clear(0);
+        for w in 0..(WT_LEN / 4) as u8 {
+            b.mmx_load(10, 2, 8 * w as i64, ElemType::I16);
+            b.acc_step(AccumOp::MulAdd, ElemType::I16, 0, w, 10);
+        }
+        b.acc_read_scalar(3, 0);
+        b.alu(AluOp::CmpLt, 8, 20, 3);
+        b.alu(AluOp::CmovNz, 20, 8, 3);
+        b.alu(AluOp::CmovNz, 21, 8, 22);
+        b.addi(22, 22, 1);
+        b.branch(BranchCond::Le, 22, 23, "lag");
+        b.li(9, DST as i64);
+        b.store(MemSize::Quad, 21, 9, 0);
+        b.store(MemSize::Quad, 20, 9, 8);
+        b.finish()
+    }
+
+    fn build_mom(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        // The whole 40-sample window is one 10-row matrix (dimension Y).
+        b.li(1, SRC_A as i64);
+        b.li(4, 8); // row stride
+        b.set_vl_imm((WT_LEN / 4) as u8);
+        b.mom_load(0, 1, 4, ElemType::I16); // wt, hoisted
+        b.li(20, i64::MIN);
+        b.li(21, LAG_MIN as i64);
+        b.li(22, LAG_MIN as i64);
+        b.li(23, LAG_MAX as i64);
+        b.label("lag");
+        b.li(2, (SRC_B + 2 * LAG_MAX as u64) as i64);
+        b.slli(5, 22, 1);
+        b.sub(2, 2, 5);
+        b.mom_load(1, 2, 4, ElemType::I16); // dp window for this lag
+        b.mom_acc_clear(0);
+        b.mom_acc_step(AccumOp::MulAdd, ElemType::I16, 0, 0, MomOperand::Mat(1));
+        b.mom_acc_read_scalar(3, 0);
+        b.alu(AluOp::CmpLt, 8, 20, 3);
+        b.alu(AluOp::CmovNz, 20, 8, 3);
+        b.alu(AluOp::CmovNz, 21, 8, 22);
+        b.addi(22, 22, 1);
+        b.branch(BranchCond::Le, 22, 23, "lag");
+        b.li(9, DST as i64);
+        b.store(MemSize::Quad, 21, 9, 0);
+        b.store(MemSize::Quad, 20, 9, 8);
+        b.finish()
+    }
+}
+
+impl KernelSpec for LtpPar {
+    fn id(&self) -> KernelId {
+        KernelId::LtpPar
+    }
+
+    fn prepare(&self, mem: &mut Memory, seed: u64) {
+        let wt = pcm_samples(seed, WT_LEN);
+        let dp = pcm_samples(seed ^ 0x17F, DP_LEN);
+        mem.load_i16_slice(SRC_A, &wt).unwrap();
+        mem.load_i16_slice(SRC_B, &dp).unwrap();
+    }
+
+    fn program(&self, isa: IsaKind) -> Program {
+        match isa {
+            IsaKind::Alpha => self.build_alpha(),
+            IsaKind::Mmx => self.build_mmx(),
+            IsaKind::Mdmx => self.build_mdmx(),
+            IsaKind::Mom => self.build_mom(),
+        }
+    }
+
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+        let wt = pcm_samples(seed, WT_LEN);
+        let dp = pcm_samples(seed ^ 0x17F, DP_LEN);
+        let (lag, corr) = reference_ltppar(&wt, &dp);
+        let got_lag = mem.read_uint(DST, 8).unwrap() as i64;
+        let got_corr = mem.read_uint(DST + 8, 8).unwrap() as i64;
+        if got_lag != lag {
+            return Err(mismatch("ltppar best lag", 0, lag, got_lag));
+        }
+        if got_corr != corr {
+            return Err(mismatch("ltppar max correlation", 0, corr, got_corr));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ltpsfilt
+// ---------------------------------------------------------------------------
+
+/// Number of filter taps.
+pub const TAPS: usize = 8;
+/// Number of output samples per frame.
+pub const FRAME: usize = 120;
+/// Fixed-point scaling of the filter coefficients.
+pub const FILTER_SHIFT: u32 = 15;
+
+/// The fixed filter coefficients (Q15-ish interpolation weights summing to
+/// just under 1.0, as the GSM long-term gain-scaled taps do).
+pub const FILTER_COEF: [i16; TAPS] = [-1536, 3072, 6144, 12288, 12288, 6144, 3072, -1536];
+
+/// Golden reference for `ltpsfilt`.
+pub fn reference_ltpsfilt(x: &[i16]) -> Vec<i16> {
+    (0..FRAME)
+        .map(|i| {
+            let sum: i64 = (0..TAPS)
+                .map(|j| FILTER_COEF[j] as i64 * x[i + j] as i64)
+                .sum();
+            let rounded = (sum + (1 << (FILTER_SHIFT - 1))) >> FILTER_SHIFT;
+            rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16
+        })
+        .collect()
+}
+
+/// The `ltpsfilt` kernel.
+pub struct LtpFilt;
+
+impl LtpFilt {
+    fn build_alpha(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        // Hoist the taps into r20..r27 (a compiler would keep them live).
+        b.li(1, COEF as i64);
+        for (j, _) in FILTER_COEF.iter().enumerate() {
+            b.load(MemSize::Half, true, 20 + j as u8, 1, 2 * j as i64);
+        }
+        b.li(2, SRC_B as i64); // &x[i]
+        b.li(3, DST as i64);
+        b.li(28, 32767);
+        b.li(29, -32768);
+        b.li(10, FRAME as i64);
+        b.label("sample");
+        b.li(5, 0);
+        for j in 0..TAPS {
+            b.load(MemSize::Half, true, 6, 2, 2 * j as i64);
+            b.mul(6, 6, 20 + j as u8);
+            b.add(5, 5, 6);
+        }
+        b.addi(5, 5, 1 << (FILTER_SHIFT - 1));
+        b.srai(5, 5, FILTER_SHIFT as i64);
+        // clamp to i16
+        b.alu(AluOp::CmpLt, 8, 28, 5);
+        b.alu(AluOp::CmovNz, 5, 8, 28);
+        b.alu(AluOp::CmpLt, 8, 5, 29);
+        b.alu(AluOp::CmovNz, 5, 8, 29);
+        b.store(MemSize::Half, 5, 3, 0);
+        b.addi(2, 2, 2);
+        b.addi(3, 3, 2);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "sample");
+        b.finish()
+    }
+
+    fn build_mmx(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mmx);
+        // Coefficient words (two halves of the 8 taps) hoisted into v0, v1.
+        b.li(1, COEF as i64);
+        b.mmx_load(0, 1, 0, ElemType::I16);
+        b.mmx_load(1, 1, 8, ElemType::I16);
+        b.li(20, 1 << (FILTER_SHIFT - 1));
+        b.li(2, SRC_B as i64);
+        b.li(3, DST as i64);
+        b.li(28, 32767);
+        b.li(29, -32768);
+        b.li(10, FRAME as i64);
+        b.label("sample");
+        b.mmx_load(2, 2, 0, ElemType::I16); // x[i..i+4]
+        b.mmx_load(3, 2, 8, ElemType::I16); // x[i+4..i+8]
+        b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 4, 2, 0);
+        b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 5, 3, 1);
+        b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I32, 4, 4, 5);
+        b.mmx_op(PackedOp::HSum, ElemType::I32, 4, 4, 4);
+        b.mmx_to_int(5, 4);
+        b.add(5, 5, 20);
+        b.srai(5, 5, FILTER_SHIFT as i64);
+        b.alu(AluOp::CmpLt, 8, 28, 5);
+        b.alu(AluOp::CmovNz, 5, 8, 28);
+        b.alu(AluOp::CmpLt, 8, 5, 29);
+        b.alu(AluOp::CmovNz, 5, 8, 29);
+        b.store(MemSize::Half, 5, 3, 0);
+        b.addi(2, 2, 2);
+        b.addi(3, 3, 2);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "sample");
+        b.finish()
+    }
+
+    fn build_mdmx(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mdmx);
+        // Per-tap splatted coefficients hoisted into v20..v27; four outputs
+        // are produced per iteration by accumulating the eight taps.
+        b.li(1, COEF as i64);
+        for j in 0..TAPS as u8 {
+            b.load(MemSize::Half, true, 5, 1, 2 * j as i64);
+            b.mmx_splat(20 + j, 5, ElemType::I16);
+        }
+        b.li(2, SRC_B as i64);
+        b.li(3, DST as i64);
+        b.li(10, (FRAME / 4) as i64);
+        b.label("group");
+        b.acc_clear(0);
+        for j in 0..TAPS as u8 {
+            b.mmx_load(10, 2, 2 * j as i64, ElemType::I16); // x[i+j .. i+j+4]
+            b.acc_step(AccumOp::MulAdd, ElemType::I16, 0, 10, 20 + j);
+        }
+        b.acc_read(11, 0, ElemType::I16, FILTER_SHIFT, true);
+        b.mmx_store(11, 3, 0, ElemType::I16);
+        b.addi(2, 2, 8);
+        b.addi(3, 3, 8);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "group");
+        b.finish()
+    }
+
+    fn build_mom(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        // The eight taps become dimension Y: the data matrix row j holds
+        // x[i+j .. i+j+4] (an overlapping, stride-2 strided load), and the
+        // constant coefficient matrix row j is the splatted tap j.
+        b.li(1, (COEF + 16) as i64); // splatted-tap matrix
+        b.li(4, 8);
+        b.li(5, 2); // data row stride: two bytes, overlapping windows
+        b.set_vl_imm(TAPS as u8);
+        b.mom_load(1, 1, 4, ElemType::I16); // coefficient matrix, hoisted
+        b.li(2, SRC_B as i64);
+        b.li(3, DST as i64);
+        b.li(10, (FRAME / 4) as i64);
+        b.label("group");
+        b.mom_load(0, 2, 5, ElemType::I16); // rows: x[i..i+4], x[i+1..i+5], ...
+        b.mom_acc_clear(0);
+        b.mom_acc_step(AccumOp::MulAdd, ElemType::I16, 0, 0, MomOperand::Mat(1));
+        b.mom_acc_read(11, 0, ElemType::I16, FILTER_SHIFT, true);
+        b.mmx_store(11, 3, 0, ElemType::I16);
+        b.addi(2, 2, 8);
+        b.addi(3, 3, 8);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "group");
+        b.finish()
+    }
+}
+
+impl KernelSpec for LtpFilt {
+    fn id(&self) -> KernelId {
+        KernelId::LtpFilt
+    }
+
+    fn prepare(&self, mem: &mut Memory, seed: u64) {
+        let x = pcm_samples(seed, FRAME + TAPS);
+        mem.load_i16_slice(SRC_B, &x).unwrap();
+        mem.load_i16_slice(COEF, &FILTER_COEF).unwrap();
+        // Splatted-tap coefficient matrix for the MOM variant.
+        for (j, &c) in FILTER_COEF.iter().enumerate() {
+            let row = from_lanes(&[c as i64; 4], ElemType::I16);
+            mem.write_u64(COEF + 16 + 8 * j as u64, row).unwrap();
+        }
+    }
+
+    fn program(&self, isa: IsaKind) -> Program {
+        match isa {
+            IsaKind::Alpha => self.build_alpha(),
+            IsaKind::Mmx => self.build_mmx(),
+            IsaKind::Mdmx => self.build_mdmx(),
+            IsaKind::Mom => self.build_mom(),
+        }
+    }
+
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+        let x = pcm_samples(seed, FRAME + TAPS);
+        let expect = reference_ltpsfilt(&x);
+        let got = mem.dump_i16(DST, FRAME).unwrap();
+        for (i, (e, g)) in expect.iter().zip(got.iter()).enumerate() {
+            if e != g {
+                return Err(mismatch("ltpsfilt output", i, *e, *g));
+            }
+        }
+        Ok(())
+    }
+}
+
+// The wt-window correlation for lag λ never overflows: |wt|,|dp| ≤ 4095, so
+// |corr| ≤ 40·4095² ≈ 6.7·10⁸ < 2³¹.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::verify_kernel;
+
+    #[test]
+    fn ltppar_reference_finds_the_obvious_lag() {
+        // dp is a delayed copy of wt at lag 57: the correlation peaks there.
+        let wt = pcm_samples(123, WT_LEN);
+        let mut dp = vec![0i16; DP_LEN];
+        let lag = 57;
+        for i in 0..WT_LEN {
+            dp[LAG_MAX - lag + i] = wt[i];
+        }
+        let (best, corr) = reference_ltppar(&wt, &dp);
+        assert_eq!(best, lag as i64);
+        assert_eq!(corr, wt.iter().map(|&v| v as i64 * v as i64).sum::<i64>());
+    }
+
+    #[test]
+    fn ltpsfilt_reference_dc_gain() {
+        // A constant input is scaled by the sum of taps / 2^15.
+        let x = vec![1000i16; FRAME + TAPS];
+        let out = reference_ltpsfilt(&x);
+        let gain: i64 = FILTER_COEF.iter().map(|&c| c as i64).sum();
+        let expect = ((1000 * gain + (1 << 14)) >> 15) as i16;
+        assert!(out.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn ltppar_all_isas_match_reference() {
+        for isa in IsaKind::ALL {
+            for seed in [8, 91] {
+                verify_kernel(KernelId::LtpPar, isa, seed)
+                    .unwrap_or_else(|e| panic!("ltppar/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn ltpsfilt_all_isas_match_reference() {
+        for isa in IsaKind::ALL {
+            for seed in [8, 91] {
+                verify_kernel(KernelId::LtpFilt, isa, seed)
+                    .unwrap_or_else(|e| panic!("ltpsfilt/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The nine kernel implementations.
+//!
+//! Each sub-module contains, for one (or two closely related) kernel(s):
+//! the golden Rust reference, the workload preparation, the four program
+//! generators (scalar / MMX / MDMX / MOM) and verification, all behind the
+//! [`crate::KernelSpec`] trait.
+
+pub mod addblock;
+pub mod compensation;
+pub mod h2v2;
+pub mod idct;
+pub mod ltp;
+pub mod motion;
+pub mod rgb2ycc;
+
+use crate::{KernelId, KernelSpec};
+
+/// Returns the specification object for a kernel.
+pub fn spec(id: KernelId) -> Box<dyn KernelSpec> {
+    match id {
+        KernelId::Idct => Box::new(idct::Idct),
+        KernelId::Motion1 => Box::new(motion::Motion1),
+        KernelId::Motion2 => Box::new(motion::Motion2),
+        KernelId::Rgb2Ycc => Box::new(rgb2ycc::Rgb2Ycc),
+        KernelId::H2v2 => Box::new(h2v2::H2v2),
+        KernelId::Compensation => Box::new(compensation::Compensation),
+        KernelId::AddBlock => Box::new(addblock::AddBlock),
+        KernelId::LtpPar => Box::new(ltp::LtpPar),
+        KernelId::LtpFilt => Box::new(ltp::LtpFilt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::IsaKind;
+
+    /// Every kernel must produce a valid program for every ISA, and that
+    /// program must only use instructions of that ISA.
+    #[test]
+    fn every_kernel_builds_valid_programs_for_every_isa() {
+        for id in KernelId::ALL {
+            for isa in IsaKind::ALL {
+                let p = spec(id).program(isa);
+                assert_eq!(p.isa(), isa);
+                p.validate()
+                    .unwrap_or_else(|e| panic!("{id}/{isa}: {e}"));
+                assert!(!p.is_empty(), "{id}/{isa}: empty program");
+            }
+        }
+    }
+
+    /// The multimedia variants must execute fewer dynamic instructions than
+    /// the scalar baseline, and MOM fewer than MMX — the fetch-pressure
+    /// argument of the paper (its "R" and OPI factors).
+    #[test]
+    fn dynamic_instruction_counts_shrink_towards_mom() {
+        for id in KernelId::ALL {
+            let scalar = crate::run_kernel(id, IsaKind::Alpha, 11, 1).trace.len();
+            let mmx = crate::run_kernel(id, IsaKind::Mmx, 11, 1).trace.len();
+            let mom = crate::run_kernel(id, IsaKind::Mom, 11, 1).trace.len();
+            assert!(
+                mmx < scalar,
+                "{id}: MMX dynamic length {mmx} should be below scalar {scalar}"
+            );
+            assert!(
+                mom < mmx,
+                "{id}: MOM dynamic length {mom} should be below MMX {mmx}"
+            );
+        }
+    }
+}

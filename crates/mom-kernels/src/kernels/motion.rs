@@ -1,0 +1,306 @@
+//! `motion1` and `motion2` — MPEG2 motion-estimation block matching.
+//!
+//! Motion estimation compares the current 16×16 macroblock against a
+//! candidate block of the reference frame:
+//!
+//! * `motion1` computes the **sum of absolute differences** (SAD),
+//! * `motion2` computes the **sum of squared differences** (SSD).
+//!
+//! Both blocks live inside frames with row pitch [`FRAME_PITCH`]; the scalar
+//! result is stored as a 32-bit word at [`DST`].
+
+use crate::harness::{mismatch, KernelSpec};
+use crate::layout::{DST, FRAME_PITCH, SRC_A, SRC_B};
+use crate::workload::pixel_block;
+use crate::KernelId;
+use mom_arch::Memory;
+use mom_isa::prelude::*;
+
+/// Macroblock width and height in pixels.
+pub const BLOCK: usize = 16;
+
+/// Golden SAD reference.
+pub fn reference_sad(cur: &[u8], reference: &[u8], pitch: usize) -> u32 {
+    let mut sum = 0u32;
+    for r in 0..BLOCK {
+        for c in 0..BLOCK {
+            let a = cur[r * pitch + c] as i32;
+            let b = reference[r * pitch + c] as i32;
+            sum += (a - b).unsigned_abs();
+        }
+    }
+    sum
+}
+
+/// Golden SSD reference.
+pub fn reference_ssd(cur: &[u8], reference: &[u8], pitch: usize) -> u32 {
+    let mut sum = 0u32;
+    for r in 0..BLOCK {
+        for c in 0..BLOCK {
+            let d = cur[r * pitch + c] as i32 - reference[r * pitch + c] as i32;
+            sum += (d * d) as u32;
+        }
+    }
+    sum
+}
+
+/// Which distance metric a motion kernel computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Metric {
+    AbsoluteDifferences,
+    SquaredDifferences,
+}
+
+fn prepare_blocks(mem: &mut Memory, seed: u64) {
+    let cur = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
+    // The reference block is the same scene content perturbed a little, as a
+    // well-predicted macroblock would be.
+    let refb = pixel_block(seed ^ 0x5EED, BLOCK, BLOCK, FRAME_PITCH as usize);
+    mem.load_u8_slice(SRC_A, &cur.data).unwrap();
+    mem.load_u8_slice(SRC_B, &refb.data).unwrap();
+}
+
+fn build_alpha(metric: Metric) -> Program {
+    let mut b = AsmBuilder::new(IsaKind::Alpha);
+    // r1 = &cur, r2 = &ref, r3 = accumulator, r10/r11 loop counters
+    b.li(1, SRC_A as i64);
+    b.li(2, SRC_B as i64);
+    b.li(3, 0);
+    b.li(10, BLOCK as i64);
+    b.label("row");
+    b.li(11, BLOCK as i64);
+    b.label("col");
+    b.load(MemSize::Byte, false, 5, 1, 0);
+    b.load(MemSize::Byte, false, 6, 2, 0);
+    b.sub(7, 5, 6);
+    match metric {
+        Metric::AbsoluteDifferences => {
+            // |d| via compare + conditional move of the negated value.
+            b.sub(8, 6, 5);
+            b.alu(AluOp::CmpLt, 9, 7, 31);
+            b.alu(AluOp::CmovNz, 7, 9, 8);
+        }
+        Metric::SquaredDifferences => {
+            b.mul(7, 7, 7);
+        }
+    }
+    b.add(3, 3, 7);
+    b.addi(1, 1, 1);
+    b.addi(2, 2, 1);
+    b.addi(11, 11, -1);
+    b.branch(BranchCond::Gt, 11, 31, "col");
+    b.addi(1, 1, FRAME_PITCH as i64 - BLOCK as i64);
+    b.addi(2, 2, FRAME_PITCH as i64 - BLOCK as i64);
+    b.addi(10, 10, -1);
+    b.branch(BranchCond::Gt, 10, 31, "row");
+    b.li(4, DST as i64);
+    b.store(MemSize::Word, 3, 4, 0);
+    b.finish()
+}
+
+fn build_mmx(metric: Metric) -> Program {
+    let mut b = AsmBuilder::new(IsaKind::Mmx);
+    b.li(1, SRC_A as i64);
+    b.li(2, SRC_B as i64);
+    b.li(10, BLOCK as i64);
+    // v7 accumulates 32-bit partial sums.
+    b.li(5, 0);
+    b.mmx_from_int(7, 5);
+    b.label("row");
+    for half in 0..2 {
+        let off = 8 * half;
+        b.mmx_load(0, 1, off, ElemType::U8);
+        b.mmx_load(1, 2, off, ElemType::U8);
+        match metric {
+            Metric::AbsoluteDifferences => {
+                // psadbw-style: the SAD of the two words lands in the low
+                // lane; accumulate as 32-bit lanes.
+                b.mmx_op(PackedOp::Sad, ElemType::U8, 2, 0, 1);
+                b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I32, 7, 7, 2);
+            }
+            Metric::SquaredDifferences => {
+                // |a-b| fits a byte; widen to 16 bits, square exactly with
+                // pmaddwd against itself (adjacent products summed into
+                // 32-bit lanes) and accumulate.
+                b.mmx_op(PackedOp::AbsDiff, ElemType::U8, 2, 0, 1);
+                b.mmx_op(PackedOp::WidenLow, ElemType::U8, 3, 2, 2);
+                b.mmx_op(PackedOp::WidenHigh, ElemType::U8, 4, 2, 2);
+                b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 3, 3, 3);
+                b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 4, 4, 4);
+                b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I32, 7, 7, 3);
+                b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I32, 7, 7, 4);
+            }
+        }
+    }
+    b.addi(1, 1, FRAME_PITCH as i64);
+    b.addi(2, 2, FRAME_PITCH as i64);
+    b.addi(10, 10, -1);
+    b.branch(BranchCond::Gt, 10, 31, "row");
+    // Fold the two 32-bit lanes and store the scalar result.
+    b.mmx_op(PackedOp::HSum, ElemType::I32, 6, 7, 7);
+    b.mmx_to_int(5, 6);
+    b.li(4, DST as i64);
+    b.store(MemSize::Word, 5, 4, 0);
+    b.finish()
+}
+
+fn build_mdmx(metric: Metric) -> Program {
+    let mut b = AsmBuilder::new(IsaKind::Mdmx);
+    b.li(1, SRC_A as i64);
+    b.li(2, SRC_B as i64);
+    b.li(10, BLOCK as i64);
+    b.acc_clear(0);
+    let op = match metric {
+        Metric::AbsoluteDifferences => AccumOp::AbsDiffAdd,
+        Metric::SquaredDifferences => AccumOp::SqrDiffAdd,
+    };
+    b.label("row");
+    for half in 0..2 {
+        let off = 8 * half;
+        b.mmx_load(0, 1, off, ElemType::U8);
+        b.mmx_load(1, 2, off, ElemType::U8);
+        b.acc_step(op, ElemType::U8, 0, 0, 1);
+    }
+    b.addi(1, 1, FRAME_PITCH as i64);
+    b.addi(2, 2, FRAME_PITCH as i64);
+    b.addi(10, 10, -1);
+    b.branch(BranchCond::Gt, 10, 31, "row");
+    b.acc_read_scalar(5, 0);
+    b.li(4, DST as i64);
+    b.store(MemSize::Word, 5, 4, 0);
+    b.finish()
+}
+
+fn build_mom(metric: Metric) -> Program {
+    let mut b = AsmBuilder::new(IsaKind::Mom);
+    // r1 = &cur, r2 = &ref, r4 = pitch
+    b.li(1, SRC_A as i64);
+    b.li(2, SRC_B as i64);
+    b.li(4, FRAME_PITCH as i64);
+    b.li(6, SRC_A as i64 + 8);
+    b.li(7, SRC_B as i64 + 8);
+    b.set_vl_imm(BLOCK as u8);
+    b.mom_acc_clear(0);
+    let op = match metric {
+        Metric::AbsoluteDifferences => AccumOp::AbsDiffAdd,
+        Metric::SquaredDifferences => AccumOp::SqrDiffAdd,
+    };
+    // Left 8 columns of both blocks, then right 8 columns.
+    b.mom_load(0, 1, 4, ElemType::U8);
+    b.mom_load(1, 2, 4, ElemType::U8);
+    b.mom_acc_step(op, ElemType::U8, 0, 0, MomOperand::Mat(1));
+    b.mom_load(2, 6, 4, ElemType::U8);
+    b.mom_load(3, 7, 4, ElemType::U8);
+    b.mom_acc_step(op, ElemType::U8, 0, 2, MomOperand::Mat(3));
+    b.mom_acc_read_scalar(5, 0);
+    b.li(8, DST as i64);
+    b.store(MemSize::Word, 5, 8, 0);
+    b.finish()
+}
+
+fn verify(metric: Metric, mem: &Memory, seed: u64) -> Result<(), String> {
+    let cur = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
+    let refb = pixel_block(seed ^ 0x5EED, BLOCK, BLOCK, FRAME_PITCH as usize);
+    let expect = match metric {
+        Metric::AbsoluteDifferences => reference_sad(&cur.data, &refb.data, FRAME_PITCH as usize),
+        Metric::SquaredDifferences => reference_ssd(&cur.data, &refb.data, FRAME_PITCH as usize),
+    };
+    let got = mem.read_i32(DST).unwrap() as u32;
+    if got != expect {
+        return Err(mismatch("motion distance", 0, expect, got));
+    }
+    Ok(())
+}
+
+/// The `motion1` (SAD) kernel.
+pub struct Motion1;
+
+impl KernelSpec for Motion1 {
+    fn id(&self) -> KernelId {
+        KernelId::Motion1
+    }
+    fn prepare(&self, mem: &mut Memory, seed: u64) {
+        prepare_blocks(mem, seed);
+    }
+    fn program(&self, isa: IsaKind) -> Program {
+        match isa {
+            IsaKind::Alpha => build_alpha(Metric::AbsoluteDifferences),
+            IsaKind::Mmx => build_mmx(Metric::AbsoluteDifferences),
+            IsaKind::Mdmx => build_mdmx(Metric::AbsoluteDifferences),
+            IsaKind::Mom => build_mom(Metric::AbsoluteDifferences),
+        }
+    }
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+        verify(Metric::AbsoluteDifferences, mem, seed)
+    }
+}
+
+/// The `motion2` (SSD) kernel.
+pub struct Motion2;
+
+impl KernelSpec for Motion2 {
+    fn id(&self) -> KernelId {
+        KernelId::Motion2
+    }
+    fn prepare(&self, mem: &mut Memory, seed: u64) {
+        prepare_blocks(mem, seed);
+    }
+    fn program(&self, isa: IsaKind) -> Program {
+        match isa {
+            IsaKind::Alpha => build_alpha(Metric::SquaredDifferences),
+            IsaKind::Mmx => build_mmx(Metric::SquaredDifferences),
+            IsaKind::Mdmx => build_mdmx(Metric::SquaredDifferences),
+            IsaKind::Mom => build_mom(Metric::SquaredDifferences),
+        }
+    }
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+        verify(Metric::SquaredDifferences, mem, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::verify_kernel;
+
+    #[test]
+    fn references_on_known_blocks() {
+        let a = vec![100u8; 256];
+        let mut b = vec![100u8; 256];
+        b[0] = 110;
+        b[17] = 90;
+        assert_eq!(reference_sad(&a, &b, 16), 20);
+        assert_eq!(reference_ssd(&a, &b, 16), 200);
+        assert_eq!(reference_sad(&a, &a, 16), 0);
+        assert_eq!(reference_ssd(&a, &a, 16), 0);
+    }
+
+    #[test]
+    fn motion1_all_isas_match_reference() {
+        for isa in IsaKind::ALL {
+            for seed in [3, 19, 1234] {
+                verify_kernel(KernelId::Motion1, isa, seed)
+                    .unwrap_or_else(|e| panic!("motion1/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn motion2_all_isas_match_reference() {
+        for isa in IsaKind::ALL {
+            for seed in [3, 19, 1234] {
+                verify_kernel(KernelId::Motion2, isa, seed)
+                    .unwrap_or_else(|e| panic!("motion2/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn mom_version_has_no_loop_at_all() {
+        // The whole 16x16 SAD is a handful of matrix instructions.
+        let p = Motion1.program(IsaKind::Mom);
+        assert!(p.len() < 20, "MOM motion1 should be tiny, got {}", p.len());
+        let scalar = Motion1.program(IsaKind::Alpha).len();
+        assert!(scalar < 50, "scalar static code is a loop, got {scalar}");
+    }
+}

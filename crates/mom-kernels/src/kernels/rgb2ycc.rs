@@ -1,0 +1,370 @@
+//! `rgb2ycc` — RGB → YCbCr colour conversion (jpeg encode).
+//!
+//! Planar 8-bit R/G/B inputs are converted to planar 8-bit Y/Cb/Cr using the
+//! usual fixed-point weights (scaled by 256):
+//!
+//! ```text
+//! Y  = round((77·R + 150·G +  29·B) / 256)
+//! Cb = round((32768 - 43·R -  85·G + 128·B) / 256)      (bias 128 folded in)
+//! Cr = round((32768 + 128·R - 107·G -  21·B) / 256)
+//! ```
+//!
+//! where `round(x/256) = (x + 128) >> 8`. All weighted sums are non-negative
+//! by construction. The paper singles this kernel out as the one where MOM
+//! gains little: the natural MOM vectorisation runs along the colour-space
+//! dimension, so the dimension-Y vector length is only ≈3 (the bias row adds
+//! a fourth).
+
+use crate::harness::{mismatch, KernelSpec};
+use crate::layout::{COEF, DST, SRC_A};
+use crate::workload::rgb_planes;
+use crate::KernelId;
+use mom_arch::Memory;
+use mom_isa::prelude::*;
+use mom_simd::lanes::from_lanes;
+
+/// Number of pixels converted per invocation.
+pub const PIXELS: usize = 64;
+/// Byte offset between the R, G and B (and Y, Cb, Cr) planes.
+pub const PLANE: u64 = 256;
+
+/// The three weight rows (R, G, B) and the additive bias of each output
+/// component.
+pub const WEIGHTS: [([i64; 3], i64); 3] = [
+    ([77, 150, 29], 0),
+    ([-43, -85, 128], 32768),
+    ([128, -107, -21], 32768),
+];
+
+/// Golden reference.
+pub fn reference(r: &[u8], g: &[u8], b: &[u8]) -> [Vec<u8>; 3] {
+    let mut out = [vec![0u8; PIXELS], vec![0u8; PIXELS], vec![0u8; PIXELS]];
+    for i in 0..PIXELS {
+        for (comp, (w, bias)) in WEIGHTS.iter().enumerate() {
+            let sum = w[0] * r[i] as i64 + w[1] * g[i] as i64 + w[2] * b[i] as i64 + bias;
+            debug_assert!(sum >= 0);
+            out[comp][i] = (((sum + 128) >> 8).clamp(0, 255)) as u8;
+        }
+    }
+    out
+}
+
+/// The `rgb2ycc` kernel.
+pub struct Rgb2Ycc;
+
+impl Rgb2Ycc {
+    fn build_alpha(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Alpha);
+        // r1 = &R, r2 = &G, r3 = &B, r4 = &Y, r10 = counter
+        b.li(1, SRC_A as i64);
+        b.li(2, (SRC_A + PLANE) as i64);
+        b.li(3, (SRC_A + 2 * PLANE) as i64);
+        b.li(4, DST as i64);
+        b.li(10, PIXELS as i64);
+        b.label("pixel");
+        b.load(MemSize::Byte, false, 5, 1, 0); // R
+        b.load(MemSize::Byte, false, 6, 2, 0); // G
+        b.load(MemSize::Byte, false, 7, 3, 0); // B
+        for (comp, (w, bias)) in WEIGHTS.iter().enumerate() {
+            b.muli(8, 5, w[0]);
+            b.muli(9, 6, w[1]);
+            b.add(8, 8, 9);
+            b.muli(9, 7, w[2]);
+            b.add(8, 8, 9);
+            if *bias != 0 {
+                b.addi(8, 8, *bias);
+            }
+            b.addi(8, 8, 128);
+            b.srai(8, 8, 8);
+            b.store(MemSize::Byte, 8, 4, comp as i64 * PLANE as i64);
+        }
+        b.addi(1, 1, 1);
+        b.addi(2, 2, 1);
+        b.addi(3, 3, 1);
+        b.addi(4, 4, 1);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "pixel");
+        b.finish()
+    }
+
+    /// Packs the halfword pair `(lo, hi, lo, hi)` into one 64-bit constant,
+    /// the operand layout `pmaddwd`-style multiply-add expects.
+    fn pair_word(lo: i64, hi: i64) -> i64 {
+        from_lanes(&[lo, hi, lo, hi], ElemType::I16) as i64
+    }
+
+    /// The MMX version interleaves R with G and B with a constant-1 lane so
+    /// that `pmaddwd` produces exact 32-bit weighted sums — the classic
+    /// data-promotion overhead the paper attributes to MMX.
+    fn build_mmx(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mmx);
+        b.li(1, SRC_A as i64);
+        b.li(2, (SRC_A + PLANE) as i64);
+        b.li(3, (SRC_A + 2 * PLANE) as i64);
+        b.li(4, DST as i64);
+        // Hoisted coefficient pair words: (wR, wG) and (wB, (bias+128)/2).
+        // B is paired with a constant 2 below, so the bias lane contributes
+        // the full `bias + 128` (rounding included) while staying within the
+        // signed halfword range.
+        for (comp, (w, bias)) in WEIGHTS.iter().enumerate() {
+            b.li(20, Self::pair_word(w[0], w[1]));
+            b.mmx_from_int(20 + comp as u8, 20);
+            b.li(20, Self::pair_word(w[2], (bias + 128) / 2));
+            b.mmx_from_int(23 + comp as u8, 20);
+        }
+        // A halfword 2 in every lane, to pair with B.
+        b.li(20, 2);
+        b.mmx_splat(9, 20, ElemType::I16);
+        b.li(10, (PIXELS / 8) as i64);
+        b.label("group");
+        b.mmx_load(0, 1, 0, ElemType::U8); // R x8
+        b.mmx_load(1, 2, 0, ElemType::U8); // G x8
+        b.mmx_load(2, 3, 0, ElemType::U8); // B x8
+        // Widen to 16 bits.
+        b.mmx_op(PackedOp::WidenLow, ElemType::U8, 3, 0, 0);
+        b.mmx_op(PackedOp::WidenHigh, ElemType::U8, 4, 0, 0);
+        b.mmx_op(PackedOp::WidenLow, ElemType::U8, 5, 1, 1);
+        b.mmx_op(PackedOp::WidenHigh, ElemType::U8, 6, 1, 1);
+        b.mmx_op(PackedOp::WidenLow, ElemType::U8, 7, 2, 2);
+        b.mmx_op(PackedOp::WidenHigh, ElemType::U8, 8, 2, 2);
+        // Interleave R with G, and B with the constant 2, as 16-bit pairs.
+        b.mmx_op(PackedOp::UnpackLow, ElemType::I16, 10, 3, 5); // (R,G) pixels 0-1
+        b.mmx_op(PackedOp::UnpackHigh, ElemType::I16, 11, 3, 5); // pixels 2-3
+        b.mmx_op(PackedOp::UnpackLow, ElemType::I16, 12, 4, 6); // pixels 4-5
+        b.mmx_op(PackedOp::UnpackHigh, ElemType::I16, 13, 4, 6); // pixels 6-7
+        b.mmx_op(PackedOp::UnpackLow, ElemType::I16, 14, 7, 9); // (B,1) pixels 0-1
+        b.mmx_op(PackedOp::UnpackHigh, ElemType::I16, 15, 7, 9);
+        b.mmx_op(PackedOp::UnpackLow, ElemType::I16, 16, 8, 9);
+        b.mmx_op(PackedOp::UnpackHigh, ElemType::I16, 17, 8, 9);
+        for (comp, _) in WEIGHTS.iter().enumerate() {
+            let rg_coef = 20 + comp as u8;
+            let bb_coef = 23 + comp as u8;
+            // Each quarter produces two 32-bit sums (two pixels).
+            for (quarter, &(rg, bb)) in [(10u8, 14u8), (11, 15), (12, 16), (13, 17)]
+                .iter()
+                .enumerate()
+            {
+                b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 18, rg, rg_coef);
+                b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 19, bb, bb_coef);
+                b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I32, 26 + quarter as u8, 18, 19);
+                b.mmx_op(
+                    PackedOp::SraImm(8),
+                    ElemType::I32,
+                    26 + quarter as u8,
+                    26 + quarter as u8,
+                    26 + quarter as u8,
+                );
+            }
+            // Narrow 8 x i32 -> 8 x i16 -> 8 x u8 and store the plane row.
+            b.mmx_op(PackedOp::PackSat(ElemType::I16), ElemType::I32, 30, 26, 27);
+            b.mmx_op(PackedOp::PackSat(ElemType::I16), ElemType::I32, 31, 28, 29);
+            b.mmx_op(PackedOp::PackSat(ElemType::U8), ElemType::I16, 30, 30, 31);
+            b.mmx_store(30, 4, comp as i64 * PLANE as i64, ElemType::U8);
+        }
+        b.addi(1, 1, 8);
+        b.addi(2, 2, 8);
+        b.addi(3, 3, 8);
+        b.addi(4, 4, 8);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "group");
+        b.finish()
+    }
+
+    /// The MDMX version replaces the pmaddwd interleaving with accumulator
+    /// steps (one per weight), keeping full precision without data
+    /// promotion of the products.
+    fn build_mdmx(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mdmx);
+        b.li(1, SRC_A as i64);
+        b.li(2, (SRC_A + PLANE) as i64);
+        b.li(3, (SRC_A + 2 * PLANE) as i64);
+        b.li(4, DST as i64);
+        // Hoisted weight splats: v20..v28 = the nine weights, v29 = 256,
+        // v30 = 128 (so 256 * 128 adds the 32768 bias).
+        for (comp, (w, _)) in WEIGHTS.iter().enumerate() {
+            for (j, &wj) in w.iter().enumerate() {
+                b.li(20, wj);
+                b.mmx_splat(20 + 3 * comp as u8 + j as u8, 20, ElemType::I16);
+            }
+        }
+        b.li(20, 256);
+        b.mmx_splat(29, 20, ElemType::I16);
+        b.li(20, 128);
+        b.mmx_splat(30, 20, ElemType::I16);
+        b.li(10, (PIXELS / 8) as i64);
+        b.label("group");
+        b.mmx_load(0, 1, 0, ElemType::U8);
+        b.mmx_load(1, 2, 0, ElemType::U8);
+        b.mmx_load(2, 3, 0, ElemType::U8);
+        b.mmx_op(PackedOp::WidenLow, ElemType::U8, 3, 0, 0);
+        b.mmx_op(PackedOp::WidenHigh, ElemType::U8, 4, 0, 0);
+        b.mmx_op(PackedOp::WidenLow, ElemType::U8, 5, 1, 1);
+        b.mmx_op(PackedOp::WidenHigh, ElemType::U8, 6, 1, 1);
+        b.mmx_op(PackedOp::WidenLow, ElemType::U8, 7, 2, 2);
+        b.mmx_op(PackedOp::WidenHigh, ElemType::U8, 8, 2, 2);
+        for (comp, (_, bias)) in WEIGHTS.iter().enumerate() {
+            let c0 = 20 + 3 * comp as u8;
+            for half in 0..2u8 {
+                let (r, g, bb) = (3 + half, 5 + half, 7 + half);
+                b.acc_clear(0);
+                b.acc_step(AccumOp::MulAdd, ElemType::I16, 0, r, c0);
+                b.acc_step(AccumOp::MulAdd, ElemType::I16, 0, g, c0 + 1);
+                b.acc_step(AccumOp::MulAdd, ElemType::I16, 0, bb, c0 + 2);
+                if *bias != 0 {
+                    b.acc_step(AccumOp::MulAdd, ElemType::I16, 0, 29, 30);
+                }
+                b.acc_read(14 + half, 0, ElemType::I16, 8, true);
+            }
+            b.mmx_op(PackedOp::PackSat(ElemType::U8), ElemType::I16, 16, 14, 15);
+            b.mmx_store(16, 4, comp as i64 * PLANE as i64, ElemType::U8);
+        }
+        b.addi(1, 1, 8);
+        b.addi(2, 2, 8);
+        b.addi(3, 3, 8);
+        b.addi(4, 4, 8);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "group");
+        b.finish()
+    }
+
+    /// The MOM version vectorises along the colour-space dimension: the data
+    /// matrix rows are R, G, B and a constant bias row (VL = 4), and each
+    /// output component has a constant coefficient matrix whose rows are the
+    /// splatted weights.
+    fn build_mom(&self) -> Program {
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.li(1, SRC_A as i64);
+        b.li(4, DST as i64);
+        b.li(5, PLANE as i64); // data stride: rows are the R, G, B, bias planes
+        b.li(6, 8); // coefficient matrix row stride
+        b.set_vl_imm(4);
+        // Hoist the three constant coefficient matrices.
+        for comp in 0..3u8 {
+            b.li(7, (COEF + 32 * comp as u64) as i64);
+            b.mom_load(10 + comp, 7, 6, ElemType::I16);
+        }
+        b.li(10, (PIXELS / 8) as i64);
+        b.label("group");
+        b.mom_load(0, 1, 5, ElemType::U8); // rows: R, G, B, bias constant
+        b.mom_op(PackedOp::WidenLow, ElemType::U8, 1, 0, MomOperand::Mat(0));
+        b.mom_op(PackedOp::WidenHigh, ElemType::U8, 2, 0, MomOperand::Mat(0));
+        for comp in 0..3u8 {
+            for half in 0..2u8 {
+                b.mom_acc_clear(0);
+                b.mom_acc_step(
+                    AccumOp::MulAdd,
+                    ElemType::I16,
+                    0,
+                    1 + half,
+                    MomOperand::Mat(10 + comp),
+                );
+                b.mom_acc_read(4 + half, 0, ElemType::I16, 8, true);
+            }
+            b.mmx_op(PackedOp::PackSat(ElemType::U8), ElemType::I16, 6, 4, 5);
+            b.mmx_store(6, 4, comp as i64 * PLANE as i64, ElemType::U8);
+        }
+        b.addi(1, 1, 8);
+        b.addi(4, 4, 8);
+        b.addi(10, 10, -1);
+        b.branch(BranchCond::Gt, 10, 31, "group");
+        b.finish()
+    }
+}
+
+impl KernelSpec for Rgb2Ycc {
+    fn id(&self) -> KernelId {
+        KernelId::Rgb2Ycc
+    }
+
+    fn prepare(&self, mem: &mut Memory, seed: u64) {
+        let (r, g, b) = rgb_planes(seed, PIXELS);
+        mem.load_u8_slice(SRC_A, &r).unwrap();
+        mem.load_u8_slice(SRC_A + PLANE, &g).unwrap();
+        mem.load_u8_slice(SRC_A + 2 * PLANE, &b).unwrap();
+        // Fourth data row for the MOM variant: the constant 2 in every lane.
+        // Its weight below is bias/2, so the accumulated term is the full
+        // 32768 bias without needing a weight that exceeds the i16 range.
+        mem.load_u8_slice(SRC_A + 3 * PLANE, &[2u8; PIXELS]).unwrap();
+        // MOM coefficient matrices: per component, four rows of splatted
+        // halfword weights (R, G, B, bias/2).
+        for (comp, (w, bias)) in WEIGHTS.iter().enumerate() {
+            let base = COEF + 32 * comp as u64;
+            for (j, &wj) in w.iter().enumerate() {
+                let row = from_lanes(&[wj, wj, wj, wj], ElemType::I16);
+                mem.write_u64(base + 8 * j as u64, row).unwrap();
+            }
+            let half_bias = bias / 2;
+            let row = from_lanes(&[half_bias; 4], ElemType::I16);
+            mem.write_u64(base + 24, row).unwrap();
+        }
+    }
+
+    fn program(&self, isa: IsaKind) -> Program {
+        match isa {
+            IsaKind::Alpha => self.build_alpha(),
+            IsaKind::Mmx => self.build_mmx(),
+            IsaKind::Mdmx => self.build_mdmx(),
+            IsaKind::Mom => self.build_mom(),
+        }
+    }
+
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+        let (r, g, b) = rgb_planes(seed, PIXELS);
+        let expect = reference(&r, &g, &b);
+        for (comp, plane) in expect.iter().enumerate() {
+            let got = mem.dump_u8(DST + comp as u64 * PLANE, PIXELS).unwrap();
+            for (i, (e, g)) in plane.iter().zip(got.iter()).enumerate() {
+                if e != g {
+                    return Err(mismatch(
+                        &format!("rgb2ycc component {comp}"),
+                        i,
+                        *e,
+                        *g,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::verify_kernel;
+
+    #[test]
+    fn reference_grey_pixel_maps_to_neutral_chroma() {
+        let r = vec![128u8; PIXELS];
+        let g = vec![128u8; PIXELS];
+        let b = vec![128u8; PIXELS];
+        let out = reference(&r, &g, &b);
+        assert_eq!(out[0][0], 128);
+        assert_eq!(out[1][0], 128);
+        assert_eq!(out[2][0], 128);
+    }
+
+    #[test]
+    fn reference_weights_sum_correctly() {
+        // Pure white: Y = 255, chroma neutral.
+        let out = reference(&[255; PIXELS], &[255; PIXELS], &[255; PIXELS]);
+        assert_eq!(out[0][0], 255);
+        assert_eq!(out[1][0], 128);
+        assert_eq!(out[2][0], 128);
+        // Pure black: Y = 0, chroma neutral.
+        let out = reference(&[0; PIXELS], &[0; PIXELS], &[0; PIXELS]);
+        assert_eq!(out[0][0], 0);
+        assert_eq!(out[1][0], 128);
+        assert_eq!(out[2][0], 128);
+    }
+
+    #[test]
+    fn all_isas_match_reference() {
+        for isa in IsaKind::ALL {
+            for seed in [6, 45] {
+                verify_kernel(KernelId::Rgb2Ycc, isa, seed)
+                    .unwrap_or_else(|e| panic!("rgb2ycc/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The fixed memory map kernels use inside the simulated machine.
+//!
+//! Every kernel reads its inputs and writes its outputs at well-known
+//! addresses so that the four ISA variants of a kernel are trivially
+//! comparable and verification can dump the same region regardless of ISA.
+
+/// Total size of the simulated memory given to kernels (1 MiB).
+pub const MEMORY_SIZE: usize = 1 << 20;
+
+/// First input region (e.g. the current macroblock, the DCT coefficient
+/// block, the reference samples).
+pub const SRC_A: u64 = 0x1_0000;
+
+/// Second input region (e.g. the reference macroblock, the prediction
+/// block, the filter input).
+pub const SRC_B: u64 = 0x2_0000;
+
+/// Third input region (constants: coefficient tables, splat matrices,
+/// filter taps).
+pub const COEF: u64 = 0x3_0000;
+
+/// Output region.
+pub const DST: u64 = 0x4_0000;
+
+/// Scratch region for intermediates spilled by a kernel.
+pub const SCRATCH: u64 = 0x5_0000;
+
+/// Row pitch, in bytes, of the simulated video frame the motion and
+/// compensation kernels index into (pixels of a CIF-sized luma plane).
+pub const FRAME_PITCH: u64 = 384;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_inside_memory() {
+        let regions = [SRC_A, SRC_B, COEF, DST, SCRATCH];
+        for w in regions.windows(2) {
+            assert!(w[1] >= w[0] + 0x1_0000, "regions must not overlap");
+        }
+        assert!((SCRATCH as usize) + 0x1_0000 <= MEMORY_SIZE);
+    }
+
+    #[test]
+    fn frame_pitch_holds_a_macroblock_row() {
+        assert!(FRAME_PITCH >= 16);
+        assert_eq!(FRAME_PITCH % 8, 0, "pitch must keep rows 8-byte aligned");
+    }
+}

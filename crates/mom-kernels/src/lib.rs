@@ -1,0 +1,162 @@
+//! # mom-kernels — the paper's nine Mediabench kernels in four ISAs
+//!
+//! The SC'99 MOM paper evaluates nine kernels extracted (by profiling) from
+//! six Mediabench programs — `mpeg encode/decode`, `jpeg encode/decode` and
+//! `gsm encode/decode` — each hand-coded three times (MMX-like, MDMX-like
+//! and MOM) on top of the compiled scalar baseline.  This crate reproduces
+//! that methodology:
+//!
+//! | kernel | source program | operation |
+//! |--------|----------------|-----------|
+//! | `idct` | mpeg/jpeg decode | 8×8 inverse discrete cosine transform |
+//! | `motion1` | mpeg encode | 16×16 sum of absolute differences (motion estimation) |
+//! | `motion2` | mpeg encode | 16×16 sum of squared differences |
+//! | `rgb2ycc` | jpeg encode | RGB → YCbCr colour conversion |
+//! | `h2v2` | jpeg decode | 2×2 chroma upsampling |
+//! | `comp` | mpeg decode | saturated blending (motion compensation) |
+//! | `addblock` | mpeg decode | saturated residual add (motion compensation) |
+//! | `ltppar` | gsm encode | long-term-predictor cross-correlation search |
+//! | `ltpsfilt` | gsm decode | long-term / short-term FIR filtering |
+//!
+//! For every kernel the crate provides
+//!
+//! * a **golden scalar Rust reference** (the bit-exact specification),
+//! * **four program generators** — scalar "Alpha-like", MMX, MDMX and MOM —
+//!   built with [`mom_isa::AsmBuilder`] (these stand in for the paper's
+//!   hand-written emulation-library calls),
+//! * a **synthetic workload generator** producing deterministic,
+//!   Mediabench-shaped inputs (pixel blocks, colour planes, PCM frames),
+//! * a [`harness`] that loads the workload into a functional [`Machine`],
+//!   runs the program, verifies the output against the reference and
+//!   returns the dynamic [`Trace`] for the timing simulator.
+//!
+//! [`Machine`]: mom_arch::Machine
+//! [`Trace`]: mom_arch::Trace
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod kernels;
+pub mod layout;
+pub mod workload;
+
+pub use harness::{run_kernel, verify_kernel, KernelRun, KernelSpec};
+
+use mom_isa::IsaKind;
+
+/// Identifier of one of the paper's nine kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelId {
+    /// 8×8 inverse DCT (mpeg/jpeg decode).
+    Idct,
+    /// 16×16 sum of absolute differences (mpeg encode motion estimation).
+    Motion1,
+    /// 16×16 sum of squared differences (mpeg encode motion estimation).
+    Motion2,
+    /// RGB → YCbCr colour conversion (jpeg encode).
+    Rgb2Ycc,
+    /// 2×2 chroma upsampling (jpeg decode).
+    H2v2,
+    /// Saturated blending of two prediction blocks (mpeg decode motion
+    /// compensation).
+    Compensation,
+    /// Saturated addition of the IDCT residual to the prediction (mpeg
+    /// decode motion compensation).
+    AddBlock,
+    /// Long-term-predictor parameter search (gsm encode).
+    LtpPar,
+    /// Long-term / short-term filtering (gsm decode).
+    LtpFilt,
+}
+
+impl KernelId {
+    /// All nine kernels, in the order the paper's figures present them.
+    pub const ALL: [KernelId; 9] = [
+        KernelId::Idct,
+        KernelId::Motion2,
+        KernelId::Rgb2Ycc,
+        KernelId::Motion1,
+        KernelId::H2v2,
+        KernelId::AddBlock,
+        KernelId::Compensation,
+        KernelId::LtpPar,
+        KernelId::LtpFilt,
+    ];
+
+    /// The kernel's name as used in the paper's figures and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelId::Idct => "idct",
+            KernelId::Motion1 => "motion1",
+            KernelId::Motion2 => "motion2",
+            KernelId::Rgb2Ycc => "rgb2ycc",
+            KernelId::H2v2 => "h2v2",
+            KernelId::Compensation => "comp",
+            KernelId::AddBlock => "addblock",
+            KernelId::LtpPar => "ltppar",
+            KernelId::LtpFilt => "ltpsfilt",
+        }
+    }
+
+    /// The Mediabench program the kernel was extracted from.
+    pub fn source_program(self) -> &'static str {
+        match self {
+            KernelId::Idct => "mpeg2 / jpeg decode",
+            KernelId::Motion1 | KernelId::Motion2 => "mpeg2 encode",
+            KernelId::Rgb2Ycc => "jpeg encode",
+            KernelId::H2v2 => "jpeg decode",
+            KernelId::Compensation | KernelId::AddBlock => "mpeg2 decode",
+            KernelId::LtpPar => "gsm encode",
+            KernelId::LtpFilt => "gsm decode",
+        }
+    }
+
+    /// Looks a kernel up by its paper name.
+    pub fn from_name(name: &str) -> Option<KernelId> {
+        KernelId::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// The kernel's specification object (reference, program generators,
+    /// workload preparation and verification).
+    pub fn spec(self) -> Box<dyn KernelSpec> {
+        kernels::spec(self)
+    }
+
+    /// Convenience: builds the program of this kernel for a given ISA.
+    pub fn program(self, isa: IsaKind) -> mom_isa::Program {
+        self.spec().program(isa)
+    }
+}
+
+impl std::fmt::Display for KernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_have_unique_names() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = KernelId::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), KernelId::ALL.len());
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for k in KernelId::ALL {
+            assert_eq!(KernelId::from_name(k.name()), Some(k));
+        }
+        assert_eq!(KernelId::from_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn source_programs_cover_the_mediabench_suite() {
+        let programs: std::collections::HashSet<_> =
+            KernelId::ALL.iter().map(|k| k.source_program()).collect();
+        assert!(programs.len() >= 5);
+    }
+}

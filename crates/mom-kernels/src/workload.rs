@@ -1,0 +1,205 @@
+//! Synthetic, deterministic workload generators.
+//!
+//! The paper drives its kernels with the Mediabench inputs (video sequences,
+//! JPEG images, GSM speech).  Those media files are not redistributable and
+//! are irrelevant to instruction counts beyond their value ranges and
+//! shapes, so this module generates deterministic pseudo-random data with
+//! exactly the shapes and ranges the kernels consume:
+//!
+//! * 8-bit pixel blocks and planes (0..=255) with mild spatial correlation,
+//!   as a video frame or photograph would have,
+//! * 12-bit signed DCT coefficient blocks, sparse towards high frequencies,
+//!   as produced by quantised MPEG/JPEG encoding,
+//! * 16-bit PCM speech-like samples for the GSM kernels.
+//!
+//! All generators take an explicit seed so every experiment is reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the deterministic RNG used by all generators.
+fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A rectangular 8-bit pixel region with an explicit row pitch, modelling a
+/// window into a larger video frame or image plane.
+#[derive(Debug, Clone)]
+pub struct PixelBlock {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row pitch in bytes of the backing storage (≥ width).
+    pub pitch: usize,
+    /// Pixel data, `height * pitch` bytes.
+    pub data: Vec<u8>,
+}
+
+impl PixelBlock {
+    /// Pixel at `(row, col)`.
+    pub fn at(&self, row: usize, col: usize) -> u8 {
+        self.data[row * self.pitch + col]
+    }
+}
+
+/// Generates a pixel block with mild spatial correlation (neighbouring
+/// pixels differ by a bounded random step), which is what natural images
+/// look like to these kernels.
+pub fn pixel_block(seed: u64, width: usize, height: usize, pitch: usize) -> PixelBlock {
+    assert!(pitch >= width, "pitch must cover the block width");
+    let mut r = rng(seed);
+    let mut data = vec![0u8; height * pitch];
+    let mut prev_row: Vec<i32> = (0..width).map(|_| r.random_range(0..=255)).collect();
+    for row in 0..height {
+        let mut left: i32 = prev_row[0];
+        for col in 0..width {
+            let base = (prev_row[col] + left) / 2;
+            let value = (base + r.random_range(-24..=24)).clamp(0, 255);
+            data[row * pitch + col] = value as u8;
+            left = value;
+            prev_row[col] = value;
+        }
+    }
+    PixelBlock {
+        width,
+        height,
+        pitch,
+        data,
+    }
+}
+
+/// Generates an 8×8 block of quantised DCT coefficients: a large DC value,
+/// AC energy decaying towards high frequencies and many zeros, as an MPEG or
+/// JPEG decoder sees after inverse quantisation.
+pub fn dct_block(seed: u64) -> [[i16; 8]; 8] {
+    let mut r = rng(seed);
+    let mut block = [[0i16; 8]; 8];
+    block[0][0] = r.random_range(-1024..=1024);
+    for (u, row) in block.iter_mut().enumerate() {
+        for (v, coef) in row.iter_mut().enumerate() {
+            if u == 0 && v == 0 {
+                continue;
+            }
+            let zigzag = u + v;
+            // Probability of a non-zero coefficient and its magnitude both
+            // drop with frequency, as in quantised natural-image blocks.
+            let occupancy = 0.9_f64 / (1.0 + zigzag as f64);
+            if r.random_bool(occupancy) {
+                let magnitude = (512 >> zigzag.min(9)).max(4);
+                *coef = r.random_range(-magnitude..=magnitude) as i16;
+            }
+        }
+    }
+    block
+}
+
+/// Generates `n` 16-bit PCM samples resembling voiced speech: a sum of a few
+/// low-frequency oscillations plus noise, scaled to roughly 13 significant
+/// bits (the GSM full-rate range).
+pub fn pcm_samples(seed: u64, n: usize) -> Vec<i16> {
+    let mut r = rng(seed);
+    let f1 = r.random_range(0.01..0.08);
+    let f2 = r.random_range(0.002..0.02);
+    let a1 = r.random_range(1500.0..3500.0);
+    let a2 = r.random_range(500.0..1500.0);
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let s = a1 * (f1 * t).sin() + a2 * (f2 * t + 1.3).sin() + r.random_range(-200.0..200.0);
+            s.clamp(-4095.0, 4095.0) as i16
+        })
+        .collect()
+}
+
+/// Generates three separate colour planes (R, G, B) of `n` pixels each, with
+/// the correlation between channels a natural photo has.
+pub fn rgb_planes(seed: u64, n: usize) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let mut r = rng(seed);
+    let mut red = Vec::with_capacity(n);
+    let mut green = Vec::with_capacity(n);
+    let mut blue = Vec::with_capacity(n);
+    let mut luma: i32 = r.random_range(0..=255);
+    for _ in 0..n {
+        luma = (luma + r.random_range(-20..=20)).clamp(0, 255);
+        let chroma_r = r.random_range(-40..=40);
+        let chroma_b = r.random_range(-40..=40);
+        red.push((luma + chroma_r).clamp(0, 255) as u8);
+        green.push(luma as u8);
+        blue.push((luma + chroma_b).clamp(0, 255) as u8);
+    }
+    (red, green, blue)
+}
+
+/// Generates a block of signed 16-bit residual values in the range an MPEG
+/// IDCT produces (−256..=255).
+pub fn residual_block(seed: u64, n: usize) -> Vec<i16> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.random_range(-256..=255)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(pixel_block(7, 16, 16, 32).data, pixel_block(7, 16, 16, 32).data);
+        assert_eq!(dct_block(7), dct_block(7));
+        assert_eq!(pcm_samples(7, 100), pcm_samples(7, 100));
+        assert_eq!(rgb_planes(7, 64), rgb_planes(7, 64));
+        assert_eq!(residual_block(7, 64), residual_block(7, 64));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(pixel_block(1, 16, 16, 16).data, pixel_block(2, 16, 16, 16).data);
+        assert_ne!(pcm_samples(1, 64), pcm_samples(2, 64));
+    }
+
+    #[test]
+    fn pixel_block_respects_pitch_and_range() {
+        let b = pixel_block(3, 16, 8, 64);
+        assert_eq!(b.data.len(), 8 * 64);
+        assert_eq!(b.at(0, 0), b.data[0]);
+        assert_eq!(b.at(1, 2), b.data[64 + 2]);
+    }
+
+    #[test]
+    fn dct_block_is_sparse_and_bounded() {
+        let b = dct_block(11);
+        let nonzero = b.iter().flatten().filter(|&&c| c != 0).count();
+        assert!(nonzero < 40, "quantised blocks are mostly zero: {nonzero}");
+        for row in &b {
+            for &c in row {
+                assert!((-1024..=1024).contains(&(c as i32)));
+            }
+        }
+    }
+
+    #[test]
+    fn pcm_samples_look_like_speech() {
+        let s = pcm_samples(5, 1000);
+        assert_eq!(s.len(), 1000);
+        let max = s.iter().map(|v| v.unsigned_abs() as i32).max().unwrap();
+        assert!(max <= 4095);
+        assert!(max > 500, "signal should have meaningful energy");
+        // Not constant.
+        assert!(s.iter().any(|&v| v != s[0]));
+    }
+
+    #[test]
+    fn rgb_planes_have_matching_lengths() {
+        let (r, g, b) = rgb_planes(9, 128);
+        assert_eq!(r.len(), 128);
+        assert_eq!(g.len(), 128);
+        assert_eq!(b.len(), 128);
+    }
+
+    #[test]
+    fn residuals_are_in_idct_range() {
+        for v in residual_block(13, 256) {
+            assert!((-256..=255).contains(&(v as i32)));
+        }
+    }
+}

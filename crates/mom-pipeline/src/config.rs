@@ -1,0 +1,267 @@
+//! Pipeline configuration: machine width, reorder-buffer size, functional
+//! units, latencies and the idealised memory model.
+
+use mom_isa::FuClass;
+
+/// The idealised memory model of the paper: fixed latency, no bandwidth
+/// restriction beyond the configured ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// Access latency in cycles (the paper uses 1, 12 and 50).
+    pub latency: u64,
+}
+
+impl MemoryModel {
+    /// Perfect cache: 1-cycle latency (the paper's baseline experiments).
+    pub const PERFECT: MemoryModel = MemoryModel { latency: 1 };
+    /// L2 hit: 12-cycle latency.
+    pub const L2: MemoryModel = MemoryModel { latency: 12 };
+    /// Main memory / streaming: 50-cycle latency.
+    pub const MAIN_MEMORY: MemoryModel = MemoryModel { latency: 50 };
+
+    /// The three latency points of the paper's Figure 5.
+    pub const FIGURE5_POINTS: [MemoryModel; 3] =
+        [MemoryModel::PERFECT, MemoryModel::L2, MemoryModel::MAIN_MEMORY];
+}
+
+/// Number of units and execution latency for one functional-unit class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuPool {
+    /// Number of identical units of this class.
+    pub count: usize,
+    /// Execution latency in cycles (result available `latency` cycles after
+    /// issue, on top of any multi-cycle occupancy of vector instructions).
+    pub latency: u64,
+    /// Whether the unit is pipelined (can accept a new instruction every
+    /// cycle). The MOM transpose unit is the only non-pipelined unit.
+    pub pipelined: bool,
+}
+
+/// Full configuration of the out-of-order core.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Fetch = decode = issue = commit width (the paper's "way").
+    pub width: usize,
+    /// Reorder-buffer (instruction window) size.
+    pub rob_size: usize,
+    /// Number of parallel lanes of the multimedia functional units: how many
+    /// 64-bit rows of a matrix instruction execute per cycle.
+    pub media_lanes: usize,
+    /// Number of 64-bit words the vector memory port moves per cycle.
+    pub vec_mem_words: usize,
+    /// Idealised memory model.
+    pub memory: MemoryModel,
+    /// Per-class functional unit pools.
+    pub int_alu: FuPool,
+    /// Integer multiplier pool.
+    pub int_mul: FuPool,
+    /// Branch unit pool.
+    pub branch: FuPool,
+    /// Scalar/MMX memory port pool.
+    pub mem_port: FuPool,
+    /// Vector (MOM) memory port pool.
+    pub vec_mem_port: FuPool,
+    /// Packed ALU pool.
+    pub media_alu: FuPool,
+    /// Packed multiplier pool.
+    pub media_mul: FuPool,
+    /// Pack/unpack unit pool.
+    pub media_pack: FuPool,
+    /// Matrix transpose unit pool.
+    pub media_transpose: FuPool,
+}
+
+impl PipelineConfig {
+    /// The configuration the paper uses for a machine of the given issue
+    /// width ("way 1", "way 2", "way 4", "way 8"), with a perfect (1-cycle)
+    /// memory.
+    ///
+    /// Functional units scale with the width the way the R10K-derived Jinks
+    /// configuration does: `width` simple integer ALUs, one integer
+    /// multiplier, `max(1, width/2)` memory ports and `max(1, width/2)` of
+    /// each multimedia unit. Latencies follow the paper's remark that
+    /// multimedia (sub-word) operations are shorter than their full 64-bit
+    /// scalar counterparts.
+    pub fn way(width: usize) -> Self {
+        assert!((1..=16).contains(&width), "issue width must be in 1..=16");
+        let half = width.div_ceil(2);
+        // The multimedia units have `max(2, width/2)` parallel 64-bit lanes
+        // (the paper's "N vector pipes"), and the vector memory port moves
+        // the same number of words per cycle, so the matrix datapath grows
+        // with the scalar core as in the paper's scaling discussion.
+        let lanes = (width / 2).max(2);
+        PipelineConfig {
+            width,
+            rob_size: 16 * width,
+            media_lanes: lanes,
+            vec_mem_words: lanes,
+            memory: MemoryModel::PERFECT,
+            int_alu: FuPool {
+                count: width,
+                latency: 1,
+                pipelined: true,
+            },
+            int_mul: FuPool {
+                count: 1,
+                latency: 7,
+                pipelined: true,
+            },
+            branch: FuPool {
+                count: 1.max(width / 4),
+                latency: 1,
+                pipelined: true,
+            },
+            mem_port: FuPool {
+                count: half,
+                latency: 1, // replaced by the memory model at simulation time
+                pipelined: true,
+            },
+            vec_mem_port: FuPool {
+                count: 1,
+                latency: 1, // replaced by the memory model at simulation time
+                pipelined: true,
+            },
+            media_alu: FuPool {
+                count: half,
+                latency: 1,
+                pipelined: true,
+            },
+            media_mul: FuPool {
+                count: half,
+                latency: 3,
+                pipelined: true,
+            },
+            media_pack: FuPool {
+                count: half,
+                latency: 1,
+                pipelined: true,
+            },
+            media_transpose: FuPool {
+                count: 1,
+                latency: 10, // the paper's "8 + C cycles"
+                pipelined: false,
+            },
+        }
+    }
+
+    /// Same as [`PipelineConfig::way`] but with the given memory latency
+    /// (the paper's Figure 5 sweeps 1, 12 and 50 cycles on the 4-way core).
+    pub fn way_with_memory(width: usize, memory: MemoryModel) -> Self {
+        let mut c = Self::way(width);
+        c.memory = memory;
+        c
+    }
+
+    /// The functional-unit pool serving a given class.
+    pub fn pool(&self, class: FuClass) -> FuPool {
+        match class {
+            FuClass::IntAlu => self.int_alu,
+            FuClass::IntMul => self.int_mul,
+            FuClass::Branch => self.branch,
+            FuClass::Mem => self.mem_port,
+            FuClass::VecMem => self.vec_mem_port,
+            FuClass::MediaAlu => self.media_alu,
+            FuClass::MediaMul => self.media_mul,
+            FuClass::MediaPack => self.media_pack,
+            FuClass::MediaTranspose => self.media_transpose,
+        }
+    }
+
+    /// The effective execution latency of an instruction class, taking the
+    /// memory model into account for loads and stores.
+    pub fn latency(&self, class: FuClass) -> u64 {
+        match class {
+            FuClass::Mem | FuClass::VecMem => self.memory.latency,
+            _ => self.pool(class).latency,
+        }
+    }
+
+    /// Validates the configuration (all pools non-empty, sensible sizes).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 {
+            return Err("issue width must be at least 1".into());
+        }
+        if self.rob_size < self.width {
+            return Err("the reorder buffer must hold at least one fetch group".into());
+        }
+        if self.media_lanes == 0 || self.vec_mem_words == 0 {
+            return Err("multimedia lane counts must be at least 1".into());
+        }
+        for class in FuClass::ALL {
+            if self.pool(class).count == 0 {
+                return Err(format!("functional-unit pool {class} is empty"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PipelineConfig {
+    /// The paper's reference machine: the 4-way core with perfect memory.
+    fn default() -> Self {
+        Self::way(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn way_presets_scale_units() {
+        let w1 = PipelineConfig::way(1);
+        let w8 = PipelineConfig::way(8);
+        assert_eq!(w1.int_alu.count, 1);
+        assert_eq!(w8.int_alu.count, 8);
+        assert_eq!(w1.mem_port.count, 1);
+        assert_eq!(w8.mem_port.count, 4);
+        assert!(w8.rob_size > w1.rob_size);
+        for w in [1, 2, 4, 8] {
+            assert!(PipelineConfig::way(w).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn memory_model_presets() {
+        assert_eq!(MemoryModel::PERFECT.latency, 1);
+        assert_eq!(MemoryModel::L2.latency, 12);
+        assert_eq!(MemoryModel::MAIN_MEMORY.latency, 50);
+        let c = PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY);
+        assert_eq!(c.latency(FuClass::Mem), 50);
+        assert_eq!(c.latency(FuClass::VecMem), 50);
+        assert_eq!(c.latency(FuClass::IntAlu), 1);
+    }
+
+    #[test]
+    fn default_is_the_four_way_core() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.memory, MemoryModel::PERFECT);
+    }
+
+    #[test]
+    fn transpose_unit_is_not_pipelined() {
+        let c = PipelineConfig::default();
+        assert!(!c.pool(FuClass::MediaTranspose).pipelined);
+        assert!(c.pool(FuClass::MediaAlu).pipelined);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = PipelineConfig::way(4);
+        c.rob_size = 1;
+        assert!(c.validate().is_err());
+        let mut c = PipelineConfig::way(4);
+        c.media_alu.count = 0;
+        assert!(c.validate().is_err());
+        let mut c = PipelineConfig::way(4);
+        c.media_lanes = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width")]
+    fn way_rejects_zero() {
+        let _ = PipelineConfig::way(0);
+    }
+}

@@ -1,0 +1,509 @@
+//! The out-of-order execution engine.
+//!
+//! A trace-driven, cycle-by-cycle model of the paper's Jinks simulator:
+//! instructions are dispatched in order into a reorder buffer (renaming is
+//! modelled by last-writer tracking, i.e. unlimited physical registers —
+//! the paper notes register pressure is not the bottleneck and that MOM in
+//! fact *reduces* the number of physical registers needed), issue
+//! out-of-order when their operands are ready and a functional unit of the
+//! right class is free, execute for their latency (plus a multi-cycle
+//! occupancy for matrix instructions), and commit in order.
+
+use crate::config::PipelineConfig;
+use crate::stats::SimResult;
+use mom_arch::{Trace, TraceEntry};
+use mom_isa::FuClass;
+use std::collections::VecDeque;
+
+/// Number of distinct register ids (see `mom_isa::Reg::id`).
+const REG_ID_SPACE: usize = 256;
+
+/// One instruction in flight (a reorder-buffer entry).
+#[derive(Debug, Clone, Copy)]
+struct WindowEntry {
+    /// Dynamic sequence number (index in the trace).
+    seq: u64,
+    /// Functional-unit class.
+    fu: FuClass,
+    /// Cycles of functional-unit occupancy (ceil(VL / lanes) for matrix
+    /// instructions, 1 otherwise).
+    occupancy: u64,
+    /// Execution latency (result available `latency + occupancy - 1` cycles
+    /// after issue).
+    latency: u64,
+    /// Elementary operations performed (for the OPI statistics).
+    ops: u64,
+    /// Whether this is a multimedia instruction.
+    is_media: bool,
+    /// Whether this instruction accesses memory.
+    is_memory: bool,
+    /// Sequence numbers of the producing instructions of each source.
+    deps: [u64; 4],
+    /// Number of valid entries in `deps`.
+    dep_count: u8,
+    /// Whether the instruction has been issued.
+    issued: bool,
+    /// Cycle at which the result is available (valid once issued).
+    complete_cycle: u64,
+}
+
+/// The out-of-order timing simulator.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(config: PipelineConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid pipeline configuration");
+        Pipeline { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Occupancy (in cycles) of one dynamic instruction on its functional
+    /// unit.
+    fn occupancy(&self, entry: &TraceEntry) -> u64 {
+        let vl = entry.vl.max(1) as u64;
+        match entry.instr.fu_class() {
+            FuClass::VecMem => vl.div_ceil(self.config.vec_mem_words as u64),
+            FuClass::MediaTranspose => self.config.media_transpose.latency,
+            _ if entry.instr.is_vl_dependent() => vl.div_ceil(self.config.media_lanes as u64),
+            _ => 1,
+        }
+    }
+
+    /// Runs the timing simulation over a dynamic trace.
+    pub fn simulate(&self, trace: &Trace) -> SimResult {
+        let cfg = &self.config;
+        let entries = trace.entries();
+        let mut result = SimResult::default();
+        if entries.is_empty() {
+            return result;
+        }
+
+        // Per-unit busy-until cycle, per class.
+        let mut fu_busy: Vec<Vec<u64>> = FuClass::ALL
+            .iter()
+            .map(|c| vec![0u64; cfg.pool(*c).count])
+            .collect();
+        let class_index = |c: FuClass| FuClass::ALL.iter().position(|x| *x == c).unwrap();
+
+        // Last writer (sequence number) of each architectural register.
+        let mut last_writer: [Option<u64>; REG_ID_SPACE] = [None; REG_ID_SPACE];
+
+        let mut window: VecDeque<WindowEntry> = VecDeque::with_capacity(cfg.rob_size);
+        let mut next_dispatch: u64 = 0; // next trace index to dispatch
+        let mut committed: u64 = 0;
+        let total = entries.len() as u64;
+        let mut cycle: u64 = 0;
+
+        while committed < total {
+            // ----------------------------------------------------------
+            // Commit: in order, up to `width` completed instructions.
+            // ----------------------------------------------------------
+            let mut committed_this_cycle = 0;
+            while committed_this_cycle < cfg.width {
+                match window.front() {
+                    Some(e) if e.issued && e.complete_cycle <= cycle => {
+                        result.instructions += 1;
+                        result.operations += e.ops;
+                        if e.is_media {
+                            result.media_instructions += 1;
+                        }
+                        if e.is_memory {
+                            result.memory_instructions += 1;
+                        }
+                        window.pop_front();
+                        committed += 1;
+                        committed_this_cycle += 1;
+                    }
+                    _ => break,
+                }
+            }
+
+            // ----------------------------------------------------------
+            // Issue: oldest-first, up to `width` ready instructions whose
+            // functional unit is free.
+            // ----------------------------------------------------------
+            let front_seq = window.front().map(|e| e.seq).unwrap_or(next_dispatch);
+            let mut issued_this_cycle = 0;
+            if !window.is_empty() {
+                // Collect readiness decisions first to avoid borrowing issues.
+                for i in 0..window.len() {
+                    if issued_this_cycle >= cfg.width {
+                        break;
+                    }
+                    if window[i].issued {
+                        continue;
+                    }
+                    // Operand readiness: every producer must have completed.
+                    let mut ready = true;
+                    for d in 0..window[i].dep_count as usize {
+                        let dep_seq = window[i].deps[d];
+                        if dep_seq >= front_seq {
+                            let idx = (dep_seq - front_seq) as usize;
+                            let dep = &window[idx];
+                            if !dep.issued || dep.complete_cycle > cycle {
+                                ready = false;
+                                break;
+                            }
+                        }
+                        // Producers older than the window head have committed
+                        // and are therefore complete.
+                    }
+                    if !ready {
+                        continue;
+                    }
+                    // Structural hazard: find a free unit of the class.
+                    let fu = window[i].fu;
+                    let pool = cfg.pool(fu);
+                    let ci = class_index(fu);
+                    let Some(unit) = fu_busy[ci].iter().position(|&b| b <= cycle) else {
+                        continue;
+                    };
+                    // Issue.
+                    let occupancy = window[i].occupancy;
+                    let latency = window[i].latency;
+                    let busy_for = if pool.pipelined {
+                        occupancy
+                    } else {
+                        latency.max(occupancy)
+                    };
+                    fu_busy[ci][unit] = cycle + busy_for;
+                    *result.fu_busy_cycles.entry(fu).or_insert(0) += busy_for;
+                    let e = &mut window[i];
+                    e.issued = true;
+                    e.complete_cycle = cycle + latency + occupancy - 1;
+                    issued_this_cycle += 1;
+                }
+            }
+
+            // ----------------------------------------------------------
+            // Dispatch (fetch/decode/rename): in order, up to `width`
+            // instructions into the reorder buffer.
+            // ----------------------------------------------------------
+            let mut dispatched_this_cycle = 0;
+            let mut stalled = false;
+            while dispatched_this_cycle < cfg.width && next_dispatch < total {
+                if window.len() >= cfg.rob_size {
+                    stalled = true;
+                    break;
+                }
+                let te = &entries[next_dispatch as usize];
+                let instr = &te.instr;
+                let mut deps = [0u64; 4];
+                let mut dep_count = 0u8;
+                for reg in instr.sources().iter() {
+                    if reg.is_zero() {
+                        continue;
+                    }
+                    if let Some(w) = last_writer[reg.id()] {
+                        deps[dep_count as usize] = w;
+                        dep_count += 1;
+                    }
+                }
+                for reg in instr.dests().iter() {
+                    if !reg.is_zero() {
+                        last_writer[reg.id()] = Some(next_dispatch);
+                    }
+                }
+                let fu = instr.fu_class();
+                window.push_back(WindowEntry {
+                    seq: next_dispatch,
+                    fu,
+                    occupancy: self.occupancy(te),
+                    latency: cfg.latency(fu),
+                    ops: te.ops(),
+                    is_media: instr.is_media(),
+                    is_memory: instr.is_memory(),
+                    deps,
+                    dep_count,
+                    issued: false,
+                    complete_cycle: u64::MAX,
+                });
+                next_dispatch += 1;
+                dispatched_this_cycle += 1;
+            }
+            if stalled {
+                result.dispatch_stall_cycles += 1;
+            }
+            result.max_rob_occupancy = result.max_rob_occupancy.max(window.len());
+
+            cycle += 1;
+        }
+
+        result.cycles = cycle;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryModel;
+    use mom_arch::TraceEntry;
+    use mom_isa::prelude::*;
+    use mom_isa::Instruction;
+
+    fn entry(instr: Instruction, vl: u16) -> TraceEntry {
+        TraceEntry {
+            instr,
+            vl,
+            taken: false,
+        }
+    }
+
+    fn add(rd: u8, ra: u8, rb: u8) -> Instruction {
+        Instruction::Alu {
+            op: AluOp::Add,
+            rd,
+            ra,
+            rb,
+        }
+    }
+
+    fn load(rd: u8, base: u8) -> Instruction {
+        Instruction::Load {
+            size: MemSize::Quad,
+            signed: false,
+            rd,
+            base,
+            offset: 0,
+        }
+    }
+
+    fn sim(width: usize, entries: Vec<TraceEntry>) -> SimResult {
+        let trace: Trace = entries.into_iter().collect();
+        Pipeline::new(PipelineConfig::way(width)).simulate(&trace)
+    }
+
+    fn sim_mem(width: usize, latency: u64, entries: Vec<TraceEntry>) -> SimResult {
+        let trace: Trace = entries.into_iter().collect();
+        let cfg = PipelineConfig::way_with_memory(width, MemoryModel { latency });
+        Pipeline::new(cfg).simulate(&trace)
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = sim(4, vec![]);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.instructions, 0);
+    }
+
+    #[test]
+    fn dependent_chain_runs_at_one_per_cycle() {
+        // r1 = r1 + r1, 64 times: a serial chain.
+        let n = 64;
+        let entries = vec![entry(add(1, 1, 1), 1); n];
+        let r = sim(8, entries);
+        assert_eq!(r.instructions, n as u64);
+        // One add per cycle plus a small pipeline fill overhead.
+        assert!(r.cycles >= n as u64, "cycles {} < {}", r.cycles, n);
+        assert!(r.cycles <= n as u64 + 8, "chain too slow: {}", r.cycles);
+    }
+
+    #[test]
+    fn independent_adds_scale_with_width() {
+        // 256 fully independent adds (different destination registers,
+        // sources never written).
+        let entries: Vec<TraceEntry> = (0..256)
+            .map(|i| entry(add((i % 16) as u8, 20, 21), 1))
+            .collect();
+        let narrow = sim(1, entries.clone());
+        let wide = sim(8, entries);
+        assert!(narrow.cycles > 2 * wide.cycles,
+            "8-way ({}) should be much faster than 1-way ({})",
+            wide.cycles, narrow.cycles);
+        assert!(wide.ipc() > 3.0, "8-way IPC too low: {}", wide.ipc());
+        assert!(narrow.ipc() <= 1.01);
+    }
+
+    #[test]
+    fn memory_latency_hurts_dependent_loads() {
+        // Pointer chase: each load feeds the next address.
+        let n = 32;
+        let entries = vec![entry(load(1, 1), 1); n];
+        let fast = sim_mem(4, 1, entries.clone());
+        let slow = sim_mem(4, 50, entries);
+        assert!(slow.cycles > 40 * fast.cycles / 2,
+            "50-cycle latency must dominate a pointer chase: {} vs {}",
+            slow.cycles, fast.cycles);
+    }
+
+    #[test]
+    fn independent_loads_are_pipelined_through_the_ports() {
+        // Independent loads to different registers: the window and the two
+        // ports let latency overlap, so the slowdown from latency 1 to 50 is
+        // far less than 50x.
+        let entries: Vec<TraceEntry> = (0..256).map(|i| entry(load((i % 8) as u8, 30), 1)).collect();
+        let fast = sim_mem(4, 1, entries.clone());
+        let slow = sim_mem(4, 50, entries);
+        let slowdown = slow.cycles as f64 / fast.cycles as f64;
+        assert!(slowdown < 10.0, "independent loads should hide latency, slowdown {slowdown}");
+        assert!(slowdown > 1.0);
+    }
+
+    #[test]
+    fn matrix_instruction_occupies_lanes_for_vl_cycles() {
+        // One MOM add of VL=16 on a 2-lane unit: occupancy 8 cycles.
+        let mom_add = Instruction::MomOp {
+            op: PackedOp::Add(Overflow::Wrap),
+            ty: ElemType::U8,
+            md: 0,
+            ma: 1,
+            mb: MomOperand::Mat(2),
+        };
+        let r16 = sim(4, vec![entry(mom_add, 16)]);
+        let r4 = sim(4, vec![entry(mom_add, 4)]);
+        assert!(r16.cycles > r4.cycles, "longer vectors must take longer");
+        assert_eq!(r16.operations, 128);
+        assert_eq!(r4.operations, 32);
+    }
+
+    #[test]
+    fn mdmx_accumulator_recurrence_serialises() {
+        // 32 accumulate steps on the same accumulator: the read-modify-write
+        // dependence forces them to execute back to back at the multiplier
+        // latency (3 cycles each).
+        let acc_step = Instruction::AccStep {
+            op: AccumOp::MulAdd,
+            ty: ElemType::I16,
+            acc: 0,
+            va: 1,
+            vb: 2,
+        };
+        let r = sim(8, vec![entry(acc_step, 1); 32]);
+        assert!(
+            r.cycles >= 32 * 3,
+            "accumulator recurrence must serialise at the multiply latency, got {}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn mom_accumulator_amortises_the_recurrence() {
+        // The same 32 x 4-lane multiply-accumulate work expressed as two
+        // MOM matrix accumulate instructions of VL=16 finishes much sooner
+        // than 32 chained MDMX steps.
+        let mdmx_step = Instruction::AccStep {
+            op: AccumOp::MulAdd,
+            ty: ElemType::I16,
+            acc: 0,
+            va: 1,
+            vb: 2,
+        };
+        let mom_step = Instruction::MomAccStep {
+            op: AccumOp::MulAdd,
+            ty: ElemType::I16,
+            acc: 0,
+            ma: 1,
+            mb: MomOperand::Mat(2),
+        };
+        let mdmx = sim(4, vec![entry(mdmx_step, 1); 32]);
+        let mom = sim(4, vec![entry(mom_step, 16); 2]);
+        assert_eq!(mdmx.operations, mom.operations);
+        assert!(
+            mom.cycles * 2 < mdmx.cycles,
+            "MOM ({}) must amortise the accumulator recurrence vs MDMX ({})",
+            mom.cycles,
+            mdmx.cycles
+        );
+    }
+
+    #[test]
+    fn vector_load_amortises_memory_latency() {
+        // 16 rows loaded by one MOM load vs 16 dependent-free MMX loads,
+        // with 50-cycle memory: the matrix load pays the latency once.
+        let mom_load = Instruction::MomLoad {
+            md: 0,
+            base: 1,
+            stride: 2,
+            ty: ElemType::U8,
+        };
+        let mmx_load = |vd: u8| Instruction::MmxLoad {
+            vd,
+            base: 1,
+            offset: 0,
+            ty: ElemType::U8,
+        };
+        // Give the scalar version a dependent consumer after each load to
+        // model a typical use, and the MOM version a single consumer.
+        let mut mmx_entries = Vec::new();
+        for i in 0..16u8 {
+            mmx_entries.push(entry(mmx_load(i % 8), 1));
+        }
+        let mom_entries = vec![entry(mom_load, 16)];
+        let mmx = sim_mem(1, 50, mmx_entries);
+        let mom = sim_mem(1, 50, mom_entries);
+        assert_eq!(mmx.operations, mom.operations);
+        assert!(
+            mom.cycles < mmx.cycles,
+            "a single strided matrix load ({}) must not be slower than 16 scalar packed loads ({}) on a narrow machine",
+            mom.cycles,
+            mmx.cycles
+        );
+    }
+
+    #[test]
+    fn rob_pressure_is_reported() {
+        // A long-latency load at the head blocks commit; the window fills up
+        // and dispatch stalls.
+        let mut entries = vec![entry(load(1, 1), 1)];
+        for _ in 0..300 {
+            entries.push(entry(add(2, 2, 2), 1));
+        }
+        let r = sim_mem(4, 50, entries);
+        assert!(r.max_rob_occupancy >= 32);
+        assert!(r.dispatch_stall_cycles > 0);
+    }
+
+    #[test]
+    fn transpose_unit_is_not_pipelined() {
+        let transpose = Instruction::MomTranspose {
+            md: 0,
+            ms: 1,
+            ty: ElemType::U8,
+        };
+        // Four back-to-back transposes on different registers (no data
+        // dependence): a non-pipelined 10-cycle unit serialises them.
+        let entries = vec![
+            entry(Instruction::MomTranspose { md: 0, ms: 4, ty: ElemType::U8 }, 1),
+            entry(Instruction::MomTranspose { md: 1, ms: 5, ty: ElemType::U8 }, 1),
+            entry(Instruction::MomTranspose { md: 2, ms: 6, ty: ElemType::U8 }, 1),
+            entry(Instruction::MomTranspose { md: 3, ms: 7, ty: ElemType::U8 }, 1),
+        ];
+        let r = sim(4, entries);
+        assert!(
+            r.cycles >= 4 * 10,
+            "four non-pipelined transposes must serialise: {}",
+            r.cycles
+        );
+        let _ = transpose;
+    }
+
+    #[test]
+    fn stats_accumulate_media_and_memory_counts() {
+        let mom_load = Instruction::MomLoad {
+            md: 0,
+            base: 1,
+            stride: 2,
+            ty: ElemType::U8,
+        };
+        let r = sim(4, vec![entry(mom_load, 8), entry(add(1, 2, 3), 1)]);
+        assert_eq!(r.instructions, 2);
+        assert_eq!(r.media_instructions, 1);
+        assert_eq!(r.memory_instructions, 1);
+        assert_eq!(r.operations, 64 + 1);
+        assert!(r.fu_busy_cycles[&FuClass::VecMem] >= 4);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests of the out-of-order timing model: structural
+//! invariants that must hold for any trace and any configuration.
+
+use mom_arch::{Trace, TraceEntry};
+use mom_isa::prelude::*;
+use mom_isa::Instruction;
+use mom_pipeline::{MemoryModel, Pipeline, PipelineConfig};
+use proptest::prelude::*;
+
+/// A small pool of instruction shapes to build random traces from.
+fn random_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (0u8..30, 0u8..30, 0u8..30).prop_map(|(rd, ra, rb)| Instruction::Alu {
+            op: AluOp::Add,
+            rd,
+            ra,
+            rb
+        }),
+        (0u8..30, 0u8..30).prop_map(|(rd, base)| Instruction::Load {
+            size: MemSize::Quad,
+            signed: false,
+            rd,
+            base,
+            offset: 0
+        }),
+        (0u8..30, 0u8..30).prop_map(|(rs, base)| Instruction::Store {
+            size: MemSize::Quad,
+            rs,
+            base,
+            offset: 0
+        }),
+        (0u8..31, 0u8..31, 0u8..31).prop_map(|(vd, va, vb)| Instruction::MmxOp {
+            op: PackedOp::Add(Overflow::Saturate),
+            ty: ElemType::U8,
+            vd,
+            va,
+            vb
+        }),
+        (0u8..15, 0u8..30, 0u8..30).prop_map(|(md, base, stride)| Instruction::MomLoad {
+            md,
+            base,
+            stride,
+            ty: ElemType::U8
+        }),
+        (0u8..15, 0u8..15, 0u8..15).prop_map(|(md, ma, mb)| Instruction::MomOp {
+            op: PackedOp::Add(Overflow::Wrap),
+            ty: ElemType::U8,
+            md,
+            ma,
+            mb: MomOperand::Mat(mb)
+        }),
+        (0u8..2, 0u8..15).prop_map(|(acc, ma)| Instruction::MomAccStep {
+            op: AccumOp::MulAdd,
+            ty: ElemType::I16,
+            acc,
+            ma,
+            mb: MomOperand::Mat(0)
+        }),
+    ]
+}
+
+fn random_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec((random_instruction(), 1u16..=16), 1..max_len).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(instr, vl)| TraceEntry {
+                instr,
+                vl: if instr.is_vl_dependent() { vl } else { 1 },
+                taken: false,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every instruction and operation in the trace is committed exactly
+    /// once, for any width and latency.
+    #[test]
+    fn committed_work_equals_trace_work(trace in random_trace(120), width in prop::sample::select(vec![1usize, 2, 4, 8]), latency in prop::sample::select(vec![1u64, 12, 50])) {
+        let stats = trace.stats();
+        let config = PipelineConfig::way_with_memory(width, MemoryModel { latency });
+        let result = Pipeline::new(config).simulate(&trace);
+        prop_assert_eq!(result.instructions, stats.instructions);
+        prop_assert_eq!(result.operations, stats.operations);
+        prop_assert_eq!(result.media_instructions, stats.media_instructions);
+        prop_assert_eq!(result.memory_instructions, stats.memory_instructions);
+    }
+
+    /// Cycles are bounded below by the fetch/commit bandwidth limit and the
+    /// longest single-instruction latency, and bounded above by a fully
+    /// serial execution.
+    #[test]
+    fn cycle_count_bounds(trace in random_trace(100), width in prop::sample::select(vec![1usize, 2, 4, 8])) {
+        let config = PipelineConfig::way(width);
+        let serial_bound: u64 = trace
+            .iter()
+            .map(|e| {
+                let lat = config.latency(e.instr.fu_class());
+                let occ = (e.vl as u64).div_ceil(config.media_lanes as u64).max(1);
+                lat + occ + 2 // dispatch + issue + commit can add a couple of cycles each
+            })
+            .sum();
+        let result = Pipeline::new(config).simulate(&trace);
+        let n = trace.len() as u64;
+        prop_assert!(result.cycles >= n.div_ceil(width as u64));
+        prop_assert!(
+            result.cycles <= serial_bound,
+            "cycles {} exceed fully serial bound {}",
+            result.cycles,
+            serial_bound
+        );
+    }
+
+    /// Making the machine wider never makes it slower (our model has no
+    /// width-dependent penalties).
+    #[test]
+    fn wider_is_never_slower(trace in random_trace(100)) {
+        let narrow = Pipeline::new(PipelineConfig::way(1)).simulate(&trace);
+        let medium = Pipeline::new(PipelineConfig::way(4)).simulate(&trace);
+        let wide = Pipeline::new(PipelineConfig::way(8)).simulate(&trace);
+        prop_assert!(medium.cycles <= narrow.cycles);
+        prop_assert!(wide.cycles <= medium.cycles + 1);
+    }
+
+    /// Lower memory latency never hurts.
+    #[test]
+    fn faster_memory_is_never_slower(trace in random_trace(100)) {
+        let fast = Pipeline::new(PipelineConfig::way_with_memory(4, MemoryModel::PERFECT)).simulate(&trace);
+        let medium = Pipeline::new(PipelineConfig::way_with_memory(4, MemoryModel::L2)).simulate(&trace);
+        let slow = Pipeline::new(PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY)).simulate(&trace);
+        prop_assert!(fast.cycles <= medium.cycles);
+        prop_assert!(medium.cycles <= slow.cycles);
+    }
+
+    /// A larger reorder buffer never hurts.
+    #[test]
+    fn bigger_window_is_never_slower(trace in random_trace(100)) {
+        let mut small_cfg = PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY);
+        small_cfg.rob_size = 8;
+        let mut big_cfg = small_cfg.clone();
+        big_cfg.rob_size = 128;
+        let small = Pipeline::new(small_cfg).simulate(&trace);
+        let big = Pipeline::new(big_cfg).simulate(&trace);
+        prop_assert!(big.cycles <= small.cycles);
+        prop_assert!(big.max_rob_occupancy <= 128);
+        prop_assert!(small.max_rob_occupancy <= 8);
+    }
+
+    /// Simulation is deterministic.
+    #[test]
+    fn simulation_is_deterministic(trace in random_trace(80)) {
+        let p = Pipeline::new(PipelineConfig::way(4));
+        let a = p.simulate(&trace);
+        let b = p.simulate(&trace);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.dispatch_stall_cycles, b.dispatch_stall_cycles);
+        prop_assert_eq!(a.max_rob_occupancy, b.max_rob_occupancy);
+    }
+
+    /// Functional-unit busy cycles never exceed the available capacity
+    /// (units × cycles) for any class.
+    #[test]
+    fn fu_busy_cycles_respect_capacity(trace in random_trace(100)) {
+        let config = PipelineConfig::way(4);
+        let result = Pipeline::new(config.clone()).simulate(&trace);
+        for (class, busy) in &result.fu_busy_cycles {
+            let capacity = result.cycles * config.pool(*class).count as u64;
+            prop_assert!(
+                *busy <= capacity,
+                "{class}: busy {} exceeds capacity {}",
+                busy,
+                capacity
+            );
+        }
+    }
+}

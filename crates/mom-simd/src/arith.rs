@@ -1,0 +1,143 @@
+//! Packed add and subtract, with wrap-around or saturating overflow
+//! behaviour (the MMX `padd*` / `psub*` and their `*us` / `*ss` saturating
+//! variants).
+
+use crate::elem::{ElemType, Overflow};
+use crate::lanes::{from_lanes_list, to_lanes};
+use crate::sat::reduce;
+
+/// Packed addition with explicit overflow behaviour.
+pub fn padd(a: u64, b: u64, ty: ElemType, ovf: Overflow) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let out = la.zip_with(&lb, |x, y| reduce(x + y, ty, ovf));
+    from_lanes_list(&out, ty)
+}
+
+/// Packed wrap-around addition (`padd[b|w|d]` in MMX terms).
+#[inline]
+pub fn padd_wrap(a: u64, b: u64, ty: ElemType) -> u64 {
+    padd(a, b, ty, Overflow::Wrap)
+}
+
+/// Packed saturating addition (`padds` / `paddus` depending on `ty`'s
+/// signedness).
+#[inline]
+pub fn padd_sat(a: u64, b: u64, ty: ElemType) -> u64 {
+    padd(a, b, ty, Overflow::Saturate)
+}
+
+/// Packed subtraction with explicit overflow behaviour.
+pub fn psub(a: u64, b: u64, ty: ElemType, ovf: Overflow) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let out = la.zip_with(&lb, |x, y| reduce(x - y, ty, ovf));
+    from_lanes_list(&out, ty)
+}
+
+/// Packed wrap-around subtraction.
+#[inline]
+pub fn psub_wrap(a: u64, b: u64, ty: ElemType) -> u64 {
+    psub(a, b, ty, Overflow::Wrap)
+}
+
+/// Packed saturating subtraction.
+#[inline]
+pub fn psub_sat(a: u64, b: u64, ty: ElemType) -> u64 {
+    psub(a, b, ty, Overflow::Saturate)
+}
+
+/// Packed negation (wrap-around; `0 - x` lane-wise).
+pub fn pneg(a: u64, ty: ElemType) -> u64 {
+    psub_wrap(0, a, ty)
+}
+
+/// Packed absolute value (saturating so that `|MIN|` clamps to `MAX` for
+/// signed types instead of wrapping back to `MIN`).
+pub fn pabs(a: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let out = la.map(|x| reduce(x.abs(), ty, Overflow::Saturate));
+    from_lanes_list(&out, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::from_lanes;
+
+    #[test]
+    fn wrap_add_bytes() {
+        let a = from_lanes(&[250, 1, 2, 3, 4, 5, 6, 7], ElemType::U8);
+        let b = from_lanes(&[10, 1, 1, 1, 1, 1, 1, 1], ElemType::U8);
+        let s = padd_wrap(a, b, ElemType::U8);
+        assert_eq!(
+            to_lanes(s, ElemType::U8).as_slice(),
+            &[4, 2, 3, 4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn saturating_add_unsigned_bytes() {
+        let a = from_lanes(&[250, 255, 0, 3, 4, 5, 6, 7], ElemType::U8);
+        let b = from_lanes(&[10, 1, 1, 1, 1, 1, 1, 1], ElemType::U8);
+        let s = padd_sat(a, b, ElemType::U8);
+        assert_eq!(
+            to_lanes(s, ElemType::U8).as_slice(),
+            &[255, 255, 1, 4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn saturating_add_signed_halfwords() {
+        let a = from_lanes(&[32000, -32000, 100, -100], ElemType::I16);
+        let b = from_lanes(&[1000, -1000, 1, -1], ElemType::I16);
+        let s = padd_sat(a, b, ElemType::I16);
+        assert_eq!(
+            to_lanes(s, ElemType::I16).as_slice(),
+            &[32767, -32768, 101, -101]
+        );
+    }
+
+    #[test]
+    fn saturating_sub_unsigned_never_negative() {
+        let a = from_lanes(&[5, 0, 100, 200, 1, 2, 3, 4], ElemType::U8);
+        let b = from_lanes(&[10, 1, 50, 100, 1, 2, 3, 4], ElemType::U8);
+        let s = psub_sat(a, b, ElemType::U8);
+        assert_eq!(
+            to_lanes(s, ElemType::U8).as_slice(),
+            &[0, 0, 50, 100, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn wrap_sub_words() {
+        let a = from_lanes(&[0, 5], ElemType::I32);
+        let b = from_lanes(&[1, 10], ElemType::I32);
+        let s = psub_wrap(a, b, ElemType::I32);
+        assert_eq!(to_lanes(s, ElemType::I32).as_slice(), &[-1, -5]);
+    }
+
+    #[test]
+    fn negate_and_abs() {
+        let a = from_lanes(&[1, -2, 3, -128, 0, 5, -6, 7], ElemType::I8);
+        assert_eq!(
+            to_lanes(pneg(a, ElemType::I8), ElemType::I8).as_slice(),
+            &[-1, 2, -3, -128, 0, -5, 6, -7] // -(-128) wraps back to -128
+        );
+        assert_eq!(
+            to_lanes(pabs(a, ElemType::I8), ElemType::I8).as_slice(),
+            &[1, 2, 3, 127, 0, 5, 6, 7] // |-128| saturates to 127
+        );
+    }
+
+    #[test]
+    fn add_is_commutative_for_all_types() {
+        for ty in ElemType::ALL {
+            let a = 0x0123_4567_89AB_CDEF;
+            let b = 0xFEDC_BA98_7654_3210;
+            for ovf in [Overflow::Wrap, Overflow::Saturate] {
+                assert_eq!(padd(a, b, ty, ovf), padd(b, a, ty, ovf));
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Packed comparisons, min / max, rounding average and lane selection.
+
+use crate::elem::ElemType;
+use crate::lanes::{from_lanes_list, to_lanes};
+
+/// Packed compare-equal: lanes where `a == b` are set to all-ones, others to
+/// zero (MMX `pcmpeq*` semantics).
+pub fn pcmpeq(a: u64, b: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let out = la.zip_with(&lb, |x, y| if x == y { -1 } else { 0 });
+    from_lanes_list(&out, ty)
+}
+
+/// Packed compare-greater-than (signedness taken from `ty`): lanes where
+/// `a > b` are set to all-ones, others to zero.
+pub fn pcmpgt(a: u64, b: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let out = la.zip_with(&lb, |x, y| if x > y { -1 } else { 0 });
+    from_lanes_list(&out, ty)
+}
+
+/// Packed minimum.
+pub fn pmin(a: u64, b: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    from_lanes_list(&la.zip_with(&lb, i64::min), ty)
+}
+
+/// Packed maximum.
+pub fn pmax(a: u64, b: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    from_lanes_list(&la.zip_with(&lb, i64::max), ty)
+}
+
+/// Packed rounding average: `(a + b + 1) >> 1` per lane (the `pavg`
+/// operation used by half-pel motion compensation and chroma upsampling).
+pub fn pavg(a: u64, b: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    from_lanes_list(&la.zip_with(&lb, |x, y| (x + y + 1) >> 1), ty)
+}
+
+/// Packed average of four values with rounding: `(a + b + c + d + 2) >> 2`
+/// per lane. This is exactly the filter the JPEG `h2v2` upsampling and
+/// MPEG half-pel interpolation use.
+pub fn pavg4(a: u64, b: u64, c: u64, d: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let lc = to_lanes(c, ty);
+    let ld = to_lanes(d, ty);
+    let mut out = la;
+    for i in 0..out.len() {
+        out.as_mut_slice()[i] = (la[i] + lb[i] + lc[i] + ld[i] + 2) >> 2;
+    }
+    from_lanes_list(&out, ty)
+}
+
+/// Lane select: for each lane, picks `a` where the corresponding `mask` lane
+/// is non-zero and `b` where it is zero (the "bitwise blend" idiom built from
+/// `pand`/`pandn`/`por` in MMX, provided directly by MDMX/MOM).
+pub fn pselect(mask: u64, a: u64, b: u64, ty: ElemType) -> u64 {
+    let lm = to_lanes(mask, ty);
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let mut out = la;
+    for i in 0..out.len() {
+        out.as_mut_slice()[i] = if lm[i] != 0 { la[i] } else { lb[i] };
+    }
+    from_lanes_list(&out, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::from_lanes;
+
+    #[test]
+    fn cmpeq_sets_full_mask() {
+        let a = from_lanes(&[1, 2, 3, 4], ElemType::I16);
+        let b = from_lanes(&[1, 0, 3, 0], ElemType::I16);
+        let m = pcmpeq(a, b, ElemType::I16);
+        assert_eq!(to_lanes(m, ElemType::I16).as_slice(), &[-1, 0, -1, 0]);
+        assert_eq!(
+            to_lanes(m, ElemType::U16).as_slice(),
+            &[0xFFFF, 0, 0xFFFF, 0]
+        );
+    }
+
+    #[test]
+    fn cmpgt_signed_vs_unsigned() {
+        let a = from_lanes(&[200, 10, 0, 0, 0, 0, 0, 0], ElemType::U8);
+        let b = from_lanes(&[100, 20, 0, 0, 0, 0, 0, 0], ElemType::U8);
+        // Unsigned: 200 > 100.
+        let mu = pcmpgt(a, b, ElemType::U8);
+        assert_eq!(to_lanes(mu, ElemType::U8)[0], 255);
+        // Signed: 200 is -56, so not greater than 100.
+        let ms = pcmpgt(a, b, ElemType::I8);
+        assert_eq!(to_lanes(ms, ElemType::I8)[0], 0);
+        assert_eq!(to_lanes(ms, ElemType::I8)[1], 0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = from_lanes(&[5, -3, 100, 0], ElemType::I16);
+        let b = from_lanes(&[3, -1, 200, 0], ElemType::I16);
+        assert_eq!(
+            to_lanes(pmin(a, b, ElemType::I16), ElemType::I16).as_slice(),
+            &[3, -3, 100, 0]
+        );
+        assert_eq!(
+            to_lanes(pmax(a, b, ElemType::I16), ElemType::I16).as_slice(),
+            &[5, -1, 200, 0]
+        );
+    }
+
+    #[test]
+    fn avg_rounds_up() {
+        let a = from_lanes(&[1, 2, 255, 0, 10, 10, 10, 10], ElemType::U8);
+        let b = from_lanes(&[2, 2, 255, 1, 11, 12, 13, 14], ElemType::U8);
+        assert_eq!(
+            to_lanes(pavg(a, b, ElemType::U8), ElemType::U8).as_slice(),
+            &[2, 2, 255, 1, 11, 11, 12, 12]
+        );
+    }
+
+    #[test]
+    fn avg4_matches_jpeg_filter() {
+        let a = from_lanes(&[1, 0, 0, 0, 0, 0, 0, 0], ElemType::U8);
+        let b = from_lanes(&[2, 0, 0, 0, 0, 0, 0, 0], ElemType::U8);
+        let c = from_lanes(&[3, 0, 0, 0, 0, 0, 0, 0], ElemType::U8);
+        let d = from_lanes(&[4, 0, 0, 0, 0, 0, 0, 0], ElemType::U8);
+        // (1+2+3+4+2)>>2 = 3
+        assert_eq!(to_lanes(pavg4(a, b, c, d, ElemType::U8), ElemType::U8)[0], 3);
+    }
+
+    #[test]
+    fn select_picks_per_lane() {
+        let m = from_lanes(&[-1, 0, -1, 0], ElemType::I16);
+        let a = from_lanes(&[1, 2, 3, 4], ElemType::I16);
+        let b = from_lanes(&[10, 20, 30, 40], ElemType::I16);
+        assert_eq!(
+            to_lanes(pselect(m, a, b, ElemType::I16), ElemType::I16).as_slice(),
+            &[1, 20, 3, 40]
+        );
+    }
+
+    #[test]
+    fn min_max_compose_to_clamp() {
+        // clamp(x, lo, hi) == pmin(pmax(x, lo), hi) lane-wise
+        let x = from_lanes(&[-300, 0, 300, 50], ElemType::I16);
+        let lo = from_lanes(&[-100, -100, -100, -100], ElemType::I16);
+        let hi = from_lanes(&[100, 100, 100, 100], ElemType::I16);
+        let clamped = pmin(pmax(x, lo, ElemType::I16), hi, ElemType::I16);
+        assert_eq!(
+            to_lanes(clamped, ElemType::I16).as_slice(),
+            &[-100, 0, 100, 50]
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Packed element types and overflow behaviour descriptors.
+
+/// Width of a packed element, independent of signedness.
+///
+/// MOM, MDMX and MMX all partition a 64-bit word into 8-, 16- or 32-bit
+/// elements (the paper's "sub-word" elements of dimension *X*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElemWidth {
+    /// 8-bit elements ("packed bytes"): 8 lanes per 64-bit word.
+    B8,
+    /// 16-bit elements ("packed halfwords"): 4 lanes per 64-bit word.
+    H16,
+    /// 32-bit elements ("packed words"): 2 lanes per 64-bit word.
+    W32,
+}
+
+impl ElemWidth {
+    /// Number of bits in one element.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        match self {
+            ElemWidth::B8 => 8,
+            ElemWidth::H16 => 16,
+            ElemWidth::W32 => 32,
+        }
+    }
+
+    /// Number of lanes of this width that fit in a 64-bit word.
+    #[inline]
+    pub const fn lanes(self) -> usize {
+        match self {
+            ElemWidth::B8 => 8,
+            ElemWidth::H16 => 4,
+            ElemWidth::W32 => 2,
+        }
+    }
+
+    /// The next wider element width, if any (used by widening operations and
+    /// data-promotion sequences).
+    #[inline]
+    pub const fn widened(self) -> Option<ElemWidth> {
+        match self {
+            ElemWidth::B8 => Some(ElemWidth::H16),
+            ElemWidth::H16 => Some(ElemWidth::W32),
+            ElemWidth::W32 => None,
+        }
+    }
+
+    /// All element widths, narrowest first.
+    pub const ALL: [ElemWidth; 3] = [ElemWidth::B8, ElemWidth::H16, ElemWidth::W32];
+}
+
+/// A packed element type: width plus signedness.
+///
+/// The signedness decides how lanes are extended when read out of a word,
+/// which saturation bounds apply, and how comparisons and multiplications
+/// behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// Unsigned 8-bit elements (pixels, for instance).
+    U8,
+    /// Signed 8-bit elements.
+    I8,
+    /// Unsigned 16-bit elements.
+    U16,
+    /// Signed 16-bit elements (audio samples, DCT coefficients).
+    I16,
+    /// Unsigned 32-bit elements.
+    U32,
+    /// Signed 32-bit elements (accumulation intermediates).
+    I32,
+}
+
+impl ElemType {
+    /// All element types.
+    pub const ALL: [ElemType; 6] = [
+        ElemType::U8,
+        ElemType::I8,
+        ElemType::U16,
+        ElemType::I16,
+        ElemType::U32,
+        ElemType::I32,
+    ];
+
+    /// The width (ignoring signedness) of this element type.
+    #[inline]
+    pub const fn width(self) -> ElemWidth {
+        match self {
+            ElemType::U8 | ElemType::I8 => ElemWidth::B8,
+            ElemType::U16 | ElemType::I16 => ElemWidth::H16,
+            ElemType::U32 | ElemType::I32 => ElemWidth::W32,
+        }
+    }
+
+    /// Number of bits per element.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.width().bits()
+    }
+
+    /// Number of lanes per 64-bit word.
+    #[inline]
+    pub const fn lanes(self) -> usize {
+        self.width().lanes()
+    }
+
+    /// Whether lanes are interpreted as signed (two's complement).
+    #[inline]
+    pub const fn is_signed(self) -> bool {
+        matches!(self, ElemType::I8 | ElemType::I16 | ElemType::I32)
+    }
+
+    /// The signed counterpart with the same width.
+    #[inline]
+    pub const fn as_signed(self) -> ElemType {
+        match self.width() {
+            ElemWidth::B8 => ElemType::I8,
+            ElemWidth::H16 => ElemType::I16,
+            ElemWidth::W32 => ElemType::I32,
+        }
+    }
+
+    /// The unsigned counterpart with the same width.
+    #[inline]
+    pub const fn as_unsigned(self) -> ElemType {
+        match self.width() {
+            ElemWidth::B8 => ElemType::U8,
+            ElemWidth::H16 => ElemType::U16,
+            ElemWidth::W32 => ElemType::U32,
+        }
+    }
+
+    /// The element type with the same signedness and twice the width, if any.
+    #[inline]
+    pub const fn widened(self) -> Option<ElemType> {
+        match self {
+            ElemType::U8 => Some(ElemType::U16),
+            ElemType::I8 => Some(ElemType::I16),
+            ElemType::U16 => Some(ElemType::U32),
+            ElemType::I16 => Some(ElemType::I32),
+            ElemType::U32 | ElemType::I32 => None,
+        }
+    }
+
+    /// The element type with the same signedness and half the width, if any.
+    #[inline]
+    pub const fn narrowed(self) -> Option<ElemType> {
+        match self {
+            ElemType::U16 => Some(ElemType::U8),
+            ElemType::I16 => Some(ElemType::I8),
+            ElemType::U32 => Some(ElemType::U16),
+            ElemType::I32 => Some(ElemType::I16),
+            ElemType::U8 | ElemType::I8 => None,
+        }
+    }
+
+    /// The smallest representable lane value, as an `i64`.
+    #[inline]
+    pub const fn min_value(self) -> i64 {
+        match self {
+            ElemType::U8 | ElemType::U16 | ElemType::U32 => 0,
+            ElemType::I8 => i8::MIN as i64,
+            ElemType::I16 => i16::MIN as i64,
+            ElemType::I32 => i32::MIN as i64,
+        }
+    }
+
+    /// The largest representable lane value, as an `i64`.
+    #[inline]
+    pub const fn max_value(self) -> i64 {
+        match self {
+            ElemType::U8 => u8::MAX as i64,
+            ElemType::I8 => i8::MAX as i64,
+            ElemType::U16 => u16::MAX as i64,
+            ElemType::I16 => i16::MAX as i64,
+            ElemType::U32 => u32::MAX as i64,
+            ElemType::I32 => i32::MAX as i64,
+        }
+    }
+
+    /// A mask with the low `bits()` bits set.
+    #[inline]
+    pub const fn lane_mask(self) -> u64 {
+        match self.width() {
+            ElemWidth::B8 => 0xFF,
+            ElemWidth::H16 => 0xFFFF,
+            ElemWidth::W32 => 0xFFFF_FFFF,
+        }
+    }
+
+    /// Returns `true` if `value` fits this element type without wrapping.
+    #[inline]
+    pub const fn contains(self, value: i64) -> bool {
+        value >= self.min_value() && value <= self.max_value()
+    }
+}
+
+/// Overflow behaviour of a packed arithmetic operation.
+///
+/// Multimedia ISAs distinguish modular (wrap-around) arithmetic from
+/// *saturating* arithmetic, where results are clamped to the representable
+/// range of the element type — the paper highlights saturation as one of the
+/// multimedia-oriented features MOM inherits from MMX-like ISAs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Overflow {
+    /// Wrap around modulo 2^bits (plain two's-complement truncation).
+    #[default]
+    Wrap,
+    /// Clamp to the minimum/maximum representable value of the element type.
+    Saturate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_lanes_are_consistent() {
+        for ty in ElemType::ALL {
+            assert_eq!(ty.bits() as usize * ty.lanes(), 64);
+            assert_eq!(ty.width().lanes(), ty.lanes());
+        }
+    }
+
+    #[test]
+    fn signedness_round_trips() {
+        for ty in ElemType::ALL {
+            assert!(ty.as_signed().is_signed());
+            assert!(!ty.as_unsigned().is_signed());
+            assert_eq!(ty.as_signed().width(), ty.width());
+            assert_eq!(ty.as_unsigned().width(), ty.width());
+        }
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        assert_eq!(ElemType::U8.max_value(), 255);
+        assert_eq!(ElemType::I8.min_value(), -128);
+        assert_eq!(ElemType::I16.max_value(), 32767);
+        assert_eq!(ElemType::U16.max_value(), 65535);
+        assert_eq!(ElemType::I32.min_value(), i32::MIN as i64);
+        assert_eq!(ElemType::U32.max_value(), u32::MAX as i64);
+        for ty in ElemType::ALL {
+            assert!(ty.contains(0));
+            assert!(ty.contains(ty.min_value()));
+            assert!(ty.contains(ty.max_value()));
+            assert!(!ty.contains(ty.max_value() + 1));
+            assert!(!ty.contains(ty.min_value() - 1));
+        }
+    }
+
+    #[test]
+    fn widen_narrow_round_trip() {
+        assert_eq!(ElemType::U8.widened(), Some(ElemType::U16));
+        assert_eq!(ElemType::I16.widened(), Some(ElemType::I32));
+        assert_eq!(ElemType::I32.widened(), None);
+        assert_eq!(ElemType::I32.narrowed(), Some(ElemType::I16));
+        assert_eq!(ElemType::U8.narrowed(), None);
+        for ty in ElemType::ALL {
+            if let Some(w) = ty.widened() {
+                assert_eq!(w.narrowed(), Some(ty));
+                assert_eq!(w.is_signed(), ty.is_signed());
+            }
+        }
+    }
+
+    #[test]
+    fn widened_width_chain() {
+        assert_eq!(ElemWidth::B8.widened(), Some(ElemWidth::H16));
+        assert_eq!(ElemWidth::H16.widened(), Some(ElemWidth::W32));
+        assert_eq!(ElemWidth::W32.widened(), None);
+    }
+
+    #[test]
+    fn lane_masks() {
+        assert_eq!(ElemType::U8.lane_mask(), 0xFF);
+        assert_eq!(ElemType::I16.lane_mask(), 0xFFFF);
+        assert_eq!(ElemType::U32.lane_mask(), 0xFFFF_FFFF);
+    }
+}

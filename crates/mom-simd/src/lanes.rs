@@ -1,0 +1,281 @@
+//! Lane extraction / insertion: converting between packed 64-bit words and
+//! per-lane `i64` values.
+//!
+//! Everything else in the crate is defined in terms of these two conversions,
+//! which keeps each packed operation a direct transliteration of its
+//! per-element definition (and therefore easy to audit against the paper's
+//! instruction descriptions).
+
+use crate::elem::ElemType;
+use crate::MAX_LANES;
+
+/// A fixed-capacity list of lane values extracted from one packed word.
+///
+/// Lane 0 is the least-significant lane of the word (the element at the
+/// lowest memory address on a little-endian machine, which is the layout the
+/// paper's figures use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lanes {
+    vals: [i64; MAX_LANES],
+    len: usize,
+}
+
+impl Lanes {
+    /// Creates a lane list from a slice (at most [`MAX_LANES`] entries).
+    ///
+    /// # Panics
+    /// Panics if `vals` has more than [`MAX_LANES`] entries.
+    pub fn new(vals: &[i64]) -> Self {
+        assert!(
+            vals.len() <= MAX_LANES,
+            "at most {MAX_LANES} lanes fit in a packed word"
+        );
+        let mut a = [0i64; MAX_LANES];
+        a[..vals.len()].copy_from_slice(vals);
+        Lanes {
+            vals: a,
+            len: vals.len(),
+        }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no lanes (never true for values produced by
+    /// [`to_lanes`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The lane values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[i64] {
+        &self.vals[..self.len]
+    }
+
+    /// Mutable access to the lane values.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [i64] {
+        &mut self.vals[..self.len]
+    }
+
+    /// Iterator over lane values.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.as_slice().iter().copied()
+    }
+
+    /// Applies `f` lane-wise, producing a new lane list of the same length.
+    pub fn map(&self, mut f: impl FnMut(i64) -> i64) -> Lanes {
+        let mut out = *self;
+        for v in out.as_mut_slice() {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Combines two lane lists lane-wise with `f`.
+    ///
+    /// # Panics
+    /// Panics if the two lists have different lengths.
+    pub fn zip_with(&self, other: &Lanes, mut f: impl FnMut(i64, i64) -> i64) -> Lanes {
+        assert_eq!(self.len, other.len, "lane count mismatch");
+        let mut out = *self;
+        for (v, o) in out.as_mut_slice().iter_mut().zip(other.iter()) {
+            *v = f(*v, o);
+        }
+        out
+    }
+
+    /// Sum of all lanes (no overflow: lanes are at most 32-bit and there are
+    /// at most eight of them).
+    pub fn sum(&self) -> i64 {
+        self.iter().sum()
+    }
+}
+
+impl std::ops::Index<usize> for Lanes {
+    type Output = i64;
+    fn index(&self, i: usize) -> &i64 {
+        &self.as_slice()[i]
+    }
+}
+
+/// Extracts the lanes of `word` as sign- or zero-extended `i64` values
+/// according to `ty`.
+pub fn to_lanes(word: u64, ty: ElemType) -> Lanes {
+    let bits = ty.bits();
+    let mask = ty.lane_mask();
+    let n = ty.lanes();
+    let mut vals = [0i64; MAX_LANES];
+    for (i, v) in vals.iter_mut().enumerate().take(n) {
+        let raw = (word >> (bits * i as u32)) & mask;
+        *v = if ty.is_signed() {
+            sign_extend(raw, bits)
+        } else {
+            raw as i64
+        };
+    }
+    Lanes { vals, len: n }
+}
+
+/// Packs lane values back into a 64-bit word, truncating each lane to the
+/// element width (wrap-around semantics).
+///
+/// # Panics
+/// Panics if `lanes` does not contain exactly `ty.lanes()` values.
+pub fn from_lanes(lanes: &[i64], ty: ElemType) -> u64 {
+    assert_eq!(
+        lanes.len(),
+        ty.lanes(),
+        "expected {} lanes for {:?}",
+        ty.lanes(),
+        ty
+    );
+    let bits = ty.bits();
+    let mask = ty.lane_mask();
+    let mut word = 0u64;
+    for (i, &v) in lanes.iter().enumerate() {
+        word |= ((v as u64) & mask) << (bits * i as u32);
+    }
+    word
+}
+
+/// Packs a [`Lanes`] value back into a word (wrap-around semantics).
+pub fn from_lanes_list(lanes: &Lanes, ty: ElemType) -> u64 {
+    from_lanes(lanes.as_slice(), ty)
+}
+
+/// Extracts a single lane (sign- or zero-extended).
+///
+/// # Panics
+/// Panics if `idx >= ty.lanes()`.
+pub fn extract_lane(word: u64, idx: usize, ty: ElemType) -> i64 {
+    assert!(idx < ty.lanes(), "lane index out of range");
+    let bits = ty.bits();
+    let raw = (word >> (bits * idx as u32)) & ty.lane_mask();
+    if ty.is_signed() {
+        sign_extend(raw, bits)
+    } else {
+        raw as i64
+    }
+}
+
+/// Replaces a single lane, truncating `value` to the element width.
+///
+/// # Panics
+/// Panics if `idx >= ty.lanes()`.
+pub fn insert_lane(word: u64, idx: usize, value: i64, ty: ElemType) -> u64 {
+    assert!(idx < ty.lanes(), "lane index out of range");
+    let bits = ty.bits();
+    let mask = ty.lane_mask();
+    let shift = bits * idx as u32;
+    (word & !(mask << shift)) | (((value as u64) & mask) << shift)
+}
+
+/// Sign-extends the low `bits` bits of `raw` to an `i64`.
+#[inline]
+pub fn sign_extend(raw: u64, bits: u32) -> i64 {
+    debug_assert!(bits > 0 && bits <= 64);
+    let shift = 64 - bits;
+    ((raw << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_unsigned_bytes() {
+        let vals = [0, 1, 127, 128, 200, 255, 42, 7];
+        let w = from_lanes(&vals, ElemType::U8);
+        assert_eq!(to_lanes(w, ElemType::U8).as_slice(), &vals);
+    }
+
+    #[test]
+    fn round_trip_signed_bytes() {
+        let vals = [0, -1, 127, -128, -100, 100, 42, -7];
+        let w = from_lanes(&vals, ElemType::I8);
+        assert_eq!(to_lanes(w, ElemType::I8).as_slice(), &vals);
+    }
+
+    #[test]
+    fn round_trip_halfwords() {
+        let vals = [-32768, 32767, 0, -1];
+        let w = from_lanes(&vals, ElemType::I16);
+        assert_eq!(to_lanes(w, ElemType::I16).as_slice(), &vals);
+        let uvals = [0, 65535, 1, 40000];
+        let w = from_lanes(&uvals, ElemType::U16);
+        assert_eq!(to_lanes(w, ElemType::U16).as_slice(), &uvals);
+    }
+
+    #[test]
+    fn round_trip_words() {
+        let vals = [i32::MIN as i64, i32::MAX as i64];
+        let w = from_lanes(&vals, ElemType::I32);
+        assert_eq!(to_lanes(w, ElemType::I32).as_slice(), &vals);
+    }
+
+    #[test]
+    fn lane_zero_is_least_significant() {
+        let w = from_lanes(&[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88u8 as i64], ElemType::U8);
+        assert_eq!(w & 0xFF, 0x11);
+        assert_eq!(extract_lane(w, 0, ElemType::U8), 0x11);
+        assert_eq!(extract_lane(w, 7, ElemType::U8), 0x88);
+    }
+
+    #[test]
+    fn insert_and_extract() {
+        let w = from_lanes(&[1, 2, 3, 4], ElemType::I16);
+        let w2 = insert_lane(w, 2, -7, ElemType::I16);
+        assert_eq!(extract_lane(w2, 2, ElemType::I16), -7);
+        assert_eq!(extract_lane(w2, 0, ElemType::I16), 1);
+        assert_eq!(extract_lane(w2, 1, ElemType::I16), 2);
+        assert_eq!(extract_lane(w2, 3, ElemType::I16), 4);
+    }
+
+    #[test]
+    fn wrapping_truncation_on_pack() {
+        // 300 wraps to 44 in an unsigned byte lane.
+        let w = from_lanes(&[300, 0, 0, 0, 0, 0, 0, 0], ElemType::U8);
+        assert_eq!(extract_lane(w, 0, ElemType::U8), 44);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xFF, 8), -1);
+        assert_eq!(sign_extend(0x7F, 8), 127);
+        assert_eq!(sign_extend(0x8000, 16), -32768);
+        assert_eq!(sign_extend(0xFFFF_FFFF, 32), -1);
+        assert_eq!(sign_extend(0xFFFF_FFFF, 64), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn lanes_helpers() {
+        let l = Lanes::new(&[1, 2, 3]);
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert_eq!(l.sum(), 6);
+        assert_eq!(l.map(|v| v * 2).as_slice(), &[2, 4, 6]);
+        let r = Lanes::new(&[10, 20, 30]);
+        assert_eq!(l.zip_with(&r, |a, b| a + b).as_slice(), &[11, 22, 33]);
+        assert_eq!(l[1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count mismatch")]
+    fn zip_with_mismatched_lengths_panics() {
+        let a = Lanes::new(&[1, 2]);
+        let b = Lanes::new(&[1, 2, 3]);
+        let _ = a.zip_with(&b, |x, y| x + y);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 lanes")]
+    fn from_lanes_wrong_count_panics() {
+        let _ = from_lanes(&[1, 2, 3], ElemType::I16);
+    }
+}

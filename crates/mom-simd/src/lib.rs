@@ -1,0 +1,65 @@
+//! # mom-simd — packed sub-word arithmetic primitives
+//!
+//! This crate implements, bit-accurately and in portable Rust, the
+//! *SIMD-within-a-register* (sub-word) operations that the MMX-like,
+//! MDMX-like and MOM instruction sets of the SC'99 paper
+//! *"MOM: a Matrix SIMD Instruction Set Architecture for Multimedia
+//! Applications"* are built on.
+//!
+//! A 64-bit machine word is interpreted as a small vector of packed elements
+//! (eight 8-bit, four 16-bit or two 32-bit lanes, signed or unsigned — see
+//! [`ElemType`]).  Every operation in this crate takes and returns plain
+//! `u64` words, so the higher layers (the functional simulator in
+//! `mom-arch`, the timing simulator in `mom-pipeline`) can store register
+//! files as flat arrays of `u64` without any further abstraction.
+//!
+//! The operation inventory mirrors what the paper's emulation libraries
+//! provide:
+//!
+//! * wrap-around and saturating packed add / subtract ([`arith`]),
+//! * packed multiplies (low / high / widening) and multiply-add ([`mul`]),
+//! * sum of absolute / squared differences ([`sad`]),
+//! * pack-with-saturation and unpack/interleave ([`pack`]),
+//! * per-element shifts ([`shift`]),
+//! * packed compares, min / max, rounding average ([`cmp`]),
+//! * bitwise logic and lane broadcast ([`logic`]).
+//!
+//! ## Example: the paper's Figure 1 (MMX packed add)
+//!
+//! ```
+//! use mom_simd::{ElemType, arith::padd_wrap, logic::splat};
+//!
+//! // Four 16-bit lanes holding 1000, 2000, 3000, 4000.
+//! let a = mom_simd::lanes::from_lanes(&[1000, 2000, 3000, 4000], ElemType::I16);
+//! let b = splat(10, ElemType::I16);
+//! let sum = padd_wrap(a, b, ElemType::I16);
+//! assert_eq!(
+//!     mom_simd::lanes::to_lanes(sum, ElemType::I16).as_slice(),
+//!     &[1010, 2010, 3010, 4010]
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod cmp;
+pub mod elem;
+pub mod lanes;
+pub mod logic;
+pub mod mul;
+pub mod pack;
+pub mod sad;
+pub mod sat;
+pub mod shift;
+
+pub use elem::{ElemType, ElemWidth, Overflow};
+pub use lanes::Lanes;
+
+/// Number of bits in the packed machine word every operation works on.
+pub const WORD_BITS: u32 = 64;
+
+/// Number of bytes in the packed machine word.
+pub const WORD_BYTES: usize = 8;
+
+/// Maximum number of lanes a packed word can hold (eight 8-bit elements).
+pub const MAX_LANES: usize = 8;

@@ -1,0 +1,87 @@
+//! Bitwise logic on packed words and lane broadcast (splat).
+//!
+//! The bitwise operations are width-agnostic (they act on the whole 64-bit
+//! word), but they are exposed here so the instruction-set layer has a single
+//! home for every packed primitive.
+
+use crate::elem::ElemType;
+use crate::lanes::from_lanes;
+use crate::MAX_LANES;
+
+/// Bitwise AND of two packed words.
+#[inline]
+pub fn pand(a: u64, b: u64) -> u64 {
+    a & b
+}
+
+/// Bitwise AND-NOT: `!a & b` (MMX `pandn` operand order).
+#[inline]
+pub fn pandn(a: u64, b: u64) -> u64 {
+    !a & b
+}
+
+/// Bitwise OR of two packed words.
+#[inline]
+pub fn por(a: u64, b: u64) -> u64 {
+    a | b
+}
+
+/// Bitwise XOR of two packed words.
+#[inline]
+pub fn pxor(a: u64, b: u64) -> u64 {
+    a ^ b
+}
+
+/// Broadcasts a scalar value into every lane of a packed word (truncating it
+/// to the element width).
+pub fn splat(value: i64, ty: ElemType) -> u64 {
+    let mut lanes = [0i64; MAX_LANES];
+    for l in lanes.iter_mut().take(ty.lanes()) {
+        *l = value;
+    }
+    from_lanes(&lanes[..ty.lanes()], ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::to_lanes;
+
+    #[test]
+    fn basic_logic() {
+        let a = 0xF0F0_F0F0_F0F0_F0F0;
+        let b = 0xFF00_FF00_FF00_FF00;
+        assert_eq!(pand(a, b), 0xF000_F000_F000_F000);
+        assert_eq!(por(a, b), 0xFFF0_FFF0_FFF0_FFF0);
+        assert_eq!(pxor(a, b), 0x0FF0_0FF0_0FF0_0FF0);
+        assert_eq!(pandn(a, b), 0x0F00_0F00_0F00_0F00);
+    }
+
+    #[test]
+    fn xor_self_is_zero_and_is_involution() {
+        let a = 0x0123_4567_89AB_CDEF;
+        let b = 0xDEAD_BEEF_0BAD_F00D;
+        assert_eq!(pxor(a, a), 0);
+        assert_eq!(pxor(pxor(a, b), b), a);
+    }
+
+    #[test]
+    fn splat_bytes() {
+        let w = splat(0xAB, ElemType::U8);
+        assert_eq!(w, 0xABAB_ABAB_ABAB_ABAB);
+        assert_eq!(to_lanes(w, ElemType::U8).as_slice(), &[0xAB; 8]);
+    }
+
+    #[test]
+    fn splat_negative_halfwords() {
+        let w = splat(-2, ElemType::I16);
+        assert_eq!(to_lanes(w, ElemType::I16).as_slice(), &[-2, -2, -2, -2]);
+        assert_eq!(w, 0xFFFE_FFFE_FFFE_FFFE);
+    }
+
+    #[test]
+    fn splat_truncates() {
+        let w = splat(0x1_0005, ElemType::U16);
+        assert_eq!(to_lanes(w, ElemType::U16).as_slice(), &[5, 5, 5, 5]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Packed multiplies: low / high halves, widening products and the
+//! multiply-add reduction (`pmaddwd`) that dot-product kernels rely on.
+//!
+//! The MDMX and MOM accumulator instructions need the *full* widened
+//! products, so [`pmul_widening`] exposes them as per-lane `i64` values for
+//! the accumulator logic in `mom-arch` (see the paper's Figure 3, where four
+//! 16-bit × 16-bit products are kept at 48-bit precision inside a 192-bit
+//! accumulator).
+
+use crate::elem::ElemType;
+use crate::lanes::{from_lanes, from_lanes_list, to_lanes, Lanes};
+
+/// Packed multiply, keeping the **low** half of each product
+/// (`pmullw`-style). Wraps modulo the element width.
+pub fn pmul_low(a: u64, b: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let out = la.zip_with(&lb, |x, y| crate::sat::wrap(x.wrapping_mul(y), ty));
+    from_lanes_list(&out, ty)
+}
+
+/// Packed multiply, keeping the **high** half of each product
+/// (`pmulhw`-style).
+pub fn pmul_high(a: u64, b: u64, ty: ElemType) -> u64 {
+    let bits = ty.bits();
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let out = la.zip_with(&lb, |x, y| {
+        crate::sat::wrap(((x as i128 * y as i128) >> bits) as i64, ty)
+    });
+    from_lanes_list(&out, ty)
+}
+
+/// Full widened per-lane products, returned as `i64` values (one per input
+/// lane). This is the precision-preserving form consumed by the packed
+/// accumulators.
+///
+/// The product is exact for 8-, 16- and signed 32-bit lanes (it always fits
+/// an `i64`); for unsigned 32-bit lanes — which no accumulator instruction
+/// uses — it is reduced modulo 2^64.
+pub fn pmul_widening(a: u64, b: u64, ty: ElemType) -> Lanes {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    la.zip_with(&lb, |x, y| (x as i128 * y as i128) as i64)
+}
+
+/// `pmaddwd`: multiplies 16-bit lanes pair-wise and adds adjacent products,
+/// producing two 32-bit sums.
+///
+/// Lane layout (little-endian lane order):
+/// `out[0] = a[0]*b[0] + a[1]*b[1]`, `out[1] = a[2]*b[2] + a[3]*b[3]`.
+///
+/// # Panics
+/// Panics if `ty` is not a 16-bit element type.
+pub fn pmaddwd(a: u64, b: u64, ty: ElemType) -> u64 {
+    assert_eq!(
+        ty.width(),
+        crate::elem::ElemWidth::H16,
+        "pmaddwd is defined on 16-bit lanes"
+    );
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let p: Vec<i64> = la.iter().zip(lb.iter()).map(|(x, y)| x * y).collect();
+    let out = [
+        crate::sat::wrap(p[0] + p[1], ElemType::I32),
+        crate::sat::wrap(p[2] + p[3], ElemType::I32),
+    ];
+    from_lanes(&out, ElemType::I32)
+}
+
+/// Packed multiply with rounding and scaling: `(a*b + 2^(shift-1)) >> shift`
+/// per lane, saturated to the element type. Used by fixed-point kernels such
+/// as the IDCT and the RGB→YCC colour conversion.
+pub fn pmul_round_shift(a: u64, b: u64, ty: ElemType, shift: u32) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let out = la.zip_with(&lb, |x, y| {
+        crate::sat::saturate(crate::sat::round_shift(x * y, shift), ty)
+    });
+    from_lanes_list(&out, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::from_lanes;
+
+    #[test]
+    fn mul_low_halfwords() {
+        let a = from_lanes(&[3, -4, 1000, 0], ElemType::I16);
+        let b = from_lanes(&[7, 5, 100, 9], ElemType::I16);
+        let p = pmul_low(a, b, ElemType::I16);
+        // 1000*100 = 100000 = 0x186A0, low 16 bits = 0x86A0 = -31072 as i16
+        assert_eq!(
+            to_lanes(p, ElemType::I16).as_slice(),
+            &[21, -20, -31072, 0]
+        );
+    }
+
+    #[test]
+    fn mul_high_halfwords() {
+        let a = from_lanes(&[1000, -1000, 256, 1], ElemType::I16);
+        let b = from_lanes(&[100, 100, 256, 1], ElemType::I16);
+        let p = pmul_high(a, b, ElemType::I16);
+        // 100000 >> 16 = 1 ; -100000 >> 16 = -2 (arithmetic shift) ; 65536>>16 = 1 ; 0
+        assert_eq!(to_lanes(p, ElemType::I16).as_slice(), &[1, -2, 1, 0]);
+    }
+
+    #[test]
+    fn widening_products_are_exact() {
+        let a = from_lanes(&[32767, -32768, 2, -3], ElemType::I16);
+        let b = from_lanes(&[32767, 32767, -2, -3], ElemType::I16);
+        let p = pmul_widening(a, b, ElemType::I16);
+        assert_eq!(
+            p.as_slice(),
+            &[32767i64 * 32767, -32768i64 * 32767, -4, 9]
+        );
+    }
+
+    #[test]
+    fn widening_unsigned_bytes() {
+        let a = from_lanes(&[255, 200, 0, 1, 2, 3, 4, 5], ElemType::U8);
+        let b = from_lanes(&[255, 2, 9, 1, 2, 3, 4, 5], ElemType::U8);
+        let p = pmul_widening(a, b, ElemType::U8);
+        assert_eq!(p.as_slice(), &[65025, 400, 0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn pmaddwd_pairs() {
+        let a = from_lanes(&[1, 2, 3, 4], ElemType::I16);
+        let b = from_lanes(&[10, 20, 30, 40], ElemType::I16);
+        let s = pmaddwd(a, b, ElemType::I16);
+        assert_eq!(to_lanes(s, ElemType::I32).as_slice(), &[50, 250]);
+    }
+
+    #[test]
+    fn pmaddwd_negative_products() {
+        let a = from_lanes(&[-1, 2, -3, 4], ElemType::I16);
+        let b = from_lanes(&[10, -20, 30, -40], ElemType::I16);
+        let s = pmaddwd(a, b, ElemType::I16);
+        assert_eq!(to_lanes(s, ElemType::I32).as_slice(), &[-50, -250]);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit lanes")]
+    fn pmaddwd_rejects_bytes() {
+        let _ = pmaddwd(0, 0, ElemType::U8);
+    }
+
+    #[test]
+    fn mul_round_shift_fixed_point() {
+        // 0.5 in Q15 is 16384; 1000 * 0.5 = 500.
+        let a = from_lanes(&[1000, -1000, 30000, 4], ElemType::I16);
+        let b = from_lanes(&[16384, 16384, 32767, 8192], ElemType::I16);
+        let p = pmul_round_shift(a, b, ElemType::I16, 15);
+        let got = to_lanes(p, ElemType::I16);
+        assert_eq!(got[0], 500);
+        assert_eq!(got[1], -500);
+        assert_eq!(got[2], 29999); // 30000 * 0.99997 rounded
+        assert_eq!(got[3], 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Pack (narrowing with saturation) and unpack (interleave / widening)
+//! operations.
+//!
+//! These are the data-promotion / demotion instructions whose overhead the
+//! paper repeatedly calls out as the cost MMX pays for precision — and which
+//! the MDMX/MOM accumulators largely eliminate.
+
+use crate::elem::ElemType;
+use crate::lanes::{from_lanes, to_lanes};
+use crate::sat::saturate;
+
+/// Packs the lanes of `a` (low half of the result) and `b` (high half) from
+/// `from_ty` into lanes of half the width, saturating to `to_ty`.
+///
+/// `to_ty` controls the saturation bounds and may be signed
+/// (`packsswb`/`packssdw`) or unsigned (`packuswb`).
+///
+/// # Panics
+/// Panics if `to_ty` is not the narrowed width of `from_ty`.
+pub fn pack_sat(a: u64, b: u64, from_ty: ElemType, to_ty: ElemType) -> u64 {
+    let narrowed = from_ty
+        .narrowed()
+        .expect("pack_sat: source type has no narrower counterpart");
+    assert_eq!(
+        narrowed.width(),
+        to_ty.width(),
+        "pack_sat: destination type must be half the source width"
+    );
+    let la = to_lanes(a, from_ty);
+    let lb = to_lanes(b, from_ty);
+    let mut out = [0i64; crate::MAX_LANES];
+    let n = from_ty.lanes();
+    for i in 0..n {
+        out[i] = saturate(la[i], to_ty);
+        out[n + i] = saturate(lb[i], to_ty);
+    }
+    from_lanes(&out[..to_ty.lanes()], to_ty)
+}
+
+/// Interleaves the **low** lanes of `a` and `b`
+/// (`punpckl*`): result lanes are `a0, b0, a1, b1, ...` until the output word
+/// is full.
+pub fn unpack_low(a: u64, b: u64, ty: ElemType) -> u64 {
+    interleave(a, b, ty, false)
+}
+
+/// Interleaves the **high** lanes of `a` and `b` (`punpckh*`).
+pub fn unpack_high(a: u64, b: u64, ty: ElemType) -> u64 {
+    interleave(a, b, ty, true)
+}
+
+fn interleave(a: u64, b: u64, ty: ElemType, high: bool) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let n = ty.lanes();
+    let half = n / 2;
+    let base = if high { half } else { 0 };
+    let mut out = [0i64; crate::MAX_LANES];
+    for i in 0..half {
+        out[2 * i] = la[base + i];
+        out[2 * i + 1] = lb[base + i];
+    }
+    from_lanes(&out[..n], ty)
+}
+
+/// Zero- or sign-extends the **low** half of the lanes of `a` into lanes of
+/// twice the width (a common data-promotion idiom: `punpcklbw` with zero).
+pub fn widen_low(a: u64, from_ty: ElemType) -> u64 {
+    widen(a, from_ty, false)
+}
+
+/// Zero- or sign-extends the **high** half of the lanes of `a` into lanes of
+/// twice the width.
+pub fn widen_high(a: u64, from_ty: ElemType) -> u64 {
+    widen(a, from_ty, true)
+}
+
+fn widen(a: u64, from_ty: ElemType, high: bool) -> u64 {
+    let to_ty = from_ty
+        .widened()
+        .expect("widen: source type has no wider counterpart");
+    let la = to_lanes(a, from_ty);
+    let half = from_ty.lanes() / 2;
+    let base = if high { half } else { 0 };
+    let mut out = [0i64; crate::MAX_LANES];
+    for i in 0..half {
+        out[i] = la[base + i];
+    }
+    from_lanes(&out[..to_ty.lanes()], to_ty)
+}
+
+/// Narrows lanes of `a` to half the width with wrap-around (truncation),
+/// taking only as many result lanes as fit from one source word and leaving
+/// the upper half of the result zero. Useful as the final step of data
+/// demotion when the value range is known.
+pub fn narrow_truncate(a: u64, from_ty: ElemType) -> u64 {
+    let to_ty = from_ty
+        .narrowed()
+        .expect("narrow_truncate: source type has no narrower counterpart");
+    let la = to_lanes(a, from_ty);
+    let mut out = [0i64; crate::MAX_LANES];
+    for i in 0..from_ty.lanes() {
+        out[i] = crate::sat::wrap(la[i], to_ty);
+    }
+    from_lanes(&out[..to_ty.lanes()], to_ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::to_lanes;
+
+    #[test]
+    fn pack_signed_words_to_halfwords_saturates() {
+        let a = crate::lanes::from_lanes(&[100_000, -100_000], ElemType::I32);
+        let b = crate::lanes::from_lanes(&[5, -5], ElemType::I32);
+        let p = pack_sat(a, b, ElemType::I32, ElemType::I16);
+        assert_eq!(
+            to_lanes(p, ElemType::I16).as_slice(),
+            &[32767, -32768, 5, -5]
+        );
+    }
+
+    #[test]
+    fn pack_signed_halfwords_to_unsigned_bytes() {
+        let a = crate::lanes::from_lanes(&[-5, 300, 128, 0], ElemType::I16);
+        let b = crate::lanes::from_lanes(&[255, 256, 1, -1], ElemType::I16);
+        let p = pack_sat(a, b, ElemType::I16, ElemType::U8);
+        assert_eq!(
+            to_lanes(p, ElemType::U8).as_slice(),
+            &[0, 255, 128, 0, 255, 255, 1, 0]
+        );
+    }
+
+    #[test]
+    fn unpack_low_interleaves() {
+        let a = crate::lanes::from_lanes(&[1, 2, 3, 4, 5, 6, 7, 8], ElemType::U8);
+        let b = crate::lanes::from_lanes(&[11, 12, 13, 14, 15, 16, 17, 18], ElemType::U8);
+        let lo = unpack_low(a, b, ElemType::U8);
+        assert_eq!(
+            to_lanes(lo, ElemType::U8).as_slice(),
+            &[1, 11, 2, 12, 3, 13, 4, 14]
+        );
+        let hi = unpack_high(a, b, ElemType::U8);
+        assert_eq!(
+            to_lanes(hi, ElemType::U8).as_slice(),
+            &[5, 15, 6, 16, 7, 17, 8, 18]
+        );
+    }
+
+    #[test]
+    fn unpack_halfwords() {
+        let a = crate::lanes::from_lanes(&[1, 2, 3, 4], ElemType::I16);
+        let b = crate::lanes::from_lanes(&[-1, -2, -3, -4], ElemType::I16);
+        assert_eq!(
+            to_lanes(unpack_low(a, b, ElemType::I16), ElemType::I16).as_slice(),
+            &[1, -1, 2, -2]
+        );
+        assert_eq!(
+            to_lanes(unpack_high(a, b, ElemType::I16), ElemType::I16).as_slice(),
+            &[3, -3, 4, -4]
+        );
+    }
+
+    #[test]
+    fn widen_zero_extends_unsigned() {
+        let a = crate::lanes::from_lanes(&[200, 1, 2, 3, 4, 5, 6, 7], ElemType::U8);
+        let lo = widen_low(a, ElemType::U8);
+        assert_eq!(to_lanes(lo, ElemType::U16).as_slice(), &[200, 1, 2, 3]);
+        let hi = widen_high(a, ElemType::U8);
+        assert_eq!(to_lanes(hi, ElemType::U16).as_slice(), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn widen_sign_extends_signed() {
+        let a = crate::lanes::from_lanes(&[-1, -2, 3, 4, -5, 6, -7, 8], ElemType::I8);
+        let lo = widen_low(a, ElemType::I8);
+        assert_eq!(to_lanes(lo, ElemType::I16).as_slice(), &[-1, -2, 3, 4]);
+        let hi = widen_high(a, ElemType::I8);
+        assert_eq!(to_lanes(hi, ElemType::I16).as_slice(), &[-5, 6, -7, 8]);
+    }
+
+    #[test]
+    fn widen_then_pack_round_trips_in_range_values() {
+        let vals = [0, 100, 255, 17, 3, 200, 254, 1];
+        let a = crate::lanes::from_lanes(&vals, ElemType::U8);
+        let lo = widen_low(a, ElemType::U8);
+        let hi = widen_high(a, ElemType::U8);
+        let packed = pack_sat(lo, hi, ElemType::I16, ElemType::U8);
+        assert_eq!(to_lanes(packed, ElemType::U8).as_slice(), &vals);
+    }
+
+    #[test]
+    fn narrow_truncate_wraps() {
+        let a = crate::lanes::from_lanes(&[0x1FF, -1, 5, 0x100], ElemType::I16);
+        let n = narrow_truncate(a, ElemType::I16);
+        assert_eq!(
+            to_lanes(n, ElemType::U8).as_slice(),
+            &[0xFF, 0xFF, 5, 0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no narrower counterpart")]
+    fn pack_from_bytes_panics() {
+        let _ = pack_sat(0, 0, ElemType::U8, ElemType::U8);
+    }
+}

@@ -1,0 +1,116 @@
+//! Reduction-style packed operations: absolute differences, sum of absolute
+//! differences (the MPEG motion-estimation primitive) and sum of squared
+//! differences.
+
+use crate::elem::ElemType;
+use crate::lanes::{from_lanes_list, to_lanes, Lanes};
+
+/// Packed absolute difference: `|a - b|` per lane, staying within the lane
+/// width (the difference of two n-bit unsigned values always fits n bits).
+pub fn pabsdiff(a: u64, b: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    let out = la.zip_with(&lb, |x, y| (x - y).abs());
+    from_lanes_list(&out, ty)
+}
+
+/// Sum of absolute differences across all lanes (`psadbw`-style), returned as
+/// a scalar.
+pub fn psad(a: u64, b: u64, ty: ElemType) -> u64 {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    la.zip_with(&lb, |x, y| (x - y).abs()).sum() as u64
+}
+
+/// Per-lane absolute differences as widened `i64` values, for accumulation
+/// without precision loss (used by the MDMX/MOM accumulator form of the
+/// motion-estimation kernels).
+pub fn pabsdiff_widening(a: u64, b: u64, ty: ElemType) -> Lanes {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    la.zip_with(&lb, |x, y| (x - y).abs())
+}
+
+/// Per-lane squared differences as widened `i64` values (the `motion2`
+/// sum-of-quadratic-differences building block).
+pub fn psqdiff_widening(a: u64, b: u64, ty: ElemType) -> Lanes {
+    let la = to_lanes(a, ty);
+    let lb = to_lanes(b, ty);
+    la.zip_with(&lb, |x, y| {
+        let d = x - y;
+        d * d
+    })
+}
+
+/// Sum of squared differences across all lanes, returned as a scalar.
+pub fn pssd(a: u64, b: u64, ty: ElemType) -> u64 {
+    psqdiff_widening(a, b, ty).sum() as u64
+}
+
+/// Horizontal sum of all lanes of a packed word, returned as a scalar
+/// (sign- or zero-extended per lane according to `ty`).
+pub fn phsum(a: u64, ty: ElemType) -> i64 {
+    to_lanes(a, ty).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::from_lanes;
+
+    #[test]
+    fn absdiff_unsigned_bytes() {
+        let a = from_lanes(&[10, 200, 0, 255, 7, 7, 7, 7], ElemType::U8);
+        let b = from_lanes(&[20, 100, 255, 0, 7, 7, 7, 7], ElemType::U8);
+        let d = pabsdiff(a, b, ElemType::U8);
+        assert_eq!(
+            to_lanes(d, ElemType::U8).as_slice(),
+            &[10, 100, 255, 255, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn sad_matches_manual_sum() {
+        let a = from_lanes(&[10, 200, 0, 255, 7, 8, 9, 10], ElemType::U8);
+        let b = from_lanes(&[20, 100, 255, 0, 7, 7, 7, 7], ElemType::U8);
+        assert_eq!(psad(a, b, ElemType::U8), (10 + 100 + 255 + 255) + 1 + 2 + 3);
+    }
+
+    #[test]
+    fn sad_of_identical_words_is_zero() {
+        let a = from_lanes(&[1, 2, 3, 4, 5, 6, 7, 8], ElemType::U8);
+        assert_eq!(psad(a, a, ElemType::U8), 0);
+        assert_eq!(pssd(a, a, ElemType::U8), 0);
+    }
+
+    #[test]
+    fn ssd_squares_each_difference() {
+        let a = from_lanes(&[10, 0, 0, 0, 0, 0, 0, 0], ElemType::U8);
+        let b = from_lanes(&[7, 4, 0, 0, 0, 0, 0, 0], ElemType::U8);
+        assert_eq!(pssd(a, b, ElemType::U8), 9 + 16);
+        assert_eq!(
+            psqdiff_widening(a, b, ElemType::U8).as_slice()[..2],
+            [9, 16]
+        );
+    }
+
+    #[test]
+    fn widening_absdiff_signed() {
+        let a = from_lanes(&[-100, 100, 0, 50], ElemType::I16);
+        let b = from_lanes(&[100, -100, 5, 50], ElemType::I16);
+        assert_eq!(
+            pabsdiff_widening(a, b, ElemType::I16).as_slice(),
+            &[200, 200, 5, 0]
+        );
+    }
+
+    #[test]
+    fn horizontal_sum() {
+        let a = from_lanes(&[1, 2, 3, 4], ElemType::I16);
+        assert_eq!(phsum(a, ElemType::I16), 10);
+        let b = from_lanes(&[-1, -2, -3, -4], ElemType::I16);
+        assert_eq!(phsum(b, ElemType::I16), -10);
+        // As unsigned halfwords, -1 reads as 65535 etc.
+        assert_eq!(phsum(b, ElemType::U16), 65535 + 65534 + 65533 + 65532);
+    }
+}

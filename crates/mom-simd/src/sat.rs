@@ -1,0 +1,90 @@
+//! Scalar saturation / clamping helpers shared by the packed operations and
+//! by the accumulator read-out logic in `mom-arch`.
+
+use crate::elem::{ElemType, Overflow};
+
+/// Clamps `value` into the representable range of `ty`.
+#[inline]
+pub fn saturate(value: i64, ty: ElemType) -> i64 {
+    value.clamp(ty.min_value(), ty.max_value())
+}
+
+/// Reduces `value` into `ty` according to the requested overflow behaviour:
+/// wrap-around truncation or saturation.
+#[inline]
+pub fn reduce(value: i64, ty: ElemType, ovf: Overflow) -> i64 {
+    match ovf {
+        Overflow::Saturate => saturate(value, ty),
+        Overflow::Wrap => wrap(value, ty),
+    }
+}
+
+/// Truncates `value` to the element width and re-extends it according to the
+/// signedness of `ty` (two's-complement wrap-around).
+#[inline]
+pub fn wrap(value: i64, ty: ElemType) -> i64 {
+    let raw = (value as u64) & ty.lane_mask();
+    if ty.is_signed() {
+        crate::lanes::sign_extend(raw, ty.bits())
+    } else {
+        raw as i64
+    }
+}
+
+/// Rounds a value that carries `frac_bits` fractional bits to the nearest
+/// integer using the "add half, then arithmetic shift" convention shared by
+/// the scalar code (`add` + `sra`), the packed fixed-point multiplies and
+/// the MDMX/MOM accumulator read-out. Ties round towards +infinity.
+#[inline]
+pub fn round_shift(value: i64, frac_bits: u32) -> i64 {
+    if frac_bits == 0 {
+        return value;
+    }
+    let half = 1i64 << (frac_bits - 1);
+    (value + half) >> frac_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturate_clamps_to_bounds() {
+        assert_eq!(saturate(300, ElemType::U8), 255);
+        assert_eq!(saturate(-5, ElemType::U8), 0);
+        assert_eq!(saturate(40000, ElemType::I16), 32767);
+        assert_eq!(saturate(-40000, ElemType::I16), -32768);
+        assert_eq!(saturate(100, ElemType::I32), 100);
+    }
+
+    #[test]
+    fn wrap_truncates_and_reextends() {
+        assert_eq!(wrap(256, ElemType::U8), 0);
+        assert_eq!(wrap(257, ElemType::U8), 1);
+        assert_eq!(wrap(-1, ElemType::U8), 255);
+        assert_eq!(wrap(128, ElemType::I8), -128);
+        assert_eq!(wrap(65536 + 5, ElemType::I16), 5);
+        assert_eq!(wrap(0x1_0000_0005, ElemType::I32), 5);
+    }
+
+    #[test]
+    fn reduce_dispatches() {
+        assert_eq!(reduce(300, ElemType::U8, Overflow::Saturate), 255);
+        assert_eq!(reduce(300, ElemType::U8, Overflow::Wrap), 44);
+    }
+
+    #[test]
+    fn round_shift_rounds_to_nearest() {
+        assert_eq!(round_shift(7, 0), 7);
+        assert_eq!(round_shift(5, 1), 3); // 2.5 -> 3 (ties towards +inf)
+        assert_eq!(round_shift(4, 1), 2);
+        assert_eq!(round_shift(-5, 1), -2); // -2.5 -> -2 (ties towards +inf)
+        assert_eq!(round_shift(-6, 1), -3);
+        assert_eq!(round_shift(1000, 4), 63); // 62.5 -> 63
+        assert_eq!(round_shift(999, 4), 62);
+        // Identical to the scalar "add half, arithmetic shift" idiom.
+        for v in [-100_000i64, -33, -1, 0, 1, 7, 12345] {
+            assert_eq!(round_shift(v, 8), (v + 128) >> 8);
+        }
+    }
+}

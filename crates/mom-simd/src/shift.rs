@@ -1,0 +1,107 @@
+//! Per-element shifts: logical left / right and arithmetic right, with the
+//! MMX convention that a shift count of at least the element width produces
+//! zero (or the sign fill for arithmetic right shifts).
+
+use crate::elem::ElemType;
+use crate::lanes::{from_lanes_list, to_lanes};
+
+/// Packed shift left logical by a common `count`.
+pub fn psll(a: u64, count: u32, ty: ElemType) -> u64 {
+    let bits = ty.bits();
+    let la = to_lanes(a, ty);
+    let out = la.map(|x| {
+        if count >= bits {
+            0
+        } else {
+            crate::sat::wrap(x << count, ty)
+        }
+    });
+    from_lanes_list(&out, ty)
+}
+
+/// Packed shift right logical (zero fill) by a common `count`.
+pub fn psrl(a: u64, count: u32, ty: ElemType) -> u64 {
+    let bits = ty.bits();
+    // Re-read lanes as unsigned so the fill is zeroes regardless of `ty`'s
+    // signedness, then write them back under the original type.
+    let la = to_lanes(a, ty.as_unsigned());
+    let out = la.map(|x| if count >= bits { 0 } else { x >> count });
+    from_lanes_list(&out, ty)
+}
+
+/// Packed shift right arithmetic (sign fill) by a common `count`.
+pub fn psra(a: u64, count: u32, ty: ElemType) -> u64 {
+    let bits = ty.bits();
+    let la = to_lanes(a, ty.as_signed());
+    let effective = count.min(bits - 1);
+    let out = la.map(|x| x >> effective);
+    from_lanes_list(&out, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{from_lanes, to_lanes};
+
+    #[test]
+    fn shift_left_halfwords() {
+        let a = from_lanes(&[1, -1, 0x4000, 3], ElemType::I16);
+        let s = psll(a, 2, ElemType::I16);
+        assert_eq!(
+            to_lanes(s, ElemType::I16).as_slice(),
+            &[4, -4, 0, 12] // 0x4000 << 2 wraps to 0
+        );
+    }
+
+    #[test]
+    fn shift_right_logical_ignores_sign() {
+        let a = from_lanes(&[-2, 16, 0, 1], ElemType::I16);
+        let s = psrl(a, 1, ElemType::I16);
+        // -2 as u16 is 0xFFFE; >>1 = 0x7FFF = 32767
+        assert_eq!(to_lanes(s, ElemType::I16).as_slice(), &[32767, 8, 0, 0]);
+    }
+
+    #[test]
+    fn shift_right_arithmetic_keeps_sign() {
+        let a = from_lanes(&[-2, 16, -15, 1], ElemType::I16);
+        let s = psra(a, 1, ElemType::I16);
+        assert_eq!(to_lanes(s, ElemType::I16).as_slice(), &[-1, 8, -8, 0]);
+    }
+
+    #[test]
+    fn oversized_counts() {
+        let a = from_lanes(&[0x7F, -1, 5, 9, 1, 2, 3, 4], ElemType::I8);
+        assert_eq!(psll(a, 8, ElemType::I8), 0);
+        assert_eq!(psrl(a, 9, ElemType::I8), 0);
+        // Arithmetic right shift saturates the count at bits-1: negative lanes
+        // become -1, non-negative become 0.
+        let s = psra(a, 20, ElemType::I8);
+        assert_eq!(
+            to_lanes(s, ElemType::I8).as_slice(),
+            &[0, -1, 0, 0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn shift_words() {
+        let a = from_lanes(&[0x8000_0000u32 as i64, 0x10], ElemType::U32);
+        assert_eq!(
+            to_lanes(psrl(a, 4, ElemType::U32), ElemType::U32).as_slice(),
+            &[0x0800_0000, 1]
+        );
+        assert_eq!(
+            to_lanes(psra(a, 4, ElemType::I32), ElemType::I32).as_slice(),
+            &[0xF800_0000u32 as i32 as i64, 1]
+        );
+    }
+
+    #[test]
+    fn shift_zero_count_is_identity() {
+        let a = 0x0123_4567_89AB_CDEF;
+        for ty in ElemType::ALL {
+            assert_eq!(psll(a, 0, ty), a);
+            assert_eq!(psrl(a, 0, ty), a);
+            assert_eq!(psra(a, 0, ty), a);
+        }
+    }
+}

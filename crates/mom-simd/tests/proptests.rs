@@ -1,0 +1,297 @@
+//! Property-based differential tests: every packed operation must agree with
+//! a straightforward per-element scalar reference for arbitrary inputs.
+
+use mom_simd::arith::{pabs, padd, pneg, psub};
+use mom_simd::cmp::{pavg, pcmpeq, pcmpgt, pmax, pmin, pselect};
+use mom_simd::elem::{ElemType, Overflow};
+use mom_simd::lanes::{extract_lane, from_lanes, insert_lane, to_lanes};
+use mom_simd::logic::{pand, pandn, por, pxor, splat};
+use mom_simd::mul::{pmaddwd, pmul_high, pmul_low, pmul_widening};
+use mom_simd::pack::{pack_sat, unpack_high, unpack_low, widen_high, widen_low};
+use mom_simd::sad::{pabsdiff, phsum, psad, pssd};
+use mom_simd::sat::{saturate, wrap};
+use mom_simd::shift::{psll, psra, psrl};
+use proptest::prelude::*;
+
+fn elem_type() -> impl Strategy<Value = ElemType> {
+    prop::sample::select(ElemType::ALL.to_vec())
+}
+
+fn overflow() -> impl Strategy<Value = Overflow> {
+    prop::sample::select(vec![Overflow::Wrap, Overflow::Saturate])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lanes_round_trip(word in any::<u64>(), ty in elem_type()) {
+        let lanes = to_lanes(word, ty);
+        prop_assert_eq!(lanes.len(), ty.lanes());
+        let back = from_lanes(lanes.as_slice(), ty);
+        prop_assert_eq!(back, word);
+    }
+
+    #[test]
+    fn extract_matches_to_lanes(word in any::<u64>(), ty in elem_type()) {
+        let lanes = to_lanes(word, ty);
+        for i in 0..ty.lanes() {
+            prop_assert_eq!(extract_lane(word, i, ty), lanes[i]);
+        }
+    }
+
+    #[test]
+    fn insert_then_extract(word in any::<u64>(), v in any::<i64>(), ty in elem_type(), idx in 0usize..8) {
+        let idx = idx % ty.lanes();
+        let w = insert_lane(word, idx, v, ty);
+        prop_assert_eq!(extract_lane(w, idx, ty), wrap(v, ty));
+        // other lanes untouched
+        for i in 0..ty.lanes() {
+            if i != idx {
+                prop_assert_eq!(extract_lane(w, i, ty), extract_lane(word, i, ty));
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_reference(a in any::<u64>(), b in any::<u64>(), ty in elem_type(), ovf in overflow()) {
+        let got = to_lanes(padd(a, b, ty, ovf), ty);
+        let la = to_lanes(a, ty);
+        let lb = to_lanes(b, ty);
+        for i in 0..ty.lanes() {
+            let expect = match ovf {
+                Overflow::Wrap => wrap(la[i] + lb[i], ty),
+                Overflow::Saturate => saturate(la[i] + lb[i], ty),
+            };
+            prop_assert_eq!(got[i], expect);
+        }
+    }
+
+    #[test]
+    fn sub_matches_reference(a in any::<u64>(), b in any::<u64>(), ty in elem_type(), ovf in overflow()) {
+        let got = to_lanes(psub(a, b, ty, ovf), ty);
+        let la = to_lanes(a, ty);
+        let lb = to_lanes(b, ty);
+        for i in 0..ty.lanes() {
+            let expect = match ovf {
+                Overflow::Wrap => wrap(la[i] - lb[i], ty),
+                Overflow::Saturate => saturate(la[i] - lb[i], ty),
+            };
+            prop_assert_eq!(got[i], expect);
+        }
+    }
+
+    #[test]
+    fn saturating_results_stay_in_range(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        for word in [padd(a, b, ty, Overflow::Saturate), psub(a, b, ty, Overflow::Saturate), pabs(a, ty)] {
+            for v in to_lanes(word, ty).iter() {
+                prop_assert!(ty.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_add_sub_invert(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        // (a + b) - b == a under wrap-around arithmetic.
+        let s = padd(a, b, ty, Overflow::Wrap);
+        prop_assert_eq!(psub(s, b, ty, Overflow::Wrap), a);
+    }
+
+    #[test]
+    fn neg_is_sub_from_zero(a in any::<u64>(), ty in elem_type()) {
+        prop_assert_eq!(pneg(a, ty), psub(0, a, ty, Overflow::Wrap));
+    }
+
+    #[test]
+    fn mul_low_matches_reference(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        let got = to_lanes(pmul_low(a, b, ty), ty);
+        let la = to_lanes(a, ty);
+        let lb = to_lanes(b, ty);
+        for i in 0..ty.lanes() {
+            prop_assert_eq!(got[i], wrap(la[i].wrapping_mul(lb[i]), ty));
+        }
+    }
+
+    #[test]
+    fn mul_high_matches_reference(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        let got = to_lanes(pmul_high(a, b, ty), ty);
+        let la = to_lanes(a, ty);
+        let lb = to_lanes(b, ty);
+        for i in 0..ty.lanes() {
+            let full = (la[i] as i128) * (lb[i] as i128);
+            let expect = wrap((full >> ty.bits()) as i64, ty);
+            prop_assert_eq!(got[i], expect);
+        }
+    }
+
+    #[test]
+    fn widening_mul_is_exact(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        let got = pmul_widening(a, b, ty);
+        let la = to_lanes(a, ty);
+        let lb = to_lanes(b, ty);
+        for i in 0..ty.lanes() {
+            prop_assert_eq!(got[i], (la[i] as i128 * lb[i] as i128) as i64);
+            if ty != ElemType::U32 {
+                // For every type an accumulator instruction uses the product is exact.
+                prop_assert_eq!(got[i] as i128, la[i] as i128 * lb[i] as i128);
+            }
+        }
+    }
+
+    #[test]
+    fn pmaddwd_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+        let got = to_lanes(pmaddwd(a, b, ElemType::I16), ElemType::I32);
+        let la = to_lanes(a, ElemType::I16);
+        let lb = to_lanes(b, ElemType::I16);
+        prop_assert_eq!(got[0], wrap(la[0]*lb[0] + la[1]*lb[1], ElemType::I32));
+        prop_assert_eq!(got[1], wrap(la[2]*lb[2] + la[3]*lb[3], ElemType::I32));
+    }
+
+    #[test]
+    fn sad_matches_reference(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        let la = to_lanes(a, ty);
+        let lb = to_lanes(b, ty);
+        let expect: i64 = (0..ty.lanes()).map(|i| (la[i] - lb[i]).abs()).sum();
+        prop_assert_eq!(psad(a, b, ty), expect as u64);
+    }
+
+    #[test]
+    fn ssd_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+        // squared differences only used on 8/16-bit data in the kernels
+        for ty in [ElemType::U8, ElemType::I16] {
+            let la = to_lanes(a, ty);
+            let lb = to_lanes(b, ty);
+            let expect: i64 = (0..ty.lanes()).map(|i| (la[i]-lb[i])*(la[i]-lb[i])).sum();
+            prop_assert_eq!(pssd(a, b, ty), expect as u64);
+        }
+    }
+
+    #[test]
+    fn absdiff_symmetric(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        prop_assert_eq!(pabsdiff(a, b, ty), pabsdiff(b, a, ty));
+        prop_assert_eq!(psad(a, b, ty), psad(b, a, ty));
+    }
+
+    #[test]
+    fn hsum_matches_reference(a in any::<u64>(), ty in elem_type()) {
+        let expect: i64 = to_lanes(a, ty).iter().sum();
+        prop_assert_eq!(phsum(a, ty), expect);
+    }
+
+    #[test]
+    fn min_max_bracket(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        let lmin = to_lanes(pmin(a, b, ty), ty);
+        let lmax = to_lanes(pmax(a, b, ty), ty);
+        let la = to_lanes(a, ty);
+        let lb = to_lanes(b, ty);
+        for i in 0..ty.lanes() {
+            prop_assert_eq!(lmin[i], la[i].min(lb[i]));
+            prop_assert_eq!(lmax[i], la[i].max(lb[i]));
+            prop_assert!(lmin[i] <= lmax[i]);
+        }
+    }
+
+    #[test]
+    fn cmp_masks_are_all_or_nothing(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        for m in [pcmpeq(a, b, ty), pcmpgt(a, b, ty)] {
+            for v in to_lanes(m, ty.as_signed()).iter() {
+                prop_assert!(v == 0 || v == -1);
+            }
+        }
+    }
+
+    #[test]
+    fn select_with_cmp_mask_picks_max(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        // pselect(a > b, a, b) must equal pmax(a, b)
+        let mask = pcmpgt(a, b, ty);
+        prop_assert_eq!(pselect(mask, a, b, ty), pmax(a, b, ty));
+    }
+
+    #[test]
+    fn avg_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+        let ty = ElemType::U8;
+        let got = to_lanes(pavg(a, b, ty), ty);
+        let la = to_lanes(a, ty);
+        let lb = to_lanes(b, ty);
+        for i in 0..ty.lanes() {
+            prop_assert_eq!(got[i], (la[i] + lb[i] + 1) >> 1);
+        }
+    }
+
+    #[test]
+    fn logic_ops_match_scalar(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(pand(a, b), a & b);
+        prop_assert_eq!(por(a, b), a | b);
+        prop_assert_eq!(pxor(a, b), a ^ b);
+        prop_assert_eq!(pandn(a, b), !a & b);
+    }
+
+    #[test]
+    fn splat_fills_all_lanes(v in any::<i64>(), ty in elem_type()) {
+        let w = splat(v, ty);
+        let lanes = to_lanes(w, ty);
+        for l in lanes.iter() {
+            prop_assert_eq!(l, wrap(v, ty));
+        }
+    }
+
+    #[test]
+    fn shifts_match_reference(a in any::<u64>(), count in 0u32..40, ty in elem_type()) {
+        let bits = ty.bits();
+        let ll = to_lanes(psll(a, count, ty), ty);
+        let rl = to_lanes(psrl(a, count, ty), ty);
+        let ra = to_lanes(psra(a, count, ty), ty);
+        let la_s = to_lanes(a, ty.as_signed());
+        let la_u = to_lanes(a, ty.as_unsigned());
+        let la = to_lanes(a, ty);
+        for i in 0..ty.lanes() {
+            let expect_ll = if count >= bits { 0 } else { wrap(la[i] << count, ty) };
+            let expect_rl = if count >= bits { 0 } else { wrap(la_u[i] >> count, ty) };
+            let expect_ra = wrap(la_s[i] >> count.min(bits - 1), ty);
+            prop_assert_eq!(ll[i], expect_ll);
+            prop_assert_eq!(rl[i], expect_rl);
+            prop_assert_eq!(ra[i], expect_ra);
+        }
+    }
+
+    #[test]
+    fn pack_saturates_to_destination(a in any::<u64>(), b in any::<u64>()) {
+        for (from, to) in [(ElemType::I16, ElemType::U8), (ElemType::I16, ElemType::I8), (ElemType::I32, ElemType::I16)] {
+            let p = pack_sat(a, b, from, to);
+            let la = to_lanes(a, from);
+            let lb = to_lanes(b, from);
+            let got = to_lanes(p, to);
+            let n = from.lanes();
+            for i in 0..n {
+                prop_assert_eq!(got[i], saturate(la[i], to));
+                prop_assert_eq!(got[n + i], saturate(lb[i], to));
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_preserves_multiset(a in any::<u64>(), b in any::<u64>(), ty in elem_type()) {
+        // The lanes of unpack_low ++ unpack_high are a permutation of a ++ b.
+        let mut original: Vec<i64> = to_lanes(a, ty).iter().chain(to_lanes(b, ty).iter()).collect();
+        let mut interleaved: Vec<i64> = to_lanes(unpack_low(a, b, ty), ty)
+            .iter()
+            .chain(to_lanes(unpack_high(a, b, ty), ty).iter())
+            .collect();
+        original.sort_unstable();
+        interleaved.sort_unstable();
+        prop_assert_eq!(original, interleaved);
+    }
+
+    #[test]
+    fn widen_preserves_values(a in any::<u64>(), ty in prop::sample::select(vec![ElemType::U8, ElemType::I8, ElemType::U16, ElemType::I16])) {
+        let wide_ty = ty.widened().unwrap();
+        let la = to_lanes(a, ty);
+        let lo = to_lanes(widen_low(a, ty), wide_ty);
+        let hi = to_lanes(widen_high(a, ty), wide_ty);
+        let half = ty.lanes() / 2;
+        for i in 0..half {
+            prop_assert_eq!(lo[i], la[i]);
+            prop_assert_eq!(hi[i], la[half + i]);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Dump the generated "assembly" of any kernel in all four ISAs, using the
+//! disassembler — handy for inspecting what the code generators emit and for
+//! comparing the listings with the paper's examples.
+//!
+//! Run with: `cargo run --release --example dump_kernel_asm [kernel]`
+//! (default kernel: `motion1`; use any of the paper's names, e.g. `idct`,
+//! `comp`, `ltpsfilt`).
+
+use momsim::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "motion1".to_string());
+    let Some(kernel) = KernelId::from_name(&name) else {
+        eprintln!(
+            "unknown kernel '{name}'; available: {}",
+            KernelId::ALL
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    println!("kernel: {} (from {})\n", kernel.name(), kernel.source_program());
+    for isa in IsaKind::ALL {
+        let program = kernel.program(isa);
+        let run = momsim::kernels::run_kernel(kernel, isa, 1, 1);
+        println!(
+            "==== {} ==== ({} static instructions, {} dynamic, {} operations, OPI {:.2})",
+            isa.name(),
+            program.len(),
+            run.stats.instructions,
+            run.stats.operations,
+            run.stats.opi()
+        );
+        print!("{}", momsim::isa::disassemble(&program));
+        println!();
+    }
+}

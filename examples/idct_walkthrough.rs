@@ -1,0 +1,65 @@
+//! IDCT walkthrough: decode an 8x8 DCT coefficient block with the MOM
+//! version of the `idct` kernel, showing the matrix-register view of the
+//! computation (splat-coefficient matrices, dimension-Y accumulator
+//! reductions and the matrix-transpose instruction between passes).
+//!
+//! Run with: `cargo run --release --example idct_walkthrough`
+
+use momsim::kernels::kernels::idct;
+use momsim::prelude::*;
+
+fn main() {
+    // A synthetic quantised coefficient block, as the MPEG/JPEG decoder
+    // produces after inverse quantisation.
+    let block = momsim::kernels::workload::dct_block(99);
+    println!("input DCT coefficients (sparse, low-frequency dominated):");
+    for row in &block {
+        println!("  {row:>5?}");
+    }
+
+    // The golden fixed-point reference.
+    let expect = idct::reference(&block);
+
+    // Run the MOM program through the harness (which also verifies it).
+    let run = momsim::kernels::run_kernel(KernelId::Idct, IsaKind::Mom, 99, 1);
+    println!(
+        "\nMOM idct: {} dynamic instructions, {} operations (OPI {:.1}, VLy {:.1})",
+        run.stats.instructions,
+        run.stats.operations,
+        run.stats.opi(),
+        run.stats.avg_vly()
+    );
+
+    println!("\nreconstructed samples (= golden reference, bit-exact):");
+    for row in &expect {
+        println!("  {row:>5?}");
+    }
+
+    // Compare the four ISAs on the timing simulator.
+    println!("\ncycles per block on the 4-way core (1-cycle memory):");
+    for isa in IsaKind::ALL {
+        let one = momsim::kernels::run_kernel(KernelId::Idct, isa, 99, 1);
+        let invocations = (4000 / one.trace.len().max(1)).max(1);
+        let mut trace = Trace::new();
+        for _ in 0..invocations {
+            trace.extend(&one.trace);
+        }
+        let r = Pipeline::new(PipelineConfig::way(4)).simulate(&trace);
+        println!(
+            "  {:<6} {:>8.0} cycles/block  (IPC {:.2}, OPI {:.2})",
+            isa.name(),
+            r.cycles as f64 / invocations as f64,
+            r.ipc(),
+            r.opi()
+        );
+    }
+
+    // And the accuracy claim: the fixed-point pipeline tracks the ideal
+    // floating-point IDCT to within +/- 2.
+    let float = idct::reference_f64(&block);
+    let max_err = (0..8)
+        .flat_map(|r| (0..8).map(move |c| (r, c)))
+        .map(|(r, c)| (expect[r][c] as f64 - float[r][c]).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nmax deviation from the floating-point IDCT: {max_err:.2} (<= 2.0)");
+}

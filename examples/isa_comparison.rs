@@ -1,0 +1,113 @@
+//! The paper's Figure 2 in executable form: the same tiny kernel
+//! (`d[i][j] = c[i][j] + a[j]` over a 4x4 halfword matrix) expressed in the
+//! three paradigms the paper compares — a conventional vector ISA view, an
+//! MMX-like version and the MOM version — plus the scalar baseline, with
+//! their dynamic instruction and operation counts side by side.
+//!
+//! Run with: `cargo run --release --example isa_comparison`
+
+use momsim::prelude::*;
+
+const C_ADDR: i64 = 0x1000;
+const A_ADDR: i64 = 0x2000;
+const D_ADDR: i64 = 0x3000;
+
+fn scalar_version() -> Program {
+    let mut b = AsmBuilder::new(IsaKind::Alpha);
+    b.li(1, C_ADDR);
+    b.li(2, A_ADDR);
+    b.li(3, D_ADDR);
+    b.li(10, 4);
+    b.label("row");
+    b.li(11, 4);
+    b.li(2, A_ADDR);
+    b.label("col");
+    b.load(MemSize::Half, true, 5, 1, 0);
+    b.load(MemSize::Half, true, 6, 2, 0);
+    b.add(7, 5, 6);
+    b.store(MemSize::Half, 7, 3, 0);
+    b.addi(1, 1, 2);
+    b.addi(2, 2, 2);
+    b.addi(3, 3, 2);
+    b.addi(11, 11, -1);
+    b.branch(BranchCond::Gt, 11, 31, "col");
+    b.addi(10, 10, -1);
+    b.branch(BranchCond::Gt, 10, 31, "row");
+    b.finish()
+}
+
+/// The MMX-like version vectorises the inner loop (dimension X only): one
+/// packed add per matrix row, four instructions of loop body per row.
+fn mmx_version() -> Program {
+    let mut b = AsmBuilder::new(IsaKind::Mmx);
+    b.li(1, C_ADDR);
+    b.li(2, A_ADDR);
+    b.li(3, D_ADDR);
+    b.mmx_load(1, 2, 0, ElemType::I16); // a[0..4], loop invariant
+    b.li(10, 4);
+    b.label("row");
+    b.mmx_load(0, 1, 0, ElemType::I16);
+    b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 2, 0, 1);
+    b.mmx_store(2, 3, 0, ElemType::I16);
+    b.addi(1, 1, 8);
+    b.addi(3, 3, 8);
+    b.addi(10, 10, -1);
+    b.branch(BranchCond::Gt, 10, 31, "row");
+    b.finish()
+}
+
+/// The MOM version vectorises both dimensions: the whole 4x4 update is four
+/// matrix instructions and no loop at all.
+fn mom_version() -> Program {
+    let mut b = AsmBuilder::new(IsaKind::Mom);
+    b.li(1, C_ADDR);
+    b.li(2, A_ADDR);
+    b.li(3, D_ADDR);
+    b.li(4, 8); // row stride
+    b.set_vl_imm(4);
+    b.mmx_load(0, 2, 0, ElemType::I16); // a[0..4] broadcast across rows
+    b.mom_load(0, 1, 4, ElemType::I16);
+    b.mom_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 1, 0, MomOperand::Mmx(0));
+    b.mom_store(1, 3, 4, ElemType::I16);
+    b.finish()
+}
+
+fn run(name: &str, program: &Program) {
+    let mut machine = Machine::new(Memory::new(0x10000));
+    for i in 0..16 {
+        machine
+            .memory_mut()
+            .write_i16(C_ADDR as u64 + 2 * i, 100 + i as i16)
+            .unwrap();
+    }
+    machine
+        .memory_mut()
+        .load_i16_slice(A_ADDR as u64, &[1, 2, 3, 4])
+        .unwrap();
+    let trace = machine.run(program).expect("execution");
+    let stats = trace.stats();
+    let timing = Pipeline::new(PipelineConfig::way(4)).simulate(&trace);
+    println!(
+        "{:<18} {:>7} static {:>7} dynamic {:>7} ops  OPI {:>5.2}  cycles {:>4}",
+        name,
+        program.len(),
+        stats.instructions,
+        stats.operations,
+        stats.opi(),
+        timing.cycles
+    );
+    // All versions must compute the same result.
+    let d = machine.memory().dump_i16(D_ADDR as u64, 16).unwrap();
+    let expect: Vec<i16> = (0..16).map(|i| 100 + i as i16 + [1, 2, 3, 4][i % 4]).collect();
+    assert_eq!(d, expect, "{name} produced a wrong result");
+}
+
+fn main() {
+    println!("d[i][j] = c[i][j] + a[j] over a 4x4 halfword matrix (the paper's Figure 2)\n");
+    run("scalar (Alpha)", &scalar_version());
+    run("MMX-like", &mmx_version());
+    run("MOM", &mom_version());
+    println!("\nAll three versions verified to produce identical results.");
+    println!("MOM packs the whole matrix update into a handful of instructions by");
+    println!("vectorising dimension X (sub-word lanes) and dimension Y (rows) at once.");
+}

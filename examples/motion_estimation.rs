@@ -1,0 +1,75 @@
+//! Motion estimation, the paper's headline workload: compare the four ISAs
+//! on the 16x16 sum-of-absolute-differences kernel (`motion1`) across issue
+//! widths and memory latencies — a miniature of Figures 4 and 5 for one
+//! kernel.
+//!
+//! Run with: `cargo run --release --example motion_estimation`
+
+use momsim::prelude::*;
+
+fn steady_trace(isa: IsaKind) -> (Trace, usize) {
+    let one = momsim::kernels::run_kernel(KernelId::Motion1, isa, 2026, 1);
+    let invocations = (4000 / one.trace.len().max(1)).max(1);
+    let mut trace = Trace::new();
+    for _ in 0..invocations {
+        trace.extend(&one.trace);
+    }
+    (trace, invocations)
+}
+
+fn main() {
+    println!("motion1: 16x16 sum of absolute differences (MPEG2 motion estimation)\n");
+
+    // Dynamic instruction and operation counts per invocation.
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>6} {:>6}",
+        "ISA", "instrs/blk", "ops/blk", "OPI", "VLx", "VLy"
+    );
+    for isa in IsaKind::ALL {
+        let run = momsim::kernels::run_kernel(KernelId::Motion1, isa, 2026, 1);
+        println!(
+            "{:<8} {:>12} {:>12} {:>8.2} {:>6.2} {:>6.2}",
+            isa.name(),
+            run.stats.instructions,
+            run.stats.operations,
+            run.stats.opi(),
+            run.stats.avg_vlx(),
+            run.stats.avg_vly()
+        );
+    }
+
+    // Speed-up over the scalar baseline vs issue width (perfect memory).
+    println!("\nSpeed-up over the scalar baseline (1-cycle memory):");
+    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "ISA", "1-way", "2-way", "4-way", "8-way");
+    let mut baseline = Vec::new();
+    for width in [1usize, 2, 4, 8] {
+        let (trace, inv) = steady_trace(IsaKind::Alpha);
+        let r = Pipeline::new(PipelineConfig::way(width)).simulate(&trace);
+        baseline.push(r.cycles as f64 / inv as f64);
+    }
+    for isa in [IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom] {
+        print!("{:<8}", isa.name());
+        for (i, width) in [1usize, 2, 4, 8].iter().enumerate() {
+            let (trace, inv) = steady_trace(isa);
+            let r = Pipeline::new(PipelineConfig::way(*width)).simulate(&trace);
+            let cycles = r.cycles as f64 / inv as f64;
+            print!(" {:>8.2}", baseline[i] / cycles);
+        }
+        println!();
+    }
+
+    // Memory-latency tolerance on the 4-way core.
+    println!("\nSlow-down when memory latency grows from 1 to 50 cycles (4-way):");
+    for isa in IsaKind::ALL {
+        let (trace, _) = steady_trace(isa);
+        let fast = Pipeline::new(PipelineConfig::way_with_memory(4, MemoryModel::PERFECT))
+            .simulate(&trace);
+        let slow = Pipeline::new(PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY))
+            .simulate(&trace);
+        println!(
+            "  {:<6} {:>6.2}x",
+            if isa == IsaKind::Alpha { "SS" } else { isa.name() },
+            slow.cycles as f64 / fast.cycles as f64
+        );
+    }
+}

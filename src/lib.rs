@@ -1,0 +1,47 @@
+//! # momsim — a reproduction of the MOM matrix SIMD ISA study (SC'99)
+//!
+//! This crate is the umbrella of the workspace reproducing *"MOM: a Matrix
+//! SIMD Instruction Set Architecture for Multimedia Applications"*
+//! (Corbal, Espasa, Valero — SC'99). It re-exports the individual layers
+//! under short module names:
+//!
+//! * [`simd`] — packed sub-word arithmetic primitives,
+//! * [`isa`] — the scalar, MMX-like, MDMX-like and MOM instruction sets,
+//!   registers, programs and the assembler-style builder,
+//! * [`arch`] — architectural state (matrix registers, packed accumulators,
+//!   vector length), memory and the functional simulator,
+//! * [`pipeline`] — the Jinks-like out-of-order timing simulator,
+//! * [`kernels`] — the nine Mediabench kernels in four ISA variants with
+//!   golden references and workload generators.
+//!
+//! See the `examples/` directory for end-to-end walkthroughs and the
+//! `mom-bench` crate for the drivers that regenerate every figure and table
+//! of the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use momsim::prelude::*;
+//!
+//! // Run the paper's motion-estimation kernel, coded for the MOM ISA, on
+//! // the functional simulator and then time it on a 4-way out-of-order core.
+//! let run = momsim::kernels::run_kernel(KernelId::Motion1, IsaKind::Mom, 42, 1);
+//! let result = Pipeline::new(PipelineConfig::way(4)).simulate(&run.trace);
+//! assert!(result.opi() > 1.0); // matrix instructions pack many operations
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mom_arch as arch;
+pub use mom_isa as isa;
+pub use mom_kernels as kernels;
+pub use mom_pipeline as pipeline;
+pub use mom_simd as simd;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use mom_arch::{Machine, Memory, Trace, TraceEntry};
+    pub use mom_isa::prelude::*;
+    pub use mom_kernels::{run_kernel, verify_kernel, KernelId, KernelRun};
+    pub use mom_pipeline::{MemoryModel, Pipeline, PipelineConfig, SimResult};
+}

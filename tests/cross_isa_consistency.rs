@@ -1,0 +1,93 @@
+//! Cross-crate integration tests for functional correctness: every kernel,
+//! in every ISA, over several seeds, must produce bit-identical results to
+//! its golden Rust reference (this is the reproduction of the paper's
+//! "the correctness of the output was verified" methodology step).
+
+use momsim::prelude::*;
+
+#[test]
+fn every_kernel_every_isa_matches_its_reference_across_seeds() {
+    for kernel in KernelId::ALL {
+        for isa in IsaKind::ALL {
+            for seed in [0u64, 1, 42, 0xDEAD] {
+                momsim::kernels::verify_kernel(kernel, isa, seed)
+                    .unwrap_or_else(|e| panic!("{kernel}/{isa} seed {seed}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn traces_are_deterministic() {
+    for isa in IsaKind::ALL {
+        let a = momsim::kernels::run_kernel(KernelId::AddBlock, isa, 7, 1);
+        let b = momsim::kernels::run_kernel(KernelId::AddBlock, isa, 7, 1);
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.stats, b.stats);
+        let sim = Pipeline::new(PipelineConfig::way(4));
+        assert_eq!(sim.simulate(&a.trace).cycles, sim.simulate(&b.trace).cycles);
+    }
+}
+
+#[test]
+fn operation_counts_are_isa_independent_up_to_overhead() {
+    // The *useful* work (sub-word arithmetic on the data) is the same for
+    // every ISA; the total operation counts differ only by control and
+    // data-promotion overhead, so they must stay within a small factor of
+    // each other for every kernel.
+    for kernel in KernelId::ALL {
+        let ops: Vec<u64> = IsaKind::ALL
+            .iter()
+            .map(|isa| momsim::kernels::run_kernel(kernel, *isa, 3, 1).stats.operations)
+            .collect();
+        let max = *ops.iter().max().unwrap() as f64;
+        let min = *ops.iter().min().unwrap() as f64;
+        assert!(
+            max / min < 8.0,
+            "{kernel}: operation counts differ too much across ISAs: {ops:?}"
+        );
+    }
+}
+
+#[test]
+fn media_fraction_and_vector_lengths_are_consistent() {
+    for kernel in KernelId::ALL {
+        // The scalar baseline has no multimedia instructions at all.
+        let alpha = momsim::kernels::run_kernel(kernel, IsaKind::Alpha, 9, 1).stats;
+        assert_eq!(alpha.media_instructions, 0, "{kernel}: scalar code is scalar");
+        assert_eq!(alpha.avg_vlx(), 1.0);
+        assert_eq!(alpha.avg_vly(), 1.0);
+        // The multimedia versions have a meaningful vector fraction, and only
+        // MOM has dimension-Y vectors.
+        for isa in [IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom] {
+            let s = momsim::kernels::run_kernel(kernel, isa, 9, 1).stats;
+            assert!(
+                s.media_fraction() > 0.05,
+                "{kernel}/{isa}: media fraction {:.3} too small",
+                s.media_fraction()
+            );
+            assert!(s.avg_vlx() > 1.0, "{kernel}/{isa}: VLx must exceed 1");
+            if isa != IsaKind::Mom {
+                assert_eq!(s.matrix_instructions, 0, "{kernel}/{isa}: no matrix instructions");
+            } else {
+                assert!(s.matrix_instructions > 0, "{kernel}/MOM must use matrix instructions");
+                assert!(s.avg_vly() > 1.0, "{kernel}/MOM: VLy must exceed 1");
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_and_trace_agree_on_committed_work() {
+    // The timing simulator must commit exactly the instructions and
+    // operations present in the trace, for every ISA.
+    for isa in IsaKind::ALL {
+        let run = momsim::kernels::run_kernel(KernelId::H2v2, isa, 5, 1);
+        let stats = run.stats;
+        let result = Pipeline::new(PipelineConfig::way(4)).simulate(&run.trace);
+        assert_eq!(result.instructions, stats.instructions);
+        assert_eq!(result.operations, stats.operations);
+        assert_eq!(result.media_instructions, stats.media_instructions);
+        assert_eq!(result.memory_instructions, stats.memory_instructions);
+    }
+}
