@@ -10,18 +10,23 @@
 //!   words, the vector-length register, two packed matrix accumulators and
 //!   the matrix-transpose operation ([`mom`]),
 //! * a functional executor, [`Machine`], that runs a [`mom_isa::Program`]
-//!   against this state and records the dynamic instruction [`Trace`] that
-//!   the timing simulator (`mom-pipeline`) replays.
+//!   against this state and **streams** the dynamic instruction trace, one
+//!   [`TraceEntry`] at a time, into any [`TraceSink`].
 //!
 //! The functional simulator plays the role of the paper's emulation
 //! libraries (the hand-written routines behind each MMX/MDMX/MOM
-//! "instruction call"), and the trace plays the role of the ATOM-instrumented
-//! instruction stream fed to the Jinks simulator.
+//! "instruction call"), and the retired-instruction stream plays the role of
+//! the ATOM-instrumented instruction stream fed to the Jinks simulator.  The
+//! paper's tooling is a *pipeline* — ATOM produces, Jinks consumes — and so
+//! is this crate: [`Machine::run_with_sink`] is the primary entry point, and
+//! consumers ([`Trace`], [`TraceStats`], the timing simulator in
+//! `mom-pipeline`, or any tuple/`Vec` of sinks) attach to the stream without
+//! the trace ever being materialised.
 //!
-//! ## Example
+//! ## Example: streaming execution
 //!
 //! ```
-//! use mom_arch::{Machine, Memory};
+//! use mom_arch::{Machine, Memory, TraceStats};
 //! use mom_isa::prelude::*;
 //!
 //! // d[i][j] = saturating_add(c[i][j], a[j]) over a 4x4 halfword matrix.
@@ -43,11 +48,21 @@
 //! for (j, v) in [1i16, 2, 3, 4].iter().enumerate() {
 //!     machine.memory_mut().write_i16(0x200 + 2 * j as u64, *v).unwrap();
 //! }
-//! let trace = machine.run(&program).unwrap();
+//!
+//! // Stream the dynamic trace straight into a statistics fold: no trace is
+//! // ever materialised, so memory stays bounded for arbitrarily long runs.
+//! let mut stats = TraceStats::default();
+//! let executed = machine.run_with_sink(&program, &mut stats).unwrap();
 //! assert_eq!(machine.memory().read_i16(0x300).unwrap(), 101);
 //! assert_eq!(machine.memory().read_i16(0x300 + 2).unwrap(), 102);
-//! assert!(trace.len() == program.len());
+//! assert_eq!(executed as usize, program.len());
+//! assert_eq!(stats.instructions as usize, program.len());
+//! assert!(stats.avg_vly() > 1.0); // the matrix instructions carried VL = 4
 //! ```
+//!
+//! When a materialised trace is genuinely wanted (small programs, tests),
+//! [`Machine::run`] remains as a convenience wrapper that collects the
+//! stream into a [`Trace`].
 
 #![warn(missing_docs)]
 
@@ -61,4 +76,4 @@ pub use machine::{ExecError, Machine};
 pub use mem::Memory;
 pub use mom::{transpose, MomAccumulator, MomRegisterFile};
 pub use regfile::{MdmxAccumulator, MmxRegisterFile, ScalarRegisterFile};
-pub use trace::{Trace, TraceEntry, TraceStats};
+pub use trace::{CountingSink, Trace, TraceEntry, TraceSink, TraceStats};

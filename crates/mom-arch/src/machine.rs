@@ -5,7 +5,7 @@
 use crate::mem::Memory;
 use crate::mom::{transpose, MomAccumulatorFile, MomRegisterFile, VectorLength};
 use crate::regfile::{MdmxAccumulatorFile, MmxRegisterFile, ScalarRegisterFile};
-use crate::trace::{Trace, TraceEntry};
+use crate::trace::{Trace, TraceEntry, TraceSink};
 use mom_isa::{Instruction, MomOperand, Program};
 use mom_simd::logic::splat;
 
@@ -114,16 +114,25 @@ impl Machine {
     }
 
     /// Runs a program from its first instruction until it falls off the end,
-    /// returning the dynamic trace.
+    /// retiring every executed instruction into `sink` in graduation order.
+    ///
+    /// This is the primary execution entry point: the functional simulator
+    /// is the trace *producer* and never materialises the stream itself, so
+    /// memory stays bounded no matter how long the program runs.  Pass a
+    /// [`Trace`] to collect the stream, a [`crate::TraceStats`] to fold it,
+    /// a timing-simulator consumer to time it, or a tuple to do several at
+    /// once.
     ///
     /// The program is validated first; execution stops with
     /// [`ExecError::InstructionLimit`] if the dynamic instruction count
-    /// exceeds the configured limit.
-    pub fn run(&mut self, program: &Program) -> Result<Trace, ExecError> {
-        program
-            .validate()
-            .map_err(ExecError::InvalidProgram)?;
-        let mut trace = Trace::new();
+    /// exceeds the configured limit.  Returns the number of instructions
+    /// executed.
+    pub fn run_with_sink<S: TraceSink + ?Sized>(
+        &mut self,
+        program: &Program,
+        sink: &mut S,
+    ) -> Result<u64, ExecError> {
+        program.validate().map_err(ExecError::InvalidProgram)?;
         let mut pc = 0usize;
         let mut executed: u64 = 0;
         while pc < program.len() {
@@ -134,7 +143,7 @@ impl Machine {
             }
             let ins = *program.instr(pc);
             let (next_pc, taken) = self.step(&ins, pc, program)?;
-            trace.push(TraceEntry {
+            sink.retire(TraceEntry {
                 instr: ins,
                 vl: if ins.is_vl_dependent() {
                     self.vl.get() as u16
@@ -146,6 +155,15 @@ impl Machine {
             pc = next_pc;
             executed += 1;
         }
+        Ok(executed)
+    }
+
+    /// Convenience wrapper over [`Machine::run_with_sink`] that materialises
+    /// the whole dynamic trace in memory.  Prefer the sink form for long
+    /// runs — a materialised trace grows with the dynamic instruction count.
+    pub fn run(&mut self, program: &Program) -> Result<Trace, ExecError> {
+        let mut trace = Trace::new();
+        self.run_with_sink(program, &mut trace)?;
         Ok(trace)
     }
 
@@ -213,12 +231,16 @@ impl Machine {
             Nop => {}
 
             // --------------------------- MMX ----------------------------
-            MmxLoad { vd, base, offset, .. } => {
+            MmxLoad {
+                vd, base, offset, ..
+            } => {
                 let addr = (self.ints.read(base) + offset) as u64;
                 let w = self.mem.read_u64(addr)?;
                 self.mmx.write(vd, w);
             }
-            MmxStore { vs, base, offset, .. } => {
+            MmxStore {
+                vs, base, offset, ..
+            } => {
                 let addr = (self.ints.read(base) + offset) as u64;
                 self.mem.write_u64(addr, self.mmx.read(vs))?;
             }
@@ -234,7 +256,13 @@ impl Machine {
 
             // --------------------- MDMX accumulators --------------------
             AccClear { acc } => self.mdmx_accs.get_mut(acc).clear(),
-            AccStep { op, ty, acc, va, vb } => {
+            AccStep {
+                op,
+                ty,
+                acc,
+                va,
+                vb,
+            } => {
                 let a = self.mmx.read(va);
                 let b = self.mmx.read(vb);
                 op.accumulate(self.mdmx_accs.get_mut(acc).lanes_mut(), a, b, ty);
@@ -257,7 +285,9 @@ impl Machine {
             // --------------------------- MOM -----------------------------
             SetVlImm { vl } => self.vl.set(vl as i64),
             SetVl { ra } => self.vl.set(self.ints.read(ra)),
-            MomLoad { md, base, stride, .. } => {
+            MomLoad {
+                md, base, stride, ..
+            } => {
                 let base_addr = self.ints.read(base);
                 let stride = self.ints.read(stride);
                 for row in 0..self.vl.get() {
@@ -266,7 +296,9 @@ impl Machine {
                     self.mom_regs.write_row(md, row, w);
                 }
             }
-            MomStore { ms, base, stride, .. } => {
+            MomStore {
+                ms, base, stride, ..
+            } => {
                 let base_addr = self.ints.read(base);
                 let stride = self.ints.read(stride);
                 for row in 0..self.vl.get() {
@@ -286,7 +318,13 @@ impl Machine {
                 self.mom_regs.write_all(md, t);
             }
             MomAccClear { acc } => self.mom_accs.get_mut(acc).clear(),
-            MomAccStep { op, ty, acc, ma, mb } => {
+            MomAccStep {
+                op,
+                ty,
+                acc,
+                ma,
+                mb,
+            } => {
                 for row in 0..self.vl.get() {
                     let a = self.mom_regs.read_row(ma, row);
                     let b = self.mom_operand_row(mb, row);
@@ -311,8 +349,7 @@ impl Machine {
                 self.mmx.write(vd, self.mom_regs.read_row(ms, row as usize));
             }
             MomRowFromMmx { md, va, row } => {
-                self.mom_regs
-                    .write_row(md, row as usize, self.mmx.read(va));
+                self.mom_regs.write_row(md, row as usize, self.mmx.read(va));
             }
         }
         Ok((next, taken))
@@ -366,6 +403,33 @@ mod tests {
             .filter(|e| matches!(e.instr, Instruction::Branch { .. }) && e.taken)
             .count();
         assert_eq!(takens, 9);
+    }
+
+    #[test]
+    fn run_with_sink_streams_the_same_entries_run_materialises() {
+        let program = {
+            let mut b = AsmBuilder::new(IsaKind::Alpha);
+            b.li(1, 0x100);
+            b.li(2, 0);
+            b.li(3, 10);
+            b.label("loop");
+            b.load(MemSize::Byte, false, 4, 1, 0);
+            b.add(2, 2, 4);
+            b.addi(1, 1, 1);
+            b.addi(3, 3, -1);
+            b.branch(BranchCond::Gt, 3, 31, "loop");
+            b.finish()
+        };
+        let trace = machine().run(&program).unwrap();
+
+        let mut streamed = crate::Trace::new();
+        let mut stats = crate::TraceStats::default();
+        let mut sinks = (&mut streamed, &mut stats);
+        let executed = machine().run_with_sink(&program, &mut sinks).unwrap();
+
+        assert_eq!(executed as usize, trace.len());
+        assert_eq!(streamed.entries(), trace.entries());
+        assert_eq!(stats, trace.stats());
     }
 
     #[test]
@@ -430,9 +494,7 @@ mod tests {
         for i in 0..16 {
             m.memory_mut().write_i16(0x100 + 2 * i, 100).unwrap();
         }
-        m.memory_mut()
-            .load_i16_slice(0x200, &[1, 2, 3, 4])
-            .unwrap();
+        m.memory_mut().load_i16_slice(0x200, &[1, 2, 3, 4]).unwrap();
         let mut b = AsmBuilder::new(IsaKind::Mom);
         b.li(1, 0x100);
         b.li(2, 0x200);

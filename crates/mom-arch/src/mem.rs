@@ -55,7 +55,11 @@ impl Memory {
 
     fn check(&self, addr: u64, size: usize) -> Result<usize, OutOfBounds> {
         let start = addr as usize;
-        if addr > usize::MAX as u64 || start.checked_add(size).is_none_or(|end| end > self.bytes.len()) {
+        if addr > usize::MAX as u64
+            || start
+                .checked_add(size)
+                .is_none_or(|end| end > self.bytes.len())
+        {
             Err(OutOfBounds {
                 addr,
                 size,
@@ -171,12 +175,16 @@ impl Memory {
 
     /// Reads `count` signed 16-bit values starting at `addr`.
     pub fn dump_i16(&self, addr: u64, count: usize) -> Result<Vec<i16>, OutOfBounds> {
-        (0..count).map(|i| self.read_i16(addr + 2 * i as u64)).collect()
+        (0..count)
+            .map(|i| self.read_i16(addr + 2 * i as u64))
+            .collect()
     }
 
     /// Reads `count` signed 32-bit values starting at `addr`.
     pub fn dump_i32(&self, addr: u64, count: usize) -> Result<Vec<i32>, OutOfBounds> {
-        (0..count).map(|i| self.read_i32(addr + 4 * i as u64)).collect()
+        (0..count)
+            .map(|i| self.read_i32(addr + 4 * i as u64))
+            .collect()
     }
 }
 

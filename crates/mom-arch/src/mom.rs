@@ -7,7 +7,7 @@
 //! accumulators that pipeline dimension-Y reductions, and a transpose unit
 //! that swaps the two vectorisation dimensions in a single instruction.
 
-use mom_isa::{NUM_MOM_ACCS, NUM_MOM_REGS, MOM_ROWS};
+use mom_isa::{MOM_ROWS, NUM_MOM_ACCS, NUM_MOM_REGS};
 use mom_simd::{lanes, ElemType, MAX_LANES};
 
 /// The MOM matrix register file: 16 registers, each holding 16 × 64-bit
@@ -133,13 +133,19 @@ impl MomAccumulatorFile {
 
     /// Immutable access to accumulator `a`.
     pub fn get(&self, a: u8) -> &MomAccumulator {
-        assert!((a as usize) < NUM_MOM_ACCS, "MOM accumulator {a} out of range");
+        assert!(
+            (a as usize) < NUM_MOM_ACCS,
+            "MOM accumulator {a} out of range"
+        );
         &self.accs[a as usize]
     }
 
     /// Mutable access to accumulator `a`.
     pub fn get_mut(&mut self, a: u8) -> &mut MomAccumulator {
-        assert!((a as usize) < NUM_MOM_ACCS, "MOM accumulator {a} out of range");
+        assert!(
+            (a as usize) < NUM_MOM_ACCS,
+            "MOM accumulator {a} out of range"
+        );
         &mut self.accs[a as usize]
     }
 }
@@ -181,8 +187,8 @@ pub fn transpose(rows: &[u64; MOM_ROWS], ty: ElemType) -> [u64; MOM_ROWS] {
     let mut out = *rows;
     for (r, out_row) in out.iter_mut().enumerate().take(n) {
         let mut new_row = *out_row;
-        for c in 0..n {
-            let v = lanes::extract_lane(rows[c], r, ty);
+        for (c, src_row) in rows.iter().enumerate().take(n) {
+            let v = lanes::extract_lane(*src_row, r, ty);
             new_row = lanes::insert_lane(new_row, c, v, ty);
         }
         *out_row = new_row;
@@ -242,10 +248,10 @@ mod tests {
             *row = from_lanes(&vals, ElemType::U8);
         }
         let t = transpose(&rows, ElemType::U8);
-        for r in 0..8 {
+        for (r, t_row) in t.iter().enumerate().take(8) {
             for c in 0..8 {
                 assert_eq!(
-                    lanes::extract_lane(t[r], c, ElemType::U8),
+                    lanes::extract_lane(*t_row, c, ElemType::U8),
                     (c * 10 + r) as i64
                 );
             }

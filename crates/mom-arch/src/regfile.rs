@@ -148,13 +148,19 @@ impl MdmxAccumulatorFile {
 
     /// Immutable access to accumulator `a`.
     pub fn get(&self, a: u8) -> &MdmxAccumulator {
-        assert!((a as usize) < NUM_MDMX_ACCS, "MDMX accumulator {a} out of range");
+        assert!(
+            (a as usize) < NUM_MDMX_ACCS,
+            "MDMX accumulator {a} out of range"
+        );
         &self.accs[a as usize]
     }
 
     /// Mutable access to accumulator `a`.
     pub fn get_mut(&mut self, a: u8) -> &mut MdmxAccumulator {
-        assert!((a as usize) < NUM_MDMX_ACCS, "MDMX accumulator {a} out of range");
+        assert!(
+            (a as usize) < NUM_MDMX_ACCS,
+            "MDMX accumulator {a} out of range"
+        );
         &mut self.accs[a as usize]
     }
 }

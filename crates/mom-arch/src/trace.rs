@@ -1,13 +1,89 @@
-//! Dynamic instruction traces and their statistics.
+//! Dynamic instruction traces, their statistics, and the streaming
+//! [`TraceSink`] interface that connects the functional simulator to its
+//! consumers.
 //!
-//! The functional simulator records one [`TraceEntry`] per executed
-//! (graduated) instruction.  The timing simulator replays the trace; the
-//! statistics module computes the quantities the paper's Tables 1–9 report:
-//! instruction counts, operation counts, the fraction of vector instructions
-//! *F*, and the average vector lengths VLx (sub-word lanes) and VLy
-//! (dimension-Y rows).
+//! The functional simulator retires one [`TraceEntry`] per executed
+//! (graduated) instruction into a [`TraceSink`] — the software analogue of
+//! the paper's producer/consumer split between the ATOM-instrumented
+//! instruction stream and the Jinks timing simulator.  Anything can consume
+//! the stream: a [`Trace`] materialises it, a [`TraceStats`] folds it into
+//! the quantities the paper's Tables 1–9 report (instruction counts,
+//! operation counts, the fraction of vector instructions *F*, the average
+//! vector lengths VLx and VLy), and `mom_pipeline`'s incremental consumer
+//! times it — all in one bounded-memory pass.
 
 use mom_isa::Instruction;
+
+/// A consumer of the dynamic instruction stream.
+///
+/// The functional simulator calls [`retire`](TraceSink::retire) once per
+/// graduated instruction, in program (graduation) order.  Sinks compose:
+/// tuples fan one stream out to several consumers, and `Vec<S>` fans it out
+/// to a homogeneous set (e.g. one timing simulator per machine width).
+///
+/// ```
+/// use mom_arch::{Trace, TraceEntry, TraceSink, TraceStats};
+/// use mom_isa::Instruction;
+///
+/// let entry = TraceEntry { instr: Instruction::Nop, vl: 1, taken: false };
+/// let mut sinks = (Trace::new(), TraceStats::default());
+/// sinks.retire(entry); // both the trace and the stats observe the entry
+/// assert_eq!(sinks.0.len(), 1);
+/// assert_eq!(sinks.1.instructions, 1);
+/// ```
+pub trait TraceSink {
+    /// Consumes the next retired instruction of the stream.
+    fn retire(&mut self, entry: TraceEntry);
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn retire(&mut self, entry: TraceEntry) {
+        (**self).retire(entry);
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
+    fn retire(&mut self, entry: TraceEntry) {
+        self.0.retire(entry);
+        self.1.retire(entry);
+    }
+}
+
+impl<A: TraceSink, B: TraceSink, C: TraceSink> TraceSink for (A, B, C) {
+    fn retire(&mut self, entry: TraceEntry) {
+        self.0.retire(entry);
+        self.1.retire(entry);
+        self.2.retire(entry);
+    }
+}
+
+impl<S: TraceSink> TraceSink for [S] {
+    fn retire(&mut self, entry: TraceEntry) {
+        for sink in self.iter_mut() {
+            sink.retire(entry);
+        }
+    }
+}
+
+impl<S: TraceSink> TraceSink for Vec<S> {
+    fn retire(&mut self, entry: TraceEntry) {
+        self.as_mut_slice().retire(entry);
+    }
+}
+
+/// A sink that counts retired instructions and otherwise drops the stream
+/// (useful to drive a functional run for its side effects only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of entries retired into this sink.
+    pub retired: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn retire(&mut self, _entry: TraceEntry) {
+        self.retired += 1;
+    }
+}
 
 /// One dynamically executed instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,21 +151,15 @@ impl Trace {
     pub fn stats(&self) -> TraceStats {
         let mut s = TraceStats::default();
         for e in &self.entries {
-            s.instructions += 1;
-            s.operations += e.ops();
-            if e.instr.is_media() {
-                s.media_instructions += 1;
-                s.sum_vlx += e.instr.vlx();
-                if e.instr.is_vl_dependent() {
-                    s.matrix_instructions += 1;
-                    s.sum_vly += e.vl as u64;
-                }
-            }
-            if e.instr.is_memory() {
-                s.memory_instructions += 1;
-            }
+            s.record(e);
         }
         s
+    }
+}
+
+impl TraceSink for Trace {
+    fn retire(&mut self, entry: TraceEntry) {
+        self.push(entry);
     }
 }
 
@@ -120,7 +190,31 @@ pub struct TraceStats {
     pub sum_vly: u64,
 }
 
+impl TraceSink for TraceStats {
+    fn retire(&mut self, entry: TraceEntry) {
+        self.record(&entry);
+    }
+}
+
 impl TraceStats {
+    /// Folds one retired instruction into the statistics. [`Trace::stats`]
+    /// and the streaming sink both reduce through this.
+    pub fn record(&mut self, e: &TraceEntry) {
+        self.instructions += 1;
+        self.operations += e.ops();
+        if e.instr.is_media() {
+            self.media_instructions += 1;
+            self.sum_vlx += e.instr.vlx();
+            if e.instr.is_vl_dependent() {
+                self.matrix_instructions += 1;
+                self.sum_vly += e.vl as u64;
+            }
+        }
+        if e.instr.is_memory() {
+            self.memory_instructions += 1;
+        }
+    }
+
     /// Fraction of dynamic instructions that are multimedia instructions
     /// (the paper's *F*).
     pub fn media_fraction(&self) -> f64 {
@@ -251,6 +345,42 @@ mod tests {
         assert!((s.opi() - 257.0 / 3.0).abs() < 1e-9);
         assert_eq!(s.avg_vlx(), 8.0);
         assert_eq!(s.avg_vly(), 16.0);
+    }
+
+    #[test]
+    fn stats_sink_agrees_with_batch_stats() {
+        let mom_load = Instruction::MomLoad {
+            md: 0,
+            base: 1,
+            stride: 2,
+            ty: ElemType::U8,
+        };
+        let entries = vec![
+            entry(Instruction::Li { rd: 1, imm: 0 }, 1),
+            entry(mom_load, 7),
+            entry(Instruction::Nop, 1),
+        ];
+        let mut streamed = TraceStats::default();
+        for e in &entries {
+            streamed.retire(*e);
+        }
+        let batch: Trace = entries.into_iter().collect();
+        assert_eq!(streamed, batch.stats());
+    }
+
+    #[test]
+    fn sinks_compose_as_tuples_and_vectors() {
+        let e = entry(Instruction::Nop, 1);
+        let mut tee = (Trace::new(), TraceStats::default(), CountingSink::default());
+        tee.retire(e);
+        tee.retire(e);
+        assert_eq!(tee.0.len(), 2);
+        assert_eq!(tee.1.instructions, 2);
+        assert_eq!(tee.2.retired, 2);
+
+        let mut fan: Vec<CountingSink> = vec![CountingSink::default(); 4];
+        fan.retire(e);
+        assert!(fan.iter().all(|s| s.retired == 1));
     }
 
     #[test]

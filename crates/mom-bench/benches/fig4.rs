@@ -19,13 +19,10 @@ fn bench_fig4(c: &mut Criterion) {
         for isa in [IsaKind::Alpha, IsaKind::Mmx, IsaKind::Mom] {
             group.bench_function(format!("{}/{}", kernel.name(), isa.name()), |b| {
                 b.iter(|| {
-                    black_box(simulate(
-                        kernel,
-                        isa,
-                        4,
-                        MemoryModel::PERFECT,
-                        EXPERIMENT_SEED,
-                    ))
+                    black_box(
+                        simulate(kernel, isa, 4, MemoryModel::PERFECT, EXPERIMENT_SEED)
+                            .expect("kernel must verify"),
+                    )
                 })
             });
         }
@@ -33,7 +30,7 @@ fn bench_fig4(c: &mut Criterion) {
     group.finish();
 
     // Print the full figure once so `cargo bench` leaves the data in its log.
-    let points = mom_bench::figure4();
+    let points = mom_bench::figure4().expect("figure 4 sweep must succeed");
     println!("\n{}", mom_bench::format_figure4(&points));
 }
 

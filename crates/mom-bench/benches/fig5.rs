@@ -17,7 +17,10 @@ fn bench_fig5(c: &mut Criterion) {
                     format!("{}/{}/lat{}", kernel.name(), isa.name(), memory.latency),
                     |b| {
                         b.iter(|| {
-                            black_box(simulate(kernel, isa, 4, memory, EXPERIMENT_SEED))
+                            black_box(
+                                simulate(kernel, isa, 4, memory, EXPERIMENT_SEED)
+                                    .expect("kernel must verify"),
+                            )
                         })
                     },
                 );
@@ -26,7 +29,7 @@ fn bench_fig5(c: &mut Criterion) {
     }
     group.finish();
 
-    let points = mom_bench::figure5();
+    let points = mom_bench::figure5().expect("figure 5 sweep must succeed");
     println!("\n{}", mom_bench::format_figure5(&points));
 }
 

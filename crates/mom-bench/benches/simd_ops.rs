@@ -15,10 +15,23 @@ fn bench_simd_primitives(c: &mut Criterion) {
     let a = 0x0123_4567_89AB_CDEFu64;
     let b = 0xFEDC_BA98_7654_3210u64;
     group.bench_function("padd_sat_u8", |bench| {
-        bench.iter(|| black_box(arith::padd(black_box(a), black_box(b), ElemType::U8, Overflow::Saturate)))
+        bench.iter(|| {
+            black_box(arith::padd(
+                black_box(a),
+                black_box(b),
+                ElemType::U8,
+                Overflow::Saturate,
+            ))
+        })
     });
     group.bench_function("pmul_widening_i16", |bench| {
-        bench.iter(|| black_box(mul::pmul_widening(black_box(a), black_box(b), ElemType::I16)))
+        bench.iter(|| {
+            black_box(mul::pmul_widening(
+                black_box(a),
+                black_box(b),
+                ElemType::I16,
+            ))
+        })
     });
     group.bench_function("psad_u8", |bench| {
         bench.iter(|| black_box(sad::psad(black_box(a), black_box(b), ElemType::U8)))
@@ -31,10 +44,16 @@ fn bench_simulator_throughput(c: &mut Criterion) {
     group.sample_size(10);
     // Functional simulation (trace generation + verification).
     group.bench_function("functional/motion1/mom", |b| {
-        b.iter(|| black_box(run_kernel(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED, 1)))
+        b.iter(|| {
+            black_box(
+                run_kernel(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED, 1)
+                    .expect("kernel must verify"),
+            )
+        })
     });
     // Timing simulation, reported in simulated instructions per second.
-    let (trace, _) = steady_state_trace(KernelId::Motion1, IsaKind::Alpha, EXPERIMENT_SEED);
+    let (trace, _) = steady_state_trace(KernelId::Motion1, IsaKind::Alpha, EXPERIMENT_SEED)
+        .expect("kernel must verify");
     group.throughput(Throughput::Elements(trace.len() as u64));
     let pipeline = Pipeline::new(PipelineConfig::way(4));
     group.bench_function("timing/motion1/alpha", |b| {

@@ -13,7 +13,8 @@ fn bench_tables(c: &mut Criterion) {
     // Benchmark the timing-simulation step itself on pre-built traces.
     for kernel in [KernelId::Motion2, KernelId::Rgb2Ycc, KernelId::AddBlock] {
         for isa in IsaKind::ALL {
-            let (trace, _) = steady_state_trace(kernel, isa, EXPERIMENT_SEED);
+            let (trace, _) =
+                steady_state_trace(kernel, isa, EXPERIMENT_SEED).expect("kernel must verify");
             let pipeline = Pipeline::new(PipelineConfig::way(4));
             group.bench_function(format!("{}/{}", kernel.name(), isa.name()), |b| {
                 b.iter(|| black_box(pipeline.simulate(&trace)))
@@ -22,7 +23,7 @@ fn bench_tables(c: &mut Criterion) {
     }
     group.finish();
 
-    let rows = mom_bench::tables();
+    let rows = mom_bench::tables().expect("tables sweep must succeed");
     println!("\n{}", mom_bench::format_tables(&rows));
 }
 

@@ -10,9 +10,14 @@ use mom_kernels::KernelId;
 
 fn main() {
     println!("Ablation 1: multimedia lanes (4-way, perfect memory), cycles per invocation");
-    println!("{:<10} {:>6} {:>12} {:>12}", "kernel", "lanes", "MOM", "MMX");
+    println!(
+        "{:<10} {:>6} {:>12} {:>12}",
+        "kernel", "lanes", "MOM", "MMX"
+    );
     for kernel in [KernelId::Motion1, KernelId::Idct, KernelId::Compensation] {
-        for p in mom_bench::ablation_lanes(kernel) {
+        let points = mom_bench::ablation_lanes(kernel)
+            .unwrap_or_else(|e| panic!("lane ablation failed: {e}"));
+        for p in points {
             println!(
                 "{:<10} {:>6} {:>12.0} {:>12.0}",
                 p.kernel.name(),
@@ -26,7 +31,9 @@ fn main() {
     println!("Ablation 2: reorder-buffer size (4-way, 50-cycle memory), cycles per invocation");
     println!("{:<10} {:>6} {:>12} {:>12}", "kernel", "rob", "MOM", "MMX");
     for kernel in [KernelId::Motion1, KernelId::Compensation] {
-        for p in mom_bench::ablation_rob(kernel) {
+        let points =
+            mom_bench::ablation_rob(kernel).unwrap_or_else(|e| panic!("rob ablation failed: {e}"));
+        for p in points {
             println!(
                 "{:<10} {:>6} {:>12.0} {:>12.0}",
                 p.kernel.name(),

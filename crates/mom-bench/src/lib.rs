@@ -9,31 +9,51 @@
 //!   memory latency grows from 1 to 12 to 50 cycles,
 //! * [`tables`] — the per-kernel IPC / OPI / R / S / F / VLx / VLy breakdown
 //!   of Tables 1–9 (4-way, 1-cycle memory),
-//! * [`ablations`] — additional studies beyond the paper: MOM without its
-//!   packed accumulators cannot be expressed (the kernels rely on them), so
-//!   the ablations vary the number of multimedia lanes and the reorder
-//!   buffer size instead, quantifying the "replicate the functional units"
-//!   claim of Section 4.4 and the latency-tolerance mechanism.
+//! * [`ablation_lanes`] / [`ablation_rob`] — studies beyond the paper,
+//!   varying the number of multimedia lanes and the reorder-buffer size.
 //!
-//! Binaries `fig4`, `fig5`, `tables` and `ablations` print the corresponding
-//! results as aligned text tables; the Criterion benches under `benches/`
-//! wrap the same drivers so `cargo bench` regenerates every figure and
-//! table.
+//! The drivers are built on the workspace's **streaming architecture**: one
+//! functional run of a kernel drives a [`PipelineFanout`] over every machine
+//! configuration of the experiment, so a sweep executes each (kernel, ISA)
+//! pair exactly once, and the (kernel, ISA) pairs of a sweep run
+//! concurrently on a thread pool ([`sweep`]).  Every report is available
+//! both as an aligned text table (`format_*`) and as a machine-readable
+//! JSON document (`*_json`) for `BENCH_fig4.json`-style perf tracking.
+//!
+//! Binaries `fig4`, `fig5`, `tables` and `ablations` print the text tables
+//! (pass `--json PATH` to also write the JSON report); the `sweep` binary
+//! regenerates every `BENCH_*.json` at once.  The Criterion benches under
+//! `benches/` wrap the same drivers so `cargo bench` regenerates every
+//! figure and table.
 
 #![warn(missing_docs)]
 
-use mom_arch::Trace;
+pub mod json;
+pub mod sweep;
+
+use json::Json;
+use mom_arch::TraceStats;
 use mom_isa::IsaKind;
-use mom_kernels::{run_kernel, KernelId};
-use mom_pipeline::{MemoryModel, Pipeline, PipelineConfig, SimResult};
+use mom_kernels::{run_kernel, KernelError, KernelId, KernelRun};
+use mom_pipeline::{MemoryModel, PipelineConfig, PipelineFanout, SimResult};
+use sweep::parallel_map;
 
 /// Seed used by every experiment (the workloads are deterministic).
 pub const EXPERIMENT_SEED: u64 = 0x5C99;
 
 /// Target dynamic-trace length used to reach steady state; one kernel
-/// invocation is replicated until the trace is at least this long, mirroring
-/// the paper's "simulated a certain number of times in a loop".
+/// invocation is replicated until the stream is at least this long,
+/// mirroring the paper's "simulated a certain number of times in a loop".
 pub const STEADY_STATE_INSTRUCTIONS: usize = 4000;
+
+/// Number of invocations needed to reach [`STEADY_STATE_INSTRUCTIONS`] for a
+/// kernel whose single invocation retires `instructions_per_invocation`
+/// instructions.
+pub fn steady_invocations(instructions_per_invocation: usize) -> usize {
+    STEADY_STATE_INSTRUCTIONS
+        .div_ceil(instructions_per_invocation.max(1))
+        .max(1)
+}
 
 /// One measured point: a kernel, an ISA and a machine configuration.
 #[derive(Debug, Clone)]
@@ -46,34 +66,84 @@ pub struct ExperimentPoint {
     pub width: usize,
     /// Memory latency in cycles.
     pub mem_latency: u64,
-    /// Timing-simulation result.
+    /// Number of kernel invocations the measured stream contained.
+    pub invocations: usize,
+    /// Timing-simulation result over the whole stream.
     pub result: SimResult,
-    /// Trace-level statistics (F, VLx, VLy).
-    pub stats: mom_arch::TraceStats,
+    /// Trace-level statistics of the whole stream (F, VLx, VLy).
+    pub stats: TraceStats,
 }
 
 impl ExperimentPoint {
-    /// Cycles normalised per kernel invocation (the trace may contain many
-    /// invocations to reach steady state).
-    pub fn cycles_per_invocation(&self, invocations: usize) -> f64 {
-        self.result.cycles as f64 / invocations.max(1) as f64
+    /// Cycles normalised per kernel invocation.
+    pub fn cycles_per_invocation(&self) -> f64 {
+        self.result.cycles as f64 / self.invocations.max(1) as f64
+    }
+
+    /// Operations normalised per kernel invocation.
+    pub fn ops_per_invocation(&self) -> f64 {
+        self.result.operations as f64 / self.invocations.max(1) as f64
     }
 }
 
-/// Builds a steady-state trace for one kernel/ISA pair: the single-invocation
-/// trace is verified against the golden reference and then replicated until
-/// it reaches [`STEADY_STATE_INSTRUCTIONS`] dynamic instructions.
+/// Builds a **materialised** steady-state trace for one kernel/ISA pair: the
+/// verified single-invocation trace replicated [`steady_invocations`] times.
 ///
-/// Returns the trace and the number of invocations it contains.
-pub fn steady_state_trace(kernel: KernelId, isa: IsaKind, seed: u64) -> (Trace, usize) {
-    let one = run_kernel(kernel, isa, seed, 1);
-    let per_invocation = one.trace.len().max(1);
-    let invocations = STEADY_STATE_INSTRUCTIONS.div_ceil(per_invocation).max(1);
-    let mut trace = Trace::new();
+/// Only for benchmarks and diagnostics that need a reusable in-memory trace;
+/// the experiment drivers stream through [`simulate_configs`] instead.
+pub fn steady_state_trace(
+    kernel: KernelId,
+    isa: IsaKind,
+    seed: u64,
+) -> Result<(mom_arch::Trace, usize), KernelError> {
+    let run = run_kernel(kernel, isa, seed, 1)?;
+    let invocations = steady_invocations(run.trace.len());
+    let mut trace = mom_arch::Trace::new();
     for _ in 0..invocations {
-        trace.extend(&one.trace);
+        trace.extend(&run.trace);
     }
-    (trace, invocations)
+    Ok((trace, invocations))
+}
+
+/// Runs one kernel/ISA pair to steady state **once** and times the stream on
+/// every given machine configuration simultaneously (fan-out), returning one
+/// point per configuration, in order.
+///
+/// One kernel invocation is executed functionally and verified against the
+/// golden reference; its trace is then replayed [`steady_invocations`] times
+/// into the consumers (invocations are identical instruction streams — see
+/// [`KernelRun`]), so the stream is never materialised beyond one
+/// invocation.
+pub fn simulate_configs(
+    kernel: KernelId,
+    isa: IsaKind,
+    configs: &[PipelineConfig],
+    seed: u64,
+) -> Result<Vec<ExperimentPoint>, KernelError> {
+    // One verified functional run; its single-invocation trace seeds the
+    // steady-state replay.
+    let mut run: KernelRun = run_kernel(kernel, isa, seed, 1)?;
+    run.invocations = steady_invocations(run.trace.len());
+
+    let mut stats = TraceStats::default();
+    let mut fanout = PipelineFanout::new(configs.iter().cloned());
+    let mut sinks = (&mut stats, &mut fanout);
+    run.replay_into(&mut sinks);
+
+    let results = fanout.finish();
+    Ok(results
+        .into_iter()
+        .zip(configs)
+        .map(|(result, config)| ExperimentPoint {
+            kernel,
+            isa,
+            width: config.width,
+            mem_latency: config.memory.latency,
+            invocations: run.invocations,
+            result,
+            stats,
+        })
+        .collect())
 }
 
 /// Simulates one kernel/ISA pair on a core of the given width and memory
@@ -84,19 +154,17 @@ pub fn simulate(
     width: usize,
     memory: MemoryModel,
     seed: u64,
-) -> ExperimentPoint {
-    let (trace, _) = steady_state_trace(kernel, isa, seed);
-    let stats = trace.stats();
-    let config = PipelineConfig::way_with_memory(width, memory);
-    let result = Pipeline::new(config).simulate(&trace);
-    ExperimentPoint {
+) -> Result<ExperimentPoint, KernelError> {
+    let points = simulate_configs(
         kernel,
         isa,
-        width,
-        mem_latency: memory.latency,
-        result,
-        stats,
-    }
+        &[PipelineConfig::way_with_memory(width, memory)],
+        seed,
+    )?;
+    Ok(points
+        .into_iter()
+        .next()
+        .expect("one config in, one point out"))
 }
 
 // ---------------------------------------------------------------------------
@@ -120,42 +188,100 @@ pub struct Figure4Point {
 /// The issue widths of Figure 4.
 pub const FIG4_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
+/// The union of machine configurations the three experiments need, measured
+/// once per (kernel, ISA) pair: Figure 4's four widths at 1-cycle memory
+/// (Tables 1–9 reuse the 4-way point) plus the 4-way core at the two slower
+/// Figure 5 latencies (the 1-cycle point is Figure 4's).
+fn union_configs() -> Vec<PipelineConfig> {
+    let mut configs: Vec<PipelineConfig> = FIG4_WIDTHS
+        .iter()
+        .map(|w| PipelineConfig::way(*w))
+        .collect();
+    configs.push(PipelineConfig::way_with_memory(4, MemoryModel::L2));
+    configs.push(PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY));
+    configs
+}
+
+/// Index of the 4-way / 1-cycle point in [`union_configs`].
+const UNION_WAY4: usize = 2;
+/// Indices of the Figure 5 latency series (1, 12, 50 cycles) in
+/// [`union_configs`].
+const UNION_FIG5: [usize; 3] = [UNION_WAY4, 4, 5];
+
+/// Every (kernel, ISA) pair measured over [`union_configs`], concurrently on
+/// the thread pool — each pair executes its functional run exactly once.
+fn measure_union_sweep(
+) -> Result<std::collections::HashMap<(KernelId, IsaKind), Vec<ExperimentPoint>>, KernelError> {
+    let configs = union_configs();
+    let pairs: Vec<(KernelId, IsaKind)> = KernelId::ALL
+        .into_iter()
+        .flat_map(|k| IsaKind::ALL.into_iter().map(move |i| (k, i)))
+        .collect();
+    let measured = parallel_map(pairs, |(kernel, isa)| {
+        simulate_configs(kernel, isa, &configs, EXPERIMENT_SEED)
+    });
+    let mut by_pair = std::collections::HashMap::new();
+    for points in measured {
+        let points = points?;
+        if let Some(p) = points.first() {
+            by_pair.insert((p.kernel, p.isa), points);
+        }
+    }
+    Ok(by_pair)
+}
+
+type MeasuredSweep = std::collections::HashMap<(KernelId, IsaKind), Vec<ExperimentPoint>>;
+
+/// All three reports of the paper's evaluation, computed from one
+/// [`measure_union_sweep`] pass.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// The Figure 4 speed-up bars.
+    pub fig4: Vec<Figure4Point>,
+    /// The Figure 5 latency series.
+    pub fig5: Vec<Figure5Point>,
+    /// The Tables 1–9 rows.
+    pub tables: Vec<TableRow>,
+}
+
+/// Runs the complete evaluation — every kernel × ISA × machine
+/// configuration — with each (kernel, ISA) functional run executed exactly
+/// once and shared by all three reports.
+pub fn full_sweep() -> Result<SweepResults, KernelError> {
+    let measured = measure_union_sweep()?;
+    Ok(SweepResults {
+        fig4: fig4_from(&measured),
+        fig5: fig5_from(&measured),
+        tables: tables_from(&measured),
+    })
+}
+
 /// Reproduces Figure 4: speed-up of each multimedia ISA over Alpha code for
 /// every kernel and issue width, with a 1-cycle memory.
-pub fn figure4() -> Vec<Figure4Point> {
-    let mut points = Vec::new();
+///
+/// Every (kernel, ISA) pair runs once (all widths share the functional run
+/// through the fan-out) and the pairs run concurrently.
+pub fn figure4() -> Result<Vec<Figure4Point>, KernelError> {
+    Ok(fig4_from(&measure_union_sweep()?))
+}
+
+fn fig4_from(measured: &MeasuredSweep) -> Vec<Figure4Point> {
+    let mut out = Vec::new();
     for kernel in KernelId::ALL {
-        for width in FIG4_WIDTHS {
-            let baseline = simulate(
-                kernel,
-                IsaKind::Alpha,
-                width,
-                MemoryModel::PERFECT,
-                EXPERIMENT_SEED,
-            );
-            let base_per_inst = normalised_cycles(&baseline, kernel, IsaKind::Alpha);
+        for (wi, width) in FIG4_WIDTHS.into_iter().enumerate() {
+            let base = measured[&(kernel, IsaKind::Alpha)][wi].cycles_per_invocation();
             for isa in IsaKind::MEDIA {
-                let point = simulate(kernel, isa, width, MemoryModel::PERFECT, EXPERIMENT_SEED);
-                let isa_per_inst = normalised_cycles(&point, kernel, isa);
-                points.push(Figure4Point {
+                let point = &measured[&(kernel, isa)][wi];
+                out.push(Figure4Point {
                     kernel,
                     isa,
                     width,
-                    speedup: base_per_inst / isa_per_inst,
+                    speedup: base / point.cycles_per_invocation(),
                 });
             }
         }
     }
-    points
-}
-
-/// Cycles per kernel invocation for an experiment point (recomputing the
-/// invocation count used when the trace was built).
-fn normalised_cycles(point: &ExperimentPoint, kernel: KernelId, isa: IsaKind) -> f64 {
-    let one = run_kernel(kernel, isa, EXPERIMENT_SEED, 1);
-    let per_invocation = one.trace.len().max(1);
-    let invocations = STEADY_STATE_INSTRUCTIONS.div_ceil(per_invocation).max(1);
-    point.result.cycles as f64 / invocations as f64
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -174,35 +300,37 @@ pub struct Figure5Point {
     pub mem_latency: u64,
     /// Cycles per kernel invocation.
     pub cycles_per_invocation: f64,
-    /// Slow-down relative to the same ISA at 1-cycle latency (filled by the
-    /// caller once all latencies are known; 1.0 for the 1-cycle point).
+    /// Slow-down relative to the same ISA at 1-cycle latency (1.0 for the
+    /// 1-cycle point).
     pub slowdown: f64,
 }
 
 /// Reproduces Figure 5: the impact of memory latency (1, 12, 50 cycles) on
-/// each kernel and ISA, on the 4-way core.
-pub fn figure5() -> Vec<Figure5Point> {
-    let mut points = Vec::new();
+/// each kernel and ISA, on the 4-way core.  One functional run per
+/// (kernel, ISA) drives all three latencies; pairs run concurrently.
+pub fn figure5() -> Result<Vec<Figure5Point>, KernelError> {
+    Ok(fig5_from(&measure_union_sweep()?))
+}
+
+fn fig5_from(measured: &MeasuredSweep) -> Vec<Figure5Point> {
+    let mut out = Vec::new();
     for kernel in KernelId::ALL {
         for isa in IsaKind::ALL {
-            let mut series = Vec::new();
-            for memory in MemoryModel::FIGURE5_POINTS {
-                let point = simulate(kernel, isa, 4, memory, EXPERIMENT_SEED);
-                series.push((memory.latency, normalised_cycles(&point, kernel, isa)));
-            }
-            let base = series[0].1;
-            for (latency, cycles) in series {
-                points.push(Figure5Point {
-                    kernel,
-                    isa,
-                    mem_latency: latency,
-                    cycles_per_invocation: cycles,
-                    slowdown: cycles / base,
+            let points = &measured[&(kernel, isa)];
+            let base = points[UNION_FIG5[0]].cycles_per_invocation();
+            for idx in UNION_FIG5 {
+                let p = &points[idx];
+                out.push(Figure5Point {
+                    kernel: p.kernel,
+                    isa: p.isa,
+                    mem_latency: p.mem_latency,
+                    cycles_per_invocation: p.cycles_per_invocation(),
+                    slowdown: p.cycles_per_invocation() / base,
                 });
             }
         }
     }
-    points
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -233,36 +361,25 @@ pub struct TableRow {
 }
 
 /// Reproduces Tables 1–9: the IPC / OPI / R / S / F / VLx / VLy breakdown for
-/// every kernel on the 4-way, 1-cycle-memory core.
-pub fn tables() -> Vec<TableRow> {
+/// every kernel on the 4-way, 1-cycle-memory core, with kernels measured
+/// concurrently.
+pub fn tables() -> Result<Vec<TableRow>, KernelError> {
+    Ok(tables_from(&measure_union_sweep()?))
+}
+
+fn tables_from(measured: &MeasuredSweep) -> Vec<TableRow> {
     let mut rows = Vec::new();
     for kernel in KernelId::ALL {
-        let baseline = simulate(
-            kernel,
-            IsaKind::Alpha,
-            4,
-            MemoryModel::PERFECT,
-            EXPERIMENT_SEED,
-        );
-        let base_cycles = normalised_cycles(&baseline, kernel, IsaKind::Alpha);
-        let base_ops_per_inv =
-            baseline.result.operations as f64 / (baseline.result.cycles as f64 / base_cycles);
+        let baseline = &measured[&(kernel, IsaKind::Alpha)][UNION_WAY4];
         for isa in IsaKind::ALL {
-            let point = if isa == IsaKind::Alpha {
-                baseline.clone()
-            } else {
-                simulate(kernel, isa, 4, MemoryModel::PERFECT, EXPERIMENT_SEED)
-            };
-            let cycles = normalised_cycles(&point, kernel, isa);
-            let ops_per_inv =
-                point.result.operations as f64 / (point.result.cycles as f64 / cycles);
+            let point = &measured[&(kernel, isa)][UNION_WAY4];
             rows.push(TableRow {
                 kernel,
                 isa,
                 ipc: point.result.ipc(),
                 opi: point.result.opi(),
-                r: base_ops_per_inv / ops_per_inv,
-                s: base_cycles / cycles,
+                r: baseline.ops_per_invocation() / point.ops_per_invocation(),
+                s: baseline.cycles_per_invocation() / point.cycles_per_invocation(),
                 f: point.stats.media_fraction(),
                 vlx: point.stats.avg_vlx(),
                 vly: point.stats.avg_vly(),
@@ -292,54 +409,48 @@ pub struct AblationPoint {
     pub mmx_cycles: f64,
 }
 
+fn ablation(
+    kernel: KernelId,
+    parameter: &'static str,
+    values: &[usize],
+    make_config: impl Fn(usize) -> PipelineConfig,
+) -> Result<Vec<AblationPoint>, KernelError> {
+    let configs: Vec<PipelineConfig> = values.iter().map(|v| make_config(*v)).collect();
+    let mom = simulate_configs(kernel, IsaKind::Mom, &configs, EXPERIMENT_SEED)?;
+    let mmx = simulate_configs(kernel, IsaKind::Mmx, &configs, EXPERIMENT_SEED)?;
+    Ok(values
+        .iter()
+        .zip(mom.iter().zip(&mmx))
+        .map(|(value, (m, x))| AblationPoint {
+            kernel,
+            parameter,
+            value: *value,
+            mom_cycles: m.cycles_per_invocation(),
+            mmx_cycles: x.cycles_per_invocation(),
+        })
+        .collect())
+}
+
 /// Varies the number of multimedia lanes (the paper's "replicating the
 /// number of parallel functional units which execute a matrix instruction")
 /// and the vector memory port width together, on the 4-way core.
-pub fn ablation_lanes(kernel: KernelId) -> Vec<AblationPoint> {
-    [1usize, 2, 4, 8]
-        .into_iter()
-        .map(|lanes| {
-            let run = |isa: IsaKind| {
-                let (trace, invocations) = steady_state_trace(kernel, isa, EXPERIMENT_SEED);
-                let mut config = PipelineConfig::way(4);
-                config.media_lanes = lanes;
-                config.vec_mem_words = lanes;
-                let result = Pipeline::new(config).simulate(&trace);
-                result.cycles as f64 / invocations as f64
-            };
-            AblationPoint {
-                kernel,
-                parameter: "media-lanes",
-                value: lanes,
-                mom_cycles: run(IsaKind::Mom),
-                mmx_cycles: run(IsaKind::Mmx),
-            }
-        })
-        .collect()
+pub fn ablation_lanes(kernel: KernelId) -> Result<Vec<AblationPoint>, KernelError> {
+    ablation(kernel, "media-lanes", &[1, 2, 4, 8], |lanes| {
+        let mut config = PipelineConfig::way(4);
+        config.media_lanes = lanes;
+        config.vec_mem_words = lanes;
+        config
+    })
 }
 
 /// Varies the reorder-buffer size on the 4-way core with 50-cycle memory,
 /// showing that MOM needs far less instruction window to tolerate latency.
-pub fn ablation_rob(kernel: KernelId) -> Vec<AblationPoint> {
-    [16usize, 32, 64, 128]
-        .into_iter()
-        .map(|rob| {
-            let run = |isa: IsaKind| {
-                let (trace, invocations) = steady_state_trace(kernel, isa, EXPERIMENT_SEED);
-                let mut config = PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY);
-                config.rob_size = rob;
-                let result = Pipeline::new(config).simulate(&trace);
-                result.cycles as f64 / invocations as f64
-            };
-            AblationPoint {
-                kernel,
-                parameter: "rob-size",
-                value: rob,
-                mom_cycles: run(IsaKind::Mom),
-                mmx_cycles: run(IsaKind::Mmx),
-            }
-        })
-        .collect()
+pub fn ablation_rob(kernel: KernelId) -> Result<Vec<AblationPoint>, KernelError> {
+    ablation(kernel, "rob-size", &[16, 32, 64, 128], |rob| {
+        let mut config = PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY);
+        config.rob_size = rob;
+        config
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -396,10 +507,20 @@ pub fn format_figure5(points: &[Figure5Point]) -> String {
             out.push_str(&format!(
                 "{:<10} {:>6} {:>12.0} {:>12.0} {:>12.0} {:>9.2}x\n",
                 kernel.name(),
-                if isa == IsaKind::Alpha { "SS" } else { isa.name() },
-                l1.as_ref().map(|p| p.cycles_per_invocation).unwrap_or(f64::NAN),
-                l12.as_ref().map(|p| p.cycles_per_invocation).unwrap_or(f64::NAN),
-                l50.as_ref().map(|p| p.cycles_per_invocation).unwrap_or(f64::NAN),
+                if isa == IsaKind::Alpha {
+                    "SS"
+                } else {
+                    isa.name()
+                },
+                l1.as_ref()
+                    .map(|p| p.cycles_per_invocation)
+                    .unwrap_or(f64::NAN),
+                l12.as_ref()
+                    .map(|p| p.cycles_per_invocation)
+                    .unwrap_or(f64::NAN),
+                l50.as_ref()
+                    .map(|p| p.cycles_per_invocation)
+                    .unwrap_or(f64::NAN),
                 l50.as_ref().map(|p| p.slowdown).unwrap_or(f64::NAN),
             ));
         }
@@ -439,20 +560,130 @@ pub fn format_tables(rows: &[TableRow]) -> String {
     out
 }
 
+/// Common header of every `BENCH_*.json` report.
+fn report_header(experiment: &str) -> Vec<(&'static str, Json)> {
+    vec![
+        ("schema", Json::int(1)),
+        ("experiment", Json::str(experiment.to_string())),
+        ("seed", Json::int(EXPERIMENT_SEED as i64)),
+        (
+            "steady_state_instructions",
+            Json::int(STEADY_STATE_INSTRUCTIONS as i64),
+        ),
+    ]
+}
+
+/// The Figure 4 results as a machine-readable JSON report
+/// (`BENCH_fig4.json`).
+pub fn figure4_json(points: &[Figure4Point]) -> Json {
+    let mut doc = report_header("fig4");
+    doc.push((
+        "points",
+        Json::Arr(
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("kernel", Json::str(p.kernel.name())),
+                        ("isa", Json::str(p.isa.name())),
+                        ("width", Json::int(p.width as i64)),
+                        ("speedup", Json::Num(p.speedup)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::obj(doc)
+}
+
+/// The Figure 5 results as a machine-readable JSON report
+/// (`BENCH_fig5.json`).
+pub fn figure5_json(points: &[Figure5Point]) -> Json {
+    let mut doc = report_header("fig5");
+    doc.push((
+        "points",
+        Json::Arr(
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("kernel", Json::str(p.kernel.name())),
+                        ("isa", Json::str(p.isa.name())),
+                        ("mem_latency", Json::int(p.mem_latency as i64)),
+                        ("cycles_per_invocation", Json::Num(p.cycles_per_invocation)),
+                        ("slowdown", Json::Num(p.slowdown)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::obj(doc)
+}
+
+/// The Tables 1–9 results as a machine-readable JSON report
+/// (`BENCH_tables.json`).
+pub fn tables_json(rows: &[TableRow]) -> Json {
+    let mut doc = report_header("tables");
+    doc.push((
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("kernel", Json::str(r.kernel.name())),
+                        ("isa", Json::str(r.isa.name())),
+                        ("ipc", Json::Num(r.ipc)),
+                        ("opi", Json::Num(r.opi)),
+                        ("r", Json::Num(r.r)),
+                        ("s", Json::Num(r.s)),
+                        ("f", Json::Num(r.f)),
+                        ("vlx", Json::Num(r.vlx)),
+                        ("vly", Json::Num(r.vly)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::obj(doc)
+}
+
+/// Parses the shared `--json PATH` command-line option of the report
+/// binaries (`fig4`, `fig5`, `tables`).
+pub fn json_arg() -> Option<String> {
+    let mut path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" if path.is_none() => match args.next() {
+                Some(p) => path = Some(p),
+                None => usage_error("--json needs a path argument"),
+            },
+            "--json" => usage_error("--json given twice"),
+            other => usage_error(&format!("unknown argument {other} (expected --json PATH)")),
+        }
+    }
+    path
+}
+
+/// Prints a usage error to stderr and exits with status 2 (the conventional
+/// bad-usage code), without a panic backtrace.
+pub fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn steady_state_traces_reach_the_target_length() {
-        let (trace, invocations) =
-            steady_state_trace(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED);
-        assert!(trace.len() >= STEADY_STATE_INSTRUCTIONS);
+    fn steady_invocations_reach_the_target_length() {
+        let run = run_kernel(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED, 1).unwrap();
+        let invocations = steady_invocations(run.trace.len());
         assert!(invocations > 1, "the tiny MOM kernel must be replicated");
-        let (trace, invocations) =
-            steady_state_trace(KernelId::LtpPar, IsaKind::Alpha, EXPERIMENT_SEED);
-        assert!(invocations >= 1);
-        assert!(trace.len() >= STEADY_STATE_INSTRUCTIONS);
+        assert!(run.trace.len() * invocations >= STEADY_STATE_INSTRUCTIONS);
+        let run = run_kernel(KernelId::LtpPar, IsaKind::Alpha, EXPERIMENT_SEED, 1).unwrap();
+        assert!(run.trace.len() * steady_invocations(run.trace.len()) >= STEADY_STATE_INSTRUCTIONS);
     }
 
     #[test]
@@ -463,10 +694,33 @@ mod tests {
             4,
             MemoryModel::PERFECT,
             EXPERIMENT_SEED,
-        );
+        )
+        .unwrap();
         assert!(p.result.cycles > 0);
         assert!(p.result.opi() > 1.0);
         assert!(p.stats.avg_vly() > 1.0);
+        assert!(p.invocations >= 1);
+    }
+
+    #[test]
+    fn fanout_sweep_matches_individual_simulations() {
+        let configs = [PipelineConfig::way(1), PipelineConfig::way(8)];
+        let fanned =
+            simulate_configs(KernelId::AddBlock, IsaKind::Mmx, &configs, EXPERIMENT_SEED).unwrap();
+        assert_eq!(fanned.len(), 2);
+        for (point, width) in fanned.iter().zip([1usize, 8]) {
+            let alone = simulate(
+                KernelId::AddBlock,
+                IsaKind::Mmx,
+                width,
+                MemoryModel::PERFECT,
+                EXPERIMENT_SEED,
+            )
+            .unwrap();
+            assert_eq!(point.width, width);
+            assert_eq!(point.result.cycles, alone.result.cycles, "width {width}");
+            assert_eq!(point.result.instructions, alone.result.instructions);
+        }
     }
 
     #[test]
@@ -477,19 +731,21 @@ mod tests {
             4,
             MemoryModel::PERFECT,
             EXPERIMENT_SEED,
-        );
+        )
+        .unwrap();
         let mom = simulate(
             KernelId::Motion1,
             IsaKind::Mom,
             4,
             MemoryModel::PERFECT,
             EXPERIMENT_SEED,
-        );
-        let mmx_cycles = normalised_cycles(&mmx, KernelId::Motion1, IsaKind::Mmx);
-        let mom_cycles = normalised_cycles(&mom, KernelId::Motion1, IsaKind::Mom);
+        )
+        .unwrap();
         assert!(
-            mom_cycles < mmx_cycles,
-            "MOM ({mom_cycles:.0} cycles) must beat MMX ({mmx_cycles:.0} cycles)"
+            mom.cycles_per_invocation() < mmx.cycles_per_invocation(),
+            "MOM ({:.0} cycles) must beat MMX ({:.0} cycles)",
+            mom.cycles_per_invocation(),
+            mmx.cycles_per_invocation()
         );
     }
 
@@ -505,5 +761,9 @@ mod tests {
         let text = format_figure4(&points);
         assert!(text.contains("idct"));
         assert!(text.contains("MOM"));
+        let doc = figure4_json(&points).pretty();
+        assert!(doc.contains("\"experiment\": \"fig4\""));
+        assert!(doc.contains("\"kernel\": \"idct\""));
+        assert!(doc.contains("\"speedup\": 5"));
     }
 }

@@ -127,20 +127,41 @@ impl fmt::Display for Instruction {
                 target,
             } => write!(f, "b{cond:?} r{ra}, r{rb}, L{}", target.0),
             Nop => write!(f, "nop"),
-            MmxLoad { vd, base, offset, ty } => {
+            MmxLoad {
+                vd,
+                base,
+                offset,
+                ty,
+            } => {
                 write!(f, "mmx_ldq.{} v{vd}, {offset}(r{base})", ty_suffix(ty))
             }
-            MmxStore { vs, base, offset, ty } => {
+            MmxStore {
+                vs,
+                base,
+                offset,
+                ty,
+            } => {
                 write!(f, "mmx_stq.{} v{vs}, {offset}(r{base})", ty_suffix(ty))
             }
             MmxOp { op, ty, vd, va, vb } => {
-                write!(f, "{}.{} v{vd}, v{va}, v{vb}", packed_stem(op), ty_suffix(ty))
+                write!(
+                    f,
+                    "{}.{} v{vd}, v{va}, v{vb}",
+                    packed_stem(op),
+                    ty_suffix(ty)
+                )
             }
             MmxSplat { vd, ra, ty } => write!(f, "splat.{} v{vd}, r{ra}", ty_suffix(ty)),
             MmxToInt { rd, va } => write!(f, "mfmmx r{rd}, v{va}"),
             MmxFromInt { vd, ra } => write!(f, "mtmmx v{vd}, r{ra}"),
             AccClear { acc } => write!(f, "acc_clear a{acc}"),
-            AccStep { op, ty, acc, va, vb } => write!(
+            AccStep {
+                op,
+                ty,
+                acc,
+                va,
+                vb,
+            } => write!(
                 f,
                 "acc_{}.{} a{acc}, v{va}, v{vb}",
                 acc_name(op),
@@ -161,16 +182,18 @@ impl fmt::Display for Instruction {
             AccReadScalar { rd, acc } => write!(f, "acc_readsum r{rd}, a{acc}"),
             SetVlImm { vl } => write!(f, "setvl {vl}"),
             SetVl { ra } => write!(f, "setvl r{ra}"),
-            MomLoad { md, base, stride, ty } => write!(
-                f,
-                "mom_ldq.{} m{md}, (r{base}), r{stride}",
-                ty_suffix(ty)
-            ),
-            MomStore { ms, base, stride, ty } => write!(
-                f,
-                "mom_stq.{} m{ms}, (r{base}), r{stride}",
-                ty_suffix(ty)
-            ),
+            MomLoad {
+                md,
+                base,
+                stride,
+                ty,
+            } => write!(f, "mom_ldq.{} m{md}, (r{base}), r{stride}", ty_suffix(ty)),
+            MomStore {
+                ms,
+                base,
+                stride,
+                ty,
+            } => write!(f, "mom_stq.{} m{ms}, (r{base}), r{stride}", ty_suffix(ty)),
             MomOp { op, ty, md, ma, mb } => write!(
                 f,
                 "mom_{}.{} m{md}, m{ma}, {}",
@@ -182,7 +205,13 @@ impl fmt::Display for Instruction {
                 write!(f, "mom_transpose.{} m{md}, m{ms}", ty_suffix(ty))
             }
             MomAccClear { acc } => write!(f, "mom_acc_clear ma{acc}"),
-            MomAccStep { op, ty, acc, ma, mb } => write!(
+            MomAccStep {
+                op,
+                ty,
+                acc,
+                ma,
+                mb,
+            } => write!(
                 f,
                 "mom_acc_{}.{} ma{acc}, m{ma}, {}",
                 acc_name(op),
@@ -216,7 +245,10 @@ pub fn disassemble(program: &Program) -> String {
     let mut labels: HashMap<usize, Vec<usize>> = HashMap::new();
     for ins in program.instructions() {
         if let Instruction::Branch { target, .. } = ins {
-            labels.entry(program.resolve(*target)).or_default().push(target.0);
+            labels
+                .entry(program.resolve(*target))
+                .or_default()
+                .push(target.0);
         }
     }
     let mut out = String::new();
@@ -225,7 +257,12 @@ pub fn disassemble(program: &Program) -> String {
             out.push_str(&format!("L{pc}:\n"));
         }
         match ins {
-            Instruction::Branch { cond, ra, rb, target } => {
+            Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 out.push_str(&format!(
                     "    b{:?} r{}, r{}, L{}\n",
                     cond,
@@ -304,25 +341,78 @@ mod tests {
         let samples: Vec<Instruction> = vec![
             Instruction::Li { rd: 1, imm: 7 },
             Instruction::Nop,
-            Instruction::AluImm { op: AluOp::Sll, rd: 1, ra: 2, imm: 3 },
-            Instruction::Store { size: MemSize::Quad, rs: 1, base: 2, offset: 0 },
-            Instruction::Branch { cond: BranchCond::Ne, ra: 1, rb: 2, target: Label(0) },
-            Instruction::MmxLoad { vd: 0, base: 1, offset: 0, ty: ElemType::U8 },
-            Instruction::MmxSplat { vd: 0, ra: 1, ty: ElemType::I16 },
+            Instruction::AluImm {
+                op: AluOp::Sll,
+                rd: 1,
+                ra: 2,
+                imm: 3,
+            },
+            Instruction::Store {
+                size: MemSize::Quad,
+                rs: 1,
+                base: 2,
+                offset: 0,
+            },
+            Instruction::Branch {
+                cond: BranchCond::Ne,
+                ra: 1,
+                rb: 2,
+                target: Label(0),
+            },
+            Instruction::MmxLoad {
+                vd: 0,
+                base: 1,
+                offset: 0,
+                ty: ElemType::U8,
+            },
+            Instruction::MmxSplat {
+                vd: 0,
+                ra: 1,
+                ty: ElemType::I16,
+            },
             Instruction::MmxToInt { rd: 1, va: 0 },
             Instruction::MmxFromInt { vd: 0, ra: 1 },
             Instruction::AccClear { acc: 0 },
-            Instruction::AccRead { vd: 0, acc: 0, ty: ElemType::I16, shift: 8, saturating: true },
+            Instruction::AccRead {
+                vd: 0,
+                acc: 0,
+                ty: ElemType::I16,
+                shift: 8,
+                saturating: true,
+            },
             Instruction::AccReadScalar { rd: 1, acc: 0 },
             Instruction::SetVlImm { vl: 8 },
             Instruction::SetVl { ra: 1 },
-            Instruction::MomStore { ms: 0, base: 1, stride: 2, ty: ElemType::I16 },
-            Instruction::MomTranspose { md: 0, ms: 1, ty: ElemType::U8 },
+            Instruction::MomStore {
+                ms: 0,
+                base: 1,
+                stride: 2,
+                ty: ElemType::I16,
+            },
+            Instruction::MomTranspose {
+                md: 0,
+                ms: 1,
+                ty: ElemType::U8,
+            },
             Instruction::MomAccClear { acc: 0 },
-            Instruction::MomAccRead { vd: 0, acc: 0, ty: ElemType::I16, shift: 15, saturating: true },
+            Instruction::MomAccRead {
+                vd: 0,
+                acc: 0,
+                ty: ElemType::I16,
+                shift: 15,
+                saturating: true,
+            },
             Instruction::MomAccReadScalar { rd: 1, acc: 0 },
-            Instruction::MomRowToMmx { vd: 0, ms: 1, row: 3 },
-            Instruction::MomRowFromMmx { md: 1, va: 0, row: 3 },
+            Instruction::MomRowToMmx {
+                vd: 0,
+                ms: 1,
+                row: 3,
+            },
+            Instruction::MomRowFromMmx {
+                md: 1,
+                va: 0,
+                row: 3,
+            },
         ];
         for s in samples {
             assert!(!s.to_string().is_empty());

@@ -44,7 +44,10 @@ impl RegList {
     /// Panics if more than four registers are pushed (no instruction has
     /// more than four operands).
     pub fn push(&mut self, r: Reg) {
-        assert!(self.len < 4, "instructions have at most 4 register operands");
+        assert!(
+            self.len < 4,
+            "instructions have at most 4 register operands"
+        );
         self.regs[self.len] = Some(r);
         self.len += 1;
     }
@@ -485,7 +488,9 @@ impl Instruction {
                 s.push(Reg::Int(stride));
                 s.push(Reg::Vl);
             }
-            Instruction::MomStore { ms, base, stride, .. } => {
+            Instruction::MomStore {
+                ms, base, stride, ..
+            } => {
                 s.push(Reg::Mat(ms));
                 s.push(Reg::Int(base));
                 s.push(Reg::Int(stride));

@@ -46,7 +46,13 @@ impl IsaKind {
         use Instruction::*;
         let scalar = matches!(
             ins,
-            Li { .. } | Alu { .. } | AluImm { .. } | Load { .. } | Store { .. } | Branch { .. } | Nop
+            Li { .. }
+                | Alu { .. }
+                | AluImm { .. }
+                | Load { .. }
+                | Store { .. }
+                | Branch { .. }
+                | Nop
         );
         let mmx = matches!(
             ins,

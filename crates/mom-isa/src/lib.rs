@@ -55,10 +55,10 @@ pub mod scalar;
 
 pub use disasm::disassemble;
 pub use fu::FuClass;
+pub use instr::Label;
 pub use instr::{Instruction, MomOperand};
 pub use isa::IsaKind;
 pub use packed::{AccumOp, PackedOp};
-pub use instr::Label;
 pub use program::{AsmBuilder, Program};
 pub use reg::{Reg, RegClass};
 pub use scalar::{AluOp, BranchCond, MemSize};
@@ -66,10 +66,10 @@ pub use scalar::{AluOp, BranchCond, MemSize};
 /// Commonly used items, re-exported for kernel writers.
 pub mod prelude {
     pub use crate::fu::FuClass;
+    pub use crate::instr::Label;
     pub use crate::instr::{Instruction, MomOperand};
     pub use crate::isa::IsaKind;
     pub use crate::packed::{AccumOp, PackedOp};
-    pub use crate::instr::Label;
     pub use crate::program::{AsmBuilder, Program};
     pub use crate::reg::{Reg, RegClass};
     pub use crate::scalar::{AluOp, BranchCond, MemSize};

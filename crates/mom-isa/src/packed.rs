@@ -343,10 +343,7 @@ mod tests {
         );
         // Shift by 4 with rounding: 100000/16 = 6250, 5/16 rounds to 0, 16/16 = 1.
         let w = accumulator_read(&acc, ElemType::I16, 4, true);
-        assert_eq!(
-            to_lanes(w, ElemType::I16).as_slice(),
-            &[6250, -6250, 0, 1]
-        );
+        assert_eq!(to_lanes(w, ElemType::I16).as_slice(), &[6250, -6250, 0, 1]);
     }
 
     #[test]

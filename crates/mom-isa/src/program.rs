@@ -247,7 +247,14 @@ impl AsmBuilder {
     }
 
     /// Scalar load.
-    pub fn load(&mut self, size: MemSize, signed: bool, rd: u8, base: u8, offset: i64) -> &mut Self {
+    pub fn load(
+        &mut self,
+        size: MemSize,
+        signed: bool,
+        rd: u8,
+        base: u8,
+        offset: i64,
+    ) -> &mut Self {
         self.push(Instruction::Load {
             size,
             signed,
@@ -353,7 +360,14 @@ impl AsmBuilder {
     }
 
     /// Read MDMX accumulator `acc` into MMX register `vd`.
-    pub fn acc_read(&mut self, vd: u8, acc: u8, ty: ElemType, shift: u32, saturating: bool) -> &mut Self {
+    pub fn acc_read(
+        &mut self,
+        vd: u8,
+        acc: u8,
+        ty: ElemType,
+        shift: u32,
+        saturating: bool,
+    ) -> &mut Self {
         self.push(Instruction::AccRead {
             vd,
             acc,
@@ -404,7 +418,14 @@ impl AsmBuilder {
     }
 
     /// Matrix arithmetic/logic operation.
-    pub fn mom_op(&mut self, op: PackedOp, ty: ElemType, md: u8, ma: u8, mb: MomOperand) -> &mut Self {
+    pub fn mom_op(
+        &mut self,
+        op: PackedOp,
+        ty: ElemType,
+        md: u8,
+        ma: u8,
+        mb: MomOperand,
+    ) -> &mut Self {
         self.push(Instruction::MomOp { op, ty, md, ma, mb })
     }
 
@@ -419,7 +440,14 @@ impl AsmBuilder {
     }
 
     /// Matrix accumulate step.
-    pub fn mom_acc_step(&mut self, op: AccumOp, ty: ElemType, acc: u8, ma: u8, mb: MomOperand) -> &mut Self {
+    pub fn mom_acc_step(
+        &mut self,
+        op: AccumOp,
+        ty: ElemType,
+        acc: u8,
+        ma: u8,
+        mb: MomOperand,
+    ) -> &mut Self {
         self.push(Instruction::MomAccStep {
             op,
             ty,
@@ -430,7 +458,14 @@ impl AsmBuilder {
     }
 
     /// Read MOM accumulator `acc` into MMX register `vd`.
-    pub fn mom_acc_read(&mut self, vd: u8, acc: u8, ty: ElemType, shift: u32, saturating: bool) -> &mut Self {
+    pub fn mom_acc_read(
+        &mut self,
+        vd: u8,
+        acc: u8,
+        ty: ElemType,
+        shift: u32,
+        saturating: bool,
+    ) -> &mut Self {
         self.push(Instruction::MomAccRead {
             vd,
             acc,

@@ -3,7 +3,7 @@
 //! counts, ISA membership and disassembly must stay mutually consistent.
 
 use mom_isa::prelude::*;
-use mom_isa::{Instruction, Reg};
+use mom_isa::Instruction;
 use proptest::prelude::*;
 
 fn elem() -> impl Strategy<Value = ElemType> {
@@ -57,17 +57,39 @@ fn instruction() -> impl Strategy<Value = Instruction> {
             offset: 0,
             ty
         }),
-        (accum_op(), elem(), 0u8..4, 0u8..32, 0u8..32)
-            .prop_map(|(op, ty, acc, va, vb)| Instruction::AccStep { op, ty, acc, va, vb }),
+        (accum_op(), elem(), 0u8..4, 0u8..32, 0u8..32).prop_map(|(op, ty, acc, va, vb)| {
+            Instruction::AccStep {
+                op,
+                ty,
+                acc,
+                va,
+                vb,
+            }
+        }),
         (0u8..16, 0u8..31, 0u8..31, elem()).prop_map(|(md, base, stride, ty)| {
-            Instruction::MomLoad { md, base, stride, ty }
+            Instruction::MomLoad {
+                md,
+                base,
+                stride,
+                ty,
+            }
         }),
         (packed_op(), elem(), 0u8..16, 0u8..16, mom_operand())
             .prop_map(|(op, ty, md, ma, mb)| Instruction::MomOp { op, ty, md, ma, mb }),
-        (accum_op(), elem(), 0u8..2, 0u8..16, mom_operand())
-            .prop_map(|(op, ty, acc, ma, mb)| Instruction::MomAccStep { op, ty, acc, ma, mb }),
-        (0u8..16, 0u8..16, elem())
-            .prop_map(|(md, ms, ty)| Instruction::MomTranspose { md, ms, ty }),
+        (accum_op(), elem(), 0u8..2, 0u8..16, mom_operand()).prop_map(|(op, ty, acc, ma, mb)| {
+            Instruction::MomAccStep {
+                op,
+                ty,
+                acc,
+                ma,
+                mb,
+            }
+        }),
+        (0u8..16, 0u8..16, elem()).prop_map(|(md, ms, ty)| Instruction::MomTranspose {
+            md,
+            ms,
+            ty
+        }),
         (1u8..=16).prop_map(|vl| Instruction::SetVlImm { vl }),
     ]
 }

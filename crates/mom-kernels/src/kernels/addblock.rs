@@ -112,9 +112,27 @@ impl AddBlock {
         b.mom_op(PackedOp::WidenHigh, ElemType::U8, 2, 0, MomOperand::Mat(0));
         b.mom_load(3, 1, 5, ElemType::I16); // residual columns 0..4
         b.mom_load(4, 6, 5, ElemType::I16); // residual columns 4..8
-        b.mom_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 5, 1, MomOperand::Mat(3));
-        b.mom_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 6, 2, MomOperand::Mat(4));
-        b.mom_op(PackedOp::PackSat(ElemType::U8), ElemType::I16, 7, 5, MomOperand::Mat(6));
+        b.mom_op(
+            PackedOp::Add(Overflow::Wrap),
+            ElemType::I16,
+            5,
+            1,
+            MomOperand::Mat(3),
+        );
+        b.mom_op(
+            PackedOp::Add(Overflow::Wrap),
+            ElemType::I16,
+            6,
+            2,
+            MomOperand::Mat(4),
+        );
+        b.mom_op(
+            PackedOp::PackSat(ElemType::U8),
+            ElemType::I16,
+            7,
+            5,
+            MomOperand::Mat(6),
+        );
         b.mom_store(7, 3, 4, ElemType::U8);
         b.finish()
     }
@@ -145,9 +163,7 @@ impl KernelSpec for AddBlock {
         let resid = residual_block(seed ^ 0xADD, BLOCK * BLOCK);
         let expect = reference(&pred.data, FRAME_PITCH as usize, &resid);
         for r in 0..BLOCK {
-            let got = mem
-                .dump_u8(DST + r as u64 * FRAME_PITCH, BLOCK)
-                .unwrap();
+            let got = mem.dump_u8(DST + r as u64 * FRAME_PITCH, BLOCK).unwrap();
             for c in 0..BLOCK {
                 if got[c] != expect[r * BLOCK + c] {
                     return Err(mismatch(

@@ -176,9 +176,11 @@ mod tests {
     #[test]
     fn mom_executes_an_order_of_magnitude_fewer_instructions_than_scalar() {
         let scalar = crate::run_kernel(KernelId::Compensation, IsaKind::Alpha, 5, 1)
+            .unwrap()
             .trace
             .len();
         let mom = crate::run_kernel(KernelId::Compensation, IsaKind::Mom, 5, 1)
+            .unwrap()
             .trace
             .len();
         assert!(scalar > 50 * mom, "scalar {scalar} vs MOM {mom}");

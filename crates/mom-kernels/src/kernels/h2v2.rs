@@ -73,7 +73,7 @@ impl H2v2 {
         b.load(MemSize::Byte, false, 6, 1, 1); // right
         b.load(MemSize::Byte, false, 7, 1, IN_PITCH as i64); // down
         b.load(MemSize::Byte, false, 8, 1, IN_PITCH as i64 + 1); // diag
-        // out[2r][2c] = cur
+                                                                 // out[2r][2c] = cur
         b.store(MemSize::Byte, 5, 3, 0);
         // out[2r][2c+1] = avg(cur, right)
         b.add(9, 5, 6);
@@ -123,7 +123,7 @@ impl H2v2 {
             b.mmx_op(PackedOp::Avg, ElemType::U8, 5, 0, 2); // vertical
             b.mmx_op(PackedOp::Avg, ElemType::U8, 6, 1, 3); // right/diag
             b.mmx_op(PackedOp::Avg, ElemType::U8, 6, 5, 6); // diagonal output
-            // Even output row: interleave cur with the horizontal averages.
+                                                            // Even output row: interleave cur with the horizontal averages.
             b.mmx_op(PackedOp::UnpackLow, ElemType::U8, 7, 0, 4);
             b.mmx_op(PackedOp::UnpackHigh, ElemType::U8, 8, 0, 4);
             b.mmx_store(7, 3, out_off, ElemType::U8);
@@ -173,7 +173,13 @@ impl H2v2 {
             b.mom_op(PackedOp::UnpackLow, ElemType::U8, 7, 0, MomOperand::Mat(4));
             b.mom_op(PackedOp::UnpackHigh, ElemType::U8, 8, 0, MomOperand::Mat(4));
             b.mom_op(PackedOp::UnpackLow, ElemType::U8, 9, 5, MomOperand::Mat(6));
-            b.mom_op(PackedOp::UnpackHigh, ElemType::U8, 10, 5, MomOperand::Mat(6));
+            b.mom_op(
+                PackedOp::UnpackHigh,
+                ElemType::U8,
+                10,
+                5,
+                MomOperand::Mat(6),
+            );
             b.mom_store(7, 7, 5, ElemType::U8); // even rows, left 8 outputs
             b.mom_store(8, 9, 5, ElemType::U8); // even rows, right 8 outputs
             b.mom_store(9, 8, 5, ElemType::U8); // odd rows, left 8 outputs

@@ -44,11 +44,7 @@ pub fn basis() -> [[i16; 8]; 8] {
     let mut c = [[0i16; 8]; 8];
     for (u, row) in c.iter_mut().enumerate() {
         for (x, v) in row.iter_mut().enumerate() {
-            let s = if u == 0 {
-                (1.0f64 / 8.0).sqrt()
-            } else {
-                0.5
-            };
+            let s = if u == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
             let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
             *v = (s * angle.cos() * f64::from(1 << BASIS_SHIFT)).round() as i16;
         }
@@ -88,8 +84,7 @@ fn transpose8(x: &[[i64; 8]; 8]) -> [[i64; 8]; 8] {
 
 /// Golden reference 2-D IDCT.
 pub fn reference(input: &[[i16; 8]; 8]) -> [[i16; 8]; 8] {
-    let x: [[i64; 8]; 8] =
-        std::array::from_fn(|r| std::array::from_fn(|c| input[r][c] as i64));
+    let x: [[i64; 8]; 8] = std::array::from_fn(|r| std::array::from_fn(|c| input[r][c] as i64));
     let p1 = colpass(&x, PASS1_SHIFT);
     let p2 = colpass(&transpose8(&p1), PASS2_SHIFT);
     let out = transpose8(&p2);
@@ -103,13 +98,13 @@ pub fn reference_f64(input: &[[i16; 8]; 8]) -> [[f64; 8]; 8] {
     for (x, row) in out.iter_mut().enumerate() {
         for (y, v) in row.iter_mut().enumerate() {
             let mut sum = 0.0;
-            for u in 0..8 {
-                for w in 0..8 {
+            for (u, in_row) in input.iter().enumerate() {
+                for (w, coef) in in_row.iter().enumerate() {
                     let su = if u == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
                     let sw = if w == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
                     sum += su
                         * sw
-                        * input[u][w] as f64
+                        * *coef as f64
                         * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos()
                         * ((2.0 * y as f64 + 1.0) * w as f64 * std::f64::consts::PI / 16.0).cos();
                 }
@@ -137,10 +132,7 @@ impl Idct {
         let mut b = AsmBuilder::new(IsaKind::Alpha);
         // Two passes; pass `p` reads from `src`, stores its result transposed
         // into `dst` (element [r][c] is stored at [c][r]).
-        for (src, dst, shift) in [
-            (SRC_A, SCRATCH, PASS1_SHIFT),
-            (SCRATCH, DST, PASS2_SHIFT),
-        ] {
+        for (src, dst, shift) in [(SRC_A, SCRATCH, PASS1_SHIFT), (SCRATCH, DST, PASS2_SHIFT)] {
             b.li(1, src as i64);
             b.li(2, dst as i64);
             b.li(3, COEF as i64);
@@ -194,9 +186,21 @@ impl Idct {
     /// MMX registers holding 4 halfwords each; results land in `out`.
     fn emit_mmx_transpose4(b: &mut AsmBuilder, rows: [u8; 4], out: [u8; 4], tmp: [u8; 4]) {
         b.mmx_op(PackedOp::UnpackLow, ElemType::I16, tmp[0], rows[0], rows[1]);
-        b.mmx_op(PackedOp::UnpackHigh, ElemType::I16, tmp[1], rows[0], rows[1]);
+        b.mmx_op(
+            PackedOp::UnpackHigh,
+            ElemType::I16,
+            tmp[1],
+            rows[0],
+            rows[1],
+        );
         b.mmx_op(PackedOp::UnpackLow, ElemType::I16, tmp[2], rows[2], rows[3]);
-        b.mmx_op(PackedOp::UnpackHigh, ElemType::I16, tmp[3], rows[2], rows[3]);
+        b.mmx_op(
+            PackedOp::UnpackHigh,
+            ElemType::I16,
+            tmp[3],
+            rows[2],
+            rows[3],
+        );
         b.mmx_op(PackedOp::UnpackLow, ElemType::I32, out[0], tmp[0], tmp[2]);
         b.mmx_op(PackedOp::UnpackHigh, ElemType::I32, out[1], tmp[0], tmp[2]);
         b.mmx_op(PackedOp::UnpackLow, ElemType::I32, out[2], tmp[1], tmp[3]);
@@ -228,22 +232,36 @@ impl Idct {
         Self::emit_mmx_transpose4(&mut b, [8, 10, 12, 14], [17, 19, 21, 23], [24, 25, 26, 27]); // Cᵀ
         Self::emit_mmx_transpose4(&mut b, [1, 3, 5, 7], [0, 2, 4, 6], [24, 25, 26, 27]); // Bᵀ
         Self::emit_mmx_transpose4(&mut b, [9, 11, 13, 15], [1, 3, 5, 7], [24, 25, 26, 27]); // Dᵀ
-        // Move Bᵀ/Dᵀ into the odd destinations and Aᵀ/Cᵀ back into the even
-        // ones so that v(2c), v(2c+1) = column c (low half, high half).
+                                                                                            // Move Bᵀ/Dᵀ into the odd destinations and Aᵀ/Cᵀ back into the even
+                                                                                            // ones so that v(2c), v(2c+1) = column c (low half, high half).
         for c in 0..4u8 {
             b.mmx_op(PackedOp::Or, ElemType::I16, 8 + 2 * c, 2 * c, 2 * c); // save Bᵀ row
-            b.mmx_op(PackedOp::Or, ElemType::I16, 9 + 2 * c, 1 + 2 * c, 1 + 2 * c); // save Dᵀ row
+            b.mmx_op(PackedOp::Or, ElemType::I16, 9 + 2 * c, 1 + 2 * c, 1 + 2 * c);
+            // save Dᵀ row
         }
         for c in 0..4u8 {
             b.mmx_op(PackedOp::Or, ElemType::I16, 2 * c, 16 + 2 * c, 16 + 2 * c); // Aᵀ
-            b.mmx_op(PackedOp::Or, ElemType::I16, 2 * c + 1, 17 + 2 * c, 17 + 2 * c); // Cᵀ
+            b.mmx_op(
+                PackedOp::Or,
+                ElemType::I16,
+                2 * c + 1,
+                17 + 2 * c,
+                17 + 2 * c,
+            ); // Cᵀ
         }
 
         // ---- pass 1: P1[r][c] = colpass(in); store row-major to SCRATCH ----
         // ---- pass 2: out[c][r] = colpass(P1ᵀ)[r][c]; store transposed to DST
         for (pass, shift) in [(0u8, PASS1_SHIFT), (1u8, PASS2_SHIFT)] {
             b.li(2, COEF_COLS as i64);
-            b.li(3, if pass == 0 { SCRATCH as i64 } else { DST as i64 });
+            b.li(
+                3,
+                if pass == 0 {
+                    SCRATCH as i64
+                } else {
+                    DST as i64
+                },
+            );
             if pass == 1 {
                 b.li(1, SCRATCH as i64);
             }
@@ -297,15 +315,7 @@ impl Idct {
     /// (`l`, `h`) into (`out_l`, `out_h`), using matrix temporaries `t` and
     /// `s` and MMX register 1, via four 4×4 `MomTranspose` blocks.
     #[allow(clippy::too_many_arguments)]
-    fn emit_mom_transpose8(
-        b: &mut AsmBuilder,
-        l: u8,
-        h: u8,
-        out_l: u8,
-        out_h: u8,
-        t: u8,
-        s: u8,
-    ) {
+    fn emit_mom_transpose8(b: &mut AsmBuilder, l: u8, h: u8, out_l: u8, out_h: u8, t: u8, s: u8) {
         // out_l rows 0-3 = Aᵀ (A = l rows 0-3).
         b.mom_transpose(out_l, l, ElemType::I16);
         // t rows 0-3 = Bᵀ (B = h rows 0-3); move into out_l rows 4-7.
@@ -402,7 +412,7 @@ impl KernelSpec for Idct {
         }
         // Column-major C (column r contiguous).
         for r in 0..8 {
-            let col: Vec<i16> = (0..8).map(|k| c[k][r]).collect();
+            let col: Vec<i16> = c.iter().map(|row| row[r]).collect();
             mem.load_i16_slice(COEF_COLS + 16 * r as u64, &col).unwrap();
         }
         // MOM splat matrices: W_r row k = splat4(C[k][r]).
@@ -426,11 +436,11 @@ impl KernelSpec for Idct {
     fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
         let block = dct_block(seed);
         let expect = reference(&block);
-        for r in 0..8 {
+        for (r, expect_row) in expect.iter().enumerate() {
             let got = mem.dump_i16(DST + (PITCH as u64) * r as u64, 8).unwrap();
-            for c in 0..8 {
-                if got[c] != expect[r][c] {
-                    return Err(mismatch("idct output", 8 * r + c, expect[r][c], got[c]));
+            for (c, (g, e)) in got.iter().zip(expect_row).enumerate() {
+                if g != e {
+                    return Err(mismatch("idct output", 8 * r + c, *e, *g));
                 }
             }
         }

@@ -43,8 +43,7 @@ mod tests {
             for isa in IsaKind::ALL {
                 let p = spec(id).program(isa);
                 assert_eq!(p.isa(), isa);
-                p.validate()
-                    .unwrap_or_else(|e| panic!("{id}/{isa}: {e}"));
+                p.validate().unwrap_or_else(|e| panic!("{id}/{isa}: {e}"));
                 assert!(!p.is_empty(), "{id}/{isa}: empty program");
             }
         }
@@ -56,9 +55,18 @@ mod tests {
     #[test]
     fn dynamic_instruction_counts_shrink_towards_mom() {
         for id in KernelId::ALL {
-            let scalar = crate::run_kernel(id, IsaKind::Alpha, 11, 1).trace.len();
-            let mmx = crate::run_kernel(id, IsaKind::Mmx, 11, 1).trace.len();
-            let mom = crate::run_kernel(id, IsaKind::Mom, 11, 1).trace.len();
+            let scalar = crate::run_kernel(id, IsaKind::Alpha, 11, 1)
+                .unwrap()
+                .trace
+                .len();
+            let mmx = crate::run_kernel(id, IsaKind::Mmx, 11, 1)
+                .unwrap()
+                .trace
+                .len();
+            let mom = crate::run_kernel(id, IsaKind::Mom, 11, 1)
+                .unwrap()
+                .trace
+                .len();
             assert!(
                 mmx < scalar,
                 "{id}: MMX dynamic length {mmx} should be below scalar {scalar}"

@@ -120,7 +120,7 @@ impl Rgb2Ycc {
         b.mmx_load(0, 1, 0, ElemType::U8); // R x8
         b.mmx_load(1, 2, 0, ElemType::U8); // G x8
         b.mmx_load(2, 3, 0, ElemType::U8); // B x8
-        // Widen to 16 bits.
+                                           // Widen to 16 bits.
         b.mmx_op(PackedOp::WidenLow, ElemType::U8, 3, 0, 0);
         b.mmx_op(PackedOp::WidenHigh, ElemType::U8, 4, 0, 0);
         b.mmx_op(PackedOp::WidenLow, ElemType::U8, 5, 1, 1);
@@ -146,7 +146,13 @@ impl Rgb2Ycc {
             {
                 b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 18, rg, rg_coef);
                 b.mmx_op(PackedOp::MaddPairs, ElemType::I16, 19, bb, bb_coef);
-                b.mmx_op(PackedOp::Add(Overflow::Wrap), ElemType::I32, 26 + quarter as u8, 18, 19);
+                b.mmx_op(
+                    PackedOp::Add(Overflow::Wrap),
+                    ElemType::I32,
+                    26 + quarter as u8,
+                    18,
+                    19,
+                );
                 b.mmx_op(
                     PackedOp::SraImm(8),
                     ElemType::I32,
@@ -284,7 +290,8 @@ impl KernelSpec for Rgb2Ycc {
         // Fourth data row for the MOM variant: the constant 2 in every lane.
         // Its weight below is bias/2, so the accumulated term is the full
         // 32768 bias without needing a weight that exceeds the i16 range.
-        mem.load_u8_slice(SRC_A + 3 * PLANE, &[2u8; PIXELS]).unwrap();
+        mem.load_u8_slice(SRC_A + 3 * PLANE, &[2u8; PIXELS])
+            .unwrap();
         // MOM coefficient matrices: per component, four rows of splatted
         // halfword weights (R, G, B, bias/2).
         for (comp, (w, bias)) in WEIGHTS.iter().enumerate() {
@@ -315,12 +322,7 @@ impl KernelSpec for Rgb2Ycc {
             let got = mem.dump_u8(DST + comp as u64 * PLANE, PIXELS).unwrap();
             for (i, (e, g)) in plane.iter().zip(got.iter()).enumerate() {
                 if e != g {
-                    return Err(mismatch(
-                        &format!("rgb2ycc component {comp}"),
-                        i,
-                        *e,
-                        *g,
-                    ));
+                    return Err(mismatch(&format!("rgb2ycc component {comp}"), i, *e, *g));
                 }
             }
         }

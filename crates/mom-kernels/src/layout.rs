@@ -43,6 +43,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn frame_pitch_holds_a_macroblock_row() {
         assert!(FRAME_PITCH >= 16);
         assert_eq!(FRAME_PITCH % 8, 0, "pitch must keep rows 8-byte aligned");

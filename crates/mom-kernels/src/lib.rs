@@ -27,11 +27,13 @@
 //! * a **synthetic workload generator** producing deterministic,
 //!   Mediabench-shaped inputs (pixel blocks, colour planes, PCM frames),
 //! * a [`harness`] that loads the workload into a functional [`Machine`],
-//!   runs the program, verifies the output against the reference and
-//!   returns the dynamic [`Trace`] for the timing simulator.
+//!   runs the program, verifies every iteration's output against the
+//!   reference, and **streams** the dynamic instruction trace into any
+//!   [`TraceSink`] (timing simulator, statistics fold, fan-out) so that
+//!   memory stays bounded regardless of the iteration count.
 //!
 //! [`Machine`]: mom_arch::Machine
-//! [`Trace`]: mom_arch::Trace
+//! [`TraceSink`]: mom_arch::TraceSink
 
 #![warn(missing_docs)]
 
@@ -40,7 +42,9 @@ pub mod kernels;
 pub mod layout;
 pub mod workload;
 
-pub use harness::{run_kernel, verify_kernel, KernelRun, KernelSpec};
+pub use harness::{
+    run_kernel, run_kernel_with_sink, verify_kernel, KernelError, KernelRun, KernelSpec,
+};
 
 use mom_isa::IsaKind;
 

@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(pixel_block(7, 16, 16, 32).data, pixel_block(7, 16, 16, 32).data);
+        assert_eq!(
+            pixel_block(7, 16, 16, 32).data,
+            pixel_block(7, 16, 16, 32).data
+        );
         assert_eq!(dct_block(7), dct_block(7));
         assert_eq!(pcm_samples(7, 100), pcm_samples(7, 100));
         assert_eq!(rgb_planes(7, 64), rgb_planes(7, 64));
@@ -153,7 +156,10 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(pixel_block(1, 16, 16, 16).data, pixel_block(2, 16, 16, 16).data);
+        assert_ne!(
+            pixel_block(1, 16, 16, 16).data,
+            pixel_block(2, 16, 16, 16).data
+        );
         assert_ne!(pcm_samples(1, 64), pcm_samples(2, 64));
     }
 

@@ -30,10 +30,46 @@ proptest! {
         // which are branch-free conditional moves).
         for kernel in KernelId::ALL {
             for isa in IsaKind::ALL {
-                let a = mom_kernels::run_kernel(kernel, isa, seed_a, 1).trace.len();
-                let b = mom_kernels::run_kernel(kernel, isa, seed_b, 1).trace.len();
+                let a = mom_kernels::run_kernel(kernel, isa, seed_a, 1).unwrap().trace.len();
+                let b = mom_kernels::run_kernel(kernel, isa, seed_b, 1).unwrap().trace.len();
                 prop_assert_eq!(a, b, "{}/{}: {} vs {}", kernel, isa, a, b);
             }
+        }
+    }
+}
+
+/// The steady-state replay in `mom-bench` (and `KernelRun::replay_into`)
+/// rests on every iteration of a kernel being the *identical* instruction
+/// stream.  Guard that assumption for every kernel and ISA: two back-to-back
+/// invocations on one machine must retire entry-for-entry equal traces.
+#[test]
+fn consecutive_iterations_retire_identical_streams() {
+    use mom_arch::{Machine, Memory, Trace};
+
+    for kernel in KernelId::ALL {
+        for isa in IsaKind::ALL {
+            let spec = kernel.spec();
+            let program = spec.program(isa);
+            let mut machine = Machine::new(Memory::new(mom_kernels::layout::MEMORY_SIZE));
+            spec.prepare(machine.memory_mut(), 17);
+            let mut first = Trace::new();
+            machine
+                .run_with_sink(&program, &mut first)
+                .unwrap_or_else(|e| panic!("{kernel}/{isa}: {e}"));
+            let mut second = Trace::new();
+            machine
+                .run_with_sink(&program, &mut second)
+                .unwrap_or_else(|e| panic!("{kernel}/{isa}: {e}"));
+            assert!(
+                first.entries() == second.entries(),
+                "{kernel}/{isa}: iteration 2 diverges from iteration 1 at entry {}",
+                first
+                    .entries()
+                    .iter()
+                    .zip(second.entries())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(first.len().min(second.len()))
+            );
         }
     }
 }

@@ -20,8 +20,11 @@ impl MemoryModel {
     pub const MAIN_MEMORY: MemoryModel = MemoryModel { latency: 50 };
 
     /// The three latency points of the paper's Figure 5.
-    pub const FIGURE5_POINTS: [MemoryModel; 3] =
-        [MemoryModel::PERFECT, MemoryModel::L2, MemoryModel::MAIN_MEMORY];
+    pub const FIGURE5_POINTS: [MemoryModel; 3] = [
+        MemoryModel::PERFECT,
+        MemoryModel::L2,
+        MemoryModel::MAIN_MEMORY,
+    ];
 }
 
 /// Number of units and execution latency for one functional-unit class.

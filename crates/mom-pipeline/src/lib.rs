@@ -4,15 +4,18 @@
 //! simulator "with capability of executing vector ISAs" whose basic
 //! architecture "closely resembles that of the MIPS R10K, with the addition
 //! of a MMX/MOM register file and dedicated functional units".  This crate
-//! rebuilds that timing model:
+//! rebuilds that timing model as a **streaming consumer** of the dynamic
+//! instruction stream:
 //!
-//! * trace-driven: it replays the dynamic instruction [`Trace`] produced by
-//!   the functional simulator in `mom-arch` (standing in for the paper's
-//!   ATOM-instrumented binaries),
-//! * a configurable fetch/issue/commit width (the paper's "way 1/2/4/8"
-//!   machines), a reorder buffer, register renaming through last-writer
-//!   tracking over the three register classes (integer, floating point,
-//!   multimedia), and per-class functional units ([`config`]),
+//! * incremental: [`PipelineSim`] consumes one retired [`TraceEntry`] at a
+//!   time (`feed`) and reports the final [`SimResult`] on `finish` — and it
+//!   implements [`mom_arch::TraceSink`], so functional and timing simulation
+//!   fuse into a single bounded-memory pass over the program,
+//! * fan-out: [`PipelineFanout`] drives several machine configurations (the
+//!   paper's "way 1/2/4/8" sweep) from one functional run,
+//! * a configurable fetch/issue/commit width, a reorder buffer, register
+//!   renaming through last-writer tracking, and per-class functional units
+//!   ([`config`]),
 //! * vector/matrix instructions occupy their functional unit for
 //!   `ceil(VL / lanes)` cycles and move `lanes` 64-bit words per cycle
 //!   through the vector memory port, exactly the `Vl/N` cost model of the
@@ -20,17 +23,17 @@
 //! * an idealised memory system: fixed latency (1 / 12 / 50 cycles in the
 //!   paper's experiments), unlimited bandwidth behind the configured ports,
 //! * perfect branch prediction (the paper simulates kernels whose loop
-//!   branches are strongly biased; the trace is already resolved).
+//!   branches are strongly biased; the stream is already resolved).
 //!
 //! The output is a [`SimResult`] with the cycle count and the IPC / OPI /
 //! operation statistics the paper's Tables 1–9 decompose speed-ups into.
 //!
-//! ## Example
+//! ## Example: one functional run, four machine widths
 //!
 //! ```
 //! use mom_arch::{Machine, Memory};
 //! use mom_isa::prelude::*;
-//! use mom_pipeline::{Pipeline, PipelineConfig};
+//! use mom_pipeline::{PipelineConfig, PipelineFanout};
 //!
 //! // A tiny MOM program: load a 16x8 byte matrix and add it to itself.
 //! let mut b = AsmBuilder::new(IsaKind::Mom);
@@ -42,13 +45,35 @@
 //! b.mom_store(1, 1, 2, ElemType::U8);
 //! let program = b.finish();
 //!
+//! // Stream the functional run straight into four timing consumers: the
+//! // trace is never materialised, and the machine executes only once.
 //! let mut machine = Machine::new(Memory::new(0x1000));
-//! let trace = machine.run(&program).unwrap();
+//! let mut fanout = PipelineFanout::new([1, 2, 4, 8].map(PipelineConfig::way));
+//! machine.run_with_sink(&program, &mut fanout).unwrap();
+//! let results = fanout.finish();
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.cycles > 0 && r.opi() > 1.0));
+//! // Wider machines never run slower on the same stream.
+//! assert!(results[3].cycles <= results[0].cycles);
+//! ```
 //!
-//! let config = PipelineConfig::way(4);
-//! let result = Pipeline::new(config).simulate(&trace);
+//! For small, already-materialised traces (tests, quick experiments) the
+//! batch wrapper remains:
+//!
+//! ```
+//! use mom_arch::{Machine, Memory};
+//! use mom_isa::prelude::*;
+//! use mom_pipeline::{Pipeline, PipelineConfig};
+//!
+//! let mut b = AsmBuilder::new(IsaKind::Mom);
+//! b.li(1, 0x100);
+//! b.li(2, 8);
+//! b.set_vl_imm(16);
+//! b.mom_load(0, 1, 2, ElemType::U8);
+//! let program = b.finish();
+//! let trace = Machine::new(Memory::new(0x1000)).run(&program).unwrap();
+//! let result = Pipeline::new(PipelineConfig::way(4)).simulate(&trace);
 //! assert!(result.cycles > 0);
-//! assert!(result.opi() > 1.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -58,8 +83,8 @@ pub mod ooo;
 pub mod stats;
 
 pub use config::{FuPool, MemoryModel, PipelineConfig};
-pub use ooo::Pipeline;
+pub use ooo::{Pipeline, PipelineFanout, PipelineSim};
 pub use stats::SimResult;
 
 // Re-export the trace types most callers need alongside the pipeline.
-pub use mom_arch::{Trace, TraceEntry};
+pub use mom_arch::{Trace, TraceEntry, TraceSink};

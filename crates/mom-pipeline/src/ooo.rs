@@ -1,27 +1,37 @@
 //! The out-of-order execution engine.
 //!
-//! A trace-driven, cycle-by-cycle model of the paper's Jinks simulator:
-//! instructions are dispatched in order into a reorder buffer (renaming is
-//! modelled by last-writer tracking, i.e. unlimited physical registers —
-//! the paper notes register pressure is not the bottleneck and that MOM in
-//! fact *reduces* the number of physical registers needed), issue
-//! out-of-order when their operands are ready and a functional unit of the
-//! right class is free, execute for their latency (plus a multi-cycle
-//! occupancy for matrix instructions), and commit in order.
+//! A cycle-by-cycle model of the paper's Jinks simulator: instructions are
+//! dispatched in order into a reorder buffer (renaming is modelled by
+//! last-writer tracking, i.e. unlimited physical registers — the paper notes
+//! register pressure is not the bottleneck and that MOM in fact *reduces*
+//! the number of physical registers needed), issue out-of-order when their
+//! operands are ready and a functional unit of the right class is free,
+//! execute for their latency (plus a multi-cycle occupancy for matrix
+//! instructions), and commit in order.
+//!
+//! The engine is **incremental**: [`PipelineSim`] consumes the dynamic
+//! instruction stream one [`TraceEntry`] at a time ([`PipelineSim::feed`],
+//! or as a [`TraceSink`] attached directly to the functional simulator) and
+//! produces the final [`SimResult`] on [`PipelineSim::finish`].  A cycle is
+//! only simulated once enough of the stream has arrived to determine that
+//! cycle's dispatch group, so the incremental result is identical to
+//! replaying a materialised trace — which is exactly what the batch
+//! convenience wrapper [`Pipeline::simulate`] does.
 
 use crate::config::PipelineConfig;
 use crate::stats::SimResult;
-use mom_arch::{Trace, TraceEntry};
+use mom_arch::{Trace, TraceEntry, TraceSink};
 use mom_isa::FuClass;
 use std::collections::VecDeque;
 
 /// Number of distinct register ids (see `mom_isa::Reg::id`).
 const REG_ID_SPACE: usize = 256;
 
-/// One instruction in flight (a reorder-buffer entry).
+/// One instruction in flight (a reorder-buffer entry), or renamed and
+/// waiting to be dispatched.
 #[derive(Debug, Clone, Copy)]
 struct WindowEntry {
-    /// Dynamic sequence number (index in the trace).
+    /// Dynamic sequence number (index in the stream).
     seq: u64,
     /// Functional-unit class.
     fu: FuClass,
@@ -47,22 +57,60 @@ struct WindowEntry {
     complete_cycle: u64,
 }
 
-/// The out-of-order timing simulator.
+/// The incremental out-of-order timing consumer.
+///
+/// Feed it retired instructions ([`PipelineSim::feed`]) as they stream out
+/// of the functional simulator, then call [`PipelineSim::finish`] for the
+/// [`SimResult`].  It also implements [`TraceSink`], so it can be attached
+/// directly to `Machine::run_with_sink` — fusing functional and timing
+/// simulation into a single bounded-memory pass.
 #[derive(Debug, Clone)]
-pub struct Pipeline {
+pub struct PipelineSim {
     config: PipelineConfig,
+    /// Renamed instructions not yet dispatched into the window.  Bounded:
+    /// [`PipelineSim::feed`] drains it down to below one fetch group.
+    pending: VecDeque<WindowEntry>,
+    /// The reorder buffer.
+    window: VecDeque<WindowEntry>,
+    /// Per-unit busy-until cycle, indexed by [`FuClass::ALL`] position.
+    fu_busy: Vec<Vec<u64>>,
+    /// Last writer (sequence number) of each architectural register.
+    last_writer: [Option<u64>; REG_ID_SPACE],
+    /// Sequence number assigned to the next fed entry.
+    next_seq: u64,
+    /// Sequence number of the next entry to dispatch (= dispatched count).
+    next_dispatch: u64,
+    /// Committed instruction count.
+    committed: u64,
+    /// Current cycle.
+    cycle: u64,
+    /// Statistics accumulated at commit.
+    result: SimResult,
 }
 
-impl Pipeline {
-    /// Creates a pipeline with the given configuration.
+impl PipelineSim {
+    /// Creates an incremental consumer for the given machine configuration.
     ///
     /// # Panics
     /// Panics if the configuration fails validation.
     pub fn new(config: PipelineConfig) -> Self {
-        config
-            .validate()
-            .expect("invalid pipeline configuration");
-        Pipeline { config }
+        config.validate().expect("invalid pipeline configuration");
+        let fu_busy = FuClass::ALL
+            .iter()
+            .map(|c| vec![0u64; config.pool(*c).count])
+            .collect();
+        PipelineSim {
+            pending: VecDeque::new(),
+            window: VecDeque::with_capacity(config.rob_size),
+            fu_busy,
+            last_writer: [None; REG_ID_SPACE],
+            next_seq: 0,
+            next_dispatch: 0,
+            committed: 0,
+            cycle: 0,
+            result: SimResult::default(),
+            config,
+        }
     }
 
     /// The configuration in use.
@@ -82,168 +130,265 @@ impl Pipeline {
         }
     }
 
-    /// Runs the timing simulation over a dynamic trace.
-    pub fn simulate(&self, trace: &Trace) -> SimResult {
+    /// Consumes the next retired instruction of the stream.
+    ///
+    /// Renaming happens immediately (it only depends on stream order); the
+    /// cycle-by-cycle simulation advances as soon as a full fetch group is
+    /// buffered, so the consumer holds at most `width - 1` undispatched
+    /// instructions plus the reorder buffer — bounded memory regardless of
+    /// stream length.
+    pub fn feed(&mut self, entry: TraceEntry) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let instr = &entry.instr;
+        let mut deps = [0u64; 4];
+        let mut dep_count = 0u8;
+        for reg in instr.sources().iter() {
+            if reg.is_zero() {
+                continue;
+            }
+            if let Some(w) = self.last_writer[reg.id()] {
+                deps[dep_count as usize] = w;
+                dep_count += 1;
+            }
+        }
+        for reg in instr.dests().iter() {
+            if !reg.is_zero() {
+                self.last_writer[reg.id()] = Some(seq);
+            }
+        }
+        self.pending.push_back(WindowEntry {
+            seq,
+            fu: instr.fu_class(),
+            occupancy: self.occupancy(&entry),
+            latency: self.config.latency(instr.fu_class()),
+            ops: entry.ops(),
+            is_media: instr.is_media(),
+            is_memory: instr.is_memory(),
+            deps,
+            dep_count,
+            issued: false,
+            complete_cycle: u64::MAX,
+        });
+        // A cycle's dispatch group is fully determined once `width` renamed
+        // instructions are buffered (dispatch consumes at most `width` per
+        // cycle), so simulating now is indistinguishable from batch replay.
+        while self.pending.len() >= self.config.width {
+            self.step_cycle();
+        }
+    }
+
+    /// Runs the simulation to completion and returns the result.
+    pub fn finish(mut self) -> SimResult {
+        while self.committed < self.next_seq {
+            self.step_cycle();
+        }
+        self.result.cycles = self.cycle;
+        self.result
+    }
+
+    /// Simulates one cycle: commit, issue, dispatch — the same stage order
+    /// as the paper's trace-driven Jinks runs.
+    fn step_cycle(&mut self) {
         let cfg = &self.config;
-        let entries = trace.entries();
-        let mut result = SimResult::default();
-        if entries.is_empty() {
-            return result;
+
+        // ----------------------------------------------------------
+        // Commit: in order, up to `width` completed instructions.
+        // ----------------------------------------------------------
+        let mut committed_this_cycle = 0;
+        while committed_this_cycle < cfg.width {
+            match self.window.front() {
+                Some(e) if e.issued && e.complete_cycle <= self.cycle => {
+                    self.result.instructions += 1;
+                    self.result.operations += e.ops;
+                    if e.is_media {
+                        self.result.media_instructions += 1;
+                    }
+                    if e.is_memory {
+                        self.result.memory_instructions += 1;
+                    }
+                    self.window.pop_front();
+                    self.committed += 1;
+                    committed_this_cycle += 1;
+                }
+                _ => break,
+            }
         }
 
-        // Per-unit busy-until cycle, per class.
-        let mut fu_busy: Vec<Vec<u64>> = FuClass::ALL
-            .iter()
-            .map(|c| vec![0u64; cfg.pool(*c).count])
-            .collect();
+        // ----------------------------------------------------------
+        // Issue: oldest-first, up to `width` ready instructions whose
+        // functional unit is free.
+        // ----------------------------------------------------------
+        let front_seq = self
+            .window
+            .front()
+            .map(|e| e.seq)
+            .unwrap_or(self.next_dispatch);
         let class_index = |c: FuClass| FuClass::ALL.iter().position(|x| *x == c).unwrap();
-
-        // Last writer (sequence number) of each architectural register.
-        let mut last_writer: [Option<u64>; REG_ID_SPACE] = [None; REG_ID_SPACE];
-
-        let mut window: VecDeque<WindowEntry> = VecDeque::with_capacity(cfg.rob_size);
-        let mut next_dispatch: u64 = 0; // next trace index to dispatch
-        let mut committed: u64 = 0;
-        let total = entries.len() as u64;
-        let mut cycle: u64 = 0;
-
-        while committed < total {
-            // ----------------------------------------------------------
-            // Commit: in order, up to `width` completed instructions.
-            // ----------------------------------------------------------
-            let mut committed_this_cycle = 0;
-            while committed_this_cycle < cfg.width {
-                match window.front() {
-                    Some(e) if e.issued && e.complete_cycle <= cycle => {
-                        result.instructions += 1;
-                        result.operations += e.ops;
-                        if e.is_media {
-                            result.media_instructions += 1;
-                        }
-                        if e.is_memory {
-                            result.memory_instructions += 1;
-                        }
-                        window.pop_front();
-                        committed += 1;
-                        committed_this_cycle += 1;
-                    }
-                    _ => break,
-                }
+        let mut issued_this_cycle = 0;
+        for i in 0..self.window.len() {
+            if issued_this_cycle >= cfg.width {
+                break;
             }
-
-            // ----------------------------------------------------------
-            // Issue: oldest-first, up to `width` ready instructions whose
-            // functional unit is free.
-            // ----------------------------------------------------------
-            let front_seq = window.front().map(|e| e.seq).unwrap_or(next_dispatch);
-            let mut issued_this_cycle = 0;
-            if !window.is_empty() {
-                // Collect readiness decisions first to avoid borrowing issues.
-                for i in 0..window.len() {
-                    if issued_this_cycle >= cfg.width {
+            if self.window[i].issued {
+                continue;
+            }
+            // Operand readiness: every producer must have completed.
+            let mut ready = true;
+            for d in 0..self.window[i].dep_count as usize {
+                let dep_seq = self.window[i].deps[d];
+                if dep_seq >= front_seq {
+                    let dep = &self.window[(dep_seq - front_seq) as usize];
+                    if !dep.issued || dep.complete_cycle > self.cycle {
+                        ready = false;
                         break;
                     }
-                    if window[i].issued {
-                        continue;
-                    }
-                    // Operand readiness: every producer must have completed.
-                    let mut ready = true;
-                    for d in 0..window[i].dep_count as usize {
-                        let dep_seq = window[i].deps[d];
-                        if dep_seq >= front_seq {
-                            let idx = (dep_seq - front_seq) as usize;
-                            let dep = &window[idx];
-                            if !dep.issued || dep.complete_cycle > cycle {
-                                ready = false;
-                                break;
-                            }
-                        }
-                        // Producers older than the window head have committed
-                        // and are therefore complete.
-                    }
-                    if !ready {
-                        continue;
-                    }
-                    // Structural hazard: find a free unit of the class.
-                    let fu = window[i].fu;
-                    let pool = cfg.pool(fu);
-                    let ci = class_index(fu);
-                    let Some(unit) = fu_busy[ci].iter().position(|&b| b <= cycle) else {
-                        continue;
-                    };
-                    // Issue.
-                    let occupancy = window[i].occupancy;
-                    let latency = window[i].latency;
-                    let busy_for = if pool.pipelined {
-                        occupancy
-                    } else {
-                        latency.max(occupancy)
-                    };
-                    fu_busy[ci][unit] = cycle + busy_for;
-                    *result.fu_busy_cycles.entry(fu).or_insert(0) += busy_for;
-                    let e = &mut window[i];
-                    e.issued = true;
-                    e.complete_cycle = cycle + latency + occupancy - 1;
-                    issued_this_cycle += 1;
                 }
+                // Producers older than the window head have committed and
+                // are therefore complete.
             }
-
-            // ----------------------------------------------------------
-            // Dispatch (fetch/decode/rename): in order, up to `width`
-            // instructions into the reorder buffer.
-            // ----------------------------------------------------------
-            let mut dispatched_this_cycle = 0;
-            let mut stalled = false;
-            while dispatched_this_cycle < cfg.width && next_dispatch < total {
-                if window.len() >= cfg.rob_size {
-                    stalled = true;
-                    break;
-                }
-                let te = &entries[next_dispatch as usize];
-                let instr = &te.instr;
-                let mut deps = [0u64; 4];
-                let mut dep_count = 0u8;
-                for reg in instr.sources().iter() {
-                    if reg.is_zero() {
-                        continue;
-                    }
-                    if let Some(w) = last_writer[reg.id()] {
-                        deps[dep_count as usize] = w;
-                        dep_count += 1;
-                    }
-                }
-                for reg in instr.dests().iter() {
-                    if !reg.is_zero() {
-                        last_writer[reg.id()] = Some(next_dispatch);
-                    }
-                }
-                let fu = instr.fu_class();
-                window.push_back(WindowEntry {
-                    seq: next_dispatch,
-                    fu,
-                    occupancy: self.occupancy(te),
-                    latency: cfg.latency(fu),
-                    ops: te.ops(),
-                    is_media: instr.is_media(),
-                    is_memory: instr.is_memory(),
-                    deps,
-                    dep_count,
-                    issued: false,
-                    complete_cycle: u64::MAX,
-                });
-                next_dispatch += 1;
-                dispatched_this_cycle += 1;
+            if !ready {
+                continue;
             }
-            if stalled {
-                result.dispatch_stall_cycles += 1;
-            }
-            result.max_rob_occupancy = result.max_rob_occupancy.max(window.len());
-
-            cycle += 1;
+            // Structural hazard: find a free unit of the class.
+            let fu = self.window[i].fu;
+            let pool = cfg.pool(fu);
+            let ci = class_index(fu);
+            let Some(unit) = self.fu_busy[ci].iter().position(|&b| b <= self.cycle) else {
+                continue;
+            };
+            // Issue.
+            let occupancy = self.window[i].occupancy;
+            let latency = self.window[i].latency;
+            let busy_for = if pool.pipelined {
+                occupancy
+            } else {
+                latency.max(occupancy)
+            };
+            self.fu_busy[ci][unit] = self.cycle + busy_for;
+            *self.result.fu_busy_cycles.entry(fu).or_insert(0) += busy_for;
+            let e = &mut self.window[i];
+            e.issued = true;
+            e.complete_cycle = self.cycle + latency + occupancy - 1;
+            issued_this_cycle += 1;
         }
 
-        result.cycles = cycle;
-        result
+        // ----------------------------------------------------------
+        // Dispatch: in order, up to `width` renamed instructions into
+        // the reorder buffer.
+        // ----------------------------------------------------------
+        let mut dispatched_this_cycle = 0;
+        let mut stalled = false;
+        while dispatched_this_cycle < cfg.width && !self.pending.is_empty() {
+            if self.window.len() >= cfg.rob_size {
+                stalled = true;
+                break;
+            }
+            let e = self.pending.pop_front().expect("pending is non-empty");
+            self.window.push_back(e);
+            self.next_dispatch += 1;
+            dispatched_this_cycle += 1;
+        }
+        if stalled {
+            self.result.dispatch_stall_cycles += 1;
+        }
+        self.result.max_rob_occupancy = self.result.max_rob_occupancy.max(self.window.len());
+
+        self.cycle += 1;
+    }
+}
+
+impl TraceSink for PipelineSim {
+    fn retire(&mut self, entry: TraceEntry) {
+        self.feed(entry);
+    }
+}
+
+/// A fan-out consumer: one functional run drives several machine
+/// configurations at once (the paper's way 1/2/4/8 sweep from a single
+/// instruction stream).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineFanout {
+    sims: Vec<PipelineSim>,
+}
+
+impl PipelineFanout {
+    /// Creates a fan-out over the given configurations, in order.
+    pub fn new<I: IntoIterator<Item = PipelineConfig>>(configs: I) -> Self {
+        PipelineFanout {
+            sims: configs.into_iter().map(PipelineSim::new).collect(),
+        }
+    }
+
+    /// Adds one more consumer.
+    pub fn push(&mut self, config: PipelineConfig) {
+        self.sims.push(PipelineSim::new(config));
+    }
+
+    /// Number of consumers.
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Whether the fan-out has no consumers.
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+
+    /// Feeds one entry to every consumer.
+    pub fn feed(&mut self, entry: TraceEntry) {
+        for sim in &mut self.sims {
+            sim.feed(entry);
+        }
+    }
+
+    /// Finishes every consumer, returning one [`SimResult`] per
+    /// configuration, in construction order.
+    pub fn finish(self) -> Vec<SimResult> {
+        self.sims.into_iter().map(PipelineSim::finish).collect()
+    }
+}
+
+impl TraceSink for PipelineFanout {
+    fn retire(&mut self, entry: TraceEntry) {
+        self.feed(entry);
+    }
+}
+
+/// The out-of-order timing simulator (batch interface).
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(config: PipelineConfig) -> Self {
+        config.validate().expect("invalid pipeline configuration");
+        Pipeline { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Starts an incremental consumer with this pipeline's configuration.
+    pub fn streaming(&self) -> PipelineSim {
+        PipelineSim::new(self.config.clone())
+    }
+
+    /// Replays a materialised dynamic trace — a convenience wrapper that
+    /// feeds the whole trace through the incremental consumer.
+    pub fn simulate(&self, trace: &Trace) -> SimResult {
+        let mut sim = self.streaming();
+        for e in trace.iter() {
+            sim.feed(*e);
+        }
+        sim.finish()
     }
 }
 
@@ -301,6 +446,82 @@ mod tests {
     }
 
     #[test]
+    fn empty_stream_finishes_at_cycle_zero() {
+        let r = PipelineSim::new(PipelineConfig::way(4)).finish();
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.instructions, 0);
+    }
+
+    #[test]
+    fn incremental_feed_matches_batch_simulate() {
+        // A mixed trace with dependences, memory and matrix instructions.
+        let mut entries = Vec::new();
+        for i in 0..100u8 {
+            entries.push(entry(add(i % 8, (i + 1) % 8, (i + 2) % 8), 1));
+            if i % 3 == 0 {
+                entries.push(entry(load(i % 8, 30), 1));
+            }
+            if i % 7 == 0 {
+                entries.push(entry(
+                    Instruction::MomOp {
+                        op: PackedOp::Add(Overflow::Wrap),
+                        ty: ElemType::U8,
+                        md: 0,
+                        ma: 1,
+                        mb: MomOperand::Mat(2),
+                    },
+                    (i % 16 + 1) as u16,
+                ));
+            }
+        }
+        for width in [1, 2, 4, 8] {
+            let trace: Trace = entries.iter().copied().collect();
+            let batch = Pipeline::new(PipelineConfig::way(width)).simulate(&trace);
+            let mut streaming = PipelineSim::new(PipelineConfig::way(width));
+            for e in &entries {
+                streaming.feed(*e);
+            }
+            let streamed = streaming.finish();
+            assert_eq!(batch.cycles, streamed.cycles, "width {width}");
+            assert_eq!(batch.instructions, streamed.instructions);
+            assert_eq!(batch.operations, streamed.operations);
+            assert_eq!(batch.max_rob_occupancy, streamed.max_rob_occupancy);
+            assert_eq!(batch.dispatch_stall_cycles, streamed.dispatch_stall_cycles);
+            assert_eq!(batch.fu_busy_cycles, streamed.fu_busy_cycles);
+        }
+    }
+
+    #[test]
+    fn pending_buffer_stays_below_one_fetch_group() {
+        let mut sim = PipelineSim::new(PipelineConfig::way(4));
+        for i in 0..1000u32 {
+            sim.feed(entry(add((i % 16) as u8, 20, 21), 1));
+            assert!(sim.pending.len() < 4, "pending must stay bounded");
+            assert!(sim.window.len() <= sim.config.rob_size);
+        }
+        let r = sim.finish();
+        assert_eq!(r.instructions, 1000);
+    }
+
+    #[test]
+    fn fanout_matches_individual_runs() {
+        let entries: Vec<TraceEntry> = (0..64)
+            .map(|i| entry(add((i % 8) as u8, 20, 21), 1))
+            .collect();
+        let mut fanout = PipelineFanout::new([1, 2, 4, 8].map(PipelineConfig::way));
+        for e in &entries {
+            fanout.feed(*e);
+        }
+        let results = fanout.finish();
+        let trace: Trace = entries.into_iter().collect();
+        for (width, got) in [1usize, 2, 4, 8].into_iter().zip(&results) {
+            let alone = Pipeline::new(PipelineConfig::way(width)).simulate(&trace);
+            assert_eq!(alone.cycles, got.cycles, "width {width}");
+            assert_eq!(alone.instructions, got.instructions, "width {width}");
+        }
+    }
+
+    #[test]
     fn dependent_chain_runs_at_one_per_cycle() {
         // r1 = r1 + r1, 64 times: a serial chain.
         let n = 64;
@@ -321,9 +542,12 @@ mod tests {
             .collect();
         let narrow = sim(1, entries.clone());
         let wide = sim(8, entries);
-        assert!(narrow.cycles > 2 * wide.cycles,
+        assert!(
+            narrow.cycles > 2 * wide.cycles,
             "8-way ({}) should be much faster than 1-way ({})",
-            wide.cycles, narrow.cycles);
+            wide.cycles,
+            narrow.cycles
+        );
         assert!(wide.ipc() > 3.0, "8-way IPC too low: {}", wide.ipc());
         assert!(narrow.ipc() <= 1.01);
     }
@@ -335,9 +559,12 @@ mod tests {
         let entries = vec![entry(load(1, 1), 1); n];
         let fast = sim_mem(4, 1, entries.clone());
         let slow = sim_mem(4, 50, entries);
-        assert!(slow.cycles > 40 * fast.cycles / 2,
+        assert!(
+            slow.cycles > 40 * fast.cycles / 2,
             "50-cycle latency must dominate a pointer chase: {} vs {}",
-            slow.cycles, fast.cycles);
+            slow.cycles,
+            fast.cycles
+        );
     }
 
     #[test]
@@ -345,11 +572,16 @@ mod tests {
         // Independent loads to different registers: the window and the two
         // ports let latency overlap, so the slowdown from latency 1 to 50 is
         // far less than 50x.
-        let entries: Vec<TraceEntry> = (0..256).map(|i| entry(load((i % 8) as u8, 30), 1)).collect();
+        let entries: Vec<TraceEntry> = (0..256)
+            .map(|i| entry(load((i % 8) as u8, 30), 1))
+            .collect();
         let fast = sim_mem(4, 1, entries.clone());
         let slow = sim_mem(4, 50, entries);
         let slowdown = slow.cycles as f64 / fast.cycles as f64;
-        assert!(slowdown < 10.0, "independent loads should hide latency, slowdown {slowdown}");
+        assert!(
+            slowdown < 10.0,
+            "independent loads should hide latency, slowdown {slowdown}"
+        );
         assert!(slowdown > 1.0);
     }
 
@@ -469,18 +701,41 @@ mod tests {
 
     #[test]
     fn transpose_unit_is_not_pipelined() {
-        let transpose = Instruction::MomTranspose {
-            md: 0,
-            ms: 1,
-            ty: ElemType::U8,
-        };
         // Four back-to-back transposes on different registers (no data
         // dependence): a non-pipelined 10-cycle unit serialises them.
         let entries = vec![
-            entry(Instruction::MomTranspose { md: 0, ms: 4, ty: ElemType::U8 }, 1),
-            entry(Instruction::MomTranspose { md: 1, ms: 5, ty: ElemType::U8 }, 1),
-            entry(Instruction::MomTranspose { md: 2, ms: 6, ty: ElemType::U8 }, 1),
-            entry(Instruction::MomTranspose { md: 3, ms: 7, ty: ElemType::U8 }, 1),
+            entry(
+                Instruction::MomTranspose {
+                    md: 0,
+                    ms: 4,
+                    ty: ElemType::U8,
+                },
+                1,
+            ),
+            entry(
+                Instruction::MomTranspose {
+                    md: 1,
+                    ms: 5,
+                    ty: ElemType::U8,
+                },
+                1,
+            ),
+            entry(
+                Instruction::MomTranspose {
+                    md: 2,
+                    ms: 6,
+                    ty: ElemType::U8,
+                },
+                1,
+            ),
+            entry(
+                Instruction::MomTranspose {
+                    md: 3,
+                    ms: 7,
+                    ty: ElemType::U8,
+                },
+                1,
+            ),
         ];
         let r = sim(4, entries);
         assert!(
@@ -488,7 +743,6 @@ mod tests {
             "four non-pipelined transposes must serialise: {}",
             r.cycles
         );
-        let _ = transpose;
     }
 
     #[test]

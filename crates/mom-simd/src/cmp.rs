@@ -133,7 +133,10 @@ mod tests {
         let c = from_lanes(&[3, 0, 0, 0, 0, 0, 0, 0], ElemType::U8);
         let d = from_lanes(&[4, 0, 0, 0, 0, 0, 0, 0], ElemType::U8);
         // (1+2+3+4+2)>>2 = 3
-        assert_eq!(to_lanes(pavg4(a, b, c, d, ElemType::U8), ElemType::U8)[0], 3);
+        assert_eq!(
+            to_lanes(pavg4(a, b, c, d, ElemType::U8), ElemType::U8)[0],
+            3
+        );
     }
 
     #[test]

@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn lane_zero_is_least_significant() {
-        let w = from_lanes(&[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88u8 as i64], ElemType::U8);
+        let w = from_lanes(
+            &[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88u8 as i64],
+            ElemType::U8,
+        );
         assert_eq!(w & 0xFF, 0x11);
         assert_eq!(extract_lane(w, 0, ElemType::U8), 0x11);
         assert_eq!(extract_lane(w, 7, ElemType::U8), 0x88);

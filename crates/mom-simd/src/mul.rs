@@ -91,10 +91,7 @@ mod tests {
         let b = from_lanes(&[7, 5, 100, 9], ElemType::I16);
         let p = pmul_low(a, b, ElemType::I16);
         // 1000*100 = 100000 = 0x186A0, low 16 bits = 0x86A0 = -31072 as i16
-        assert_eq!(
-            to_lanes(p, ElemType::I16).as_slice(),
-            &[21, -20, -31072, 0]
-        );
+        assert_eq!(to_lanes(p, ElemType::I16).as_slice(), &[21, -20, -31072, 0]);
     }
 
     #[test]
@@ -111,10 +108,7 @@ mod tests {
         let a = from_lanes(&[32767, -32768, 2, -3], ElemType::I16);
         let b = from_lanes(&[32767, 32767, -2, -3], ElemType::I16);
         let p = pmul_widening(a, b, ElemType::I16);
-        assert_eq!(
-            p.as_slice(),
-            &[32767i64 * 32767, -32768i64 * 32767, -4, 9]
-        );
+        assert_eq!(p.as_slice(), &[32767i64 * 32767, -32768i64 * 32767, -4, 9]);
     }
 
     #[test]

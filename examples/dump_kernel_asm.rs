@@ -9,7 +9,9 @@
 use momsim::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "motion1".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "motion1".to_string());
     let Some(kernel) = KernelId::from_name(&name) else {
         eprintln!(
             "unknown kernel '{name}'; available: {}",
@@ -22,10 +24,14 @@ fn main() {
         std::process::exit(1);
     };
 
-    println!("kernel: {} (from {})\n", kernel.name(), kernel.source_program());
+    println!(
+        "kernel: {} (from {})\n",
+        kernel.name(),
+        kernel.source_program()
+    );
     for isa in IsaKind::ALL {
         let program = kernel.program(isa);
-        let run = momsim::kernels::run_kernel(kernel, isa, 1, 1);
+        let run = momsim::kernels::run_kernel(kernel, isa, 1, 1).unwrap_or_else(|e| panic!("{e}"));
         println!(
             "==== {} ==== ({} static instructions, {} dynamic, {} operations, OPI {:.2})",
             isa.name(),

@@ -21,7 +21,8 @@ fn main() {
     let expect = idct::reference(&block);
 
     // Run the MOM program through the harness (which also verifies it).
-    let run = momsim::kernels::run_kernel(KernelId::Idct, IsaKind::Mom, 99, 1);
+    let run = momsim::kernels::run_kernel(KernelId::Idct, IsaKind::Mom, 99, 1)
+        .expect("idct/MOM must verify");
     println!(
         "\nMOM idct: {} dynamic instructions, {} operations (OPI {:.1}, VLy {:.1})",
         run.stats.instructions,
@@ -38,13 +39,15 @@ fn main() {
     // Compare the four ISAs on the timing simulator.
     println!("\ncycles per block on the 4-way core (1-cycle memory):");
     for isa in IsaKind::ALL {
-        let one = momsim::kernels::run_kernel(KernelId::Idct, isa, 99, 1);
-        let invocations = (4000 / one.trace.len().max(1)).max(1);
-        let mut trace = Trace::new();
-        for _ in 0..invocations {
-            trace.extend(&one.trace);
-        }
-        let r = Pipeline::new(PipelineConfig::way(4)).simulate(&trace);
+        // Stream the steady-state replay straight into the timing
+        // simulator — no concatenated trace is ever materialised.
+        let mut one = momsim::kernels::run_kernel(KernelId::Idct, isa, 99, 1)
+            .unwrap_or_else(|e| panic!("{e}"));
+        one.invocations = (4000 / one.trace.len().max(1)).max(1);
+        let invocations = one.invocations;
+        let mut sim = Pipeline::new(PipelineConfig::way(4)).streaming();
+        one.replay_into(&mut sim);
+        let r = sim.finish();
         println!(
             "  {:<6} {:>8.0} cycles/block  (IPC {:.2}, OPI {:.2})",
             isa.name(),

@@ -67,7 +67,13 @@ fn mom_version() -> Program {
     b.set_vl_imm(4);
     b.mmx_load(0, 2, 0, ElemType::I16); // a[0..4] broadcast across rows
     b.mom_load(0, 1, 4, ElemType::I16);
-    b.mom_op(PackedOp::Add(Overflow::Wrap), ElemType::I16, 1, 0, MomOperand::Mmx(0));
+    b.mom_op(
+        PackedOp::Add(Overflow::Wrap),
+        ElemType::I16,
+        1,
+        0,
+        MomOperand::Mmx(0),
+    );
     b.mom_store(1, 3, 4, ElemType::I16);
     b.finish()
 }
@@ -98,7 +104,9 @@ fn run(name: &str, program: &Program) {
     );
     // All versions must compute the same result.
     let d = machine.memory().dump_i16(D_ADDR as u64, 16).unwrap();
-    let expect: Vec<i16> = (0..16).map(|i| 100 + i as i16 + [1, 2, 3, 4][i % 4]).collect();
+    let expect: Vec<i16> = (0..16)
+        .map(|i| 100 + i as i16 + [1, 2, 3, 4][i % 4])
+        .collect();
     assert_eq!(d, expect, "{name} produced a wrong result");
 }
 

@@ -8,7 +8,8 @@
 use momsim::prelude::*;
 
 fn steady_trace(isa: IsaKind) -> (Trace, usize) {
-    let one = momsim::kernels::run_kernel(KernelId::Motion1, isa, 2026, 1);
+    let one =
+        momsim::kernels::run_kernel(KernelId::Motion1, isa, 2026, 1).expect("motion1 must verify");
     let invocations = (4000 / one.trace.len().max(1)).max(1);
     let mut trace = Trace::new();
     for _ in 0..invocations {
@@ -26,7 +27,8 @@ fn main() {
         "ISA", "instrs/blk", "ops/blk", "OPI", "VLx", "VLy"
     );
     for isa in IsaKind::ALL {
-        let run = momsim::kernels::run_kernel(KernelId::Motion1, isa, 2026, 1);
+        let run = momsim::kernels::run_kernel(KernelId::Motion1, isa, 2026, 1)
+            .expect("motion1 must verify");
         println!(
             "{:<8} {:>12} {:>12} {:>8.2} {:>6.2} {:>6.2}",
             isa.name(),
@@ -40,7 +42,10 @@ fn main() {
 
     // Speed-up over the scalar baseline vs issue width (perfect memory).
     println!("\nSpeed-up over the scalar baseline (1-cycle memory):");
-    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "ISA", "1-way", "2-way", "4-way", "8-way");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "ISA", "1-way", "2-way", "4-way", "8-way"
+    );
     let mut baseline = Vec::new();
     for width in [1usize, 2, 4, 8] {
         let (trace, inv) = steady_trace(IsaKind::Alpha);
@@ -68,7 +73,11 @@ fn main() {
             .simulate(&trace);
         println!(
             "  {:<6} {:>6.2}x",
-            if isa == IsaKind::Alpha { "SS" } else { isa.name() },
+            if isa == IsaKind::Alpha {
+                "SS"
+            } else {
+                isa.name()
+            },
             slow.cycles as f64 / fast.cycles as f64
         );
     }

@@ -21,7 +21,13 @@ fn main() {
     b.set_vl_imm(16); // dimension-Y vector length
     b.mom_load(0, 1, 4, ElemType::U8);
     b.mom_load(1, 2, 4, ElemType::U8);
-    b.mom_op(PackedOp::Add(Overflow::Saturate), ElemType::U8, 2, 0, MomOperand::Mat(1));
+    b.mom_op(
+        PackedOp::Add(Overflow::Saturate),
+        ElemType::U8,
+        2,
+        0,
+        MomOperand::Mat(1),
+    );
     b.mom_store(2, 3, 4, ElemType::U8);
     let program = b.finish();
     println!("MOM program: {} static instructions", program.len());
@@ -42,8 +48,15 @@ fn main() {
                 .unwrap();
         }
     }
-    let trace = machine.run(&program).expect("functional execution");
-    let stats = trace.stats();
+    // One functional pass streams the retired instructions into a
+    // statistics fold and two timing simulators at once — the trace is
+    // never materialised.
+    let mut stats = momsim::arch::TraceStats::default();
+    let mut cores = momsim::pipeline::PipelineFanout::new([1, 4].map(PipelineConfig::way));
+    let mut sinks = (&mut stats, &mut cores);
+    machine
+        .run_with_sink(&program, &mut sinks)
+        .expect("functional execution");
     println!(
         "dynamic instructions: {}, operations: {} (OPI {:.1}, VLx {:.1}, VLy {:.1})",
         stats.instructions,
@@ -58,10 +71,9 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 3. Time the same trace on 1-way and 4-way out-of-order cores.
+    // 3. Read out the timing results of the 1-way and 4-way cores.
     // ------------------------------------------------------------------
-    for width in [1usize, 4] {
-        let result = Pipeline::new(PipelineConfig::way(width)).simulate(&trace);
+    for (width, result) in [1usize, 4].into_iter().zip(cores.finish()) {
         println!(
             "{width}-way core: {} cycles, IPC {:.2}, operations/cycle {:.1}",
             result.cycles,
@@ -74,9 +86,10 @@ fn main() {
     // 4. The same computation through the kernel library (motion
     //    compensation blending), verified against its golden reference.
     // ------------------------------------------------------------------
-    let run = momsim::kernels::run_kernel(KernelId::Compensation, IsaKind::Mom, 7, 1);
+    let run = momsim::kernels::run_kernel(KernelId::Compensation, IsaKind::Mom, 7, 1)
+        .expect("kernel verification");
     println!(
         "library kernel 'comp' (MOM): {} dynamic instructions, verified OK",
-        run.trace.len()
+        run.stats.instructions
     );
 }

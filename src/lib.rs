@@ -24,9 +24,13 @@
 //! use momsim::prelude::*;
 //!
 //! // Run the paper's motion-estimation kernel, coded for the MOM ISA, on
-//! // the functional simulator and then time it on a 4-way out-of-order core.
-//! let run = momsim::kernels::run_kernel(KernelId::Motion1, IsaKind::Mom, 42, 1);
-//! let result = Pipeline::new(PipelineConfig::way(4)).simulate(&run.trace);
+//! // the functional simulator (verified against its golden reference) while
+//! // streaming the retired instructions straight into a 4-way out-of-order
+//! // timing model — one bounded-memory pass, no materialised trace.
+//! let mut core = Pipeline::new(PipelineConfig::way(4)).streaming();
+//! momsim::kernels::run_kernel_with_sink(KernelId::Motion1, IsaKind::Mom, 42, 1, &mut core)
+//!     .expect("kernel output must match the golden reference");
+//! let result = core.finish();
 //! assert!(result.opi() > 1.0); // matrix instructions pack many operations
 //! ```
 
@@ -40,8 +44,12 @@ pub use mom_simd as simd;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
-    pub use mom_arch::{Machine, Memory, Trace, TraceEntry};
+    pub use mom_arch::{Machine, Memory, Trace, TraceEntry, TraceSink, TraceStats};
     pub use mom_isa::prelude::*;
-    pub use mom_kernels::{run_kernel, verify_kernel, KernelId, KernelRun};
-    pub use mom_pipeline::{MemoryModel, Pipeline, PipelineConfig, SimResult};
+    pub use mom_kernels::{
+        run_kernel, run_kernel_with_sink, verify_kernel, KernelError, KernelId, KernelRun,
+    };
+    pub use mom_pipeline::{
+        MemoryModel, Pipeline, PipelineConfig, PipelineFanout, PipelineSim, SimResult,
+    };
 }

@@ -3,6 +3,7 @@
 //! its golden Rust reference (this is the reproduction of the paper's
 //! "the correctness of the output was verified" methodology step).
 
+use momsim::kernels::layout;
 use momsim::prelude::*;
 
 #[test]
@@ -17,11 +18,51 @@ fn every_kernel_every_isa_matches_its_reference_across_seeds() {
     }
 }
 
+/// Dumps the full output region a kernel run left behind.
+fn output_bytes(kernel: KernelId, isa: IsaKind, seed: u64) -> Vec<u8> {
+    let spec = kernel.spec();
+    let program = spec.program(isa);
+    let mut machine = Machine::new(Memory::new(layout::MEMORY_SIZE));
+    spec.prepare(machine.memory_mut(), seed);
+    machine
+        .run(&program)
+        .unwrap_or_else(|e| panic!("{kernel}/{isa} seed {seed}: {e}"));
+    machine
+        .memory()
+        .dump_u8(layout::DST, (layout::SCRATCH - layout::DST) as usize)
+        .expect("output region is inside memory")
+}
+
+#[test]
+fn all_isas_produce_byte_identical_outputs() {
+    // Stronger than matching the golden reference value-by-value: the entire
+    // output region — every byte any variant wrote, and every byte none
+    // did — must be identical across the four ISAs, for every kernel and
+    // several seeds.
+    for kernel in KernelId::ALL {
+        for seed in [0u64, 7, 0x5C99] {
+            let reference = output_bytes(kernel, IsaKind::Alpha, seed);
+            for isa in [IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom] {
+                let got = output_bytes(kernel, isa, seed);
+                assert!(
+                    reference == got,
+                    "{kernel}/{isa} seed {seed}: output region differs from Alpha's at byte {}",
+                    reference
+                        .iter()
+                        .zip(&got)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(reference.len())
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn traces_are_deterministic() {
     for isa in IsaKind::ALL {
-        let a = momsim::kernels::run_kernel(KernelId::AddBlock, isa, 7, 1);
-        let b = momsim::kernels::run_kernel(KernelId::AddBlock, isa, 7, 1);
+        let a = momsim::kernels::run_kernel(KernelId::AddBlock, isa, 7, 1).unwrap();
+        let b = momsim::kernels::run_kernel(KernelId::AddBlock, isa, 7, 1).unwrap();
         assert_eq!(a.trace.len(), b.trace.len());
         assert_eq!(a.stats, b.stats);
         let sim = Pipeline::new(PipelineConfig::way(4));
@@ -38,7 +79,12 @@ fn operation_counts_are_isa_independent_up_to_overhead() {
     for kernel in KernelId::ALL {
         let ops: Vec<u64> = IsaKind::ALL
             .iter()
-            .map(|isa| momsim::kernels::run_kernel(kernel, *isa, 3, 1).stats.operations)
+            .map(|isa| {
+                momsim::kernels::run_kernel(kernel, *isa, 3, 1)
+                    .unwrap()
+                    .stats
+                    .operations
+            })
             .collect();
         let max = *ops.iter().max().unwrap() as f64;
         let min = *ops.iter().min().unwrap() as f64;
@@ -53,14 +99,21 @@ fn operation_counts_are_isa_independent_up_to_overhead() {
 fn media_fraction_and_vector_lengths_are_consistent() {
     for kernel in KernelId::ALL {
         // The scalar baseline has no multimedia instructions at all.
-        let alpha = momsim::kernels::run_kernel(kernel, IsaKind::Alpha, 9, 1).stats;
-        assert_eq!(alpha.media_instructions, 0, "{kernel}: scalar code is scalar");
+        let alpha = momsim::kernels::run_kernel(kernel, IsaKind::Alpha, 9, 1)
+            .unwrap()
+            .stats;
+        assert_eq!(
+            alpha.media_instructions, 0,
+            "{kernel}: scalar code is scalar"
+        );
         assert_eq!(alpha.avg_vlx(), 1.0);
         assert_eq!(alpha.avg_vly(), 1.0);
         // The multimedia versions have a meaningful vector fraction, and only
         // MOM has dimension-Y vectors.
         for isa in [IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom] {
-            let s = momsim::kernels::run_kernel(kernel, isa, 9, 1).stats;
+            let s = momsim::kernels::run_kernel(kernel, isa, 9, 1)
+                .unwrap()
+                .stats;
             assert!(
                 s.media_fraction() > 0.05,
                 "{kernel}/{isa}: media fraction {:.3} too small",
@@ -68,9 +121,15 @@ fn media_fraction_and_vector_lengths_are_consistent() {
             );
             assert!(s.avg_vlx() > 1.0, "{kernel}/{isa}: VLx must exceed 1");
             if isa != IsaKind::Mom {
-                assert_eq!(s.matrix_instructions, 0, "{kernel}/{isa}: no matrix instructions");
+                assert_eq!(
+                    s.matrix_instructions, 0,
+                    "{kernel}/{isa}: no matrix instructions"
+                );
             } else {
-                assert!(s.matrix_instructions > 0, "{kernel}/MOM must use matrix instructions");
+                assert!(
+                    s.matrix_instructions > 0,
+                    "{kernel}/MOM must use matrix instructions"
+                );
                 assert!(s.avg_vly() > 1.0, "{kernel}/MOM: VLy must exceed 1");
             }
         }
@@ -82,7 +141,7 @@ fn pipeline_and_trace_agree_on_committed_work() {
     // The timing simulator must commit exactly the instructions and
     // operations present in the trace, for every ISA.
     for isa in IsaKind::ALL {
-        let run = momsim::kernels::run_kernel(KernelId::H2v2, isa, 5, 1);
+        let run = momsim::kernels::run_kernel(KernelId::H2v2, isa, 5, 1).unwrap();
         let stats = run.stats;
         let result = Pipeline::new(PipelineConfig::way(4)).simulate(&run.trace);
         assert_eq!(result.instructions, stats.instructions);

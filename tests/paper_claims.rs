@@ -7,7 +7,7 @@ use momsim::prelude::*;
 
 /// Builds a steady-state trace (several invocations) for a kernel/ISA pair.
 fn steady_trace(kernel: KernelId, isa: IsaKind) -> (Trace, usize) {
-    let one = momsim::kernels::run_kernel(kernel, isa, 0x5C99, 1);
+    let one = momsim::kernels::run_kernel(kernel, isa, 0x5C99, 1).unwrap();
     let invocations = (3000 / one.trace.len().max(1)).max(1);
     let mut trace = Trace::new();
     for _ in 0..invocations {
@@ -105,7 +105,11 @@ fn mom_tolerates_memory_latency_better() {
 #[test]
 fn speedup_comes_from_opi_and_r_not_ipc() {
     let kernel = KernelId::Motion2;
-    let run_stats = |isa| momsim::kernels::run_kernel(kernel, isa, 0x5C99, 1).stats;
+    let run_stats = |isa| {
+        momsim::kernels::run_kernel(kernel, isa, 0x5C99, 1)
+            .unwrap()
+            .stats
+    };
     let alpha_ops = run_stats(IsaKind::Alpha).operations;
     for isa in [IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom] {
         let s = run_stats(isa);
@@ -117,7 +121,10 @@ fn speedup_comes_from_opi_and_r_not_ipc() {
                 s.opi() > run_stats(IsaKind::Mmx).opi() * 2.0,
                 "MOM must pack an order of magnitude more operations per instruction"
             );
-            assert!(s.avg_vly() > 4.0, "MOM motion kernels use long dimension-Y vectors");
+            assert!(
+                s.avg_vly() > 4.0,
+                "MOM motion kernels use long dimension-Y vectors"
+            );
         }
     }
     // And the IPC of MOM is indeed lower (fewer, bigger instructions).
@@ -152,7 +159,9 @@ fn rgb2ycc_shows_little_mom_advantage() {
         gain < 2.0,
         "rgb2ycc: MOM should gain little over MDMX (got {gain:.2}x)"
     );
-    let stats = momsim::kernels::run_kernel(KernelId::Rgb2Ycc, IsaKind::Mom, 0x5C99, 1).stats;
+    let stats = momsim::kernels::run_kernel(KernelId::Rgb2Ycc, IsaKind::Mom, 0x5C99, 1)
+        .unwrap()
+        .stats;
     assert!(
         stats.avg_vly() <= 6.0,
         "rgb2ycc vectorises along the colour space: VLy must stay small, got {:.2}",

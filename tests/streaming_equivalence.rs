@@ -1,0 +1,126 @@
+//! Property tests for the streaming refactor: fusing functional and timing
+//! simulation through `Machine::run_with_sink` + the incremental
+//! `PipelineSim::feed`/`finish` consumer must be observationally identical
+//! to the materialise-then-replay path (`Machine::run` +
+//! `Pipeline::simulate`), for every kernel, every ISA, any seed and any
+//! machine shape.
+
+use momsim::prelude::*;
+use proptest::prelude::*;
+
+fn assert_results_equal(batch: &SimResult, streamed: &SimResult, context: &str) {
+    assert_eq!(batch.cycles, streamed.cycles, "{context}: cycles");
+    assert_eq!(
+        batch.instructions, streamed.instructions,
+        "{context}: instructions"
+    );
+    assert_eq!(
+        batch.operations, streamed.operations,
+        "{context}: operations"
+    );
+    assert_eq!(
+        batch.media_instructions, streamed.media_instructions,
+        "{context}: media instructions"
+    );
+    assert_eq!(
+        batch.memory_instructions, streamed.memory_instructions,
+        "{context}: memory instructions"
+    );
+    assert_eq!(
+        batch.max_rob_occupancy, streamed.max_rob_occupancy,
+        "{context}: rob occupancy"
+    );
+    assert_eq!(
+        batch.dispatch_stall_cycles, streamed.dispatch_stall_cycles,
+        "{context}: stall cycles"
+    );
+    // The derived ratios follow, bit for bit.
+    assert_eq!(
+        batch.ipc().to_bits(),
+        streamed.ipc().to_bits(),
+        "{context}: IPC"
+    );
+    assert_eq!(
+        batch.opi().to_bits(),
+        streamed.opi().to_bits(),
+        "{context}: OPI"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// One fused pass (functional simulator streaming into the incremental
+    /// timing consumer) equals materialise-then-replay, for every kernel and
+    /// ISA at a random seed and width.
+    #[test]
+    fn fused_streaming_equals_batch_replay(seed in any::<u64>(),
+                                           width in prop::sample::select(vec![1usize, 2, 4, 8])) {
+        for kernel in KernelId::ALL {
+            for isa in IsaKind::ALL {
+                let config = PipelineConfig::way(width);
+
+                // Path A: materialise the trace, then replay it.
+                let run = run_kernel(kernel, isa, seed, 1)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let batch = Pipeline::new(config.clone()).simulate(&run.trace);
+
+                // Path B: stream the functional run into the consumer.
+                let mut core = Pipeline::new(config).streaming();
+                run_kernel_with_sink(kernel, isa, seed, 1, &mut core)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let streamed = core.finish();
+
+                assert_results_equal(&batch, &streamed, &format!("{kernel}/{isa} w{width}"));
+            }
+        }
+    }
+
+    /// The fan-out consumer gives each configuration exactly what a
+    /// dedicated pass would, over multi-iteration streams.
+    #[test]
+    fn fanout_equals_dedicated_passes(seed in any::<u64>(), iterations in 1usize..4) {
+        let kernel = KernelId::Motion2;
+        let widths = [1usize, 4, 8];
+        for isa in IsaKind::ALL {
+            let mut fanout = PipelineFanout::new(widths.map(PipelineConfig::way));
+            run_kernel_with_sink(kernel, isa, seed, iterations, &mut fanout)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let fanned = fanout.finish();
+
+            for (width, fanned_result) in widths.into_iter().zip(&fanned) {
+                let mut core = Pipeline::new(PipelineConfig::way(width)).streaming();
+                run_kernel_with_sink(kernel, isa, seed, iterations, &mut core)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let dedicated = core.finish();
+                assert_results_equal(
+                    &dedicated,
+                    fanned_result,
+                    &format!("{kernel}/{isa} w{width} x{iterations}"),
+                );
+            }
+        }
+    }
+}
+
+/// Not a property but a guarantee the refactor exists to provide: the
+/// harness's materialised state no longer grows with the iteration count,
+/// while the streamed statistics keep counting.
+#[test]
+fn run_kernel_memory_is_iteration_independent() {
+    for isa in IsaKind::ALL {
+        let one = run_kernel(KernelId::Idct, isa, 3, 1).unwrap();
+        let many = run_kernel(KernelId::Idct, isa, 3, 25).unwrap();
+        assert_eq!(
+            one.trace.len(),
+            many.trace.len(),
+            "{isa}: the materialised trace must stay one invocation long"
+        );
+        assert_eq!(many.invocations, 25);
+        assert_eq!(
+            many.stats.instructions,
+            25 * one.stats.instructions,
+            "{isa}"
+        );
+    }
+}

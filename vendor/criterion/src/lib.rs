@@ -1,0 +1,176 @@
+//! A tiny, dependency-free, offline stand-in for the subset of the
+//! `criterion` benchmarking API this workspace uses.
+//!
+//! It keeps the structure of a Criterion bench (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `Bencher::iter`) but replaces the
+//! statistical machinery with a simple median-of-samples wall-clock
+//! measurement printed to stdout. `cargo bench` therefore still runs every
+//! bench target end to end and reports a per-benchmark time, which is all
+//! the drivers in `mom-bench` need to regenerate the paper's figures.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-unit annotation for a benchmark group (subset of the real enum).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// Passed to the closure of `bench_function`; runs the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration times, filled by [`Bencher::iter`].
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording `samples` timed executions (after one
+    /// untimed warm-up call).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotates the group with a work-unit throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its median time.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        let median = median(&mut b.durations);
+        let label = format!("{}/{}", self.name, id);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if n > 0 && median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("bench: {label:<50} {median:>12.2?}  ({rate:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if n > 0 && median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("bench: {label:<50} {median:>12.2?}  ({rate:.0} B/s)");
+            }
+            _ => println!("bench: {label:<50} {median:>12.2?}"),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn median(durations: &mut [Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    durations.sort_unstable();
+    durations[durations.len() / 2]
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("test-group");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        g.bench_function("counts", |b| b.iter(|| runs += 1));
+        g.finish();
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+
+    criterion_group!(my_group, a_bench);
+
+    #[test]
+    fn group_macro_builds_a_runner() {
+        my_group();
+    }
+
+    #[test]
+    fn median_of_samples() {
+        let mut d = vec![
+            Duration::from_micros(5),
+            Duration::from_micros(1),
+            Duration::from_micros(3),
+        ];
+        assert_eq!(median(&mut d), Duration::from_micros(3));
+        assert_eq!(median(&mut []), Duration::ZERO);
+    }
+}

@@ -1,0 +1,195 @@
+//! A tiny, dependency-free, offline stand-in for the subset of the `rand`
+//! crate API this workspace uses (`SmallRng::seed_from_u64`, `random_range`
+//! over integer and float ranges, `random_bool`).
+//!
+//! The workloads of `mom-kernels` only need *deterministic, well-mixed*
+//! pseudo-random data — the exact stream does not have to match the real
+//! `rand` crate, because the golden references and the simulated kernels
+//! consume the same generator. The generator is xoshiro256**, seeded through
+//! SplitMix64 exactly as `rand::rngs::SmallRng::seed_from_u64` does
+//! conceptually: a 64-bit seed is expanded into a full 256-bit state.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generator implementations.
+pub mod rngs {
+    /// A small, fast, non-cryptographic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::SmallRng;
+
+/// Seeding support (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 state expansion.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl SmallRng {
+    /// The raw 64-bit output of xoshiro256**.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Element types [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform value in `[lo, hi)` (`inclusive == false`) or `[lo, hi]`
+    /// (`inclusive == true`).
+    fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut SmallRng) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "empty range");
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in(lo: Self, hi: Self, _inclusive: bool, rng: &mut SmallRng) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in(lo: Self, hi: Self, _inclusive: bool, rng: &mut SmallRng) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + rng.next_f64() as f32 * (hi - lo)
+    }
+}
+
+/// A range form [`Rng::random_range`] accepts. The blanket impls over
+/// [`SampleUniform`] make integer-literal ranges infer exactly as with the
+/// real crate.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut SmallRng) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut SmallRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_in(lo, hi, true, rng)
+    }
+}
+
+/// The sampling interface (subset: `random_range`, `random_bool`).
+pub trait Rng {
+    /// Draws a uniform value from the given range.
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for SmallRng {
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(-24..=24);
+            assert!((-24..=24).contains(&v));
+            let u: usize = r.random_range(0..10);
+            assert!(u < 10);
+            let f = r.random_range(0.01..0.08);
+            assert!((0.01..0.08).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_respected() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn full_range_values_cover_high_bits() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let any_high = (0..32).any(|_| r.random_range(0u64..u64::MAX) > u64::MAX / 2);
+        assert!(any_high);
+    }
+}
