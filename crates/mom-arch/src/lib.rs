@@ -76,4 +76,4 @@ pub use machine::{ExecError, Machine};
 pub use mem::Memory;
 pub use mom::{transpose, MomAccumulator, MomRegisterFile};
 pub use regfile::{MdmxAccumulator, MmxRegisterFile, ScalarRegisterFile};
-pub use trace::{CountingSink, Trace, TraceEntry, TraceSink, TraceStats};
+pub use trace::{spans_overlap, CountingSink, MemAccess, Trace, TraceEntry, TraceSink, TraceStats};

@@ -5,7 +5,7 @@
 use crate::mem::Memory;
 use crate::mom::{transpose, MomAccumulatorFile, MomRegisterFile, VectorLength};
 use crate::regfile::{MdmxAccumulatorFile, MmxRegisterFile, ScalarRegisterFile};
-use crate::trace::{Trace, TraceEntry, TraceSink};
+use crate::trace::{MemAccess, Trace, TraceEntry, TraceSink};
 use mom_isa::{Instruction, MomOperand, Program};
 use mom_simd::logic::splat;
 
@@ -142,7 +142,7 @@ impl Machine {
                 });
             }
             let ins = *program.instr(pc);
-            let (next_pc, taken) = self.step(&ins, pc, program)?;
+            let (next_pc, taken, mem) = self.step(&ins, pc, program)?;
             sink.retire(TraceEntry {
                 instr: ins,
                 vl: if ins.is_vl_dependent() {
@@ -151,6 +151,7 @@ impl Machine {
                     1
                 },
                 taken,
+                mem,
             });
             pc = next_pc;
             executed += 1;
@@ -168,16 +169,18 @@ impl Machine {
     }
 
     /// Executes a single instruction at `pc`, returning the next program
-    /// counter and whether a branch was taken.
+    /// counter, whether a branch was taken, and — for memory instructions —
+    /// the effective addresses touched.
     fn step(
         &mut self,
         ins: &Instruction,
         pc: usize,
         program: &Program,
-    ) -> Result<(usize, bool), ExecError> {
+    ) -> Result<(usize, bool, Option<MemAccess>), ExecError> {
         use Instruction::*;
         let mut next = pc + 1;
         let mut taken = false;
+        let mut mem_access = None;
         match *ins {
             // -------------------------- scalar --------------------------
             Li { rd, imm } => self.ints.write(rd, imm),
@@ -206,6 +209,7 @@ impl Machine {
                     raw as i64
                 };
                 self.ints.write(rd, v);
+                mem_access = Some(MemAccess::unit(addr, size.bytes() as u32, false));
             }
             Store {
                 size,
@@ -216,6 +220,7 @@ impl Machine {
                 let addr = (self.ints.read(base) + offset) as u64;
                 self.mem
                     .write_uint(addr, self.ints.read(rs) as u64, size.bytes())?;
+                mem_access = Some(MemAccess::unit(addr, size.bytes() as u32, true));
             }
             Branch {
                 cond,
@@ -237,12 +242,14 @@ impl Machine {
                 let addr = (self.ints.read(base) + offset) as u64;
                 let w = self.mem.read_u64(addr)?;
                 self.mmx.write(vd, w);
+                mem_access = Some(MemAccess::unit(addr, 8, false));
             }
             MmxStore {
                 vs, base, offset, ..
             } => {
                 let addr = (self.ints.read(base) + offset) as u64;
                 self.mem.write_u64(addr, self.mmx.read(vs))?;
+                mem_access = Some(MemAccess::unit(addr, 8, true));
             }
             MmxOp { op, ty, vd, va, vb } => {
                 let r = op.apply(self.mmx.read(va), self.mmx.read(vb), ty);
@@ -295,6 +302,13 @@ impl Machine {
                     let w = self.mem.read_u64(addr)?;
                     self.mom_regs.write_row(md, row, w);
                 }
+                mem_access = Some(MemAccess::strided(
+                    base_addr as u64,
+                    8,
+                    self.vl.get() as u16,
+                    stride,
+                    false,
+                ));
             }
             MomStore {
                 ms, base, stride, ..
@@ -305,6 +319,13 @@ impl Machine {
                     let addr = (base_addr + stride * row as i64) as u64;
                     self.mem.write_u64(addr, self.mom_regs.read_row(ms, row))?;
                 }
+                mem_access = Some(MemAccess::strided(
+                    base_addr as u64,
+                    8,
+                    self.vl.get() as u16,
+                    stride,
+                    true,
+                ));
             }
             MomOp { op, ty, md, ma, mb } => {
                 for row in 0..self.vl.get() {
@@ -352,7 +373,7 @@ impl Machine {
                 self.mom_regs.write_row(md, row as usize, self.mmx.read(va));
             }
         }
-        Ok((next, taken))
+        Ok((next, taken, mem_access))
     }
 
     /// Resolves the second operand of a MOM matrix instruction for a given
@@ -616,6 +637,35 @@ mod tests {
             }
             assert_eq!(visible[lane as usize], expect, "column {lane}");
         }
+    }
+
+    #[test]
+    fn trace_entries_carry_effective_addresses() {
+        let mut m = machine();
+        let mut b = AsmBuilder::new(IsaKind::Mom);
+        b.li(1, 0x100);
+        b.li(2, 16); // stride
+        b.li(3, 0x400);
+        b.set_vl_imm(4);
+        b.load(MemSize::Half, false, 4, 1, 6); // scalar load at 0x106
+        b.store(MemSize::Byte, 4, 3, 1); // scalar store at 0x401
+        b.mmx_load(0, 1, 8, ElemType::U8); // packed load at 0x108
+        b.mom_load(0, 1, 2, ElemType::U8); // 4 rows from 0x100, stride 16
+        b.mom_store(0, 3, 2, ElemType::U8); // 4 rows to 0x400, stride 16
+        let trace = m.run(&b.finish()).unwrap();
+
+        let mems: Vec<MemAccess> = trace.iter().filter_map(|e| e.mem).collect();
+        assert_eq!(mems.len(), 5, "every memory instruction records an access");
+        assert_eq!(mems[0], MemAccess::unit(0x106, 2, false));
+        assert_eq!(mems[1], MemAccess::unit(0x401, 1, true));
+        assert_eq!(mems[2], MemAccess::unit(0x108, 8, false));
+        assert_eq!(mems[3], MemAccess::strided(0x100, 8, 4, 16, false));
+        assert_eq!(mems[4], MemAccess::strided(0x400, 8, 4, 16, true));
+        // Non-memory instructions carry no access.
+        assert!(trace
+            .iter()
+            .filter(|e| !e.instr.is_memory())
+            .all(|e| e.mem.is_none()));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use mom_isa::Instruction;
 /// use mom_arch::{Trace, TraceEntry, TraceSink, TraceStats};
 /// use mom_isa::Instruction;
 ///
-/// let entry = TraceEntry { instr: Instruction::Nop, vl: 1, taken: false };
+/// let entry = TraceEntry { instr: Instruction::Nop, vl: 1, taken: false, mem: None };
 /// let mut sinks = (Trace::new(), TraceStats::default());
 /// sinks.retire(entry); // both the trace and the stats observe the entry
 /// assert_eq!(sinks.0.len(), 1);
@@ -85,6 +85,99 @@ impl TraceSink for CountingSink {
     }
 }
 
+/// The memory traffic of one dynamic instruction: the effective addresses it
+/// touched, recorded by the functional simulator at execution time.
+///
+/// An access is a set of `rows` contiguous runs of `row_bytes` bytes whose
+/// start addresses are `stride` bytes apart — one row for scalar and packed
+/// accesses, `VL` rows for the strided MOM matrix loads and stores.  The
+/// timing simulator uses this metadata to drive the cache hierarchy, to size
+/// the vector memory port occupancy by the bytes actually moved, and to
+/// enforce load/store ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address of the first row.
+    pub addr: u64,
+    /// Bytes moved per row (the access size of one row).
+    pub row_bytes: u32,
+    /// Number of rows (1 for scalar/packed accesses, `VL` for matrix ones).
+    pub rows: u16,
+    /// Byte distance between consecutive row start addresses (0 when there
+    /// is a single row).
+    pub stride: i64,
+    /// Whether the access writes memory.
+    pub is_store: bool,
+}
+
+impl MemAccess {
+    /// A single contiguous access (scalar or packed load/store).
+    pub fn unit(addr: u64, bytes: u32, is_store: bool) -> MemAccess {
+        MemAccess {
+            addr,
+            row_bytes: bytes,
+            rows: 1,
+            stride: 0,
+            is_store,
+        }
+    }
+
+    /// A strided multi-row access (MOM matrix load/store).
+    pub fn strided(addr: u64, row_bytes: u32, rows: u16, stride: i64, is_store: bool) -> MemAccess {
+        MemAccess {
+            addr,
+            row_bytes,
+            rows,
+            stride,
+            is_store,
+        }
+    }
+
+    /// Total bytes moved by the access.
+    pub fn total_bytes(&self) -> u64 {
+        self.row_bytes as u64 * self.rows.max(1) as u64
+    }
+
+    /// The start address of one row.
+    pub fn row_addr(&self, row: u16) -> u64 {
+        (self.addr as i64).wrapping_add(self.stride.wrapping_mul(row as i64)) as u64
+    }
+
+    /// The smallest half-open byte interval `[start, end)` covering every
+    /// row of the access (conservative: for strided accesses it also covers
+    /// the gaps between rows).  An access that wraps the edge of the 64-bit
+    /// address space reports the whole address space — still conservative,
+    /// never under-covering.
+    pub fn span(&self) -> (u64, u64) {
+        let rows = self.rows.max(1) as i128;
+        let first = self.addr as i128;
+        let last = first + self.stride as i128 * (rows - 1);
+        let (lo, hi) = if self.stride >= 0 {
+            (first, last)
+        } else {
+            (last, first)
+        };
+        let end = hi + self.row_bytes.max(1) as i128;
+        if lo < 0 || end > u64::MAX as i128 {
+            // Rows wrapped around the address-space edge (row_addr wraps
+            // modularly): no tight interval exists, so cover everything.
+            return (0, u64::MAX);
+        }
+        (lo as u64, (end as u64).max(lo as u64))
+    }
+
+    /// Whether the conservative byte spans of two accesses overlap.
+    pub fn overlaps(&self, other: &MemAccess) -> bool {
+        spans_overlap(self.span(), other.span())
+    }
+}
+
+/// Whether two half-open byte intervals (as returned by [`MemAccess::span`])
+/// overlap — the single overlap predicate shared by [`MemAccess::overlaps`]
+/// and the timing simulator's load/store ordering check.
+pub fn spans_overlap(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
 /// One dynamically executed instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -95,6 +188,11 @@ pub struct TraceEntry {
     pub vl: u16,
     /// For branches, whether the branch was taken.
     pub taken: bool,
+    /// For memory instructions, the addresses touched at execution time.
+    /// `None` for non-memory instructions — and tolerated for memory
+    /// instructions in hand-built traces, where the timing model falls back
+    /// to address-blind behaviour.
+    pub mem: Option<MemAccess>,
 }
 
 impl TraceEntry {
@@ -276,7 +374,49 @@ mod tests {
             instr,
             vl,
             taken: false,
+            mem: None,
         }
+    }
+
+    #[test]
+    fn mem_access_geometry() {
+        let unit = MemAccess::unit(0x100, 8, false);
+        assert_eq!(unit.total_bytes(), 8);
+        assert_eq!(unit.span(), (0x100, 0x108));
+        assert_eq!(unit.row_addr(0), 0x100);
+
+        let strided = MemAccess::strided(0x1000, 8, 4, 64, true);
+        assert_eq!(strided.total_bytes(), 32);
+        assert_eq!(strided.row_addr(3), 0x1000 + 3 * 64);
+        assert_eq!(strided.span(), (0x1000, 0x1000 + 3 * 64 + 8));
+
+        let backwards = MemAccess::strided(0x1000, 8, 4, -64, false);
+        assert_eq!(backwards.span(), (0x1000 - 3 * 64, 0x1008));
+    }
+
+    #[test]
+    fn wrapped_accesses_span_everything() {
+        // Rows that wrap the address-space edge have no tight interval; the
+        // span must stay conservative (cover everything), matching the
+        // modular wrap of `row_addr`.
+        let top = MemAccess::unit(u64::MAX - 3, 8, true);
+        assert_eq!(top.span(), (0, u64::MAX));
+        let below_zero = MemAccess::strided(0, 8, 2, -64, false);
+        assert_eq!(below_zero.span(), (0, u64::MAX));
+        // A store at the top therefore conflicts with a load at zero — the
+        // wrapped tail really does touch the low bytes.
+        assert!(top.overlaps(&MemAccess::unit(0, 8, false)));
+    }
+
+    #[test]
+    fn mem_access_overlap_is_conservative() {
+        let store = MemAccess::unit(0x100, 8, true);
+        assert!(store.overlaps(&MemAccess::unit(0x104, 8, false)));
+        assert!(!store.overlaps(&MemAccess::unit(0x108, 8, false)));
+        // Strided spans cover the gaps between rows (conservative).
+        let matrix = MemAccess::strided(0x200, 8, 4, 384, true);
+        assert!(matrix.overlaps(&MemAccess::unit(0x200 + 100, 4, false)));
+        assert!(!matrix.overlaps(&MemAccess::unit(0x1000, 4, false)));
     }
 
     #[test]

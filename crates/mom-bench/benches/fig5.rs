@@ -12,9 +12,12 @@ fn bench_fig5(c: &mut Criterion) {
     group.sample_size(10);
     for kernel in [KernelId::Motion2, KernelId::Compensation] {
         for isa in [IsaKind::Alpha, IsaKind::Mmx, IsaKind::Mom] {
-            for memory in MemoryModel::FIGURE5_POINTS {
+            for memory in MemoryModel::FIGURE5_POINTS
+                .into_iter()
+                .chain([MemoryModel::CACHE])
+            {
                 group.bench_function(
-                    format!("{}/{}/lat{}", kernel.name(), isa.name(), memory.latency),
+                    format!("{}/{}/mem{}", kernel.name(), isa.name(), memory.label()),
                     |b| {
                         b.iter(|| {
                             black_box(

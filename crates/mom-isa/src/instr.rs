@@ -601,6 +601,19 @@ impl Instruction {
         self.fu_class().is_memory()
     }
 
+    /// Whether this instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Store { .. } | Instruction::MmxStore { .. } | Instruction::MomStore { .. }
+        )
+    }
+
+    /// Whether this instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        self.is_memory() && !self.is_store()
+    }
+
     /// The packed element type this instruction operates on, if any.
     pub fn elem_type(&self) -> Option<ElemType> {
         match *self {
@@ -786,6 +799,7 @@ mod tests {
         assert!(i.sources().contains(Reg::Vl));
         assert_eq!(i.fu_class(), FuClass::VecMem);
         assert!(i.is_memory());
+        assert!(i.is_load() && !i.is_store());
         assert!(i.is_vl_dependent());
         assert_eq!(i.ops(16), 128);
         assert_eq!(i.ops(8), 64);
@@ -856,6 +870,7 @@ mod tests {
             offset: 0,
         };
         assert!(s.dests().is_empty());
+        assert!(s.is_store() && !s.is_load());
         let ms = Instruction::MomStore {
             ms: 0,
             base: 1,
@@ -864,6 +879,7 @@ mod tests {
         };
         assert!(ms.dests().is_empty());
         assert_eq!(ms.sources().len(), 4);
+        assert!(ms.is_store() && !ms.is_load());
     }
 
     #[test]

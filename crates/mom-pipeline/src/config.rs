@@ -1,23 +1,38 @@
 //! Pipeline configuration: machine width, reorder-buffer size, functional
-//! units, latencies and the idealised memory model.
+//! units, latencies and the memory model (fixed latency or a simulated
+//! L1/L2 cache hierarchy).
 
+use crate::cache::HierarchyConfig;
 use mom_isa::FuClass;
 
-/// The idealised memory model of the paper: fixed latency, no bandwidth
-/// restriction beyond the configured ports.
+/// The memory system seen by loads and stores.
+///
+/// The paper's experiments use the `Fixed` form — a single latency (1, 12 or
+/// 50 cycles) with no bandwidth restriction beyond the configured ports.
+/// `Hierarchy` replaces it with a simulated set-associative L1/L2 data cache
+/// driven by the effective addresses the functional simulator records in the
+/// trace; each memory instruction is charged its own hit/miss latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MemoryModel {
-    /// Access latency in cycles (the paper uses 1, 12 and 50).
-    pub latency: u64,
+pub enum MemoryModel {
+    /// Every memory access costs the same `latency` cycles.
+    Fixed {
+        /// Access latency in cycles (the paper uses 1, 12 and 50).
+        latency: u64,
+    },
+    /// A simulated L1/L2 cache hierarchy with per-access latencies.
+    Hierarchy(HierarchyConfig),
 }
 
 impl MemoryModel {
     /// Perfect cache: 1-cycle latency (the paper's baseline experiments).
-    pub const PERFECT: MemoryModel = MemoryModel { latency: 1 };
+    pub const PERFECT: MemoryModel = MemoryModel::Fixed { latency: 1 };
     /// L2 hit: 12-cycle latency.
-    pub const L2: MemoryModel = MemoryModel { latency: 12 };
+    pub const L2: MemoryModel = MemoryModel::Fixed { latency: 12 };
     /// Main memory / streaming: 50-cycle latency.
-    pub const MAIN_MEMORY: MemoryModel = MemoryModel { latency: 50 };
+    pub const MAIN_MEMORY: MemoryModel = MemoryModel::Fixed { latency: 50 };
+    /// The default simulated L1/L2 hierarchy (the "real cache" variant of
+    /// the Figure 5 experiment).
+    pub const CACHE: MemoryModel = MemoryModel::Hierarchy(HierarchyConfig::DEFAULT);
 
     /// The three latency points of the paper's Figure 5.
     pub const FIGURE5_POINTS: [MemoryModel; 3] = [
@@ -25,6 +40,41 @@ impl MemoryModel {
         MemoryModel::L2,
         MemoryModel::MAIN_MEMORY,
     ];
+
+    /// The best-case (L1-hit) latency of the model: the fixed latency, or
+    /// the hierarchy's L1 hit latency.  This is also what memory
+    /// instructions without address metadata are charged under a hierarchy.
+    pub fn base_latency(&self) -> u64 {
+        match self {
+            MemoryModel::Fixed { latency } => *latency,
+            MemoryModel::Hierarchy(h) => h.l1.hit_latency,
+        }
+    }
+
+    /// The hierarchy configuration, when this model simulates one.
+    pub fn hierarchy(&self) -> Option<&HierarchyConfig> {
+        match self {
+            MemoryModel::Fixed { .. } => None,
+            MemoryModel::Hierarchy(h) => Some(h),
+        }
+    }
+
+    /// A short label for reports: the latency for fixed models ("1", "12",
+    /// "50"), `"cache"` for the hierarchy.
+    pub fn label(&self) -> String {
+        match self {
+            MemoryModel::Fixed { latency } => latency.to_string(),
+            MemoryModel::Hierarchy(_) => "cache".to_string(),
+        }
+    }
+
+    /// Validates the model.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            MemoryModel::Fixed { .. } => Ok(()),
+            MemoryModel::Hierarchy(h) => h.validate(),
+        }
+    }
 }
 
 /// Number of units and execution latency for one functional-unit class.
@@ -170,11 +220,14 @@ impl PipelineConfig {
         }
     }
 
-    /// The effective execution latency of an instruction class, taking the
-    /// memory model into account for loads and stores.
+    /// The base execution latency of an instruction class, taking the
+    /// memory model into account for loads and stores.  Under a cache
+    /// hierarchy this is the L1-hit latency; the timing simulator replaces
+    /// it per instruction with the simulated hit/miss latency when the trace
+    /// entry carries address metadata.
     pub fn latency(&self, class: FuClass) -> u64 {
         match class {
-            FuClass::Mem | FuClass::VecMem => self.memory.latency,
+            FuClass::Mem | FuClass::VecMem => self.memory.base_latency(),
             _ => self.pool(class).latency,
         }
     }
@@ -195,6 +248,7 @@ impl PipelineConfig {
                 return Err(format!("functional-unit pool {class} is empty"));
             }
         }
+        self.memory.validate()?;
         Ok(())
     }
 }
@@ -226,13 +280,35 @@ mod tests {
 
     #[test]
     fn memory_model_presets() {
-        assert_eq!(MemoryModel::PERFECT.latency, 1);
-        assert_eq!(MemoryModel::L2.latency, 12);
-        assert_eq!(MemoryModel::MAIN_MEMORY.latency, 50);
+        assert_eq!(MemoryModel::PERFECT.base_latency(), 1);
+        assert_eq!(MemoryModel::L2.base_latency(), 12);
+        assert_eq!(MemoryModel::MAIN_MEMORY.base_latency(), 50);
         let c = PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY);
         assert_eq!(c.latency(FuClass::Mem), 50);
         assert_eq!(c.latency(FuClass::VecMem), 50);
         assert_eq!(c.latency(FuClass::IntAlu), 1);
+    }
+
+    #[test]
+    fn hierarchy_model_accessors_and_labels() {
+        assert_eq!(MemoryModel::CACHE.base_latency(), 1);
+        assert!(MemoryModel::CACHE.hierarchy().is_some());
+        assert!(MemoryModel::PERFECT.hierarchy().is_none());
+        assert_eq!(MemoryModel::PERFECT.label(), "1");
+        assert_eq!(MemoryModel::MAIN_MEMORY.label(), "50");
+        assert_eq!(MemoryModel::CACHE.label(), "cache");
+        let c = PipelineConfig::way_with_memory(4, MemoryModel::CACHE);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.latency(FuClass::Mem), 1, "base latency is an L1 hit");
+    }
+
+    #[test]
+    fn validation_covers_the_memory_model() {
+        let mut h = crate::cache::HierarchyConfig::DEFAULT;
+        h.l1.sets = 0;
+        let mut c = PipelineConfig::way(4);
+        c.memory = MemoryModel::Hierarchy(h);
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -17,11 +17,19 @@
 //!   renaming through last-writer tracking, and per-class functional units
 //!   ([`config`]),
 //! * vector/matrix instructions occupy their functional unit for
-//!   `ceil(VL / lanes)` cycles and move `lanes` 64-bit words per cycle
-//!   through the vector memory port, exactly the `Vl/N` cost model of the
-//!   paper's Section 3,
-//! * an idealised memory system: fixed latency (1 / 12 / 50 cycles in the
-//!   paper's experiments), unlimited bandwidth behind the configured ports,
+//!   `ceil(VL / lanes)` cycles, and the vector memory port is occupied for
+//!   the bytes the traced access actually moved at `lanes` 64-bit words per
+//!   cycle — the `Vl/N` cost model of the paper's Section 3,
+//! * a configurable memory system ([`MemoryModel`]): either the paper's
+//!   idealised fixed latency (1 / 12 / 50 cycles), or a simulated
+//!   set-associative L1/L2 **cache hierarchy** with LRU replacement
+//!   ([`cache`]) driven by the effective addresses the functional simulator
+//!   records in the trace, charging each memory instruction its own
+//!   hit/miss latency and reporting per-level hit/miss counters and MPKI
+//!   through [`SimResult`],
+//! * **memory ordering** at issue: a load may not bypass an older store
+//!   whose data it might need — it waits unless both addresses are known
+//!   and disjoint (no store-to-load forwarding),
 //! * perfect branch prediction (the paper simulates kernels whose loop
 //!   branches are strongly biased; the stream is already resolved).
 //!
@@ -78,10 +86,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod ooo;
 pub mod stats;
 
+pub use cache::{CacheConfig, CacheSim, CacheStats, HierarchyConfig};
 pub use config::{FuPool, MemoryModel, PipelineConfig};
 pub use ooo::{Pipeline, PipelineFanout, PipelineSim};
 pub use stats::SimResult;

@@ -17,7 +17,15 @@
 //! cycle's dispatch group, so the incremental result is identical to
 //! replaying a materialised trace — which is exactly what the batch
 //! convenience wrapper [`Pipeline::simulate`] does.
+//!
+//! Memory instructions are charged by the configured [`crate::MemoryModel`]:
+//! a fixed latency, or a per-access hit/miss latency from the simulated
+//! L1/L2 [`crate::cache`] hierarchy driven by the effective addresses in the
+//! trace.  The issue stage additionally enforces **memory ordering**: a load
+//! may not issue past an older store that has not completed unless both
+//! addresses are known and disjoint (there is no store-to-load forwarding).
 
+use crate::cache::CacheSim;
 use crate::config::PipelineConfig;
 use crate::stats::SimResult;
 use mom_arch::{Trace, TraceEntry, TraceSink};
@@ -35,8 +43,9 @@ struct WindowEntry {
     seq: u64,
     /// Functional-unit class.
     fu: FuClass,
-    /// Cycles of functional-unit occupancy (ceil(VL / lanes) for matrix
-    /// instructions, 1 otherwise).
+    /// Cycles of functional-unit occupancy: ceil(VL / lanes) for matrix
+    /// compute instructions, ceil(bytes moved / port bytes-per-cycle) for
+    /// vector memory accesses, 1 otherwise (see [`PipelineSim::occupancy`]).
     occupancy: u64,
     /// Execution latency (result available `latency + occupancy - 1` cycles
     /// after issue).
@@ -47,6 +56,11 @@ struct WindowEntry {
     is_media: bool,
     /// Whether this instruction accesses memory.
     is_memory: bool,
+    /// Whether this instruction writes memory.
+    is_store: bool,
+    /// Conservative byte interval `[start, end)` the access covers, when the
+    /// trace carries address metadata.
+    mem_span: Option<(u64, u64)>,
     /// Sequence numbers of the producing instructions of each source.
     deps: [u64; 4],
     /// Number of valid entries in `deps`.
@@ -67,6 +81,10 @@ struct WindowEntry {
 #[derive(Debug, Clone)]
 pub struct PipelineSim {
     config: PipelineConfig,
+    /// The simulated data-cache hierarchy, when the memory model is
+    /// [`crate::MemoryModel::Hierarchy`].  Accessed in trace order at rename
+    /// time, which keeps streaming and batch replay bit-identical.
+    dcache: Option<CacheSim>,
     /// Renamed instructions not yet dispatched into the window.  Bounded:
     /// [`PipelineSim::feed`] drains it down to below one fetch group.
     pending: VecDeque<WindowEntry>,
@@ -100,6 +118,7 @@ impl PipelineSim {
             .map(|c| vec![0u64; config.pool(*c).count])
             .collect();
         PipelineSim {
+            dcache: config.memory.hierarchy().copied().map(CacheSim::new),
             pending: VecDeque::new(),
             window: VecDeque::with_capacity(config.rob_size),
             fu_busy,
@@ -120,11 +139,22 @@ impl PipelineSim {
 
     /// Occupancy (in cycles) of one dynamic instruction on its functional
     /// unit.
+    ///
+    /// The vector memory port moves `vec_mem_words` 64-bit words per cycle,
+    /// so a matrix access occupies it for the bytes it actually moves (from
+    /// the traced access size), not a flat per-row count.  The non-pipelined
+    /// transpose unit has occupancy 1 — serialisation comes from the unit
+    /// staying busy for the full latency (`busy_for = latency.max(occupancy)`
+    /// at issue), not from inflating the occupancy, which would double-count
+    /// the latency in the completion time.
     fn occupancy(&self, entry: &TraceEntry) -> u64 {
         let vl = entry.vl.max(1) as u64;
         match entry.instr.fu_class() {
-            FuClass::VecMem => vl.div_ceil(self.config.vec_mem_words as u64),
-            FuClass::MediaTranspose => self.config.media_transpose.latency,
+            FuClass::VecMem => {
+                let port_bytes = self.config.vec_mem_words as u64 * 8;
+                let bytes = entry.mem.map_or(vl * 8, |m| m.total_bytes());
+                bytes.div_ceil(port_bytes).max(1)
+            }
             _ if entry.instr.is_vl_dependent() => vl.div_ceil(self.config.media_lanes as u64),
             _ => 1,
         }
@@ -148,8 +178,18 @@ impl PipelineSim {
                 continue;
             }
             if let Some(w) = self.last_writer[reg.id()] {
-                deps[dep_count as usize] = w;
-                dep_count += 1;
+                // An instruction has at most four register sources
+                // (`RegList` enforces it), so the dependence list cannot
+                // overflow; guard anyway so a future wider instruction
+                // degrades to a dropped dependence instead of a panic.
+                debug_assert!(
+                    (dep_count as usize) < deps.len(),
+                    "more producers than dependence slots for {instr:?}"
+                );
+                if (dep_count as usize) < deps.len() {
+                    deps[dep_count as usize] = w;
+                    dep_count += 1;
+                }
             }
         }
         for reg in instr.dests().iter() {
@@ -157,14 +197,28 @@ impl PipelineSim {
                 self.last_writer[reg.id()] = Some(seq);
             }
         }
+        let fu = instr.fu_class();
+        // Memory instructions are charged by the memory model: the fixed
+        // latency, or the simulated per-access hit/miss latency when the
+        // model is a hierarchy and the trace carries addresses (entries
+        // without metadata are assumed to hit L1).
+        let latency = match (fu, &mut self.dcache) {
+            (FuClass::Mem | FuClass::VecMem, Some(cache)) => match entry.mem.as_ref() {
+                Some(access) => cache.access(access),
+                None => cache.hit_latency(),
+            },
+            _ => self.config.latency(fu),
+        };
         self.pending.push_back(WindowEntry {
             seq,
-            fu: instr.fu_class(),
+            fu,
             occupancy: self.occupancy(&entry),
-            latency: self.config.latency(instr.fu_class()),
+            latency,
             ops: entry.ops(),
             is_media: instr.is_media(),
             is_memory: instr.is_memory(),
+            is_store: instr.is_store(),
+            mem_span: entry.mem.map(|m| m.span()),
             deps,
             dep_count,
             issued: false,
@@ -184,6 +238,9 @@ impl PipelineSim {
             self.step_cycle();
         }
         self.result.cycles = self.cycle;
+        if let Some(cache) = &self.dcache {
+            self.result.cache = cache.stats;
+        }
         self.result
     }
 
@@ -249,6 +306,31 @@ impl PipelineSim {
             }
             if !ready {
                 continue;
+            }
+            // Memory ordering: a load may not issue past an older store that
+            // has not yet written memory, unless both addresses are known
+            // and the byte ranges are disjoint.  There is no store-to-load
+            // forwarding, so "written" means completed.  Stores older than
+            // the window head have committed and are done.
+            if self.window[i].is_memory && !self.window[i].is_store {
+                let load_span = self.window[i].mem_span;
+                for j in 0..i {
+                    let store = &self.window[j];
+                    if !store.is_store || (store.issued && store.complete_cycle <= self.cycle) {
+                        continue;
+                    }
+                    let disjoint = matches!(
+                        (load_span, store.mem_span),
+                        (Some(a), Some(b)) if !mom_arch::spans_overlap(a, b)
+                    );
+                    if !disjoint {
+                        ready = false;
+                        break;
+                    }
+                }
+                if !ready {
+                    continue;
+                }
             }
             // Structural hazard: find a free unit of the class.
             let fu = self.window[i].fu;
@@ -395,8 +477,9 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::HierarchyConfig;
     use crate::config::MemoryModel;
-    use mom_arch::TraceEntry;
+    use mom_arch::{MemAccess, TraceEntry};
     use mom_isa::prelude::*;
     use mom_isa::Instruction;
 
@@ -405,6 +488,16 @@ mod tests {
             instr,
             vl,
             taken: false,
+            mem: None,
+        }
+    }
+
+    fn entry_at(instr: Instruction, vl: u16, mem: MemAccess) -> TraceEntry {
+        TraceEntry {
+            instr,
+            vl,
+            taken: false,
+            mem: Some(mem),
         }
     }
 
@@ -434,8 +527,17 @@ mod tests {
 
     fn sim_mem(width: usize, latency: u64, entries: Vec<TraceEntry>) -> SimResult {
         let trace: Trace = entries.into_iter().collect();
-        let cfg = PipelineConfig::way_with_memory(width, MemoryModel { latency });
+        let cfg = PipelineConfig::way_with_memory(width, MemoryModel::Fixed { latency });
         Pipeline::new(cfg).simulate(&trace)
+    }
+
+    fn store(rs: u8, base: u8) -> Instruction {
+        Instruction::Store {
+            size: MemSize::Quad,
+            rs,
+            base,
+            offset: 0,
+        }
     }
 
     #[test]
@@ -743,6 +845,181 @@ mod tests {
             "four non-pipelined transposes must serialise: {}",
             r.cycles
         );
+    }
+
+    #[test]
+    fn transpose_latency_is_not_double_counted() {
+        // A single transpose on an idle machine: issue + 10-cycle latency +
+        // commit.  Before the occupancy fix the completion time was
+        // `latency + occupancy - 1 = 19` cycles after issue — charging the
+        // pool latency twice.
+        let r = sim(
+            4,
+            vec![entry(
+                Instruction::MomTranspose {
+                    md: 0,
+                    ms: 4,
+                    ty: ElemType::U8,
+                },
+                1,
+            )],
+        );
+        assert!(
+            r.cycles >= 10 && r.cycles <= 14,
+            "one transpose must take ~latency cycles, got {}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn vec_mem_occupancy_follows_traced_bytes() {
+        // A 16-row matrix load moves 128 bytes; the 2-word (16-byte) port
+        // needs 8 cycles whether the size comes from the metadata or from
+        // the VL fallback.
+        let mom_load = Instruction::MomLoad {
+            md: 0,
+            base: 1,
+            stride: 2,
+            ty: ElemType::U8,
+        };
+        let with_meta = sim(
+            4,
+            vec![entry_at(
+                mom_load,
+                16,
+                MemAccess::strided(0x100, 8, 16, 8, false),
+            )],
+        );
+        let without = sim(4, vec![entry(mom_load, 16)]);
+        assert_eq!(with_meta.fu_busy_cycles[&FuClass::VecMem], 8);
+        assert_eq!(without.fu_busy_cycles[&FuClass::VecMem], 8);
+        assert_eq!(with_meta.cycles, without.cycles);
+    }
+
+    #[test]
+    fn load_stalls_behind_older_overlapping_store() {
+        // r1 <- mem (50 cycles), store r1 -> 0x100, load <- 0x100.
+        // The final load overlaps the store and must wait for it; a load
+        // from a disjoint address may issue around it.
+        let chain = |load_addr: u64| {
+            vec![
+                entry_at(load(1, 10), 1, MemAccess::unit(0x500, 8, false)),
+                entry_at(store(1, 11), 1, MemAccess::unit(0x100, 8, true)),
+                entry_at(load(3, 12), 1, MemAccess::unit(load_addr, 8, false)),
+            ]
+        };
+        let overlapping = sim_mem(4, 50, chain(0x100));
+        let disjoint = sim_mem(4, 50, chain(0x200));
+        assert!(
+            overlapping.cycles >= disjoint.cycles + 40,
+            "overlapping load ({}) must serialise behind the store ({})",
+            overlapping.cycles,
+            disjoint.cycles
+        );
+    }
+
+    #[test]
+    fn load_stalls_behind_older_unknown_address_store() {
+        // The same chain, but the store carries no address metadata: the
+        // load must conservatively wait even though its own address is known.
+        let chain = |store_mem: Option<MemAccess>| {
+            vec![
+                entry_at(load(1, 10), 1, MemAccess::unit(0x500, 8, false)),
+                TraceEntry {
+                    instr: store(1, 11),
+                    vl: 1,
+                    taken: false,
+                    mem: store_mem,
+                },
+                entry_at(load(3, 12), 1, MemAccess::unit(0x200, 8, false)),
+            ]
+        };
+        let unknown = sim_mem(4, 50, chain(None));
+        let known_disjoint = sim_mem(4, 50, chain(Some(MemAccess::unit(0x100, 8, true))));
+        assert!(
+            unknown.cycles >= known_disjoint.cycles + 40,
+            "an unknown-address store must block younger loads ({} vs {})",
+            unknown.cycles,
+            known_disjoint.cycles
+        );
+    }
+
+    #[test]
+    fn widest_arity_instruction_renames_without_panicking() {
+        // MomStore reads four registers (matrix, base, stride, VL); write
+        // all four first so every source has a producer.
+        let mut sim = PipelineSim::new(PipelineConfig::way(4));
+        sim.feed(entry(Instruction::Li { rd: 1, imm: 0x100 }, 1));
+        sim.feed(entry(Instruction::Li { rd: 2, imm: 8 }, 1));
+        sim.feed(entry(Instruction::SetVlImm { vl: 8 }, 1));
+        sim.feed(entry(
+            Instruction::MomLoad {
+                md: 0,
+                base: 1,
+                stride: 2,
+                ty: ElemType::U8,
+            },
+            8,
+        ));
+        let mom_store = Instruction::MomStore {
+            ms: 0,
+            base: 1,
+            stride: 2,
+            ty: ElemType::U8,
+        };
+        assert_eq!(mom_store.sources().len(), 4, "widest-arity instruction");
+        sim.feed(entry(mom_store, 8));
+        let r = sim.finish();
+        assert_eq!(r.instructions, 5);
+    }
+
+    #[test]
+    fn hierarchy_charges_misses_then_hits() {
+        let cfg = PipelineConfig::way_with_memory(4, MemoryModel::CACHE);
+        let trace: Trace = vec![
+            entry_at(load(1, 10), 1, MemAccess::unit(0x1000, 8, false)),
+            entry_at(load(2, 10), 1, MemAccess::unit(0x1000, 8, false)),
+        ]
+        .into_iter()
+        .collect();
+        let r = Pipeline::new(cfg).simulate(&trace);
+        assert_eq!(r.cache.l1_misses, 1, "cold miss");
+        assert_eq!(r.cache.l2_misses, 1);
+        assert_eq!(r.cache.l1_hits, 1, "second access hits the filled line");
+        // The cold miss pays the full 1+12+50 chain.
+        assert!(r.cycles > 60, "cold miss must dominate: {}", r.cycles);
+        // A fixed 1-cycle model records no cache activity.
+        let fixed = sim_mem(4, 1, vec![entry(load(1, 10), 1)]);
+        assert_eq!(fixed.cache, Default::default());
+    }
+
+    #[test]
+    fn zero_miss_cost_hierarchy_degenerates_to_fixed() {
+        let mut h = HierarchyConfig::DEFAULT;
+        h.l1.hit_latency = 5;
+        h.l2.hit_latency = 0;
+        h.memory_latency = 0;
+        let entries = vec![
+            entry_at(load(1, 10), 1, MemAccess::unit(0x500, 8, false)),
+            entry(add(2, 1, 1), 1),
+            entry_at(store(2, 11), 1, MemAccess::unit(0x100, 8, true)),
+            entry_at(load(3, 12), 1, MemAccess::unit(0x100, 8, false)),
+            entry(add(4, 3, 3), 1),
+        ];
+        let trace: Trace = entries.into_iter().collect();
+        let hier = Pipeline::new(PipelineConfig::way_with_memory(
+            4,
+            MemoryModel::Hierarchy(h),
+        ))
+        .simulate(&trace);
+        let fixed = Pipeline::new(PipelineConfig::way_with_memory(
+            4,
+            MemoryModel::Fixed { latency: 5 },
+        ))
+        .simulate(&trace);
+        assert_eq!(hier.cycles, fixed.cycles);
+        assert_eq!(hier.instructions, fixed.instructions);
+        assert_eq!(hier.dispatch_stall_cycles, fixed.dispatch_stall_cycles);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulation results and the speed-up decomposition of the paper's
 //! Section 4.4 (IPC × OPI × R).
 
+use crate::cache::CacheStats;
 use mom_isa::FuClass;
 use std::collections::HashMap;
 
@@ -25,6 +26,9 @@ pub struct SimResult {
     /// Number of cycles in which no instruction could be dispatched because
     /// the reorder buffer was full.
     pub dispatch_stall_cycles: u64,
+    /// Data-cache hit/miss counters (all zero under a fixed-latency memory
+    /// model).
+    pub cache: CacheStats,
 }
 
 impl SimResult {
@@ -62,6 +66,26 @@ impl SimResult {
             0.0
         } else {
             self.media_instructions as f64 / self.instructions as f64
+        }
+    }
+
+    /// L1 data-cache misses per thousand committed instructions (0 when no
+    /// cache hierarchy was simulated).
+    pub fn l1_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cache.l1_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L2 misses (main-memory accesses) per thousand committed instructions
+    /// (0 when no cache hierarchy was simulated).
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cache.l2_misses as f64 * 1000.0 / self.instructions as f64
         }
     }
 
@@ -171,6 +195,16 @@ mod tests {
         assert_eq!(r.opc(), 0.0);
         assert_eq!(r.media_fraction(), 0.0);
         assert_eq!(r.fu_utilisation(FuClass::IntAlu, 2), 0.0);
+    }
+
+    #[test]
+    fn mpki_ratios() {
+        let mut r = result(100, 2000, 2000);
+        r.cache.l1_misses = 10;
+        r.cache.l2_misses = 4;
+        assert!((r.l1_mpki() - 5.0).abs() < 1e-12);
+        assert!((r.l2_mpki() - 2.0).abs() < 1e-12);
+        assert_eq!(SimResult::default().l1_mpki(), 0.0);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Property-based tests of the out-of-order timing model: structural
 //! invariants that must hold for any trace and any configuration.
 
-use mom_arch::{Trace, TraceEntry};
+use mom_arch::{MemAccess, Trace, TraceEntry};
 use mom_isa::prelude::*;
 use mom_isa::Instruction;
-use mom_pipeline::{MemoryModel, Pipeline, PipelineConfig};
+use mom_pipeline::{HierarchyConfig, MemoryModel, Pipeline, PipelineConfig, PipelineSim};
 use proptest::prelude::*;
 
 /// A small pool of instruction shapes to build random traces from.
@@ -59,14 +59,34 @@ fn random_instruction() -> impl Strategy<Value = Instruction> {
     ]
 }
 
+/// Random traces carry address metadata on most memory instructions (the
+/// functional simulator always records it) but drop it on some, to exercise
+/// the address-blind fallback paths of the timing model.
 fn random_trace(max_len: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec((random_instruction(), 1u16..=16), 1..max_len).prop_map(|entries| {
+    prop::collection::vec(
+        (random_instruction(), 1u16..=16, 0u64..0x8000, 0u8..8),
+        1..max_len,
+    )
+    .prop_map(|entries| {
         entries
             .into_iter()
-            .map(|(instr, vl)| TraceEntry {
-                instr,
-                vl: if instr.is_vl_dependent() { vl } else { 1 },
-                taken: false,
+            .map(|(instr, vl, addr, meta)| {
+                let vl = if instr.is_vl_dependent() { vl } else { 1 };
+                let mem = if instr.is_memory() && meta > 0 {
+                    Some(if instr.is_vl_dependent() {
+                        MemAccess::strided(addr, 8, vl, 8 * meta as i64, instr.is_store())
+                    } else {
+                        MemAccess::unit(addr, 8, instr.is_store())
+                    })
+                } else {
+                    None
+                };
+                TraceEntry {
+                    instr,
+                    vl,
+                    taken: false,
+                    mem,
+                }
             })
             .collect()
     })
@@ -80,7 +100,7 @@ proptest! {
     #[test]
     fn committed_work_equals_trace_work(trace in random_trace(120), width in prop::sample::select(vec![1usize, 2, 4, 8]), latency in prop::sample::select(vec![1u64, 12, 50])) {
         let stats = trace.stats();
-        let config = PipelineConfig::way_with_memory(width, MemoryModel { latency });
+        let config = PipelineConfig::way_with_memory(width, MemoryModel::Fixed { latency });
         let result = Pipeline::new(config).simulate(&trace);
         prop_assert_eq!(result.instructions, stats.instructions);
         prop_assert_eq!(result.operations, stats.operations);
@@ -157,6 +177,55 @@ proptest! {
         prop_assert_eq!(a.cycles, b.cycles);
         prop_assert_eq!(a.dispatch_stall_cycles, b.dispatch_stall_cycles);
         prop_assert_eq!(a.max_rob_occupancy, b.max_rob_occupancy);
+    }
+
+    /// A cache hierarchy whose miss costs are zero is observationally
+    /// identical to a fixed-latency memory at the L1 hit latency, for any
+    /// trace (with or without address metadata).
+    #[test]
+    fn zero_miss_cost_hierarchy_degenerates_to_fixed(trace in random_trace(100),
+                                                     hit in prop::sample::select(vec![1u64, 3, 12])) {
+        let mut h = HierarchyConfig::DEFAULT;
+        h.l1.hit_latency = hit;
+        h.l2.hit_latency = 0;
+        h.memory_latency = 0;
+        let hier = Pipeline::new(PipelineConfig::way_with_memory(4, MemoryModel::Hierarchy(h)))
+            .simulate(&trace);
+        let fixed = Pipeline::new(PipelineConfig::way_with_memory(4, MemoryModel::Fixed { latency: hit }))
+            .simulate(&trace);
+        prop_assert_eq!(hier.cycles, fixed.cycles);
+        prop_assert_eq!(hier.instructions, fixed.instructions);
+        prop_assert_eq!(hier.max_rob_occupancy, fixed.max_rob_occupancy);
+        prop_assert_eq!(hier.dispatch_stall_cycles, fixed.dispatch_stall_cycles);
+        prop_assert_eq!(&hier.fu_busy_cycles, &fixed.fu_busy_cycles);
+    }
+
+    /// Streaming a trace into an incremental consumer with a cache hierarchy
+    /// equals batch replay, including the cache counters.
+    #[test]
+    fn hierarchy_streaming_equals_batch(trace in random_trace(100)) {
+        let config = PipelineConfig::way_with_memory(4, MemoryModel::CACHE);
+        let batch = Pipeline::new(config.clone()).simulate(&trace);
+        let mut streaming = PipelineSim::new(config);
+        for e in trace.iter() {
+            streaming.feed(*e);
+        }
+        let streamed = streaming.finish();
+        prop_assert_eq!(batch.cycles, streamed.cycles);
+        prop_assert_eq!(batch.cache, streamed.cache);
+        prop_assert_eq!(batch.dispatch_stall_cycles, streamed.dispatch_stall_cycles);
+    }
+
+    /// The cache counters are internally consistent: every L1 miss looks up
+    /// L2, and at least every metadata-carrying memory instruction performs
+    /// an L1 lookup.
+    #[test]
+    fn cache_counters_are_consistent(trace in random_trace(100)) {
+        let result = Pipeline::new(PipelineConfig::way_with_memory(4, MemoryModel::CACHE))
+            .simulate(&trace);
+        prop_assert_eq!(result.cache.l1_misses, result.cache.l2_hits + result.cache.l2_misses);
+        let with_meta = trace.iter().filter(|e| e.mem.is_some()).count() as u64;
+        prop_assert!(result.cache.l1_accesses() >= with_meta);
     }
 
     /// Functional-unit busy cycles never exceed the available capacity

@@ -44,12 +44,13 @@ pub use mom_simd as simd;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
-    pub use mom_arch::{Machine, Memory, Trace, TraceEntry, TraceSink, TraceStats};
+    pub use mom_arch::{Machine, MemAccess, Memory, Trace, TraceEntry, TraceSink, TraceStats};
     pub use mom_isa::prelude::*;
     pub use mom_kernels::{
         run_kernel, run_kernel_with_sink, verify_kernel, KernelError, KernelId, KernelRun,
     };
     pub use mom_pipeline::{
-        MemoryModel, Pipeline, PipelineConfig, PipelineFanout, PipelineSim, SimResult,
+        CacheConfig, CacheStats, HierarchyConfig, MemoryModel, Pipeline, PipelineConfig,
+        PipelineFanout, PipelineSim, SimResult,
     };
 }

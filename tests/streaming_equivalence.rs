@@ -34,6 +34,7 @@ fn assert_results_equal(batch: &SimResult, streamed: &SimResult, context: &str) 
         batch.dispatch_stall_cycles, streamed.dispatch_stall_cycles,
         "{context}: stall cycles"
     );
+    assert_eq!(batch.cache, streamed.cache, "{context}: cache counters");
     // The derived ratios follow, bit for bit.
     assert_eq!(
         batch.ipc().to_bits(),
@@ -76,31 +77,64 @@ proptest! {
         }
     }
 
+    /// Fused streaming equals batch replay under the cache hierarchy too:
+    /// the cache is accessed in trace order, so the per-access latencies and
+    /// the hit/miss counters are identical along both paths.
+    #[test]
+    fn fused_streaming_equals_batch_replay_with_caches(seed in any::<u64>()) {
+        for kernel in [KernelId::Motion1, KernelId::Idct] {
+            for isa in IsaKind::ALL {
+                let config = PipelineConfig::way_with_memory(4, MemoryModel::CACHE);
+
+                let run = run_kernel(kernel, isa, seed, 1)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let batch = Pipeline::new(config.clone()).simulate(&run.trace);
+
+                let mut core = Pipeline::new(config).streaming();
+                run_kernel_with_sink(kernel, isa, seed, 1, &mut core)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let streamed = core.finish();
+
+                assert_results_equal(&batch, &streamed, &format!("{kernel}/{isa} cache"));
+                assert!(
+                    streamed.cache.l1_accesses() >= streamed.memory_instructions,
+                    "{kernel}/{isa}: every memory instruction must look up the cache"
+                );
+            }
+        }
+    }
+
     /// The fan-out consumer gives each configuration exactly what a
-    /// dedicated pass would, over multi-iteration streams.
+    /// dedicated pass would, over multi-iteration streams — including a
+    /// cache-hierarchy configuration whose cache state is private per
+    /// consumer.
     #[test]
     fn fanout_equals_dedicated_passes(seed in any::<u64>(), iterations in 1usize..4) {
         let kernel = KernelId::Motion2;
         let widths = [1usize, 4, 8];
         for isa in IsaKind::ALL {
-            let mut fanout = PipelineFanout::new(widths.map(PipelineConfig::way));
+            let mut configs: Vec<PipelineConfig> =
+                widths.map(PipelineConfig::way).into_iter().collect();
+            configs.push(PipelineConfig::way_with_memory(4, MemoryModel::CACHE));
+            let mut fanout = PipelineFanout::new(configs.clone());
             run_kernel_with_sink(kernel, isa, seed, iterations, &mut fanout)
                 .unwrap_or_else(|e| panic!("{e}"));
             let fanned = fanout.finish();
 
-            for (width, fanned_result) in widths.into_iter().zip(&fanned) {
-                let mut core = Pipeline::new(PipelineConfig::way(width)).streaming();
+            for (config, fanned_result) in configs.into_iter().zip(&fanned) {
+                let mut core = Pipeline::new(config).streaming();
                 run_kernel_with_sink(kernel, isa, seed, iterations, &mut core)
                     .unwrap_or_else(|e| panic!("{e}"));
                 let dedicated = core.finish();
                 assert_results_equal(
                     &dedicated,
                     fanned_result,
-                    &format!("{kernel}/{isa} w{width} x{iterations}"),
+                    &format!("{kernel}/{isa} x{iterations}"),
                 );
             }
         }
     }
+
 }
 
 /// Not a property but a guarantee the refactor exists to provide: the
