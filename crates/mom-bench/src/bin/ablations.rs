@@ -5,42 +5,11 @@
 //!   need of increasing the fetch/issue rate",
 //! * reorder-buffer size under 50-cycle memory — why MOM tolerates latency
 //!   with a much smaller instruction window.
-
-use mom_kernels::KernelId;
+//!
+//! Thin alias for `momsim run ablation-lanes` + `momsim run ablation-rob`.
+//! Usage: `ablations [--json PATH]` — prints both series, and with `--json`
+//! writes one JSON document holding both.
 
 fn main() {
-    println!("Ablation 1: multimedia lanes (4-way, perfect memory), cycles per invocation");
-    println!(
-        "{:<10} {:>6} {:>12} {:>12}",
-        "kernel", "lanes", "MOM", "MMX"
-    );
-    for kernel in [KernelId::Motion1, KernelId::Idct, KernelId::Compensation] {
-        let points = mom_bench::ablation_lanes(kernel)
-            .unwrap_or_else(|e| panic!("lane ablation failed: {e}"));
-        for p in points {
-            println!(
-                "{:<10} {:>6} {:>12.0} {:>12.0}",
-                p.kernel.name(),
-                p.value,
-                p.mom_cycles,
-                p.mmx_cycles
-            );
-        }
-    }
-    println!();
-    println!("Ablation 2: reorder-buffer size (4-way, 50-cycle memory), cycles per invocation");
-    println!("{:<10} {:>6} {:>12} {:>12}", "kernel", "rob", "MOM", "MMX");
-    for kernel in [KernelId::Motion1, KernelId::Compensation] {
-        let points =
-            mom_bench::ablation_rob(kernel).unwrap_or_else(|e| panic!("rob ablation failed: {e}"));
-        for p in points {
-            println!(
-                "{:<10} {:>6} {:>12.0} {:>12.0}",
-                p.kernel.name(),
-                p.value,
-                p.mom_cycles,
-                p.mmx_cycles
-            );
-        }
-    }
+    std::process::exit(mom_bench::cli::ablations_main());
 }

@@ -1,16 +1,10 @@
 //! Reproduces Figure 4 of the paper: speed-up of the MMX, MDMX and MOM ISAs
 //! over the scalar baseline for 1/2/4/8-way machines with a perfect memory.
 //!
-//! Usage: `fig4 [--json PATH]` — prints the aligned text table, and with
-//! `--json` also writes the machine-readable `BENCH_fig4.json`-style report.
+//! Thin alias for `momsim run fig4`.  Usage: `fig4 [--json PATH]` — prints
+//! the aligned text table, and with `--json` also writes the
+//! machine-readable `BENCH_fig4.json`-style report.
 
 fn main() {
-    let json_path = mom_bench::json_arg();
-    let points = mom_bench::figure4().unwrap_or_else(|e| panic!("figure 4 sweep failed: {e}"));
-    print!("{}", mom_bench::format_figure4(&points));
-    if let Some(path) = json_path {
-        std::fs::write(&path, mom_bench::figure4_json(&points).pretty())
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
-    }
+    std::process::exit(mom_bench::cli::alias_main("fig4"));
 }

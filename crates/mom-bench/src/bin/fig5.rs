@@ -1,16 +1,11 @@
-//! Reproduces Figure 5 of the paper: the impact of memory latency (1, 12 and
-//! 50 cycles) on every kernel and ISA, on the 4-way core.
+//! Reproduces Figure 5 of the paper: the impact of the memory system (1, 12
+//! and 50 fixed cycles plus the simulated L1/L2 hierarchy) on every kernel
+//! and ISA, on the 4-way core.
 //!
-//! Usage: `fig5 [--json PATH]` — prints the aligned text table, and with
-//! `--json` also writes the machine-readable `BENCH_fig5.json`-style report.
+//! Thin alias for `momsim run fig5`.  Usage: `fig5 [--json PATH]` — prints
+//! the aligned text table, and with `--json` also writes the
+//! machine-readable `BENCH_fig5.json`-style report.
 
 fn main() {
-    let json_path = mom_bench::json_arg();
-    let points = mom_bench::figure5().unwrap_or_else(|e| panic!("figure 5 sweep failed: {e}"));
-    print!("{}", mom_bench::format_figure5(&points));
-    if let Some(path) = json_path {
-        std::fs::write(&path, mom_bench::figure5_json(&points).pretty())
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
-    }
+    std::process::exit(mom_bench::cli::alias_main("fig5"));
 }

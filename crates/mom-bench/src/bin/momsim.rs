@@ -1,0 +1,16 @@
+//! The unified experiment CLI: list registered experiments, run any
+//! registered or ad-hoc scenario grid, regenerate the `BENCH_*.json`
+//! reports.
+//!
+//! Usage (see `momsim help`):
+//!
+//! ```text
+//! momsim list
+//! momsim run fig5 --json BENCH_fig5.json
+//! momsim run --kernels idct,motion1 --isas mom,mdmx --widths 1,2,4,8 --memory l1l2
+//! momsim sweep --out-dir .
+//! ```
+
+fn main() {
+    std::process::exit(mom_bench::cli::momsim_main());
+}

@@ -2,53 +2,11 @@
 //! the paper's Figures 4 and 5 and Tables 1–9, run concurrently, emitting
 //! one machine-readable `BENCH_*.json` report per experiment.
 //!
-//! Usage: `sweep [--out-dir DIR]` (default: the current directory).  Writes
-//! `BENCH_fig4.json`, `BENCH_fig5.json` and `BENCH_tables.json`, and prints
-//! a one-line summary per report — the seed of the repository's performance
-//! trajectory tracking.
-
-use std::path::PathBuf;
+//! Thin alias for `momsim sweep`.  Usage: `sweep [--out-dir DIR]` (default:
+//! the current directory).  Writes `BENCH_fig4.json`, `BENCH_fig5.json` and
+//! `BENCH_tables.json`, and prints a one-line summary per report — the seed
+//! of the repository's performance trajectory tracking.
 
 fn main() {
-    let mut out_dir = PathBuf::from(".");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--out-dir" => {
-                out_dir = PathBuf::from(
-                    args.next()
-                        .unwrap_or_else(|| mom_bench::usage_error("--out-dir needs a value")),
-                )
-            }
-            other => mom_bench::usage_error(&format!(
-                "unknown argument {other} (expected --out-dir DIR)"
-            )),
-        }
-    }
-    std::fs::create_dir_all(&out_dir)
-        .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
-
-    let write = |name: &str, body: String, points: usize| {
-        let path = out_dir.join(name);
-        std::fs::write(&path, body).unwrap_or_else(|e| panic!("cannot write {name}: {e}"));
-        println!("{:<20} {points:>5} points", path.display());
-    };
-
-    // One measured pass per (kernel, ISA) pair feeds all three reports.
-    let results = mom_bench::full_sweep().unwrap_or_else(|e| panic!("sweep failed: {e}"));
-    write(
-        "BENCH_fig4.json",
-        mom_bench::figure4_json(&results.fig4).pretty(),
-        results.fig4.len(),
-    );
-    write(
-        "BENCH_fig5.json",
-        mom_bench::figure5_json(&results.fig5).pretty(),
-        results.fig5.len(),
-    );
-    write(
-        "BENCH_tables.json",
-        mom_bench::tables_json(&results.tables).pretty(),
-        results.tables.len(),
-    );
+    std::process::exit(mom_bench::cli::sweep_main());
 }

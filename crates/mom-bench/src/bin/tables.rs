@@ -1,17 +1,10 @@
 //! Reproduces Tables 1–9 of the paper: the IPC / OPI / R / S / F / VLx / VLy
 //! speed-up decomposition for every kernel on the 4-way core.
 //!
-//! Usage: `tables [--json PATH]` — prints the aligned text tables, and with
-//! `--json` also writes the machine-readable `BENCH_tables.json`-style
-//! report.
+//! Thin alias for `momsim run tables`.  Usage: `tables [--json PATH]` —
+//! prints the aligned text tables, and with `--json` also writes the
+//! machine-readable `BENCH_tables.json`-style report.
 
 fn main() {
-    let json_path = mom_bench::json_arg();
-    let rows = mom_bench::tables().unwrap_or_else(|e| panic!("tables sweep failed: {e}"));
-    print!("{}", mom_bench::format_tables(&rows));
-    if let Some(path) = json_path {
-        std::fs::write(&path, mom_bench::tables_json(&rows).pretty())
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
-    }
+    std::process::exit(mom_bench::cli::alias_main("tables"));
 }

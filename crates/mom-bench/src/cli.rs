@@ -1,0 +1,529 @@
+//! The `momsim` command-line front end, and the shared argument parsing of
+//! the thin report binaries (`fig4`, `fig5`, `tables`, `ablations`,
+//! `sweep`).
+//!
+//! One binary runs any experiment:
+//!
+//! ```text
+//! momsim list                         # registered experiments + axis values
+//! momsim run fig5 --json out.json     # a registered experiment
+//! momsim run --kernels idct,motion1 --isas mom,mdmx \
+//!            --widths 1,2,4,8 --memory l1l2          # an ad-hoc grid
+//! momsim sweep --out-dir .            # regenerate every BENCH_*.json
+//! ```
+//!
+//! Axis values are parsed with the `FromStr` implementations of
+//! [`KernelId`], [`IsaKind`] and [`MemoryModel`], so a typo produces an
+//! error listing the valid names instead of a panic.  All parsing returns
+//! [`Result`]; the binaries map errors to exit status 2 (usage) or 1
+//! (runtime failure).
+
+use crate::json::Json;
+use crate::spec::{find_experiment, registry, ExperimentError, ExperimentSpec};
+use crate::{full_sweep, Report};
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::{MemoryModel, PipelineConfig};
+use std::path::{Path, PathBuf};
+
+/// A command-line failure: bad usage, a failed experiment run, or an I/O
+/// error writing a report.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments (unknown flag, unparsable axis value, missing operand).
+    Usage(String),
+    /// The experiment itself failed (invalid spec or kernel verification).
+    Experiment(ExperimentError),
+    /// Reading or writing a report file failed.
+    Io(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(message) => f.write_str(message),
+            CliError::Experiment(e) => write!(f, "{e}"),
+            CliError::Io(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ExperimentError> for CliError {
+    fn from(e: ExperimentError) -> Self {
+        CliError::Experiment(e)
+    }
+}
+
+impl CliError {
+    /// The conventional exit status: 2 for usage errors, 1 otherwise.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Prints the error (if any) to stderr and returns the process exit code.
+fn finish(result: Result<(), CliError>) -> i32 {
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            e.exit_code()
+        }
+    }
+}
+
+/// Parses the `--json PATH` option shared by the report binaries from an
+/// argument iterator (without the program name).
+///
+/// Unlike the former per-binary copies, bad arguments are returned as
+/// [`CliError::Usage`] values instead of terminating the process.
+pub fn json_path_arg(args: impl IntoIterator<Item = String>) -> Result<Option<PathBuf>, CliError> {
+    let mut path = None;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" if path.is_none() => match args.next() {
+                Some(p) => path = Some(PathBuf::from(p)),
+                None => return Err(CliError::Usage("--json needs a path argument".into())),
+            },
+            "--json" => return Err(CliError::Usage("--json given twice".into())),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument {other} (expected --json PATH)"
+                )))
+            }
+        }
+    }
+    Ok(path)
+}
+
+fn write_report(path: &Path, doc: &Json) -> Result<(), CliError> {
+    std::fs::write(path, doc.pretty())
+        .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+fn run_registered(name: &str, json: Option<PathBuf>) -> Result<(), CliError> {
+    let report = find_experiment(name).map_err(CliError::Usage)?.run()?;
+    print!("{}", report.text());
+    if let Some(path) = json {
+        write_report(&path, &report.json())?;
+    }
+    Ok(())
+}
+
+/// Entry point of the thin report aliases (`fig4`, `fig5`, `tables`): runs
+/// the named registered experiment with the shared `--json PATH` option and
+/// returns the process exit code.
+pub fn alias_main(name: &str) -> i32 {
+    finish(json_path_arg(std::env::args().skip(1)).and_then(|json| run_registered(name, json)))
+}
+
+/// Entry point of the `ablations` alias: runs both registered ablations
+/// (`--json PATH` writes one document holding both series) and returns the
+/// process exit code.
+pub fn ablations_main() -> i32 {
+    finish((|| {
+        let json = json_path_arg(std::env::args().skip(1))?;
+        let lanes = find_experiment("ablation-lanes")
+            .map_err(CliError::Usage)?
+            .run()?;
+        let rob = find_experiment("ablation-rob")
+            .map_err(CliError::Usage)?
+            .run()?;
+        print!("{}", lanes.text());
+        println!();
+        print!("{}", rob.text());
+        if let Some(path) = json {
+            let doc = Json::obj([
+                ("schema", Json::int(1)),
+                ("experiment", Json::str("ablations")),
+                ("lanes", lanes.json()),
+                ("rob", rob.json()),
+            ]);
+            write_report(&path, &doc)?;
+        }
+        Ok(())
+    })())
+}
+
+fn run_sweep(out_dir: &Path) -> Result<(), CliError> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| CliError::Io(format!("cannot create {}: {e}", out_dir.display())))?;
+    // One measured pass per (kernel, ISA) pair feeds all three reports.
+    let results = full_sweep()?;
+    for (name, report) in [
+        ("BENCH_fig4.json", Report::Fig4(results.fig4)),
+        ("BENCH_fig5.json", Report::Fig5(results.fig5)),
+        ("BENCH_tables.json", Report::Tables(results.tables)),
+    ] {
+        let path = out_dir.join(name);
+        std::fs::write(&path, report.json().pretty())
+            .map_err(|e| CliError::Io(format!("cannot write {name}: {e}")))?;
+        println!("{:<20} {:>5} points", path.display(), report.points());
+    }
+    Ok(())
+}
+
+fn sweep_args(args: impl IntoIterator<Item = String>) -> Result<PathBuf, CliError> {
+    let mut out_dir = PathBuf::from(".");
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out-dir" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return Err(CliError::Usage("--out-dir needs a value".into())),
+            },
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument {other} (expected --out-dir DIR)"
+                )))
+            }
+        }
+    }
+    Ok(out_dir)
+}
+
+/// Entry point of the `sweep` alias: regenerates every `BENCH_*.json` from
+/// one shared grid run and returns the process exit code.
+pub fn sweep_main() -> i32 {
+    finish(sweep_args(std::env::args().skip(1)).and_then(|dir| run_sweep(&dir)))
+}
+
+const USAGE: &str = "\
+momsim — declarative experiment runner for the MOM (SC'99) reproduction
+
+USAGE:
+  momsim list
+      Show the registered experiments and the valid axis values.
+  momsim run <experiment> [--json PATH]
+      Run a registered experiment (fig4, fig5, tables, ablation-lanes,
+      ablation-rob); print the text report and optionally write the JSON.
+  momsim run [AXES] [--json PATH]
+      Run an ad-hoc scenario grid assembled from axis flags:
+        --kernels K,K,..       kernel names, or 'all' (default: all)
+        --isas I,I,..          isa names, 'all' or 'media' (default: all)
+        --widths N,N,..        issue widths (default: 4)
+        --memory M,M,..        memory models: a latency in cycles,
+                               perfect, l2, main, cache/l1l2 (default: 1)
+        --rob N,N,..           reorder-buffer sizes (default: 16 x width)
+        --lanes N,N,..         multimedia lane counts (default: width-derived)
+        --replication N        min dynamic instructions (default: 4000)
+        --seed N               workload seed (default: 23705)
+  momsim sweep [--out-dir DIR]
+      Regenerate BENCH_fig4.json, BENCH_fig5.json and BENCH_tables.json.
+";
+
+fn list() {
+    println!("registered experiments (momsim run <name>):");
+    for e in registry() {
+        println!("  {:<16} {}", e.name, e.description);
+    }
+    println!();
+    println!("kernels (--kernels):");
+    for k in KernelId::all() {
+        println!(
+            "  {:<10} {} [{}]",
+            k.name(),
+            k.description(),
+            k.source_program()
+        );
+    }
+    println!();
+    println!("isas (--isas):");
+    for i in IsaKind::all() {
+        println!(
+            "  {:<10} {}",
+            i.name().to_ascii_lowercase(),
+            i.description()
+        );
+    }
+    println!();
+    println!("memory models (--memory): a latency in cycles, perfect, l2, main, cache/l1l2");
+}
+
+fn parse_list<T>(flag: &str, value: &str) -> Result<Vec<T>, CliError>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let parsed: Result<Vec<T>, CliError> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|e: T::Err| CliError::Usage(format!("{flag}: {e}")))
+        })
+        .collect();
+    let parsed = parsed?;
+    if parsed.is_empty() {
+        return Err(CliError::Usage(format!("{flag} needs at least one value")));
+    }
+    Ok(parsed)
+}
+
+/// Parsed ad-hoc grid axes of `momsim run --kernels .. --isas ..`.
+#[derive(Debug, Default)]
+struct GridArgs {
+    kernels: Option<Vec<KernelId>>,
+    isas: Option<Vec<IsaKind>>,
+    widths: Option<Vec<usize>>,
+    memory: Option<Vec<MemoryModel>>,
+    rob: Option<Vec<usize>>,
+    lanes: Option<Vec<usize>>,
+    replication: Option<usize>,
+    seed: Option<u64>,
+    json: Option<PathBuf>,
+}
+
+fn parse_grid_args(args: &[String]) -> Result<GridArgs, CliError> {
+    let mut parsed = GridArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--kernels" => {
+                let v = value()?;
+                parsed.kernels = Some(if v == "all" {
+                    KernelId::ALL.to_vec()
+                } else {
+                    parse_list("--kernels", v)?
+                });
+            }
+            "--isas" => {
+                let v = value()?;
+                parsed.isas = Some(match v {
+                    "all" => IsaKind::ALL.to_vec(),
+                    "media" => IsaKind::MEDIA.to_vec(),
+                    _ => parse_list("--isas", v)?,
+                });
+            }
+            "--widths" => parsed.widths = Some(parse_list("--widths", value()?)?),
+            "--memory" => parsed.memory = Some(parse_list("--memory", value()?)?),
+            "--rob" => parsed.rob = Some(parse_list("--rob", value()?)?),
+            "--lanes" => parsed.lanes = Some(parse_list("--lanes", value()?)?),
+            "--replication" => {
+                parsed.replication = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--replication: {e}")))?,
+                )
+            }
+            "--seed" => {
+                parsed.seed = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--seed: {e}")))?,
+                )
+            }
+            "--json" => parsed.json = Some(PathBuf::from(value()?)),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument {other} (see `momsim help`)"
+                )))
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+/// Assembles the [`ExperimentSpec`] of an ad-hoc grid: the cross product of
+/// the width, memory, ROB and lane axes, each configuration built (and
+/// validated) by [`PipelineConfig::builder`].
+fn grid_spec(args: &GridArgs) -> Result<ExperimentSpec, CliError> {
+    let mut spec = ExperimentSpec::default();
+    if let Some(kernels) = &args.kernels {
+        spec.kernels = kernels.clone();
+    }
+    if let Some(isas) = &args.isas {
+        spec.isas = isas.clone();
+    }
+    if let Some(replication) = args.replication {
+        spec.replication = replication;
+    }
+    if let Some(seed) = args.seed {
+        spec.seed = seed;
+    }
+    let optional = |values: &Option<Vec<usize>>| -> Vec<Option<usize>> {
+        match values {
+            Some(values) => values.iter().copied().map(Some).collect(),
+            None => vec![None],
+        }
+    };
+    let mut configs = Vec::new();
+    for &width in args.widths.as_deref().unwrap_or(&[4]) {
+        for &memory in args.memory.as_deref().unwrap_or(&[MemoryModel::PERFECT]) {
+            for rob in optional(&args.rob) {
+                for lanes in optional(&args.lanes) {
+                    let mut builder = PipelineConfig::builder().issue_width(width).memory(memory);
+                    if let Some(rob) = rob {
+                        builder = builder.rob(rob);
+                    }
+                    if let Some(lanes) = lanes {
+                        builder = builder.lanes(lanes);
+                    }
+                    configs.push(builder.build().map_err(CliError::Usage)?);
+                }
+            }
+        }
+    }
+    spec.configs = configs;
+    Ok(spec)
+}
+
+fn run_command(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        // `momsim run <registered> [--json PATH]`
+        Some(name) if !name.starts_with("--") => {
+            let json = json_path_arg(args[1..].iter().cloned())?;
+            run_registered(name, json)
+        }
+        // `momsim run --kernels .. --isas ..` (an ad-hoc grid)
+        Some(_) => {
+            let parsed = parse_grid_args(args)?;
+            let spec = grid_spec(&parsed)?;
+            let report = Report::Grid(spec.run()?);
+            print!("{}", report.text());
+            if let Some(path) = &parsed.json {
+                write_report(path, &report.json())?;
+            }
+            Ok(())
+        }
+        None => Err(CliError::Usage(
+            "momsim run needs an experiment name or axis flags (see `momsim help`)".into(),
+        )),
+    }
+}
+
+/// Entry point of the `momsim` binary; returns the process exit code.
+pub fn momsim_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            if args.len() > 1 {
+                return finish(Err(CliError::Usage(
+                    "momsim list takes no arguments".into(),
+                )));
+            }
+            list();
+            0
+        }
+        Some("run") => finish(run_command(&args[1..])),
+        Some("sweep") => finish(sweep_args(args[1..].to_vec()).and_then(|dir| run_sweep(&dir))),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => finish(Err(CliError::Usage(format!(
+            "unknown command '{other}' (see `momsim help`)"
+        )))),
+        None => {
+            eprint!("{USAGE}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn json_path_parsing_returns_errors_not_exits() {
+        assert_eq!(json_path_arg(strs(&[])).unwrap(), None);
+        assert_eq!(
+            json_path_arg(strs(&["--json", "out.json"])).unwrap(),
+            Some(PathBuf::from("out.json"))
+        );
+        for bad in [
+            strs(&["--json"]),
+            strs(&["--json", "a", "--json", "b"]),
+            strs(&["--frobnicate"]),
+        ] {
+            let err = json_path_arg(bad).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{err}");
+        }
+    }
+
+    #[test]
+    fn grid_args_assemble_the_cross_product() {
+        let parsed = parse_grid_args(&strs(&[
+            "--kernels",
+            "idct,motion1",
+            "--isas",
+            "mom,mdmx",
+            "--widths",
+            "1,2,4,8",
+            "--memory",
+            "l1l2",
+        ]))
+        .unwrap();
+        let spec = grid_spec(&parsed).unwrap();
+        assert_eq!(spec.kernels, vec![KernelId::Idct, KernelId::Motion1]);
+        assert_eq!(spec.isas, vec![IsaKind::Mom, IsaKind::Mdmx]);
+        assert_eq!(spec.configs.len(), 4);
+        assert!(spec.configs.iter().all(|c| c.memory == MemoryModel::CACHE));
+        assert_eq!(
+            spec.configs.iter().map(|c| c.width).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8]
+        );
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_args_sweep_rob_and_lanes() {
+        let parsed = parse_grid_args(&strs(&[
+            "--rob",
+            "16,32",
+            "--lanes",
+            "1,2",
+            "--seed",
+            "7",
+            "--replication",
+            "100",
+        ]))
+        .unwrap();
+        let spec = grid_spec(&parsed).unwrap();
+        assert_eq!(spec.configs.len(), 4, "2 rob x 2 lane values");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.replication, 100);
+        assert_eq!(spec.kernels.len(), KernelId::ALL.len(), "default axis");
+        let robs: Vec<usize> = spec.configs.iter().map(|c| c.rob_size).collect();
+        assert_eq!(robs, vec![16, 16, 32, 32]);
+        let lanes: Vec<usize> = spec.configs.iter().map(|c| c.media_lanes).collect();
+        assert_eq!(lanes, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn bad_axis_values_report_the_valid_names() {
+        let err = parse_grid_args(&strs(&["--kernels", "fft"])).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("idct"), "{text}");
+        assert_eq!(err.exit_code(), 2);
+        let err = parse_grid_args(&strs(&["--isas", "sse"])).unwrap_err();
+        assert!(err.to_string().contains("mdmx"));
+        let err = parse_grid_args(&strs(&["--memory", "dram"])).unwrap_err();
+        assert!(err.to_string().contains("l1l2"));
+        let err = parse_grid_args(&strs(&["--widths", "x"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        // Invalid machine axes surface the builder's validation message.
+        let parsed = parse_grid_args(&strs(&["--widths", "0"])).unwrap();
+        let err = grid_spec(&parsed).unwrap_err();
+        assert!(err.to_string().contains("issue width"), "{err}");
+    }
+}

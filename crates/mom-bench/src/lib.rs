@@ -1,44 +1,57 @@
-//! # mom-bench — experiment drivers for the SC'99 MOM evaluation
+//! # mom-bench — declarative experiments for the SC'99 MOM evaluation
 //!
 //! This crate turns the kernels (`mom-kernels`) and the timing simulator
-//! (`mom-pipeline`) into the paper's experiments:
+//! (`mom-pipeline`) into a **declarative experiment layer**: the paper's
+//! evaluation grid — kernels × ISAs × machine configurations — is described
+//! by an [`ExperimentSpec`] (scenario axes as plain data), executed by a
+//! generic grid runner ([`ExperimentSpec::run`]), and post-processed into a
+//! [`Report`] by per-experiment derivations.  The paper's figures and the
+//! ablations beyond them are *registered* specs ([`registry`]):
 //!
-//! * [`figure4`] — speed-up of MMX / MDMX / MOM over the scalar baseline for
+//! * `fig4` — speed-up of MMX / MDMX / MOM over the scalar baseline for
 //!   issue widths 1, 2, 4 and 8 with a perfect (1-cycle) memory,
-//! * [`figure5`] — cycle counts of all four ISAs on the 4-way core as the
+//! * `fig5` — cycle counts of all four ISAs on the 4-way core as the
 //!   memory latency grows from 1 to 12 to 50 cycles, plus a "real cache"
 //!   point that swaps the fixed latency for the simulated L1/L2 hierarchy
 //!   (per-level hit/miss counters and MPKI land in the JSON report),
-//! * [`tables`] — the per-kernel IPC / OPI / R / S / F / VLx / VLy breakdown
+//! * `tables` — the per-kernel IPC / OPI / R / S / F / VLx / VLy breakdown
 //!   of Tables 1–9 (4-way, 1-cycle memory),
-//! * [`ablation_lanes`] / [`ablation_rob`] — studies beyond the paper,
-//!   varying the number of multimedia lanes and the reorder-buffer size.
+//! * `ablation-lanes` / `ablation-rob` — studies beyond the paper, varying
+//!   the number of multimedia lanes and the reorder-buffer size.
 //!
-//! The drivers are built on the workspace's **streaming architecture**: one
+//! The runner is built on the workspace's **streaming architecture**: one
 //! functional run of a kernel drives a [`PipelineFanout`] over every machine
-//! configuration of the experiment, so a sweep executes each (kernel, ISA)
-//! pair exactly once, and the (kernel, ISA) pairs of a sweep run
-//! concurrently on a thread pool ([`sweep`]).  Every report is available
-//! both as an aligned text table (`format_*`) and as a machine-readable
-//! JSON document (`*_json`) for `BENCH_fig4.json`-style perf tracking.
+//! configuration of the experiment, so a grid executes each (kernel, ISA)
+//! pair exactly once, and the pairs run concurrently on a thread pool
+//! ([`sweep`]).  Every report is available both as an aligned text table
+//! and as a machine-readable JSON document ([`Report::text`] /
+//! [`Report::json`]) for `BENCH_fig4.json`-style perf tracking.
 //!
-//! Binaries `fig4`, `fig5`, `tables` and `ablations` print the text tables
-//! (pass `--json PATH` to also write the JSON report); the `sweep` binary
-//! regenerates every `BENCH_*.json` at once.  The Criterion benches under
-//! `benches/` wrap the same drivers so `cargo bench` regenerates every
-//! figure and table.
+//! The **`momsim`** binary ([`cli`]) is the front end: `momsim list` shows
+//! the registered experiments and axes, `momsim run fig5 --json PATH` runs
+//! a registered spec, and `momsim run --kernels idct,motion1 --isas mom,mdmx
+//! --widths 1,2,4,8 --memory l1l2` assembles an ad-hoc grid from named axis
+//! values.  The `fig4`, `fig5`, `tables`, `ablations` and `sweep` binaries
+//! are thin aliases over the same code paths, and the Criterion benches
+//! under `benches/` wrap the same drivers so `cargo bench` regenerates
+//! every figure and table.
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod json;
+pub mod spec;
 pub mod sweep;
+
+pub use spec::{
+    find_experiment, registry, ExperimentError, ExperimentSpec, GridResult, NamedExperiment,
+};
 
 use json::Json;
 use mom_arch::TraceStats;
 use mom_isa::IsaKind;
 use mom_kernels::{run_kernel, KernelError, KernelId, KernelRun};
 use mom_pipeline::{MemoryModel, PipelineConfig, PipelineFanout, SimResult};
-use sweep::parallel_map;
 
 /// Seed used by every experiment (the workloads are deterministic).
 pub const EXPERIMENT_SEED: u64 = 0x5C99;
@@ -48,13 +61,20 @@ pub const EXPERIMENT_SEED: u64 = 0x5C99;
 /// mirroring the paper's "simulated a certain number of times in a loop".
 pub const STEADY_STATE_INSTRUCTIONS: usize = 4000;
 
-/// Number of invocations needed to reach [`STEADY_STATE_INSTRUCTIONS`] for a
-/// kernel whose single invocation retires `instructions_per_invocation`
-/// instructions.
-pub fn steady_invocations(instructions_per_invocation: usize) -> usize {
-    STEADY_STATE_INSTRUCTIONS
+/// Number of invocations needed for a kernel whose single invocation
+/// retires `instructions_per_invocation` instructions to produce a stream
+/// of at least `replication` instructions (the
+/// [`ExperimentSpec::replication`] axis).
+pub fn invocations_for(replication: usize, instructions_per_invocation: usize) -> usize {
+    replication
         .div_ceil(instructions_per_invocation.max(1))
         .max(1)
+}
+
+/// [`invocations_for`] at the standard [`STEADY_STATE_INSTRUCTIONS`]
+/// target.
+pub fn steady_invocations(instructions_per_invocation: usize) -> usize {
+    invocations_for(STEADY_STATE_INSTRUCTIONS, instructions_per_invocation)
 }
 
 /// One measured point: a kernel, an ISA and a machine configuration.
@@ -126,10 +146,24 @@ pub fn simulate_configs(
     configs: &[PipelineConfig],
     seed: u64,
 ) -> Result<Vec<ExperimentPoint>, KernelError> {
+    simulate_configs_replicated(kernel, isa, configs, seed, STEADY_STATE_INSTRUCTIONS)
+}
+
+/// [`simulate_configs`] with an explicit steady-state target: the kernel
+/// invocation is replicated until the measured stream is at least
+/// `replication` instructions long (the [`ExperimentSpec::replication`]
+/// axis).
+pub fn simulate_configs_replicated(
+    kernel: KernelId,
+    isa: IsaKind,
+    configs: &[PipelineConfig],
+    seed: u64,
+    replication: usize,
+) -> Result<Vec<ExperimentPoint>, KernelError> {
     // One verified functional run; its single-invocation trace seeds the
     // steady-state replay.
     let mut run: KernelRun = run_kernel(kernel, isa, seed, 1)?;
-    run.invocations = steady_invocations(run.trace.len());
+    run.invocations = invocations_for(replication, run.trace.len());
 
     let mut stats = TraceStats::default();
     let mut fanout = PipelineFanout::new(configs.iter().cloned());
@@ -195,13 +229,13 @@ pub struct Figure4Point {
 /// The issue widths of Figure 4.
 pub const FIG4_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
-/// The union of machine configurations the three experiments need, measured
-/// once per (kernel, ISA) pair: Figure 4's four widths at 1-cycle memory
-/// (Tables 1–9 reuse the 4-way point), the 4-way core at the two slower
-/// Figure 5 latencies (the 1-cycle point is Figure 4's), and the 4-way core
-/// behind the simulated L1/L2 cache hierarchy (the "real cache" variant of
-/// Figure 5).
-fn union_configs() -> Vec<PipelineConfig> {
+/// The union of machine configurations the three paper experiments need,
+/// measured once per (kernel, ISA) pair: Figure 4's four widths at 1-cycle
+/// memory (Tables 1–9 reuse the 4-way point), the 4-way core at the two
+/// slower Figure 5 latencies (the 1-cycle point is Figure 4's), and the
+/// 4-way core behind the simulated L1/L2 cache hierarchy (the "real cache"
+/// variant of Figure 5).
+fn union_spec() -> ExperimentSpec {
     let mut configs: Vec<PipelineConfig> = FIG4_WIDTHS
         .iter()
         .map(|w| PipelineConfig::way(*w))
@@ -209,43 +243,14 @@ fn union_configs() -> Vec<PipelineConfig> {
     configs.push(PipelineConfig::way_with_memory(4, MemoryModel::L2));
     configs.push(PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY));
     configs.push(PipelineConfig::way_with_memory(4, MemoryModel::CACHE));
-    configs
-}
-
-/// Index of the 4-way / 1-cycle point in [`union_configs`].
-const UNION_WAY4: usize = 2;
-/// Indices of the Figure 5 latency series (1, 12, 50 cycles) in
-/// [`union_configs`].
-const UNION_FIG5: [usize; 3] = [UNION_WAY4, 4, 5];
-/// Index of the 4-way cache-hierarchy point in [`union_configs`].
-const UNION_CACHE: usize = 6;
-
-/// Every (kernel, ISA) pair measured over [`union_configs`], concurrently on
-/// the thread pool — each pair executes its functional run exactly once.
-fn measure_union_sweep(
-) -> Result<std::collections::HashMap<(KernelId, IsaKind), Vec<ExperimentPoint>>, KernelError> {
-    let configs = union_configs();
-    let pairs: Vec<(KernelId, IsaKind)> = KernelId::ALL
-        .into_iter()
-        .flat_map(|k| IsaKind::ALL.into_iter().map(move |i| (k, i)))
-        .collect();
-    let measured = parallel_map(pairs, |(kernel, isa)| {
-        simulate_configs(kernel, isa, &configs, EXPERIMENT_SEED)
-    });
-    let mut by_pair = std::collections::HashMap::new();
-    for points in measured {
-        let points = points?;
-        if let Some(p) = points.first() {
-            by_pair.insert((p.kernel, p.isa), points);
-        }
+    ExperimentSpec {
+        configs,
+        ..ExperimentSpec::default()
     }
-    Ok(by_pair)
 }
 
-type MeasuredSweep = std::collections::HashMap<(KernelId, IsaKind), Vec<ExperimentPoint>>;
-
-/// All three reports of the paper's evaluation, computed from one
-/// [`measure_union_sweep`] pass.
+/// All three reports of the paper's evaluation, computed from one grid run
+/// of [`union_spec`].
 #[derive(Debug, Clone)]
 pub struct SweepResults {
     /// The Figure 4 speed-up bars.
@@ -259,31 +264,39 @@ pub struct SweepResults {
 /// Runs the complete evaluation — every kernel × ISA × machine
 /// configuration — with each (kernel, ISA) functional run executed exactly
 /// once and shared by all three reports.
-pub fn full_sweep() -> Result<SweepResults, KernelError> {
-    let measured = measure_union_sweep()?;
+pub fn full_sweep() -> Result<SweepResults, ExperimentError> {
+    let grid = union_spec().run()?;
     Ok(SweepResults {
-        fig4: fig4_from(&measured),
-        fig5: fig5_from(&measured),
-        tables: tables_from(&measured),
+        fig4: fig4_from(&grid),
+        fig5: fig5_from(&grid),
+        tables: tables_from(&grid),
     })
 }
 
 /// Reproduces Figure 4: speed-up of each multimedia ISA over Alpha code for
 /// every kernel and issue width, with a 1-cycle memory.
 ///
-/// Every (kernel, ISA) pair runs once (all widths share the functional run
-/// through the fan-out) and the pairs run concurrently.
-pub fn figure4() -> Result<Vec<Figure4Point>, KernelError> {
-    Ok(fig4_from(&measure_union_sweep()?))
+/// Runs the registered `fig4` grid: every (kernel, ISA) pair runs once (all
+/// widths share the functional run through the fan-out) and the pairs run
+/// concurrently.
+pub fn figure4() -> Result<Vec<Figure4Point>, ExperimentError> {
+    Ok(fig4_from(&spec::fig4_spec().run()?))
 }
 
-fn fig4_from(measured: &MeasuredSweep) -> Vec<Figure4Point> {
+/// Derives the Figure 4 speed-up bars from a measured grid: every
+/// perfect-memory configuration is a width point, and each multimedia ISA
+/// is normalised to the scalar baseline at the same width.
+pub fn fig4_from(grid: &GridResult) -> Vec<Figure4Point> {
     let mut out = Vec::new();
-    for kernel in KernelId::ALL {
-        for (wi, width) in FIG4_WIDTHS.into_iter().enumerate() {
-            let base = measured[&(kernel, IsaKind::Alpha)][wi].cycles_per_invocation();
-            for isa in IsaKind::MEDIA {
-                let point = &measured[&(kernel, isa)][wi];
+    for &kernel in &grid.spec.kernels {
+        for ci in grid.config_indices(|c| c.memory == MemoryModel::PERFECT) {
+            let width = grid.spec.configs[ci].width;
+            let base = grid
+                .point(kernel, IsaKind::Alpha, ci)
+                .expect("Figure 4 needs the scalar baseline in the grid")
+                .cycles_per_invocation();
+            for &isa in grid.spec.isas.iter().filter(|&&i| i != IsaKind::Alpha) {
+                let point = grid.point(kernel, isa, ci).expect("a full grid");
                 out.push(Figure4Point {
                     kernel,
                     isa,
@@ -331,20 +344,31 @@ pub struct Figure5Point {
 /// Reproduces Figure 5 — the impact of the memory system on each kernel and
 /// ISA, on the 4-way core — extended with a "real cache" point: the L1/L2
 /// hierarchy whose per-access latencies replace the paper's fixed 1/12/50
-/// sweep.  One functional run per (kernel, ISA) drives all four memory
-/// models; pairs run concurrently.
-pub fn figure5() -> Result<Vec<Figure5Point>, KernelError> {
-    Ok(fig5_from(&measure_union_sweep()?))
+/// sweep.  Runs the registered `fig5` grid: one functional run per
+/// (kernel, ISA) drives all four memory models; pairs run concurrently.
+pub fn figure5() -> Result<Vec<Figure5Point>, ExperimentError> {
+    Ok(fig5_from(&spec::fig5_spec().run()?))
 }
 
-fn fig5_from(measured: &MeasuredSweep) -> Vec<Figure5Point> {
+/// Derives the Figure 5 memory series from a measured grid: every 4-way
+/// configuration is a memory point, normalised to the perfect-memory (1
+/// cycle) configuration of the same ISA.
+pub fn fig5_from(grid: &GridResult) -> Vec<Figure5Point> {
+    let series = grid.config_indices(|c| c.width == 4);
+    let base_idx = series
+        .iter()
+        .copied()
+        .find(|&ci| grid.spec.configs[ci].memory == MemoryModel::PERFECT)
+        .expect("Figure 5 needs the 4-way perfect-memory point in the grid");
     let mut out = Vec::new();
-    for kernel in KernelId::ALL {
-        for isa in IsaKind::ALL {
-            let points = &measured[&(kernel, isa)];
-            let base = points[UNION_FIG5[0]].cycles_per_invocation();
-            for idx in UNION_FIG5.into_iter().chain([UNION_CACHE]) {
-                let p = &points[idx];
+    for &kernel in &grid.spec.kernels {
+        for &isa in &grid.spec.isas {
+            let base = grid
+                .point(kernel, isa, base_idx)
+                .expect("a full grid")
+                .cycles_per_invocation();
+            for &ci in &series {
+                let p = grid.point(kernel, isa, ci).expect("a full grid");
                 out.push(Figure5Point {
                     kernel: p.kernel,
                     isa: p.isa,
@@ -391,17 +415,26 @@ pub struct TableRow {
 
 /// Reproduces Tables 1–9: the IPC / OPI / R / S / F / VLx / VLy breakdown for
 /// every kernel on the 4-way, 1-cycle-memory core, with kernels measured
-/// concurrently.
-pub fn tables() -> Result<Vec<TableRow>, KernelError> {
-    Ok(tables_from(&measure_union_sweep()?))
+/// concurrently (the registered `tables` grid).
+pub fn tables() -> Result<Vec<TableRow>, ExperimentError> {
+    Ok(tables_from(&spec::tables_spec().run()?))
 }
 
-fn tables_from(measured: &MeasuredSweep) -> Vec<TableRow> {
+/// Derives the Tables 1–9 rows from a measured grid, at its 4-way
+/// perfect-memory configuration.
+pub fn tables_from(grid: &GridResult) -> Vec<TableRow> {
+    let way4 = grid
+        .config_indices(|c| c.width == 4 && c.memory == MemoryModel::PERFECT)
+        .first()
+        .copied()
+        .expect("the tables need the 4-way perfect-memory point in the grid");
     let mut rows = Vec::new();
-    for kernel in KernelId::ALL {
-        let baseline = &measured[&(kernel, IsaKind::Alpha)][UNION_WAY4];
-        for isa in IsaKind::ALL {
-            let point = &measured[&(kernel, isa)][UNION_WAY4];
+    for &kernel in &grid.spec.kernels {
+        let baseline = grid
+            .point(kernel, IsaKind::Alpha, way4)
+            .expect("the tables need the scalar baseline in the grid");
+        for &isa in &grid.spec.isas {
+            let point = grid.point(kernel, isa, way4).expect("a full grid");
             rows.push(TableRow {
                 kernel,
                 isa,
@@ -438,48 +471,33 @@ pub struct AblationPoint {
     pub mmx_cycles: f64,
 }
 
-fn ablation(
-    kernel: KernelId,
+/// Derives an ablation series (MOM vs MMX cycles per invocation) from a
+/// measured grid: every configuration is one value of the swept parameter,
+/// read back off the config by `value_of`.
+pub fn ablation_from(
+    grid: &GridResult,
     parameter: &'static str,
-    values: &[usize],
-    make_config: impl Fn(usize) -> PipelineConfig,
-) -> Result<Vec<AblationPoint>, KernelError> {
-    let configs: Vec<PipelineConfig> = values.iter().map(|v| make_config(*v)).collect();
-    let mom = simulate_configs(kernel, IsaKind::Mom, &configs, EXPERIMENT_SEED)?;
-    let mmx = simulate_configs(kernel, IsaKind::Mmx, &configs, EXPERIMENT_SEED)?;
-    Ok(values
-        .iter()
-        .zip(mom.iter().zip(&mmx))
-        .map(|(value, (m, x))| AblationPoint {
-            kernel,
-            parameter,
-            value: *value,
-            mom_cycles: m.cycles_per_invocation(),
-            mmx_cycles: x.cycles_per_invocation(),
-        })
-        .collect())
-}
-
-/// Varies the number of multimedia lanes (the paper's "replicating the
-/// number of parallel functional units which execute a matrix instruction")
-/// and the vector memory port width together, on the 4-way core.
-pub fn ablation_lanes(kernel: KernelId) -> Result<Vec<AblationPoint>, KernelError> {
-    ablation(kernel, "media-lanes", &[1, 2, 4, 8], |lanes| {
-        let mut config = PipelineConfig::way(4);
-        config.media_lanes = lanes;
-        config.vec_mem_words = lanes;
-        config
-    })
-}
-
-/// Varies the reorder-buffer size on the 4-way core with 50-cycle memory,
-/// showing that MOM needs far less instruction window to tolerate latency.
-pub fn ablation_rob(kernel: KernelId) -> Result<Vec<AblationPoint>, KernelError> {
-    ablation(kernel, "rob-size", &[16, 32, 64, 128], |rob| {
-        let mut config = PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY);
-        config.rob_size = rob;
-        config
-    })
+    value_of: fn(&PipelineConfig) -> usize,
+) -> Vec<AblationPoint> {
+    let mut out = Vec::new();
+    for &kernel in &grid.spec.kernels {
+        for (ci, config) in grid.spec.configs.iter().enumerate() {
+            let mom = grid
+                .point(kernel, IsaKind::Mom, ci)
+                .expect("an ablation grid needs the MOM series");
+            let mmx = grid
+                .point(kernel, IsaKind::Mmx, ci)
+                .expect("an ablation grid needs the MMX series");
+            out.push(AblationPoint {
+                kernel,
+                parameter,
+                value: value_of(config),
+                mom_cycles: mom.cycles_per_invocation(),
+                mmx_cycles: mmx.cycles_per_invocation(),
+            });
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -684,29 +702,218 @@ pub fn tables_json(rows: &[TableRow]) -> Json {
     Json::obj(doc)
 }
 
-/// Parses the shared `--json PATH` command-line option of the report
-/// binaries (`fig4`, `fig5`, `tables`).
-pub fn json_arg() -> Option<String> {
-    let mut path = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--json" if path.is_none() => match args.next() {
-                Some(p) => path = Some(p),
-                None => usage_error("--json needs a path argument"),
-            },
-            "--json" => usage_error("--json given twice"),
-            other => usage_error(&format!("unknown argument {other} (expected --json PATH)")),
-        }
+/// Formats an ablation series as an aligned text table.
+pub fn format_ablation(points: &[AblationPoint]) -> String {
+    let parameter = points.first().map(|p| p.parameter).unwrap_or("value");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Ablation: {parameter}, cycles per invocation (4-way)\n"
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>12} {:>12}\n",
+        "kernel", parameter, "MOM", "MMX"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12.0} {:>12.0}\n",
+            p.kernel.name(),
+            p.value,
+            p.mom_cycles,
+            p.mmx_cycles
+        ));
     }
-    path
+    out
 }
 
-/// Prints a usage error to stderr and exits with status 2 (the conventional
-/// bad-usage code), without a panic backtrace.
-pub fn usage_error(message: &str) -> ! {
-    eprintln!("error: {message}");
-    std::process::exit(2);
+/// An ablation series as a machine-readable JSON report.
+pub fn ablation_json(points: &[AblationPoint]) -> Json {
+    let mut doc = report_header("ablation");
+    doc.push((
+        "parameter",
+        Json::str(points.first().map(|p| p.parameter).unwrap_or("value")),
+    ));
+    doc.push((
+        "points",
+        Json::Arr(
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("kernel", Json::str(p.kernel.name())),
+                        ("value", Json::int(p.value as i64)),
+                        ("mom_cycles", Json::Num(p.mom_cycles)),
+                        ("mmx_cycles", Json::Num(p.mmx_cycles)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::obj(doc)
+}
+
+/// Formats a raw measured grid (ad-hoc `momsim run` sweeps) as an aligned
+/// text table.
+pub fn format_grid(grid: &GridResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Experiment grid: {} kernels x {} ISAs x {} configs (seed {:#x}, replication {})\n",
+        grid.spec.kernels.len(),
+        grid.spec.isas.len(),
+        grid.spec.configs.len(),
+        grid.spec.seed,
+        grid.spec.replication
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>6} {:>5} {:>6} {:>7} {:>12} {:>7} {:>7} {:>8}\n",
+        "kernel", "isa", "width", "rob", "lanes", "memory", "cyc/invoc", "IPC", "OPI", "L1-MPKI"
+    ));
+    for (index, p) in grid.points.iter().enumerate() {
+        let config = &grid.spec.configs[index % grid.spec.configs.len()];
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>6} {:>5} {:>6} {:>7} {:>12.1} {:>7.2} {:>7.2} {:>8.2}\n",
+            p.kernel.name(),
+            p.isa.name(),
+            config.width,
+            config.rob_size,
+            config.media_lanes,
+            p.memory,
+            p.cycles_per_invocation(),
+            p.result.ipc(),
+            p.result.opi(),
+            p.result.l1_mpki()
+        ));
+    }
+    out
+}
+
+/// A raw measured grid as a machine-readable JSON report, spec axes
+/// included.
+pub fn grid_json(grid: &GridResult) -> Json {
+    let spec = &grid.spec;
+    let doc = vec![
+        ("schema", Json::int(1)),
+        ("experiment", Json::str("grid")),
+        // As a hex string (matching the text header): the seed is a full
+        // u64, which JSON integers cannot represent losslessly.
+        ("seed", Json::str(format!("{:#x}", spec.seed))),
+        ("replication", Json::int(spec.replication as i64)),
+        (
+            "kernels",
+            Json::Arr(spec.kernels.iter().map(|k| Json::str(k.name())).collect()),
+        ),
+        (
+            "isas",
+            Json::Arr(spec.isas.iter().map(|i| Json::str(i.name())).collect()),
+        ),
+        (
+            "configs",
+            Json::Arr(
+                spec.configs
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("width", Json::int(c.width as i64)),
+                            ("rob", Json::int(c.rob_size as i64)),
+                            ("lanes", Json::int(c.media_lanes as i64)),
+                            ("vec_mem_words", Json::int(c.vec_mem_words as i64)),
+                            ("memory", Json::str(c.memory.label())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "points",
+            Json::Arr(
+                grid.points
+                    .iter()
+                    .enumerate()
+                    .map(|(index, p)| {
+                        Json::obj([
+                            ("kernel", Json::str(p.kernel.name())),
+                            ("isa", Json::str(p.isa.name())),
+                            ("config", Json::int((index % spec.configs.len()) as i64)),
+                            ("memory", Json::str(p.memory.clone())),
+                            ("invocations", Json::int(p.invocations as i64)),
+                            ("cycles", Json::int(p.result.cycles as i64)),
+                            ("instructions", Json::int(p.result.instructions as i64)),
+                            ("operations", Json::int(p.result.operations as i64)),
+                            (
+                                "cycles_per_invocation",
+                                Json::Num(p.cycles_per_invocation()),
+                            ),
+                            ("ipc", Json::Num(p.result.ipc())),
+                            ("opi", Json::Num(p.result.opi())),
+                            ("l1_mpki", Json::Num(p.result.l1_mpki())),
+                            ("l2_mpki", Json::Num(p.result.l2_mpki())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    Json::obj(doc)
+}
+
+/// A derived experiment report: what a registered or ad-hoc experiment
+/// produces, with one shared text and JSON emitter for all experiment
+/// shapes.
+///
+/// ```no_run
+/// use mom_bench::find_experiment;
+///
+/// let report = find_experiment("fig5").unwrap().run().unwrap();
+/// println!("{}", report.text());
+/// std::fs::write("BENCH_fig5.json", report.json().pretty()).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub enum Report {
+    /// The Figure 4 speed-up bars.
+    Fig4(Vec<Figure4Point>),
+    /// The Figure 5 memory series.
+    Fig5(Vec<Figure5Point>),
+    /// The Tables 1–9 rows.
+    Tables(Vec<TableRow>),
+    /// An ablation series (MOM vs MMX over one machine parameter).
+    Ablation(Vec<AblationPoint>),
+    /// A raw measured grid (ad-hoc sweeps).
+    Grid(GridResult),
+}
+
+impl Report {
+    /// The report as an aligned text table.
+    pub fn text(&self) -> String {
+        match self {
+            Report::Fig4(points) => format_figure4(points),
+            Report::Fig5(points) => format_figure5(points),
+            Report::Tables(rows) => format_tables(rows),
+            Report::Ablation(points) => format_ablation(points),
+            Report::Grid(grid) => format_grid(grid),
+        }
+    }
+
+    /// The report as a machine-readable JSON document (the `BENCH_*.json`
+    /// schema for the registered paper experiments).
+    pub fn json(&self) -> Json {
+        match self {
+            Report::Fig4(points) => figure4_json(points),
+            Report::Fig5(points) => figure5_json(points),
+            Report::Tables(rows) => tables_json(rows),
+            Report::Ablation(points) => ablation_json(points),
+            Report::Grid(grid) => grid_json(grid),
+        }
+    }
+
+    /// Number of measured points in the report.
+    pub fn points(&self) -> usize {
+        match self {
+            Report::Fig4(points) => points.len(),
+            Report::Fig5(points) => points.len(),
+            Report::Tables(rows) => rows.len(),
+            Report::Ablation(points) => points.len(),
+            Report::Grid(grid) => grid.points.len(),
+        }
+    }
 }
 
 #[cfg(test)]

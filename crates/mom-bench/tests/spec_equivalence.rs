@@ -1,0 +1,65 @@
+//! The declarative redesign changes the API, not the numbers: the
+//! registered experiment specs must reproduce exactly what the bespoke
+//! drivers they replaced measured.
+
+use mom_bench::{fig5_from, find_experiment, simulate, EXPERIMENT_SEED};
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::MemoryModel;
+
+/// The registered `fig5` spec measures the same `SimResult`s as the
+/// driver's single-point path (`simulate` on the 4-way core), for every
+/// memory model of the figure.
+#[test]
+fn registered_fig5_spec_reproduces_the_driver_simresults() {
+    let grid = find_experiment("fig5")
+        .expect("fig5 is registered")
+        .spec()
+        .run()
+        .expect("every kernel verifies");
+    assert_eq!(
+        grid.points.len(),
+        KernelId::ALL.len() * IsaKind::ALL.len() * 4,
+        "nine kernels x four ISAs x four memory models"
+    );
+
+    let memories = [
+        MemoryModel::PERFECT,
+        MemoryModel::L2,
+        MemoryModel::MAIN_MEMORY,
+        MemoryModel::CACHE,
+    ];
+    // A representative kernel subset keeps the independent re-simulation
+    // affordable; the grid itself covers all nine.
+    for kernel in [KernelId::Motion1, KernelId::Idct, KernelId::LtpFilt] {
+        for isa in IsaKind::ALL {
+            for (ci, memory) in memories.into_iter().enumerate() {
+                let point = grid.point(kernel, isa, ci).expect("inside the grid");
+                let alone =
+                    simulate(kernel, isa, 4, memory, EXPERIMENT_SEED).expect("the kernel verifies");
+                let label = format!("{kernel}/{isa}/{memory}");
+                assert_eq!(point.result.cycles, alone.result.cycles, "{label}");
+                assert_eq!(
+                    point.result.instructions, alone.result.instructions,
+                    "{label}"
+                );
+                assert_eq!(point.result.operations, alone.result.operations, "{label}");
+                assert_eq!(point.result.cache, alone.result.cache, "{label}");
+                assert_eq!(point.memory, alone.memory, "{label}");
+                assert_eq!(point.invocations, alone.invocations, "{label}");
+            }
+        }
+    }
+
+    // The derived report has the driver's shape: four points per
+    // (kernel, ISA) in 1 / 12 / 50 / cache order, normalised to the
+    // 1-cycle point.
+    let report = fig5_from(&grid);
+    assert_eq!(report.len(), grid.points.len());
+    for group in report.chunks(4) {
+        let labels: Vec<&str> = group.iter().map(|p| p.memory.as_str()).collect();
+        assert_eq!(labels, ["1", "12", "50", "cache"]);
+        assert_eq!(group[0].slowdown, 1.0, "the 1-cycle point is the base");
+        assert!(group[2].slowdown >= group[1].slowdown);
+    }
+}

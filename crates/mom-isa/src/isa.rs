@@ -26,6 +26,12 @@ impl IsaKind {
     /// The multimedia ISAs (everything except the scalar baseline).
     pub const MEDIA: [IsaKind; 3] = [IsaKind::Mmx, IsaKind::Mdmx, IsaKind::Mom];
 
+    /// Iterates over all ISAs, baseline first — the enumeration entry point
+    /// for experiment axes ([`IsaKind::ALL`] as an iterator).
+    pub fn all() -> impl Iterator<Item = IsaKind> {
+        Self::ALL.into_iter()
+    }
+
     /// Short display name used in reports (matches the paper's labels).
     pub fn name(self) -> &'static str {
         match self {
@@ -33,6 +39,16 @@ impl IsaKind {
             IsaKind::Mmx => "MMX",
             IsaKind::Mdmx => "MDMX",
             IsaKind::Mom => "MOM",
+        }
+    }
+
+    /// One-line description of the ISA, for `momsim list`-style inventories.
+    pub fn description(self) -> &'static str {
+        match self {
+            IsaKind::Alpha => "scalar baseline (the paper's compiled Alpha code)",
+            IsaKind::Mmx => "MMX-like packed sub-word extension (dimension X)",
+            IsaKind::Mdmx => "MDMX-like packed extension with accumulators",
+            IsaKind::Mom => "MOM matrix extension (packed rows x vector-length dimension Y)",
         }
     }
 
@@ -189,6 +205,52 @@ impl IsaKind {
     }
 }
 
+/// Error returned when an ISA name cannot be parsed; its `Display` lists
+/// the valid names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIsaKindError {
+    got: String,
+}
+
+impl std::fmt::Display for ParseIsaKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown ISA '{}' (valid: {})",
+            self.got,
+            IsaKind::ALL
+                .map(|i| i.name().to_ascii_lowercase())
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseIsaKindError {}
+
+impl std::str::FromStr for IsaKind {
+    type Err = ParseIsaKindError;
+
+    /// Parses an ISA axis name, case-insensitively.  `ss` (the label the
+    /// paper's Figure 5 uses for the superscalar baseline) is accepted as an
+    /// alias for `alpha`.
+    ///
+    /// ```
+    /// use mom_isa::IsaKind;
+    /// assert_eq!("mom".parse(), Ok(IsaKind::Mom));
+    /// assert_eq!("SS".parse(), Ok(IsaKind::Alpha));
+    /// assert!("sse".parse::<IsaKind>().unwrap_err().to_string().contains("mdmx"));
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "alpha" | "ss" | "scalar" => Ok(IsaKind::Alpha),
+            "mmx" => Ok(IsaKind::Mmx),
+            "mdmx" => Ok(IsaKind::Mdmx),
+            "mom" => Ok(IsaKind::Mom),
+            _ => Err(ParseIsaKindError { got: s.to_string() }),
+        }
+    }
+}
+
 impl std::fmt::Display for IsaKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
@@ -302,5 +364,24 @@ mod tests {
         assert_eq!(IsaKind::Alpha.name(), "Alpha");
         assert_eq!(IsaKind::Mom.to_string(), "MOM");
         assert_eq!(IsaKind::MEDIA.len(), 3);
+    }
+
+    #[test]
+    fn display_and_from_str_round_trip() {
+        for isa in IsaKind::all() {
+            assert_eq!(isa.to_string().parse(), Ok(isa), "round trip {isa}");
+            assert_eq!(isa.name().to_ascii_lowercase().parse(), Ok(isa));
+            assert!(!isa.description().is_empty());
+        }
+        assert_eq!("ss".parse(), Ok(IsaKind::Alpha), "the paper's SS label");
+        assert_eq!(IsaKind::all().count(), IsaKind::ALL.len());
+    }
+
+    #[test]
+    fn parse_errors_name_the_valid_isas() {
+        let err = "sse2".parse::<IsaKind>().unwrap_err().to_string();
+        for name in ["sse2", "alpha", "mmx", "mdmx", "mom"] {
+            assert!(err.contains(name), "{err:?} should mention {name}");
+        }
     }
 }

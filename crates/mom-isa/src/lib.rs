@@ -57,7 +57,7 @@ pub use disasm::disassemble;
 pub use fu::FuClass;
 pub use instr::Label;
 pub use instr::{Instruction, MomOperand};
-pub use isa::IsaKind;
+pub use isa::{IsaKind, ParseIsaKindError};
 pub use packed::{AccumOp, PackedOp};
 pub use program::{AsmBuilder, Program};
 pub use reg::{Reg, RegClass};

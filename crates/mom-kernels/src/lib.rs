@@ -45,7 +45,6 @@ pub mod workload;
 pub use harness::{
     run_kernel, run_kernel_with_sink, verify_kernel, KernelError, KernelRun, KernelSpec,
 };
-
 use mom_isa::IsaKind;
 
 /// Identifier of one of the paper's nine kernels.
@@ -87,6 +86,12 @@ impl KernelId {
         KernelId::LtpFilt,
     ];
 
+    /// Iterates over all nine kernels in figure order — the enumeration
+    /// entry point for experiment axes ([`KernelId::ALL`] as an iterator).
+    pub fn all() -> impl Iterator<Item = KernelId> {
+        Self::ALL.into_iter()
+    }
+
     /// The kernel's name as used in the paper's figures and tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -115,6 +120,22 @@ impl KernelId {
         }
     }
 
+    /// One-line description of the operation, for `momsim list`-style
+    /// inventories.
+    pub fn description(self) -> &'static str {
+        match self {
+            KernelId::Idct => "8x8 inverse discrete cosine transform",
+            KernelId::Motion1 => "16x16 sum of absolute differences (motion estimation)",
+            KernelId::Motion2 => "16x16 sum of squared differences (motion estimation)",
+            KernelId::Rgb2Ycc => "RGB to YCbCr colour conversion",
+            KernelId::H2v2 => "2x2 chroma upsampling",
+            KernelId::Compensation => "saturated blending of two prediction blocks",
+            KernelId::AddBlock => "saturated residual add (motion compensation)",
+            KernelId::LtpPar => "long-term-predictor cross-correlation search",
+            KernelId::LtpFilt => "long-term / short-term FIR filtering",
+        }
+    }
+
     /// Looks a kernel up by its paper name.
     pub fn from_name(name: &str) -> Option<KernelId> {
         KernelId::ALL.iter().copied().find(|k| k.name() == name)
@@ -138,6 +159,44 @@ impl std::fmt::Display for KernelId {
     }
 }
 
+/// Error returned when a kernel name cannot be parsed; its `Display` lists
+/// the valid names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKernelIdError {
+    got: String,
+}
+
+impl std::fmt::Display for ParseKernelIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown kernel '{}' (valid: {})",
+            self.got,
+            KernelId::ALL.map(KernelId::name).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseKernelIdError {}
+
+impl std::str::FromStr for KernelId {
+    type Err = ParseKernelIdError;
+
+    /// Parses a kernel axis name (the paper's figure labels),
+    /// case-insensitively.
+    ///
+    /// ```
+    /// use mom_kernels::KernelId;
+    /// assert_eq!("idct".parse(), Ok(KernelId::Idct));
+    /// assert_eq!("COMP".parse(), Ok(KernelId::Compensation));
+    /// assert!("fft".parse::<KernelId>().unwrap_err().to_string().contains("motion1"));
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KernelId::from_name(s.trim().to_ascii_lowercase().as_str())
+            .ok_or_else(|| ParseKernelIdError { got: s.to_string() })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +214,24 @@ mod tests {
             assert_eq!(KernelId::from_name(k.name()), Some(k));
         }
         assert_eq!(KernelId::from_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn display_and_from_str_round_trip() {
+        for k in KernelId::all() {
+            assert_eq!(k.to_string().parse(), Ok(k), "round trip {k}");
+            assert_eq!(k.name().to_ascii_uppercase().parse(), Ok(k));
+            assert!(!k.description().is_empty());
+        }
+        assert_eq!(KernelId::all().count(), KernelId::ALL.len());
+    }
+
+    #[test]
+    fn parse_errors_name_the_valid_kernels() {
+        let err = "fft".parse::<KernelId>().unwrap_err().to_string();
+        for name in ["fft", "idct", "ltpsfilt", "comp"] {
+            assert!(err.contains(name), "{err:?} should mention {name}");
+        }
     }
 
     #[test]

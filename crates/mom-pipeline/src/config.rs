@@ -68,11 +68,74 @@ impl MemoryModel {
         }
     }
 
-    /// Validates the model.
+    /// Validates the model.  The base (L1-hit) latency must be at least one
+    /// cycle: a 0-cycle memory would let loads complete the cycle they
+    /// issue, outside the timing model's domain.
     pub fn validate(&self) -> Result<(), String> {
+        if self.base_latency() == 0 {
+            return Err("memory latency must be at least 1 cycle".into());
+        }
         match self {
             MemoryModel::Fixed { .. } => Ok(()),
             MemoryModel::Hierarchy(h) => h.validate(),
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryModel {
+    /// Formats the model as its report label (see [`MemoryModel::label`]),
+    /// which round-trips through [`MemoryModel::from_str`].
+    ///
+    /// [`MemoryModel::from_str`]: std::str::FromStr::from_str
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error returned when a memory-model name cannot be parsed; its `Display`
+/// lists the accepted spellings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMemoryModelError {
+    got: String,
+}
+
+impl std::fmt::Display for ParseMemoryModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown memory model '{}' (expected a latency in cycles, \
+             \"perfect\", \"l2\", \"main\", or \"cache\"/\"l1l2\")",
+            self.got
+        )
+    }
+}
+
+impl std::error::Error for ParseMemoryModelError {}
+
+impl std::str::FromStr for MemoryModel {
+    type Err = ParseMemoryModelError;
+
+    /// Parses a memory-model axis name as used by experiment grids and the
+    /// `momsim` CLI: a plain integer is a fixed latency in cycles, and the
+    /// named points are `perfect` (1 cycle), `l2` (12 cycles), `main`
+    /// (50 cycles) and `cache`/`l1l2` (the default simulated hierarchy).
+    ///
+    /// ```
+    /// use mom_pipeline::MemoryModel;
+    /// assert_eq!("50".parse(), Ok(MemoryModel::MAIN_MEMORY));
+    /// assert_eq!("cache".parse(), Ok(MemoryModel::CACHE));
+    /// assert!("dram".parse::<MemoryModel>().unwrap_err().to_string().contains("cache"));
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "perfect" => Ok(MemoryModel::PERFECT),
+            "l2" => Ok(MemoryModel::L2),
+            "main" | "mem" | "memory" => Ok(MemoryModel::MAIN_MEMORY),
+            "cache" | "l1l2" => Ok(MemoryModel::CACHE),
+            other => match other.parse::<u64>() {
+                Ok(latency) => Ok(MemoryModel::Fixed { latency }),
+                Err(_) => Err(ParseMemoryModelError { got: s.to_string() }),
+            },
         }
     }
 }
@@ -125,18 +188,49 @@ pub struct PipelineConfig {
 }
 
 impl PipelineConfig {
+    /// Starts a validated [`PipelineConfigBuilder`]: the paper's 4-way
+    /// reference machine with every machine parameter exposed as a
+    /// sweepable axis.
+    ///
+    /// ```
+    /// use mom_pipeline::{MemoryModel, PipelineConfig};
+    ///
+    /// let config = PipelineConfig::builder()
+    ///     .issue_width(4)
+    ///     .rob(48)
+    ///     .lanes(2)
+    ///     .memory(MemoryModel::CACHE)
+    ///     .build()
+    ///     .expect("a valid configuration");
+    /// assert_eq!(config.width, 4);
+    /// assert_eq!(config.rob_size, 48);
+    /// assert_eq!(config.media_lanes, 2);
+    /// ```
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder::default()
+    }
+
     /// The configuration the paper uses for a machine of the given issue
     /// width ("way 1", "way 2", "way 4", "way 8"), with a perfect (1-cycle)
-    /// memory.
+    /// memory.  Thin wrapper over [`PipelineConfig::builder`].
     ///
+    /// # Panics
+    /// Panics if `width` is outside `1..=16`; use the builder to handle the
+    /// error instead.
+    pub fn way(width: usize) -> Self {
+        Self::builder()
+            .issue_width(width)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Functional units scale with the width the way the R10K-derived Jinks
     /// configuration does: `width` simple integer ALUs, one integer
     /// multiplier, `max(1, width/2)` memory ports and `max(1, width/2)` of
     /// each multimedia unit. Latencies follow the paper's remark that
     /// multimedia (sub-word) operations are shorter than their full 64-bit
     /// scalar counterparts.
-    pub fn way(width: usize) -> Self {
-        assert!((1..=16).contains(&width), "issue width must be in 1..=16");
+    fn derived(width: usize) -> Self {
         let half = width.div_ceil(2);
         // The multimedia units have `max(2, width/2)` parallel 64-bit lanes
         // (the paper's "N vector pipes"), and the vector memory port moves
@@ -199,10 +293,13 @@ impl PipelineConfig {
 
     /// Same as [`PipelineConfig::way`] but with the given memory latency
     /// (the paper's Figure 5 sweeps 1, 12 and 50 cycles on the 4-way core).
+    /// Thin wrapper over [`PipelineConfig::builder`].
     pub fn way_with_memory(width: usize, memory: MemoryModel) -> Self {
-        let mut c = Self::way(width);
-        c.memory = memory;
-        c
+        Self::builder()
+            .issue_width(width)
+            .memory(memory)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The functional-unit pool serving a given class.
@@ -257,6 +354,131 @@ impl Default for PipelineConfig {
     /// The paper's reference machine: the 4-way core with perfect memory.
     fn default() -> Self {
         Self::way(4)
+    }
+}
+
+/// Validated builder for [`PipelineConfig`]: every machine parameter of the
+/// out-of-order core is a settable axis.
+///
+/// Unset axes derive from the issue width exactly as the paper's "way N"
+/// presets do (functional-unit counts, reorder-buffer size and lane counts
+/// all scale with the width), so a builder that only sets `issue_width`
+/// reproduces [`PipelineConfig::way`] bit-for-bit.  Setting
+/// [`lanes`](PipelineConfigBuilder::lanes) also widens the vector memory
+/// port to match (the paper couples the two), unless
+/// [`vec_mem_words`](PipelineConfigBuilder::vec_mem_words) is set
+/// explicitly.
+///
+/// ```
+/// use mom_isa::FuClass;
+/// use mom_pipeline::{FuPool, MemoryModel, PipelineConfig};
+///
+/// let config = PipelineConfig::builder()
+///     .issue_width(8)
+///     .rob(64)
+///     .lanes(4)
+///     .memory(MemoryModel::L2)
+///     .pool(FuClass::IntMul, FuPool { count: 2, latency: 7, pipelined: true })
+///     .build()
+///     .expect("a valid configuration");
+/// assert_eq!(config.vec_mem_words, 4, "lanes() widens the vector port");
+/// assert_eq!(config.pool(FuClass::IntMul).count, 2);
+///
+/// // Invalid axes are reported, not asserted:
+/// assert!(PipelineConfig::builder().rob(1).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfigBuilder {
+    width: Option<usize>,
+    rob_size: Option<usize>,
+    media_lanes: Option<usize>,
+    vec_mem_words: Option<usize>,
+    memory: Option<MemoryModel>,
+    pools: Vec<(FuClass, FuPool)>,
+}
+
+impl PipelineConfigBuilder {
+    /// Fetch = decode = issue = commit width (the paper's "way";
+    /// default 4).  All unset axes re-derive from this width.
+    pub fn issue_width(mut self, width: usize) -> Self {
+        self.width = Some(width);
+        self
+    }
+
+    /// Reorder-buffer (instruction window) size (default `16 × width`).
+    pub fn rob(mut self, rob_size: usize) -> Self {
+        self.rob_size = Some(rob_size);
+        self
+    }
+
+    /// Number of parallel 64-bit lanes of the multimedia functional units
+    /// (default `max(2, width / 2)`).  Also sets the vector memory port
+    /// width unless [`vec_mem_words`](Self::vec_mem_words) is given.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.media_lanes = Some(lanes);
+        self
+    }
+
+    /// Number of 64-bit words the vector memory port moves per cycle
+    /// (default: the lane count).
+    pub fn vec_mem_words(mut self, words: usize) -> Self {
+        self.vec_mem_words = Some(words);
+        self
+    }
+
+    /// The memory model (default [`MemoryModel::PERFECT`]).
+    pub fn memory(mut self, memory: MemoryModel) -> Self {
+        self.memory = Some(memory);
+        self
+    }
+
+    /// Overrides one functional-unit pool (count, latency, pipelining).
+    /// Later calls for the same class win.
+    pub fn pool(mut self, class: FuClass, pool: FuPool) -> Self {
+        self.pools.push((class, pool));
+        self
+    }
+
+    /// Builds and validates the configuration.
+    ///
+    /// # Errors
+    /// Returns a human-readable message when an axis is out of range (the
+    /// issue width must be in `1..=16`) or the assembled configuration
+    /// fails [`PipelineConfig::validate`].
+    pub fn build(self) -> Result<PipelineConfig, String> {
+        let width = self.width.unwrap_or(4);
+        if !(1..=16).contains(&width) {
+            return Err(format!("issue width must be in 1..=16, got {width}"));
+        }
+        let mut config = PipelineConfig::derived(width);
+        if let Some(rob_size) = self.rob_size {
+            config.rob_size = rob_size;
+        }
+        if let Some(lanes) = self.media_lanes {
+            config.media_lanes = lanes;
+            config.vec_mem_words = lanes;
+        }
+        if let Some(words) = self.vec_mem_words {
+            config.vec_mem_words = words;
+        }
+        if let Some(memory) = self.memory {
+            config.memory = memory;
+        }
+        for (class, pool) in self.pools {
+            match class {
+                FuClass::IntAlu => config.int_alu = pool,
+                FuClass::IntMul => config.int_mul = pool,
+                FuClass::Branch => config.branch = pool,
+                FuClass::Mem => config.mem_port = pool,
+                FuClass::VecMem => config.vec_mem_port = pool,
+                FuClass::MediaAlu => config.media_alu = pool,
+                FuClass::MediaMul => config.media_mul = pool,
+                FuClass::MediaPack => config.media_pack = pool,
+                FuClass::MediaTranspose => config.media_transpose = pool,
+            }
+        }
+        config.validate()?;
+        Ok(config)
     }
 }
 
@@ -342,5 +564,106 @@ mod tests {
     #[should_panic(expected = "issue width")]
     fn way_rejects_zero() {
         let _ = PipelineConfig::way(0);
+    }
+
+    #[test]
+    fn builder_defaults_reproduce_the_way_presets() {
+        for width in [1, 2, 4, 8, 16] {
+            let built = PipelineConfig::builder()
+                .issue_width(width)
+                .build()
+                .unwrap();
+            let preset = PipelineConfig::way(width);
+            assert_eq!(format!("{built:?}"), format!("{preset:?}"), "width {width}");
+        }
+        // The builder's default width is the paper's reference machine.
+        let built = PipelineConfig::builder().build().unwrap();
+        assert_eq!(built.width, PipelineConfig::default().width);
+    }
+
+    #[test]
+    fn builder_overrides_each_axis() {
+        let c = PipelineConfig::builder()
+            .issue_width(2)
+            .rob(99)
+            .lanes(8)
+            .memory(MemoryModel::MAIN_MEMORY)
+            .build()
+            .unwrap();
+        assert_eq!((c.width, c.rob_size, c.media_lanes), (2, 99, 8));
+        assert_eq!(c.vec_mem_words, 8, "lanes() pulls the vector port along");
+        assert_eq!(c.memory, MemoryModel::MAIN_MEMORY);
+        let c = PipelineConfig::builder()
+            .lanes(8)
+            .vec_mem_words(2)
+            .build()
+            .unwrap();
+        assert_eq!((c.media_lanes, c.vec_mem_words), (8, 2));
+        let pool = FuPool {
+            count: 3,
+            latency: 5,
+            pipelined: false,
+        };
+        let c = PipelineConfig::builder()
+            .pool(FuClass::MediaMul, pool)
+            .build()
+            .unwrap();
+        assert_eq!(c.pool(FuClass::MediaMul), pool);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_axes_without_panicking() {
+        assert!(PipelineConfig::builder().issue_width(0).build().is_err());
+        assert!(PipelineConfig::builder().issue_width(64).build().is_err());
+        assert!(PipelineConfig::builder().rob(1).build().is_err());
+        assert!(PipelineConfig::builder().lanes(0).build().is_err());
+        let empty = FuPool {
+            count: 0,
+            latency: 1,
+            pipelined: true,
+        };
+        assert!(PipelineConfig::builder()
+            .pool(FuClass::IntAlu, empty)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn memory_model_names_round_trip() {
+        for model in [
+            MemoryModel::PERFECT,
+            MemoryModel::L2,
+            MemoryModel::MAIN_MEMORY,
+            MemoryModel::CACHE,
+            MemoryModel::Fixed { latency: 23 },
+        ] {
+            assert_eq!(model.to_string().parse(), Ok(model));
+        }
+        // Named spellings and case-insensitivity.
+        assert_eq!("PERFECT".parse(), Ok(MemoryModel::PERFECT));
+        assert_eq!("l2".parse(), Ok(MemoryModel::L2));
+        assert_eq!("main".parse(), Ok(MemoryModel::MAIN_MEMORY));
+        assert_eq!("l1l2".parse(), Ok(MemoryModel::CACHE));
+    }
+
+    #[test]
+    fn zero_cycle_memory_is_rejected() {
+        // "0" parses (it is a well-formed latency) but fails validation, so
+        // the builder and the experiment layer both refuse it.
+        let zero: MemoryModel = "0".parse().unwrap();
+        assert!(zero.validate().is_err());
+        assert!(PipelineConfig::builder().memory(zero).build().is_err());
+        let mut h = crate::cache::HierarchyConfig::DEFAULT;
+        h.l1.hit_latency = 0;
+        assert!(MemoryModel::Hierarchy(h).validate().is_err());
+    }
+
+    #[test]
+    fn memory_model_parse_errors_list_the_valid_values() {
+        let err = "sdram".parse::<MemoryModel>().unwrap_err().to_string();
+        for expected in ["sdram", "latency", "perfect", "l2", "main", "cache", "l1l2"] {
+            assert!(err.contains(expected), "{err:?} should mention {expected}");
+        }
+        assert!("-3".parse::<MemoryModel>().is_err());
     }
 }

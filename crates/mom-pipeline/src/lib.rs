@@ -92,7 +92,9 @@ pub mod ooo;
 pub mod stats;
 
 pub use cache::{CacheConfig, CacheSim, CacheStats, HierarchyConfig};
-pub use config::{FuPool, MemoryModel, PipelineConfig};
+pub use config::{
+    FuPool, MemoryModel, ParseMemoryModelError, PipelineConfig, PipelineConfigBuilder,
+};
 pub use ooo::{Pipeline, PipelineFanout, PipelineSim};
 pub use stats::SimResult;
 

@@ -12,11 +12,16 @@
 //!   vector length), memory and the functional simulator,
 //! * [`pipeline`] — the Jinks-like out-of-order timing simulator,
 //! * [`kernels`] — the nine Mediabench kernels in four ISA variants with
-//!   golden references and workload generators.
+//!   golden references and workload generators,
+//! * [`bench`] — the declarative experiment layer: [`ExperimentSpec`]
+//!   scenario grids, the registered paper experiments, and the reporting
+//!   behind the `momsim` CLI.
 //!
-//! See the `examples/` directory for end-to-end walkthroughs and the
-//! `mom-bench` crate for the drivers that regenerate every figure and table
-//! of the paper's evaluation.
+//! See the `examples/` directory for end-to-end walkthroughs; the `momsim`
+//! binary (`cargo run --release --bin momsim -- list`) runs any registered
+//! or ad-hoc experiment grid.
+//!
+//! [`ExperimentSpec`]: bench::ExperimentSpec
 //!
 //! ## Quick start
 //!
@@ -37,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use mom_arch as arch;
+pub use mom_bench as bench;
 pub use mom_isa as isa;
 pub use mom_kernels as kernels;
 pub use mom_pipeline as pipeline;
@@ -45,12 +51,13 @@ pub use mom_simd as simd;
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use mom_arch::{Machine, MemAccess, Memory, Trace, TraceEntry, TraceSink, TraceStats};
+    pub use mom_bench::{ExperimentSpec, GridResult, Report};
     pub use mom_isa::prelude::*;
     pub use mom_kernels::{
         run_kernel, run_kernel_with_sink, verify_kernel, KernelError, KernelId, KernelRun,
     };
     pub use mom_pipeline::{
         CacheConfig, CacheStats, HierarchyConfig, MemoryModel, Pipeline, PipelineConfig,
-        PipelineFanout, PipelineSim, SimResult,
+        PipelineConfigBuilder, PipelineFanout, PipelineSim, SimResult,
     };
 }
