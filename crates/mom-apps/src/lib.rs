@@ -1,0 +1,183 @@
+//! # mom-apps — the six Mediabench applications as multi-kernel pipelines
+//!
+//! The SC'99 MOM paper does not stop at the nine extracted kernels: its
+//! headline numbers are speed-ups for the six *whole* Mediabench programs
+//! (`mpeg2 encode/decode`, `jpeg encode/decode`, `gsm encode/decode`),
+//! where each kernel covers only a measured fraction of the scalar
+//! execution time.  This crate models that application level:
+//!
+//! * an [`AppSpec`] describes one application **declaratively**: an ordered
+//!   list of kernel *phases* ([`AppPhase`]: which kernel, how many
+//!   invocations per frame) plus the fraction of scalar execution time the
+//!   kernel regions cover ([`AppSpec::coverage`], the paper's profiling
+//!   result),
+//! * [`run_app`] executes the phases back to back on **one** machine and
+//!   one timing consumer per phase, carrying the simulated data cache
+//!   **across phase boundaries** (`PipelineSim::resume`), so cross-kernel
+//!   cache reuse — a phase re-reading a predecessor's buffers — is a
+//!   measurable effect, while fixed-latency memory models are provably
+//!   unaffected by phase order,
+//! * [`app_speedups`] turns the runs into the paper's headline numbers:
+//!   the **kernel-region speed-up** of each multimedia ISA over the scalar
+//!   baseline (total region cycles, scalar / ISA) and the **Amdahl-combined
+//!   whole-application speed-up**
+//!   `1 / ((1 − coverage) + coverage / region_speedup)`.
+//!
+//! The `app-speedups` experiment registered in `mom-bench` (and therefore
+//! `momsim run app-speedups`) is a thin wrapper over this crate at the
+//! [`reference_config`] (a 2-way core behind the simulated L1/L2 cache
+//! hierarchy, where the paper's MOM ≥ MDMX ≥ MMX ordering holds for every
+//! kernel region).
+
+#![warn(missing_docs)]
+
+pub mod run;
+pub mod spec;
+
+pub use run::{
+    amdahl, app_speedups, reference_config, run_app, AppError, AppRun, AppSpeedup, PhaseResult,
+    DEFAULT_FRAMES,
+};
+pub use spec::{AppPhase, AppSpec};
+
+/// Identifier of one of the six Mediabench applications the paper profiles
+/// its kernels out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppId {
+    /// MPEG-2 video encoder (`mpeg2enc`): motion estimation.
+    Mpeg2Enc,
+    /// MPEG-2 video decoder (`mpeg2dec`): IDCT + motion compensation +
+    /// display conversion.
+    Mpeg2Dec,
+    /// JPEG compressor (`cjpeg`): colour conversion.
+    Cjpeg,
+    /// JPEG decompressor (`djpeg`): IDCT + chroma upsampling.
+    Djpeg,
+    /// GSM full-rate speech encoder (`gsmenc`): long-term-predictor search.
+    GsmEnc,
+    /// GSM full-rate speech decoder (`gsmdec`): long/short-term filtering.
+    GsmDec,
+}
+
+impl AppId {
+    /// All six applications, in the order the paper's tables present the
+    /// programs (mpeg, jpeg, gsm; encode before decode).
+    pub const ALL: [AppId; 6] = [
+        AppId::Mpeg2Enc,
+        AppId::Mpeg2Dec,
+        AppId::Cjpeg,
+        AppId::Djpeg,
+        AppId::GsmEnc,
+        AppId::GsmDec,
+    ];
+
+    /// Iterates over all six applications in table order.
+    pub fn all() -> impl Iterator<Item = AppId> {
+        Self::ALL.into_iter()
+    }
+
+    /// The Mediabench program name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Mpeg2Enc => "mpeg2enc",
+            AppId::Mpeg2Dec => "mpeg2dec",
+            AppId::Cjpeg => "cjpeg",
+            AppId::Djpeg => "djpeg",
+            AppId::GsmEnc => "gsmenc",
+            AppId::GsmDec => "gsmdec",
+        }
+    }
+
+    /// One-line description, for `momsim list`-style inventories.
+    pub fn description(self) -> &'static str {
+        match self {
+            AppId::Mpeg2Enc => "MPEG-2 video encoder (motion estimation kernels)",
+            AppId::Mpeg2Dec => "MPEG-2 video decoder (IDCT + motion compensation + display)",
+            AppId::Cjpeg => "JPEG compressor (colour conversion kernel)",
+            AppId::Djpeg => "JPEG decompressor (IDCT + chroma upsampling)",
+            AppId::GsmEnc => "GSM full-rate speech encoder (LTP parameter search)",
+            AppId::GsmDec => "GSM full-rate speech decoder (LTP synthesis filtering)",
+        }
+    }
+
+    /// The application's declarative pipeline specification.
+    pub fn spec(self) -> AppSpec {
+        AppSpec::of(self)
+    }
+}
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when an application name cannot be parsed; its `Display`
+/// lists the valid names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAppIdError {
+    got: String,
+}
+
+impl std::fmt::Display for ParseAppIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown application '{}' (valid: {})",
+            self.got,
+            AppId::ALL.map(AppId::name).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseAppIdError {}
+
+impl std::str::FromStr for AppId {
+    type Err = ParseAppIdError;
+
+    /// Parses an application name (the Mediabench program names),
+    /// case-insensitively.
+    ///
+    /// ```
+    /// use mom_apps::AppId;
+    /// assert_eq!("mpeg2dec".parse(), Ok(AppId::Mpeg2Dec));
+    /// assert_eq!("CJPEG".parse(), Ok(AppId::Cjpeg));
+    /// assert!("epic".parse::<AppId>().unwrap_err().to_string().contains("gsmenc"));
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.trim().to_ascii_lowercase();
+        AppId::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name() == lowered)
+            .ok_or_else(|| ParseAppIdError { got: s.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_round_trip() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = AppId::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), AppId::ALL.len());
+        for app in AppId::all() {
+            assert_eq!(app.to_string().parse(), Ok(app), "round trip {app}");
+            assert_eq!(app.name().to_ascii_uppercase().parse(), Ok(app));
+            assert!(!app.description().is_empty());
+        }
+        assert_eq!(AppId::all().count(), AppId::ALL.len());
+    }
+
+    #[test]
+    fn parse_errors_name_the_valid_applications() {
+        let err = "epic".parse::<AppId>().unwrap_err().to_string();
+        for name in [
+            "epic", "mpeg2enc", "mpeg2dec", "cjpeg", "djpeg", "gsmenc", "gsmdec",
+        ] {
+            assert!(err.contains(name), "{err:?} should mention {name}");
+        }
+    }
+}

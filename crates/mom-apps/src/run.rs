@@ -1,0 +1,382 @@
+//! Executing application pipelines and deriving the paper's headline
+//! numbers: kernel-region and Amdahl-combined whole-application speed-ups.
+
+use crate::{AppId, AppSpec};
+use mom_arch::TraceStats;
+use mom_isa::IsaKind;
+use mom_kernels::{app_machine, run_phase_with_sink, KernelError, KernelId};
+use mom_pipeline::{CacheStats, MemoryModel, PipelineConfig, PipelineSim, SimResult};
+
+/// Frames each application run simulates by default: enough for the cache
+/// hierarchy to show both the cold-start and the steady-state behaviour of
+/// the pipeline while staying fast in debug-mode CI runs.
+pub const DEFAULT_FRAMES: usize = 2;
+
+/// The reference machine of the `app-speedups` experiment: the 2-way core
+/// behind the simulated L1/L2 cache hierarchy.
+///
+/// Two properties make this the right application-level reference point:
+/// phase chaining only matters under a real memory hierarchy (a fixed
+/// latency is history-free by construction), and on the 2-way core every
+/// kernel region preserves the paper's MOM ≥ MDMX ≥ MMX speed-up ordering
+/// (on wider cores the MDMX accumulator serialisation of `ltppar` costs it
+/// its edge over MMX).
+pub fn reference_config() -> PipelineConfig {
+    PipelineConfig::way_with_memory(2, MemoryModel::CACHE)
+}
+
+/// The measured outcome of one phase of an application run.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// The kernel the phase ran.
+    pub kernel: KernelId,
+    /// Invocations the phase performed (per-frame count × frames).
+    pub invocations: usize,
+    /// Timing result of the phase.  Under a cache hierarchy the cache
+    /// counters are **per-phase** (zeroed at each phase boundary) while the
+    /// cached lines themselves carry over from earlier phases.
+    pub result: SimResult,
+    /// Trace statistics of the phase (instruction mix, F, VLx, VLy).
+    pub stats: TraceStats,
+}
+
+impl PhaseResult {
+    /// Folds one frame's drained execution of this phase into the
+    /// aggregate.  Every counter is additive across drained executions;
+    /// the reorder-buffer high-water mark takes the maximum.
+    fn accumulate(&mut self, invocations: usize, result: &SimResult, stats: &TraceStats) {
+        self.invocations += invocations;
+        self.result.cycles += result.cycles;
+        self.result.instructions += result.instructions;
+        self.result.operations += result.operations;
+        self.result.media_instructions += result.media_instructions;
+        self.result.memory_instructions += result.memory_instructions;
+        for (&fu, &busy) in &result.fu_busy_cycles {
+            *self.result.fu_busy_cycles.entry(fu).or_insert(0) += busy;
+        }
+        self.result.max_rob_occupancy = self.result.max_rob_occupancy.max(result.max_rob_occupancy);
+        self.result.dispatch_stall_cycles += result.dispatch_stall_cycles;
+        self.result.cache.l1_hits += result.cache.l1_hits;
+        self.result.cache.l1_misses += result.cache.l1_misses;
+        self.result.cache.l2_hits += result.cache.l2_hits;
+        self.result.cache.l2_misses += result.cache.l2_misses;
+        self.stats.instructions += stats.instructions;
+        self.stats.operations += stats.operations;
+        self.stats.media_instructions += stats.media_instructions;
+        self.stats.matrix_instructions += stats.matrix_instructions;
+        self.stats.memory_instructions += stats.memory_instructions;
+        self.stats.sum_vlx += stats.sum_vlx;
+        self.stats.sum_vly += stats.sum_vly;
+    }
+}
+
+/// One application run: every phase of the pipeline, executed in order on
+/// one machine with the data cache carried across phase boundaries.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Which application ran.
+    pub app: AppId,
+    /// Which ISA its kernels used.
+    pub isa: IsaKind,
+    /// How many frames the run simulated.
+    pub frames: usize,
+    /// Per-phase results, in pipeline order.
+    pub phases: Vec<PhaseResult>,
+}
+
+impl AppRun {
+    /// Total cycles spent in the kernel regions (summed over phases; the
+    /// pipeline drains at phase boundaries, so phase cycles are additive).
+    pub fn cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.result.cycles).sum()
+    }
+
+    /// Total committed instructions over all phases.
+    pub fn instructions(&self) -> u64 {
+        self.phases.iter().map(|p| p.result.instructions).sum()
+    }
+
+    /// Data-cache counters summed over all phases.
+    pub fn cache(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for p in &self.phases {
+            total.l1_hits += p.result.cache.l1_hits;
+            total.l1_misses += p.result.cache.l1_misses;
+            total.l2_hits += p.result.cache.l2_hits;
+            total.l2_misses += p.result.cache.l2_misses;
+        }
+        total
+    }
+}
+
+/// Ways running an application pipeline can fail.
+#[derive(Debug)]
+pub enum AppError {
+    /// The application spec, machine configuration or frame count was
+    /// invalid.
+    Spec {
+        /// Application being run.
+        app: AppId,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A phase failed to run or verify — the error names the phase so a
+    /// mid-pipeline failure is attributable.
+    Phase {
+        /// Application being run.
+        app: AppId,
+        /// ISA of the failing run.
+        isa: IsaKind,
+        /// Index of the failing phase in the pipeline (0-based).
+        phase: usize,
+        /// Kernel of the failing phase.
+        kernel: KernelId,
+        /// The underlying kernel error (which itself carries the kernel,
+        /// ISA, iteration index and offending element).
+        source: KernelError,
+    },
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Spec { app, detail } => write!(f, "{app}: invalid scenario: {detail}"),
+            AppError::Phase {
+                app,
+                isa,
+                phase,
+                kernel,
+                source,
+            } => write!(f, "{app}/{isa}: phase {phase} ({kernel}) failed: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AppError::Phase { source, .. } => Some(source),
+            AppError::Spec { .. } => None,
+        }
+    }
+}
+
+/// Runs one application pipeline: each of the `frames` frames traverses
+/// **every phase in order** (`idct → addblock → …`, then the next frame
+/// starts over at the first phase), with all kernels coded for `isa`, on a
+/// machine of the given configuration.
+///
+/// All phases of all frames execute in **one** simulated address space
+/// ([`app_machine`]); at each phase boundary the out-of-order window drains
+/// (a function-call boundary in the real program) but the simulated data
+/// cache is handed to the next phase's consumer intact
+/// (`PipelineSim::into_parts` → `PipelineSim::resume`), so a phase
+/// re-reading a predecessor's buffers observes warm-cache hits — and a
+/// second frame's early phases re-warm on what the first frame left
+/// behind.  Under a [`MemoryModel::Fixed`] configuration the hand-over is
+/// a no-op and phase chaining cannot affect timing.  Every iteration of
+/// every phase is verified against its kernel's golden reference; failures
+/// are reported per phase ([`AppError::Phase`]).
+///
+/// The returned [`PhaseResult`]s aggregate each phase over all frames
+/// (cycles, instructions and cache counters are additive across the
+/// drained phase executions).
+pub fn run_app(
+    spec: &AppSpec,
+    isa: IsaKind,
+    config: &PipelineConfig,
+    seed: u64,
+    frames: usize,
+) -> Result<AppRun, AppError> {
+    let bad_spec = |detail: String| AppError::Spec {
+        app: spec.id,
+        detail,
+    };
+    spec.validate().map_err(bad_spec)?;
+    config.validate().map_err(bad_spec)?;
+    if frames == 0 {
+        return Err(bad_spec("at least one frame is required".into()));
+    }
+
+    let mut machine = app_machine();
+    let mut phases: Vec<PhaseResult> = spec
+        .phases
+        .iter()
+        .map(|p| PhaseResult {
+            kernel: p.kernel,
+            invocations: 0,
+            result: SimResult::default(),
+            stats: TraceStats::default(),
+        })
+        .collect();
+    // The warm cache handed from each drained phase to the next (across
+    // frame boundaries too); `None` only before the very first phase and
+    // under fixed-latency models.
+    let mut cache = None;
+    for _frame in 0..frames {
+        for (index, phase) in spec.phases.iter().enumerate() {
+            let mut sim = PipelineSim::resume(config.clone(), cache.take());
+            let stats = run_phase_with_sink(
+                &mut machine,
+                phase.kernel,
+                isa,
+                seed,
+                phase.invocations,
+                &mut sim,
+            )
+            .map_err(|source| AppError::Phase {
+                app: spec.id,
+                isa,
+                phase: index,
+                kernel: phase.kernel,
+                source,
+            })?;
+            let (result, warm) = sim.into_parts();
+            cache = warm;
+            phases[index].accumulate(phase.invocations, &result, &stats);
+        }
+    }
+    Ok(AppRun {
+        app: spec.id,
+        isa,
+        frames,
+        phases,
+    })
+}
+
+/// One row of the application-speed-up report: a (application, multimedia
+/// ISA) pair.
+#[derive(Debug, Clone)]
+pub struct AppSpeedup {
+    /// The application.
+    pub app: AppId,
+    /// The multimedia ISA (MMX, MDMX or MOM).
+    pub isa: IsaKind,
+    /// Fraction of scalar execution time the kernel regions cover.
+    pub coverage: f64,
+    /// Kernel-region cycles of the scalar baseline.
+    pub scalar_cycles: u64,
+    /// Kernel-region cycles under this ISA.
+    pub cycles: u64,
+    /// Speed-up of the kernel regions: `scalar_cycles / cycles`.
+    pub kernel_speedup: f64,
+    /// Amdahl-combined whole-application speed-up (see [`amdahl`]).
+    pub app_speedup: f64,
+}
+
+/// Amdahl's law for a partially accelerated application: the whole-program
+/// speed-up when a `coverage` fraction of scalar time runs
+/// `region_speedup`× faster and the rest is untouched.
+pub fn amdahl(coverage: f64, region_speedup: f64) -> f64 {
+    1.0 / ((1.0 - coverage) + coverage / region_speedup)
+}
+
+/// Runs all six applications under the scalar baseline and every multimedia
+/// ISA and derives the speed-up rows, in application-major order
+/// (each application: MMX, MDMX, MOM).
+///
+/// Applications are independent simulations, so they run concurrently (one
+/// worker per application, each measuring its four ISA runs).
+pub fn app_speedups(
+    config: &PipelineConfig,
+    seed: u64,
+    frames: usize,
+) -> Result<Vec<AppSpeedup>, AppError> {
+    let mut per_app: Vec<Result<Vec<AppSpeedup>, AppError>> = Vec::with_capacity(AppId::ALL.len());
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = AppId::ALL
+            .iter()
+            .map(|&app| scope.spawn(move || speedups_for_app(app, config, seed, frames)))
+            .collect();
+        for worker in workers {
+            per_app.push(worker.join().expect("an application worker panicked"));
+        }
+    });
+    let mut rows = Vec::with_capacity(AppId::ALL.len() * IsaKind::MEDIA.len());
+    for result in per_app {
+        rows.extend(result?);
+    }
+    Ok(rows)
+}
+
+/// Measures one application under all four ISAs and derives its three
+/// speed-up rows.
+fn speedups_for_app(
+    app: AppId,
+    config: &PipelineConfig,
+    seed: u64,
+    frames: usize,
+) -> Result<Vec<AppSpeedup>, AppError> {
+    let spec = AppSpec::of(app);
+    let scalar_cycles = run_app(&spec, IsaKind::Alpha, config, seed, frames)?.cycles();
+    IsaKind::MEDIA
+        .iter()
+        .map(|&isa| {
+            let cycles = run_app(&spec, isa, config, seed, frames)?.cycles();
+            let kernel_speedup = scalar_cycles as f64 / cycles as f64;
+            Ok(AppSpeedup {
+                app,
+                isa,
+                coverage: spec.coverage,
+                scalar_cycles,
+                cycles,
+                kernel_speedup,
+                app_speedup: amdahl(spec.coverage, kernel_speedup),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits_are_respected() {
+        // No coverage gain without a region speed-up.
+        assert!((amdahl(0.5, 1.0) - 1.0).abs() < 1e-12);
+        // Full coverage passes the region speed-up through.
+        assert!((amdahl(1.0, 8.0) - 8.0).abs() < 1e-12);
+        // An infinite region speed-up is bounded by the serial fraction.
+        let limit = amdahl(0.75, 1e12);
+        assert!((limit - 4.0).abs() < 1e-6, "limit {limit}");
+        // Monotone in both arguments.
+        assert!(amdahl(0.5, 4.0) > amdahl(0.5, 2.0));
+        assert!(amdahl(0.6, 4.0) > amdahl(0.5, 4.0));
+    }
+
+    #[test]
+    fn run_app_rejects_bad_inputs() {
+        let spec = AppSpec::of(AppId::Cjpeg);
+        let config = reference_config();
+        assert!(matches!(
+            run_app(&spec, IsaKind::Mom, &config, 1, 0),
+            Err(AppError::Spec {
+                app: AppId::Cjpeg,
+                ..
+            })
+        ));
+        let mut broken = spec.clone();
+        broken.coverage = 0.0;
+        let err = run_app(&broken, IsaKind::Mom, &config, 1, 1).unwrap_err();
+        assert!(err.to_string().contains("coverage"), "{err}");
+    }
+
+    #[test]
+    fn phase_results_line_up_with_the_spec() {
+        let spec = AppSpec::of(AppId::Mpeg2Dec);
+        let run = run_app(&spec, IsaKind::Mom, &reference_config(), 7, 2).unwrap();
+        assert_eq!(run.phases.len(), spec.phases.len());
+        for (phase, declared) in run.phases.iter().zip(&spec.phases) {
+            assert_eq!(phase.kernel, declared.kernel);
+            assert_eq!(phase.invocations, declared.invocations * 2);
+            assert!(phase.result.cycles > 0);
+            assert!(phase.stats.instructions > 0);
+        }
+        assert_eq!(
+            run.cycles(),
+            run.phases.iter().map(|p| p.result.cycles).sum::<u64>()
+        );
+        assert!(run.cache().l1_hits > 0, "a cache config must count hits");
+    }
+}

@@ -1,0 +1,176 @@
+//! Declarative application pipelines: which kernels run, in what order,
+//! how often per frame, and how much of the scalar application the kernel
+//! regions cover.
+//!
+//! The numbers are *modelled* from the paper's profiling methodology: the
+//! kernels were extracted from the six Mediabench programs by profiling,
+//! and the whole-application speed-ups combine the measured kernel regions
+//! with the remaining (unvectorised) scalar time by Amdahl's law.  Frames
+//! are kept small — a "frame" here is a representative slice of the real
+//! workload (a few macroblocks, a few GSM subframes), not a full CIF
+//! picture — so that every experiment stays simulable in CI while the
+//! *relative* per-phase instruction mix matches the application shape.
+
+use crate::AppId;
+use mom_kernels::KernelId;
+
+/// One phase of an application pipeline: a kernel and how many invocations
+/// of it one frame performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppPhase {
+    /// The kernel this phase runs.
+    pub kernel: KernelId,
+    /// Kernel invocations per frame.
+    pub invocations: usize,
+}
+
+/// A declarative whole-application scenario: an ordered list of kernel
+/// phases plus the fraction of scalar execution time those kernel regions
+/// cover in the real program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Which application this is.
+    pub id: AppId,
+    /// The kernel phases, in dataflow order (each frame runs them in this
+    /// order; a phase may re-read buffers its predecessors touched).
+    pub phases: Vec<AppPhase>,
+    /// Fraction of the *scalar* application's execution time spent inside
+    /// the kernel regions (the paper's profiling coverage), in `(0, 1]`.
+    pub coverage: f64,
+}
+
+impl AppSpec {
+    /// The pipeline specification of one application.
+    ///
+    /// Phases follow the programs' dataflow: e.g. `mpeg2dec` runs the IDCT,
+    /// adds the residual to the prediction, blends bidirectional
+    /// predictions, and upsamples chroma for display; `mpeg2enc` evaluates
+    /// both motion-estimation metrics per macroblock.
+    pub fn of(id: AppId) -> AppSpec {
+        let (phases, coverage): (&[(KernelId, usize)], f64) = match id {
+            AppId::Mpeg2Enc => (&[(KernelId::Motion1, 3), (KernelId::Motion2, 3)], 0.66),
+            AppId::Mpeg2Dec => (
+                &[
+                    (KernelId::Idct, 2),
+                    (KernelId::AddBlock, 4),
+                    (KernelId::Compensation, 4),
+                    (KernelId::H2v2, 2),
+                ],
+                0.45,
+            ),
+            AppId::Cjpeg => (&[(KernelId::Rgb2Ycc, 2)], 0.28),
+            AppId::Djpeg => (&[(KernelId::Idct, 2), (KernelId::H2v2, 2)], 0.40),
+            AppId::GsmEnc => (&[(KernelId::LtpPar, 2)], 0.72),
+            AppId::GsmDec => (&[(KernelId::LtpFilt, 4)], 0.58),
+        };
+        AppSpec {
+            id,
+            phases: phases
+                .iter()
+                .map(|&(kernel, invocations)| AppPhase {
+                    kernel,
+                    invocations,
+                })
+                .collect(),
+            coverage,
+        }
+    }
+
+    /// Total kernel invocations one frame performs, over all phases.
+    pub fn invocations_per_frame(&self) -> usize {
+        self.phases.iter().map(|p| p.invocations).sum()
+    }
+
+    /// Validates the pipeline: at least one phase, every phase at least one
+    /// invocation, coverage a fraction in `(0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err(format!(
+                "{}: an application needs at least one phase",
+                self.id
+            ));
+        }
+        if let Some(i) = self.phases.iter().position(|p| p.invocations == 0) {
+            return Err(format!(
+                "{}: phase {i} ({}) must run at least one invocation",
+                self.id, self.phases[i].kernel
+            ));
+        }
+        if !(self.coverage > 0.0 && self.coverage <= 1.0) {
+            return Err(format!(
+                "{}: kernel coverage must be in (0, 1], got {}",
+                self.id, self.coverage
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_applications_validate() {
+        for app in AppId::ALL {
+            let spec = AppSpec::of(app);
+            spec.validate().unwrap_or_else(|e| panic!("{app}: {e}"));
+            assert_eq!(spec.id, app);
+            assert!(spec.invocations_per_frame() >= 1);
+        }
+    }
+
+    #[test]
+    fn phases_come_from_the_application_that_was_profiled() {
+        // Every phase kernel's source program must mention the application's
+        // codec family (mpeg2dec additionally reuses the jpeg-decode h2v2
+        // upsampler for display conversion, as the shared kernel table
+        // allows).
+        for app in AppId::ALL {
+            let family = match app {
+                AppId::Mpeg2Enc | AppId::Mpeg2Dec => "mpeg2",
+                AppId::Cjpeg | AppId::Djpeg => "jpeg",
+                AppId::GsmEnc | AppId::GsmDec => "gsm",
+            };
+            for phase in AppSpec::of(app).phases {
+                let source = phase.kernel.source_program();
+                assert!(
+                    source.contains(family) || (app == AppId::Mpeg2Dec && source.contains("jpeg")),
+                    "{app}: phase kernel {} comes from '{source}', not {family}",
+                    phase.kernel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_appears_in_some_application() {
+        for kernel in KernelId::ALL {
+            assert!(
+                AppId::ALL
+                    .iter()
+                    .any(|&a| AppSpec::of(a).phases.iter().any(|p| p.kernel == kernel)),
+                "{kernel} is not used by any application pipeline"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_pipelines() {
+        let mut spec = AppSpec::of(AppId::Cjpeg);
+        spec.phases.clear();
+        assert!(spec.validate().is_err());
+
+        let mut spec = AppSpec::of(AppId::Cjpeg);
+        spec.phases[0].invocations = 0;
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("phase 0"), "{err}");
+        assert!(err.contains("rgb2ycc"), "{err}");
+
+        for coverage in [0.0, -0.5, 1.5] {
+            let mut spec = AppSpec::of(AppId::Cjpeg);
+            spec.coverage = coverage;
+            assert!(spec.validate().is_err(), "coverage {coverage}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Directed tests of the phase-resume path: chaining kernel phases must
+//! warm the cache hierarchy for successors and must be strictly invisible
+//! to fixed-latency memory models.
+
+use mom_apps::{run_app, AppId, AppPhase, AppSpec};
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::{MemoryModel, PipelineConfig};
+
+const SEED: u64 = 0x5C99;
+
+/// A two-phase pipeline of the same kernel: the second phase re-reads
+/// exactly the buffers the first touched (inputs and output block), the
+/// sharpest possible warm-versus-cold contrast.
+fn two_phase(kernel: KernelId) -> AppSpec {
+    AppSpec {
+        id: AppId::Mpeg2Dec,
+        phases: vec![
+            AppPhase {
+                kernel,
+                invocations: 1,
+            },
+            AppPhase {
+                kernel,
+                invocations: 1,
+            },
+        ],
+        coverage: 0.5,
+    }
+}
+
+#[test]
+fn second_phase_runs_warm_where_the_first_ran_cold() {
+    let config = PipelineConfig::way_with_memory(2, MemoryModel::CACHE);
+    for isa in IsaKind::ALL {
+        let run = run_app(&two_phase(KernelId::Compensation), isa, &config, SEED, 1).unwrap();
+        let cold = &run.phases[0].result;
+        let warm = &run.phases[1].result;
+        // Identical instruction streams...
+        assert_eq!(cold.instructions, warm.instructions, "{isa}");
+        // ...but the first phase pays the compulsory misses and the second
+        // re-reads the predecessor's buffers out of the warm hierarchy.
+        assert!(cold.cache.l1_misses > 0, "{isa}: cold phase must miss");
+        assert!(
+            warm.cache.l1_misses < cold.cache.l1_misses,
+            "{isa}: warm phase ({} misses) must beat the cold one ({})",
+            warm.cache.l1_misses,
+            cold.cache.l1_misses
+        );
+        assert_eq!(
+            warm.cache.l2_misses, 0,
+            "{isa}: nothing the predecessor touched may go back to memory"
+        );
+        assert!(
+            warm.cycles < cold.cycles,
+            "{isa}: warm cycles {} vs cold {}",
+            warm.cycles,
+            cold.cycles
+        );
+    }
+}
+
+#[test]
+fn chained_phase_beats_the_same_phase_run_cold() {
+    // The mpeg2dec pipeline: `addblock` (phase 1) re-reads the residual and
+    // prediction regions `idct` and the workload preparation already pulled
+    // through the hierarchy, so running it inside the pipeline must miss
+    // less than running it as a cold single-phase application.
+    let config = PipelineConfig::way_with_memory(2, MemoryModel::CACHE);
+    let pipeline = AppSpec {
+        phases: AppSpec::of(AppId::Mpeg2Dec).phases[..2].to_vec(), // idct → addblock
+        ..AppSpec::of(AppId::Mpeg2Dec)
+    };
+    let alone = AppSpec {
+        phases: pipeline.phases[1..].to_vec(), // addblock, cold
+        ..pipeline.clone()
+    };
+    for isa in [IsaKind::Alpha, IsaKind::Mom] {
+        let chained = run_app(&pipeline, isa, &config, SEED, 1).unwrap();
+        let cold = run_app(&alone, isa, &config, SEED, 1).unwrap();
+        let chained_addblock = &chained.phases[1];
+        let cold_addblock = &cold.phases[0];
+        assert_eq!(chained_addblock.kernel, KernelId::AddBlock);
+        assert_eq!(
+            chained_addblock.result.instructions, cold_addblock.result.instructions,
+            "{isa}: phase chaining must not change the instruction stream"
+        );
+        let misses = |r: &mom_pipeline::SimResult| r.cache.l1_misses + r.cache.l2_misses;
+        assert!(
+            misses(&chained_addblock.result) < misses(&cold_addblock.result),
+            "{isa}: chained addblock ({:?}) must run warmer than cold ({:?})",
+            chained_addblock.result.cache,
+            cold_addblock.result.cache
+        );
+    }
+}
+
+#[test]
+fn fixed_memory_is_unaffected_by_phase_chaining() {
+    // Under a fixed-latency model there is no cache state to carry: every
+    // phase of a chain must cost exactly what the same phase costs alone.
+    for latency in [1, 50] {
+        let config = PipelineConfig::way_with_memory(2, MemoryModel::Fixed { latency });
+        for isa in IsaKind::ALL {
+            let chained = run_app(&two_phase(KernelId::AddBlock), isa, &config, SEED, 1).unwrap();
+            let alone = AppSpec {
+                phases: vec![AppPhase {
+                    kernel: KernelId::AddBlock,
+                    invocations: 1,
+                }],
+                ..two_phase(KernelId::AddBlock)
+            };
+            let alone = run_app(&alone, isa, &config, SEED, 1).unwrap();
+            let label = format!("{isa} @ latency {latency}");
+            assert_eq!(
+                chained.phases[0].result.cycles, chained.phases[1].result.cycles,
+                "{label}: chained phases must cost the same"
+            );
+            assert_eq!(
+                chained.phases[0].result.cycles, alone.phases[0].result.cycles,
+                "{label}: chaining must not perturb fixed-latency timing"
+            );
+            assert_eq!(chained.cache(), Default::default(), "{label}: no counters");
+        }
+    }
+}

@@ -156,12 +156,17 @@ pub fn ablations_main() -> i32 {
 fn run_sweep(out_dir: &Path) -> Result<(), CliError> {
     std::fs::create_dir_all(out_dir)
         .map_err(|e| CliError::Io(format!("cannot create {}: {e}", out_dir.display())))?;
-    // One measured pass per (kernel, ISA) pair feeds all three reports.
+    // One measured pass per (kernel, ISA) pair feeds the three kernel-level
+    // reports; the application scenario layer runs its own pipelines.
     let results = full_sweep()?;
+    let apps = find_experiment("app-speedups")
+        .map_err(CliError::Usage)?
+        .run()?;
     for (name, report) in [
         ("BENCH_fig4.json", Report::Fig4(results.fig4)),
         ("BENCH_fig5.json", Report::Fig5(results.fig5)),
         ("BENCH_tables.json", Report::Tables(results.tables)),
+        ("BENCH_apps.json", apps),
     ] {
         let path = out_dir.join(name);
         std::fs::write(&path, report.json().pretty())
@@ -203,8 +208,9 @@ USAGE:
   momsim list
       Show the registered experiments and the valid axis values.
   momsim run <experiment> [--json PATH]
-      Run a registered experiment (fig4, fig5, tables, ablation-lanes,
-      ablation-rob); print the text report and optionally write the JSON.
+      Run a registered experiment (fig4, fig5, tables, app-speedups,
+      ablation-lanes, ablation-rob); print the text report and optionally
+      write the JSON.
   momsim run [AXES] [--json PATH]
       Run an ad-hoc scenario grid assembled from axis flags:
         --kernels K,K,..       kernel names, or 'all' (default: all)
@@ -217,7 +223,8 @@ USAGE:
         --replication N        min dynamic instructions (default: 4000)
         --seed N               workload seed (default: 23705)
   momsim sweep [--out-dir DIR]
-      Regenerate BENCH_fig4.json, BENCH_fig5.json and BENCH_tables.json.
+      Regenerate BENCH_fig4.json, BENCH_fig5.json, BENCH_tables.json and
+      BENCH_apps.json.
 ";
 
 fn list() {
@@ -242,6 +249,23 @@ fn list() {
             "  {:<10} {}",
             i.name().to_ascii_lowercase(),
             i.description()
+        );
+    }
+    println!();
+    println!("applications (momsim run app-speedups):");
+    for app in mom_apps::AppId::all() {
+        let spec = app.spec();
+        let phases = spec
+            .phases
+            .iter()
+            .map(|p| p.kernel.name())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        println!(
+            "  {:<10} {} [{phases}; coverage {:.2}]",
+            app.name(),
+            app.description(),
+            spec.coverage
         );
     }
     println!();

@@ -16,6 +16,10 @@
 //!   (per-level hit/miss counters and MPKI land in the JSON report),
 //! * `tables` — the per-kernel IPC / OPI / R / S / F / VLx / VLy breakdown
 //!   of Tables 1–9 (4-way, 1-cycle memory),
+//! * `app-speedups` — the six whole Mediabench applications as multi-kernel
+//!   pipelines (the `mom-apps` scenario layer): kernel-region and
+//!   Amdahl-combined whole-application speed-ups on a 2-way core whose
+//!   L1/L2 cache hierarchy persists across phase boundaries,
 //! * `ablation-lanes` / `ablation-rob` — studies beyond the paper, varying
 //!   the number of multimedia lanes and the reorder-buffer size.
 //!
@@ -702,6 +706,112 @@ pub fn tables_json(rows: &[TableRow]) -> Json {
     Json::obj(doc)
 }
 
+// ---------------------------------------------------------------------------
+// Whole-application speed-ups (the mom-apps scenario layer)
+// ---------------------------------------------------------------------------
+
+/// Formats the application speed-up rows as an aligned text table: per
+/// application, the pipeline phases, the kernel-region speed-up of each
+/// multimedia ISA over the scalar baseline, and the Amdahl-combined
+/// whole-application speed-up at the application's scalar coverage.
+pub fn format_apps(rows: &[mom_apps::AppSpeedup]) -> String {
+    use mom_apps::{AppId, AppSpec};
+    let mut out = String::new();
+    out.push_str(
+        "Application speed-ups: kernel regions and Amdahl whole-app (2-way, L1/L2 cache)\n",
+    );
+    out.push_str(&format!(
+        "{:<10} {:>9} {:>6} {:>10} {:>9} {:>9}  phases\n",
+        "app", "coverage", "isa", "region-cyc", "region-S", "app-S"
+    ));
+    for app in AppId::ALL {
+        let spec = AppSpec::of(app);
+        let phases = spec
+            .phases
+            .iter()
+            .map(|p| format!("{}x{}", p.kernel, p.invocations))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        for (index, isa) in IsaKind::MEDIA.into_iter().enumerate() {
+            let Some(row) = rows.iter().find(|r| r.app == app && r.isa == isa) else {
+                continue;
+            };
+            out.push_str(&format!(
+                "{:<10} {:>9.2} {:>6} {:>10} {:>8.2}x {:>8.2}x  {}\n",
+                app.name(),
+                row.coverage,
+                isa.name(),
+                row.cycles,
+                row.kernel_speedup,
+                row.app_speedup,
+                if index == 0 { phases.as_str() } else { "" },
+            ));
+        }
+    }
+    out
+}
+
+/// The application speed-ups as a machine-readable JSON report
+/// (`BENCH_apps.json`): the declarative pipelines (phases and coverage)
+/// plus one point per (application, multimedia ISA).
+pub fn apps_json(rows: &[mom_apps::AppSpeedup]) -> Json {
+    use mom_apps::{AppId, AppSpec};
+    let doc = vec![
+        ("schema", Json::int(1)),
+        ("experiment", Json::str("apps")),
+        ("seed", Json::int(EXPERIMENT_SEED as i64)),
+        ("frames", Json::int(mom_apps::DEFAULT_FRAMES as i64)),
+        (
+            "apps",
+            Json::Arr(
+                AppId::ALL
+                    .iter()
+                    .map(|&app| {
+                        let spec = AppSpec::of(app);
+                        Json::obj([
+                            ("app", Json::str(app.name())),
+                            ("coverage", Json::Num(spec.coverage)),
+                            (
+                                "phases",
+                                Json::Arr(
+                                    spec.phases
+                                        .iter()
+                                        .map(|p| {
+                                            Json::obj([
+                                                ("kernel", Json::str(p.kernel.name())),
+                                                ("invocations", Json::int(p.invocations as i64)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "points",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("app", Json::str(r.app.name())),
+                            ("isa", Json::str(r.isa.name())),
+                            ("coverage", Json::Num(r.coverage)),
+                            ("scalar_cycles", Json::int(r.scalar_cycles as i64)),
+                            ("cycles", Json::int(r.cycles as i64)),
+                            ("kernel_speedup", Json::Num(r.kernel_speedup)),
+                            ("app_speedup", Json::Num(r.app_speedup)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    Json::obj(doc)
+}
+
 /// Formats an ablation series as an aligned text table.
 pub fn format_ablation(points: &[AblationPoint]) -> String {
     let parameter = points.first().map(|p| p.parameter).unwrap_or("value");
@@ -874,6 +984,8 @@ pub enum Report {
     Fig5(Vec<Figure5Point>),
     /// The Tables 1–9 rows.
     Tables(Vec<TableRow>),
+    /// The whole-application speed-ups of the six Mediabench pipelines.
+    Apps(Vec<mom_apps::AppSpeedup>),
     /// An ablation series (MOM vs MMX over one machine parameter).
     Ablation(Vec<AblationPoint>),
     /// A raw measured grid (ad-hoc sweeps).
@@ -887,6 +999,7 @@ impl Report {
             Report::Fig4(points) => format_figure4(points),
             Report::Fig5(points) => format_figure5(points),
             Report::Tables(rows) => format_tables(rows),
+            Report::Apps(rows) => format_apps(rows),
             Report::Ablation(points) => format_ablation(points),
             Report::Grid(grid) => format_grid(grid),
         }
@@ -899,6 +1012,7 @@ impl Report {
             Report::Fig4(points) => figure4_json(points),
             Report::Fig5(points) => figure5_json(points),
             Report::Tables(rows) => tables_json(rows),
+            Report::Apps(rows) => apps_json(rows),
             Report::Ablation(points) => ablation_json(points),
             Report::Grid(grid) => grid_json(grid),
         }
@@ -910,6 +1024,7 @@ impl Report {
             Report::Fig4(points) => points.len(),
             Report::Fig5(points) => points.len(),
             Report::Tables(rows) => rows.len(),
+            Report::Apps(rows) => rows.len(),
             Report::Ablation(points) => points.len(),
             Report::Grid(grid) => grid.points.len(),
         }

@@ -184,14 +184,16 @@ impl GridResult {
     }
 }
 
-/// Error of a declarative experiment run: an invalid spec, or a kernel
-/// whose functional run failed verification.
+/// Error of a declarative experiment run: an invalid spec, a kernel whose
+/// functional run failed verification, or a failed application scenario.
 #[derive(Debug)]
 pub enum ExperimentError {
     /// The spec failed [`ExperimentSpec::validate`].
     Spec(String),
     /// A kernel failed to run or verify against its golden reference.
     Kernel(KernelError),
+    /// An application pipeline failed (the error names the phase).
+    App(mom_apps::AppError),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -199,6 +201,7 @@ impl std::fmt::Display for ExperimentError {
         match self {
             ExperimentError::Spec(message) => write!(f, "invalid experiment spec: {message}"),
             ExperimentError::Kernel(e) => write!(f, "kernel run failed: {e}"),
+            ExperimentError::App(e) => write!(f, "application run failed: {e}"),
         }
     }
 }
@@ -211,31 +214,58 @@ impl From<KernelError> for ExperimentError {
     }
 }
 
+impl From<mom_apps::AppError> for ExperimentError {
+    fn from(e: mom_apps::AppError) -> Self {
+        ExperimentError::App(e)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The registry of named experiments
 // ---------------------------------------------------------------------------
 
-/// A named, registered experiment: a spec plus the derivation that turns
-/// its measured grid into the published report.
+/// How a registered experiment measures its report.
+#[derive(Debug)]
+enum Runner {
+    /// A kernel × ISA × configuration grid ([`ExperimentSpec`]) plus the
+    /// derivation from the measured grid to the report.
+    Grid {
+        spec: fn() -> ExperimentSpec,
+        derive: fn(&GridResult) -> Report,
+    },
+    /// A scenario with its own execution shape (e.g. the multi-kernel
+    /// application pipelines of `mom-apps`, which are *not* a grid: phases
+    /// share one machine and carry cache state across boundaries).
+    Scenario(fn() -> Result<Report, ExperimentError>),
+}
+
+/// A named, registered experiment: a grid spec plus its report derivation,
+/// or a self-contained scenario runner.
 #[derive(Debug)]
 pub struct NamedExperiment {
     /// The CLI name (`momsim run <name>`).
     pub name: &'static str,
     /// One-line description shown by `momsim list`.
     pub description: &'static str,
-    spec: fn() -> ExperimentSpec,
-    derive: fn(&GridResult) -> Report,
+    runner: Runner,
 }
 
 impl NamedExperiment {
-    /// The experiment's grid spec.
-    pub fn spec(&self) -> ExperimentSpec {
-        (self.spec)()
+    /// The experiment's grid spec, when the experiment is a grid (scenario
+    /// experiments like `app-speedups` have no grid shape).
+    pub fn spec(&self) -> Option<ExperimentSpec> {
+        match &self.runner {
+            Runner::Grid { spec, .. } => Some(spec()),
+            Runner::Scenario(_) => None,
+        }
     }
 
-    /// Runs the grid and derives the report.
+    /// Runs the experiment and derives the report.
     pub fn run(&self) -> Result<Report, ExperimentError> {
-        Ok((self.derive)(&self.spec().run()?))
+        match &self.runner {
+            Runner::Grid { spec, derive } => Ok(derive(&spec().run()?)),
+            Runner::Scenario(run) => run(),
+        }
     }
 }
 
@@ -325,39 +355,69 @@ fn derive_ablation_rob(grid: &GridResult) -> Report {
     Report::Ablation(crate::ablation_from(grid, "rob-size", |c| c.rob_size))
 }
 
-/// The registered experiments — the paper's figures and tables plus the
-/// ablations — in `momsim list` order.
+/// Runs the `app-speedups` scenario: the six Mediabench applications as
+/// multi-kernel pipelines on the application reference machine (2-way core,
+/// L1/L2 cache hierarchy carried across phase boundaries), reported as
+/// kernel-region and Amdahl whole-application speed-ups.
+fn run_app_speedups() -> Result<Report, ExperimentError> {
+    let rows = mom_apps::app_speedups(
+        &mom_apps::reference_config(),
+        EXPERIMENT_SEED,
+        mom_apps::DEFAULT_FRAMES,
+    )?;
+    Ok(Report::Apps(rows))
+}
+
+/// The registered experiments — the paper's figures and tables, the
+/// whole-application scenario layer, and the ablations — in `momsim list`
+/// order.
 pub fn registry() -> &'static [NamedExperiment] {
-    static REGISTRY: [NamedExperiment; 5] = [
+    static REGISTRY: [NamedExperiment; 6] = [
         NamedExperiment {
             name: "fig4",
             description: "Figure 4: speed-up over the scalar baseline at issue widths 1/2/4/8",
-            spec: fig4_spec,
-            derive: derive_fig4,
+            runner: Runner::Grid {
+                spec: fig4_spec,
+                derive: derive_fig4,
+            },
         },
         NamedExperiment {
             name: "fig5",
             description: "Figure 5: cycles vs memory system (1/12/50 cycles + L1/L2 cache), 4-way",
-            spec: fig5_spec,
-            derive: derive_fig5,
+            runner: Runner::Grid {
+                spec: fig5_spec,
+                derive: derive_fig5,
+            },
         },
         NamedExperiment {
             name: "tables",
             description: "Tables 1-9: IPC / OPI / R / S / F / VLx / VLy per kernel, 4-way",
-            spec: tables_spec,
-            derive: derive_tables,
+            runner: Runner::Grid {
+                spec: tables_spec,
+                derive: derive_tables,
+            },
+        },
+        NamedExperiment {
+            name: "app-speedups",
+            description: "Whole applications: kernel-region + Amdahl speed-ups of the six \
+                          Mediabench programs (2-way, L1/L2 cache across phases)",
+            runner: Runner::Scenario(run_app_speedups),
         },
         NamedExperiment {
             name: "ablation-lanes",
             description: "Ablation: multimedia lane count (MOM vs MMX, 4-way, perfect memory)",
-            spec: ablation_lanes_spec,
-            derive: derive_ablation_lanes,
+            runner: Runner::Grid {
+                spec: ablation_lanes_spec,
+                derive: derive_ablation_lanes,
+            },
         },
         NamedExperiment {
             name: "ablation-rob",
             description: "Ablation: reorder-buffer size (MOM vs MMX, 4-way, 50-cycle memory)",
-            spec: ablation_rob_spec,
-            derive: derive_ablation_rob,
+            runner: Runner::Grid {
+                spec: ablation_rob_spec,
+                derive: derive_ablation_rob,
+            },
         },
     ];
     &REGISTRY
@@ -385,16 +445,35 @@ mod tests {
 
     #[test]
     fn registered_specs_validate_and_cover_the_reports() {
+        let mut grids = 0;
         for experiment in registry() {
-            let spec = experiment.spec();
-            spec.validate()
-                .unwrap_or_else(|e| panic!("{}: {e}", experiment.name));
-            assert!(spec.points() > 0);
+            if let Some(spec) = experiment.spec() {
+                grids += 1;
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", experiment.name));
+                assert!(spec.points() > 0);
+            }
             assert!(!experiment.description.is_empty());
         }
+        assert!(grids >= 5, "the five grid experiments stay registered");
         assert!(find_experiment("fig5").is_ok());
+        assert!(
+            find_experiment("app-speedups").is_ok(),
+            "the application scenario layer must be registered"
+        );
+        assert!(
+            find_experiment("app-speedups").unwrap().spec().is_none(),
+            "app-speedups is a scenario, not a grid"
+        );
         let err = find_experiment("fig6").unwrap_err();
-        for name in ["fig6", "fig4", "tables", "ablation-lanes", "ablation-rob"] {
+        for name in [
+            "fig6",
+            "fig4",
+            "tables",
+            "app-speedups",
+            "ablation-lanes",
+            "ablation-rob",
+        ] {
             assert!(err.contains(name), "{err:?} should mention {name}");
         }
     }

@@ -1,0 +1,115 @@
+//! Property tests for the CLI axis enums: every axis value's `Display`
+//! round-trips through `FromStr` (including arbitrary case), and every
+//! parse error names all the valid axis values, so a `momsim` typo is
+//! always self-correcting.
+
+use mom_apps::AppId;
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::MemoryModel;
+use proptest::prelude::*;
+
+/// Randomly upper/lower-cases each character of `name` (parsing is
+/// case-insensitive, so any casing must round-trip).
+fn scramble_case(name: &str, mask: u64) -> String {
+    name.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if (mask >> (i % 64)) & 1 == 1 {
+                c.to_ascii_uppercase()
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn kernel_axis_round_trips_in_any_case(
+        kernel in prop::sample::select(KernelId::ALL.to_vec()),
+        mask in any::<u64>(),
+    ) {
+        prop_assert_eq!(kernel.to_string().parse::<KernelId>(), Ok(kernel));
+        let scrambled = scramble_case(kernel.name(), mask);
+        prop_assert_eq!(scrambled.parse::<KernelId>(), Ok(kernel));
+    }
+
+    #[test]
+    fn isa_axis_round_trips_in_any_case(
+        isa in prop::sample::select(IsaKind::ALL.to_vec()),
+        mask in any::<u64>(),
+    ) {
+        prop_assert_eq!(isa.to_string().parse::<IsaKind>(), Ok(isa));
+        let scrambled = scramble_case(isa.name(), mask);
+        prop_assert_eq!(scrambled.parse::<IsaKind>(), Ok(isa));
+    }
+
+    #[test]
+    fn app_axis_round_trips_in_any_case(
+        app in prop::sample::select(AppId::ALL.to_vec()),
+        mask in any::<u64>(),
+    ) {
+        prop_assert_eq!(app.to_string().parse::<AppId>(), Ok(app));
+        let scrambled = scramble_case(app.name(), mask);
+        prop_assert_eq!(scrambled.parse::<AppId>(), Ok(app));
+    }
+
+    #[test]
+    fn memory_axis_round_trips_for_named_and_fixed_models(
+        preset in prop::sample::select(vec![
+            MemoryModel::PERFECT,
+            MemoryModel::L2,
+            MemoryModel::MAIN_MEMORY,
+            MemoryModel::CACHE,
+        ]),
+        latency in 1u64..=100_000,
+    ) {
+        // The report label is the canonical spelling of every model.
+        prop_assert_eq!(preset.label().parse::<MemoryModel>(), Ok(preset));
+        let fixed = MemoryModel::Fixed { latency };
+        prop_assert_eq!(fixed.to_string().parse::<MemoryModel>(), Ok(fixed));
+    }
+
+    #[test]
+    fn axis_parse_errors_list_every_valid_name(mask in any::<u64>(), len in 1usize..=8) {
+        // A "zz-"-prefixed token can never be a valid axis value (no axis
+        // name contains '-'... except experiment names, which are not parsed
+        // here) nor a number, so every axis must reject it — and the error
+        // must enumerate the full valid vocabulary.
+        let junk: String = (0..len)
+            .map(|i| (b'a' + ((mask >> (i * 5)) % 26) as u8) as char)
+            .collect();
+        let junk = format!("zz-{junk}");
+
+        let err = junk.parse::<KernelId>().unwrap_err().to_string();
+        prop_assert!(err.contains(&junk), "{}", err);
+        for kernel in KernelId::ALL {
+            prop_assert!(err.contains(kernel.name()), "{} missing from {}", kernel, err);
+        }
+
+        let err = junk.parse::<IsaKind>().unwrap_err().to_string();
+        prop_assert!(err.contains(&junk), "{}", err);
+        for isa in IsaKind::ALL {
+            prop_assert!(
+                err.contains(&isa.name().to_ascii_lowercase()),
+                "{} missing from {}", isa, err
+            );
+        }
+
+        let err = junk.parse::<AppId>().unwrap_err().to_string();
+        prop_assert!(err.contains(&junk), "{}", err);
+        for app in AppId::ALL {
+            prop_assert!(err.contains(app.name()), "{} missing from {}", app, err);
+        }
+
+        // MemoryModel's vocabulary is open-ended (any latency), so the
+        // error teaches the grammar: every named spelling plus the fact
+        // that a number works.
+        let err = junk.parse::<MemoryModel>().unwrap_err().to_string();
+        prop_assert!(err.contains(&junk), "{}", err);
+        for name in ["latency", "perfect", "l2", "main", "cache", "l1l2"] {
+            prop_assert!(err.contains(name), "{} missing from {}", name, err);
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //! registered experiment specs must reproduce exactly what the bespoke
 //! drivers they replaced measured.
 
-use mom_bench::{fig5_from, find_experiment, simulate, EXPERIMENT_SEED};
+use mom_apps::AppId;
+use mom_bench::{fig5_from, find_experiment, simulate, Report, EXPERIMENT_SEED};
 use mom_isa::IsaKind;
 use mom_kernels::KernelId;
 use mom_pipeline::MemoryModel;
@@ -15,6 +16,7 @@ fn registered_fig5_spec_reproduces_the_driver_simresults() {
     let grid = find_experiment("fig5")
         .expect("fig5 is registered")
         .spec()
+        .expect("fig5 is a grid experiment")
         .run()
         .expect("every kernel verifies");
     assert_eq!(
@@ -61,5 +63,87 @@ fn registered_fig5_spec_reproduces_the_driver_simresults() {
         assert_eq!(labels, ["1", "12", "50", "cache"]);
         assert_eq!(group[0].slowdown, 1.0, "the 1-cycle point is the base");
         assert!(group[2].slowdown >= group[1].slowdown);
+    }
+}
+
+/// The registered `app-speedups` experiment measures exactly what the
+/// `mom-apps` scenario runner measures at the reference machine, and the
+/// derived kernel-region speed-ups preserve the paper's ISA ordering —
+/// MOM ≥ MDMX ≥ MMX — for every one of the six applications.
+#[test]
+fn registered_app_speedups_match_the_scenario_runner_and_pin_the_isa_ordering() {
+    let report = find_experiment("app-speedups")
+        .expect("app-speedups is registered")
+        .run()
+        .expect("every application pipeline verifies");
+    let Report::Apps(rows) = &report else {
+        panic!("app-speedups must derive an Apps report");
+    };
+    assert_eq!(
+        rows.len(),
+        AppId::ALL.len() * IsaKind::MEDIA.len(),
+        "six applications x three multimedia ISAs"
+    );
+
+    // Spec equivalence: the registered experiment is a thin wrapper over
+    // the scenario runner — same reference machine, seed and frame count,
+    // same cycles to the last bit.
+    let direct = mom_apps::app_speedups(
+        &mom_apps::reference_config(),
+        EXPERIMENT_SEED,
+        mom_apps::DEFAULT_FRAMES,
+    )
+    .expect("the direct runner verifies too");
+    assert_eq!(rows.len(), direct.len());
+    for (registered, direct) in rows.iter().zip(&direct) {
+        let label = format!("{}/{}", registered.app, registered.isa);
+        assert_eq!(registered.app, direct.app, "{label}");
+        assert_eq!(registered.isa, direct.isa, "{label}");
+        assert_eq!(registered.scalar_cycles, direct.scalar_cycles, "{label}");
+        assert_eq!(registered.cycles, direct.cycles, "{label}");
+        assert_eq!(registered.kernel_speedup, direct.kernel_speedup, "{label}");
+        assert_eq!(registered.app_speedup, direct.app_speedup, "{label}");
+    }
+
+    for app in AppId::ALL {
+        let speedup = |isa: IsaKind| {
+            rows.iter()
+                .find(|r| r.app == app && r.isa == isa)
+                .unwrap_or_else(|| panic!("{app}/{isa} missing from the report"))
+        };
+        let (mmx, mdmx, mom) = (
+            speedup(IsaKind::Mmx),
+            speedup(IsaKind::Mdmx),
+            speedup(IsaKind::Mom),
+        );
+        // The paper's ordering on the kernel regions.
+        assert!(
+            mom.kernel_speedup >= mdmx.kernel_speedup,
+            "{app}: MOM ({:.2}) must not trail MDMX ({:.2})",
+            mom.kernel_speedup,
+            mdmx.kernel_speedup
+        );
+        assert!(
+            mdmx.kernel_speedup >= mmx.kernel_speedup,
+            "{app}: MDMX ({:.2}) must not trail MMX ({:.2})",
+            mdmx.kernel_speedup,
+            mmx.kernel_speedup
+        );
+        assert!(mmx.kernel_speedup > 1.0, "{app}: every media ISA must win");
+        // The Amdahl combination is consistent and bounded by the serial
+        // fraction.
+        for row in [mmx, mdmx, mom] {
+            let expected = mom_apps::amdahl(row.coverage, row.kernel_speedup);
+            assert!(
+                (row.app_speedup - expected).abs() < 1e-12,
+                "{app}/{}: app speed-up {} vs Amdahl {}",
+                row.isa,
+                row.app_speedup,
+                expected
+            );
+            assert!(row.app_speedup > 1.0);
+            assert!(row.app_speedup < row.kernel_speedup);
+            assert!(row.app_speedup <= 1.0 / (1.0 - row.coverage) + 1e-12);
+        }
     }
 }

@@ -31,8 +31,34 @@ pub trait KernelSpec {
     fn program(&self, isa: IsaKind) -> Program;
 
     /// Verifies the output region of `mem` against the golden Rust reference
-    /// for the same `seed`. Returns a description of the first mismatch.
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String>;
+    /// for the same `seed`. Returns the first mismatching element.
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch>;
+}
+
+/// The first mismatching element of a failed verification: which output
+/// buffer, which element, and the expected versus simulated value — kept
+/// structured so multi-phase application failures stay attributable down to
+/// the offending element instead of collapsing into a string early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Name of the output buffer that mismatched (e.g. `"idct output"`).
+    pub buffer: String,
+    /// Element index within that buffer.
+    pub index: usize,
+    /// The reference value, rendered with `Debug`.
+    pub expected: String,
+    /// The value the simulator produced, rendered with `Debug`.
+    pub got: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}]: expected {}, got {}",
+            self.buffer, self.index, self.expected, self.got
+        )
+    }
 }
 
 /// Ways running a kernel on the harness can fail.
@@ -66,8 +92,8 @@ pub enum KernelError {
         isa: IsaKind,
         /// Iteration whose output mismatched (0-based).
         iteration: usize,
-        /// Description of the first mismatching element.
-        detail: String,
+        /// The first mismatching element (buffer, index, expected, got).
+        mismatch: Mismatch,
     },
 }
 
@@ -94,10 +120,10 @@ impl std::fmt::Display for KernelError {
                 kernel,
                 isa,
                 iteration,
-                detail,
+                mismatch,
             } => write!(
                 f,
-                "{kernel}/{isa}: output mismatch at iteration {iteration}: {detail}"
+                "{kernel}/{isa}: output mismatch at iteration {iteration}: {mismatch}"
             ),
         }
     }
@@ -164,20 +190,45 @@ pub fn run_kernel_with_sink<S: TraceSink + ?Sized>(
     iterations: usize,
     sink: &mut S,
 ) -> Result<TraceStats, KernelError> {
+    let mut machine = app_machine();
+    run_phase_with_sink(&mut machine, kernel, isa, seed, iterations, sink)
+}
+
+/// Creates the 1 MiB machine kernels (and multi-kernel application
+/// pipelines) execute in, with all registers zeroed.
+pub fn app_machine() -> Machine {
+    Machine::new(Memory::new(MEMORY_SIZE))
+}
+
+/// Runs one kernel **phase** — `iterations` back-to-back invocations of
+/// `kernel` — on an *existing* machine, streaming every retired instruction
+/// into `sink` and verifying every iteration against the golden reference.
+///
+/// Unlike [`run_kernel_with_sink`], which builds a fresh machine, the
+/// caller's machine (memory and register state) persists across calls.
+/// This is the building block of whole-application pipelines: consecutive
+/// phases (`idct → addblock → comp → …`) share one address space, so a
+/// timing consumer that keeps its cache hierarchy across phase boundaries
+/// (see `PipelineSim::resume` in `mom-pipeline`) observes cross-kernel
+/// cache reuse.  The phase loads its own workload into the shared memory
+/// first (kernels address the fixed [`crate::layout`] regions), and every
+/// kernel program initialises the registers it reads, so phase order cannot
+/// change functional results — only memory-system behaviour.
+pub fn run_phase_with_sink<S: TraceSink + ?Sized>(
+    machine: &mut Machine,
+    kernel: KernelId,
+    isa: IsaKind,
+    seed: u64,
+    iterations: usize,
+    sink: &mut S,
+) -> Result<TraceStats, KernelError> {
     assert!(iterations >= 1, "at least one iteration is required");
-    let (spec, program, mut machine) = setup(kernel, isa, seed)?;
+    let (spec, program) = prepare_phase(machine, kernel, isa, seed)?;
     let mut stats = TraceStats::default();
     for iteration in 0..iterations {
         let mut tee = (&mut stats, &mut *sink);
         run_one_iteration(
-            &*spec,
-            &program,
-            &mut machine,
-            kernel,
-            isa,
-            seed,
-            iteration,
-            &mut tee,
+            &*spec, &program, machine, kernel, isa, seed, iteration, &mut tee,
         )?;
     }
     Ok(stats)
@@ -235,13 +286,27 @@ pub fn run_kernel(
     })
 }
 
-/// Validates the kernel's program for `isa` and prepares a machine with the
-/// seeded workload loaded.
+/// Validates the kernel's program for `isa` and prepares a fresh machine
+/// with the seeded workload loaded.
 fn setup(
     kernel: KernelId,
     isa: IsaKind,
     seed: u64,
 ) -> Result<(Box<dyn KernelSpec>, Program, Machine), KernelError> {
+    let mut machine = app_machine();
+    let (spec, program) = prepare_phase(&mut machine, kernel, isa, seed)?;
+    Ok((spec, program, machine))
+}
+
+/// Validates the kernel's program for `isa` and loads the seeded workload
+/// into an existing machine — the shared front half of [`setup`] and
+/// [`run_phase_with_sink`].
+fn prepare_phase(
+    machine: &mut Machine,
+    kernel: KernelId,
+    isa: IsaKind,
+    seed: u64,
+) -> Result<(Box<dyn KernelSpec>, Program), KernelError> {
     let spec = kernel.spec();
     let program = spec.program(isa);
     program
@@ -251,9 +316,8 @@ fn setup(
             isa,
             detail,
         })?;
-    let mut machine = Machine::new(Memory::new(MEMORY_SIZE));
     spec.prepare(machine.memory_mut(), seed);
-    Ok((spec, program, machine))
+    Ok((spec, program))
 }
 
 /// Executes one kernel invocation into `sink` and verifies its output.
@@ -277,11 +341,11 @@ fn run_one_iteration<S: TraceSink + ?Sized>(
             source,
         })?;
     spec.verify(machine.memory(), seed)
-        .map_err(|detail| KernelError::Mismatch {
+        .map_err(|mismatch| KernelError::Mismatch {
             kernel,
             isa,
             iteration,
-            detail,
+            mismatch,
         })
 }
 
@@ -295,10 +359,15 @@ pub fn verify_kernel(kernel: KernelId, isa: IsaKind, seed: u64) -> Result<(), St
         .map_err(|e| e.to_string())
 }
 
-/// Helper shared by kernel implementations: formats a mismatch between a
+/// Helper shared by kernel implementations: records a mismatch between a
 /// reference value and a simulated value at a given element index.
-pub fn mismatch<T: std::fmt::Debug>(what: &str, index: usize, expect: T, got: T) -> String {
-    format!("{what}[{index}]: expected {expect:?}, got {got:?}")
+pub fn mismatch<T: std::fmt::Debug>(what: &str, index: usize, expect: T, got: T) -> Mismatch {
+    Mismatch {
+        buffer: what.to_string(),
+        index,
+        expected: format!("{expect:?}"),
+        got: format!("{got:?}"),
+    }
 }
 
 #[cfg(test)]
@@ -361,18 +430,62 @@ mod tests {
             kernel: KernelId::Idct,
             isa: IsaKind::Mom,
             iteration: 2,
-            detail: "pixel[3]: expected 1, got 2".into(),
+            mismatch: mismatch("pixel", 3, 1u8, 2u8),
         };
         let msg = e.to_string();
         assert!(msg.contains("idct"), "{msg}");
+        assert!(msg.contains("MOM"), "{msg}");
         assert!(msg.contains("iteration 2"), "{msg}");
+        assert!(msg.contains("pixel[3]"), "{msg}");
+        assert!(msg.contains("expected 1, got 2"), "{msg}");
     }
 
     #[test]
-    fn mismatch_formatting() {
+    fn mismatch_is_structured_and_formats_every_field() {
         let m = mismatch("pixel", 3, 5u8, 7u8);
-        assert!(m.contains("pixel[3]"));
-        assert!(m.contains('5'));
-        assert!(m.contains('7'));
+        assert_eq!(
+            m,
+            Mismatch {
+                buffer: "pixel".into(),
+                index: 3,
+                expected: "5".into(),
+                got: "7".into(),
+            }
+        );
+        let text = m.to_string();
+        assert!(text.contains("pixel[3]"));
+        assert!(text.contains('5'));
+        assert!(text.contains('7'));
+    }
+
+    #[test]
+    fn phase_runs_share_the_machine_and_match_fresh_runs_functionally() {
+        // Two phases on one machine: both verify, and the streamed stats of
+        // each phase equal a fresh per-kernel run of the same shape.
+        let mut machine = app_machine();
+        let mut sink = mom_arch::CountingSink::default();
+        let a = run_phase_with_sink(
+            &mut machine,
+            KernelId::AddBlock,
+            IsaKind::Mom,
+            9,
+            2,
+            &mut sink,
+        )
+        .unwrap();
+        let b = run_phase_with_sink(
+            &mut machine,
+            KernelId::Compensation,
+            IsaKind::Mom,
+            9,
+            3,
+            &mut sink,
+        )
+        .unwrap();
+        let fresh_a = run_kernel(KernelId::AddBlock, IsaKind::Mom, 9, 2).unwrap();
+        let fresh_b = run_kernel(KernelId::Compensation, IsaKind::Mom, 9, 3).unwrap();
+        assert_eq!(a, fresh_a.stats, "phase chaining is functionally inert");
+        assert_eq!(b, fresh_b.stats);
+        assert_eq!(sink.retired, a.instructions + b.instructions);
     }
 }

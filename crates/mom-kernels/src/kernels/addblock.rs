@@ -11,7 +11,7 @@
 //! The prediction and the output live in the reference frame (pitch
 //! [`FRAME_PITCH`]); the residual is a dense 8×8 block of 16-bit values.
 
-use crate::harness::{mismatch, KernelSpec};
+use crate::harness::{mismatch, KernelSpec, Mismatch};
 use crate::layout::{DST, FRAME_PITCH, SRC_A, SRC_B};
 use crate::workload::{pixel_block, residual_block};
 use crate::KernelId;
@@ -158,7 +158,7 @@ impl KernelSpec for AddBlock {
         }
     }
 
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
         let pred = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
         let resid = residual_block(seed ^ 0xADD, BLOCK * BLOCK);
         let expect = reference(&pred.data, FRAME_PITCH as usize, &resid);

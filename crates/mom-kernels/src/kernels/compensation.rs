@@ -10,7 +10,7 @@
 //! The prediction blocks live inside a larger reference frame (row pitch
 //! [`FRAME_PITCH`]); the output block is written densely (pitch 16).
 
-use crate::harness::{mismatch, KernelSpec};
+use crate::harness::{mismatch, KernelSpec, Mismatch};
 use crate::layout::{DST, FRAME_PITCH, SRC_A, SRC_B};
 use crate::workload::pixel_block;
 use crate::KernelId;
@@ -136,7 +136,7 @@ impl KernelSpec for Compensation {
         }
     }
 
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
         let fwd = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
         let bwd = pixel_block(seed ^ 0xB1D, BLOCK, BLOCK, FRAME_PITCH as usize);
         let expect = reference(&fwd.data, &bwd.data, FRAME_PITCH as usize);

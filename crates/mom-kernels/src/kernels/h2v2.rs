@@ -15,7 +15,7 @@
 //! with `avg(x, y) = (x + y + 1) >> 1`. The input plane carries one extra
 //! row and column of valid samples so no edge special-casing is needed.
 
-use crate::harness::{mismatch, KernelSpec};
+use crate::harness::{mismatch, KernelSpec, Mismatch};
 use crate::layout::{DST, SRC_A};
 use crate::workload::pixel_block;
 use crate::KernelId;
@@ -208,7 +208,7 @@ impl KernelSpec for H2v2 {
         }
     }
 
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
         let plane = pixel_block(seed, IN_W + 1, IN_H + 1, IN_PITCH);
         let expect = reference(&plane.data);
         let got = mem.dump_u8(DST, expect.len()).unwrap();

@@ -23,7 +23,7 @@
 //!   matrices, and uses the matrix-transpose instruction between passes —
 //!   the "switch vector dimensions" use case of Section 3.
 
-use crate::harness::{mismatch, KernelSpec};
+use crate::harness::{mismatch, KernelSpec, Mismatch};
 use crate::layout::{COEF, DST, SCRATCH, SRC_A};
 use crate::workload::dct_block;
 use crate::KernelId;
@@ -433,7 +433,7 @@ impl KernelSpec for Idct {
         }
     }
 
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
         let block = dct_block(seed);
         let expect = reference(&block);
         for (r, expect_row) in expect.iter().enumerate() {

@@ -14,7 +14,7 @@
 //! Both are the "special dot products" the paper extracts from the GSM
 //! codec.
 
-use crate::harness::{mismatch, KernelSpec};
+use crate::harness::{mismatch, KernelSpec, Mismatch};
 use crate::layout::{COEF, DST, SRC_A, SRC_B};
 use crate::workload::pcm_samples;
 use crate::KernelId;
@@ -215,7 +215,7 @@ impl KernelSpec for LtpPar {
         }
     }
 
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
         let wt = pcm_samples(seed, WT_LEN);
         let dp = pcm_samples(seed ^ 0x17F, DP_LEN);
         let (lag, corr) = reference_ltppar(&wt, &dp);
@@ -410,7 +410,7 @@ impl KernelSpec for LtpFilt {
         }
     }
 
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
         let x = pcm_samples(seed, FRAME + TAPS);
         let expect = reference_ltpsfilt(&x);
         let got = mem.dump_i16(DST, FRAME).unwrap();

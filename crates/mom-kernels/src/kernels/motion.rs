@@ -9,7 +9,7 @@
 //! Both blocks live inside frames with row pitch [`FRAME_PITCH`]; the scalar
 //! result is stored as a 32-bit word at [`DST`].
 
-use crate::harness::{mismatch, KernelSpec};
+use crate::harness::{mismatch, KernelSpec, Mismatch};
 use crate::layout::{DST, FRAME_PITCH, SRC_A, SRC_B};
 use crate::workload::pixel_block;
 use crate::KernelId;
@@ -198,7 +198,7 @@ fn build_mom(metric: Metric) -> Program {
     b.finish()
 }
 
-fn verify(metric: Metric, mem: &Memory, seed: u64) -> Result<(), String> {
+fn verify(metric: Metric, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
     let cur = pixel_block(seed, BLOCK, BLOCK, FRAME_PITCH as usize);
     let refb = pixel_block(seed ^ 0x5EED, BLOCK, BLOCK, FRAME_PITCH as usize);
     let expect = match metric {
@@ -230,7 +230,7 @@ impl KernelSpec for Motion1 {
             IsaKind::Mom => build_mom(Metric::AbsoluteDifferences),
         }
     }
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
         verify(Metric::AbsoluteDifferences, mem, seed)
     }
 }
@@ -253,7 +253,7 @@ impl KernelSpec for Motion2 {
             IsaKind::Mom => build_mom(Metric::SquaredDifferences),
         }
     }
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
         verify(Metric::SquaredDifferences, mem, seed)
     }
 }

@@ -15,7 +15,7 @@
 //! dimension, so the dimension-Y vector length is only ≈3 (the bias row adds
 //! a fourth).
 
-use crate::harness::{mismatch, KernelSpec};
+use crate::harness::{mismatch, KernelSpec, Mismatch};
 use crate::layout::{COEF, DST, SRC_A};
 use crate::workload::rgb_planes;
 use crate::KernelId;
@@ -315,7 +315,7 @@ impl KernelSpec for Rgb2Ycc {
         }
     }
 
-    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), String> {
+    fn verify(&self, mem: &Memory, seed: u64) -> Result<(), Mismatch> {
         let (r, g, b) = rgb_planes(seed, PIXELS);
         let expect = reference(&r, &g, &b);
         for (comp, plane) in expect.iter().enumerate() {

@@ -43,7 +43,8 @@ pub mod layout;
 pub mod workload;
 
 pub use harness::{
-    run_kernel, run_kernel_with_sink, verify_kernel, KernelError, KernelRun, KernelSpec,
+    app_machine, run_kernel, run_kernel_with_sink, run_phase_with_sink, verify_kernel, KernelError,
+    KernelRun, KernelSpec, Mismatch,
 };
 use mom_isa::IsaKind;
 

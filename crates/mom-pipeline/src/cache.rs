@@ -168,6 +168,21 @@ impl CacheSim {
         }
     }
 
+    /// The geometry and latencies this hierarchy was built with.
+    pub fn config(&self) -> HierarchyConfig {
+        HierarchyConfig {
+            l1: self.l1.config,
+            l2: self.l2.config,
+            memory_latency: self.memory_latency,
+        }
+    }
+
+    /// Zeroes the hit/miss counters while keeping every cached line — how a
+    /// multi-phase run starts a new phase's accounting on a warm hierarchy.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
     /// The latency of an access that hits in L1 (also charged to memory
     /// instructions whose trace entry carries no address metadata).
     pub fn hit_latency(&self) -> u64 {

@@ -13,6 +13,11 @@
 //!   fuse into a single bounded-memory pass over the program,
 //! * fan-out: [`PipelineFanout`] drives several machine configurations (the
 //!   paper's "way 1/2/4/8" sweep) from one functional run,
+//! * phase-aware: [`PipelineSim::into_parts`] hands back the warm
+//!   [`CacheSim`] alongside the result and [`PipelineSim::resume`] starts
+//!   the next phase of a multi-kernel application pipeline on it, so
+//!   cross-kernel cache reuse is measurable while fixed-latency timing is
+//!   untouched by phase chaining,
 //! * a configurable fetch/issue/commit width, a reorder buffer, register
 //!   renaming through last-writer tracking, and per-class functional units
 //!   ([`config`]),

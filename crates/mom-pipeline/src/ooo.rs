@@ -132,6 +132,37 @@ impl PipelineSim {
         }
     }
 
+    /// Creates an incremental consumer that **resumes** on a warm data
+    /// cache: the tag state of `dcache` (typically obtained from a previous
+    /// phase's [`PipelineSim::into_parts`]) is kept, its hit/miss counters
+    /// are zeroed, and everything else — window, renaming, cycle count —
+    /// starts fresh.
+    ///
+    /// This is the phase boundary of a multi-kernel application pipeline:
+    /// the pipeline drains between phases (a function-call boundary), but
+    /// the memory hierarchy does not forget, so a phase re-reading a
+    /// predecessor's buffers observes warm-cache hits.  Under a
+    /// [`crate::MemoryModel::Fixed`] configuration the warm cache is
+    /// ignored, so phase chaining cannot perturb fixed-latency timing.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.  In debug builds,
+    /// additionally asserts that a provided warm cache has the same
+    /// geometry the configuration's hierarchy describes.
+    pub fn resume(config: PipelineConfig, dcache: Option<CacheSim>) -> Self {
+        let mut sim = PipelineSim::new(config);
+        if let (Some(slot), Some(mut warm)) = (sim.dcache.as_mut(), dcache) {
+            debug_assert_eq!(
+                warm.config(),
+                slot.config(),
+                "resumed cache geometry must match the configuration"
+            );
+            warm.reset_stats();
+            *slot = warm;
+        }
+        sim
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
@@ -233,7 +264,15 @@ impl PipelineSim {
     }
 
     /// Runs the simulation to completion and returns the result.
-    pub fn finish(mut self) -> SimResult {
+    pub fn finish(self) -> SimResult {
+        self.into_parts().0
+    }
+
+    /// Runs the simulation to completion and returns the result **plus** the
+    /// simulated data cache in its final (warm) state, so a follow-up phase
+    /// can [`PipelineSim::resume`] on it.  The cache is `None` under a
+    /// fixed-latency memory model.
+    pub fn into_parts(mut self) -> (SimResult, Option<CacheSim>) {
         while self.committed < self.next_seq {
             self.step_cycle();
         }
@@ -241,7 +280,7 @@ impl PipelineSim {
         if let Some(cache) = &self.dcache {
             self.result.cache = cache.stats;
         }
-        self.result
+        (self.result, self.dcache)
     }
 
     /// Simulates one cycle: commit, issue, dispatch — the same stage order
@@ -1020,6 +1059,79 @@ mod tests {
         assert_eq!(hier.cycles, fixed.cycles);
         assert_eq!(hier.instructions, fixed.instructions);
         assert_eq!(hier.dispatch_stall_cycles, fixed.dispatch_stall_cycles);
+    }
+
+    #[test]
+    fn into_parts_matches_finish_and_returns_the_cache() {
+        let entries = vec![
+            entry_at(load(1, 10), 1, MemAccess::unit(0x1000, 8, false)),
+            entry(add(2, 1, 1), 1),
+        ];
+        let cfg = PipelineConfig::way_with_memory(4, MemoryModel::CACHE);
+        let mut a = PipelineSim::new(cfg.clone());
+        let mut b = PipelineSim::new(cfg);
+        for e in &entries {
+            a.feed(*e);
+            b.feed(*e);
+        }
+        let finished = a.finish();
+        let (result, cache) = b.into_parts();
+        assert_eq!(finished.cycles, result.cycles);
+        assert_eq!(finished.cache, result.cache);
+        let cache = cache.expect("a hierarchy config must return its cache");
+        assert_eq!(cache.stats, result.cache);
+        // Fixed memory has no cache to hand over.
+        let fixed = PipelineSim::new(PipelineConfig::way(4));
+        assert!(fixed.into_parts().1.is_none());
+    }
+
+    #[test]
+    fn resume_keeps_warm_lines_and_zeroes_phase_counters() {
+        let probe = entry_at(load(1, 10), 1, MemAccess::unit(0x1000, 8, false));
+        let cfg = PipelineConfig::way_with_memory(4, MemoryModel::CACHE);
+
+        // Phase 1 takes the cold miss.
+        let mut first = PipelineSim::new(cfg.clone());
+        first.feed(probe);
+        let (warm_up, cache) = first.into_parts();
+        assert_eq!(warm_up.cache.l1_misses, 1);
+
+        // Phase 2 resumes on the warm hierarchy: same access now hits L1,
+        // and the phase's counters start from zero.
+        let mut second = PipelineSim::resume(cfg.clone(), cache);
+        second.feed(probe);
+        let warm = second.finish();
+        assert_eq!(warm.cache.l1_hits, 1, "warm line must hit");
+        assert_eq!(warm.cache.l1_misses, 0, "phase counters are per-phase");
+        assert!(
+            warm.cycles < warm_up.cycles,
+            "a warm phase ({}) must beat the cold one ({})",
+            warm.cycles,
+            warm_up.cycles
+        );
+
+        // A cold phase of the same stream pays the miss chain again.
+        let mut cold = PipelineSim::resume(cfg, None);
+        cold.feed(probe);
+        assert_eq!(cold.finish().cache.l1_misses, 1);
+    }
+
+    #[test]
+    fn resume_under_fixed_memory_ignores_the_warm_cache() {
+        let probe = entry_at(load(1, 10), 1, MemAccess::unit(0x2000, 8, false));
+        let mut donor = PipelineSim::new(PipelineConfig::way_with_memory(4, MemoryModel::CACHE));
+        donor.feed(probe);
+        let (_, cache) = donor.into_parts();
+
+        let fixed_cfg = PipelineConfig::way_with_memory(4, MemoryModel::MAIN_MEMORY);
+        let mut fresh = PipelineSim::new(fixed_cfg.clone());
+        let mut resumed = PipelineSim::resume(fixed_cfg, cache);
+        fresh.feed(probe);
+        resumed.feed(probe);
+        let fresh = fresh.finish();
+        let resumed = resumed.finish();
+        assert_eq!(fresh.cycles, resumed.cycles);
+        assert_eq!(resumed.cache, Default::default());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`pipeline`] — the Jinks-like out-of-order timing simulator,
 //! * [`kernels`] — the nine Mediabench kernels in four ISA variants with
 //!   golden references and workload generators,
+//! * [`apps`] — the six whole Mediabench applications as declarative
+//!   multi-kernel pipelines, with the data cache carried across phase
+//!   boundaries and Amdahl-combined whole-application speed-ups,
 //! * [`bench`] — the declarative experiment layer: [`ExperimentSpec`]
 //!   scenario grids, the registered paper experiments, and the reporting
 //!   behind the `momsim` CLI.
@@ -41,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub use mom_apps as apps;
 pub use mom_arch as arch;
 pub use mom_bench as bench;
 pub use mom_isa as isa;
@@ -50,11 +54,15 @@ pub use mom_simd as simd;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
+    pub use mom_apps::{
+        amdahl, app_speedups, run_app, AppError, AppId, AppPhase, AppRun, AppSpec, AppSpeedup,
+    };
     pub use mom_arch::{Machine, MemAccess, Memory, Trace, TraceEntry, TraceSink, TraceStats};
     pub use mom_bench::{ExperimentSpec, GridResult, Report};
     pub use mom_isa::prelude::*;
     pub use mom_kernels::{
-        run_kernel, run_kernel_with_sink, verify_kernel, KernelError, KernelId, KernelRun,
+        run_kernel, run_kernel_with_sink, run_phase_with_sink, verify_kernel, KernelError,
+        KernelId, KernelRun, Mismatch,
     };
     pub use mom_pipeline::{
         CacheConfig, CacheStats, HierarchyConfig, MemoryModel, Pipeline, PipelineConfig,
