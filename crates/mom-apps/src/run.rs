@@ -4,7 +4,7 @@
 use crate::{AppId, AppSpec};
 use mom_arch::TraceStats;
 use mom_isa::IsaKind;
-use mom_kernels::{app_machine, run_phase_with_sink, KernelError, KernelId};
+use mom_kernels::{shared_kernel_run, KernelError, KernelId};
 use mom_pipeline::{CacheStats, MemoryModel, PipelineConfig, PipelineSim, SimResult};
 
 /// Frames each application run simulates by default: enough for the cache
@@ -166,17 +166,26 @@ impl std::error::Error for AppError {
 /// starts over at the first phase), with all kernels coded for `isa`, on a
 /// machine of the given configuration.
 ///
-/// All phases of all frames execute in **one** simulated address space
-/// ([`app_machine`]); at each phase boundary the out-of-order window drains
-/// (a function-call boundary in the real program) but the simulated data
-/// cache is handed to the next phase's consumer intact
-/// (`PipelineSim::into_parts` → `PipelineSim::resume`), so a phase
-/// re-reading a predecessor's buffers observes warm-cache hits — and a
-/// second frame's early phases re-warm on what the first frame left
-/// behind.  Under a [`MemoryModel::Fixed`] configuration the hand-over is
-/// a no-op and phase chaining cannot affect timing.  Every iteration of
-/// every phase is verified against its kernel's golden reference; failures
-/// are reported per phase ([`AppError::Phase`]).
+/// At each phase boundary the out-of-order window drains (a function-call
+/// boundary in the real program) but the simulated data cache is handed to
+/// the next phase's consumer intact (`PipelineSim::into_parts` →
+/// `PipelineSim::resume`), so a phase re-reading a predecessor's buffers
+/// observes warm-cache hits — and a second frame's early phases re-warm on
+/// what the first frame left behind.  Under a [`MemoryModel::Fixed`]
+/// configuration the hand-over is a no-op and phase chaining cannot affect
+/// timing.
+///
+/// Each phase's instruction stream comes from the process-wide
+/// functional-trace cache ([`shared_kernel_run`]): the kernel executes —
+/// and is verified against its golden reference — once per (kernel, ISA,
+/// seed) in the whole process, and the phases replay the memoised trace by
+/// reference into the timing consumers.  This is sound because a kernel
+/// phase on a shared application machine retires exactly the stream a
+/// fresh-machine run does (phases load their own workloads and initialise
+/// every register they read — see the phase-chaining tests in
+/// `mom-kernels`); the `phase_trace_equals_fresh_kernel_trace` test in this
+/// crate pins that equivalence.  Cache-fill failures are reported per phase
+/// ([`AppError::Phase`]).
 ///
 /// The returned [`PhaseResult`]s aggregate each phase over all frames
 /// (cycles, instructions and cache counters are additive across the
@@ -198,7 +207,6 @@ pub fn run_app(
         return Err(bad_spec("at least one frame is required".into()));
     }
 
-    let mut machine = app_machine();
     let mut phases: Vec<PhaseResult> = spec
         .phases
         .iter()
@@ -215,22 +223,18 @@ pub fn run_app(
     let mut cache = None;
     for _frame in 0..frames {
         for (index, phase) in spec.phases.iter().enumerate() {
+            let run =
+                shared_kernel_run(phase.kernel, isa, seed).map_err(|source| AppError::Phase {
+                    app: spec.id,
+                    isa,
+                    phase: index,
+                    kernel: phase.kernel,
+                    source,
+                })?;
             let mut sim = PipelineSim::resume(config.clone(), cache.take());
-            let stats = run_phase_with_sink(
-                &mut machine,
-                phase.kernel,
-                isa,
-                seed,
-                phase.invocations,
-                &mut sim,
-            )
-            .map_err(|source| AppError::Phase {
-                app: spec.id,
-                isa,
-                phase: index,
-                kernel: phase.kernel,
-                source,
-            })?;
+            let mut stats = TraceStats::default();
+            let mut sinks = (&mut stats, &mut sim);
+            run.trace.replay_into(phase.invocations, &mut sinks);
             let (result, warm) = sim.into_parts();
             cache = warm;
             phases[index].accumulate(phase.invocations, &result, &stats);

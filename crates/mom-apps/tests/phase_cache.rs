@@ -124,3 +124,30 @@ fn fixed_memory_is_unaffected_by_phase_chaining() {
         }
     }
 }
+
+#[test]
+fn phase_trace_equals_fresh_kernel_trace() {
+    // The soundness condition of replaying cached functional traces into
+    // application pipelines: a kernel phase executed on a *shared* machine
+    // (after arbitrary predecessor phases) retires exactly the instruction
+    // stream of a fresh-machine run — entry for entry, including the
+    // effective-address metadata the cache hierarchy consumes.  If a future
+    // kernel gained data-dependent control flow or stopped initialising a
+    // register it reads, this test is the tripwire.
+    use mom_arch::Trace;
+    use mom_kernels::{app_machine, run_kernel, run_phase_with_sink};
+    for isa in IsaKind::ALL {
+        let mut machine = app_machine();
+        // Chain every kernel (any of them can appear as an app phase), then
+        // revisit one on the now well-worn machine.
+        for kernel in KernelId::ALL.into_iter().chain([KernelId::Idct]) {
+            let mut phase_trace = Trace::new();
+            run_phase_with_sink(&mut machine, kernel, isa, SEED, 2, &mut phase_trace).unwrap();
+            let fresh = run_kernel(kernel, isa, SEED, 1).unwrap();
+            assert_eq!(phase_trace.len(), 2 * fresh.trace.len(), "{kernel}/{isa}");
+            let (first, second) = phase_trace.entries().split_at(fresh.trace.len());
+            assert_eq!(first, fresh.trace.entries(), "{kernel}/{isa} invocation 0");
+            assert_eq!(second, fresh.trace.entries(), "{kernel}/{isa} invocation 1");
+        }
+    }
+}

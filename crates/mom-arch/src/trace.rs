@@ -245,6 +245,19 @@ impl Trace {
         self.entries.extend_from_slice(&other.entries);
     }
 
+    /// Replays the trace into a sink `times` back to back, **by
+    /// reference**: each [`TraceEntry`] is a `Copy` handed to the sink per
+    /// retirement, and the trace itself is never re-collected or cloned —
+    /// this is how a memoised single-invocation trace stands in for a long
+    /// steady-state stream at zero materialisation cost.
+    pub fn replay_into<S: TraceSink + ?Sized>(&self, times: usize, sink: &mut S) {
+        for _ in 0..times {
+            for entry in &self.entries {
+                sink.retire(*entry);
+            }
+        }
+    }
+
     /// Computes the summary statistics of the trace.
     pub fn stats(&self) -> TraceStats {
         let mut s = TraceStats::default();
@@ -376,6 +389,23 @@ mod tests {
             taken: false,
             mem: None,
         }
+    }
+
+    #[test]
+    fn replay_into_repeats_the_trace_by_reference() {
+        let mut trace = Trace::new();
+        trace.push(entry(Instruction::Nop, 1));
+        trace.push(entry(Instruction::Li { rd: 1, imm: 7 }, 1));
+        let mut sink = (Trace::new(), CountingSink::default());
+        trace.replay_into(3, &mut sink);
+        assert_eq!(sink.1.retired, 6);
+        assert_eq!(sink.0.len(), 6);
+        assert_eq!(&sink.0.entries()[..2], trace.entries());
+        assert_eq!(&sink.0.entries()[4..], trace.entries());
+        // Zero replays retire nothing.
+        let mut empty = CountingSink::default();
+        trace.replay_into(0, &mut empty);
+        assert_eq!(empty.retired, 0);
     }
 
     #[test]

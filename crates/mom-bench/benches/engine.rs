@@ -1,0 +1,46 @@
+//! Criterion benches of the out-of-order engine: the optimised scan-free
+//! scheduler ([`PipelineSim`]) against the retained naive reference
+//! ([`ReferenceSim`]) on the pinned `momsim bench` workload set.
+//!
+//! `cargo bench -p mom-bench --bench engine` prints per-workload medians;
+//! CI runs it as a smoke check.  The committed perf numbers live in
+//! `BENCH_perf.json` (regenerated with `momsim bench --json`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mom_bench::perf::ENGINE_WORKLOADS;
+use mom_bench::{steady_state_trace, EXPERIMENT_SEED};
+use mom_pipeline::{PipelineConfig, PipelineSim, ReferenceSim};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    for workload in ENGINE_WORKLOADS {
+        let (trace, _) = steady_state_trace(workload.kernel, workload.isa, EXPERIMENT_SEED)
+            .expect("pinned workload must build");
+        let config = PipelineConfig::builder()
+            .issue_width(workload.width)
+            .memory(workload.memory)
+            .build()
+            .expect("pinned workload configuration");
+        let mut group = c.benchmark_group(format!("engine/{}", workload.id()));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_function("optimized", |b| {
+            b.iter(|| {
+                let mut sim = PipelineSim::new(config.clone());
+                trace.replay_into(1, &mut sim);
+                black_box(sim.finish())
+            })
+        });
+        group.bench_function("reference", |b| {
+            b.iter(|| {
+                let mut sim = ReferenceSim::new(config.clone());
+                trace.replay_into(1, &mut sim);
+                black_box(sim.finish())
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

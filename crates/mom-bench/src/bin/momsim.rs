@@ -1,6 +1,6 @@
 //! The unified experiment CLI: list registered experiments, run any
 //! registered or ad-hoc scenario grid, regenerate the `BENCH_*.json`
-//! reports.
+//! reports, measure the simulator's own performance.
 //!
 //! Usage (see `momsim help`):
 //!
@@ -9,6 +9,7 @@
 //! momsim run fig5 --json BENCH_fig5.json
 //! momsim run --kernels idct,motion1 --isas mom,mdmx --widths 1,2,4,8 --memory l1l2
 //! momsim sweep --out-dir .
+//! momsim bench --json BENCH_perf.json
 //! ```
 
 fn main() {

@@ -141,37 +141,72 @@ pub fn ablations_main() -> i32 {
         println!();
         print!("{}", rob.text());
         if let Some(path) = json {
-            let doc = Json::obj([
-                ("schema", Json::int(1)),
-                ("experiment", Json::str("ablations")),
-                ("lanes", lanes.json()),
-                ("rob", rob.json()),
-            ]);
-            write_report(&path, &doc)?;
+            let series = [("ablation-lanes", lanes), ("ablation-rob", rob)];
+            write_report(&path, &ablations_doc(&series))?;
         }
         Ok(())
     })())
 }
 
+/// The combined document of the registered ablation series (also what the
+/// `ablations` alias emits): one top-level key per series, named by the
+/// experiment with its `ablation-` prefix stripped (`lanes`, `rob`, ...).
+fn ablations_doc(series: &[(&'static str, Report)]) -> Json {
+    let mut doc = vec![
+        ("schema", Json::int(1)),
+        ("experiment", Json::str("ablations")),
+    ];
+    for (name, report) in series {
+        doc.push((
+            name.strip_prefix("ablation-").unwrap_or(name),
+            report.json(),
+        ));
+    }
+    Json::obj(doc)
+}
+
 fn run_sweep(out_dir: &Path) -> Result<(), CliError> {
     std::fs::create_dir_all(out_dir)
         .map_err(|e| CliError::Io(format!("cannot create {}: {e}", out_dir.display())))?;
-    // One measured pass per (kernel, ISA) pair feeds the three kernel-level
-    // reports; the application scenario layer runs its own pipelines.
+    // The full registered-experiment set in one process: one measured pass
+    // per (kernel, ISA) pair feeds the three union-grid reports, and every
+    // *other* registered experiment (the application scenario layer, the
+    // ablations, anything registered later) runs on its own — all of them
+    // replaying the same memoised functional traces, so no kernel executes
+    // functionally more than once.
     let results = full_sweep()?;
-    let apps = find_experiment("app-speedups")
-        .map_err(CliError::Usage)?
-        .run()?;
-    for (name, report) in [
+    let mut files = vec![
         ("BENCH_fig4.json", Report::Fig4(results.fig4)),
         ("BENCH_fig5.json", Report::Fig5(results.fig5)),
         ("BENCH_tables.json", Report::Tables(results.tables)),
-        ("BENCH_apps.json", apps),
-    ] {
+    ]
+    .into_iter()
+    .map(|(name, report)| (name, report.json(), report.points()))
+    .collect::<Vec<_>>();
+    let mut ablations: Vec<(&'static str, Report)> = Vec::new();
+    for experiment in crate::spec::registry() {
+        if crate::perf::UNION_GRID_EXPERIMENTS.contains(&experiment.name) {
+            continue;
+        }
+        let report = experiment.run()?;
+        if experiment.name == "app-speedups" {
+            let points = report.points();
+            files.push(("BENCH_apps.json", report.json(), points));
+        } else {
+            ablations.push((experiment.name, report));
+        }
+    }
+    let ablation_points = ablations.iter().map(|(_, r)| r.points()).sum();
+    files.push((
+        "BENCH_ablations.json",
+        ablations_doc(&ablations),
+        ablation_points,
+    ));
+    for (name, doc, points) in files {
         let path = out_dir.join(name);
-        std::fs::write(&path, report.json().pretty())
+        std::fs::write(&path, doc.pretty())
             .map_err(|e| CliError::Io(format!("cannot write {name}: {e}")))?;
-        println!("{:<20} {:>5} points", path.display(), report.points());
+        println!("{:<22} {:>5} points", path.display(), points);
     }
     Ok(())
 }
@@ -223,8 +258,15 @@ USAGE:
         --replication N        min dynamic instructions (default: 4000)
         --seed N               workload seed (default: 23705)
   momsim sweep [--out-dir DIR]
-      Regenerate BENCH_fig4.json, BENCH_fig5.json, BENCH_tables.json and
-      BENCH_apps.json.
+      Regenerate the full registered-experiment set: BENCH_fig4.json,
+      BENCH_fig5.json, BENCH_tables.json, BENCH_apps.json and
+      BENCH_ablations.json, with every kernel executed functionally exactly
+      once (shared trace cache).
+  momsim bench [--quick] [--json PATH] [--check PATH]
+      Measure engine throughput (optimized vs the retained naive reference)
+      and the wall time of the full registered-experiment set; optionally
+      write BENCH_perf.json or verify a committed one's structure
+      (--check ignores machine-dependent timings).
 ";
 
 fn list() {
@@ -406,6 +448,59 @@ fn grid_spec(args: &GridArgs) -> Result<ExperimentSpec, CliError> {
     Ok(spec)
 }
 
+/// Parsed arguments of `momsim bench`.
+#[derive(Debug, Default)]
+struct BenchArgs {
+    quick: bool,
+    json: Option<PathBuf>,
+    check: Option<PathBuf>,
+}
+
+fn parse_bench_args(args: &[String]) -> Result<BenchArgs, CliError> {
+    let mut parsed = BenchArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => parsed.quick = true,
+            "--json" => match it.next() {
+                Some(p) => parsed.json = Some(PathBuf::from(p)),
+                None => return Err(CliError::Usage("--json needs a path argument".into())),
+            },
+            "--check" => match it.next() {
+                Some(p) => parsed.check = Some(PathBuf::from(p)),
+                None => return Err(CliError::Usage("--check needs a path argument".into())),
+            },
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument {other} (expected --quick, --json PATH, --check PATH)"
+                )))
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn run_bench(args: BenchArgs) -> Result<(), CliError> {
+    let report = crate::perf::run(args.quick)?;
+    print!("{}", crate::perf::format_perf(&report));
+    if let Some(path) = &args.json {
+        write_report(path, &crate::perf::perf_json(&report))?;
+    }
+    if let Some(path) = &args.check {
+        let committed = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read {}: {e}", path.display())))?;
+        crate::perf::check_structure(&committed, &report).map_err(|detail| {
+            CliError::Io(format!(
+                "{} is stale (regenerate with `momsim bench --json {}`): {detail}",
+                path.display(),
+                path.display()
+            ))
+        })?;
+        println!("{}: structure is fresh", path.display());
+    }
+    Ok(())
+}
+
 fn run_command(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         // `momsim run <registered> [--json PATH]`
@@ -445,6 +540,7 @@ pub fn momsim_main() -> i32 {
         }
         Some("run") => finish(run_command(&args[1..])),
         Some("sweep") => finish(sweep_args(args[1..].to_vec()).and_then(|dir| run_sweep(&dir))),
+        Some("bench") => finish(parse_bench_args(&args[1..]).and_then(run_bench)),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             0

@@ -44,6 +44,7 @@
 
 pub mod cli;
 pub mod json;
+pub mod perf;
 pub mod spec;
 pub mod sweep;
 
@@ -54,7 +55,7 @@ pub use spec::{
 use json::Json;
 use mom_arch::TraceStats;
 use mom_isa::IsaKind;
-use mom_kernels::{run_kernel, KernelError, KernelId, KernelRun};
+use mom_kernels::{shared_kernel_run, KernelError, KernelId};
 use mom_pipeline::{MemoryModel, PipelineConfig, PipelineFanout, SimResult};
 
 /// Seed used by every experiment (the workloads are deterministic).
@@ -117,7 +118,8 @@ impl ExperimentPoint {
 }
 
 /// Builds a **materialised** steady-state trace for one kernel/ISA pair: the
-/// verified single-invocation trace replicated [`steady_invocations`] times.
+/// verified single-invocation trace (from the shared functional-trace
+/// cache) replicated [`steady_invocations`] times.
 ///
 /// Only for benchmarks and diagnostics that need a reusable in-memory trace;
 /// the experiment drivers stream through [`simulate_configs`] instead.
@@ -126,7 +128,7 @@ pub fn steady_state_trace(
     isa: IsaKind,
     seed: u64,
 ) -> Result<(mom_arch::Trace, usize), KernelError> {
-    let run = run_kernel(kernel, isa, seed, 1)?;
+    let run = shared_kernel_run(kernel, isa, seed)?;
     let invocations = steady_invocations(run.trace.len());
     let mut trace = mom_arch::Trace::new();
     for _ in 0..invocations {
@@ -142,8 +144,8 @@ pub fn steady_state_trace(
 /// One kernel invocation is executed functionally and verified against the
 /// golden reference; its trace is then replayed [`steady_invocations`] times
 /// into the consumers (invocations are identical instruction streams — see
-/// [`KernelRun`]), so the stream is never materialised beyond one
-/// invocation.
+/// [`mom_kernels::KernelRun`]), so the stream is never materialised beyond
+/// one invocation.
 pub fn simulate_configs(
     kernel: KernelId,
     isa: IsaKind,
@@ -157,6 +159,12 @@ pub fn simulate_configs(
 /// invocation is replicated until the measured stream is at least
 /// `replication` instructions long (the [`ExperimentSpec::replication`]
 /// axis).
+///
+/// The functional run comes from the process-wide trace cache
+/// ([`shared_kernel_run`]): each (kernel, ISA, seed) triple is executed and
+/// verified once, and every experiment replays the memoised
+/// single-invocation trace **by reference** — one `Copy` per retired entry
+/// into the fan-out, no per-replication re-clone of the trace.
 pub fn simulate_configs_replicated(
     kernel: KernelId,
     isa: IsaKind,
@@ -164,15 +172,13 @@ pub fn simulate_configs_replicated(
     seed: u64,
     replication: usize,
 ) -> Result<Vec<ExperimentPoint>, KernelError> {
-    // One verified functional run; its single-invocation trace seeds the
-    // steady-state replay.
-    let mut run: KernelRun = run_kernel(kernel, isa, seed, 1)?;
-    run.invocations = invocations_for(replication, run.trace.len());
+    let run = shared_kernel_run(kernel, isa, seed)?;
+    let invocations = invocations_for(replication, run.trace.len());
 
     let mut stats = TraceStats::default();
     let mut fanout = PipelineFanout::new(configs.iter().cloned());
     let mut sinks = (&mut stats, &mut fanout);
-    run.replay_into(&mut sinks);
+    run.trace.replay_into(invocations, &mut sinks);
 
     let results = fanout.finish();
     Ok(results
@@ -184,7 +190,7 @@ pub fn simulate_configs_replicated(
             width: config.width,
             mem_latency: config.memory.base_latency(),
             memory: config.memory.label(),
-            invocations: run.invocations,
+            invocations,
             result,
             stats,
         })
@@ -1037,11 +1043,13 @@ mod tests {
 
     #[test]
     fn steady_invocations_reach_the_target_length() {
-        let run = run_kernel(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED, 1).unwrap();
+        let run =
+            mom_kernels::run_kernel(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED, 1).unwrap();
         let invocations = steady_invocations(run.trace.len());
         assert!(invocations > 1, "the tiny MOM kernel must be replicated");
         assert!(run.trace.len() * invocations >= STEADY_STATE_INSTRUCTIONS);
-        let run = run_kernel(KernelId::LtpPar, IsaKind::Alpha, EXPERIMENT_SEED, 1).unwrap();
+        let run =
+            mom_kernels::run_kernel(KernelId::LtpPar, IsaKind::Alpha, EXPERIMENT_SEED, 1).unwrap();
         assert!(run.trace.len() * steady_invocations(run.trace.len()) >= STEADY_STATE_INSTRUCTIONS);
     }
 

@@ -48,6 +48,17 @@ impl FuClass {
         FuClass::MediaTranspose,
     ];
 
+    /// Number of functional-unit classes (`FuClass::ALL.len()`).
+    pub const COUNT: usize = FuClass::ALL.len();
+
+    /// The class's position in [`FuClass::ALL`], in constant time: `ALL` is
+    /// in declaration order, so the discriminant *is* the index.  Per-class
+    /// tables (functional-unit pools, busy counters) are indexed with this
+    /// instead of scanning `ALL` for a match.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether this class belongs to the multimedia (packed / matrix) part
     /// of the machine.
     pub fn is_media(self) -> bool {
@@ -109,6 +120,14 @@ mod tests {
         use std::collections::HashSet;
         let set: HashSet<_> = FuClass::ALL.iter().collect();
         assert_eq!(set.len(), FuClass::ALL.len());
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        assert_eq!(FuClass::COUNT, FuClass::ALL.len());
+        for (position, class) in FuClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), position, "{class}");
+        }
     }
 
     #[test]

@@ -163,13 +163,11 @@ pub struct KernelRun {
 
 impl KernelRun {
     /// Replays the whole run — the single-invocation trace repeated
-    /// [`invocations`](KernelRun::invocations) times — into a sink.
+    /// [`invocations`](KernelRun::invocations) times — into a sink, by
+    /// reference (see [`Trace::replay_into`]: one `Copy` per retired entry,
+    /// no re-collection of the trace per iteration).
     pub fn replay_into<S: TraceSink + ?Sized>(&self, sink: &mut S) {
-        for _ in 0..self.invocations {
-            for e in self.trace.iter() {
-                sink.retire(*e);
-            }
-        }
+        self.trace.replay_into(self.invocations, sink);
     }
 }
 

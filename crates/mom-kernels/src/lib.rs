@@ -40,6 +40,7 @@
 pub mod harness;
 pub mod kernels;
 pub mod layout;
+pub mod trace_cache;
 pub mod workload;
 
 pub use harness::{
@@ -47,6 +48,7 @@ pub use harness::{
     KernelRun, KernelSpec, Mismatch,
 };
 use mom_isa::IsaKind;
+pub use trace_cache::shared_kernel_run;
 
 /// Identifier of one of the paper's nine kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -115,6 +115,13 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 struct CacheLevel {
     config: CacheConfig,
+    /// `log2(line_bytes)` when the line size is a power of two, so the
+    /// per-lookup division becomes a shift (every realistic geometry,
+    /// including the default hierarchy).
+    line_shift: Option<u32>,
+    /// `sets - 1` when the set count is a power of two, so the per-lookup
+    /// modulo becomes a mask.
+    set_mask: Option<u64>,
     sets: Vec<Vec<u64>>,
 }
 
@@ -122,15 +129,35 @@ impl CacheLevel {
     fn new(config: CacheConfig) -> CacheLevel {
         CacheLevel {
             config,
+            line_shift: config
+                .line_bytes
+                .is_power_of_two()
+                .then(|| config.line_bytes.trailing_zeros()),
+            set_mask: config
+                .sets
+                .is_power_of_two()
+                .then(|| config.sets as u64 - 1),
             sets: vec![Vec::with_capacity(config.ways); config.sets],
+        }
+    }
+
+    /// The line index containing a byte address.
+    fn line_of(&self, addr: u64) -> u64 {
+        match self.line_shift {
+            Some(shift) => addr >> shift,
+            None => addr / self.config.line_bytes,
         }
     }
 
     /// Looks up the line containing `addr`, filling it on a miss and
     /// updating LRU order. Returns whether the lookup hit.
     fn access(&mut self, addr: u64) -> bool {
-        let line = addr / self.config.line_bytes;
-        let set = &mut self.sets[(line % self.config.sets as u64) as usize];
+        let line = self.line_of(addr);
+        let set_index = match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.config.sets as u64) as usize,
+        };
+        let set = &mut self.sets[set_index];
         if let Some(pos) = set.iter().position(|&tag| tag == line) {
             let tag = set.remove(pos);
             set.insert(0, tag);
@@ -212,19 +239,40 @@ impl CacheSim {
     /// lines of a single (possibly strided) access are fetched in a
     /// pipelined fashion and overlap.
     pub fn access(&mut self, access: &MemAccess) -> u64 {
-        // The walk is done in u128: a row starting near u64::MAX (e.g. a
-        // negative-stride access that wrapped) must not overflow the
-        // line-address arithmetic.  Truncating back to u64 keeps the
-        // modular address space consistent with `MemAccess::row_addr`.
-        let line = self.l1.config.line_bytes as u128;
+        let line = self.l1.config.line_bytes;
         let mut worst = self.l1.config.hit_latency;
         for row in 0..access.rows.max(1) {
-            let start = access.row_addr(row) as u128;
-            let end = start + (access.row_bytes.max(1) as u128 - 1);
-            let mut line_addr = start - start % line;
-            while line_addr <= end {
-                worst = worst.max(self.access_line(line_addr as u64));
-                line_addr += line;
+            let start = access.row_addr(row);
+            let span = access.row_bytes.max(1) as u64 - 1;
+            match start.checked_add(span) {
+                // Fast path: the row lies inside the 64-bit address space,
+                // so the whole line walk stays in u64 (and the line-start
+                // rounding is a single shift for power-of-two lines).
+                Some(end) => {
+                    let mut line_addr = self.l1.line_of(start) * line;
+                    loop {
+                        worst = worst.max(self.access_line(line_addr));
+                        match line_addr.checked_add(line) {
+                            Some(next) if next <= end => line_addr = next,
+                            _ => break,
+                        }
+                    }
+                }
+                // A row starting near u64::MAX (e.g. a negative-stride
+                // access that wrapped): do the walk in u128 so the
+                // line-address arithmetic cannot overflow.  Truncating back
+                // to u64 keeps the modular address space consistent with
+                // `MemAccess::row_addr`.
+                None => {
+                    let line = line as u128;
+                    let start = start as u128;
+                    let end = start + span as u128;
+                    let mut line_addr = start - start % line;
+                    while line_addr <= end {
+                        worst = worst.max(self.access_line(line_addr as u64));
+                        line_addr += line;
+                    }
+                }
             }
         }
         worst

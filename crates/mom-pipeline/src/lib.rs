@@ -11,6 +11,12 @@
 //!   time (`feed`) and reports the final [`SimResult`] on `finish` — and it
 //!   implements [`mom_arch::TraceSink`], so functional and timing simulation
 //!   fuse into a single bounded-memory pass over the program,
+//! * scan-free: the per-cycle work is event-driven (rename-time dependence
+//!   resolution, wakeup lists, a ready queue, a store-address queue, a
+//!   free-unit calendar and idle-cycle fast-forwarding — see [`ooo`]); the
+//!   original naive implementation is retained in [`reference`] as the
+//!   executable specification the optimised engine must match
+//!   cycle-for-cycle,
 //! * fan-out: [`PipelineFanout`] drives several machine configurations (the
 //!   paper's "way 1/2/4/8" sweep) from one functional run,
 //! * phase-aware: [`PipelineSim::into_parts`] hands back the warm
@@ -94,6 +100,7 @@
 pub mod cache;
 pub mod config;
 pub mod ooo;
+pub mod reference;
 pub mod stats;
 
 pub use cache::{CacheConfig, CacheSim, CacheStats, HierarchyConfig};
@@ -101,6 +108,7 @@ pub use config::{
     FuPool, MemoryModel, ParseMemoryModelError, PipelineConfig, PipelineConfigBuilder,
 };
 pub use ooo::{Pipeline, PipelineFanout, PipelineSim};
+pub use reference::ReferenceSim;
 pub use stats::SimResult;
 
 // Re-export the trace types most callers need alongside the pipeline.

@@ -18,6 +18,30 @@
 //! replaying a materialised trace — which is exactly what the batch
 //! convenience wrapper [`Pipeline::simulate`] does.
 //!
+//! The engine is also **scan-free**: where the retained naive
+//! implementation ([`crate::reference::ReferenceSim`]) walks the whole
+//! reorder buffer every cycle and re-checks every producer and every older
+//! store per candidate (`O(window²)` per cycle), this engine keeps
+//! incremental state instead —
+//!
+//! * dependences are resolved **once, at rename time**, against the
+//!   last-writer scoreboard: each entry carries only a count of
+//!   still-unissued producers and the completion cycle of the latest issued
+//!   one, and producers keep per-entry *wakeup lists* of their consumers,
+//! * a **future-ready heap** (keyed by operand-ready cycle) and an ordered
+//!   **ready queue** mean each cycle visits only the entries that can
+//!   actually be considered for issue, not the whole window,
+//! * a dedicated **store-address queue** holds just the in-flight stores,
+//!   so the load/store ordering check inspects only those instead of every
+//!   older window entry,
+//! * per-class **free-unit min-heaps** replace the linear probe of the
+//!   functional-unit busy tables, and [`FuClass::index`] replaces the
+//!   per-issue scan of `FuClass::ALL`.
+//!
+//! The two implementations are cycle-for-cycle identical; the differential
+//! property test (`tests/differential.rs`) and the directed store-queue
+//! regressions in this module enforce it.
+//!
 //! Memory instructions are charged by the configured [`crate::MemoryModel`]:
 //! a fixed latency, or a per-access hit/miss latency from the simulated
 //! L1/L2 [`crate::cache`] hierarchy driven by the effective addresses in the
@@ -30,7 +54,8 @@ use crate::config::PipelineConfig;
 use crate::stats::SimResult;
 use mom_arch::{Trace, TraceEntry, TraceSink};
 use mom_isa::FuClass;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Number of distinct register ids (see `mom_isa::Reg::id`).
 const REG_ID_SPACE: usize = 256;
@@ -61,14 +86,256 @@ struct WindowEntry {
     /// Conservative byte interval `[start, end)` the access covers, when the
     /// trace carries address metadata.
     mem_span: Option<(u64, u64)>,
-    /// Sequence numbers of the producing instructions of each source.
-    deps: [u64; 4],
-    /// Number of valid entries in `deps`.
-    dep_count: u8,
+    /// Head of this entry's wakeup list in the edge arena ([`EDGE_NONE`]
+    /// when empty): the consumers to notify when this entry issues.
+    consumer_head: u32,
+    /// Producers of this entry's sources that have not issued yet (each one
+    /// holds a wakeup edge back to this entry).
+    unresolved_deps: u8,
+    /// The latest completion cycle over the producers that *have* issued;
+    /// once `unresolved_deps` reaches zero this is the cycle the operands
+    /// are ready.
+    operand_ready_cycle: u64,
     /// Whether the instruction has been issued.
     issued: bool,
     /// Cycle at which the result is available (valid once issued).
     complete_cycle: u64,
+}
+
+/// Sentinel for "no edge" in the wakeup arena.
+const EDGE_NONE: u32 = u32::MAX;
+
+/// One wakeup edge: a node of a producer's intrusive consumer list, living
+/// in the [`PipelineSim::edges`] arena.  Nodes are recycled through a free
+/// list, so steady-state renaming never allocates.
+#[derive(Debug, Clone, Copy)]
+struct EdgeNode {
+    /// Sequence number of the consumer to wake.
+    consumer: u64,
+    /// Next edge of the same producer (or the next free node), or
+    /// [`EDGE_NONE`].
+    next: u32,
+}
+
+/// One in-flight store in the store-address queue: enough to decide whether
+/// a younger load may issue past it.
+#[derive(Debug, Clone, Copy)]
+struct StoreRecord {
+    /// Sequence number of the store (the queue is in sequence order).
+    seq: u64,
+    /// Conservative byte span of the store, when its address is known.
+    span: Option<(u64, u64)>,
+    /// Completion cycle once issued; `u64::MAX` while unissued.  The store
+    /// stops blocking loads once `complete_cycle <= cycle`.
+    complete_cycle: u64,
+}
+
+/// A trace entry decoded once per stream position: renaming (producer
+/// sequence numbers) and instruction metadata do not depend on the machine
+/// configuration, so a fan-out over many configurations computes them a
+/// single time ([`Renamer::decode`]) and feeds the decoded form to every
+/// consumer ([`PipelineSim::feed_decoded`]).
+#[derive(Debug, Clone, Copy)]
+struct DecodedEntry {
+    /// Sequence numbers of the producers of each source register (with
+    /// duplicates when two sources share a producer).
+    deps: [u64; 4],
+    /// Number of valid entries in `deps`.
+    dep_count: u8,
+    /// Functional-unit class.
+    fu: FuClass,
+    /// Elementary operations performed.
+    ops: u64,
+    /// Effective vector length at execution time.
+    vl: u16,
+    /// Whether occupancy scales with the vector length.
+    is_vl_dependent: bool,
+    /// Whether this is a multimedia instruction.
+    is_media: bool,
+    /// Whether this instruction accesses memory.
+    is_memory: bool,
+    /// Whether this instruction writes memory.
+    is_store: bool,
+    /// The traced memory access, when the trace carries address metadata.
+    mem: Option<mom_arch::MemAccess>,
+    /// Conservative byte span of the access.
+    mem_span: Option<(u64, u64)>,
+}
+
+/// The rename stage, separated from the per-configuration consumers: a
+/// last-writer scoreboard over the architectural registers plus the running
+/// sequence counter.  One renamer can serve a whole fan-out, because the
+/// producer of every source depends only on stream order.
+#[derive(Debug, Clone)]
+struct Renamer {
+    /// Last writer (sequence number) of each architectural register.
+    last_writer: [Option<u64>; REG_ID_SPACE],
+    /// Sequence number assigned to the next decoded entry.
+    next_seq: u64,
+}
+
+impl Renamer {
+    fn new() -> Self {
+        Renamer {
+            last_writer: [None; REG_ID_SPACE],
+            next_seq: 0,
+        }
+    }
+
+    /// Renames one trace entry and extracts the configuration-independent
+    /// metadata the timing consumers need.
+    fn decode(&mut self, entry: &TraceEntry) -> DecodedEntry {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let instr = &entry.instr;
+        let mut deps = [0u64; 4];
+        let mut dep_count = 0u8;
+        for reg in instr.sources().iter() {
+            if reg.is_zero() {
+                continue;
+            }
+            if let Some(w) = self.last_writer[reg.id()] {
+                // An instruction has at most four register sources
+                // (`RegList` enforces it), so the dependence list cannot
+                // overflow; guard anyway so a future wider instruction
+                // degrades to a dropped dependence instead of a panic.
+                debug_assert!(
+                    (dep_count as usize) < deps.len(),
+                    "more producers than dependence slots for {instr:?}"
+                );
+                if (dep_count as usize) < deps.len() {
+                    deps[dep_count as usize] = w;
+                    dep_count += 1;
+                }
+            }
+        }
+        for reg in instr.dests().iter() {
+            if !reg.is_zero() {
+                self.last_writer[reg.id()] = Some(seq);
+            }
+        }
+        DecodedEntry {
+            deps,
+            dep_count,
+            fu: instr.fu_class(),
+            ops: entry.ops(),
+            vl: entry.vl,
+            is_vl_dependent: instr.is_vl_dependent(),
+            is_media: instr.is_media(),
+            is_memory: instr.is_memory(),
+            is_store: instr.is_store(),
+            mem: entry.mem,
+            mem_span: entry.mem.map(|m| m.span()),
+        }
+    }
+}
+
+/// Number of slots in the functional-unit free-event calendar.  Busy spans
+/// shorter than this (all realistic occupancies and latencies) schedule
+/// their free event in the ring; longer ones overflow to a heap.
+const CALENDAR_SLOTS: u64 = 64;
+
+/// Scan-free functional-unit availability tracking.
+///
+/// Free units of one class are interchangeable (their stale busy times are
+/// all in the past, so any of them can take the next instruction without
+/// changing future behaviour), which reduces the per-class busy table to a
+/// *count* of free units plus a schedule of future free events: a calendar
+/// ring for events up to [`CALENDAR_SLOTS`] cycles out — one counter
+/// increment per issue, one row drain per cycle — and an overflow heap for
+/// the rare longer spans.
+#[derive(Debug, Clone)]
+struct FuTracker {
+    /// Free units per class, current as of `drained_cycle`.
+    free: [u32; FuClass::COUNT],
+    /// `calendar[t % CALENDAR_SLOTS][class]`: units of `class` becoming
+    /// free at cycle `t`, for `t` within `CALENDAR_SLOTS` of the present.
+    calendar: [[u32; FuClass::COUNT]; CALENDAR_SLOTS as usize],
+    /// Free events scheduled `CALENDAR_SLOTS` or more cycles out:
+    /// `(free_cycle, class)`.
+    overflow: BinaryHeap<Reverse<(u64, u8)>>,
+    /// The cycle up to (and including) which events have been folded into
+    /// `free`.
+    drained_cycle: u64,
+}
+
+impl FuTracker {
+    fn new(config: &PipelineConfig) -> FuTracker {
+        let mut free = [0u32; FuClass::COUNT];
+        for class in FuClass::ALL {
+            free[class.index()] = config.pool(class).count as u32;
+        }
+        FuTracker {
+            free,
+            calendar: [[0; FuClass::COUNT]; CALENDAR_SLOTS as usize],
+            overflow: BinaryHeap::new(),
+            drained_cycle: 0,
+        }
+    }
+
+    /// Folds every free event scheduled at cycles in
+    /// `(drained_cycle, cycle]` into the free counts.  Cheap in the common
+    /// case (one ring row per cycle); bounded by the ring size after a
+    /// clock jump.
+    fn drain_to(&mut self, cycle: u64) {
+        if cycle <= self.drained_cycle {
+            return;
+        }
+        let from = if cycle - self.drained_cycle >= CALENDAR_SLOTS {
+            cycle - CALENDAR_SLOTS + 1
+        } else {
+            self.drained_cycle + 1
+        };
+        for t in from..=cycle {
+            let row = &mut self.calendar[(t % CALENDAR_SLOTS) as usize];
+            for (free, slot) in self.free.iter_mut().zip(row.iter_mut()) {
+                *free += *slot;
+                *slot = 0;
+            }
+        }
+        while let Some(&Reverse((t, class))) = self.overflow.peek() {
+            if t > cycle {
+                break;
+            }
+            self.overflow.pop();
+            self.free[class as usize] += 1;
+        }
+        self.drained_cycle = cycle;
+    }
+
+    /// Whether a unit of the class is free (after [`FuTracker::drain_to`]
+    /// for the current cycle).
+    fn has_free(&self, class: usize) -> bool {
+        self.free[class] > 0
+    }
+
+    /// Takes a free unit of the class and schedules its free event
+    /// `busy_for` cycles out.
+    fn take(&mut self, class: usize, cycle: u64, busy_for: u64) {
+        self.free[class] -= 1;
+        if busy_for < CALENDAR_SLOTS {
+            self.calendar[((cycle + busy_for) % CALENDAR_SLOTS) as usize][class] += 1;
+        } else {
+            self.overflow.push(Reverse((cycle + busy_for, class as u8)));
+        }
+    }
+
+    /// The earliest cycle after `cycle` at which any class gains a free
+    /// unit, if any event is scheduled (used by the idle fast-forward).
+    /// An overflow event scheduled long ago may by now be nearer than the
+    /// first calendar event, so both sources are compared.
+    fn next_free_event(&self, cycle: u64) -> Option<u64> {
+        let ring = (1..CALENDAR_SLOTS).map(|ahead| cycle + ahead).find(|t| {
+            self.calendar[(t % CALENDAR_SLOTS) as usize]
+                .iter()
+                .any(|&n| n > 0)
+        });
+        let overflow = self.overflow.peek().map(|&Reverse((t, _))| t);
+        match (ring, overflow) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 /// The incremental out-of-order timing consumer.
@@ -85,20 +352,67 @@ pub struct PipelineSim {
     /// [`crate::MemoryModel::Hierarchy`].  Accessed in trace order at rename
     /// time, which keeps streaming and batch replay bit-identical.
     dcache: Option<CacheSim>,
-    /// Renamed instructions not yet dispatched into the window.  Bounded:
-    /// [`PipelineSim::feed`] drains it down to below one fetch group.
-    pending: VecDeque<WindowEntry>,
-    /// The reorder buffer.
-    window: VecDeque<WindowEntry>,
-    /// Per-unit busy-until cycle, indexed by [`FuClass::ALL`] position.
-    fu_busy: Vec<Vec<u64>>,
-    /// Last writer (sequence number) of each architectural register.
-    last_writer: [Option<u64>; REG_ID_SPACE],
+    /// Every in-flight instruction, in order: the reorder buffer
+    /// (`committed..next_dispatch`) followed by the renamed-but-undispatched
+    /// fetch buffer (`next_dispatch..next_seq`).  The entry of sequence
+    /// number `s` lives at index `s - committed`; dispatch just advances
+    /// `next_dispatch` instead of copying entries between queues.  The
+    /// fetch-buffer tail is bounded: [`PipelineSim::feed`] drains it down
+    /// to below one fetch group.
+    insts: VecDeque<WindowEntry>,
+    /// Per-class functional-unit availability (free counts plus a calendar
+    /// of future free events), indexed by [`FuClass::index`].
+    fu: FuTracker,
+    /// Bit `FuClass::index` set when that pool is pipelined — the only pool
+    /// property the issue stage needs per instruction.
+    fu_pipelined: u16,
+    /// Per-class busy-cycle totals, materialised into
+    /// [`SimResult::fu_busy_cycles`] at the end of the run.
+    fu_busy_acc: [u64; FuClass::COUNT],
+    /// The rename stage (last-writer scoreboard).  Unused when the sim is
+    /// driven through a fan-out, whose shared renamer decodes each entry
+    /// once for every consumer.
+    renamer: Renamer,
+    /// The wakeup-edge arena: intrusive per-producer consumer lists headed
+    /// by [`WindowEntry::consumer_head`], with freed nodes threaded onto
+    /// [`PipelineSim::edge_free`] for reuse.
+    edges: Vec<EdgeNode>,
+    /// Head of the arena's free list ([`EDGE_NONE`] when empty).
+    edge_free: u32,
+    /// Dispatched, unissued entries whose operands are ready this cycle or
+    /// the next, in sequence (= age) order: the only entries the issue
+    /// stage visits (not-quite-ready ones are skipped by their
+    /// operand-ready cycle and revisited next cycle).
+    ready: Vec<u64>,
+    /// How many `ready` entries wait per functional-unit class: lets the
+    /// issue pass stop as soon as every class with waiting entries has been
+    /// found busy this cycle, instead of probing the whole backlog (60
+    /// ready loads behind 2 busy ports cost O(1) per stalled cycle, not
+    /// O(60)).
+    ready_counts: [u32; FuClass::COUNT],
+    /// Dispatched entries whose operands will be ready at a known cycle
+    /// further out, keyed by that cycle; drained into `ready` as time
+    /// advances.  Splitting near-ready entries (straight into `ready`) from
+    /// far-future ones (heap) keeps 1-cycle dependence chains off the heap
+    /// while long memory latencies never cause rescans.
+    future: BinaryHeap<Reverse<(u64, u64)>>,
+    /// The in-flight stores, in sequence order: the only entries a load's
+    /// memory-ordering check inspects.
+    store_queue: VecDeque<StoreRecord>,
+    /// Lower bound on the earliest completion among issued, in-flight
+    /// instructions — shrunk on every issue, recomputed (by scanning the
+    /// window) only when the recorded event has passed.  Keeps the idle
+    /// fast-forward O(1) amortised instead of O(window) per idle cycle.
+    next_completion: u64,
+    /// Lower bound on the earliest future functional-unit free event, with
+    /// the same lazy-recompute discipline.
+    next_fu_free: u64,
     /// Sequence number assigned to the next fed entry.
     next_seq: u64,
     /// Sequence number of the next entry to dispatch (= dispatched count).
     next_dispatch: u64,
-    /// Committed instruction count.
+    /// Committed instruction count (= sequence number of the oldest
+    /// in-flight entry).
     committed: u64,
     /// Current cycle.
     cycle: u64,
@@ -107,22 +421,39 @@ pub struct PipelineSim {
 }
 
 impl PipelineSim {
-    /// Creates an incremental consumer for the given machine configuration.
+    /// Creates an incremental consumer for the given machine configuration,
+    /// with every table pre-sized from the configuration (window, pending
+    /// buffer, ready/wakeup structures and the store queue from the
+    /// reorder-buffer size, the free-unit heaps from the pool counts), so a
+    /// fan-out over a whole configuration grid allocates once up front.
     ///
     /// # Panics
     /// Panics if the configuration fails validation.
     pub fn new(config: PipelineConfig) -> Self {
         config.validate().expect("invalid pipeline configuration");
-        let fu_busy = FuClass::ALL
-            .iter()
-            .map(|c| vec![0u64; config.pool(*c).count])
-            .collect();
+        let fu = FuTracker::new(&config);
+        let mut fu_pipelined = 0u16;
+        for class in FuClass::ALL {
+            if config.pool(class).pipelined {
+                fu_pipelined |= 1 << class.index();
+            }
+        }
+        let rob = config.rob_size;
         PipelineSim {
             dcache: config.memory.hierarchy().copied().map(CacheSim::new),
-            pending: VecDeque::new(),
-            window: VecDeque::with_capacity(config.rob_size),
-            fu_busy,
-            last_writer: [None; REG_ID_SPACE],
+            insts: VecDeque::with_capacity(rob + config.width),
+            fu,
+            fu_pipelined,
+            fu_busy_acc: [0; FuClass::COUNT],
+            renamer: Renamer::new(),
+            edges: Vec::with_capacity(2 * rob),
+            edge_free: EDGE_NONE,
+            ready: Vec::with_capacity(rob),
+            ready_counts: [0; FuClass::COUNT],
+            future: BinaryHeap::with_capacity(rob),
+            store_queue: VecDeque::with_capacity(rob),
+            next_completion: u64::MAX,
+            next_fu_free: u64::MAX,
             next_seq: 0,
             next_dispatch: 0,
             committed: 0,
@@ -178,17 +509,27 @@ impl PipelineSim {
     /// staying busy for the full latency (`busy_for = latency.max(occupancy)`
     /// at issue), not from inflating the occupancy, which would double-count
     /// the latency in the completion time.
-    fn occupancy(&self, entry: &TraceEntry) -> u64 {
-        let vl = entry.vl.max(1) as u64;
-        match entry.instr.fu_class() {
+    fn occupancy(&self, decoded: &DecodedEntry) -> u64 {
+        let vl = decoded.vl.max(1) as u64;
+        match decoded.fu {
             FuClass::VecMem => {
                 let port_bytes = self.config.vec_mem_words as u64 * 8;
-                let bytes = entry.mem.map_or(vl * 8, |m| m.total_bytes());
+                let bytes = decoded.mem.map_or(vl * 8, |m| m.total_bytes());
                 bytes.div_ceil(port_bytes).max(1)
             }
-            _ if entry.instr.is_vl_dependent() => vl.div_ceil(self.config.media_lanes as u64),
+            _ if decoded.is_vl_dependent => vl.div_ceil(self.config.media_lanes as u64),
             _ => 1,
         }
+    }
+
+    /// Number of dispatched entries (the reorder-buffer occupancy).
+    fn window_len(&self) -> usize {
+        (self.next_dispatch - self.committed) as usize
+    }
+
+    /// Number of renamed entries not yet dispatched.
+    fn pending_len(&self) -> usize {
+        (self.next_seq - self.next_dispatch) as usize
     }
 
     /// Consumes the next retired instruction of the stream.
@@ -199,66 +540,81 @@ impl PipelineSim {
     /// instructions plus the reorder buffer — bounded memory regardless of
     /// stream length.
     pub fn feed(&mut self, entry: TraceEntry) {
+        let decoded = self.renamer.decode(&entry);
+        self.feed_decoded(&decoded);
+    }
+
+    /// Consumes one already-renamed entry (see [`Renamer::decode`]): the
+    /// per-configuration half of [`PipelineSim::feed`], shared by the
+    /// fan-out so decoding happens once per entry instead of once per
+    /// consumer.
+    fn feed_decoded(&mut self, decoded: &DecodedEntry) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let instr = &entry.instr;
-        let mut deps = [0u64; 4];
-        let mut dep_count = 0u8;
-        for reg in instr.sources().iter() {
-            if reg.is_zero() {
+        // Resolve the decoded dependences against this consumer's state: a
+        // committed producer is complete; an issued one contributes its
+        // known completion cycle; an unissued one gets a wakeup edge back
+        // to this entry and is counted in `unresolved_deps`.
+        let mut unresolved_deps = 0u8;
+        let mut operand_ready_cycle = 0u64;
+        for &w in &decoded.deps[..decoded.dep_count as usize] {
+            if w < self.committed {
                 continue;
             }
-            if let Some(w) = self.last_writer[reg.id()] {
-                // An instruction has at most four register sources
-                // (`RegList` enforces it), so the dependence list cannot
-                // overflow; guard anyway so a future wider instruction
-                // degrades to a dropped dependence instead of a panic.
-                debug_assert!(
-                    (dep_count as usize) < deps.len(),
-                    "more producers than dependence slots for {instr:?}"
-                );
-                if (dep_count as usize) < deps.len() {
-                    deps[dep_count as usize] = w;
-                    dep_count += 1;
+            let producer = &mut self.insts[(w - self.committed) as usize];
+            if producer.issued {
+                operand_ready_cycle = operand_ready_cycle.max(producer.complete_cycle);
+            } else {
+                unresolved_deps += 1;
+                // Thread a wakeup edge onto the producer's list, recycling
+                // a freed arena node when one is available.
+                let next = producer.consumer_head;
+                let node = EdgeNode {
+                    consumer: seq,
+                    next,
+                };
+                if self.edge_free != EDGE_NONE {
+                    let slot = self.edge_free;
+                    producer.consumer_head = slot;
+                    self.edge_free = self.edges[slot as usize].next;
+                    self.edges[slot as usize] = node;
+                } else {
+                    producer.consumer_head = self.edges.len() as u32;
+                    self.edges.push(node);
                 }
             }
         }
-        for reg in instr.dests().iter() {
-            if !reg.is_zero() {
-                self.last_writer[reg.id()] = Some(seq);
-            }
-        }
-        let fu = instr.fu_class();
         // Memory instructions are charged by the memory model: the fixed
         // latency, or the simulated per-access hit/miss latency when the
         // model is a hierarchy and the trace carries addresses (entries
         // without metadata are assumed to hit L1).
-        let latency = match (fu, &mut self.dcache) {
-            (FuClass::Mem | FuClass::VecMem, Some(cache)) => match entry.mem.as_ref() {
+        let latency = match (decoded.fu, &mut self.dcache) {
+            (FuClass::Mem | FuClass::VecMem, Some(cache)) => match decoded.mem.as_ref() {
                 Some(access) => cache.access(access),
                 None => cache.hit_latency(),
             },
-            _ => self.config.latency(fu),
+            _ => self.config.latency(decoded.fu),
         };
-        self.pending.push_back(WindowEntry {
+        self.insts.push_back(WindowEntry {
             seq,
-            fu,
-            occupancy: self.occupancy(&entry),
+            fu: decoded.fu,
+            occupancy: self.occupancy(decoded),
             latency,
-            ops: entry.ops(),
-            is_media: instr.is_media(),
-            is_memory: instr.is_memory(),
-            is_store: instr.is_store(),
-            mem_span: entry.mem.map(|m| m.span()),
-            deps,
-            dep_count,
+            ops: decoded.ops,
+            is_media: decoded.is_media,
+            is_memory: decoded.is_memory,
+            is_store: decoded.is_store,
+            mem_span: decoded.mem_span,
+            consumer_head: EDGE_NONE,
+            unresolved_deps,
+            operand_ready_cycle,
             issued: false,
             complete_cycle: u64::MAX,
         });
         // A cycle's dispatch group is fully determined once `width` renamed
         // instructions are buffered (dispatch consumes at most `width` per
         // cycle), so simulating now is indistinguishable from batch replay.
-        while self.pending.len() >= self.config.width {
+        while self.pending_len() >= self.config.width {
             self.step_cycle();
         }
     }
@@ -277,10 +633,21 @@ impl PipelineSim {
             self.step_cycle();
         }
         self.result.cycles = self.cycle;
+        for (index, &busy) in self.fu_busy_acc.iter().enumerate() {
+            if busy > 0 {
+                self.result.fu_busy_cycles.insert(FuClass::ALL[index], busy);
+            }
+        }
         if let Some(cache) = &self.dcache {
             self.result.cache = cache.stats;
         }
         (self.result, self.dcache)
+    }
+
+    /// Inserts a sequence number into the ready queue, keeping age order.
+    fn make_ready(ready: &mut Vec<u64>, seq: u64) {
+        let at = ready.partition_point(|&s| s < seq);
+        ready.insert(at, seq);
     }
 
     /// Simulates one cycle: commit, issue, dispatch — the same stage order
@@ -292,8 +659,8 @@ impl PipelineSim {
         // Commit: in order, up to `width` completed instructions.
         // ----------------------------------------------------------
         let mut committed_this_cycle = 0;
-        while committed_this_cycle < cfg.width {
-            match self.window.front() {
+        while committed_this_cycle < cfg.width && self.committed < self.next_dispatch {
+            match self.insts.front() {
                 Some(e) if e.issued && e.complete_cycle <= self.cycle => {
                     self.result.instructions += 1;
                     self.result.operations += e.ops;
@@ -303,7 +670,11 @@ impl PipelineSim {
                     if e.is_memory {
                         self.result.memory_instructions += 1;
                     }
-                    self.window.pop_front();
+                    debug_assert_eq!(
+                        e.consumer_head, EDGE_NONE,
+                        "an issued producer must have drained its wakeup list"
+                    );
+                    self.insts.pop_front();
                     self.committed += 1;
                     committed_this_cycle += 1;
                 }
@@ -315,83 +686,195 @@ impl PipelineSim {
         // Issue: oldest-first, up to `width` ready instructions whose
         // functional unit is free.
         // ----------------------------------------------------------
-        let front_seq = self
-            .window
-            .front()
-            .map(|e| e.seq)
-            .unwrap_or(self.next_dispatch);
-        let class_index = |c: FuClass| FuClass::ALL.iter().position(|x| *x == c).unwrap();
-        let mut issued_this_cycle = 0;
-        for i in 0..self.window.len() {
-            if issued_this_cycle >= cfg.width {
+        // Fold functional-unit free events up to this cycle into the free
+        // counts.
+        self.fu.drain_to(self.cycle);
+        // Wake the entries whose operands become ready this cycle.
+        while let Some(&Reverse((ready_cycle, seq))) = self.future.peek() {
+            if ready_cycle > self.cycle {
                 break;
             }
-            if self.window[i].issued {
-                continue;
-            }
-            // Operand readiness: every producer must have completed.
-            let mut ready = true;
-            for d in 0..self.window[i].dep_count as usize {
-                let dep_seq = self.window[i].deps[d];
-                if dep_seq >= front_seq {
-                    let dep = &self.window[(dep_seq - front_seq) as usize];
-                    if !dep.issued || dep.complete_cycle > self.cycle {
-                        ready = false;
-                        break;
-                    }
-                }
-                // Producers older than the window head have committed and
-                // are therefore complete.
-            }
-            if !ready {
+            self.future.pop();
+            self.ready_counts[self.insts[(seq - self.committed) as usize].fu.index()] += 1;
+            Self::make_ready(&mut self.ready, seq);
+        }
+        // Retire completed stores from the head of the store queue (they no
+        // longer block anything; completion is monotone in the cycle).
+        while self
+            .store_queue
+            .front()
+            .is_some_and(|s| s.complete_cycle <= self.cycle)
+        {
+            self.store_queue.pop_front();
+        }
+        // Visit the ready entries oldest-first, compacting the queue in
+        // place: issued entries are dropped, blocked ones slide down.  The
+        // region `write..read` is the gap; everything at `read..` is still
+        // sorted and unvisited.
+        let mut issued_this_cycle = 0;
+        let mut read = 0;
+        let mut write = 0;
+        // Earliest operand-ready cycle among visited not-yet-ready entries
+        // (an input to the idle fast-forward below).
+        let mut min_unready_cycle = u64::MAX;
+        // Classes found to have no free unit this cycle; once every class
+        // with ready entries is busy, nothing further can issue.
+        let mut busy_classes: u16 = 0;
+        while read < self.ready.len() && issued_this_cycle < cfg.width {
+            let seq = self.ready[read];
+            let index = (seq - self.committed) as usize;
+            // One read of the candidate entry serves every check below.
+            let e = &self.insts[index];
+            // Near-ready entries (operands available next cycle) ride in
+            // the ready queue instead of the heap; skip them until their
+            // cycle arrives.
+            let operand_ready_cycle = e.operand_ready_cycle;
+            if operand_ready_cycle > self.cycle {
+                min_unready_cycle = min_unready_cycle.min(operand_ready_cycle);
+                self.ready[write] = seq;
+                write += 1;
+                read += 1;
                 continue;
             }
             // Memory ordering: a load may not issue past an older store that
             // has not yet written memory, unless both addresses are known
             // and the byte ranges are disjoint.  There is no store-to-load
-            // forwarding, so "written" means completed.  Stores older than
-            // the window head have committed and are done.
-            if self.window[i].is_memory && !self.window[i].is_store {
-                let load_span = self.window[i].mem_span;
-                for j in 0..i {
-                    let store = &self.window[j];
-                    if !store.is_store || (store.issued && store.complete_cycle <= self.cycle) {
+            // forwarding, so "written" means completed.  Only the in-flight
+            // stores of the store-address queue need checking; committed
+            // stores are done, and the queue is in age order.
+            if e.is_memory && !e.is_store {
+                let load_span = e.mem_span;
+                let mut blocked = false;
+                for store in &self.store_queue {
+                    if store.seq >= seq {
+                        break;
+                    }
+                    if store.complete_cycle <= self.cycle {
                         continue;
                     }
                     let disjoint = matches!(
-                        (load_span, store.mem_span),
+                        (load_span, store.span),
                         (Some(a), Some(b)) if !mom_arch::spans_overlap(a, b)
                     );
                     if !disjoint {
-                        ready = false;
+                        blocked = true;
                         break;
                     }
                 }
-                if !ready {
+                if blocked {
+                    self.ready[write] = seq;
+                    write += 1;
+                    read += 1;
                     continue;
                 }
             }
-            // Structural hazard: find a free unit of the class.
-            let fu = self.window[i].fu;
-            let pool = cfg.pool(fu);
-            let ci = class_index(fu);
-            let Some(unit) = self.fu_busy[ci].iter().position(|&b| b <= self.cycle) else {
+            // Structural hazard: the root of the class's free-time heap
+            // tells whether any unit is free.  A class found busy once is
+            // busy for the rest of the cycle; when every class with waiting
+            // entries is busy, stop probing the backlog altogether.
+            let fu = e.fu;
+            let class = fu.index();
+            if busy_classes & (1 << class) != 0 {
+                self.ready[write] = seq;
+                write += 1;
+                read += 1;
                 continue;
-            };
+            }
+            if !self.fu.has_free(class) {
+                busy_classes |= 1 << class;
+                self.ready[write] = seq;
+                write += 1;
+                read += 1;
+                if self
+                    .ready_counts
+                    .iter()
+                    .enumerate()
+                    .all(|(c, &n)| n == 0 || busy_classes & (1 << c) != 0)
+                {
+                    // The unvisited tail may hold entries whose operands
+                    // arrive next cycle; make sure the idle fast-forward
+                    // does not jump past them.
+                    if read < self.ready.len() {
+                        min_unready_cycle = min_unready_cycle.min(self.cycle + 1);
+                    }
+                    break;
+                }
+                continue;
+            }
             // Issue.
-            let occupancy = self.window[i].occupancy;
-            let latency = self.window[i].latency;
-            let busy_for = if pool.pipelined {
+            self.ready_counts[class] -= 1;
+            let occupancy = e.occupancy;
+            let latency = e.latency;
+            let is_store = e.is_store;
+            let busy_for = if self.fu_pipelined & (1 << class) != 0 {
                 occupancy
             } else {
                 latency.max(occupancy)
             };
-            self.fu_busy[ci][unit] = self.cycle + busy_for;
-            *self.result.fu_busy_cycles.entry(fu).or_insert(0) += busy_for;
-            let e = &mut self.window[i];
-            e.issued = true;
-            e.complete_cycle = self.cycle + latency + occupancy - 1;
+            self.fu.take(class, self.cycle, busy_for);
+            self.next_fu_free = self.next_fu_free.min(self.cycle + busy_for);
+            self.fu_busy_acc[class] += busy_for;
+            let complete_cycle = self.cycle + latency + occupancy - 1;
+            self.next_completion = self.next_completion.min(complete_cycle);
+            let edge_head = {
+                let e = &mut self.insts[index];
+                e.issued = true;
+                e.complete_cycle = complete_cycle;
+                std::mem::replace(&mut e.consumer_head, EDGE_NONE)
+            };
+            if is_store {
+                let at = self.store_queue.partition_point(|s| s.seq < seq);
+                debug_assert_eq!(self.store_queue[at].seq, seq, "store must be queued");
+                self.store_queue[at].complete_cycle = complete_cycle;
+            }
+            // Wake this producer's consumers (walking its intrusive edge
+            // list and recycling the nodes).  A consumer whose last
+            // producer just issued becomes ready at `complete_cycle`; if
+            // that is near (this cycle or the next) it joins the sorted,
+            // unvisited tail of the ready queue — exactly where an
+            // age-ordered window scan would visit it, since consumers are
+            // always younger than their producer — and only far-future
+            // completions pay for the heap.
+            let mut edge = edge_head;
+            while edge != EDGE_NONE {
+                let EdgeNode { consumer, next } = self.edges[edge as usize];
+                self.edges[edge as usize].next = self.edge_free;
+                self.edge_free = edge;
+                edge = next;
+                let dispatched = consumer < self.next_dispatch;
+                let c = &mut self.insts[(consumer - self.committed) as usize];
+                c.unresolved_deps -= 1;
+                c.operand_ready_cycle = c.operand_ready_cycle.max(complete_cycle);
+                if c.unresolved_deps == 0 && dispatched {
+                    let ready_cycle = c.operand_ready_cycle;
+                    let consumer_class = c.fu.index();
+                    if ready_cycle <= self.cycle + 1 {
+                        // Insert into the sorted, unvisited tail `read+1..`
+                        // (the compaction gap stays intact: the insertion
+                        // point is past the read cursor).
+                        self.ready_counts[consumer_class] += 1;
+                        let tail = read + 1;
+                        let at = tail + self.ready[tail..].partition_point(|&s| s < consumer);
+                        self.ready.insert(at, consumer);
+                    } else {
+                        self.future.push(Reverse((ready_cycle, consumer)));
+                    }
+                }
+            }
+            // The issued entry is dropped from the ready queue: advance the
+            // read cursor without copying it into the kept region.
+            read += 1;
             issued_this_cycle += 1;
+        }
+        // Slide any unvisited tail (width cap reached) down over the gap
+        // and drop the issued entries.
+        if write != read {
+            while read < self.ready.len() {
+                self.ready[write] = self.ready[read];
+                write += 1;
+                read += 1;
+            }
+            self.ready.truncate(write);
         }
 
         // ----------------------------------------------------------
@@ -400,20 +883,90 @@ impl PipelineSim {
         // ----------------------------------------------------------
         let mut dispatched_this_cycle = 0;
         let mut stalled = false;
-        while dispatched_this_cycle < cfg.width && !self.pending.is_empty() {
-            if self.window.len() >= cfg.rob_size {
+        while dispatched_this_cycle < cfg.width && self.next_dispatch < self.next_seq {
+            if self.window_len() >= cfg.rob_size {
                 stalled = true;
                 break;
             }
-            let e = self.pending.pop_front().expect("pending is non-empty");
-            self.window.push_back(e);
+            // Dispatch is just the boundary marker moving over the next
+            // renamed entry — no copy.
+            let e = &self.insts[(self.next_dispatch - self.committed) as usize];
+            if e.is_store {
+                self.store_queue.push_back(StoreRecord {
+                    seq: e.seq,
+                    span: e.mem_span,
+                    complete_cycle: u64::MAX,
+                });
+            }
+            // An entry with no outstanding producers is schedulable as soon
+            // as its operand-ready cycle passes; one with outstanding
+            // producers enters the ready structures when the last of them
+            // issues (the wakeup edges above).  Dispatch happens after this
+            // cycle's issue stage, so next cycle is the earliest it can
+            // issue either way: already-ready entries append straight to
+            // the ready queue (they are the youngest, so order is kept) and
+            // only genuinely future ones pay for the heap.
+            if e.unresolved_deps == 0 {
+                if e.operand_ready_cycle <= self.cycle + 1 {
+                    self.ready_counts[e.fu.index()] += 1;
+                    self.ready.push(e.seq);
+                } else {
+                    self.future.push(Reverse((e.operand_ready_cycle, e.seq)));
+                }
+            }
             self.next_dispatch += 1;
             dispatched_this_cycle += 1;
         }
         if stalled {
             self.result.dispatch_stall_cycles += 1;
         }
-        self.result.max_rob_occupancy = self.result.max_rob_occupancy.max(self.window.len());
+        self.result.max_rob_occupancy = self.result.max_rob_occupancy.max(self.window_len());
+
+        // ----------------------------------------------------------
+        // Idle fast-forward: if this cycle did nothing at all, the machine
+        // state is static until the next event — the earliest in-flight
+        // completion (which also unblocks commits and store-blocked loads),
+        // the earliest operand-ready cycle (future heap and the near-ready
+        // entries counted above), or the earliest functional-unit free time
+        // (which only matters while something is waiting in the ready
+        // queue).  Jump the clock there instead of ticking through cycles
+        // whose every `<= cycle` comparison is known to fail.  Skipped
+        // cycles repeat this cycle's dispatch-stall state exactly.
+        // ----------------------------------------------------------
+        if committed_this_cycle == 0 && issued_this_cycle == 0 && dispatched_this_cycle == 0 {
+            let mut next_event = min_unready_cycle;
+            // Earliest completion among the issued, in-flight instructions:
+            // the watermark is exact or a safe lower bound while it lies in
+            // the future; once it has passed, rescan the window for the
+            // true next event (at most once per passed event, so idle
+            // cycles stay O(1) amortised and busy streams never scan).
+            if self.next_completion <= self.cycle {
+                let mut earliest = u64::MAX;
+                for e in self.insts.iter().take(self.window_len()) {
+                    if e.issued && e.complete_cycle > self.cycle {
+                        earliest = earliest.min(e.complete_cycle);
+                    }
+                }
+                self.next_completion = earliest;
+            }
+            next_event = next_event.min(self.next_completion);
+            if let Some(&Reverse((ready_cycle, _))) = self.future.peek() {
+                next_event = next_event.min(ready_cycle);
+            }
+            if !self.ready.is_empty() {
+                if self.next_fu_free <= self.cycle {
+                    self.next_fu_free = self.fu.next_free_event(self.cycle).unwrap_or(u64::MAX);
+                }
+                next_event = next_event.min(self.next_fu_free);
+            }
+            if next_event != u64::MAX && next_event > self.cycle + 1 {
+                let skipped = next_event - self.cycle - 1;
+                if stalled {
+                    self.result.dispatch_stall_cycles += skipped;
+                }
+                self.cycle += skipped;
+            }
+        }
 
         self.cycle += 1;
     }
@@ -428,16 +981,35 @@ impl TraceSink for PipelineSim {
 /// A fan-out consumer: one functional run drives several machine
 /// configurations at once (the paper's way 1/2/4/8 sweep from a single
 /// instruction stream).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PipelineFanout {
     sims: Vec<PipelineSim>,
+    /// The shared rename stage: each entry is decoded once and the decoded
+    /// form is fed to every consumer.
+    renamer: Renamer,
+}
+
+impl Default for PipelineFanout {
+    fn default() -> Self {
+        PipelineFanout {
+            sims: Vec::new(),
+            renamer: Renamer::new(),
+        }
+    }
 }
 
 impl PipelineFanout {
-    /// Creates a fan-out over the given configurations, in order.
+    /// Creates a fan-out over the given configurations, in order.  Each
+    /// consumer's window and functional-unit tables are pre-sized from its
+    /// configuration ([`PipelineSim::new`]), so fanning out over a full
+    /// configuration grid allocates once up front.
     pub fn new<I: IntoIterator<Item = PipelineConfig>>(configs: I) -> Self {
+        let configs = configs.into_iter();
+        let mut sims = Vec::with_capacity(configs.size_hint().0);
+        sims.extend(configs.map(PipelineSim::new));
         PipelineFanout {
-            sims: configs.into_iter().map(PipelineSim::new).collect(),
+            sims,
+            renamer: Renamer::new(),
         }
     }
 
@@ -456,10 +1028,12 @@ impl PipelineFanout {
         self.sims.is_empty()
     }
 
-    /// Feeds one entry to every consumer.
+    /// Feeds one entry to every consumer, decoding (renaming and metadata
+    /// extraction) once for all of them.
     pub fn feed(&mut self, entry: TraceEntry) {
+        let decoded = self.renamer.decode(&entry);
         for sim in &mut self.sims {
-            sim.feed(entry);
+            sim.feed_decoded(&decoded);
         }
     }
 
@@ -518,6 +1092,7 @@ mod tests {
     use super::*;
     use crate::cache::HierarchyConfig;
     use crate::config::MemoryModel;
+    use crate::reference::ReferenceSim;
     use mom_arch::{MemAccess, TraceEntry};
     use mom_isa::prelude::*;
     use mom_isa::Instruction;
@@ -568,6 +1143,16 @@ mod tests {
         let trace: Trace = entries.into_iter().collect();
         let cfg = PipelineConfig::way_with_memory(width, MemoryModel::Fixed { latency });
         Pipeline::new(cfg).simulate(&trace)
+    }
+
+    /// Runs the same entries through the naive reference engine.
+    fn sim_reference(width: usize, latency: u64, entries: &[TraceEntry]) -> SimResult {
+        let cfg = PipelineConfig::way_with_memory(width, MemoryModel::Fixed { latency });
+        let mut sim = ReferenceSim::new(cfg);
+        for e in entries {
+            sim.feed(*e);
+        }
+        sim.finish()
     }
 
     fn store(rs: u8, base: u8) -> Instruction {
@@ -637,8 +1222,12 @@ mod tests {
         let mut sim = PipelineSim::new(PipelineConfig::way(4));
         for i in 0..1000u32 {
             sim.feed(entry(add((i % 16) as u8, 20, 21), 1));
-            assert!(sim.pending.len() < 4, "pending must stay bounded");
-            assert!(sim.window.len() <= sim.config.rob_size);
+            assert!(sim.pending_len() < 4, "pending must stay bounded");
+            assert!(sim.window_len() <= sim.config.rob_size);
+            assert!(
+                sim.store_queue.len() <= sim.window_len(),
+                "the store queue only holds window entries"
+            );
         }
         let r = sim.finish();
         assert_eq!(r.instructions, 1000);
@@ -981,6 +1570,128 @@ mod tests {
             unknown.cycles,
             known_disjoint.cycles
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Directed regressions for the store-address queue: the three memory
+    // ordering shapes must match the retained naive engine cycle-for-cycle
+    // (the queue is an indexing change, not a policy change).
+    // -----------------------------------------------------------------
+
+    /// The three-instruction shapes the store queue decides: a producing
+    /// load, a (possibly unknown-address) store depending on it, and a
+    /// younger independent load that may or may not conflict.
+    fn ordering_chain(store_mem: Option<MemAccess>, load_addr: u64) -> Vec<TraceEntry> {
+        vec![
+            entry_at(load(1, 10), 1, MemAccess::unit(0x500, 8, false)),
+            TraceEntry {
+                instr: store(1, 11),
+                vl: 1,
+                taken: false,
+                mem: store_mem,
+            },
+            entry_at(load(3, 12), 1, MemAccess::unit(load_addr, 8, false)),
+        ]
+    }
+
+    #[test]
+    fn store_queue_stalls_load_behind_unknown_address_store() {
+        let entries = ordering_chain(None, 0x200);
+        for (width, latency) in [(1, 50), (4, 50), (8, 12)] {
+            let optimized = sim_mem(width, latency, entries.clone());
+            let reference = sim_reference(width, latency, &entries);
+            assert_eq!(
+                optimized.cycles, reference.cycles,
+                "unknown-address stall, width {width}, latency {latency}"
+            );
+            assert!(
+                optimized.cycles > 2 * latency,
+                "the load must serialise behind the whole chain: {}",
+                optimized.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn store_queue_stalls_load_behind_overlapping_store() {
+        let entries = ordering_chain(Some(MemAccess::unit(0x100, 8, true)), 0x100);
+        for (width, latency) in [(1, 50), (4, 50), (8, 12)] {
+            let optimized = sim_mem(width, latency, entries.clone());
+            let reference = sim_reference(width, latency, &entries);
+            assert_eq!(
+                optimized.cycles, reference.cycles,
+                "overlapping stall, width {width}, latency {latency}"
+            );
+            assert!(
+                optimized.cycles > 2 * latency,
+                "the overlapping load must wait for the store: {}",
+                optimized.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn store_queue_passes_disjoint_load_through() {
+        let blocked = ordering_chain(Some(MemAccess::unit(0x100, 8, true)), 0x100);
+        let disjoint = ordering_chain(Some(MemAccess::unit(0x100, 8, true)), 0x200);
+        for (width, latency) in [(1, 50), (4, 50), (8, 12)] {
+            let optimized = sim_mem(width, latency, disjoint.clone());
+            let reference = sim_reference(width, latency, &disjoint);
+            assert_eq!(
+                optimized.cycles, reference.cycles,
+                "disjoint pass-through, width {width}, latency {latency}"
+            );
+            assert!(
+                optimized.cycles + latency / 2 <= sim_mem(width, latency, blocked.clone()).cycles,
+                "a provably disjoint load must issue around the store"
+            );
+        }
+    }
+
+    #[test]
+    fn store_queue_handles_interleaved_stores_and_loads() {
+        // Several in-flight stores at once, some overlapping the probing
+        // loads and some not, with an unknown-address store in the middle —
+        // exercised across every width against the reference engine.
+        let mut entries = Vec::new();
+        for i in 0..8u8 {
+            entries.push(entry_at(
+                load(1, 10),
+                1,
+                MemAccess::unit(0x1000 + i as u64 * 64, 8, false),
+            ));
+            entries.push(entry_at(
+                store(1, 11),
+                1,
+                MemAccess::unit(0x100 + i as u64 * 16, 8, true),
+            ));
+            if i % 3 == 2 {
+                entries.push(entry(store(1, 12), 1)); // unknown address
+            }
+            entries.push(entry_at(
+                load(3, 12),
+                1,
+                MemAccess::unit(
+                    if i % 2 == 0 {
+                        0x100 + i as u64 * 16
+                    } else {
+                        0x4000
+                    },
+                    8,
+                    false,
+                ),
+            ));
+        }
+        for width in [1, 2, 4, 8] {
+            let optimized = sim_mem(width, 50, entries.clone());
+            let reference = sim_reference(width, 50, &entries);
+            assert_eq!(optimized.cycles, reference.cycles, "width {width}");
+            assert_eq!(
+                optimized.dispatch_stall_cycles,
+                reference.dispatch_stall_cycles
+            );
+            assert_eq!(optimized.max_rob_occupancy, reference.max_rob_occupancy);
+        }
     }
 
     #[test]

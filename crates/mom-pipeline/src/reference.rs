@@ -1,0 +1,377 @@
+//! The naive out-of-order engine, retained as an executable specification.
+//!
+//! This is the original scan-based implementation of the timing model: every
+//! cycle it walks the whole reorder buffer looking for issuable entries,
+//! re-checks every producer of every candidate, scans **all** older window
+//! entries for conflicting stores (`O(window²)` per cycle) and linearly
+//! probes the functional-unit busy tables.  The optimised engine in
+//! [`crate::ooo`] replaces those scans with incremental state (wakeup lists,
+//! a store-address queue, per-class free-unit heaps and a ready queue) but
+//! must remain **cycle-for-cycle identical** to this one.
+//!
+//! The module exists so that equivalence is enforceable: the differential
+//! property test in `tests/differential.rs` and the directed store-queue
+//! regressions compare [`ReferenceSim`] against [`crate::PipelineSim`] on
+//! arbitrary traces, and `momsim bench` measures both to report the
+//! speed-up of the optimisation.  Keep this implementation simple and
+//! obviously correct; do not optimise it.
+
+use crate::cache::CacheSim;
+use crate::config::PipelineConfig;
+use crate::stats::SimResult;
+use mom_arch::{TraceEntry, TraceSink};
+use mom_isa::FuClass;
+use std::collections::VecDeque;
+
+/// Number of distinct register ids (see `mom_isa::Reg::id`).
+const REG_ID_SPACE: usize = 256;
+
+/// One instruction in flight (a reorder-buffer entry), or renamed and
+/// waiting to be dispatched.
+#[derive(Debug, Clone, Copy)]
+struct WindowEntry {
+    /// Dynamic sequence number (index in the stream).
+    seq: u64,
+    /// Functional-unit class.
+    fu: FuClass,
+    /// Cycles of functional-unit occupancy.
+    occupancy: u64,
+    /// Execution latency (result available `latency + occupancy - 1` cycles
+    /// after issue).
+    latency: u64,
+    /// Elementary operations performed (for the OPI statistics).
+    ops: u64,
+    /// Whether this is a multimedia instruction.
+    is_media: bool,
+    /// Whether this instruction accesses memory.
+    is_memory: bool,
+    /// Whether this instruction writes memory.
+    is_store: bool,
+    /// Conservative byte interval `[start, end)` the access covers, when the
+    /// trace carries address metadata.
+    mem_span: Option<(u64, u64)>,
+    /// Sequence numbers of the producing instructions of each source.
+    deps: [u64; 4],
+    /// Number of valid entries in `deps`.
+    dep_count: u8,
+    /// Whether the instruction has been issued.
+    issued: bool,
+    /// Cycle at which the result is available (valid once issued).
+    complete_cycle: u64,
+}
+
+/// The scan-based incremental timing consumer: same interface and same
+/// cycle-for-cycle behaviour as [`crate::PipelineSim`], quadratic per-cycle
+/// cost.  Use only as a correctness oracle or a benchmark baseline.
+#[derive(Debug, Clone)]
+pub struct ReferenceSim {
+    config: PipelineConfig,
+    dcache: Option<CacheSim>,
+    pending: VecDeque<WindowEntry>,
+    window: VecDeque<WindowEntry>,
+    /// Per-unit busy-until cycle, indexed by [`FuClass::ALL`] position.
+    fu_busy: Vec<Vec<u64>>,
+    last_writer: [Option<u64>; REG_ID_SPACE],
+    next_seq: u64,
+    next_dispatch: u64,
+    committed: u64,
+    cycle: u64,
+    result: SimResult,
+}
+
+impl ReferenceSim {
+    /// Creates a reference consumer for the given machine configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(config: PipelineConfig) -> Self {
+        config.validate().expect("invalid pipeline configuration");
+        let fu_busy = FuClass::ALL
+            .iter()
+            .map(|c| vec![0u64; config.pool(*c).count])
+            .collect();
+        ReferenceSim {
+            dcache: config.memory.hierarchy().copied().map(CacheSim::new),
+            pending: VecDeque::new(),
+            window: VecDeque::with_capacity(config.rob_size),
+            fu_busy,
+            last_writer: [None; REG_ID_SPACE],
+            next_seq: 0,
+            next_dispatch: 0,
+            committed: 0,
+            cycle: 0,
+            result: SimResult::default(),
+            config,
+        }
+    }
+
+    /// Creates a reference consumer that resumes on a warm data cache (the
+    /// phase boundary of a multi-kernel pipeline); see
+    /// [`crate::PipelineSim::resume`].
+    pub fn resume(config: PipelineConfig, dcache: Option<CacheSim>) -> Self {
+        let mut sim = ReferenceSim::new(config);
+        if let (Some(slot), Some(mut warm)) = (sim.dcache.as_mut(), dcache) {
+            debug_assert_eq!(
+                warm.config(),
+                slot.config(),
+                "resumed cache geometry must match the configuration"
+            );
+            warm.reset_stats();
+            *slot = warm;
+        }
+        sim
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Occupancy (in cycles) of one dynamic instruction on its functional
+    /// unit — see [`crate::PipelineSim`] for the cost model.
+    fn occupancy(&self, entry: &TraceEntry) -> u64 {
+        let vl = entry.vl.max(1) as u64;
+        match entry.instr.fu_class() {
+            FuClass::VecMem => {
+                let port_bytes = self.config.vec_mem_words as u64 * 8;
+                let bytes = entry.mem.map_or(vl * 8, |m| m.total_bytes());
+                bytes.div_ceil(port_bytes).max(1)
+            }
+            _ if entry.instr.is_vl_dependent() => vl.div_ceil(self.config.media_lanes as u64),
+            _ => 1,
+        }
+    }
+
+    /// Consumes the next retired instruction of the stream.
+    pub fn feed(&mut self, entry: TraceEntry) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let instr = &entry.instr;
+        let mut deps = [0u64; 4];
+        let mut dep_count = 0u8;
+        for reg in instr.sources().iter() {
+            if reg.is_zero() {
+                continue;
+            }
+            if let Some(w) = self.last_writer[reg.id()] {
+                debug_assert!(
+                    (dep_count as usize) < deps.len(),
+                    "more producers than dependence slots for {instr:?}"
+                );
+                if (dep_count as usize) < deps.len() {
+                    deps[dep_count as usize] = w;
+                    dep_count += 1;
+                }
+            }
+        }
+        for reg in instr.dests().iter() {
+            if !reg.is_zero() {
+                self.last_writer[reg.id()] = Some(seq);
+            }
+        }
+        let fu = instr.fu_class();
+        let latency = match (fu, &mut self.dcache) {
+            (FuClass::Mem | FuClass::VecMem, Some(cache)) => match entry.mem.as_ref() {
+                Some(access) => cache.access(access),
+                None => cache.hit_latency(),
+            },
+            _ => self.config.latency(fu),
+        };
+        self.pending.push_back(WindowEntry {
+            seq,
+            fu,
+            occupancy: self.occupancy(&entry),
+            latency,
+            ops: entry.ops(),
+            is_media: instr.is_media(),
+            is_memory: instr.is_memory(),
+            is_store: instr.is_store(),
+            mem_span: entry.mem.map(|m| m.span()),
+            deps,
+            dep_count,
+            issued: false,
+            complete_cycle: u64::MAX,
+        });
+        while self.pending.len() >= self.config.width {
+            self.step_cycle();
+        }
+    }
+
+    /// Runs the simulation to completion and returns the result.
+    pub fn finish(self) -> SimResult {
+        self.into_parts().0
+    }
+
+    /// Runs the simulation to completion and returns the result plus the
+    /// simulated data cache in its final (warm) state.
+    pub fn into_parts(mut self) -> (SimResult, Option<CacheSim>) {
+        while self.committed < self.next_seq {
+            self.step_cycle();
+        }
+        self.result.cycles = self.cycle;
+        if let Some(cache) = &self.dcache {
+            self.result.cache = cache.stats;
+        }
+        (self.result, self.dcache)
+    }
+
+    /// Simulates one cycle: commit, issue, dispatch.
+    fn step_cycle(&mut self) {
+        let cfg = &self.config;
+
+        // Commit: in order, up to `width` completed instructions.
+        let mut committed_this_cycle = 0;
+        while committed_this_cycle < cfg.width {
+            match self.window.front() {
+                Some(e) if e.issued && e.complete_cycle <= self.cycle => {
+                    self.result.instructions += 1;
+                    self.result.operations += e.ops;
+                    if e.is_media {
+                        self.result.media_instructions += 1;
+                    }
+                    if e.is_memory {
+                        self.result.memory_instructions += 1;
+                    }
+                    self.window.pop_front();
+                    self.committed += 1;
+                    committed_this_cycle += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // Issue: oldest-first, up to `width` ready instructions whose
+        // functional unit is free.
+        let front_seq = self
+            .window
+            .front()
+            .map(|e| e.seq)
+            .unwrap_or(self.next_dispatch);
+        let class_index = |c: FuClass| FuClass::ALL.iter().position(|x| *x == c).unwrap();
+        let mut issued_this_cycle = 0;
+        for i in 0..self.window.len() {
+            if issued_this_cycle >= cfg.width {
+                break;
+            }
+            if self.window[i].issued {
+                continue;
+            }
+            // Operand readiness: every producer must have completed.
+            let mut ready = true;
+            for d in 0..self.window[i].dep_count as usize {
+                let dep_seq = self.window[i].deps[d];
+                if dep_seq >= front_seq {
+                    let dep = &self.window[(dep_seq - front_seq) as usize];
+                    if !dep.issued || dep.complete_cycle > self.cycle {
+                        ready = false;
+                        break;
+                    }
+                }
+                // Producers older than the window head have committed and
+                // are therefore complete.
+            }
+            if !ready {
+                continue;
+            }
+            // Memory ordering: a load may not issue past an older store that
+            // has not yet written memory, unless both addresses are known
+            // and the byte ranges are disjoint.
+            if self.window[i].is_memory && !self.window[i].is_store {
+                let load_span = self.window[i].mem_span;
+                for j in 0..i {
+                    let store = &self.window[j];
+                    if !store.is_store || (store.issued && store.complete_cycle <= self.cycle) {
+                        continue;
+                    }
+                    let disjoint = matches!(
+                        (load_span, store.mem_span),
+                        (Some(a), Some(b)) if !mom_arch::spans_overlap(a, b)
+                    );
+                    if !disjoint {
+                        ready = false;
+                        break;
+                    }
+                }
+                if !ready {
+                    continue;
+                }
+            }
+            // Structural hazard: find a free unit of the class.
+            let fu = self.window[i].fu;
+            let pool = cfg.pool(fu);
+            let ci = class_index(fu);
+            let Some(unit) = self.fu_busy[ci].iter().position(|&b| b <= self.cycle) else {
+                continue;
+            };
+            // Issue.
+            let occupancy = self.window[i].occupancy;
+            let latency = self.window[i].latency;
+            let busy_for = if pool.pipelined {
+                occupancy
+            } else {
+                latency.max(occupancy)
+            };
+            self.fu_busy[ci][unit] = self.cycle + busy_for;
+            *self.result.fu_busy_cycles.entry(fu).or_insert(0) += busy_for;
+            let e = &mut self.window[i];
+            e.issued = true;
+            e.complete_cycle = self.cycle + latency + occupancy - 1;
+            issued_this_cycle += 1;
+        }
+
+        // Dispatch: in order, up to `width` renamed instructions into the
+        // reorder buffer.
+        let mut dispatched_this_cycle = 0;
+        let mut stalled = false;
+        while dispatched_this_cycle < cfg.width && !self.pending.is_empty() {
+            if self.window.len() >= cfg.rob_size {
+                stalled = true;
+                break;
+            }
+            let e = self.pending.pop_front().expect("pending is non-empty");
+            self.window.push_back(e);
+            self.next_dispatch += 1;
+            dispatched_this_cycle += 1;
+        }
+        if stalled {
+            self.result.dispatch_stall_cycles += 1;
+        }
+        self.result.max_rob_occupancy = self.result.max_rob_occupancy.max(self.window.len());
+
+        self.cycle += 1;
+    }
+}
+
+impl TraceSink for ReferenceSim {
+    fn retire(&mut self, entry: TraceEntry) {
+        self.feed(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom_isa::prelude::*;
+    use mom_isa::Instruction;
+
+    #[test]
+    fn reference_engine_still_simulates() {
+        let mut sim = ReferenceSim::new(PipelineConfig::way(4));
+        for i in 0..100u8 {
+            sim.feed(TraceEntry {
+                instr: Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: i % 8,
+                    ra: 20,
+                    rb: 21,
+                },
+                vl: 1,
+                taken: false,
+                mem: None,
+            });
+        }
+        let r = sim.finish();
+        assert_eq!(r.instructions, 100);
+        assert!(r.cycles >= 25, "width 4 lower bound");
+    }
+}

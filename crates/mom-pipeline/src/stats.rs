@@ -6,7 +6,7 @@ use mom_isa::FuClass;
 use std::collections::HashMap;
 
 /// The outcome of one timing simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimResult {
     /// Total cycles from the first fetch to the last commit.
     pub cycles: u64,

@@ -61,8 +61,8 @@ pub mod prelude {
     pub use mom_bench::{ExperimentSpec, GridResult, Report};
     pub use mom_isa::prelude::*;
     pub use mom_kernels::{
-        run_kernel, run_kernel_with_sink, run_phase_with_sink, verify_kernel, KernelError,
-        KernelId, KernelRun, Mismatch,
+        run_kernel, run_kernel_with_sink, run_phase_with_sink, shared_kernel_run, verify_kernel,
+        KernelError, KernelId, KernelRun, Mismatch,
     };
     pub use mom_pipeline::{
         CacheConfig, CacheStats, HierarchyConfig, MemoryModel, Pipeline, PipelineConfig,
