@@ -34,11 +34,33 @@ use mom_isa::Instruction;
 pub trait TraceSink {
     /// Consumes the next retired instruction of the stream.
     fn retire(&mut self, entry: TraceEntry);
+
+    /// Consumes a contiguous run of retired instructions.
+    ///
+    /// Semantically identical to calling [`TraceSink::retire`] once per
+    /// entry in order — which is what the default implementation does.
+    /// Batch-oriented consumers override it to process the run at a
+    /// coarser grain: the timing fan-out sweeps its shared decoded batch
+    /// through every machine configuration per run instead of per entry,
+    /// and a sampled simulator fast-forwards a whole run through the
+    /// cache model in one tight loop instead of re-entering its interval
+    /// state machine per entry.  [`Trace::replay_into`] feeds sinks
+    /// through this hook, so a memoised single-invocation trace hands the
+    /// sink each replication as one slice.
+    fn retire_many(&mut self, entries: &[TraceEntry]) {
+        for entry in entries {
+            self.retire(*entry);
+        }
+    }
 }
 
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     fn retire(&mut self, entry: TraceEntry) {
         (**self).retire(entry);
+    }
+
+    fn retire_many(&mut self, entries: &[TraceEntry]) {
+        (**self).retire_many(entries);
     }
 }
 
@@ -46,6 +68,11 @@ impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
     fn retire(&mut self, entry: TraceEntry) {
         self.0.retire(entry);
         self.1.retire(entry);
+    }
+
+    fn retire_many(&mut self, entries: &[TraceEntry]) {
+        self.0.retire_many(entries);
+        self.1.retire_many(entries);
     }
 }
 
@@ -55,6 +82,12 @@ impl<A: TraceSink, B: TraceSink, C: TraceSink> TraceSink for (A, B, C) {
         self.1.retire(entry);
         self.2.retire(entry);
     }
+
+    fn retire_many(&mut self, entries: &[TraceEntry]) {
+        self.0.retire_many(entries);
+        self.1.retire_many(entries);
+        self.2.retire_many(entries);
+    }
 }
 
 impl<S: TraceSink> TraceSink for [S] {
@@ -63,11 +96,21 @@ impl<S: TraceSink> TraceSink for [S] {
             sink.retire(entry);
         }
     }
+
+    fn retire_many(&mut self, entries: &[TraceEntry]) {
+        for sink in self.iter_mut() {
+            sink.retire_many(entries);
+        }
+    }
 }
 
 impl<S: TraceSink> TraceSink for Vec<S> {
     fn retire(&mut self, entry: TraceEntry) {
         self.as_mut_slice().retire(entry);
+    }
+
+    fn retire_many(&mut self, entries: &[TraceEntry]) {
+        self.as_mut_slice().retire_many(entries);
     }
 }
 
@@ -250,11 +293,15 @@ impl Trace {
     /// retirement, and the trace itself is never re-collected or cloned —
     /// this is how a memoised single-invocation trace stands in for a long
     /// steady-state stream at zero materialisation cost.
+    ///
+    /// Each replication is handed to the sink as one slice through
+    /// [`TraceSink::retire_many`], so batch-oriented sinks (the timing
+    /// fan-out, the sampled simulator's fast-forward) process it at run
+    /// granularity; for everything else the default method degrades to
+    /// the per-entry loop.
     pub fn replay_into<S: TraceSink + ?Sized>(&self, times: usize, sink: &mut S) {
         for _ in 0..times {
-            for entry in &self.entries {
-                sink.retire(*entry);
-            }
+            sink.retire_many(&self.entries);
         }
     }
 

@@ -9,7 +9,12 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mom_bench::perf::ENGINE_WORKLOADS;
 use mom_bench::{steady_state_trace, EXPERIMENT_SEED};
-use mom_pipeline::{PipelineConfig, PipelineSim, ReferenceSim};
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::{
+    MemoryModel, PipelineConfig, PipelineFanout, PipelineSim, ReferenceSim, SampledSim,
+    SamplingConfig,
+};
 use std::hint::black_box;
 
 fn bench_engines(c: &mut Criterion) {
@@ -42,5 +47,76 @@ fn bench_engines(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_engines);
+/// The lockstep-batched fan-out (one shared decode swept by every
+/// consumer) against the same sweep run as independent per-configuration
+/// sims — the speedup `momsim sweep` gets from batching.
+fn bench_fanout(c: &mut Criterion) {
+    let (trace, _) = steady_state_trace(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED)
+        .expect("pinned workload must build");
+    let configs: Vec<PipelineConfig> = [1usize, 2, 4, 8]
+        .iter()
+        .flat_map(|&w| {
+            [MemoryModel::PERFECT, MemoryModel::CACHE]
+                .into_iter()
+                .map(move |m| PipelineConfig::way_with_memory(w, m))
+        })
+        .collect();
+    let mut group = c.benchmark_group("fanout/motion1-mom-8cfg");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        trace.len() as u64 * configs.len() as u64,
+    ));
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut fanout = PipelineFanout::new(configs.iter().cloned());
+            trace.replay_into(1, &mut fanout);
+            black_box(fanout.finish())
+        })
+    });
+    group.bench_function("per-sim", |b| {
+        b.iter(|| {
+            let results: Vec<_> = configs
+                .iter()
+                .map(|config| {
+                    let mut sim = PipelineSim::new(config.clone());
+                    trace.replay_into(1, &mut sim);
+                    sim.finish()
+                })
+                .collect();
+            black_box(results)
+        })
+    });
+    group.finish();
+}
+
+/// Sampled timing (invocation-aligned default schedule) against the full
+/// engine on one steady-state stream — the opt-in `--sampled` speedup.
+fn bench_sampled(c: &mut Criterion) {
+    let (trace, invocations) =
+        steady_state_trace(KernelId::Motion2, IsaKind::Mdmx, EXPERIMENT_SEED)
+            .expect("pinned workload must build");
+    let invocation_len = (trace.len() / invocations) as u64;
+    let sampling = SamplingConfig::DEFAULT.aligned_to(invocation_len);
+    let config = PipelineConfig::way_with_memory(8, MemoryModel::CACHE);
+    let mut group = c.benchmark_group("sampled/motion2-mdmx-8w");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            let mut sim = PipelineSim::new(config.clone());
+            trace.replay_into(1, &mut sim);
+            black_box(sim.finish())
+        })
+    });
+    group.bench_function("sampled", |b| {
+        b.iter(|| {
+            let mut sim = SampledSim::new(config.clone(), sampling);
+            trace.replay_into(1, &mut (&mut sim));
+            black_box(sim.finish())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_fanout, bench_sampled);
 criterion_main!(benches);

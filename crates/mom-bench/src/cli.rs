@@ -23,7 +23,7 @@ use crate::spec::{find_experiment, registry, ExperimentError, ExperimentSpec};
 use crate::{full_sweep, Report};
 use mom_isa::IsaKind;
 use mom_kernels::KernelId;
-use mom_pipeline::{MemoryModel, PipelineConfig};
+use mom_pipeline::{MemoryModel, PipelineConfig, SamplingConfig};
 use std::path::{Path, PathBuf};
 
 /// A command-line failure: bad usage, a failed experiment run, or an I/O
@@ -257,16 +257,22 @@ USAGE:
         --lanes N,N,..         multimedia lane counts (default: width-derived)
         --replication N        min dynamic instructions (default: 4000)
         --seed N               workload seed (default: 23705)
+        --sampled [D:F:W]      estimate timing by systematic sampling
+                               (D detailed, F fast-forward, W warm-up
+                               instructions per interval; default 200:671:150)
+                               instead of simulating every instruction
   momsim sweep [--out-dir DIR]
       Regenerate the full registered-experiment set: BENCH_fig4.json,
       BENCH_fig5.json, BENCH_tables.json, BENCH_apps.json and
       BENCH_ablations.json, with every kernel executed functionally exactly
       once (shared trace cache).
   momsim bench [--quick] [--json PATH] [--check PATH]
-      Measure engine throughput (optimized vs the retained naive reference)
-      and the wall time of the full registered-experiment set; optionally
-      write BENCH_perf.json or verify a committed one's structure
-      (--check ignores machine-dependent timings).
+      Measure engine throughput (optimized vs the retained naive reference),
+      the wall time of the full registered-experiment set, and the sampled
+      vs full grid comparison; optionally write BENCH_perf.json or verify a
+      committed one (--check verifies the deterministic structure exactly
+      and fails on engine speed-up regressions beyond the slack thresholds;
+      raw wall times are ignored).
 ";
 
 fn list() {
@@ -346,12 +352,13 @@ struct GridArgs {
     lanes: Option<Vec<usize>>,
     replication: Option<usize>,
     seed: Option<u64>,
+    sampled: Option<SamplingConfig>,
     json: Option<PathBuf>,
 }
 
 fn parse_grid_args(args: &[String]) -> Result<GridArgs, CliError> {
     let mut parsed = GridArgs::default();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -394,6 +401,19 @@ fn parse_grid_args(args: &[String]) -> Result<GridArgs, CliError> {
                 )
             }
             "--json" => parsed.json = Some(PathBuf::from(value()?)),
+            "--sampled" => {
+                // The schedule operand is optional: `--sampled` alone uses
+                // the default, `--sampled 200:671:150` overrides it.
+                let schedule = match it.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        v.parse()
+                            .map_err(|e| CliError::Usage(format!("--sampled: {e}")))?
+                    }
+                    _ => SamplingConfig::DEFAULT,
+                };
+                parsed.sampled = Some(schedule);
+            }
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown argument {other} (see `momsim help`)"
@@ -421,6 +441,7 @@ fn grid_spec(args: &GridArgs) -> Result<ExperimentSpec, CliError> {
     if let Some(seed) = args.seed {
         spec.seed = seed;
     }
+    spec.sampling = args.sampled;
     let optional = |values: &Option<Vec<usize>>| -> Vec<Option<usize>> {
         match values {
             Some(values) => values.iter().copied().map(Some).collect(),
@@ -496,7 +517,16 @@ fn run_bench(args: BenchArgs) -> Result<(), CliError> {
                 path.display()
             ))
         })?;
-        println!("{}: structure is fresh", path.display());
+        crate::perf::check_performance(&committed, &report).map_err(|detail| {
+            CliError::Io(format!(
+                "performance regression against {}: {detail}",
+                path.display()
+            ))
+        })?;
+        println!(
+            "{}: structure is fresh, no performance regression",
+            path.display()
+        );
     }
     Ok(())
 }
@@ -627,6 +657,29 @@ mod tests {
         assert_eq!(robs, vec![16, 16, 32, 32]);
         let lanes: Vec<usize> = spec.configs.iter().map(|c| c.media_lanes).collect();
         assert_eq!(lanes, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn sampled_flag_takes_an_optional_schedule() {
+        let parsed = parse_grid_args(&strs(&["--sampled", "--widths", "2"])).unwrap();
+        assert_eq!(parsed.sampled, Some(SamplingConfig::DEFAULT));
+        let spec = grid_spec(&parsed).unwrap();
+        assert_eq!(spec.sampling, Some(SamplingConfig::DEFAULT));
+
+        let parsed = parse_grid_args(&strs(&["--sampled", "100:900:20"])).unwrap();
+        assert_eq!(
+            parsed.sampled,
+            Some(SamplingConfig {
+                detailed: 100,
+                fastforward: 900,
+                warmup: 20,
+            })
+        );
+
+        let err = parse_grid_args(&strs(&["--sampled", "nonsense"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+
+        assert_eq!(parse_grid_args(&strs(&[])).unwrap().sampled, None);
     }
 
     #[test]

@@ -56,7 +56,9 @@ use json::Json;
 use mom_arch::TraceStats;
 use mom_isa::IsaKind;
 use mom_kernels::{shared_kernel_run, KernelError, KernelId};
-use mom_pipeline::{MemoryModel, PipelineConfig, PipelineFanout, SimResult};
+use mom_pipeline::{
+    MemoryModel, PipelineConfig, PipelineFanout, SampledFanout, SamplingConfig, SimResult,
+};
 
 /// Seed used by every experiment (the workloads are deterministic).
 pub const EXPERIMENT_SEED: u64 = 0x5C99;
@@ -65,6 +67,12 @@ pub const EXPERIMENT_SEED: u64 = 0x5C99;
 /// invocation is replicated until the stream is at least this long,
 /// mirroring the paper's "simulated a certain number of times in a loop".
 pub const STEADY_STATE_INSTRUCTIONS: usize = 4000;
+
+/// Minimum number of complete measurement intervals a stream must be
+/// able to hold before [`simulate_configs_sampled`] actually
+/// fast-forwards; shorter streams (a few long invocations) run fully
+/// detailed and report exact timing.
+pub const MIN_SAMPLED_INTERVALS: u64 = 3;
 
 /// Number of invocations needed for a kernel whose single invocation
 /// retires `instructions_per_invocation` instructions to produce a stream
@@ -177,6 +185,75 @@ pub fn simulate_configs_replicated(
 
     let mut stats = TraceStats::default();
     let mut fanout = PipelineFanout::new(configs.iter().cloned());
+    let mut sinks = (&mut stats, &mut fanout);
+    run.trace.replay_into(invocations, &mut sinks);
+
+    let results = fanout.finish();
+    Ok(results
+        .into_iter()
+        .zip(configs)
+        .map(|(result, config)| ExperimentPoint {
+            kernel,
+            isa,
+            width: config.width,
+            mem_latency: config.memory.base_latency(),
+            memory: config.memory.label(),
+            invocations,
+            result,
+            stats,
+        })
+        .collect())
+}
+
+/// [`simulate_configs_replicated`] with **systematic sampling**: the stream
+/// is timed by a [`SampledFanout`] that simulates detailed intervals and
+/// fast-forwards (cache model only) between them, so each point's
+/// [`SimResult`] carries an extrapolated cycle count and a confidence
+/// interval in [`SimResult::sampled`] instead of an exact timing.
+///
+/// Architectural counters (instructions, operations, cache hit/miss) stay
+/// exact; all consumers share the schedule, so the per-configuration
+/// estimates cover the same stream positions and remain directly
+/// comparable.
+///
+/// The requested schedule is [aligned](SamplingConfig::aligned_to) to the
+/// kernel's invocation length, and a stream too short to hold
+/// [`MIN_SAMPLED_INTERVALS`] measurement intervals is run fully detailed
+/// instead (its points then report the exact cycle count with a
+/// zero-width interval): a couple of long invocations have nothing worth
+/// skipping, and extrapolating from a single measurement dominated by the
+/// cold-start head of the stream is exactly the bias sampling must avoid.
+pub fn simulate_configs_sampled(
+    kernel: KernelId,
+    isa: IsaKind,
+    configs: &[PipelineConfig],
+    seed: u64,
+    replication: usize,
+    sampling: SamplingConfig,
+) -> Result<Vec<ExperimentPoint>, KernelError> {
+    let run = shared_kernel_run(kernel, isa, seed)?;
+    let invocations = invocations_for(replication, run.trace.len());
+    // Align the schedule to whole invocations: the stream is one kernel
+    // invocation replayed, and invocation-aligned intervals measure whole
+    // loop iterations at a fixed phase instead of aliasing against it.
+    let entries = run.trace.len() as u64;
+    let total = entries * invocations as u64;
+    let mut sampling = sampling.aligned_to(entries);
+    // Completing k measurement intervals takes (k - 1) periods plus one
+    // final warm-up + detailed span; streams that cannot hold
+    // MIN_SAMPLED_INTERVALS of them run fully detailed instead.
+    let min_stream =
+        (MIN_SAMPLED_INTERVALS - 1) * sampling.period() + sampling.warmup + sampling.detailed;
+    if total < min_stream {
+        sampling = SamplingConfig {
+            detailed: total,
+            fastforward: sampling.fastforward,
+            warmup: 0,
+        };
+    }
+
+    let mut stats = TraceStats::default();
+    let mut fanout = SampledFanout::new(configs.iter().cloned(), sampling);
     let mut sinks = (&mut stats, &mut fanout);
     run.trace.replay_into(invocations, &mut sinks);
 
@@ -870,23 +947,32 @@ pub fn ablation_json(points: &[AblationPoint]) -> Json {
 /// Formats a raw measured grid (ad-hoc `momsim run` sweeps) as an aligned
 /// text table.
 pub fn format_grid(grid: &GridResult) -> String {
+    let sampled = grid.spec.sampling;
     let mut out = String::new();
     out.push_str(&format!(
-        "Experiment grid: {} kernels x {} ISAs x {} configs (seed {:#x}, replication {})\n",
+        "Experiment grid: {} kernels x {} ISAs x {} configs (seed {:#x}, replication {}{})\n",
         grid.spec.kernels.len(),
         grid.spec.isas.len(),
         grid.spec.configs.len(),
         grid.spec.seed,
-        grid.spec.replication
+        grid.spec.replication,
+        match sampled {
+            Some(schedule) => format!(", sampled {schedule}"),
+            None => String::new(),
+        }
     ));
     out.push_str(&format!(
-        "{:<10} {:>6} {:>6} {:>5} {:>6} {:>7} {:>12} {:>7} {:>7} {:>8}\n",
+        "{:<10} {:>6} {:>6} {:>5} {:>6} {:>7} {:>12} {:>7} {:>7} {:>8}",
         "kernel", "isa", "width", "rob", "lanes", "memory", "cyc/invoc", "IPC", "OPI", "L1-MPKI"
     ));
+    if sampled.is_some() {
+        out.push_str(&format!(" {:>7}", "ci95"));
+    }
+    out.push('\n');
     for (index, p) in grid.points.iter().enumerate() {
         let config = &grid.spec.configs[index % grid.spec.configs.len()];
         out.push_str(&format!(
-            "{:<10} {:>6} {:>6} {:>5} {:>6} {:>7} {:>12.1} {:>7.2} {:>7.2} {:>8.2}\n",
+            "{:<10} {:>6} {:>6} {:>5} {:>6} {:>7} {:>12.1} {:>7.2} {:>7.2} {:>8.2}",
             p.kernel.name(),
             p.isa.name(),
             config.width,
@@ -898,6 +984,13 @@ pub fn format_grid(grid: &GridResult) -> String {
             p.result.opi(),
             p.result.l1_mpki()
         ));
+        if let Some(estimate) = &p.result.sampled {
+            out.push_str(&format!(
+                " {:>6.1}%",
+                estimate.relative_half_width(p.result.cycles) * 100.0
+            ));
+        }
+        out.push('\n');
     }
     out
 }
@@ -906,7 +999,7 @@ pub fn format_grid(grid: &GridResult) -> String {
 /// included.
 pub fn grid_json(grid: &GridResult) -> Json {
     let spec = &grid.spec;
-    let doc = vec![
+    let mut doc = vec![
         ("schema", Json::int(1)),
         ("experiment", Json::str("grid")),
         // As a hex string (matching the text header): the seed is a full
@@ -945,7 +1038,7 @@ pub fn grid_json(grid: &GridResult) -> Json {
                     .iter()
                     .enumerate()
                     .map(|(index, p)| {
-                        Json::obj([
+                        let mut fields = vec![
                             ("kernel", Json::str(p.kernel.name())),
                             ("isa", Json::str(p.isa.name())),
                             ("config", Json::int((index % spec.configs.len()) as i64)),
@@ -962,12 +1055,36 @@ pub fn grid_json(grid: &GridResult) -> Json {
                             ("opi", Json::Num(p.result.opi())),
                             ("l1_mpki", Json::Num(p.result.l1_mpki())),
                             ("l2_mpki", Json::Num(p.result.l2_mpki())),
-                        ])
+                        ];
+                        if let Some(estimate) = &p.result.sampled {
+                            fields.push((
+                                "sampled",
+                                Json::obj([
+                                    ("intervals", Json::int(estimate.intervals as i64)),
+                                    (
+                                        "detailed_instructions",
+                                        Json::int(estimate.detailed_instructions as i64),
+                                    ),
+                                    ("cpi_mean", Json::Num(estimate.cpi_mean)),
+                                    ("cpi_stddev", Json::Num(estimate.cpi_stddev)),
+                                    ("half_width_cycles", Json::Num(estimate.half_width_cycles)),
+                                    (
+                                        "relative_half_width",
+                                        Json::Num(estimate.relative_half_width(p.result.cycles)),
+                                    ),
+                                ]),
+                            ));
+                        }
+                        Json::obj(fields)
                     })
                     .collect(),
             ),
         ),
     ];
+    if let Some(schedule) = spec.sampling {
+        // After the replication axis it qualifies.
+        doc.insert(4, ("sampling", Json::str(schedule.to_string())));
+    }
     Json::obj(doc)
 }
 

@@ -17,12 +17,12 @@
 
 use crate::sweep::parallel_map;
 use crate::{
-    simulate_configs_replicated, ExperimentPoint, Report, EXPERIMENT_SEED, FIG4_WIDTHS,
-    STEADY_STATE_INSTRUCTIONS,
+    simulate_configs_replicated, simulate_configs_sampled, ExperimentPoint, Report,
+    EXPERIMENT_SEED, FIG4_WIDTHS, STEADY_STATE_INSTRUCTIONS,
 };
 use mom_isa::IsaKind;
 use mom_kernels::{KernelError, KernelId};
-use mom_pipeline::{MemoryModel, PipelineConfig};
+use mom_pipeline::{MemoryModel, PipelineConfig, SamplingConfig};
 
 /// A declarative experiment: the grid of scenarios to measure.
 ///
@@ -62,6 +62,14 @@ pub struct ExperimentSpec {
     pub replication: usize,
     /// Seed for the deterministic synthetic workloads.
     pub seed: u64,
+    /// When set, the grid is timed by **systematic sampling**
+    /// ([`mom_pipeline::sample`]): detailed intervals in the timing engine
+    /// with cache-warming fast-forward between them, an extrapolated cycle
+    /// count, and a confidence interval in every point's
+    /// [`mom_pipeline::SimResult::sampled`].  `None` (the default, and the
+    /// setting of every registered experiment) is exact full-fidelity
+    /// timing.
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl Default for ExperimentSpec {
@@ -74,6 +82,7 @@ impl Default for ExperimentSpec {
             configs: vec![PipelineConfig::default()],
             replication: STEADY_STATE_INSTRUCTIONS,
             seed: EXPERIMENT_SEED,
+            sampling: None,
         }
     }
 }
@@ -114,6 +123,9 @@ impl ExperimentSpec {
         for (i, config) in self.configs.iter().enumerate() {
             config.validate().map_err(|e| format!("config {i}: {e}"))?;
         }
+        if let Some(sampling) = &self.sampling {
+            sampling.validate()?;
+        }
         Ok(())
     }
 
@@ -128,8 +140,18 @@ impl ExperimentSpec {
             .iter()
             .flat_map(|&k| self.isas.iter().map(move |&i| (k, i)))
             .collect();
-        let measured = parallel_map(pairs, |(kernel, isa)| {
-            simulate_configs_replicated(kernel, isa, &self.configs, self.seed, self.replication)
+        let measured = parallel_map(pairs, |(kernel, isa)| match self.sampling {
+            Some(sampling) => simulate_configs_sampled(
+                kernel,
+                isa,
+                &self.configs,
+                self.seed,
+                self.replication,
+                sampling,
+            ),
+            None => {
+                simulate_configs_replicated(kernel, isa, &self.configs, self.seed, self.replication)
+            }
         });
         let mut points = Vec::with_capacity(self.points());
         for pair_points in measured {
@@ -509,6 +531,34 @@ mod tests {
             ..ExperimentSpec::default()
         };
         assert!(matches!(invalid.run(), Err(ExperimentError::Spec(_))));
+    }
+
+    #[test]
+    fn sampled_grid_carries_estimates_and_validates_schedule() {
+        let spec = ExperimentSpec {
+            kernels: vec![KernelId::AddBlock],
+            isas: vec![IsaKind::Mom],
+            configs: vec![PipelineConfig::way(2), PipelineConfig::way(4)],
+            sampling: Some(SamplingConfig::DEFAULT),
+            ..ExperimentSpec::default()
+        };
+        let grid = spec.run().unwrap();
+        assert_eq!(grid.points.len(), 2);
+        for point in &grid.points {
+            assert!(
+                point.result.sampled.is_some(),
+                "sampled grids must report the estimate"
+            );
+            assert!(point.result.cycles > 0);
+        }
+        let bad = ExperimentSpec {
+            sampling: Some(SamplingConfig {
+                fastforward: 0,
+                ..SamplingConfig::DEFAULT
+            }),
+            ..ExperimentSpec::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Error-bound test of the systematic-sampling estimator: for **every**
+//! registered grid experiment, a sampled run must
+//!
+//! * report a confidence interval that covers the exact (full-fidelity)
+//!   cycle count on every point,
+//! * keep the interval usefully tight,
+//! * and reproduce the architectural counters (instructions, operations,
+//!   media/memory mix, cache hit/miss) **exactly** — sampling only ever
+//!   estimates timing.
+//!
+//! This is the repo's contract that `--sampled` results are trustworthy on
+//! the actual paper workloads, not just on synthetic streams.
+
+use mom_bench::{registry, ExperimentSpec};
+use mom_pipeline::SamplingConfig;
+
+/// Worst acceptable relative confidence-interval half-width: wider than
+/// this and the estimate is too vague to rank configurations with.
+const MAX_RELATIVE_HALF_WIDTH: f64 = 0.25;
+
+#[test]
+fn sampled_estimates_cover_the_exact_cycles_on_every_registered_experiment() {
+    let mut grids = 0;
+    for experiment in registry() {
+        let Some(spec) = experiment.spec() else {
+            continue; // scenario experiments (app-speedups) have no grid
+        };
+        grids += 1;
+        let sampled_spec = ExperimentSpec {
+            sampling: Some(SamplingConfig::DEFAULT),
+            ..spec.clone()
+        };
+        let full = spec.run().expect("full grid runs");
+        let sampled = sampled_spec.run().expect("sampled grid runs");
+        assert_eq!(
+            full.points.len(),
+            sampled.points.len(),
+            "{}",
+            experiment.name
+        );
+
+        for (exact, estimated) in full.points.iter().zip(&sampled.points) {
+            let what = format!(
+                "{}: {}/{} width {} memory {}",
+                experiment.name,
+                exact.kernel.name(),
+                exact.isa.name(),
+                exact.width,
+                exact.memory
+            );
+            let er = &estimated.result;
+            let fr = &exact.result;
+            // Architectural counters are exact.
+            assert_eq!(er.instructions, fr.instructions, "{what}: instructions");
+            assert_eq!(er.operations, fr.operations, "{what}: operations");
+            assert_eq!(
+                er.media_instructions, fr.media_instructions,
+                "{what}: media instructions"
+            );
+            assert_eq!(
+                er.memory_instructions, fr.memory_instructions,
+                "{what}: memory instructions"
+            );
+            assert_eq!(er.cache, fr.cache, "{what}: cache counters");
+            // Timing is an estimate with a test-pinned error bound.
+            let estimate = er
+                .sampled
+                .as_ref()
+                .unwrap_or_else(|| panic!("{what}: sampled point without estimate"));
+            assert!(
+                estimate.covers(er.cycles, fr.cycles),
+                "{what}: estimate {} \u{b1} {:.0} does not cover exact {}",
+                er.cycles,
+                estimate.half_width_cycles,
+                fr.cycles
+            );
+            let relative = estimate.relative_half_width(er.cycles);
+            assert!(
+                relative <= MAX_RELATIVE_HALF_WIDTH,
+                "{what}: interval \u{b1}{:.1}% is too wide to be useful",
+                relative * 100.0
+            );
+        }
+    }
+    assert!(grids >= 5, "all five registered grids were checked");
+}

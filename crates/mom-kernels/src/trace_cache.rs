@@ -16,28 +16,30 @@
 //! re-executing the functional simulator.
 //!
 //! The cache is thread safe and contention free in the steady state: the
-//! outer map is locked only to look up or insert a per-key slot, and the
+//! outer map is a [`RwLock`] — steady-state lookups of already-inserted
+//! slots take the **read** lock and run fully in parallel; the write lock
+//! is taken only to insert a slot the read path did not find.  The
 //! (potentially slow) functional run happens inside the slot's
-//! [`OnceLock`], so concurrent sweep workers filling *different* keys never
-//! serialise each other, while two workers racing on the *same* key run the
-//! kernel exactly once.
+//! [`OnceLock`], outside either lock, so concurrent sweep workers filling
+//! *different* keys never serialise each other, while two workers racing on
+//! the *same* key run the kernel exactly once.
 
 use crate::harness::{run_kernel, KernelError, KernelRun};
 use crate::KernelId;
 use mom_isa::IsaKind;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A memoised functional run: one verified invocation.
 type Slot = Arc<OnceLock<Result<Arc<KernelRun>, KernelError>>>;
 
 /// The cache table type: per-(kernel, ISA, seed) fill-once slots.
-type Table = Mutex<HashMap<(KernelId, IsaKind, u64), Slot>>;
+type Table = RwLock<HashMap<(KernelId, IsaKind, u64), Slot>>;
 
 /// The process-wide cache table.
 fn table() -> &'static Table {
     static TABLE: OnceLock<Table> = OnceLock::new();
-    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+    TABLE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 /// Returns the verified single-invocation [`KernelRun`] of
@@ -54,9 +56,19 @@ pub fn shared_kernel_run(
     isa: IsaKind,
     seed: u64,
 ) -> Result<Arc<KernelRun>, KernelError> {
-    let slot = {
-        let mut table = table().lock().expect("trace-cache table poisoned");
-        table.entry((kernel, isa, seed)).or_default().clone()
+    let key = (kernel, isa, seed);
+    // Steady-state fast path: a shared read lock, taken and released before
+    // any (slow) kernel execution.
+    let found = {
+        let table = table().read().expect("trace-cache table poisoned");
+        table.get(&key).cloned()
+    };
+    let slot = match found {
+        Some(slot) => slot,
+        None => {
+            let mut table = table().write().expect("trace-cache table poisoned");
+            table.entry(key).or_default().clone()
+        }
     };
     slot.get_or_init(|| run_kernel(kernel, isa, seed, 1).map(Arc::new))
         .clone()
@@ -67,7 +79,7 @@ pub fn shared_kernel_run(
 /// to report cache effectiveness.
 pub fn cached_runs() -> usize {
     table()
-        .lock()
+        .read()
         .expect("trace-cache table poisoned")
         .values()
         .filter(|slot| slot.get().is_some())
@@ -123,6 +135,51 @@ mod tests {
                 Arc::ptr_eq(&runs[0], run),
                 "all threads must share one memoised run"
             );
+        }
+    }
+
+    #[test]
+    fn concurrent_fills_of_distinct_keys_interleave_with_read_lookups() {
+        // Writers fill distinct seeds while readers hammer a key that is
+        // already resolved: the read path must keep returning the same
+        // memoised allocation throughout, and every writer's fill must land.
+        let hot_seed = 0x9000;
+        let hot = shared_kernel_run(KernelId::AddBlock, IsaKind::Mmx, hot_seed).unwrap();
+        let fills = 6;
+        std::thread::scope(|scope| {
+            let writers: Vec<_> = (0..fills)
+                .map(|i| {
+                    scope.spawn(move || {
+                        shared_kernel_run(KernelId::AddBlock, IsaKind::Mmx, hot_seed + 1 + i)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let hot = &hot;
+                    scope.spawn(move || {
+                        for _ in 0..50 {
+                            let again =
+                                shared_kernel_run(KernelId::AddBlock, IsaKind::Mmx, hot_seed)
+                                    .unwrap();
+                            assert!(Arc::ptr_eq(hot, &again));
+                        }
+                    })
+                })
+                .collect();
+            for w in writers {
+                assert_eq!(w.join().unwrap().invocations, 1);
+            }
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+        // Every distinct key resolved exactly once and stayed cached.
+        for i in 0..fills {
+            let a = shared_kernel_run(KernelId::AddBlock, IsaKind::Mmx, hot_seed + 1 + i).unwrap();
+            let b = shared_kernel_run(KernelId::AddBlock, IsaKind::Mmx, hot_seed + 1 + i).unwrap();
+            assert!(Arc::ptr_eq(&a, &b));
         }
     }
 }

@@ -108,6 +108,16 @@ impl CacheStats {
     pub fn l1_accesses(&self) -> u64 {
         self.l1_hits + self.l1_misses
     }
+
+    /// Adds another counter set into this one — how the sampled simulator
+    /// ([`crate::sample`]) combines the counters of its detailed intervals
+    /// and cache-warming fast-forward spans into one exact total.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+    }
 }
 
 /// Runtime state of one level: per-set tag lists in LRU order (front =

@@ -18,7 +18,13 @@
 //!   executable specification the optimised engine must match
 //!   cycle-for-cycle,
 //! * fan-out: [`PipelineFanout`] drives several machine configurations (the
-//!   paper's "way 1/2/4/8" sweep) from one functional run,
+//!   paper's "way 1/2/4/8" sweep) from one functional run, decoding each
+//!   entry once into a shared structure-of-arrays batch that every
+//!   consumer sweeps in lockstep,
+//! * sampled: [`SampledSim`] / [`SampledFanout`] estimate the cycle count
+//!   from systematically sampled detailed intervals with cache-warming
+//!   fast-forward in between, reporting a confidence interval in
+//!   [`SimResult::sampled`] ([`sample`]),
 //! * phase-aware: [`PipelineSim::into_parts`] hands back the warm
 //!   [`CacheSim`] alongside the result and [`PipelineSim::resume`] starts
 //!   the next phase of a multi-kernel application pipeline on it, so
@@ -101,6 +107,7 @@ pub mod cache;
 pub mod config;
 pub mod ooo;
 pub mod reference;
+pub mod sample;
 pub mod stats;
 
 pub use cache::{CacheConfig, CacheSim, CacheStats, HierarchyConfig};
@@ -109,7 +116,8 @@ pub use config::{
 };
 pub use ooo::{Pipeline, PipelineFanout, PipelineSim};
 pub use reference::ReferenceSim;
-pub use stats::SimResult;
+pub use sample::{SampledFanout, SampledSim, SamplingConfig};
+pub use stats::{SamplingEstimate, SimResult};
 
 // Re-export the trace types most callers need alongside the pipeline.
 pub use mom_arch::{Trace, TraceEntry, TraceSink};

@@ -162,6 +162,125 @@ struct DecodedEntry {
     mem_span: Option<(u64, u64)>,
 }
 
+/// Flag bit in [`DecodedBatch::flags`]: occupancy scales with the vector
+/// length.
+const DECODED_VL_DEPENDENT: u8 = 1 << 0;
+/// Flag bit in [`DecodedBatch::flags`]: multimedia instruction.
+const DECODED_MEDIA: u8 = 1 << 1;
+/// Flag bit in [`DecodedBatch::flags`]: memory instruction.
+const DECODED_MEMORY: u8 = 1 << 2;
+/// Flag bit in [`DecodedBatch::flags`]: store instruction.
+const DECODED_STORE: u8 = 1 << 3;
+
+/// A shared arena of decoded entries in structure-of-arrays layout: the
+/// lockstep batch of [`PipelineFanout`].
+///
+/// The fan-out's consumers advance over one decoded stream; everything
+/// configuration-independent about a stream position — the dependence
+/// edges (producer sequence numbers), operand metadata and the traced
+/// memory access — is stored **once** here, as parallel columns, while the
+/// per-configuration state (window entries, wakeup lists, queues) lives in
+/// each consumer.  Sweeping a whole batch through one consumer at a time
+/// means each decoded column is streamed sequentially and touched once per
+/// batch instead of once per simulator, and the consumer's own state stays
+/// hot in cache for the length of the sweep.
+#[derive(Debug, Clone, Default)]
+struct DecodedBatch {
+    /// Producer sequence numbers of each entry's sources.
+    deps: Vec<[u64; 4]>,
+    /// Number of valid entries in the `deps` row.
+    dep_count: Vec<u8>,
+    /// Functional-unit class.
+    fu: Vec<FuClass>,
+    /// Elementary operations performed.
+    ops: Vec<u64>,
+    /// Effective vector length at execution time.
+    vl: Vec<u16>,
+    /// `DECODED_*` flag bits.
+    flags: Vec<u8>,
+    /// The traced memory access, when the trace carries address metadata.
+    mem: Vec<Option<mom_arch::MemAccess>>,
+    /// Conservative byte span of the access.
+    mem_span: Vec<Option<(u64, u64)>>,
+}
+
+impl DecodedBatch {
+    fn with_capacity(capacity: usize) -> Self {
+        DecodedBatch {
+            deps: Vec::with_capacity(capacity),
+            dep_count: Vec::with_capacity(capacity),
+            fu: Vec::with_capacity(capacity),
+            ops: Vec::with_capacity(capacity),
+            vl: Vec::with_capacity(capacity),
+            flags: Vec::with_capacity(capacity),
+            mem: Vec::with_capacity(capacity),
+            mem_span: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.deps.clear();
+        self.dep_count.clear();
+        self.fu.clear();
+        self.ops.clear();
+        self.vl.clear();
+        self.flags.clear();
+        self.mem.clear();
+        self.mem_span.clear();
+    }
+
+    fn push(&mut self, d: &DecodedEntry) {
+        self.deps.push(d.deps);
+        self.dep_count.push(d.dep_count);
+        self.fu.push(d.fu);
+        self.ops.push(d.ops);
+        self.vl.push(d.vl);
+        let mut flags = 0u8;
+        if d.is_vl_dependent {
+            flags |= DECODED_VL_DEPENDENT;
+        }
+        if d.is_media {
+            flags |= DECODED_MEDIA;
+        }
+        if d.is_memory {
+            flags |= DECODED_MEMORY;
+        }
+        if d.is_store {
+            flags |= DECODED_STORE;
+        }
+        self.flags.push(flags);
+        self.mem.push(d.mem);
+        self.mem_span.push(d.mem_span);
+    }
+
+    /// Reassembles the decoded entry at `index` from the columns (a handful
+    /// of register-width reads; the columns themselves stay shared).
+    fn get(&self, index: usize) -> DecodedEntry {
+        let flags = self.flags[index];
+        DecodedEntry {
+            deps: self.deps[index],
+            dep_count: self.dep_count[index],
+            fu: self.fu[index],
+            ops: self.ops[index],
+            vl: self.vl[index],
+            is_vl_dependent: flags & DECODED_VL_DEPENDENT != 0,
+            is_media: flags & DECODED_MEDIA != 0,
+            is_memory: flags & DECODED_MEMORY != 0,
+            is_store: flags & DECODED_STORE != 0,
+            mem: self.mem[index],
+            mem_span: self.mem_span[index],
+        }
+    }
+}
+
 /// The rename stage, separated from the per-configuration consumers: a
 /// last-writer scoreboard over the architectural registers plus the running
 /// sequence counter.  One renamer can serve a whole fan-out, because the
@@ -430,6 +549,16 @@ impl PipelineSim {
     /// # Panics
     /// Panics if the configuration fails validation.
     pub fn new(config: PipelineConfig) -> Self {
+        let dcache = config.memory.hierarchy().copied().map(CacheSim::new);
+        Self::build(config, dcache)
+    }
+
+    /// The shared constructor body: every table pre-sized from the
+    /// configuration, with the data cache supplied by the caller
+    /// ([`PipelineSim::new`] builds a cold one from the configuration;
+    /// [`PipelineSim::resume`] installs a warm one without constructing a
+    /// throwaway hierarchy first).
+    fn build(config: PipelineConfig, dcache: Option<CacheSim>) -> Self {
         config.validate().expect("invalid pipeline configuration");
         let fu = FuTracker::new(&config);
         let mut fu_pipelined = 0u16;
@@ -440,7 +569,7 @@ impl PipelineSim {
         }
         let rob = config.rob_size;
         PipelineSim {
-            dcache: config.memory.hierarchy().copied().map(CacheSim::new),
+            dcache,
             insts: VecDeque::with_capacity(rob + config.width),
             fu,
             fu_pipelined,
@@ -481,17 +610,20 @@ impl PipelineSim {
     /// additionally asserts that a provided warm cache has the same
     /// geometry the configuration's hierarchy describes.
     pub fn resume(config: PipelineConfig, dcache: Option<CacheSim>) -> Self {
-        let mut sim = PipelineSim::new(config);
-        if let (Some(slot), Some(mut warm)) = (sim.dcache.as_mut(), dcache) {
-            debug_assert_eq!(
-                warm.config(),
-                slot.config(),
-                "resumed cache geometry must match the configuration"
-            );
-            warm.reset_stats();
-            *slot = warm;
-        }
-        sim
+        let dcache = match (config.memory.hierarchy().copied(), dcache) {
+            (Some(geometry), Some(mut warm)) => {
+                debug_assert_eq!(
+                    warm.config(),
+                    geometry,
+                    "resumed cache geometry must match the configuration"
+                );
+                warm.reset_stats();
+                Some(warm)
+            }
+            (Some(geometry), None) => Some(CacheSim::new(geometry)),
+            (None, _) => None,
+        };
+        Self::build(config, dcache)
     }
 
     /// The configuration in use.
@@ -617,6 +749,33 @@ impl PipelineSim {
         while self.pending_len() >= self.config.width {
             self.step_cycle();
         }
+    }
+
+    /// Replays one shared decoded batch through this consumer: the
+    /// per-configuration half of the fan-out's lockstep sweep (see
+    /// [`DecodedBatch`]).
+    fn feed_batch(&mut self, batch: &DecodedBatch) {
+        for index in 0..batch.len() {
+            self.feed_decoded(&batch.get(index));
+        }
+    }
+
+    /// The measurement probe of the sampling driver ([`crate::sample`]):
+    /// the cycle count the engine would report if the stream ended at the
+    /// entries fed so far.  Clones the consumer — minus the cache
+    /// hierarchy, which draining never consults, since memory latencies
+    /// were charged at rename time — and runs the clone to completion; the
+    /// consumer itself is untouched, so the difference between two probes
+    /// measures the cycles attributable to the instructions fed between
+    /// them.
+    pub(crate) fn drained_cycle_count(&mut self) -> u64 {
+        let cache = self.dcache.take();
+        let mut probe = self.clone();
+        self.dcache = cache;
+        while probe.committed < probe.next_seq {
+            probe.step_cycle();
+        }
+        probe.cycle
     }
 
     /// Runs the simulation to completion and returns the result.
@@ -978,15 +1137,37 @@ impl TraceSink for PipelineSim {
     }
 }
 
+/// How many decoded entries [`PipelineFanout`] accumulates before sweeping
+/// the batch through its consumers: large enough to amortise the per-sweep
+/// loop overhead and keep each consumer's state hot for a whole sweep,
+/// small enough that the shared columns (~50 bytes per entry) stay resident
+/// in L1/L2 while every consumer reads them.
+const FANOUT_BATCH: usize = 256;
+
 /// A fan-out consumer: one functional run drives several machine
 /// configurations at once (the paper's way 1/2/4/8 sweep from a single
 /// instruction stream).
+///
+/// The consumers advance in **lockstep over one decoded stream**: each
+/// entry is renamed once, appended to a shared structure-of-arrays
+/// [`DecodedBatch`], and once the batch fills (or the run ends) it is swept
+/// through the consumers one at a time.  The batch sweep — rather than
+/// feeding each entry to every consumer as it arrives — touches each
+/// decoded entry's cache lines once per batch instead of once per
+/// simulator, and keeps one simulator's window, queues and cache tables
+/// hot for [`FANOUT_BATCH`] consecutive entries.  Because every consumer
+/// still observes the identical entry sequence, the per-configuration
+/// results are cycle-for-cycle identical to independent [`PipelineSim`]
+/// runs (the differential suite pins this); consumers simply lag the
+/// decode front by at most one batch until [`PipelineFanout::finish`].
 #[derive(Debug, Clone)]
 pub struct PipelineFanout {
     sims: Vec<PipelineSim>,
     /// The shared rename stage: each entry is decoded once and the decoded
     /// form is fed to every consumer.
     renamer: Renamer,
+    /// The shared decoded arena of the current lockstep batch.
+    batch: DecodedBatch,
 }
 
 impl Default for PipelineFanout {
@@ -994,6 +1175,7 @@ impl Default for PipelineFanout {
         PipelineFanout {
             sims: Vec::new(),
             renamer: Renamer::new(),
+            batch: DecodedBatch::with_capacity(FANOUT_BATCH),
         }
     }
 }
@@ -1009,11 +1191,13 @@ impl PipelineFanout {
         sims.extend(configs.map(PipelineSim::new));
         PipelineFanout {
             sims,
-            renamer: Renamer::new(),
+            ..PipelineFanout::default()
         }
     }
 
-    /// Adds one more consumer.
+    /// Adds one more consumer.  The new consumer must not join after
+    /// feeding has started (it would miss the prefix of the stream); this
+    /// is the caller's responsibility, as it always was.
     pub fn push(&mut self, config: PipelineConfig) {
         self.sims.push(PipelineSim::new(config));
     }
@@ -1028,18 +1212,32 @@ impl PipelineFanout {
         self.sims.is_empty()
     }
 
-    /// Feeds one entry to every consumer, decoding (renaming and metadata
-    /// extraction) once for all of them.
+    /// Feeds one entry to every consumer: decoding (renaming and metadata
+    /// extraction) happens once, immediately; the timing consumers advance
+    /// when the shared batch fills.
     pub fn feed(&mut self, entry: TraceEntry) {
         let decoded = self.renamer.decode(&entry);
-        for sim in &mut self.sims {
-            sim.feed_decoded(&decoded);
+        self.batch.push(&decoded);
+        if self.batch.len() >= FANOUT_BATCH {
+            self.sweep();
         }
+    }
+
+    /// Sweeps the buffered batch through every consumer and clears it.
+    fn sweep(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        for sim in &mut self.sims {
+            sim.feed_batch(&self.batch);
+        }
+        self.batch.clear();
     }
 
     /// Finishes every consumer, returning one [`SimResult`] per
     /// configuration, in construction order.
-    pub fn finish(self) -> Vec<SimResult> {
+    pub fn finish(mut self) -> Vec<SimResult> {
+        self.sweep();
         self.sims.into_iter().map(PipelineSim::finish).collect()
     }
 }

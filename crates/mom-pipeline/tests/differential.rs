@@ -12,7 +12,9 @@
 use mom_arch::{MemAccess, Trace, TraceEntry};
 use mom_isa::prelude::*;
 use mom_isa::Instruction;
-use mom_pipeline::{MemoryModel, PipelineConfig, PipelineSim, ReferenceSim, SimResult};
+use mom_pipeline::{
+    MemoryModel, PipelineConfig, PipelineFanout, PipelineSim, ReferenceSim, SimResult,
+};
 use proptest::prelude::*;
 
 /// Instruction shapes covering every functional-unit class the engines
@@ -167,5 +169,56 @@ proptest! {
             .expect("a valid config");
         let (optimized, reference) = run_both(&trace, config);
         prop_assert_eq!(optimized, reference, "rob {}", rob);
+    }
+
+    /// The lockstep-batched fan-out — one shared structure-of-arrays decode
+    /// per batch, swept by every consumer — is pinned **cycle-for-cycle**
+    /// against independent per-configuration [`PipelineSim`]s fed entry by
+    /// entry, across all widths, both memory-model families and a
+    /// ROB-pressure configuration in one fan-out.  The trace is replayed
+    /// several times so the stream crosses multiple batch boundaries and
+    /// ends mid-batch (exercising the flush in `finish`).
+    #[test]
+    fn batched_fanout_equals_independent_sims(
+        trace in random_trace(100),
+        replays in 1usize..=4,
+    ) {
+        let mut configs: Vec<PipelineConfig> = [1usize, 2, 4, 8]
+            .iter()
+            .flat_map(|&w| {
+                [MemoryModel::PERFECT, MemoryModel::CACHE]
+                    .into_iter()
+                    .map(move |m| PipelineConfig::way_with_memory(w, m))
+            })
+            .collect();
+        configs.push(
+            PipelineConfig::builder()
+                .issue_width(4)
+                .rob(8)
+                .memory(MemoryModel::MAIN_MEMORY)
+                .build()
+                .expect("a valid rob-pressure config"),
+        );
+
+        let mut fanout = PipelineFanout::new(configs.iter().cloned());
+        trace.replay_into(replays, &mut fanout);
+        let batched = fanout.finish();
+
+        for (config, batched_result) in configs.into_iter().zip(batched) {
+            let mut single = PipelineSim::new(config.clone());
+            for _ in 0..replays {
+                for e in trace.iter() {
+                    single.feed(*e);
+                }
+            }
+            prop_assert_eq!(
+                batched_result,
+                single.finish(),
+                "width {} rob {} memory {}",
+                config.width,
+                config.rob_size,
+                config.memory
+            );
+        }
     }
 }
