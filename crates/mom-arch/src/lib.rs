@@ -66,6 +66,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod machine;
 pub mod mem;
 pub mod mom;

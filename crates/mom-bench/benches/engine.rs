@@ -18,6 +18,8 @@ use mom_pipeline::{
 use std::hint::black_box;
 
 fn bench_engines(c: &mut Criterion) {
+    // Time the real simulation path, not artifact-store reads.
+    let _store_bypass = mom_store::bypass_guard();
     for workload in ENGINE_WORKLOADS {
         let (trace, _) = steady_state_trace(workload.kernel, workload.isa, EXPERIMENT_SEED)
             .expect("pinned workload must build");
@@ -51,6 +53,8 @@ fn bench_engines(c: &mut Criterion) {
 /// consumer) against the same sweep run as independent per-configuration
 /// sims — the speedup `momsim sweep` gets from batching.
 fn bench_fanout(c: &mut Criterion) {
+    // Time the real simulation path, not artifact-store reads.
+    let _store_bypass = mom_store::bypass_guard();
     let (trace, _) = steady_state_trace(KernelId::Motion1, IsaKind::Mom, EXPERIMENT_SEED)
         .expect("pinned workload must build");
     let configs: Vec<PipelineConfig> = [1usize, 2, 4, 8]
@@ -92,6 +96,8 @@ fn bench_fanout(c: &mut Criterion) {
 /// Sampled timing (invocation-aligned default schedule) against the full
 /// engine on one steady-state stream — the opt-in `--sampled` speedup.
 fn bench_sampled(c: &mut Criterion) {
+    // Time the real simulation path, not artifact-store reads.
+    let _store_bypass = mom_store::bypass_guard();
     let (trace, invocations) =
         steady_state_trace(KernelId::Motion2, IsaKind::Mdmx, EXPERIMENT_SEED)
             .expect("pinned workload must build");

@@ -13,6 +13,8 @@ use mom_pipeline::MemoryModel;
 use std::hint::black_box;
 
 fn bench_fig4(c: &mut Criterion) {
+    // Time the real simulation path, not artifact-store reads.
+    let _store_bypass = mom_store::bypass_guard();
     let mut group = c.benchmark_group("figure4");
     group.sample_size(10);
     for kernel in [KernelId::Motion1, KernelId::Idct, KernelId::LtpFilt] {

@@ -8,6 +8,8 @@ use mom_pipeline::MemoryModel;
 use std::hint::black_box;
 
 fn bench_fig5(c: &mut Criterion) {
+    // Time the real simulation path, not artifact-store reads.
+    let _store_bypass = mom_store::bypass_guard();
     let mut group = c.benchmark_group("figure5");
     group.sample_size(10);
     for kernel in [KernelId::Motion2, KernelId::Compensation] {

@@ -40,6 +40,8 @@ fn bench_simd_primitives(c: &mut Criterion) {
 }
 
 fn bench_simulator_throughput(c: &mut Criterion) {
+    // Time the real simulation path, not artifact-store reads.
+    let _store_bypass = mom_store::bypass_guard();
     let mut group = c.benchmark_group("simulator-throughput");
     group.sample_size(10);
     // Functional simulation (trace generation + verification).

@@ -8,6 +8,8 @@ use mom_pipeline::{Pipeline, PipelineConfig};
 use std::hint::black_box;
 
 fn bench_tables(c: &mut Criterion) {
+    // Time the real simulation path, not artifact-store reads.
+    let _store_bypass = mom_store::bypass_guard();
     let mut group = c.benchmark_group("tables");
     group.sample_size(10);
     // Benchmark the timing-simulation step itself on pre-built traces.

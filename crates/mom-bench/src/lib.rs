@@ -46,6 +46,7 @@ pub mod cli;
 pub mod json;
 pub mod perf;
 pub mod spec;
+pub mod store;
 pub mod sweep;
 
 pub use spec::{
@@ -180,6 +181,16 @@ pub fn simulate_configs_replicated(
     seed: u64,
     replication: usize,
 ) -> Result<Vec<ExperimentPoint>, KernelError> {
+    simulate_configs_stored(kernel, isa, configs, seed, replication, None)
+}
+
+fn simulate_configs_replicated_uncached(
+    kernel: KernelId,
+    isa: IsaKind,
+    configs: &[PipelineConfig],
+    seed: u64,
+    replication: usize,
+) -> Result<Vec<ExperimentPoint>, KernelError> {
     let run = shared_kernel_run(kernel, isa, seed)?;
     let invocations = invocations_for(replication, run.trace.len());
 
@@ -205,6 +216,77 @@ pub fn simulate_configs_replicated(
         .collect())
 }
 
+/// The persistent-store front shared by the exact and sampled grid drivers:
+/// every requested configuration is first looked up in the result store
+/// ([`store::result_key`]); only the **missing** configurations are fanned
+/// out over the stream, and their fresh points are written back.  With a
+/// fully warm store no functional execution and no timing simulation
+/// happens at all.  Subsetting the fan-out is sound because consumers are
+/// independent (lockstep batching is a performance device, and a sampled
+/// run's schedule derives from the sampling config and the stream alone,
+/// not from the consumer set).
+fn simulate_configs_stored(
+    kernel: KernelId,
+    isa: IsaKind,
+    configs: &[PipelineConfig],
+    seed: u64,
+    replication: usize,
+    sampling: Option<SamplingConfig>,
+) -> Result<Vec<ExperimentPoint>, KernelError> {
+    let uncached = |subset: &[PipelineConfig]| match sampling {
+        None => simulate_configs_replicated_uncached(kernel, isa, subset, seed, replication),
+        Some(schedule) => {
+            simulate_configs_sampled_uncached(kernel, isa, subset, seed, replication, schedule)
+        }
+    };
+    let persistent = mom_store::global();
+    if !persistent.is_active() {
+        return uncached(configs);
+    }
+    let keys: Vec<mom_store::Key> = configs
+        .iter()
+        .map(|config| store::result_key(kernel, isa, seed, config, replication, sampling))
+        .collect();
+    let mut points: Vec<Option<ExperimentPoint>> = keys
+        .iter()
+        .zip(configs)
+        .map(|(&key, config)| {
+            let decoded = persistent
+                .get(mom_store::NS_RESULT, key)
+                .and_then(|bytes| store::decode_point(&bytes).ok())?;
+            // A decoded blob must describe exactly this coordinate; anything
+            // else (a hash collision would be the only path here) is a miss.
+            (decoded.kernel == kernel
+                && decoded.isa == isa
+                && decoded.width == config.width
+                && decoded.memory == config.memory.label())
+            .then_some(decoded)
+        })
+        .collect();
+    let missing: Vec<usize> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if !missing.is_empty() {
+        let subset: Vec<PipelineConfig> = missing.iter().map(|&i| configs[i].clone()).collect();
+        let fresh = uncached(&subset)?;
+        for (&index, point) in missing.iter().zip(fresh) {
+            persistent.put(
+                mom_store::NS_RESULT,
+                keys[index],
+                store::encode_point(&point),
+            );
+            points[index] = Some(point);
+        }
+    }
+    Ok(points
+        .into_iter()
+        .map(|p| p.expect("every grid slot is filled"))
+        .collect())
+}
+
 /// [`simulate_configs_replicated`] with **systematic sampling**: the stream
 /// is timed by a [`SampledFanout`] that simulates detailed intervals and
 /// fast-forwards (cache model only) between them, so each point's
@@ -224,6 +306,17 @@ pub fn simulate_configs_replicated(
 /// skipping, and extrapolating from a single measurement dominated by the
 /// cold-start head of the stream is exactly the bias sampling must avoid.
 pub fn simulate_configs_sampled(
+    kernel: KernelId,
+    isa: IsaKind,
+    configs: &[PipelineConfig],
+    seed: u64,
+    replication: usize,
+    sampling: SamplingConfig,
+) -> Result<Vec<ExperimentPoint>, KernelError> {
+    simulate_configs_stored(kernel, isa, configs, seed, replication, Some(sampling))
+}
+
+fn simulate_configs_sampled_uncached(
     kernel: KernelId,
     isa: IsaKind,
     configs: &[PipelineConfig],

@@ -351,6 +351,10 @@ pub fn sampled_comparison() -> Result<SampledComparison, ExperimentError> {
 /// trace cache, so both of its runs pay identical functional costs and the
 /// wall-time ratio isolates the timing engines.
 pub fn run(quick: bool) -> Result<PerfReport, ExperimentError> {
+    // Perf measures the *simulators*: suspend the persistent artifact store
+    // for the whole suite, or a warm store would turn the sweep wall time
+    // into a disk-read benchmark and invalidate the committed trajectory.
+    let _bypass = mom_store::bypass_guard();
     let (sweep_points, sweep_seconds) = time_full_set()?;
     let engine = engine_benchmarks(quick)?;
     let sampled = sampled_comparison()?;

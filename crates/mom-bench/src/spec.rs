@@ -380,9 +380,11 @@ fn derive_ablation_rob(grid: &GridResult) -> Report {
 /// Runs the `app-speedups` scenario: the six Mediabench applications as
 /// multi-kernel pipelines on the application reference machine (2-way core,
 /// L1/L2 cache hierarchy carried across phase boundaries), reported as
-/// kernel-region and Amdahl whole-application speed-ups.
+/// kernel-region and Amdahl whole-application speed-ups.  The scenario sits
+/// behind the result store ([`crate::store::stored_app_speedups`]): a warm
+/// store serves the whole report without building a single simulation.
 fn run_app_speedups() -> Result<Report, ExperimentError> {
-    let rows = mom_apps::app_speedups(
+    let rows = crate::store::stored_app_speedups(
         &mom_apps::reference_config(),
         EXPERIMENT_SEED,
         mom_apps::DEFAULT_FRAMES,

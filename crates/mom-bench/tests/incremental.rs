@@ -1,0 +1,95 @@
+//! Incremental-sweep equivalence: after a cold `momsim sweep` has filled
+//! the artifact store, a warm sweep in a fresh process must perform **zero**
+//! functional kernel executions and **zero** timing simulations — and still
+//! emit byte-identical report documents. A store-bypassed sweep (`--cold`)
+//! must recompute and *also* emit identical bytes, proving the store is a
+//! pure accelerator with no observable effect on results.
+//!
+//! The store is pointed at a private temp directory before anything touches
+//! the process-global instance, so this binary neither reads nor pollutes
+//! `target/mom-store`.
+
+use mom_bench::cli::sweep_documents;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn private_store_dir() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("mom-incremental-{}", std::process::id()));
+        mom_store::configure(mom_store::StoreConfig {
+            dir: Some(dir.clone()),
+            cold: false,
+        })
+        .expect("configure must run before the first store use");
+        dir
+    })
+}
+
+/// Renders the sweep documents to the exact bytes `momsim sweep` writes.
+fn rendered_sweep() -> Vec<(String, String)> {
+    sweep_documents()
+        .expect("sweep must succeed")
+        .into_iter()
+        .map(|(name, doc, _points)| (name.to_string(), doc.pretty()))
+        .collect()
+}
+
+#[test]
+fn warm_sweep_does_zero_work_and_emits_identical_bytes() {
+    let dir = private_store_dir();
+    let store = mom_store::global();
+    assert_eq!(store.dir(), Some(dir.as_path()), "private store in effect");
+    store.clear().expect("start from a cold store");
+
+    // --- Cold sweep: computes everything, fills the store. ---
+    let cold = rendered_sweep();
+    let filled = store.counters(mom_store::NS_RESULT).fills;
+    assert!(filled > 0, "cold sweep must fill the result store");
+    assert!(
+        mom_pipeline::timing_simulations() > 0,
+        "cold sweep must actually simulate"
+    );
+
+    // --- Warm sweep: everything is served back from the store. ---
+    // The trace cache's typed memory tier is process-global, so drop the
+    // raw memory tier too and force the result blobs to come off disk.
+    let functional_before = mom_kernels::functional_executions();
+    let timing_before = mom_pipeline::timing_simulations();
+    let warm = rendered_sweep();
+    assert_eq!(
+        mom_kernels::functional_executions(),
+        functional_before,
+        "warm sweep must not execute any kernel functionally"
+    );
+    assert_eq!(
+        mom_pipeline::timing_simulations(),
+        timing_before,
+        "warm sweep must not run any timing simulation"
+    );
+    let results = store.counters(mom_store::NS_RESULT);
+    assert_eq!(results.fills, filled, "warm sweep must not write new blobs");
+    assert!(results.hits() > 0, "warm sweep must be served by the store");
+    assert_eq!(cold, warm, "warm sweep must emit byte-identical documents");
+
+    // --- Store-bypassed sweep (what `momsim sweep --cold` runs). ---
+    let bypassed = {
+        let _cold = mom_store::bypass_guard();
+        rendered_sweep()
+    };
+    assert!(
+        mom_pipeline::timing_simulations() > timing_before,
+        "bypassed sweep must recompute timing simulations"
+    );
+    assert_eq!(
+        store.counters(mom_store::NS_RESULT).fills,
+        filled,
+        "bypassed sweep must not touch the store"
+    );
+    assert_eq!(
+        cold, bypassed,
+        "the store must have no observable effect on report bytes"
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -318,6 +318,19 @@ fn prepare_phase(
     Ok((spec, program))
 }
 
+/// Process-wide count of functional kernel invocations (each one a full
+/// execution of a kernel program on the functional simulator plus its
+/// golden-reference verification). The incremental-sweep tests assert this
+/// stays flat across a warm sweep: traces served from the artifact store
+/// must not execute anything.
+static FUNCTIONAL_EXECUTIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The number of functional kernel invocations executed by this process so
+/// far.
+pub fn functional_executions() -> u64 {
+    FUNCTIONAL_EXECUTIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Executes one kernel invocation into `sink` and verifies its output.
 #[allow(clippy::too_many_arguments)]
 fn run_one_iteration<S: TraceSink + ?Sized>(
@@ -330,6 +343,7 @@ fn run_one_iteration<S: TraceSink + ?Sized>(
     iteration: usize,
     sink: &mut S,
 ) -> Result<(), KernelError> {
+    FUNCTIONAL_EXECUTIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     machine
         .run_with_sink(program, sink)
         .map_err(|source| KernelError::Exec {

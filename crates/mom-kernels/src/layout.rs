@@ -29,6 +29,27 @@ pub const SCRATCH: u64 = 0x5_0000;
 /// compensation kernels index into (pixels of a CIF-sized luma plane).
 pub const FRAME_PITCH: u64 = 384;
 
+/// Version of the seeded workload *generators* (`crate::workload`), mixed
+/// into the trace-store content hash alongside the layout constants below.
+/// Bump it when a generator's output changes for an unchanged seed, so
+/// persisted traces recorded against the old data are never served again.
+pub const WORKLOAD_VERSION: u32 = 1;
+
+/// Feeds everything about the workload's memory layout that a persisted
+/// trace depends on into a content hash: trace entries carry absolute
+/// addresses derived from these constants, so changing any of them must
+/// change every trace-store key.
+pub fn fingerprint(h: &mut mom_store::Hasher) {
+    h.write_u32(WORKLOAD_VERSION);
+    h.write_usize(MEMORY_SIZE);
+    h.write_u64(SRC_A);
+    h.write_u64(SRC_B);
+    h.write_u64(COEF);
+    h.write_u64(DST);
+    h.write_u64(SCRATCH);
+    h.write_u64(FRAME_PITCH);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,11 +44,11 @@ pub mod trace_cache;
 pub mod workload;
 
 pub use harness::{
-    app_machine, run_kernel, run_kernel_with_sink, run_phase_with_sink, verify_kernel, KernelError,
-    KernelRun, KernelSpec, Mismatch,
+    app_machine, functional_executions, run_kernel, run_kernel_with_sink, run_phase_with_sink,
+    verify_kernel, KernelError, KernelRun, KernelSpec, Mismatch,
 };
 use mom_isa::IsaKind;
-pub use trace_cache::shared_kernel_run;
+pub use trace_cache::{shared_kernel_run, shared_kernel_run_in, trace_content_key};
 
 /// Identifier of one of the paper's nine kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -103,6 +103,15 @@
 
 #![warn(missing_docs)]
 
+/// Version of the timing engine's *semantics*, mixed into every persistent
+/// result-store key by `mom-bench`. Bump this whenever a change can alter
+/// any `SimResult` for an unchanged trace and configuration (latency
+/// fixes, occupancy rules, cache policy, sampling estimator, …) so stored
+/// grid points from older engines are never served again. Pure
+/// refactorings and performance work that keep results byte-identical do
+/// not bump it.
+pub const ENGINE_VERSION: u32 = 1;
+
 pub mod cache;
 pub mod config;
 pub mod ooo;
@@ -114,7 +123,7 @@ pub use cache::{CacheConfig, CacheSim, CacheStats, HierarchyConfig};
 pub use config::{
     FuPool, MemoryModel, ParseMemoryModelError, PipelineConfig, PipelineConfigBuilder,
 };
-pub use ooo::{Pipeline, PipelineFanout, PipelineSim};
+pub use ooo::{timing_simulations, Pipeline, PipelineFanout, PipelineSim};
 pub use reference::ReferenceSim;
 pub use sample::{SampledFanout, SampledSim, SamplingConfig};
 pub use stats::{SamplingEstimate, SimResult};

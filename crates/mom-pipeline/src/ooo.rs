@@ -56,6 +56,19 @@ use mom_arch::{Trace, TraceEntry, TraceSink};
 use mom_isa::FuClass;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of timing simulations constructed (every
+/// [`PipelineSim`] built, including resumed app phases and the detailed
+/// intervals inside sampled runs). The incremental-sweep tests assert this
+/// stays flat across a warm sweep: results served from the artifact store
+/// must not build a single simulator.
+static TIMING_SIMULATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of timing simulations constructed by this process so far.
+pub fn timing_simulations() -> u64 {
+    TIMING_SIMULATIONS.load(Ordering::Relaxed)
+}
 
 /// Number of distinct register ids (see `mom_isa::Reg::id`).
 const REG_ID_SPACE: usize = 256;
@@ -560,6 +573,7 @@ impl PipelineSim {
     /// throwaway hierarchy first).
     fn build(config: PipelineConfig, dcache: Option<CacheSim>) -> Self {
         config.validate().expect("invalid pipeline configuration");
+        TIMING_SIMULATIONS.fetch_add(1, Ordering::Relaxed);
         let fu = FuTracker::new(&config);
         let mut fu_pipelined = 0u16;
         for class in FuClass::ALL {

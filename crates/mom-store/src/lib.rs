@@ -1,0 +1,46 @@
+//! # mom-store — two-tier content-addressed artifact store
+//!
+//! Simulation produces two kinds of expensive, perfectly reproducible
+//! artifacts: verified functional traces (`mom-kernels`) and finished
+//! timing-grid points (`mom-bench`).  Both are pure functions of their
+//! inputs, so they are stored **content-addressed**: the key is a stable
+//! 128-bit hash of everything the artifact depends on (program text, ISA,
+//! seed, pipeline configuration, engine version, …) and a changed input
+//! simply hashes to a different key — there is no invalidation protocol,
+//! stale blobs are just never looked up again (`momsim cache gc` sweeps
+//! them out).
+//!
+//! The store has two tiers:
+//!
+//! * an **in-memory** tier (a process-wide map of raw blobs) so repeated
+//!   lookups inside one process are a hash-map read, and
+//! * an **on-disk** tier (one file per blob under
+//!   `<dir>/<namespace>/<key>.bin`) so artifacts survive the process —
+//!   a warm `momsim sweep` recomputes nothing.
+//!
+//! Disk blobs are wrapped in a self-validating [frame](store::FRAME_VERSION)
+//! (magic, format version, key echo, payload length, payload checksum).
+//! *Any* defect — truncation, bit flips, a stale format version, a blob
+//! stored under the wrong name — makes the read degrade to a **miss**; the
+//! caller recomputes and overwrites.  Writes are atomic (unique temp file +
+//! `rename`), so concurrent sweeps sharing one store directory never
+//! observe a half-written blob.
+//!
+//! The crate is dependency-free and knows nothing about traces or
+//! simulation results; the typed codecs live with their types
+//! (`mom_arch::codec` for traces, `mom_bench`'s result store for grid
+//! points) on top of the [`bytes`] primitives here.
+
+#![warn(missing_docs)]
+
+pub mod bytes;
+pub mod hash;
+pub mod store;
+
+pub use bytes::{ByteReader, ByteWriter, CodecError};
+pub use hash::{Hasher, Key};
+pub use store::{
+    bypass_guard, configure, default_dir, global, BypassGuard, CacheReport, GcReport,
+    NamespaceReport, Store, StoreConfig, TierCounters, FRAME_MAGIC, FRAME_VERSION, NS_RESULT,
+    NS_TRACE,
+};

@@ -1,0 +1,214 @@
+//! Corruption-injection suite: every way an on-disk blob can be damaged
+//! must degrade to a miss — after which the caller recomputes and the
+//! rewrite restores the blob. Nothing in here may panic, and no damaged
+//! frame may ever be served as a payload.
+
+use mom_store::{Hasher, Key, Store, NS_RESULT, NS_TRACE};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+fn temp_dir() -> PathBuf {
+    static UNIQUE: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "mom-corruption-{}-{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn key_of(text: &str) -> Key {
+    let mut h = Hasher::new();
+    h.write_str(text);
+    h.finish()
+}
+
+fn blob_path(dir: &Path, namespace: &str, key: Key) -> PathBuf {
+    dir.join(namespace).join(format!("{}.bin", key.to_hex()))
+}
+
+/// A store primed with one blob; returns (store, dir, key, payload, path).
+fn primed() -> (Store, PathBuf, Key, Vec<u8>, PathBuf) {
+    let dir = temp_dir();
+    let store = Store::new(Some(dir.clone()));
+    let key = key_of("victim");
+    let payload: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+    store.put(NS_TRACE, key, payload.clone());
+    let path = blob_path(&dir, NS_TRACE, key);
+    assert!(path.is_file(), "put must reach the disk tier");
+    (store, dir, key, payload, path)
+}
+
+/// Reads through a *fresh* store over the same directory, so the lookup
+/// cannot be answered by the writer's memory tier.
+fn fresh_get(dir: &Path, key: Key) -> Option<Vec<u8>> {
+    Store::new(Some(dir.to_path_buf())).get_disk(NS_TRACE, key)
+}
+
+#[test]
+fn every_single_bit_flip_is_a_miss_and_a_rewrite_recovers() {
+    let (_store, dir, key, payload, path) = primed();
+    let pristine = fs::read(&path).unwrap();
+    // Flip one bit at a sample of positions covering every frame field:
+    // magic, version, key echo, length, checksum and payload body.
+    let positions: Vec<usize> = (0..pristine.len())
+        .step_by(7)
+        .chain([pristine.len() - 1])
+        .collect();
+    for pos in positions {
+        let mut damaged = pristine.clone();
+        damaged[pos] ^= 0x10;
+        fs::write(&path, &damaged).unwrap();
+        let reader = Store::new(Some(dir.clone()));
+        assert_eq!(
+            reader.get_disk(NS_TRACE, key),
+            None,
+            "bit flip at byte {pos} must not be served"
+        );
+        let counters = reader.counters(NS_TRACE);
+        assert_eq!(counters.invalid, 1, "flip at {pos} counts as corruption");
+        assert_eq!(counters.misses, 1, "flip at {pos} counts as a miss");
+        assert!(
+            !path.is_file(),
+            "damaged blob is dropped for a clean rewrite"
+        );
+        // The caller's recompute-and-rewrite path restores service.
+        reader.put_disk(NS_TRACE, key, &payload);
+        assert_eq!(fresh_get(&dir, key).as_deref(), Some(payload.as_slice()));
+    }
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn truncation_at_every_length_is_a_miss() {
+    let (_store, dir, key, _payload, path) = primed();
+    let pristine = fs::read(&path).unwrap();
+    for len in 0..pristine.len() {
+        fs::write(&path, &pristine[..len]).unwrap();
+        assert_eq!(fresh_get(&dir, key), None, "truncation to {len} bytes");
+        // read_disk deletes the damaged file; restore for the next round.
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &pristine).unwrap();
+    }
+    // Trailing garbage is just as invalid as a missing tail.
+    let mut oversized = pristine.clone();
+    oversized.push(0);
+    fs::write(&path, &oversized).unwrap();
+    assert_eq!(fresh_get(&dir, key), None, "trailing byte");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn wrong_frame_version_is_a_miss() {
+    let (_store, dir, key, _payload, path) = primed();
+    let mut bytes = fs::read(&path).unwrap();
+    // Bytes 4..8 hold the little-endian frame version.
+    bytes[4..8].copy_from_slice(&(mom_store::FRAME_VERSION + 1).to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    assert_eq!(fresh_get(&dir, key), None);
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn blob_filed_under_the_wrong_key_is_a_miss() {
+    let (store, dir, key, payload, path) = primed();
+    // A valid frame of *other* content copied over this key's file: the
+    // key echo in the header no longer matches the file name.
+    let other = key_of("other");
+    store.put(NS_TRACE, other, b"other payload".to_vec());
+    fs::copy(blob_path(&dir, NS_TRACE, other), &path).unwrap();
+    assert_eq!(
+        fresh_get(&dir, key),
+        None,
+        "foreign frame must not be served"
+    );
+    // The foreign blob is untouched under its own key.
+    assert_eq!(
+        Store::new(Some(dir.clone()))
+            .get_disk(NS_TRACE, other)
+            .as_deref(),
+        Some(b"other payload".as_slice())
+    );
+    // And the victim key recovers through the ordinary rewrite path.
+    store.put_disk(NS_TRACE, key, &payload);
+    assert_eq!(fresh_get(&dir, key).as_deref(), Some(payload.as_slice()));
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_missing_namespace_directory_is_only_a_miss() {
+    let dir = temp_dir();
+    let store = Store::new(Some(dir.clone()));
+    assert_eq!(store.get_disk(NS_RESULT, key_of("nothing")), None);
+    assert_eq!(store.counters(NS_RESULT).misses, 1);
+    assert_eq!(
+        store.counters(NS_RESULT).invalid,
+        0,
+        "absence is not corruption"
+    );
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn concurrent_writers_and_readers_never_observe_partial_frames() {
+    let dir = temp_dir();
+    let store = Arc::new(Store::new(Some(dir.clone())));
+    const KEYS: usize = 16;
+    const ROUNDS: usize = 40;
+    let payload_of = |i: usize| -> Vec<u8> { vec![i as u8; 256 + i] };
+    let keys: Vec<Key> = (0..KEYS).map(|i| key_of(&format!("slot {i}"))).collect();
+
+    // Two writer threads racing over the *same* keys with the same
+    // content-addressed payloads (the concurrent-sweep scenario), plus two
+    // readers polling through fresh stores so every hit comes off disk.
+    let mut handles = Vec::new();
+    for _writer in 0..2 {
+        let store = Arc::clone(&store);
+        let keys = keys.clone();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..ROUNDS {
+                for (i, &key) in keys.iter().enumerate() {
+                    store.put_disk(NS_RESULT, key, &payload_of(i));
+                    // Interleave differently per round to vary the race.
+                    if round % 2 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }));
+    }
+    for _reader in 0..2 {
+        let dir = dir.clone();
+        let keys = keys.clone();
+        handles.push(std::thread::spawn(move || {
+            for _round in 0..ROUNDS {
+                let fresh = Store::new(Some(dir.clone()));
+                for (i, &key) in keys.iter().enumerate() {
+                    // Either not yet renamed into place (a miss) or the
+                    // complete frame — never a torn payload.
+                    if let Some(payload) = fresh.get_disk(NS_RESULT, key) {
+                        assert_eq!(payload, payload_of(i), "torn read on key {i}");
+                    }
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("no thread may panic");
+    }
+
+    // After the dust settles every key serves its payload, and no temp
+    // files survive.
+    let fresh = Store::new(Some(dir.clone()));
+    for (i, &key) in keys.iter().enumerate() {
+        assert_eq!(fresh.get_disk(NS_RESULT, key), Some(payload_of(i)));
+    }
+    let leftovers: Vec<_> = fs::read_dir(dir.join(NS_RESULT))
+        .unwrap()
+        .flatten()
+        .filter(|e| e.path().extension().is_none_or(|ext| ext != "bin"))
+        .collect();
+    assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+    let _ = fs::remove_dir_all(dir);
+}
