@@ -20,7 +20,7 @@
 
 use crate::json::Json;
 use crate::spec::{find_experiment, registry, ExperimentError, ExperimentSpec};
-use crate::{full_sweep, Report};
+use crate::{full_sweep_with_jobs, Report};
 use mom_isa::IsaKind;
 use mom_kernels::KernelId;
 use mom_pipeline::{MemoryModel, PipelineConfig, SamplingConfig};
@@ -109,8 +109,10 @@ fn write_report(path: &Path, doc: &Json) -> Result<(), CliError> {
     Ok(())
 }
 
-fn run_registered(name: &str, json: Option<PathBuf>) -> Result<(), CliError> {
-    let report = find_experiment(name).map_err(CliError::Usage)?.run()?;
+fn run_registered(name: &str, json: Option<PathBuf>, jobs: Option<usize>) -> Result<(), CliError> {
+    let report = find_experiment(name)
+        .map_err(CliError::Usage)?
+        .run_with_jobs(jobs)?;
     print!("{}", report.text());
     if let Some(path) = json {
         write_report(&path, &report.json())?;
@@ -122,7 +124,9 @@ fn run_registered(name: &str, json: Option<PathBuf>) -> Result<(), CliError> {
 /// the named registered experiment with the shared `--json PATH` option and
 /// returns the process exit code.
 pub fn alias_main(name: &str) -> i32 {
-    finish(json_path_arg(std::env::args().skip(1)).and_then(|json| run_registered(name, json)))
+    finish(
+        json_path_arg(std::env::args().skip(1)).and_then(|json| run_registered(name, json, None)),
+    )
 }
 
 /// Entry point of the `ablations` alias: runs both registered ablations
@@ -148,10 +152,12 @@ pub fn ablations_main() -> i32 {
     })())
 }
 
-/// The combined document of the registered ablation series (also what the
-/// `ablations` alias emits): one top-level key per series, named by the
-/// experiment with its `ablation-` prefix stripped (`lanes`, `rob`, ...).
-fn ablations_doc(series: &[(&'static str, Report)]) -> Json {
+/// The combined document of the registered ablation series (what the
+/// `ablations` alias and `BENCH_ablations.json` hold, and what the daemon's
+/// `GET /reports/ablations` replays): one top-level key per series, named
+/// by the experiment with its `ablation-` prefix stripped (`lanes`, `rob`,
+/// ...).
+pub fn ablations_doc(series: &[(&'static str, Report)]) -> Json {
     let mut doc = vec![
         ("schema", Json::int(1)),
         ("experiment", Json::str("ablations")),
@@ -167,8 +173,9 @@ fn ablations_doc(series: &[(&'static str, Report)]) -> Json {
 
 /// Extracts the global `--store DIR` / `--cold` options (valid on any
 /// subcommand, in any position) from the argument list, leaving the
-/// remaining arguments in place for the subcommand parsers.
-fn extract_store_args(args: &mut Vec<String>) -> Result<mom_store::StoreConfig, CliError> {
+/// remaining arguments in place for the subcommand parsers.  Shared with
+/// the `mom-serve` service commands, which honour the same flags.
+pub fn extract_store_args(args: &mut Vec<String>) -> Result<mom_store::StoreConfig, CliError> {
     let mut config = mom_store::StoreConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -192,7 +199,7 @@ fn extract_store_args(args: &mut Vec<String>) -> Result<mom_store::StoreConfig, 
 
 /// Installs the extracted store options as the process-global store
 /// configuration (before any simulation touches the store).
-fn configure_store(config: mom_store::StoreConfig) -> Result<(), CliError> {
+pub fn configure_store(config: mom_store::StoreConfig) -> Result<(), CliError> {
     mom_store::configure(config).map_err(CliError::Usage)
 }
 
@@ -263,14 +270,16 @@ fn print_sweep_store_summary() {
 /// filesystem: `(file name, document, points)` in write order. Split from
 /// [`run_sweep`] so the incremental-sweep tests can byte-compare the exact
 /// documents a cold and a warm sweep would emit.
-pub fn sweep_documents() -> Result<Vec<(&'static str, Json, usize)>, CliError> {
+pub fn sweep_documents(jobs: Option<usize>) -> Result<Vec<(&'static str, Json, usize)>, CliError> {
     // The full registered-experiment set in one process: one measured pass
     // per (kernel, ISA) pair feeds the three union-grid reports, and every
     // *other* registered experiment (the application scenario layer, the
     // ablations, anything registered later) runs on its own — all of them
     // replaying the same memoised functional traces, so no kernel executes
-    // functionally more than once.
-    let results = full_sweep()?;
+    // functionally more than once.  `jobs` picks the schedule: `None` fans
+    // out per (kernel, ISA) pair, `Some(n)` shards individual grid points
+    // over `n` threads; both emit byte-identical documents.
+    let results = full_sweep_with_jobs(jobs)?;
     let mut files = vec![
         ("BENCH_fig4.json", Report::Fig4(results.fig4)),
         ("BENCH_fig5.json", Report::Fig5(results.fig5)),
@@ -284,7 +293,7 @@ pub fn sweep_documents() -> Result<Vec<(&'static str, Json, usize)>, CliError> {
         if crate::perf::UNION_GRID_EXPERIMENTS.contains(&experiment.name) {
             continue;
         }
-        let report = experiment.run()?;
+        let report = experiment.run_with_jobs(jobs)?;
         if experiment.name == "app-speedups" {
             let points = report.points();
             files.push(("BENCH_apps.json", report.json(), points));
@@ -301,10 +310,10 @@ pub fn sweep_documents() -> Result<Vec<(&'static str, Json, usize)>, CliError> {
     Ok(files)
 }
 
-fn run_sweep(out_dir: &Path) -> Result<(), CliError> {
+fn run_sweep(out_dir: &Path, jobs: Option<usize>) -> Result<(), CliError> {
     std::fs::create_dir_all(out_dir)
         .map_err(|e| CliError::Io(format!("cannot create {}: {e}", out_dir.display())))?;
-    for (name, doc, points) in sweep_documents()? {
+    for (name, doc, points) in sweep_documents(jobs)? {
         let path = out_dir.join(name);
         std::fs::write(&path, doc.pretty())
             .map_err(|e| CliError::Io(format!("cannot write {name}: {e}")))?;
@@ -314,8 +323,24 @@ fn run_sweep(out_dir: &Path) -> Result<(), CliError> {
     Ok(())
 }
 
-fn sweep_args(args: impl IntoIterator<Item = String>) -> Result<PathBuf, CliError> {
+/// Parses a `--jobs` operand: a positive worker count.
+fn parse_jobs(value: &str) -> Result<usize, CliError> {
+    let jobs: usize = value
+        .parse()
+        .map_err(|e| CliError::Usage(format!("--jobs: {e}")))?;
+    if jobs == 0 {
+        return Err(CliError::Usage(
+            "--jobs needs a positive worker count".into(),
+        ));
+    }
+    Ok(jobs)
+}
+
+fn sweep_args(
+    args: impl IntoIterator<Item = String>,
+) -> Result<(PathBuf, Option<usize>), CliError> {
     let mut out_dir = PathBuf::from(".");
+    let mut jobs = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -323,14 +348,18 @@ fn sweep_args(args: impl IntoIterator<Item = String>) -> Result<PathBuf, CliErro
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => return Err(CliError::Usage("--out-dir needs a value".into())),
             },
+            "--jobs" => match args.next() {
+                Some(n) => jobs = Some(parse_jobs(&n)?),
+                None => return Err(CliError::Usage("--jobs needs a value".into())),
+            },
             other => {
                 return Err(CliError::Usage(format!(
-                    "unknown argument {other} (expected --out-dir DIR)"
+                    "unknown argument {other} (expected --out-dir DIR, --jobs N)"
                 )))
             }
         }
     }
-    Ok(out_dir)
+    Ok((out_dir, jobs))
 }
 
 /// Entry point of the `sweep` alias: regenerates every `BENCH_*.json` from
@@ -339,8 +368,8 @@ pub fn sweep_main() -> i32 {
     finish((|| {
         let mut args: Vec<String> = std::env::args().skip(1).collect();
         configure_store(extract_store_args(&mut args)?)?;
-        let dir = sweep_args(args)?;
-        run_sweep(&dir)
+        let (dir, jobs) = sweep_args(args)?;
+        run_sweep(&dir, jobs)
     })())
 }
 
@@ -350,11 +379,11 @@ momsim — declarative experiment runner for the MOM (SC'99) reproduction
 USAGE:
   momsim list
       Show the registered experiments and the valid axis values.
-  momsim run <experiment> [--json PATH]
+  momsim run <experiment> [--json PATH] [--jobs N]
       Run a registered experiment (fig4, fig5, tables, app-speedups,
       ablation-lanes, ablation-rob); print the text report and optionally
       write the JSON.
-  momsim run [AXES] [--json PATH]
+  momsim run [AXES] [--json PATH] [--jobs N]
       Run an ad-hoc scenario grid assembled from axis flags:
         --kernels K,K,..       kernel names, or 'all' (default: all)
         --isas I,I,..          isa names, 'all' or 'media' (default: all)
@@ -369,13 +398,15 @@ USAGE:
                                (D detailed, F fast-forward, W warm-up
                                instructions per interval; default 200:671:150)
                                instead of simulating every instruction
-  momsim sweep [--out-dir DIR]
+  momsim sweep [--out-dir DIR] [--jobs N]
       Regenerate the full registered-experiment set: BENCH_fig4.json,
       BENCH_fig5.json, BENCH_tables.json, BENCH_apps.json and
       BENCH_ablations.json, with every kernel executed functionally at most
       once (shared trace cache). Finished grid points persist in the
       artifact store, so a repeated sweep is incremental: unchanged points
-      are read back instead of re-simulated.
+      are read back instead of re-simulated. --jobs N shards individual
+      grid points over N worker threads; the reports are byte-identical at
+      any worker count.
   momsim bench [--quick] [--json PATH] [--check PATH]
       Measure engine throughput (optimized vs the retained naive reference),
       the wall time of the full registered-experiment set, and the sampled
@@ -388,6 +419,21 @@ USAGE:
       Inspect or maintain the persistent artifact store: hit/miss counters
       and the on-disk footprint (stats, the default), the store directory
       (path), removal of damaged or stale blobs (gc), full deletion (clear).
+  momsim serve [--addr HOST:PORT] [--workers N] [--queue N]
+      Run the simulation job-queue daemon: accept experiment submissions
+      over HTTP, deduplicate grid points against the artifact store and
+      against each other, and shard the missing ones across a worker pool.
+  momsim submit [--addr HOST:PORT] (<experiment> | AXES) [--wait] [--json PATH]
+      Submit an experiment to a running daemon; --wait polls until the job
+      finishes and prints a summary (--json writes the result rows).
+  momsim status [--addr HOST:PORT] [JOB]
+      List a daemon's jobs, or show one job's progress and partial results.
+  momsim report [--addr HOST:PORT] <name> [--out PATH]
+      Replay a committed report (fig4, fig5, tables, apps, ablations)
+      byte-identically from the daemon's store, without simulating.
+  momsim shutdown [--addr HOST:PORT]
+      Drain a running daemon: finish in-flight points, drop queued ones,
+      reject new submissions, flush the store, and exit.
 
 OPTIONS (any command):
   --store DIR
@@ -477,6 +523,7 @@ struct GridArgs {
     seed: Option<u64>,
     sampled: Option<SamplingConfig>,
     json: Option<PathBuf>,
+    jobs: Option<usize>,
 }
 
 fn parse_grid_args(args: &[String]) -> Result<GridArgs, CliError> {
@@ -524,6 +571,7 @@ fn parse_grid_args(args: &[String]) -> Result<GridArgs, CliError> {
                 )
             }
             "--json" => parsed.json = Some(PathBuf::from(value()?)),
+            "--jobs" => parsed.jobs = Some(parse_jobs(value()?)?),
             "--sampled" => {
                 // The schedule operand is optional: `--sampled` alone uses
                 // the default, `--sampled 200:671:150` overrides it.
@@ -660,18 +708,43 @@ fn run_bench(args: BenchArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses the `--json PATH` / `--jobs N` options of a registered-experiment
+/// run (`momsim run fig4 --jobs 2`).
+fn registered_run_args(args: &[String]) -> Result<(Option<PathBuf>, Option<usize>), CliError> {
+    let mut json = None;
+    let mut jobs = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--json" => json = Some(PathBuf::from(value()?)),
+            "--jobs" => jobs = Some(parse_jobs(value()?)?),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument {other} (expected --json PATH, --jobs N)"
+                )))
+            }
+        }
+    }
+    Ok((json, jobs))
+}
+
 fn run_command(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
-        // `momsim run <registered> [--json PATH]`
+        // `momsim run <registered> [--json PATH] [--jobs N]`
         Some(name) if !name.starts_with("--") => {
-            let json = json_path_arg(args[1..].iter().cloned())?;
-            run_registered(name, json)
+            let (json, jobs) = registered_run_args(&args[1..])?;
+            run_registered(name, json, jobs)
         }
         // `momsim run --kernels .. --isas ..` (an ad-hoc grid)
         Some(_) => {
             let parsed = parse_grid_args(args)?;
             let spec = grid_spec(&parsed)?;
-            let report = Report::Grid(spec.run()?);
+            let report = Report::Grid(spec.run_with_jobs(parsed.jobs)?);
             print!("{}", report.text());
             if let Some(path) = &parsed.json {
                 write_report(path, &report.json())?;
@@ -702,7 +775,9 @@ pub fn momsim_main() -> i32 {
             0
         }
         Some("run") => finish(run_command(&args[1..])),
-        Some("sweep") => finish(sweep_args(args[1..].to_vec()).and_then(|dir| run_sweep(&dir))),
+        Some("sweep") => {
+            finish(sweep_args(args[1..].to_vec()).and_then(|(dir, jobs)| run_sweep(&dir, jobs)))
+        }
         Some("bench") => finish(parse_bench_args(&args[1..]).and_then(run_bench)),
         Some("cache") => finish(cache_command(&args[1..])),
         Some("help") | Some("--help") | Some("-h") => {
@@ -832,6 +907,28 @@ mod tests {
         assert!(config.dir.is_none());
         assert!(!config.cold);
         assert_eq!(args, strs(&["run", "fig4"]), "untouched without flags");
+    }
+
+    #[test]
+    fn jobs_flag_parses_on_every_command() {
+        let (dir, jobs) = sweep_args(strs(&["--jobs", "3", "--out-dir", "/tmp/x"])).unwrap();
+        assert_eq!(dir, PathBuf::from("/tmp/x"));
+        assert_eq!(jobs, Some(3));
+        assert_eq!(sweep_args(strs(&[])).unwrap().1, None);
+        let err = sweep_args(strs(&["--jobs", "0"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = sweep_args(strs(&["--jobs", "many"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+
+        let parsed = parse_grid_args(&strs(&["--jobs", "2", "--widths", "4"])).unwrap();
+        assert_eq!(parsed.jobs, Some(2));
+
+        let (json, jobs) =
+            registered_run_args(&strs(&["--json", "o.json", "--jobs", "2"])).unwrap();
+        assert_eq!(json, Some(PathBuf::from("o.json")));
+        assert_eq!(jobs, Some(2));
+        let err = registered_run_args(&strs(&["--frobnicate"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
     }
 
     #[test]

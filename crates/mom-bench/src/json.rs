@@ -2,9 +2,11 @@
 //!
 //! The sweep driver emits machine-readable `BENCH_*.json` reports; the
 //! build environment has no network access for a serialisation crate, and
-//! the documents are small and write-only, so this hand-rolled value tree
-//! (with correct string escaping and non-finite-number handling) is all
-//! that is needed.
+//! the documents are small, so this hand-rolled value tree (with correct
+//! string escaping and non-finite-number handling) is all that is needed.
+//! The matching parser lives in `mom-serve` (the daemon is the only reader
+//! of wire JSON); the typed accessors here ([`Json::get`] and friends) are
+//! what both sides use to walk a parsed tree.
 
 use std::fmt;
 
@@ -39,6 +41,67 @@ impl Json {
     /// Builds an integer value.
     pub fn int<N: Into<i64>>(n: N) -> Json {
         Json::Num(n.into() as f64)
+    }
+
+    /// Looks a key up in an object (first match; emitted and parsed
+    /// documents both have unique keys).  `None` for missing keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when the value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact non-negative integer, when the value
+    /// is a number holding one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && *n == n.trunc() && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, when the value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when the value is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, when the value is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
     }
 
     /// Serialises with two-space indentation and a trailing newline.
@@ -164,6 +227,29 @@ mod tests {
     fn integers_do_not_grow_decimal_points() {
         assert_eq!(Json::Num(1234.0).to_string(), "1234");
         assert_eq!(Json::Num(0.125).to_string(), "0.125");
+    }
+
+    #[test]
+    fn accessors_walk_a_tree() {
+        let doc = Json::obj([
+            ("name", Json::str("idct")),
+            ("count", Json::int(42)),
+            ("ratio", Json::Num(2.5)),
+            ("ok", Json::Bool(true)),
+            ("rows", Json::Arr(vec![Json::Null])),
+        ]);
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("idct"));
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(42));
+        assert_eq!(doc.get("ratio").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(doc.get("ratio").and_then(Json::as_u64), None);
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Null.get("name"), None);
+        assert_eq!(doc.as_obj().map(<[(String, Json)]>::len), Some(5));
     }
 
     #[test]

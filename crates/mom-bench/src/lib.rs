@@ -45,6 +45,7 @@
 pub mod cli;
 pub mod json;
 pub mod perf;
+pub mod schedule;
 pub mod spec;
 pub mod store;
 pub mod sweep;
@@ -250,18 +251,7 @@ fn simulate_configs_stored(
     let mut points: Vec<Option<ExperimentPoint>> = keys
         .iter()
         .zip(configs)
-        .map(|(&key, config)| {
-            let decoded = persistent
-                .get(mom_store::NS_RESULT, key)
-                .and_then(|bytes| store::decode_point(&bytes).ok())?;
-            // A decoded blob must describe exactly this coordinate; anything
-            // else (a hash collision would be the only path here) is a miss.
-            (decoded.kernel == kernel
-                && decoded.isa == isa
-                && decoded.width == config.width
-                && decoded.memory == config.memory.label())
-            .then_some(decoded)
-        })
+        .map(|(&key, config)| stored_point_lookup(kernel, isa, config, key))
         .collect();
     let missing: Vec<usize> = points
         .iter()
@@ -285,6 +275,32 @@ fn simulate_configs_stored(
         .into_iter()
         .map(|p| p.expect("every grid slot is filled"))
         .collect())
+}
+
+/// Looks one finished grid point up in the persistent store — **no** fill
+/// path, no functional run, no simulation.  `None` when the store is
+/// inactive, the blob is missing or damaged, or the decoded point does not
+/// describe exactly this coordinate (a hash collision would be the only
+/// path to the latter).  Shared by [`simulate_configs_stored`] and the
+/// submit-time dedup of [`schedule::PointJob::cached`].
+pub(crate) fn stored_point_lookup(
+    kernel: KernelId,
+    isa: IsaKind,
+    config: &PipelineConfig,
+    key: mom_store::Key,
+) -> Option<ExperimentPoint> {
+    let persistent = mom_store::global();
+    if !persistent.is_active() {
+        return None;
+    }
+    let decoded = persistent
+        .get(mom_store::NS_RESULT, key)
+        .and_then(|bytes| store::decode_point(&bytes).ok())?;
+    (decoded.kernel == kernel
+        && decoded.isa == isa
+        && decoded.width == config.width
+        && decoded.memory == config.memory.label())
+    .then_some(decoded)
 }
 
 /// [`simulate_configs_replicated`] with **systematic sampling**: the stream
@@ -445,7 +461,16 @@ pub struct SweepResults {
 /// configuration — with each (kernel, ISA) functional run executed exactly
 /// once and shared by all three reports.
 pub fn full_sweep() -> Result<SweepResults, ExperimentError> {
-    let grid = union_spec().run()?;
+    full_sweep_with_jobs(None)
+}
+
+/// [`full_sweep`] with an explicit worker count: `Some(n)` schedules the
+/// union grid **point by point** over `n` threads through [`schedule`] (the
+/// same unit of work the `momsim serve` daemon shards), instead of the
+/// default (kernel, ISA)-pair fan-out.  Results are identical either way —
+/// `momsim sweep --jobs N` is byte-identical to the single-threaded sweep.
+pub fn full_sweep_with_jobs(jobs: Option<usize>) -> Result<SweepResults, ExperimentError> {
+    let grid = union_spec().run_with_jobs(jobs)?;
     Ok(SweepResults {
         fig4: fig4_from(&grid),
         fig5: fig5_from(&grid),
@@ -968,24 +993,24 @@ pub fn apps_json(rows: &[mom_apps::AppSpeedup]) -> Json {
         ),
         (
             "points",
-            Json::Arr(
-                rows.iter()
-                    .map(|r| {
-                        Json::obj([
-                            ("app", Json::str(r.app.name())),
-                            ("isa", Json::str(r.isa.name())),
-                            ("coverage", Json::Num(r.coverage)),
-                            ("scalar_cycles", Json::int(r.scalar_cycles as i64)),
-                            ("cycles", Json::int(r.cycles as i64)),
-                            ("kernel_speedup", Json::Num(r.kernel_speedup)),
-                            ("app_speedup", Json::Num(r.app_speedup)),
-                        ])
-                    })
-                    .collect(),
-            ),
+            Json::Arr(rows.iter().map(app_point_json).collect()),
         ),
     ];
     Json::obj(doc)
+}
+
+/// One application speed-up row as a JSON object — the row shape shared by
+/// [`apps_json`] and the `momsim serve` daemon's streamed job results.
+pub fn app_point_json(r: &mom_apps::AppSpeedup) -> Json {
+    Json::obj([
+        ("app", Json::str(r.app.name())),
+        ("isa", Json::str(r.isa.name())),
+        ("coverage", Json::Num(r.coverage)),
+        ("scalar_cycles", Json::int(r.scalar_cycles as i64)),
+        ("cycles", Json::int(r.cycles as i64)),
+        ("kernel_speedup", Json::Num(r.kernel_speedup)),
+        ("app_speedup", Json::Num(r.app_speedup)),
+    ])
 }
 
 /// Formats an ablation series as an aligned text table.
@@ -1088,6 +1113,53 @@ pub fn format_grid(grid: &GridResult) -> String {
     out
 }
 
+/// One grid point as a JSON row: the coordinates (`config_index` names the
+/// spec configuration the point was measured on), the raw counters, the
+/// derived rates, and the sampling estimate when present.  This is the row
+/// shape shared by [`grid_json`] and the `momsim serve` daemon's streamed
+/// job results, so a point fetched over HTTP is field-identical to the same
+/// point in a `momsim run --json` report.
+pub fn point_json(p: &ExperimentPoint, config_index: usize) -> Json {
+    let mut fields = vec![
+        ("kernel", Json::str(p.kernel.name())),
+        ("isa", Json::str(p.isa.name())),
+        ("config", Json::int(config_index as i64)),
+        ("memory", Json::str(p.memory.clone())),
+        ("invocations", Json::int(p.invocations as i64)),
+        ("cycles", Json::int(p.result.cycles as i64)),
+        ("instructions", Json::int(p.result.instructions as i64)),
+        ("operations", Json::int(p.result.operations as i64)),
+        (
+            "cycles_per_invocation",
+            Json::Num(p.cycles_per_invocation()),
+        ),
+        ("ipc", Json::Num(p.result.ipc())),
+        ("opi", Json::Num(p.result.opi())),
+        ("l1_mpki", Json::Num(p.result.l1_mpki())),
+        ("l2_mpki", Json::Num(p.result.l2_mpki())),
+    ];
+    if let Some(estimate) = &p.result.sampled {
+        fields.push((
+            "sampled",
+            Json::obj([
+                ("intervals", Json::int(estimate.intervals as i64)),
+                (
+                    "detailed_instructions",
+                    Json::int(estimate.detailed_instructions as i64),
+                ),
+                ("cpi_mean", Json::Num(estimate.cpi_mean)),
+                ("cpi_stddev", Json::Num(estimate.cpi_stddev)),
+                ("half_width_cycles", Json::Num(estimate.half_width_cycles)),
+                (
+                    "relative_half_width",
+                    Json::Num(estimate.relative_half_width(p.result.cycles)),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(fields)
+}
+
 /// A raw measured grid as a machine-readable JSON report, spec axes
 /// included.
 pub fn grid_json(grid: &GridResult) -> Json {
@@ -1130,46 +1202,7 @@ pub fn grid_json(grid: &GridResult) -> Json {
                 grid.points
                     .iter()
                     .enumerate()
-                    .map(|(index, p)| {
-                        let mut fields = vec![
-                            ("kernel", Json::str(p.kernel.name())),
-                            ("isa", Json::str(p.isa.name())),
-                            ("config", Json::int((index % spec.configs.len()) as i64)),
-                            ("memory", Json::str(p.memory.clone())),
-                            ("invocations", Json::int(p.invocations as i64)),
-                            ("cycles", Json::int(p.result.cycles as i64)),
-                            ("instructions", Json::int(p.result.instructions as i64)),
-                            ("operations", Json::int(p.result.operations as i64)),
-                            (
-                                "cycles_per_invocation",
-                                Json::Num(p.cycles_per_invocation()),
-                            ),
-                            ("ipc", Json::Num(p.result.ipc())),
-                            ("opi", Json::Num(p.result.opi())),
-                            ("l1_mpki", Json::Num(p.result.l1_mpki())),
-                            ("l2_mpki", Json::Num(p.result.l2_mpki())),
-                        ];
-                        if let Some(estimate) = &p.result.sampled {
-                            fields.push((
-                                "sampled",
-                                Json::obj([
-                                    ("intervals", Json::int(estimate.intervals as i64)),
-                                    (
-                                        "detailed_instructions",
-                                        Json::int(estimate.detailed_instructions as i64),
-                                    ),
-                                    ("cpi_mean", Json::Num(estimate.cpi_mean)),
-                                    ("cpi_stddev", Json::Num(estimate.cpi_stddev)),
-                                    ("half_width_cycles", Json::Num(estimate.half_width_cycles)),
-                                    (
-                                        "relative_half_width",
-                                        Json::Num(estimate.relative_half_width(p.result.cycles)),
-                                    ),
-                                ]),
-                            ));
-                        }
-                        Json::obj(fields)
-                    })
+                    .map(|(index, p)| point_json(p, index % spec.configs.len()))
                     .collect(),
             ),
         ),

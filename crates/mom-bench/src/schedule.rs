@@ -1,0 +1,183 @@
+//! Point-level scheduling: one grid point as a self-contained unit of work.
+//!
+//! [`ExperimentSpec::run`] fans each (kernel, ISA) pair's functional run out
+//! over every configuration at once — ideal for a batch sweep, but the wrong
+//! unit for a job queue: a daemon deduplicating work across submissions
+//! needs to address, look up and compute **individual points**.  A
+//! [`PointJob`] is that unit: it knows its content key in the persistent
+//! store ([`PointJob::key`]), can answer "is this already done?" without
+//! computing anything ([`PointJob::cached`]), and computes through the same
+//! store-fronted fill path the batch sweep uses ([`PointJob::compute`]), so
+//! a point computed by either side is served to the other for free.
+//!
+//! [`plan`] decomposes a spec into jobs in grid order and [`run_points`]
+//! shards them over a thread pool — the execution path of both
+//! `momsim sweep --jobs N` and the `momsim serve` worker pool.  Per-point
+//! timing equals fanned-out timing (consumers are independent; pinned by
+//! `fanout_sweep_matches_individual_simulations`), and the shared functional
+//! trace cache keeps the per-pair functional run from repeating, so the two
+//! schedules produce byte-identical reports.
+
+use crate::spec::ExperimentSpec;
+use crate::sweep::parallel_map_with;
+use crate::{store, ExperimentPoint};
+use mom_isa::IsaKind;
+use mom_kernels::{KernelError, KernelId};
+use mom_pipeline::{PipelineConfig, SamplingConfig};
+
+/// One grid point as a schedulable, content-addressed unit of work.
+#[derive(Debug, Clone)]
+pub struct PointJob {
+    /// The kernel to measure.
+    pub kernel: KernelId,
+    /// The ISA of the program.
+    pub isa: IsaKind,
+    /// The machine configuration to time the stream on.
+    pub config: PipelineConfig,
+    /// Seed of the deterministic synthetic workload.
+    pub seed: u64,
+    /// Target dynamic-stream length in instructions.
+    pub replication: usize,
+    /// Systematic-sampling schedule; `None` is exact timing.
+    pub sampling: Option<SamplingConfig>,
+}
+
+impl PointJob {
+    /// The content hash addressing this point in the persistent store —
+    /// the dedup identity of the job queue: two submissions overlap exactly
+    /// when their [`PointJob`]s share keys.
+    pub fn key(&self) -> mom_store::Key {
+        store::result_key(
+            self.kernel,
+            self.isa,
+            self.seed,
+            &self.config,
+            self.replication,
+            self.sampling,
+        )
+    }
+
+    /// The finished point, **if** the persistent store already holds it —
+    /// no functional run, no simulation, no fill.  `None` when the store is
+    /// inactive or the point is missing.
+    pub fn cached(&self) -> Option<ExperimentPoint> {
+        crate::stored_point_lookup(self.kernel, self.isa, &self.config, self.key())
+    }
+
+    /// Computes the point through the store-fronted fill path (the result
+    /// lands in the store), sharing the process-wide functional trace cache
+    /// with every other job of the same (kernel, ISA, seed).
+    pub fn compute(&self) -> Result<ExperimentPoint, KernelError> {
+        let points = crate::simulate_configs_stored(
+            self.kernel,
+            self.isa,
+            std::slice::from_ref(&self.config),
+            self.seed,
+            self.replication,
+            self.sampling,
+        )?;
+        Ok(points
+            .into_iter()
+            .next()
+            .expect("one config in, one point out"))
+    }
+}
+
+/// Decomposes a spec into one [`PointJob`] per grid point, in the spec's
+/// axis order (kernel-major, then ISA, then configuration) — the same order
+/// [`ExperimentSpec::run`] emits points, so `plan(spec)[i]` is point `i` of
+/// the grid.
+pub fn plan(spec: &ExperimentSpec) -> Vec<PointJob> {
+    let mut jobs = Vec::with_capacity(spec.points());
+    for &kernel in &spec.kernels {
+        for &isa in &spec.isas {
+            for config in &spec.configs {
+                jobs.push(PointJob {
+                    kernel,
+                    isa,
+                    config: config.clone(),
+                    seed: spec.seed,
+                    replication: spec.replication,
+                    sampling: spec.sampling,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Computes a list of point jobs on `threads` workers, preserving input
+/// order in the output; the first failure wins.  This is the execution path
+/// of `momsim sweep --jobs N` and the in-process half of the `momsim serve`
+/// worker pool.
+pub fn run_points(
+    points: Vec<PointJob>,
+    threads: usize,
+) -> Result<Vec<ExperimentPoint>, KernelError> {
+    parallel_map_with(points, threads.max(1), |job| job.compute())
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EXPERIMENT_SEED;
+
+    fn small_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            kernels: vec![KernelId::AddBlock, KernelId::Motion1],
+            isas: vec![IsaKind::Mmx, IsaKind::Mom],
+            configs: vec![PipelineConfig::way(2), PipelineConfig::way(4)],
+            replication: 64,
+            ..ExperimentSpec::default()
+        }
+    }
+
+    #[test]
+    fn plan_matches_grid_order_and_keys_are_distinct() {
+        let spec = small_spec();
+        let jobs = plan(&spec);
+        assert_eq!(jobs.len(), spec.points());
+        // Kernel-major, then ISA, then config — the GridResult point order.
+        assert_eq!(jobs[0].kernel, KernelId::AddBlock);
+        assert_eq!(jobs[0].isa, IsaKind::Mmx);
+        assert_eq!(jobs[0].config.width, 2);
+        assert_eq!(jobs[1].config.width, 4);
+        assert_eq!(jobs[2].isa, IsaKind::Mom);
+        assert_eq!(jobs[4].kernel, KernelId::Motion1);
+        let mut keys: Vec<_> = jobs.iter().map(PointJob::key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), jobs.len(), "every point has a distinct key");
+        // The key is the result_key of the same coordinate.
+        assert_eq!(
+            jobs[0].key(),
+            store::result_key(
+                KernelId::AddBlock,
+                IsaKind::Mmx,
+                EXPERIMENT_SEED,
+                &PipelineConfig::way(2),
+                64,
+                None
+            )
+        );
+    }
+
+    #[test]
+    fn point_schedule_matches_pair_fanout() {
+        // Byte-level equivalence of the two schedules over full sweeps is
+        // pinned by tests/sweep_jobs.rs; this is the cheap in-crate check.
+        let _cold = mom_store::bypass_guard();
+        let spec = small_spec();
+        let fanned = spec.run().unwrap();
+        let pointwise = run_points(plan(&spec), 3).unwrap();
+        assert_eq!(fanned.points.len(), pointwise.len());
+        for (a, b) in fanned.points.iter().zip(&pointwise) {
+            assert_eq!((a.kernel, a.isa, a.width), (b.kernel, b.isa, b.width));
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.invocations, b.invocations);
+        }
+    }
+}

@@ -47,7 +47,7 @@ use mom_pipeline::{MemoryModel, PipelineConfig, SamplingConfig};
 /// assert_eq!(grid.points.len(), 1);
 /// assert!(grid.points[0].result.cycles > 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSpec {
     /// Kernels to measure (rows of the grid, in output order).
     pub kernels: Vec<KernelId>,
@@ -134,29 +134,51 @@ impl ExperimentSpec {
     /// configuration at once.  Point order is kernel-major, then ISA, then
     /// configuration — exactly the spec's axis order.
     pub fn run(&self) -> Result<GridResult, ExperimentError> {
+        self.run_with_jobs(None)
+    }
+
+    /// [`run`](ExperimentSpec::run) with an explicit worker count:
+    /// `Some(n)` schedules the grid **point by point** over `n` threads
+    /// through [`crate::schedule`] — the same unit of work the
+    /// `momsim serve` daemon shards — instead of the default (kernel,
+    /// ISA)-pair fan-out.  Per-point timing equals fanned-out timing
+    /// (consumers are independent) and the shared functional trace cache
+    /// keeps each pair's functional run from repeating, so both schedules
+    /// produce identical grids at any thread count.
+    pub fn run_with_jobs(&self, jobs: Option<usize>) -> Result<GridResult, ExperimentError> {
         self.validate().map_err(ExperimentError::Spec)?;
-        let pairs: Vec<(KernelId, IsaKind)> = self
-            .kernels
-            .iter()
-            .flat_map(|&k| self.isas.iter().map(move |&i| (k, i)))
-            .collect();
-        let measured = parallel_map(pairs, |(kernel, isa)| match self.sampling {
-            Some(sampling) => simulate_configs_sampled(
-                kernel,
-                isa,
-                &self.configs,
-                self.seed,
-                self.replication,
-                sampling,
-            ),
+        let points = match jobs {
+            Some(threads) => crate::schedule::run_points(crate::schedule::plan(self), threads)?,
             None => {
-                simulate_configs_replicated(kernel, isa, &self.configs, self.seed, self.replication)
+                let pairs: Vec<(KernelId, IsaKind)> = self
+                    .kernels
+                    .iter()
+                    .flat_map(|&k| self.isas.iter().map(move |&i| (k, i)))
+                    .collect();
+                let measured = parallel_map(pairs, |(kernel, isa)| match self.sampling {
+                    Some(sampling) => simulate_configs_sampled(
+                        kernel,
+                        isa,
+                        &self.configs,
+                        self.seed,
+                        self.replication,
+                        sampling,
+                    ),
+                    None => simulate_configs_replicated(
+                        kernel,
+                        isa,
+                        &self.configs,
+                        self.seed,
+                        self.replication,
+                    ),
+                });
+                let mut points = Vec::with_capacity(self.points());
+                for pair_points in measured {
+                    points.extend(pair_points?);
+                }
+                points
             }
-        });
-        let mut points = Vec::with_capacity(self.points());
-        for pair_points in measured {
-            points.extend(pair_points?);
-        }
+        };
         Ok(GridResult {
             spec: self.clone(),
             points,
@@ -284,8 +306,15 @@ impl NamedExperiment {
 
     /// Runs the experiment and derives the report.
     pub fn run(&self) -> Result<Report, ExperimentError> {
+        self.run_with_jobs(None)
+    }
+
+    /// [`run`](NamedExperiment::run) with an explicit worker count for grid
+    /// experiments (see [`ExperimentSpec::run_with_jobs`]); scenario
+    /// experiments have no grid to shard and ignore it.
+    pub fn run_with_jobs(&self, jobs: Option<usize>) -> Result<Report, ExperimentError> {
         match &self.runner {
-            Runner::Grid { spec, derive } => Ok(derive(&spec().run()?)),
+            Runner::Grid { spec, derive } => Ok(derive(&spec().run_with_jobs(jobs)?)),
             Runner::Scenario(run) => run(),
         }
     }

@@ -439,15 +439,33 @@ pub fn stored_app_speedups(
     if !store.is_active() {
         return mom_apps::app_speedups(config, seed, frames);
     }
-    let key = apps_key(config, seed, frames);
-    if let Some(bytes) = store.get(NS_RESULT, key) {
-        if let Ok(rows) = decode_apps(&bytes) {
-            return Ok(rows);
-        }
+    if let Some(rows) = cached_app_speedups(config, seed, frames) {
+        return Ok(rows);
     }
     let rows = mom_apps::app_speedups(config, seed, frames)?;
-    store.put(NS_RESULT, key, encode_apps(&rows));
+    store.put(
+        NS_RESULT,
+        apps_key(config, seed, frames),
+        encode_apps(&rows),
+    );
     Ok(rows)
+}
+
+/// The stored application-speedup table, **if** the persistent store
+/// already holds it — no simulation, no fill.  `None` when the store is
+/// inactive or the blob is missing or undecodable.  This is how the job
+/// daemon answers "is this scenario already done?" at submit time.
+pub fn cached_app_speedups(
+    config: &PipelineConfig,
+    seed: u64,
+    frames: usize,
+) -> Option<Vec<mom_apps::AppSpeedup>> {
+    let store = mom_store::global();
+    if !store.is_active() {
+        return None;
+    }
+    let bytes = store.get(NS_RESULT, apps_key(config, seed, frames))?;
+    decode_apps(&bytes).ok()
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ fn private_store_dir() -> &'static PathBuf {
 
 /// Renders the sweep documents to the exact bytes `momsim sweep` writes.
 fn rendered_sweep() -> Vec<(String, String)> {
-    sweep_documents()
+    sweep_documents(None)
         .expect("sweep must succeed")
         .into_iter()
         .map(|(name, doc, _points)| (name.to_string(), doc.pretty()))

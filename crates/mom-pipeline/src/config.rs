@@ -154,7 +154,7 @@ pub struct FuPool {
 }
 
 /// Full configuration of the out-of-order core.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Fetch = decode = issue = commit width (the paper's "way").
     pub width: usize,

@@ -1,0 +1,482 @@
+//! The service half of the `momsim` command line: `serve` runs the
+//! daemon, `submit` / `status` / `report` / `shutdown` talk to one over
+//! HTTP.  Argument conventions (and the `--store DIR` / `--cold` globals)
+//! are shared with the batch commands in `mom_bench::cli`; exit codes
+//! follow the same contract (0 success, 2 usage, 1 runtime failure).
+
+use crate::client::{request_json, request_raw};
+use crate::serve::ServeConfig;
+use mom_bench::cli::{configure_store, extract_store_args, CliError};
+use mom_bench::json::Json;
+use std::time::Duration;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:5099";
+
+fn finish(result: Result<(), CliError>) -> i32 {
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            e.exit_code()
+        }
+    }
+}
+
+/// Entry point of the service subcommands; `args` starts at the
+/// subcommand name.  Returns the process exit code.
+pub fn cli_main() -> i32 {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    finish((|| {
+        let store = extract_store_args(&mut args)?;
+        let command = args.first().cloned().unwrap_or_default();
+        let rest = &args[1..];
+        // The daemon owns a store; the clients never touch one, so only
+        // `serve` installs the configuration.
+        match command.as_str() {
+            "serve" => {
+                configure_store(store)?;
+                run_serve(rest)
+            }
+            "submit" => run_submit(rest),
+            "status" => run_status(rest),
+            "report" => run_report(rest),
+            "shutdown" => run_shutdown(rest),
+            other => Err(CliError::Usage(format!(
+                "unknown service command '{other}' (expected serve, submit, status, report, shutdown)"
+            ))),
+        }
+    })())
+}
+
+/// Pops `--addr HOST:PORT` out of an argument list (any position).
+fn extract_addr(args: &mut Vec<String>) -> Result<String, CliError> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--addr" {
+            if i + 1 >= args.len() {
+                return Err(CliError::Usage("--addr needs a host:port argument".into()));
+            }
+            addr = args.remove(i + 1);
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(addr)
+}
+
+fn positive(flag: &str, value: &str) -> Result<usize, CliError> {
+    let n: usize = value
+        .parse()
+        .map_err(|e| CliError::Usage(format!("{flag}: {e}")))?;
+    if n == 0 {
+        return Err(CliError::Usage(format!("{flag} needs a positive count")));
+    }
+    Ok(n)
+}
+
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value()?.to_string(),
+            "--workers" => config.workers = positive("--workers", value()?)?,
+            "--queue" => config.queue_limit = positive("--queue", value()?)?,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument {other} (expected --addr HOST:PORT, --workers N, --queue N)"
+                )))
+            }
+        }
+    }
+    let server = crate::serve::serve(&config)
+        .map_err(|e| CliError::Io(format!("cannot bind {}: {e}", config.addr)))?;
+    println!(
+        "momsim serve: listening on {} ({} workers, queue limit {})",
+        server.addr(),
+        config.workers,
+        config.queue_limit
+    );
+    println!(
+        "submit work with: momsim submit --addr {} <experiment> --wait",
+        server.addr()
+    );
+    println!("stop with:        momsim shutdown --addr {}", server.addr());
+    // The accept loop exits when POST /shutdown flips the stop flag; a
+    // SIGINT instead kills the process without draining (in-flight results
+    // are still durable: the store write happens before a unit reports).
+    server.join();
+    println!("momsim serve: drained and stopped");
+    Ok(())
+}
+
+/// Builds the submission document from `momsim submit` arguments.
+/// A leading bare word is a registered experiment name; otherwise the
+/// axis flags mirror `momsim run` and are shipped as the wire axes object
+/// (the daemon validates values and reports the vocabulary on a typo).
+fn submit_body(args: &[String]) -> Result<(Json, Vec<String>), CliError> {
+    let mut pairs: Vec<(&'static str, Json)> = Vec::new();
+    let mut passthrough = Vec::new();
+    let mut it = args.iter().peekable();
+    if let Some(first) = it.peek() {
+        if !first.starts_with("--") {
+            let name = it.next().expect("peeked").clone();
+            passthrough.extend(it.cloned());
+            return Ok((Json::obj([("experiment", Json::str(name))]), passthrough));
+        }
+    }
+    let int_list = |flag: &str, value: &str| -> Result<Json, CliError> {
+        let items: Result<Vec<Json>, CliError> = value
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map(|n| Json::Num(n as f64))
+                    .map_err(|e| CliError::Usage(format!("{flag}: {e}")))
+            })
+            .collect();
+        Ok(Json::Arr(items?))
+    };
+    let str_list = |value: &str| -> Json {
+        Json::Arr(
+            value
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| Json::str(s.trim()))
+                .collect(),
+        )
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--wait" | "--json" => {
+                passthrough.push(flag.clone());
+                if flag == "--json" {
+                    match it.next() {
+                        Some(path) => passthrough.push(path.clone()),
+                        None => return Err(CliError::Usage("--json needs a path argument".into())),
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--label" => pairs.push(("label", Json::str(value.clone()))),
+            "--kernels" => pairs.push((
+                "kernels",
+                if value == "all" {
+                    Json::str("all")
+                } else {
+                    str_list(value)
+                },
+            )),
+            "--isas" => pairs.push((
+                "isas",
+                if value == "all" || value == "media" {
+                    Json::str(value.clone())
+                } else {
+                    str_list(value)
+                },
+            )),
+            "--widths" => pairs.push(("widths", int_list("--widths", value)?)),
+            "--memory" => pairs.push(("memory", str_list(value))),
+            "--rob" => pairs.push(("rob", int_list("--rob", value)?)),
+            "--lanes" => pairs.push(("lanes", int_list("--lanes", value)?)),
+            "--replication" => pairs.push((
+                "replication",
+                Json::Num(positive("--replication", value)? as f64),
+            )),
+            "--seed" => pairs.push((
+                "seed",
+                Json::Num(
+                    value
+                        .parse::<u64>()
+                        .map_err(|e| CliError::Usage(format!("--seed: {e}")))?
+                        as f64,
+                ),
+            )),
+            "--sampled" => pairs.push(("sampled", Json::str(value.clone()))),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument {other} (see `momsim help`)"
+                )))
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return Err(CliError::Usage(
+            "momsim submit needs an experiment name or axis flags (see `momsim help`)".into(),
+        ));
+    }
+    Ok((Json::obj(pairs), passthrough))
+}
+
+fn get_u64(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn run_submit(args: &[String]) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let addr = extract_addr(&mut args)?;
+    let (body, options) = submit_body(&args)?;
+    let mut wait = false;
+    let mut json_path = None;
+    let mut it = options.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--wait" => wait = true,
+            "--json" => json_path = it.next(),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument {other} (expected --wait, --json PATH)"
+                )))
+            }
+        }
+    }
+    let (status, doc) = request_json(&addr, "POST", "/jobs", Some(body.pretty().as_bytes()))
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    if status != 202 {
+        return Err(CliError::Io(format!(
+            "submission rejected ({status}): {}",
+            doc.get("error").and_then(Json::as_str).unwrap_or("?")
+        )));
+    }
+    let job = get_u64(&doc, "job");
+    println!(
+        "job {job} submitted: {} points ({} scheduled, {} from the store, {} shared)",
+        get_u64(&doc, "points"),
+        get_u64(&doc, "scheduled"),
+        get_u64(&doc, "deduped"),
+        get_u64(&doc, "shared"),
+    );
+    if !wait {
+        return Ok(());
+    }
+    loop {
+        let (status, doc) = request_json(&addr, "GET", &format!("/jobs/{job}"), None)
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        if status != 200 {
+            return Err(CliError::Io(format!("job {job} vanished ({status})")));
+        }
+        let state = doc.get("state").and_then(Json::as_str).unwrap_or("?");
+        if state == "running" {
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        let total = get_u64(&doc, "points").max(1);
+        let reused = get_u64(&doc, "reused");
+        println!(
+            "job {job} {state}: {}/{} points, {} computed, {} reused ({}% dedup)",
+            get_u64(&doc, "completed"),
+            total,
+            get_u64(&doc, "scheduled"),
+            reused,
+            reused * 100 / total,
+        );
+        if let Some(errors) = doc.get("errors").and_then(Json::as_arr) {
+            for error in errors {
+                eprintln!("  error: {}", error.as_str().unwrap_or("?"));
+            }
+        }
+        if let Some(path) = &json_path {
+            std::fs::write(path, doc.pretty())
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote {path}");
+        }
+        if state != "done" {
+            return Err(CliError::Io(format!("job {job} finished as {state}")));
+        }
+        return Ok(());
+    }
+}
+
+fn run_status(args: &[String]) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let addr = extract_addr(&mut args)?;
+    match args.first() {
+        None => {
+            let (status, doc) = request_json(&addr, "GET", "/jobs", None)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            if status != 200 {
+                return Err(CliError::Io(format!("status request failed ({status})")));
+            }
+            let jobs = doc.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+            if jobs.is_empty() {
+                println!("no jobs");
+                return Ok(());
+            }
+            println!(
+                "{:>5}  {:<16} {:<10} {:>9}",
+                "job", "label", "state", "points"
+            );
+            for job in jobs {
+                println!(
+                    "{:>5}  {:<16} {:<10} {:>4}/{}",
+                    get_u64(job, "job"),
+                    job.get("label").and_then(Json::as_str).unwrap_or("?"),
+                    job.get("state").and_then(Json::as_str).unwrap_or("?"),
+                    get_u64(job, "completed"),
+                    get_u64(job, "points"),
+                );
+            }
+            Ok(())
+        }
+        Some(id) => {
+            if args.len() > 1 {
+                return Err(CliError::Usage(
+                    "momsim status takes at most one job id".into(),
+                ));
+            }
+            let id: u64 = id
+                .parse()
+                .map_err(|e| CliError::Usage(format!("bad job id '{id}': {e}")))?;
+            let (status, doc) = request_json(&addr, "GET", &format!("/jobs/{id}"), None)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            if status != 200 {
+                return Err(CliError::Io(format!(
+                    "no such job {id} ({})",
+                    doc.get("error").and_then(Json::as_str).unwrap_or("?")
+                )));
+            }
+            print!("{}", doc.pretty());
+            Ok(())
+        }
+    }
+}
+
+fn run_report(args: &[String]) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let addr = extract_addr(&mut args)?;
+    let mut name = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => return Err(CliError::Usage("--out needs a path argument".into())),
+            },
+            other if !other.starts_with("--") && name.is_none() => name = Some(other.to_string()),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument {other} (expected <report>, --out PATH)"
+                )))
+            }
+        }
+    }
+    let name = name.ok_or_else(|| {
+        CliError::Usage(
+            "momsim report needs a report name (fig4, fig5, tables, apps, ablations)".into(),
+        )
+    })?;
+    let (status, bytes) = request_raw(&addr, "GET", &format!("/reports/{name}"), None)
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    if status != 200 {
+        let detail = std::str::from_utf8(&bytes)
+            .ok()
+            .and_then(|text| crate::json::parse(text).ok())
+            .and_then(|doc| doc.get("error").and_then(Json::as_str).map(String::from))
+            .unwrap_or_else(|| format!("HTTP {status}"));
+        return Err(CliError::Io(format!("report '{name}': {detail}")));
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &bytes)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote {path} ({} bytes)", bytes.len());
+        }
+        None => {
+            let text = String::from_utf8(bytes)
+                .map_err(|_| CliError::Io("report body is not UTF-8".into()))?;
+            print!("{text}");
+        }
+    }
+    Ok(())
+}
+
+fn run_shutdown(args: &[String]) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let addr = extract_addr(&mut args)?;
+    if !args.is_empty() {
+        return Err(CliError::Usage("momsim shutdown takes only --addr".into()));
+    }
+    let (status, doc) =
+        request_json(&addr, "POST", "/shutdown", None).map_err(|e| CliError::Io(e.to_string()))?;
+    if status != 200 {
+        return Err(CliError::Io(format!("shutdown failed ({status})")));
+    }
+    println!(
+        "daemon draining: {} jobs served, {} units completed, {} queued units dropped",
+        get_u64(&doc, "jobs"),
+        get_u64(&doc, "completed_units"),
+        get_u64(&doc, "dropped_queued"),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn addr_extracts_from_any_position() {
+        let mut args = strs(&["fig4", "--addr", "127.0.0.1:7000", "--wait"]);
+        assert_eq!(extract_addr(&mut args).unwrap(), "127.0.0.1:7000");
+        assert_eq!(args, strs(&["fig4", "--wait"]));
+        let mut args = strs(&["fig4"]);
+        assert_eq!(extract_addr(&mut args).unwrap(), DEFAULT_ADDR);
+        let err = extract_addr(&mut strs(&["--addr"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn submit_bodies_cover_both_shapes() {
+        let (body, rest) = submit_body(&strs(&["fig4", "--wait"])).unwrap();
+        assert_eq!(body.get("experiment").and_then(Json::as_str), Some("fig4"));
+        assert_eq!(rest, strs(&["--wait"]));
+
+        let (body, rest) = submit_body(&strs(&[
+            "--kernels",
+            "idct",
+            "--widths",
+            "2,4",
+            "--isas",
+            "media",
+            "--json",
+            "o.json",
+        ]))
+        .unwrap();
+        assert_eq!(rest, strs(&["--json", "o.json"]));
+        assert_eq!(
+            body.get("kernels")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(body.get("isas").and_then(Json::as_str), Some("media"));
+        assert_eq!(
+            body.get("widths").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+
+        let err = submit_body(&strs(&[])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = submit_body(&strs(&["--frobnicate", "x"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+}

@@ -1,0 +1,75 @@
+//! The HTTP client side of `momsim submit` / `status` / `report` /
+//! `shutdown`: one request per connection against a running daemon.
+
+use crate::http::read_response;
+use mom_bench::json::Json;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side failure: connection, protocol or response decoding.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect or the connection failed mid-request.
+    Io(String),
+    /// The response was not parseable.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(m) | ClientError::Protocol(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Performs one request; returns the status code and raw body bytes.
+pub fn request_raw(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<(u16, Vec<u8>), ClientError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| ClientError::Io(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(30))))
+        .map_err(|e| ClientError::Io(format!("cannot configure the connection: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| ClientError::Io(format!("cannot clone the connection: {e}")))?;
+    let body = body.unwrap_or(&[]);
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .and_then(|()| writer.write_all(body))
+    .and_then(|()| writer.flush())
+    .map_err(|e| ClientError::Io(format!("request to {addr} failed: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader).map_err(|e| ClientError::Protocol(format!("{addr}: {e}")))
+}
+
+/// Performs one request and parses the JSON body (an empty body maps to
+/// [`Json::Null`]).
+pub fn request_json(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<(u16, Json), ClientError> {
+    let (status, bytes) = request_raw(addr, method, path, body)?;
+    if bytes.is_empty() {
+        return Ok((status, Json::Null));
+    }
+    let text = std::str::from_utf8(&bytes)
+        .map_err(|_| ClientError::Protocol(format!("{addr}: response body is not UTF-8")))?;
+    let doc = crate::json::parse(text)
+        .map_err(|e| ClientError::Protocol(format!("{addr}: response is not valid JSON: {e}")))?;
+    Ok((status, doc))
+}

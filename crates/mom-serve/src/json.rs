@@ -1,0 +1,392 @@
+//! A strict recursive-descent JSON parser matching the `mom_bench::json`
+//! emitter.
+//!
+//! The daemon is the only consumer of wire JSON, so the parser favours
+//! clear, positioned errors over leniency: duplicate object keys, trailing
+//! content, bad escapes, lone surrogates, leading zeros and non-finite
+//! numbers are all rejected with the line and column of the offence.
+//! Everything the emitter produces parses back to an equal [`Json`] tree
+//! (pinned by `tests/json_roundtrip.rs` over the committed `BENCH_*.json`
+//! documents).
+
+use mom_bench::json::Json;
+
+/// Nesting limit: deeper documents are rejected instead of overflowing the
+/// parser's stack.  The deepest emitted document is 4 levels.
+const MAX_DEPTH: usize = 128;
+
+/// A positioned parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offence in the input.
+    pub offset: usize,
+    /// 1-based line of the offence.
+    pub line: usize,
+    /// 1-based column (in bytes) of the offence.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {} column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error("trailing content after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let offset = self.pos.min(self.bytes.len());
+        let line = 1 + self.bytes[..offset].iter().filter(|&&b| b == b'\n').count();
+        let column = 1 + offset
+            - self.bytes[..offset]
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |nl| nl + 1);
+        ParseError {
+            offset,
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error(format!("document deeper than {MAX_DEPTH} levels")));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!(
+                "unexpected byte 0x{other:02x} where a value was expected"
+            ))),
+            None => Err(self.error("unexpected end of input where a value was expected")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key_pos = self.pos;
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                self.pos = key_pos;
+                return Err(self.error(format!("duplicate object key \"{key}\"")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.error("expected '\"'"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error(format!("unescaped control byte 0x{b:02x} in string")));
+                }
+                Some(_) => {
+                    // Consume one complete UTF-8 scalar (the input is &str,
+                    // so the boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    out.push_str(std::str::from_utf8(&rest[..len]).expect("valid input"));
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let escape_pos = self.pos - 1;
+        let code = match self.peek() {
+            None => return Err(self.error("unterminated escape")),
+            Some(b) => b,
+        };
+        self.pos += 1;
+        match code {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let unit = self.hex4()?;
+                let c = if (0xD800..0xDC00).contains(&unit) {
+                    // A high surrogate must be followed by \uDC00-\uDFFF.
+                    if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                        self.pos += 2;
+                        let low = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&low) {
+                            self.pos = escape_pos;
+                            return Err(self.error("unpaired high surrogate in \\u escape"));
+                        }
+                        let scalar = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                        char::from_u32(scalar).expect("valid surrogate pair")
+                    } else {
+                        self.pos = escape_pos;
+                        return Err(self.error("lone high surrogate in \\u escape"));
+                    }
+                } else if (0xDC00..0xE000).contains(&unit) {
+                    self.pos = escape_pos;
+                    return Err(self.error("lone low surrogate in \\u escape"));
+                } else {
+                    char::from_u32(unit).expect("non-surrogate BMP scalar")
+                };
+                out.push(c);
+            }
+            other => {
+                self.pos = escape_pos;
+                return Err(self.error(format!("bad escape '\\{}'", other as char)));
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut unit = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(self.error("\\u needs four hex digits")),
+            };
+            unit = unit * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or a nonzero digit run (no leading zeros).
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos = start;
+                    return Err(self.error("number has a leading zero"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after the decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        let n: f64 = text.parse().map_err(|e| {
+            self.pos = start;
+            self.error(format!("bad number '{text}': {e}"))
+        })?;
+        if !n.is_finite() {
+            self.pos = start;
+            return Err(self.error(format!("number '{text}' overflows an f64")));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(
+            parse("{\"k\": [1, {\"n\": null}]}").unwrap(),
+            Json::obj([(
+                "k",
+                Json::Arr(vec![Json::Num(1.0), Json::obj([("n", Json::Null)])])
+            )])
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+        assert!(parse("\"\\ud83d\"").is_err(), "lone high surrogate");
+        assert!(parse("\"\\ude00\"").is_err(), "lone low surrogate");
+        assert!(parse("\"\\ud83d\\u0041\"").is_err(), "unpaired high");
+    }
+
+    #[test]
+    fn rejections_carry_positions() {
+        let err = parse("{\"a\": 1,\n \"a\": 2}").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+        assert_eq!((err.line, err.column), (2, 2), "{err}");
+
+        let err = parse("01").unwrap_err();
+        assert!(err.message.contains("leading zero"), "{err}");
+
+        let err = parse("[1] trailing").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+
+        let err = parse("\"\\q\"").unwrap_err();
+        assert!(err.message.contains("bad escape"), "{err}");
+
+        let mut deep = String::new();
+        for _ in 0..200 {
+            deep.push('[');
+        }
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("deeper"), "{err}");
+    }
+}

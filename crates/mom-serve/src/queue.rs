@@ -1,0 +1,605 @@
+//! The deduplicating job queue and its worker pool.
+//!
+//! The unit of scheduling is one content-addressed [`WorkUnit`] — a single
+//! grid point ([`mom_bench::schedule::PointJob`]) or the composite
+//! application-speedup scenario.  Submissions subscribe to units by key:
+//! a point already in the store is answered at submit time without
+//! touching the pool, a point another job is already computing is shared
+//! rather than recomputed, and only genuinely new points enter the queue.
+//! Workers drain the queue through the same store-fronted fill paths the
+//! batch sweep uses, so every computed unit lands in the persistent store.
+//!
+//! Lock discipline: the queue lock may be held while reading the store
+//! (submit-time dedup), and the store's internal locks are never held
+//! while acquiring the queue lock — workers compute with no lock held.
+
+use crate::wire::JobRequest;
+use mom_bench::schedule::PointJob;
+use mom_bench::{schedule, store, ExperimentPoint, ExperimentSpec};
+use mom_pipeline::PipelineConfig;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A monotonically increasing job identifier.
+pub type JobId = u64;
+
+/// One content-addressed unit of work.
+#[derive(Debug, Clone)]
+pub enum WorkUnit {
+    /// A single grid point.
+    Point(Box<PointJob>),
+    /// The application-speedup scenario (all apps, one config).
+    Apps {
+        /// The machine configuration of the scenario.
+        config: Box<PipelineConfig>,
+        /// Workload seed.
+        seed: u64,
+        /// Frames per application.
+        frames: usize,
+    },
+}
+
+impl WorkUnit {
+    /// The unit's content hash — its dedup identity.
+    pub fn key(&self) -> mom_store::Key {
+        match self {
+            WorkUnit::Point(job) => job.key(),
+            WorkUnit::Apps {
+                config,
+                seed,
+                frames,
+            } => store::apps_key(config, *seed, *frames),
+        }
+    }
+
+    /// The finished result, **if** the persistent store already holds it.
+    pub fn cached(&self) -> Option<UnitResult> {
+        match self {
+            WorkUnit::Point(job) => job.cached().map(|p| UnitResult::Point(Box::new(p))),
+            WorkUnit::Apps {
+                config,
+                seed,
+                frames,
+            } => store::cached_app_speedups(config, *seed, *frames).map(UnitResult::Apps),
+        }
+    }
+
+    /// Computes the unit through the store-fronted fill path.
+    pub fn compute(&self) -> Result<UnitResult, String> {
+        match self {
+            WorkUnit::Point(job) => job
+                .compute()
+                .map(|p| UnitResult::Point(Box::new(p)))
+                .map_err(|e| e.to_string()),
+            WorkUnit::Apps {
+                config,
+                seed,
+                frames,
+            } => store::stored_app_speedups(config, *seed, *frames)
+                .map(UnitResult::Apps)
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// A finished unit's payload.
+#[derive(Debug)]
+pub enum UnitResult {
+    /// A single grid point.
+    Point(Box<ExperimentPoint>),
+    /// The application-speedup table.
+    Apps(Vec<mom_apps::AppSpeedup>),
+}
+
+#[derive(Debug)]
+enum UnitStatus {
+    Queued,
+    Running,
+    Done(Arc<UnitResult>),
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct Unit {
+    payload: WorkUnit,
+    status: UnitStatus,
+    subscribers: Vec<JobId>,
+}
+
+/// What a job asked for (kept for rendering its document).
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// A grid of points, in plan order.
+    Grid(ExperimentSpec),
+    /// The application-speedup scenario.
+    Apps,
+}
+
+#[derive(Debug)]
+struct Job {
+    label: String,
+    kind: JobKind,
+    keys: Vec<mom_store::Key>,
+    cancelled: bool,
+    deduped: usize,
+    shared: usize,
+    scheduled: usize,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next_job: JobId,
+    jobs: BTreeMap<JobId, Job>,
+    units: HashMap<mom_store::Key, Unit>,
+    queue: VecDeque<mom_store::Key>,
+    running: usize,
+    shutting_down: bool,
+}
+
+impl State {
+    fn subscriber_alive(&self, unit: &Unit) -> bool {
+        unit.subscribers
+            .iter()
+            .any(|id| self.jobs.get(id).is_some_and(|job| !job.cancelled))
+    }
+
+    /// Jobs still owed work by the pool (queued or running units).
+    fn active_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|(_, job)| {
+                !job.cancelled
+                    && job.keys.iter().any(|key| {
+                        matches!(
+                            self.units.get(key).map(|u| &u.status),
+                            Some(UnitStatus::Queued | UnitStatus::Running)
+                        )
+                    })
+            })
+            .count()
+    }
+
+    /// Drops queued keys no live job wants any more (after a cancellation
+    /// or a shutdown), removing their units.  Returns how many were
+    /// dropped.
+    fn prune_queue(&mut self, drop_all: bool) -> usize {
+        let queued = std::mem::take(&mut self.queue);
+        let mut dropped = 0;
+        for key in queued {
+            let wanted = !drop_all
+                && self
+                    .units
+                    .get(&key)
+                    .is_some_and(|unit| self.subscriber_alive(unit));
+            if wanted {
+                self.queue.push_back(key);
+            } else {
+                self.units.remove(&key);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+}
+
+/// The accepted-submission summary returned by [`Daemon::submit`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitOutcome {
+    /// The new job's identifier.
+    pub job: JobId,
+    /// Units the job refers to in total.
+    pub total: usize,
+    /// Units newly scheduled on the pool.
+    pub scheduled: usize,
+    /// Units answered from the persistent store at submit time.
+    pub deduped: usize,
+    /// Units shared with other in-flight jobs.
+    pub shared: usize,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded job queue is full (HTTP 429).
+    Busy {
+        /// Jobs currently owed work.
+        active: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The daemon is draining (HTTP 503).
+    ShuttingDown,
+    /// The submission is invalid (HTTP 400).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy { active, limit } => {
+                write!(f, "queue full: {active} active jobs (limit {limit})")
+            }
+            SubmitError::ShuttingDown => f.write_str("daemon is shutting down"),
+            SubmitError::Invalid(m) => f.write_str(m),
+        }
+    }
+}
+
+/// A job's terminal or in-flight state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Units are still queued or running.
+    Running,
+    /// Every unit finished successfully.
+    Done,
+    /// At least one unit failed.
+    Failed,
+    /// The job was cancelled (queued units were dropped).
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A point-in-time view of one job.
+#[derive(Debug)]
+pub struct JobSnapshot {
+    /// The job's identifier.
+    pub id: JobId,
+    /// The submission's label.
+    pub label: String,
+    /// What the job asked for.
+    pub kind: JobKind,
+    /// The job's current state.
+    pub state: JobState,
+    /// Units the job refers to.
+    pub total: usize,
+    /// Units finished successfully.
+    pub completed: usize,
+    /// Units that failed.
+    pub failed: usize,
+    /// Units answered from the store at submit time.
+    pub deduped: usize,
+    /// Units shared with other jobs.
+    pub shared: usize,
+    /// Units this job scheduled on the pool.
+    pub scheduled: usize,
+    /// Failure messages of failed units.
+    pub errors: Vec<String>,
+    /// Finished results, as `(index in the job's unit list, result)`.
+    pub rows: Vec<(usize, Arc<UnitResult>)>,
+}
+
+impl JobSnapshot {
+    /// Units the job did **not** schedule itself (store hits + shared).
+    pub fn reused(&self) -> usize {
+        self.total - self.scheduled
+    }
+}
+
+/// What [`Daemon::shutdown`] drained.
+#[derive(Debug, Clone, Copy)]
+pub struct ShutdownSummary {
+    /// Jobs accepted over the daemon's lifetime.
+    pub jobs: usize,
+    /// Units finished successfully (computed or store-answered).
+    pub completed_units: usize,
+    /// Queued units dropped by the drain.
+    pub dropped_queued: usize,
+}
+
+/// The job queue plus its worker pool.
+pub struct Daemon {
+    state: Mutex<State>,
+    /// Signalled when the queue gains work or the daemon starts draining.
+    work: Condvar,
+    /// Signalled when a worker finishes a unit (shutdown waits on this).
+    idle: Condvar,
+    queue_limit: usize,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Daemon {
+    /// Builds a daemon with `workers` pool threads and at most
+    /// `queue_limit` concurrently active jobs.  `workers == 0` is allowed
+    /// (and used by tests to observe queued states deterministically); the
+    /// CLI validates a positive count.
+    pub fn new(workers: usize, queue_limit: usize) -> Arc<Daemon> {
+        let daemon = Arc::new(Daemon {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            queue_limit: queue_limit.max(1),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = daemon.workers.lock().expect("worker registry");
+        for index in 0..workers {
+            let daemon = Arc::clone(&daemon);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mom-serve-worker-{index}"))
+                    .spawn(move || daemon.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        drop(handles);
+        daemon
+    }
+
+    /// Accepts a submission: decomposes it into units, answers what the
+    /// store already holds, subscribes to what other jobs are computing,
+    /// and schedules the rest.
+    pub fn submit(&self, request: JobRequest) -> Result<SubmitOutcome, SubmitError> {
+        let (label, kind, units) = match request {
+            JobRequest::Grid { label, spec } => {
+                spec.validate().map_err(SubmitError::Invalid)?;
+                let units: Vec<WorkUnit> = schedule::plan(&spec)
+                    .into_iter()
+                    .map(|job| WorkUnit::Point(Box::new(job)))
+                    .collect();
+                (label, JobKind::Grid(spec), units)
+            }
+            JobRequest::Apps { label } => (
+                label,
+                JobKind::Apps,
+                vec![WorkUnit::Apps {
+                    config: Box::new(mom_apps::reference_config()),
+                    seed: mom_bench::EXPERIMENT_SEED,
+                    frames: mom_apps::DEFAULT_FRAMES,
+                }],
+            ),
+        };
+        if units.is_empty() {
+            return Err(SubmitError::Invalid("the submission has no points".into()));
+        }
+
+        let mut guard = self.state.lock().expect("queue state");
+        let state = &mut *guard;
+        if state.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let active = state.active_jobs();
+        if active >= self.queue_limit {
+            return Err(SubmitError::Busy {
+                active,
+                limit: self.queue_limit,
+            });
+        }
+        let job_id = state.next_job;
+        state.next_job += 1;
+        let mut outcome = SubmitOutcome {
+            job: job_id,
+            total: units.len(),
+            scheduled: 0,
+            deduped: 0,
+            shared: 0,
+        };
+        let mut keys = Vec::with_capacity(units.len());
+        for unit in units {
+            let key = unit.key();
+            keys.push(key);
+            match state.units.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    let existing = entry.get_mut();
+                    existing.subscribers.push(job_id);
+                    match existing.status {
+                        UnitStatus::Done(_) => outcome.deduped += 1,
+                        _ => outcome.shared += 1,
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    // The store read happens under the queue lock; it is a
+                    // hash lookup plus at worst one small file read, and
+                    // keeps the check-then-schedule step atomic.
+                    match unit.cached() {
+                        Some(result) => {
+                            entry.insert(Unit {
+                                payload: unit,
+                                status: UnitStatus::Done(Arc::new(result)),
+                                subscribers: vec![job_id],
+                            });
+                            outcome.deduped += 1;
+                        }
+                        None => {
+                            entry.insert(Unit {
+                                payload: unit,
+                                status: UnitStatus::Queued,
+                                subscribers: vec![job_id],
+                            });
+                            state.queue.push_back(key);
+                            outcome.scheduled += 1;
+                        }
+                    }
+                }
+            }
+        }
+        state.jobs.insert(
+            job_id,
+            Job {
+                label,
+                kind,
+                keys,
+                cancelled: false,
+                deduped: outcome.deduped,
+                shared: outcome.shared,
+                scheduled: outcome.scheduled,
+            },
+        );
+        if outcome.scheduled > 0 {
+            self.work.notify_all();
+        }
+        Ok(outcome)
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let (key, payload) = {
+                let mut guard = self.state.lock().expect("queue state");
+                loop {
+                    let state = &mut *guard;
+                    let mut claimed = None;
+                    while let Some(key) = state.queue.pop_front() {
+                        let wanted = state.units.get(&key).is_some_and(|unit| {
+                            matches!(unit.status, UnitStatus::Queued)
+                                && state.subscriber_alive(unit)
+                        });
+                        if wanted {
+                            claimed = Some(key);
+                            break;
+                        }
+                        // Nobody wants it any more: forget the unit.
+                        state.units.remove(&key);
+                    }
+                    if let Some(key) = claimed {
+                        let unit = state.units.get_mut(&key).expect("claimed unit");
+                        unit.status = UnitStatus::Running;
+                        let payload = unit.payload.clone();
+                        state.running += 1;
+                        break (key, payload);
+                    }
+                    if state.shutting_down {
+                        return;
+                    }
+                    guard = self.work.wait(guard).expect("queue state");
+                }
+            };
+            // Compute with no lock held; the fill path writes the store.
+            let result = payload.compute();
+            let mut state = self.state.lock().expect("queue state");
+            if let Some(unit) = state.units.get_mut(&key) {
+                unit.status = match result {
+                    Ok(result) => UnitStatus::Done(Arc::new(result)),
+                    Err(message) => UnitStatus::Failed(message),
+                };
+            }
+            state.running -= 1;
+            self.idle.notify_all();
+        }
+    }
+
+    /// Cancels a job: in-flight units finish (their results stay shared),
+    /// queued units no other live job wants are dropped.  `false` for an
+    /// unknown id.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut guard = self.state.lock().expect("queue state");
+        let state = &mut *guard;
+        let Some(job) = state.jobs.get_mut(&id) else {
+            return false;
+        };
+        job.cancelled = true;
+        state.prune_queue(false);
+        true
+    }
+
+    /// A point-in-time view of one job; `None` for an unknown id.
+    pub fn snapshot(&self, id: JobId) -> Option<JobSnapshot> {
+        let state = self.state.lock().expect("queue state");
+        let job = state.jobs.get(&id)?;
+        let mut snapshot = JobSnapshot {
+            id,
+            label: job.label.clone(),
+            kind: job.kind.clone(),
+            state: JobState::Running,
+            total: job.keys.len(),
+            completed: 0,
+            failed: 0,
+            deduped: job.deduped,
+            shared: job.shared,
+            scheduled: job.scheduled,
+            errors: Vec::new(),
+            rows: Vec::new(),
+        };
+        let mut pending = 0;
+        let mut dropped = 0;
+        for (index, key) in job.keys.iter().enumerate() {
+            match state.units.get(key).map(|unit| &unit.status) {
+                Some(UnitStatus::Done(result)) => {
+                    snapshot.completed += 1;
+                    snapshot.rows.push((index, Arc::clone(result)));
+                }
+                Some(UnitStatus::Failed(message)) => {
+                    snapshot.failed += 1;
+                    snapshot.errors.push(message.clone());
+                }
+                Some(UnitStatus::Queued | UnitStatus::Running) => pending += 1,
+                None => dropped += 1,
+            }
+        }
+        snapshot.state = if job.cancelled || dropped > 0 {
+            JobState::Cancelled
+        } else if pending > 0 {
+            JobState::Running
+        } else if snapshot.failed > 0 {
+            JobState::Failed
+        } else {
+            JobState::Done
+        };
+        Some(snapshot)
+    }
+
+    /// Every job id the daemon has accepted, in submission order.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.state
+            .lock()
+            .expect("queue state")
+            .jobs
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Drains the daemon: rejects new submissions, drops queued units,
+    /// and waits for in-flight units to finish (their results land in the
+    /// store like any other).
+    pub fn shutdown(&self) -> ShutdownSummary {
+        let mut state = self.state.lock().expect("queue state");
+        state.shutting_down = true;
+        let dropped_queued = state.prune_queue(true);
+        self.work.notify_all();
+        while state.running > 0 {
+            state = self.idle.wait(state).expect("queue state");
+        }
+        ShutdownSummary {
+            jobs: state.jobs.len(),
+            completed_units: state
+                .units
+                .values()
+                .filter(|unit| matches!(unit.status, UnitStatus::Done(_)))
+                .count(),
+            dropped_queued,
+        }
+    }
+
+    /// Joins the pool threads (call after [`Daemon::shutdown`]).
+    pub fn join_workers(&self) {
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker registry"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until a job reaches a terminal state; `None` for an unknown
+    /// id.  Test and CLI convenience (the HTTP client polls instead).
+    pub fn wait(&self, id: JobId) -> Option<JobSnapshot> {
+        loop {
+            let snapshot = self.snapshot(id)?;
+            if snapshot.state != JobState::Running {
+                return Some(snapshot);
+            }
+            let state = self.state.lock().expect("queue state");
+            let _unused = self
+                .idle
+                .wait_timeout(state, std::time::Duration::from_millis(50))
+                .expect("queue state");
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The TCP listener and request router of `momsim serve`.
+//!
+//! One thread accepts connections (non-blocking, so the stop flag is
+//! honoured promptly), one short-lived thread handles each connection
+//! (`Connection: close`; submissions are small and the worker pool does
+//! the real work), and the routes map directly onto [`crate::queue`]:
+//!
+//! | route                | behaviour                                      |
+//! |----------------------|------------------------------------------------|
+//! | `GET /healthz`       | liveness probe                                 |
+//! | `POST /jobs`         | submit (202) / full (429) / draining (503)     |
+//! | `GET /jobs`          | list jobs                                      |
+//! | `GET /jobs/<id>`     | job status + result rows streamed so far       |
+//! | `DELETE /jobs/<id>`  | cancel (in-flight finish, queued are dropped)  |
+//! | `GET /reports/<name>`| replay a committed report from the store (409  |
+//! |                      | unless every point is already stored)          |
+//! | `POST /shutdown`     | drain, summarise, stop accepting               |
+
+use crate::http::{read_request, HttpError, Response};
+use crate::queue::Daemon;
+use crate::wire::{job_doc, job_entry, parse_submit};
+use mom_bench::json::Json;
+use mom_bench::{find_experiment, Report};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The address to bind (`host:port`).
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Most concurrently active jobs before submissions get 429.
+    pub queue_limit: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:5099".to_string(),
+            workers: 2,
+            queue_limit: 16,
+        }
+    }
+}
+
+/// A running daemon: its bound address, queue handle and accept thread.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    daemon: Arc<Daemon>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// The actually bound address (resolves `:0` to the assigned port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The underlying job queue (tests drive it directly).
+    pub fn daemon(&self) -> &Arc<Daemon> {
+        &self.daemon
+    }
+
+    /// Waits for the accept loop to exit (after `POST /shutdown`), then
+    /// joins the worker pool.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.daemon.join_workers();
+    }
+}
+
+/// Binds the configured address and starts the daemon.
+pub fn serve(config: &ServeConfig) -> std::io::Result<Server> {
+    serve_with(
+        Daemon::new(config.workers, config.queue_limit),
+        &config.addr,
+    )
+}
+
+/// Starts the accept loop over an existing queue — the seam tests use to
+/// run a daemon with zero workers and observe queued states.
+pub fn serve_with(daemon: Arc<Daemon>, addr: &str) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let daemon = Arc::clone(&daemon);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("mom-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, daemon, stop))
+            .expect("spawn accept loop")
+    };
+    Ok(Server {
+        addr,
+        daemon,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, daemon: Arc<Daemon>, stop: Arc<AtomicBool>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(&daemon);
+                let stop = Arc::clone(&stop);
+                connections.retain(|handle| !handle.is_finished());
+                connections.push(
+                    std::thread::Builder::new()
+                        .name("mom-serve-conn".to_string())
+                        .spawn(move || handle_connection(stream, &daemon, &stop))
+                        .expect("spawn connection handler"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(&request.method, &request.path, &request.body, daemon, stop),
+        Err(HttpError::Bad(message)) => Response::error(400, message),
+        Err(HttpError::TooLarge(message)) => Response::error(413, message),
+        Err(HttpError::Io(_)) => return,
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(method: &str, path: &str, body: &[u8], daemon: &Daemon, stop: &AtomicBool) -> Response {
+    match (method, path) {
+        ("GET", "/healthz") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+        ("POST", "/jobs") => submit_route(body, daemon),
+        ("GET", "/jobs") => {
+            let entries: Vec<Json> = daemon
+                .job_ids()
+                .into_iter()
+                .filter_map(|id| daemon.snapshot(id))
+                .map(|snapshot| job_entry(&snapshot))
+                .collect();
+            Response::json(200, &Json::obj([("jobs", Json::Arr(entries))]))
+        }
+        ("POST", "/shutdown") => {
+            let summary = daemon.shutdown();
+            stop.store(true, Ordering::SeqCst);
+            Response::json(
+                200,
+                &Json::obj([
+                    ("state", Json::str("draining")),
+                    ("jobs", Json::Num(summary.jobs as f64)),
+                    ("completed_units", Json::Num(summary.completed_units as f64)),
+                    ("dropped_queued", Json::Num(summary.dropped_queued as f64)),
+                ]),
+            )
+        }
+        _ => {
+            if let Some(rest) = path.strip_prefix("/jobs/") {
+                return match rest.parse::<u64>() {
+                    Ok(id) => job_route(method, id, daemon),
+                    Err(_) => Response::error(404, format!("no such job '{rest}'")),
+                };
+            }
+            if let Some(name) = path.strip_prefix("/reports/") {
+                return match method {
+                    "GET" => report_route(name),
+                    _ => Response::error(405, "reports are read-only"),
+                };
+            }
+            Response::error(404, format!("no such route {method} {path}"))
+        }
+    }
+}
+
+fn submit_route(body: &[u8], daemon: &Daemon) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "submission body is not UTF-8"),
+    };
+    let doc = match crate::json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, format!("submission is not valid JSON: {e}")),
+    };
+    let request = match parse_submit(&doc) {
+        Ok(request) => request,
+        Err(message) => return Response::error(400, message),
+    };
+    match daemon.submit(request) {
+        Ok(outcome) => Response::json(
+            202,
+            &Json::obj([
+                ("job", Json::Num(outcome.job as f64)),
+                ("points", Json::Num(outcome.total as f64)),
+                ("scheduled", Json::Num(outcome.scheduled as f64)),
+                ("deduped", Json::Num(outcome.deduped as f64)),
+                ("shared", Json::Num(outcome.shared as f64)),
+            ]),
+        ),
+        Err(crate::queue::SubmitError::Busy { active, limit }) => Response::error(
+            429,
+            format!("queue full: {active} active jobs (limit {limit})"),
+        ),
+        Err(crate::queue::SubmitError::ShuttingDown) => {
+            Response::error(503, "daemon is shutting down")
+        }
+        Err(crate::queue::SubmitError::Invalid(message)) => Response::error(400, message),
+    }
+}
+
+fn job_route(method: &str, id: u64, daemon: &Daemon) -> Response {
+    match method {
+        "GET" => match daemon.snapshot(id) {
+            Some(snapshot) => Response::json(200, &job_doc(&snapshot)),
+            None => Response::error(404, format!("no such job {id}")),
+        },
+        "DELETE" => {
+            if daemon.cancel(id) {
+                let snapshot = daemon.snapshot(id).expect("job just cancelled");
+                Response::json(200, &job_doc(&snapshot))
+            } else {
+                Response::error(404, format!("no such job {id}"))
+            }
+        }
+        _ => Response::error(405, "jobs support GET and DELETE"),
+    }
+}
+
+/// The `GET /reports/<name>` replay: serve a committed `BENCH_*` document
+/// byte-identically **from the store**, refusing (409) rather than
+/// simulating anything.  The daemon proves replay eligibility by checking
+/// every point of the report's spec against the store first; the actual
+/// rendering then runs the ordinary experiment path, which is all store
+/// hits by construction.
+fn report_route(name: &str) -> Response {
+    let experiments: &[&str] = match name {
+        "fig4" | "fig5" | "tables" => &[],
+        "apps" | "app-speedups" => &["app-speedups"],
+        "ablations" => &["ablation-lanes", "ablation-rob"],
+        "ablation-lanes" | "ablation-rob" => &[],
+        other => {
+            return Response::error(
+                404,
+                format!(
+                    "no such report '{other}' (expected fig4, fig5, tables, apps, \
+                     ablations, ablation-lanes or ablation-rob)"
+                ),
+            )
+        }
+    };
+    let experiments: Vec<&str> = if experiments.is_empty() {
+        vec![name]
+    } else {
+        experiments.to_vec()
+    };
+    if !mom_store::global().is_active() {
+        return Response::error(409, "the artifact store is disabled; nothing to replay");
+    }
+    for experiment in &experiments {
+        if let Some(missing) = first_missing_point(experiment) {
+            return Response::error(
+                409,
+                format!(
+                    "report '{name}' is not fully stored yet ({missing}); \
+                     submit it first (momsim submit {experiment} --wait)"
+                ),
+            );
+        }
+    }
+    let rendered = match render_report(name, &experiments) {
+        Ok(text) => text,
+        Err(e) => return Response::error(500, e),
+    };
+    Response::raw_json(200, rendered.into_bytes())
+}
+
+/// Scans an experiment's plan against the store; `Some(description)` of
+/// the first missing point, `None` when the whole plan is stored.
+fn first_missing_point(experiment: &str) -> Option<String> {
+    let named = find_experiment(experiment).ok()?;
+    match named.spec() {
+        Some(spec) => mom_bench::schedule::plan(&spec)
+            .iter()
+            .find(|job| job.cached().is_none())
+            .map(|job| {
+                format!(
+                    "missing {}/{}/way{}",
+                    job.kernel.name(),
+                    job.isa.name(),
+                    job.config.width
+                )
+            }),
+        None => {
+            let stored = mom_bench::store::cached_app_speedups(
+                &mom_apps::reference_config(),
+                mom_bench::EXPERIMENT_SEED,
+                mom_apps::DEFAULT_FRAMES,
+            );
+            match stored {
+                Some(_) => None,
+                None => Some("missing the application-speedup table".to_string()),
+            }
+        }
+    }
+}
+
+/// Renders the named report through the ordinary experiment path (every
+/// point verified stored, so this never simulates) to the exact bytes
+/// `momsim sweep` writes.
+fn render_report(name: &str, experiments: &[&str]) -> Result<String, String> {
+    if name == "ablations" {
+        let mut series: Vec<(&'static str, Report)> = Vec::new();
+        for experiment in experiments {
+            let named = find_experiment(experiment).map_err(|e| e.to_string())?;
+            series.push((named.name, named.run().map_err(|e| e.to_string())?));
+        }
+        return Ok(mom_bench::cli::ablations_doc(&series).pretty());
+    }
+    let experiment = experiments.first().copied().unwrap_or(name);
+    let report = find_experiment(experiment)
+        .map_err(|e| e.to_string())?
+        .run()
+        .map_err(|e| e.to_string())?;
+    Ok(report.json().pretty())
+}

@@ -1,0 +1,342 @@
+//! The wire vocabulary: JSON submissions in, JSON job documents out.
+//!
+//! A submission is either a registered experiment by name
+//! (`{"experiment": "fig4"}`) or an ad-hoc grid assembled from the same
+//! axis vocabulary `momsim run` parses on the command line — every axis
+//! value goes through the `FromStr` implementations of the domain types,
+//! so a typo produces an error listing the valid names.  Job documents are
+//! built from queue snapshots with the same row emitters the batch
+//! reports use ([`mom_bench::point_json`] / [`mom_bench::app_point_json`]),
+//! so a streamed row is field-identical to the committed `BENCH_*.json`
+//! row of the same point.
+
+use crate::queue::{JobKind, JobSnapshot, UnitResult};
+use mom_bench::json::Json;
+use mom_bench::{find_experiment, ExperimentSpec};
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::{MemoryModel, PipelineConfig, SamplingConfig};
+
+/// A validated submission, ready for the queue.
+#[derive(Debug, Clone)]
+pub enum JobRequest {
+    /// A grid of simulation points.
+    Grid {
+        /// Display label (the experiment name, a client label, or `ad-hoc`).
+        label: String,
+        /// The grid to decompose into points.
+        spec: ExperimentSpec,
+    },
+    /// The application-speedup scenario (one composite unit of work).
+    Apps {
+        /// Display label.
+        label: String,
+    },
+}
+
+const AXIS_KEYS: &str =
+    "label, kernels, isas, widths, memory, rob, lanes, replication, seed, sampled";
+
+fn str_items<'a>(key: &str, value: &'a Json) -> Result<Vec<&'a str>, String> {
+    let items = value
+        .as_arr()
+        .ok_or_else(|| format!("\"{key}\" must be an array of strings"))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .ok_or_else(|| format!("\"{key}\" must be an array of strings"))
+        })
+        .collect()
+}
+
+fn usize_items(key: &str, value: &Json) -> Result<Vec<usize>, String> {
+    let items = value
+        .as_arr()
+        .ok_or_else(|| format!("\"{key}\" must be an array of non-negative integers"))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("\"{key}\" must be an array of non-negative integers"))
+        })
+        .collect()
+}
+
+fn parsed_list<T>(key: &str, names: &[&str]) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    if names.is_empty() {
+        return Err(format!("\"{key}\" needs at least one value"));
+    }
+    names
+        .iter()
+        .map(|name| name.parse().map_err(|e: T::Err| format!("{key}: {e}")))
+        .collect()
+}
+
+/// Parses a submission document into a [`JobRequest`].
+pub fn parse_submit(doc: &Json) -> Result<JobRequest, String> {
+    let pairs = doc.as_obj().ok_or("a submission must be a JSON object")?;
+    if let Some(value) = doc.get("experiment") {
+        let name = value.as_str().ok_or("\"experiment\" must be a string")?;
+        if pairs.len() != 1 {
+            return Err("an \"experiment\" submission takes no other keys".into());
+        }
+        let experiment = find_experiment(name)?;
+        return Ok(match experiment.spec() {
+            Some(spec) => JobRequest::Grid {
+                label: name.to_string(),
+                spec,
+            },
+            None => JobRequest::Apps {
+                label: name.to_string(),
+            },
+        });
+    }
+
+    let mut label = "ad-hoc".to_string();
+    let mut spec = ExperimentSpec::default();
+    let mut widths = vec![4usize];
+    let mut memory = vec![MemoryModel::PERFECT];
+    let mut rob: Vec<Option<usize>> = vec![None];
+    let mut lanes: Vec<Option<usize>> = vec![None];
+    for (key, value) in pairs {
+        match key.as_str() {
+            "label" => {
+                label = value
+                    .as_str()
+                    .ok_or("\"label\" must be a string")?
+                    .to_string();
+            }
+            "kernels" => {
+                spec.kernels = match value.as_str() {
+                    Some("all") => KernelId::ALL.to_vec(),
+                    Some(other) => return Err(format!("kernels: unknown set '{other}'")),
+                    None => parsed_list("kernels", &str_items("kernels", value)?)?,
+                };
+            }
+            "isas" => {
+                spec.isas = match value.as_str() {
+                    Some("all") => IsaKind::ALL.to_vec(),
+                    Some("media") => IsaKind::MEDIA.to_vec(),
+                    Some(other) => return Err(format!("isas: unknown set '{other}'")),
+                    None => parsed_list("isas", &str_items("isas", value)?)?,
+                };
+            }
+            "widths" => {
+                widths = usize_items("widths", value)?;
+                if widths.is_empty() {
+                    return Err("\"widths\" needs at least one value".into());
+                }
+            }
+            "memory" => {
+                let items = value
+                    .as_arr()
+                    .ok_or("\"memory\" must be an array of model names or latencies")?;
+                memory = items
+                    .iter()
+                    .map(|v| {
+                        let text = match (v.as_str(), v.as_u64()) {
+                            (Some(name), _) => name.to_string(),
+                            (None, Some(latency)) => latency.to_string(),
+                            _ => {
+                                return Err(
+                                    "\"memory\" entries must be strings or integers".to_string()
+                                )
+                            }
+                        };
+                        text.parse::<MemoryModel>()
+                            .map_err(|e| format!("memory: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if memory.is_empty() {
+                    return Err("\"memory\" needs at least one value".into());
+                }
+            }
+            "rob" => {
+                rob = usize_items("rob", value)?.into_iter().map(Some).collect();
+                if rob.is_empty() {
+                    return Err("\"rob\" needs at least one value".into());
+                }
+            }
+            "lanes" => {
+                lanes = usize_items("lanes", value)?.into_iter().map(Some).collect();
+                if lanes.is_empty() {
+                    return Err("\"lanes\" needs at least one value".into());
+                }
+            }
+            "replication" => {
+                spec.replication = value
+                    .as_u64()
+                    .ok_or("\"replication\" must be a non-negative integer")?
+                    as usize;
+            }
+            "seed" => {
+                spec.seed = value
+                    .as_u64()
+                    .ok_or("\"seed\" must be a non-negative integer")?;
+            }
+            "sampled" => {
+                spec.sampling = Some(match (value.as_str(), value.as_bool()) {
+                    (Some(schedule), _) => schedule
+                        .parse::<SamplingConfig>()
+                        .map_err(|e| format!("sampled: {e}"))?,
+                    (None, Some(true)) => SamplingConfig::DEFAULT,
+                    (None, Some(false)) => {
+                        spec.sampling = None;
+                        continue;
+                    }
+                    _ => {
+                        return Err(
+                            "\"sampled\" must be a D:F:W schedule string or a boolean".into()
+                        )
+                    }
+                });
+            }
+            other => {
+                return Err(format!(
+                    "unknown key \"{other}\" (expected experiment, or any of: {AXIS_KEYS})"
+                ));
+            }
+        }
+    }
+    let mut configs = Vec::new();
+    for &width in &widths {
+        for &mem in &memory {
+            for &rob in &rob {
+                for &lanes in &lanes {
+                    let mut builder = PipelineConfig::builder().issue_width(width).memory(mem);
+                    if let Some(rob) = rob {
+                        builder = builder.rob(rob);
+                    }
+                    if let Some(lanes) = lanes {
+                        builder = builder.lanes(lanes);
+                    }
+                    configs.push(builder.build()?);
+                }
+            }
+        }
+    }
+    spec.configs = configs;
+    spec.validate()?;
+    Ok(JobRequest::Grid { label, spec })
+}
+
+/// Renders a queue snapshot as the `GET /jobs/<id>` document: counters,
+/// state, per-unit errors, and one result row per finished point (rows
+/// stream in as the pool completes them; a running job's document simply
+/// has fewer rows).
+pub fn job_doc(snapshot: &JobSnapshot) -> Json {
+    let configs = match &snapshot.kind {
+        JobKind::Grid(spec) => spec.configs.len().max(1),
+        JobKind::Apps => 1,
+    };
+    let mut rows = Vec::new();
+    for (index, result) in &snapshot.rows {
+        match result.as_ref() {
+            UnitResult::Point(point) => {
+                rows.push(mom_bench::point_json(point, index % configs));
+            }
+            UnitResult::Apps(table) => {
+                rows.extend(table.iter().map(mom_bench::app_point_json));
+            }
+        }
+    }
+    Json::obj([
+        ("schema", Json::int(1)),
+        ("job", Json::Num(snapshot.id as f64)),
+        ("label", Json::str(snapshot.label.clone())),
+        ("state", Json::str(snapshot.state.name())),
+        ("points", Json::Num(snapshot.total as f64)),
+        ("completed", Json::Num(snapshot.completed as f64)),
+        ("failed", Json::Num(snapshot.failed as f64)),
+        ("scheduled", Json::Num(snapshot.scheduled as f64)),
+        ("reused", Json::Num(snapshot.reused() as f64)),
+        (
+            "errors",
+            Json::Arr(snapshot.errors.iter().map(Json::str).collect()),
+        ),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// The one-line `GET /jobs` listing entry of a snapshot.
+pub fn job_entry(snapshot: &JobSnapshot) -> Json {
+    Json::obj([
+        ("job", Json::Num(snapshot.id as f64)),
+        ("label", Json::str(snapshot.label.clone())),
+        ("state", Json::str(snapshot.state.name())),
+        ("points", Json::Num(snapshot.total as f64)),
+        ("completed", Json::Num(snapshot.completed as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_names_resolve_through_the_registry() {
+        let doc = Json::obj([("experiment", Json::str("fig4"))]);
+        match parse_submit(&doc).unwrap() {
+            JobRequest::Grid { label, spec } => {
+                assert_eq!(label, "fig4");
+                assert_eq!(spec, find_experiment("fig4").unwrap().spec().unwrap());
+            }
+            other => panic!("expected a grid, got {other:?}"),
+        }
+        let doc = Json::obj([("experiment", Json::str("app-speedups"))]);
+        assert!(matches!(
+            parse_submit(&doc).unwrap(),
+            JobRequest::Apps { .. }
+        ));
+        let doc = Json::obj([("experiment", Json::str("fig9000"))]);
+        let err = parse_submit(&doc).unwrap_err();
+        assert!(err.contains("fig4"), "lists the registry: {err}");
+    }
+
+    #[test]
+    fn axes_assemble_the_cross_product() {
+        let doc = Json::obj([
+            (
+                "kernels",
+                Json::Arr(vec![Json::str("idct"), Json::str("motion1")]),
+            ),
+            ("isas", Json::str("media")),
+            ("widths", Json::Arr(vec![Json::int(2), Json::int(4)])),
+            ("memory", Json::Arr(vec![Json::str("l1l2"), Json::int(12)])),
+            ("replication", Json::int(128)),
+        ]);
+        match parse_submit(&doc).unwrap() {
+            JobRequest::Grid { label, spec } => {
+                assert_eq!(label, "ad-hoc");
+                assert_eq!(spec.kernels, vec![KernelId::Idct, KernelId::Motion1]);
+                assert_eq!(spec.isas, IsaKind::MEDIA.to_vec());
+                assert_eq!(spec.configs.len(), 4, "2 widths x 2 memories");
+                assert_eq!(spec.replication, 128);
+            }
+            other => panic!("expected a grid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_axes_report_the_vocabulary() {
+        let err = parse_submit(&Json::obj([("frobnicate", Json::Null)])).unwrap_err();
+        assert!(err.contains("kernels"), "{err}");
+        let err =
+            parse_submit(&Json::obj([("kernels", Json::Arr(vec![Json::str("fft")]))])).unwrap_err();
+        assert!(err.contains("idct"), "lists valid kernels: {err}");
+        let err = parse_submit(&Json::str("not an object")).unwrap_err();
+        assert!(err.contains("object"), "{err}");
+        let err = parse_submit(&Json::obj([
+            ("experiment", Json::str("fig4")),
+            ("widths", Json::Arr(vec![Json::int(2)])),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no other keys"), "{err}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-job dedup under concurrency: two overlapping grids submitted
+//! from two threads must perform each shared point's timing simulation
+//! **exactly once**, counter-asserted.  One `#[test]` only: the
+//! assertions ride on process-global counters.
+
+use mom_bench::ExperimentSpec;
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::PipelineConfig;
+use mom_serve::queue::JobState;
+use mom_serve::wire::JobRequest;
+use mom_serve::Daemon;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn private_store_dir() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("mom-serve-dedup-{}", std::process::id()));
+        mom_store::configure(mom_store::StoreConfig {
+            dir: Some(dir.clone()),
+            cold: false,
+        })
+        .expect("configure must run before the first store use");
+        dir
+    })
+}
+
+fn spec(widths: &[usize]) -> ExperimentSpec {
+    ExperimentSpec {
+        kernels: vec![KernelId::AddBlock, KernelId::Motion1],
+        isas: vec![IsaKind::Mom],
+        configs: widths.iter().map(|&w| PipelineConfig::way(w)).collect(),
+        replication: 64,
+        ..ExperimentSpec::default()
+    }
+}
+
+#[test]
+fn overlapping_jobs_simulate_each_shared_point_once() {
+    private_store_dir();
+    mom_store::global().clear().expect("start cold");
+
+    // Job A covers widths {2, 4}, job B widths {4, 8}: 2 kernels x 1 ISA
+    // each, so 8 submitted points over 6 unique coordinates (the two
+    // width-4 points are shared).
+    let daemon = Daemon::new(2, 8);
+    let timing_before = mom_pipeline::timing_simulations();
+    let functional_before = mom_kernels::functional_executions();
+
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        [&[2usize, 4][..], &[4, 8][..]]
+            .into_iter()
+            .map(|widths| {
+                let daemon = &daemon;
+                scope.spawn(move || {
+                    daemon
+                        .submit(JobRequest::Grid {
+                            label: format!("widths-{widths:?}"),
+                            spec: spec(widths),
+                        })
+                        .expect("both submissions fit the queue")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("submitter thread"))
+            .collect()
+    });
+
+    let mut scheduled_total = 0;
+    for outcome in &outcomes {
+        assert_eq!(outcome.total, 4, "2 kernels x 1 ISA x 2 widths");
+        assert_eq!(
+            outcome.scheduled + outcome.deduped + outcome.shared,
+            outcome.total,
+            "every unit is accounted for: {outcome:?}"
+        );
+        let snapshot = daemon.wait(outcome.job).expect("job exists");
+        assert_eq!(
+            snapshot.state,
+            JobState::Done,
+            "errors: {:?}",
+            snapshot.errors
+        );
+        assert_eq!(snapshot.completed, 4, "all four points delivered");
+        scheduled_total += outcome.scheduled;
+    }
+    // Exactly the 6 unique coordinates entered the queue — the overlap was
+    // deduplicated at submit time regardless of submission interleaving.
+    assert_eq!(scheduled_total, 6, "outcomes: {outcomes:?}");
+    assert_eq!(
+        mom_pipeline::timing_simulations() - timing_before,
+        6,
+        "one timing simulation per unique point, none repeated"
+    );
+    // The functional run is shared process-wide per (kernel, ISA, seed):
+    // two kernels, one ISA.
+    assert_eq!(
+        mom_kernels::functional_executions() - functional_before,
+        2,
+        "one functional execution per (kernel, ISA) pair"
+    );
+
+    daemon.shutdown();
+    daemon.join_workers();
+}

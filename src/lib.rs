@@ -18,7 +18,10 @@
 //!   boundaries and Amdahl-combined whole-application speed-ups,
 //! * [`bench`] — the declarative experiment layer: [`ExperimentSpec`]
 //!   scenario grids, the registered paper experiments, and the reporting
-//!   behind the `momsim` CLI.
+//!   behind the `momsim` CLI,
+//! * [`serve`] — the job-queue simulation daemon (`momsim serve`): HTTP
+//!   submissions, store-backed point deduplication and a sharded worker
+//!   pool, plus the matching client commands.
 //!
 //! See the `examples/` directory for end-to-end walkthroughs; the `momsim`
 //! binary (`cargo run --release --bin momsim -- list`) runs any registered
@@ -50,6 +53,7 @@ pub use mom_bench as bench;
 pub use mom_isa as isa;
 pub use mom_kernels as kernels;
 pub use mom_pipeline as pipeline;
+pub use mom_serve as serve;
 pub use mom_simd as simd;
 
 /// The most commonly used items across the workspace.

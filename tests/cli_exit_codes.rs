@@ -1,0 +1,86 @@
+//! The `momsim` exit-code contract: 0 on success, 2 on usage errors,
+//! 1 on runtime failures — exercised over the real binary so scripts
+//! (and the CI workflow) can branch on it.
+
+use std::net::TcpListener;
+use std::process::{Command, Output};
+
+fn momsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_momsim"))
+        .args(args)
+        .output()
+        .expect("momsim must spawn")
+}
+
+fn code(output: &Output) -> i32 {
+    output.status.code().expect("momsim must exit, not signal")
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = momsim(&["frobnicate"]);
+    assert_eq!(code(&out), 2, "unknown command is a usage error");
+
+    let out = momsim(&["run", "--kernels", "fft"]);
+    assert_eq!(code(&out), 2, "unknown kernel is a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("idct"),
+        "the error lists the valid kernels: {stderr}"
+    );
+
+    let out = momsim(&["serve", "--workers", "0"]);
+    assert_eq!(code(&out), 2, "a zero-sized worker pool is a usage error");
+
+    let out = momsim(&["sweep", "--jobs", "0"]);
+    assert_eq!(code(&out), 2, "a zero-sized sweep pool is a usage error");
+
+    let out = momsim(&["submit"]);
+    assert_eq!(code(&out), 2, "submit needs a name or axes");
+}
+
+#[test]
+fn successes_exit_0() {
+    let out = momsim(&["list"]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fig4"), "the registry lists fig4: {stdout}");
+
+    let out = momsim(&["help"]);
+    assert_eq!(code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("serve"),
+        "help covers the service: {stdout}"
+    );
+}
+
+#[test]
+fn runtime_failures_exit_1() {
+    // A client pointed at a dead port fails at runtime, not usage.
+    // Port 1 (tcpmux) is privileged and nothing in this container binds it.
+    let out = momsim(&["submit", "fig4", "--addr", "127.0.0.1:1"]);
+    assert_eq!(code(&out), 1, "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = momsim(&["shutdown", "--addr", "127.0.0.1:1"]);
+    assert_eq!(code(&out), 1);
+
+    let out = momsim(&["report", "fig4", "--addr", "127.0.0.1:1"]);
+    assert_eq!(code(&out), 1);
+
+    // A daemon that cannot bind its address fails at runtime.
+    let taken = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = taken.local_addr().expect("bound").to_string();
+    let store = std::env::temp_dir().join(format!("momsim-exit-codes-{}", std::process::id()));
+    let out = momsim(&[
+        "--store",
+        store.to_str().expect("utf8 temp dir"),
+        "serve",
+        "--addr",
+        &addr,
+    ]);
+    assert_eq!(code(&out), 1, "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot bind"), "{stderr}");
+    let _ = std::fs::remove_dir_all(store);
+}
