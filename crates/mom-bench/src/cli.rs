@@ -203,6 +203,71 @@ pub fn configure_store(config: mom_store::StoreConfig) -> Result<(), CliError> {
     mom_store::configure(config).map_err(CliError::Usage)
 }
 
+/// Observability options valid on any subcommand, in any position
+/// (extracted the same way as the store flags).  Shared with the
+/// `mom-serve` service commands.
+#[derive(Debug, Default)]
+pub struct ObsArgs {
+    /// `--trace-out FILE`: enable span tracing now, write the recorded
+    /// spans as Chrome trace-event JSON to FILE when the command finishes.
+    pub trace_out: Option<PathBuf>,
+    /// `--stats`: print a Prometheus-format metrics snapshot after the
+    /// command.
+    pub stats: bool,
+}
+
+/// Extracts `--trace-out FILE` / `--stats` from the argument list, leaving
+/// the remaining arguments for the subcommand parsers.
+pub fn extract_obs_args(args: &mut Vec<String>) -> Result<ObsArgs, CliError> {
+    let mut obs = ObsArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-out" => {
+                if i + 1 >= args.len() {
+                    return Err(CliError::Usage("--trace-out needs a file argument".into()));
+                }
+                obs.trace_out = Some(PathBuf::from(args.remove(i + 1)));
+                args.remove(i);
+            }
+            "--stats" => {
+                obs.stats = true;
+                args.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(obs)
+}
+
+/// Applies the extracted observability options that must take effect
+/// *before* the command runs (span recording).
+pub fn configure_obs(obs: &ObsArgs) {
+    if obs.trace_out.is_some() {
+        mom_obs::enable_tracing();
+    }
+}
+
+/// Applies the extracted observability options that run *after* the
+/// command: writes the Chrome trace file and/or prints the metrics
+/// snapshot.
+pub fn finish_obs(obs: &ObsArgs) -> Result<(), CliError> {
+    if let Some(path) = &obs.trace_out {
+        std::fs::write(path, mom_obs::export_chrome_trace())
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+        eprintln!(
+            "wrote {} ({} trace events)",
+            path.display(),
+            mom_obs::trace_event_count()
+        );
+    }
+    if obs.stats {
+        mom_store::publish_gauges();
+        print!("{}", mom_obs::render_prometheus());
+    }
+    Ok(())
+}
+
 /// The `momsim cache` subcommand: `stats` (default), `path`, `gc`, `clear`.
 fn cache_command(args: &[String]) -> Result<(), CliError> {
     if args.len() > 1 {
@@ -279,7 +344,10 @@ pub fn sweep_documents(jobs: Option<usize>) -> Result<Vec<(&'static str, Json, u
     // functionally more than once.  `jobs` picks the schedule: `None` fans
     // out per (kernel, ISA) pair, `Some(n)` shards individual grid points
     // over `n` threads; both emit byte-identical documents.
-    let results = full_sweep_with_jobs(jobs)?;
+    let results = {
+        let _span = mom_obs::span("sweep", "union-grids");
+        full_sweep_with_jobs(jobs)?
+    };
     let mut files = vec![
         ("BENCH_fig4.json", Report::Fig4(results.fig4)),
         ("BENCH_fig5.json", Report::Fig5(results.fig5)),
@@ -293,7 +361,10 @@ pub fn sweep_documents(jobs: Option<usize>) -> Result<Vec<(&'static str, Json, u
         if crate::perf::UNION_GRID_EXPERIMENTS.contains(&experiment.name) {
             continue;
         }
-        let report = experiment.run_with_jobs(jobs)?;
+        let report = {
+            let _span = mom_obs::span_fmt("sweep", || format!("experiment {}", experiment.name));
+            experiment.run_with_jobs(jobs)?
+        };
         if experiment.name == "app-speedups" {
             let points = report.points();
             files.push(("BENCH_apps.json", report.json(), points));
@@ -368,8 +439,11 @@ pub fn sweep_main() -> i32 {
     finish((|| {
         let mut args: Vec<String> = std::env::args().skip(1).collect();
         configure_store(extract_store_args(&mut args)?)?;
+        let obs = extract_obs_args(&mut args)?;
+        configure_obs(&obs);
         let (dir, jobs) = sweep_args(args)?;
-        run_sweep(&dir, jobs)
+        run_sweep(&dir, jobs)?;
+        finish_obs(&obs)
     })())
 }
 
@@ -419,10 +493,16 @@ USAGE:
       Inspect or maintain the persistent artifact store: hit/miss counters
       and the on-disk footprint (stats, the default), the store directory
       (path), removal of damaged or stale blobs (gc), full deletion (clear).
-  momsim serve [--addr HOST:PORT] [--workers N] [--queue N]
+  momsim serve [--addr HOST:PORT] [--workers N] [--queue N] [--retain N]
+               [--log-level off|error|warn|info|debug]
       Run the simulation job-queue daemon: accept experiment submissions
       over HTTP, deduplicate grid points against the artifact store and
       against each other, and shard the missing ones across a worker pool.
+      Serves live Prometheus metrics on GET /metrics; logs startup,
+      shutdown and per-request lines at --log-level (default info); keeps
+      at most --retain finished unit payloads in memory (default 1024),
+      evicting the least recently used (the artifact store still holds
+      everything).
   momsim submit [--addr HOST:PORT] (<experiment> | AXES) [--wait] [--json PATH]
       Submit an experiment to a running daemon; --wait polls until the job
       finishes and prints a summary (--json writes the result rows).
@@ -434,6 +514,9 @@ USAGE:
   momsim shutdown [--addr HOST:PORT]
       Drain a running daemon: finish in-flight points, drop queued ones,
       reject new submissions, flush the store, and exit.
+  momsim stats [--addr HOST:PORT]
+      Print a metrics snapshot in Prometheus text format: this process's
+      registry, or — with --addr — a running daemon's GET /metrics.
 
 OPTIONS (any command):
   --store DIR
@@ -442,6 +525,15 @@ OPTIONS (any command):
   --cold
       Disable the artifact store: recompute everything, read and write
       nothing. Reports are byte-identical either way.
+  --trace-out FILE
+      Record spans (store reads/writes, functional fills, timing
+      simulation, job lifecycle) and write them as Chrome trace-event JSON
+      to FILE when the command finishes (load in chrome://tracing or
+      https://ui.perfetto.dev). Tracing is timing-neutral: reports stay
+      byte-identical.
+  --stats
+      Print the process metrics registry (Prometheus text format) after
+      the command.
 ";
 
 fn list() {
@@ -764,7 +856,12 @@ pub fn momsim_main() -> i32 {
         Ok(()) => {}
         Err(e) => return finish(Err(e)),
     }
-    match args.first().map(String::as_str) {
+    let obs = match extract_obs_args(&mut args) {
+        Ok(obs) => obs,
+        Err(e) => return finish(Err(e)),
+    };
+    configure_obs(&obs);
+    let code = match args.first().map(String::as_str) {
         Some("list") => {
             if args.len() > 1 {
                 return finish(Err(CliError::Usage(
@@ -791,7 +888,11 @@ pub fn momsim_main() -> i32 {
             eprint!("{USAGE}");
             2
         }
+    };
+    if code == 0 {
+        return finish(finish_obs(&obs));
     }
+    code
 }
 
 #[cfg(test)]

@@ -261,6 +261,9 @@ fn simulate_configs_stored(
         .collect();
     if !missing.is_empty() {
         let subset: Vec<PipelineConfig> = missing.iter().map(|&i| configs[i].clone()).collect();
+        let _span = mom_obs::span_fmt("simulate", || {
+            format!("simulate {kernel:?}/{isa:?} x{}", subset.len())
+        });
         let fresh = uncached(&subset)?;
         for (&index, point) in missing.iter().zip(fresh) {
             persistent.put(

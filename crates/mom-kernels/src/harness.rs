@@ -320,15 +320,24 @@ fn prepare_phase(
 
 /// Process-wide count of functional kernel invocations (each one a full
 /// execution of a kernel program on the functional simulator plus its
-/// golden-reference verification). The incremental-sweep tests assert this
-/// stays flat across a warm sweep: traces served from the artifact store
-/// must not execute anything.
-static FUNCTIONAL_EXECUTIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// golden-reference verification), registered in the `mom-obs` metrics
+/// registry as `momsim_functional_executions_total`. The
+/// incremental-sweep tests assert this stays flat across a warm sweep:
+/// traces served from the artifact store must not execute anything.
+fn functional_executions_counter() -> &'static mom_obs::Counter {
+    static COUNTER: std::sync::OnceLock<mom_obs::Counter> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| {
+        mom_obs::counter(
+            "momsim_functional_executions_total",
+            "Functional kernel invocations (execution + golden-reference verification).",
+        )
+    })
+}
 
 /// The number of functional kernel invocations executed by this process so
 /// far.
 pub fn functional_executions() -> u64 {
-    FUNCTIONAL_EXECUTIONS.load(std::sync::atomic::Ordering::Relaxed)
+    functional_executions_counter().get()
 }
 
 /// Executes one kernel invocation into `sink` and verifies its output.
@@ -343,7 +352,7 @@ fn run_one_iteration<S: TraceSink + ?Sized>(
     iteration: usize,
     sink: &mut S,
 ) -> Result<(), KernelError> {
-    FUNCTIONAL_EXECUTIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    functional_executions_counter().inc();
     machine
         .run_with_sink(program, sink)
         .map_err(|source| KernelError::Exec {

@@ -123,6 +123,7 @@ fn load_from_store(
     isa: IsaKind,
 ) -> Option<Arc<KernelRun>> {
     let bytes = store.get_disk(NS_TRACE, key)?;
+    let _span = mom_obs::span_fmt("decode", || format!("decode-trace {kernel:?}/{isa:?}"));
     let (trace, stats) = codec::decode_trace(&bytes).ok()?;
     if trace.stats() != stats {
         return None;
@@ -151,6 +152,7 @@ fn fill(
     isa: IsaKind,
     seed: u64,
 ) -> (SlotState, Result<Arc<KernelRun>, KernelError>) {
+    let _span = mom_obs::span_fmt("functional", || format!("fill-trace {kernel:?}/{isa:?}"));
     match run_kernel(kernel, isa, seed, 1) {
         Ok(run) => {
             let run = Arc::new(run);

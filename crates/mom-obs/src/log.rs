@@ -1,0 +1,163 @@
+//! Leveled, UTC-timestamped logging on stderr.
+//!
+//! The level is a process-global atomic (default [`LogLevel::Info`]);
+//! the `momsim serve --log-level LEVEL` flag sets it.  Timestamps are
+//! ISO-8601 UTC with millisecond precision, computed directly from
+//! `SystemTime` with the civil-from-days algorithm — no chrono, matching
+//! the workspace's zero-dependency rule.
+//!
+//! ```text
+//! 2026-08-08T12:34:56.789Z INFO  serve: GET /jobs/3 -> 200 (1.2ms)
+//! ```
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log verbosity, in increasing order of chattiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Nothing at all.
+    Off = 0,
+    /// Failures only.
+    Error = 1,
+    /// Failures and recoverable oddities.
+    Warn = 2,
+    /// Lifecycle and per-request lines (the default).
+    Info = 3,
+    /// Everything, including per-unit scheduling detail.
+    Debug = 4,
+}
+
+impl LogLevel {
+    fn tag(self) -> &'static str {
+        match self {
+            LogLevel::Off => "OFF  ",
+            LogLevel::Error => "ERROR",
+            LogLevel::Warn => "WARN ",
+            LogLevel::Info => "INFO ",
+            LogLevel::Debug => "DEBUG",
+        }
+    }
+
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            0 => LogLevel::Off,
+            1 => LogLevel::Error,
+            2 => LogLevel::Warn,
+            4 => LogLevel::Debug,
+            _ => LogLevel::Info,
+        }
+    }
+}
+
+impl FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(LogLevel::Off),
+            "error" => Ok(LogLevel::Error),
+            "warn" | "warning" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level '{other}' (expected off|error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the process-global log level.
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global log level.
+pub fn log_level() -> LogLevel {
+    LogLevel::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a message at `level` would currently be emitted.
+pub fn enabled(level: LogLevel) -> bool {
+    level != LogLevel::Off && level <= log_level()
+}
+
+/// Renders a Unix timestamp (seconds + millis) as ISO-8601 UTC, using
+/// the standard civil-from-days conversion.
+fn format_timestamp(secs: u64, millis: u32) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hour, minute, second) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    // civil_from_days (Howard Hinnant): days since 1970-01-01 -> y/m/d.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}T{hour:02}:{minute:02}:{second:02}.{millis:03}Z")
+}
+
+/// Emits one line at `level` for component `who`, if the level allows.
+pub fn log(level: LogLevel, who: &str, message: &str) {
+    if !enabled(level) {
+        return;
+    }
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let stamp = format_timestamp(now.as_secs(), now.subsec_millis());
+    eprintln!("{stamp} {} {who}: {message}", level.tag());
+}
+
+/// [`log`] at [`LogLevel::Error`].
+pub fn error(who: &str, message: &str) {
+    log(LogLevel::Error, who, message);
+}
+
+/// [`log`] at [`LogLevel::Warn`].
+pub fn warn(who: &str, message: &str) {
+    log(LogLevel::Warn, who, message);
+}
+
+/// [`log`] at [`LogLevel::Info`].
+pub fn info(who: &str, message: &str) {
+    log(LogLevel::Info, who, message);
+}
+
+/// [`log`] at [`LogLevel::Debug`].
+pub fn debug(who: &str, message: &str) {
+    log(LogLevel::Debug, who, message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_render_known_instants() {
+        assert_eq!(format_timestamp(0, 0), "1970-01-01T00:00:00.000Z");
+        // 2000-03-01T00:00:00Z — the leap-year boundary the algorithm pivots on.
+        assert_eq!(format_timestamp(951_868_800, 1), "2000-03-01T00:00:00.001Z");
+        // 2026-08-08T12:34:56.789Z
+        assert_eq!(
+            format_timestamp(1_786_192_496, 789),
+            "2026-08-08T12:34:56.789Z"
+        );
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("info".parse::<LogLevel>().unwrap(), LogLevel::Info);
+        assert_eq!("WARN".parse::<LogLevel>().unwrap(), LogLevel::Warn);
+        assert!("verbose".parse::<LogLevel>().is_err());
+        assert!(LogLevel::Error < LogLevel::Debug);
+    }
+}

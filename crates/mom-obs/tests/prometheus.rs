@@ -1,0 +1,290 @@
+//! The exposition contract: whatever mix of counters, gauges and
+//! histograms the process registers, `render_prometheus` emits text that
+//! a strict line-grammar parser accepts, histogram series stay
+//! self-consistent, label escaping round-trips, and rendering is stable
+//! (two back-to-back renders with no writes in between are identical).
+
+use mom_obs::metrics::{counter_with, gauge_with, histogram_with, render_prometheus};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    valid_metric_name(name) && !name.contains(':')
+}
+
+/// Parses one `key="value"` pair starting at `rest`, returning the pair
+/// and the remainder after the closing quote.
+fn parse_label(rest: &str) -> Result<((String, String), &str), String> {
+    let eq = rest
+        .find('=')
+        .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+    let key = &rest[..eq];
+    if !valid_label_name(key) {
+        return Err(format!("bad label name {key:?}"));
+    }
+    let rest = rest[eq + 1..]
+        .strip_prefix('"')
+        .ok_or_else(|| format!("label value must be quoted after {key:?}"))?;
+    let mut value = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((at, c)) = chars.next() {
+        match c {
+            '"' => return Ok(((key.to_string(), value), &rest[at + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '\\')) => value.push('\\'),
+                Some((_, '"')) => value.push('"'),
+                Some((_, 'n')) => value.push('\n'),
+                other => return Err(format!("bad escape {other:?} in label {key:?}")),
+            },
+            '\n' => return Err(format!("raw newline in label {key:?}")),
+            other => value.push(other),
+        }
+    }
+    Err(format!("unterminated label value for {key:?}"))
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name, rest) = match line.find('{') {
+        Some(brace) => {
+            let mut labels = Vec::new();
+            let mut rest = &line[brace + 1..];
+            loop {
+                let (pair, after) = parse_label(rest)?;
+                labels.push(pair);
+                match after.strip_prefix(',') {
+                    Some(next) => rest = next,
+                    None => {
+                        rest = after
+                            .strip_prefix('}')
+                            .ok_or_else(|| format!("expected '}}' at {after:?}"))?;
+                        break;
+                    }
+                }
+            }
+            return Ok(Sample {
+                name: line[..brace].to_string(),
+                labels,
+                value: parse_value(rest)?,
+            });
+        }
+        None => {
+            let space = line
+                .find(' ')
+                .ok_or_else(|| format!("sample without value: {line:?}"))?;
+            (&line[..space], &line[space..])
+        }
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels: Vec::new(),
+        value: parse_value(rest)?,
+    })
+}
+
+fn parse_value(rest: &str) -> Result<f64, String> {
+    let text = rest.trim_start_matches(' ');
+    if text.contains(' ') {
+        return Err(format!("trailing content after value: {text:?}"));
+    }
+    text.parse::<f64>()
+        .map_err(|e| format!("bad sample value {text:?}: {e}"))
+}
+
+/// Parses a full exposition document, enforcing the renderer's layout:
+/// every family opens with `# HELP` then `# TYPE`, and every sample
+/// belongs to the most recently declared family (histograms via their
+/// `_bucket`/`_sum`/`_count` suffixes).
+fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    let mut family: Option<(String, String)> = None; // (name, kind)
+    let mut pending_help: Option<String> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or_default().to_string();
+            if !valid_metric_name(&name) {
+                return Err(format!("bad family name in HELP: {name:?}"));
+            }
+            pending_help = Some(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or_default().to_string();
+            let kind = parts.next().unwrap_or_default().to_string();
+            if parts.next().is_some() {
+                return Err(format!("trailing content in TYPE: {rest:?}"));
+            }
+            if !matches!(kind.as_str(), "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown TYPE {kind:?}"));
+            }
+            if pending_help.take().as_deref() != Some(name.as_str()) {
+                return Err(format!("TYPE {name} not preceded by its HELP"));
+            }
+            family = Some((name, kind));
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let sample = parse_sample(line)?;
+        let (name, kind) = family
+            .as_ref()
+            .ok_or_else(|| format!("sample before any TYPE: {line:?}"))?;
+        let base = match kind.as_str() {
+            "histogram" => sample
+                .name
+                .strip_suffix("_bucket")
+                .or_else(|| sample.name.strip_suffix("_sum"))
+                .or_else(|| sample.name.strip_suffix("_count"))
+                .unwrap_or(&sample.name),
+            _ => sample.name.as_str(),
+        };
+        if base != name {
+            return Err(format!(
+                "sample {:?} outside its family {name:?}",
+                sample.name
+            ));
+        }
+        if !valid_metric_name(&sample.name) {
+            return Err(format!("bad sample name {:?}", sample.name));
+        }
+        if !sample.value.is_finite() {
+            return Err(format!("non-finite value on {:?}", sample.name));
+        }
+        samples.push(sample);
+    }
+    Ok(samples)
+}
+
+/// The bounded label alphabet: every escape class the renderer handles.
+const VALUES: &[&str] = &[
+    "plain",
+    "with space",
+    "quote\"quote",
+    "back\\slash",
+    "new\nline",
+    "",
+    "unicode-µs",
+];
+
+fn pick(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    seed.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// Both tests write the one process-global registry; serialize them so
+/// the byte-stability check never races a concurrent writer.
+static REGISTRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rendered_exposition_parses_and_is_stable(seed in any::<u64>()) {
+        let _guard = REGISTRY_LOCK.lock().expect("registry lock");
+        let mut state = seed | 1;
+        // A handful of writes against fixed family names (the registry is
+        // process-global; bounded names keep it bounded).
+        for _ in 0..(pick(&mut state) % 8 + 1) {
+            let value = VALUES[(pick(&mut state) as usize) % VALUES.len()];
+            match pick(&mut state) % 3 {
+                0 => counter_with(
+                    "momobs_prop_counter_total",
+                    "Proptest counter.",
+                    &[("case", value)],
+                )
+                .add(pick(&mut state) % 1000),
+                1 => gauge_with("momobs_prop_gauge", "Proptest gauge.", &[("case", value)])
+                    .set(pick(&mut state) as i64 % 1_000_000),
+                _ => histogram_with(
+                    "momobs_prop_hist_seconds",
+                    "Proptest histogram.",
+                    &[("case", value)],
+                )
+                .observe(Duration::from_micros(pick(&mut state) % 2_000_000)),
+            }
+        }
+
+        let text = render_prometheus();
+        let samples = parse_exposition(&text)
+            .unwrap_or_else(|e| panic!("exposition must parse: {e}\n---\n{text}"));
+        prop_assert!(!samples.is_empty());
+
+        // Label escaping round-trips: every written value is recoverable
+        // from the parsed document.
+        let case_values: Vec<&str> = samples
+            .iter()
+            .filter(|s| s.name.starts_with("momobs_prop_"))
+            .flat_map(|s| s.labels.iter())
+            .filter(|(k, _)| k == "case")
+            .map(|(_, v)| v.as_str())
+            .collect();
+        for value in &case_values {
+            prop_assert!(VALUES.contains(value), "unexpected label value {value:?}");
+        }
+
+        // Histogram self-consistency: cumulative buckets are monotone in
+        // ascending `le` order and the +Inf bucket equals `_count`.
+        for labels in case_values.iter().collect::<std::collections::BTreeSet<_>>() {
+            let with_case = |name: &str| -> Vec<&Sample> {
+                samples
+                    .iter()
+                    .filter(|s| {
+                        s.name == name
+                            && s.labels.iter().any(|(k, v)| k == "case" && v == *labels)
+                    })
+                    .collect()
+            };
+            let buckets = with_case("momobs_prop_hist_seconds_bucket");
+            if buckets.is_empty() {
+                continue;
+            }
+            let mut previous = 0.0;
+            for bucket in &buckets {
+                prop_assert!(bucket.value >= previous, "buckets are cumulative");
+                previous = bucket.value;
+            }
+            let count = with_case("momobs_prop_hist_seconds_count");
+            prop_assert_eq!(count.len(), 1);
+            prop_assert_eq!(
+                buckets.last().expect("+Inf bucket").value,
+                count[0].value,
+                "+Inf bucket equals the count"
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_without_writes_is_byte_stable(seed in any::<u64>()) {
+        let _guard = REGISTRY_LOCK.lock().expect("registry lock");
+        let mut state = seed | 1;
+        counter_with(
+            "momobs_stability_total",
+            "Stability probe.",
+            &[("case", VALUES[(pick(&mut state) as usize) % VALUES.len()])],
+        )
+        .inc();
+        // No other thread in this binary writes metrics between these two
+        // calls, so the renders must agree byte for byte.
+        prop_assert_eq!(render_prometheus(), render_prometheus());
+    }
+}

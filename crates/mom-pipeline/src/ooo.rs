@@ -56,18 +56,26 @@ use mom_arch::{Trace, TraceEntry, TraceSink};
 use mom_isa::FuClass;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide count of timing simulations constructed (every
 /// [`PipelineSim`] built, including resumed app phases and the detailed
-/// intervals inside sampled runs). The incremental-sweep tests assert this
-/// stays flat across a warm sweep: results served from the artifact store
-/// must not build a single simulator.
-static TIMING_SIMULATIONS: AtomicU64 = AtomicU64::new(0);
+/// intervals inside sampled runs), registered in the `mom-obs` metrics
+/// registry as `momsim_timing_simulations_total`. The incremental-sweep
+/// tests assert this stays flat across a warm sweep: results served from
+/// the artifact store must not build a single simulator.
+fn timing_simulations_counter() -> &'static mom_obs::Counter {
+    static COUNTER: std::sync::OnceLock<mom_obs::Counter> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| {
+        mom_obs::counter(
+            "momsim_timing_simulations_total",
+            "Out-of-order timing simulators constructed (one per simulated interval).",
+        )
+    })
+}
 
 /// The number of timing simulations constructed by this process so far.
 pub fn timing_simulations() -> u64 {
-    TIMING_SIMULATIONS.load(Ordering::Relaxed)
+    timing_simulations_counter().get()
 }
 
 /// Number of distinct register ids (see `mom_isa::Reg::id`).
@@ -573,7 +581,7 @@ impl PipelineSim {
     /// throwaway hierarchy first).
     fn build(config: PipelineConfig, dcache: Option<CacheSim>) -> Self {
         config.validate().expect("invalid pipeline configuration");
-        TIMING_SIMULATIONS.fetch_add(1, Ordering::Relaxed);
+        timing_simulations_counter().inc();
         let fu = FuTracker::new(&config);
         let mut fu_pipelined = 0u16;
         for class in FuClass::ALL {

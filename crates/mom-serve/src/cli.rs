@@ -6,7 +6,9 @@
 
 use crate::client::{request_json, request_raw};
 use crate::serve::ServeConfig;
-use mom_bench::cli::{configure_store, extract_store_args, CliError};
+use mom_bench::cli::{
+    configure_obs, configure_store, extract_obs_args, extract_store_args, finish_obs, CliError,
+};
 use mom_bench::json::Json;
 use std::time::Duration;
 
@@ -28,6 +30,8 @@ pub fn cli_main() -> i32 {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     finish((|| {
         let store = extract_store_args(&mut args)?;
+        let obs = extract_obs_args(&mut args)?;
+        configure_obs(&obs);
         let command = args.first().cloned().unwrap_or_default();
         let rest = &args[1..];
         // The daemon owns a store; the clients never touch one, so only
@@ -35,16 +39,20 @@ pub fn cli_main() -> i32 {
         match command.as_str() {
             "serve" => {
                 configure_store(store)?;
-                run_serve(rest)
+                run_serve(rest)?;
             }
-            "submit" => run_submit(rest),
-            "status" => run_status(rest),
-            "report" => run_report(rest),
-            "shutdown" => run_shutdown(rest),
-            other => Err(CliError::Usage(format!(
-                "unknown service command '{other}' (expected serve, submit, status, report, shutdown)"
-            ))),
+            "submit" => run_submit(rest)?,
+            "status" => run_status(rest)?,
+            "report" => run_report(rest)?,
+            "shutdown" => run_shutdown(rest)?,
+            "stats" => run_stats(rest)?,
+            other => {
+                return Err(CliError::Usage(format!(
+                "unknown service command '{other}' (expected serve, submit, status, report, shutdown, stats)"
+            )))
+            }
         }
+        finish_obs(&obs)
     })())
 }
 
@@ -89,9 +97,15 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             "--addr" => config.addr = value()?.to_string(),
             "--workers" => config.workers = positive("--workers", value()?)?,
             "--queue" => config.queue_limit = positive("--queue", value()?)?,
+            "--retain" => config.retain = positive("--retain", value()?)?,
+            "--log-level" => {
+                let level: mom_obs::log::LogLevel = value()?.parse().map_err(CliError::Usage)?;
+                mom_obs::set_log_level(level);
+            }
             other => {
                 return Err(CliError::Usage(format!(
-                    "unknown argument {other} (expected --addr HOST:PORT, --workers N, --queue N)"
+                    "unknown argument {other} (expected --addr HOST:PORT, --workers N, \
+                     --queue N, --retain N, --log-level LEVEL)"
                 )))
             }
         }
@@ -104,6 +118,16 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         config.workers,
         config.queue_limit
     );
+    mom_obs::log::info(
+        "serve",
+        &format!(
+            "listening on {} ({} workers, queue limit {}, retaining {} done units)",
+            server.addr(),
+            config.workers,
+            config.queue_limit,
+            config.retain
+        ),
+    );
     println!(
         "submit work with: momsim submit --addr {} <experiment> --wait",
         server.addr()
@@ -114,6 +138,35 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
     // are still durable: the store write happens before a unit reports).
     server.join();
     println!("momsim serve: drained and stopped");
+    mom_obs::log::info("serve", "drained and stopped");
+    Ok(())
+}
+
+/// `momsim stats [--addr HOST:PORT]`: with `--addr`, fetches and prints a
+/// running daemon's `/metrics` exposition; without, prints this process's
+/// own registry (useful after batch commands run in-process).
+fn run_stats(args: &[String]) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let remote = args.iter().any(|arg| arg == "--addr");
+    let addr = extract_addr(&mut args)?;
+    if !args.is_empty() {
+        return Err(CliError::Usage(
+            "momsim stats takes only --addr HOST:PORT".into(),
+        ));
+    }
+    if remote {
+        let (status, bytes) =
+            request_raw(&addr, "GET", "/metrics", None).map_err(|e| CliError::Io(e.to_string()))?;
+        if status != 200 {
+            return Err(CliError::Io(format!("metrics request failed ({status})")));
+        }
+        let text = String::from_utf8(bytes)
+            .map_err(|_| CliError::Io("metrics body is not UTF-8".into()))?;
+        print!("{text}");
+    } else {
+        mom_store::publish_gauges();
+        print!("{}", mom_obs::render_prometheus());
+    }
     Ok(())
 }
 

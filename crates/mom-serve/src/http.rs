@@ -175,6 +175,16 @@ impl Response {
         }
     }
 
+    /// A plain-text response in the Prometheus exposition content type
+    /// (the `GET /metrics` route).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body: body.into_bytes(),
+            content_type: "text/plain; version=0.0.4",
+        }
+    }
+
     /// Writes the response with `Content-Length` and `Connection: close`.
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         write!(

@@ -18,7 +18,61 @@ use mom_bench::schedule::PointJob;
 use mom_bench::{schedule, store, ExperimentPoint, ExperimentSpec};
 use mom_pipeline::PipelineConfig;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default cap on finished unit payloads kept in memory (`--retain`).
+pub const DEFAULT_RETAIN: usize = 1024;
+
+fn jobs_submitted_counter() -> &'static mom_obs::Counter {
+    static COUNTER: OnceLock<mom_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        mom_obs::counter(
+            "momsim_serve_jobs_submitted_total",
+            "Jobs accepted by the daemon.",
+        )
+    })
+}
+
+fn jobs_completed_counter(state: JobState) -> mom_obs::Counter {
+    mom_obs::counter_with(
+        "momsim_serve_jobs_completed_total",
+        "Jobs that reached a terminal state.",
+        &[("state", state.name())],
+    )
+}
+
+fn units_counter(disposition: &str) -> mom_obs::Counter {
+    mom_obs::counter_with(
+        "momsim_serve_units_total",
+        "Work units by submit-time disposition.",
+        &[("disposition", disposition)],
+    )
+}
+
+fn evictions_counter() -> &'static mom_obs::Counter {
+    static COUNTER: OnceLock<mom_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        mom_obs::counter(
+            "momsim_serve_unit_evictions_total",
+            "Finished unit payloads evicted from memory by the --retain cap.",
+        )
+    })
+}
+
+fn elapsed_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn compute_seconds_histogram() -> &'static mom_obs::Histogram {
+    static HISTOGRAM: OnceLock<mom_obs::Histogram> = OnceLock::new();
+    HISTOGRAM.get_or_init(|| {
+        mom_obs::histogram(
+            "momsim_serve_unit_compute_seconds",
+            "Wall time one worker spent computing one unit.",
+        )
+    })
+}
 
 /// A monotonically increasing job identifier.
 pub type JobId = u64;
@@ -96,6 +150,11 @@ enum UnitStatus {
     Queued,
     Running,
     Done(Arc<UnitResult>),
+    /// Finished successfully, but the payload was dropped by the
+    /// `--retain` LRU cap.  Still counts as completed (the artifact store
+    /// holds the result); a resubmission re-reads the store or, if the
+    /// store was cleared, re-queues the unit.
+    DoneEvicted,
     Failed(String),
 }
 
@@ -104,6 +163,15 @@ struct Unit {
     payload: WorkUnit,
     status: UnitStatus,
     subscribers: Vec<JobId>,
+    /// LRU stamp (see `State::touch`), refreshed when a snapshot reads
+    /// this unit's finished payload.
+    last_touch: u64,
+    /// When the unit entered the queue (unset for store-answered units).
+    enqueued_at: Option<Instant>,
+    /// Time spent queued before a worker claimed it.
+    wait_nanos: u64,
+    /// Time a worker spent computing it.
+    compute_nanos: u64,
 }
 
 /// What a job asked for (kept for rendering its document).
@@ -124,6 +192,11 @@ struct Job {
     deduped: usize,
     shared: usize,
     scheduled: usize,
+    /// Submit-time dedup cost (store lookups under the queue lock).
+    dedup_nanos: u64,
+    /// Whether this job's terminal state was already counted in
+    /// `momsim_serve_jobs_completed_total`.
+    done_recorded: bool,
 }
 
 #[derive(Debug, Default)]
@@ -134,6 +207,8 @@ struct State {
     queue: VecDeque<mom_store::Key>,
     running: usize,
     shutting_down: bool,
+    /// Monotonic LRU clock for `Unit::last_touch`.
+    touch: u64,
 }
 
 impl State {
@@ -157,6 +232,77 @@ impl State {
                     })
             })
             .count()
+    }
+
+    fn next_touch(&mut self) -> u64 {
+        self.touch += 1;
+        self.touch
+    }
+
+    /// Derives a job's current state (the same rules
+    /// [`Daemon::snapshot`] applies).
+    fn derive_state(&self, job: &Job) -> JobState {
+        let (mut pending, mut dropped, mut failed) = (0, 0, 0);
+        for key in &job.keys {
+            match self.units.get(key).map(|unit| &unit.status) {
+                Some(UnitStatus::Done(_) | UnitStatus::DoneEvicted) => {}
+                Some(UnitStatus::Failed(_)) => failed += 1,
+                Some(UnitStatus::Queued | UnitStatus::Running) => pending += 1,
+                None => dropped += 1,
+            }
+        }
+        if job.cancelled || dropped > 0 {
+            JobState::Cancelled
+        } else if pending > 0 {
+            JobState::Running
+        } else if failed > 0 {
+            JobState::Failed
+        } else {
+            JobState::Done
+        }
+    }
+
+    /// Counts newly terminal jobs into `momsim_serve_jobs_completed_total`,
+    /// once each.  Called after every transition that can finish a job
+    /// (submit-time full dedup, a worker completion, cancel, drain).
+    fn record_finished_jobs(&mut self) {
+        let finished: Vec<(JobId, JobState)> = self
+            .jobs
+            .iter()
+            .filter(|(_, job)| !job.done_recorded)
+            .map(|(&id, job)| (id, self.derive_state(job)))
+            .filter(|(_, state)| *state != JobState::Running)
+            .collect();
+        for (id, state) in finished {
+            self.jobs.get_mut(&id).expect("job exists").done_recorded = true;
+            jobs_completed_counter(state).inc();
+        }
+    }
+
+    /// Enforces the `--retain` cap: evicts the least recently touched
+    /// finished payloads until at most `retain` remain in memory.  The
+    /// units keep their entries (as [`UnitStatus::DoneEvicted`]) so job
+    /// accounting is unaffected; only the in-memory result is dropped.
+    fn evict_done(&mut self, retain: usize) {
+        loop {
+            let done = self
+                .units
+                .values()
+                .filter(|unit| matches!(unit.status, UnitStatus::Done(_)))
+                .count();
+            if done <= retain {
+                return;
+            }
+            let victim = self
+                .units
+                .iter()
+                .filter(|(_, unit)| matches!(unit.status, UnitStatus::Done(_)))
+                .min_by_key(|(_, unit)| unit.last_touch)
+                .map(|(&key, _)| key)
+                .expect("done > retain >= 0 implies a victim");
+            self.units.get_mut(&victim).expect("victim exists").status = UnitStatus::DoneEvicted;
+            evictions_counter().inc();
+        }
     }
 
     /// Drops queued keys no live job wants any more (after a cancellation
@@ -276,7 +422,16 @@ pub struct JobSnapshot {
     /// Failure messages of failed units.
     pub errors: Vec<String>,
     /// Finished results, as `(index in the job's unit list, result)`.
+    /// Payloads evicted by the `--retain` cap count in `completed` but
+    /// have no row here (replay them from the store via `/reports`).
     pub rows: Vec<(usize, Arc<UnitResult>)>,
+    /// Submit-time dedup cost (store lookups under the queue lock).
+    pub dedup_nanos: u64,
+    /// Total time this job's units sat queued before a worker claimed
+    /// them (shared units count their full wait for every subscriber).
+    pub queue_wait_nanos: u64,
+    /// Total worker compute time across this job's units.
+    pub simulate_nanos: u64,
 }
 
 impl JobSnapshot {
@@ -305,6 +460,7 @@ pub struct Daemon {
     /// Signalled when a worker finishes a unit (shutdown waits on this).
     idle: Condvar,
     queue_limit: usize,
+    retain_done: usize,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -312,13 +468,22 @@ impl Daemon {
     /// Builds a daemon with `workers` pool threads and at most
     /// `queue_limit` concurrently active jobs.  `workers == 0` is allowed
     /// (and used by tests to observe queued states deterministically); the
-    /// CLI validates a positive count.
+    /// CLI validates a positive count.  Finished payloads kept in memory
+    /// are capped at [`DEFAULT_RETAIN`]; see [`Daemon::with_retain`].
     pub fn new(workers: usize, queue_limit: usize) -> Arc<Daemon> {
+        Daemon::with_retain(workers, queue_limit, DEFAULT_RETAIN)
+    }
+
+    /// [`Daemon::new`] with an explicit cap on finished unit payloads held
+    /// in memory (the `--retain` flag); least recently read payloads are
+    /// evicted beyond it.
+    pub fn with_retain(workers: usize, queue_limit: usize, retain_done: usize) -> Arc<Daemon> {
         let daemon = Arc::new(Daemon {
             state: Mutex::new(State::default()),
             work: Condvar::new(),
             idle: Condvar::new(),
             queue_limit: queue_limit.max(1),
+            retain_done: retain_done.max(1),
             workers: Mutex::new(Vec::new()),
         });
         let mut handles = daemon.workers.lock().expect("worker registry");
@@ -339,6 +504,7 @@ impl Daemon {
     /// store already holds, subscribes to what other jobs are computing,
     /// and schedules the rest.
     pub fn submit(&self, request: JobRequest) -> Result<SubmitOutcome, SubmitError> {
+        let _span = mom_obs::span("job", "submit");
         let (label, kind, units) = match request {
             JobRequest::Grid { label, spec } => {
                 spec.validate().map_err(SubmitError::Invalid)?;
@@ -383,16 +549,37 @@ impl Daemon {
             deduped: 0,
             shared: 0,
         };
+        let dedup_start = Instant::now();
         let mut keys = Vec::with_capacity(units.len());
         for unit in units {
             let key = unit.key();
             keys.push(key);
+            let touch = state.next_touch();
             match state.units.entry(key) {
                 std::collections::hash_map::Entry::Occupied(mut entry) => {
                     let existing = entry.get_mut();
                     existing.subscribers.push(job_id);
                     match existing.status {
-                        UnitStatus::Done(_) => outcome.deduped += 1,
+                        UnitStatus::Done(_) => {
+                            existing.last_touch = touch;
+                            outcome.deduped += 1;
+                        }
+                        // The payload was evicted by the --retain cap:
+                        // re-read the store, or re-queue if the store no
+                        // longer holds it either.
+                        UnitStatus::DoneEvicted => match existing.payload.cached() {
+                            Some(result) => {
+                                existing.status = UnitStatus::Done(Arc::new(result));
+                                existing.last_touch = touch;
+                                outcome.deduped += 1;
+                            }
+                            None => {
+                                existing.status = UnitStatus::Queued;
+                                existing.enqueued_at = Some(Instant::now());
+                                state.queue.push_back(key);
+                                outcome.scheduled += 1;
+                            }
+                        },
                         _ => outcome.shared += 1,
                     }
                 }
@@ -406,6 +593,10 @@ impl Daemon {
                                 payload: unit,
                                 status: UnitStatus::Done(Arc::new(result)),
                                 subscribers: vec![job_id],
+                                last_touch: touch,
+                                enqueued_at: None,
+                                wait_nanos: 0,
+                                compute_nanos: 0,
                             });
                             outcome.deduped += 1;
                         }
@@ -414,6 +605,10 @@ impl Daemon {
                                 payload: unit,
                                 status: UnitStatus::Queued,
                                 subscribers: vec![job_id],
+                                last_touch: touch,
+                                enqueued_at: Some(Instant::now()),
+                                wait_nanos: 0,
+                                compute_nanos: 0,
                             });
                             state.queue.push_back(key);
                             outcome.scheduled += 1;
@@ -422,6 +617,7 @@ impl Daemon {
                 }
             }
         }
+        let dedup_nanos = elapsed_nanos(dedup_start);
         state.jobs.insert(
             job_id,
             Job {
@@ -432,8 +628,19 @@ impl Daemon {
                 deduped: outcome.deduped,
                 shared: outcome.shared,
                 scheduled: outcome.scheduled,
+                dedup_nanos,
+                done_recorded: false,
             },
         );
+        jobs_submitted_counter().inc();
+        units_counter("scheduled").add(outcome.scheduled as u64);
+        units_counter("deduped").add(outcome.deduped as u64);
+        units_counter("shared").add(outcome.shared as u64);
+        // A fully store-answered job is terminal right now; and the dedup
+        // inserts above may have pushed the resident payload count past
+        // the cap.
+        state.record_finished_jobs();
+        state.evict_done(self.retain_done);
         if outcome.scheduled > 0 {
             self.work.notify_all();
         }
@@ -462,6 +669,7 @@ impl Daemon {
                     if let Some(key) = claimed {
                         let unit = state.units.get_mut(&key).expect("claimed unit");
                         unit.status = UnitStatus::Running;
+                        unit.wait_nanos = unit.enqueued_at.map(elapsed_nanos).unwrap_or(0);
                         let payload = unit.payload.clone();
                         state.running += 1;
                         break (key, payload);
@@ -473,15 +681,27 @@ impl Daemon {
                 }
             };
             // Compute with no lock held; the fill path writes the store.
-            let result = payload.compute();
-            let mut state = self.state.lock().expect("queue state");
+            let compute_start = Instant::now();
+            let result = {
+                let _span = mom_obs::span_fmt("job", || format!("compute {}", key.to_hex()));
+                payload.compute()
+            };
+            let compute_elapsed = compute_start.elapsed();
+            compute_seconds_histogram().observe(compute_elapsed);
+            let mut guard = self.state.lock().expect("queue state");
+            let state = &mut *guard;
+            let touch = state.next_touch();
             if let Some(unit) = state.units.get_mut(&key) {
+                unit.compute_nanos = u64::try_from(compute_elapsed.as_nanos()).unwrap_or(u64::MAX);
+                unit.last_touch = touch;
                 unit.status = match result {
                     Ok(result) => UnitStatus::Done(Arc::new(result)),
                     Err(message) => UnitStatus::Failed(message),
                 };
             }
             state.running -= 1;
+            state.record_finished_jobs();
+            state.evict_done(self.retain_done);
             self.idle.notify_all();
         }
     }
@@ -497,12 +717,20 @@ impl Daemon {
         };
         job.cancelled = true;
         state.prune_queue(false);
+        // The cancelled job is terminal now, and dropping queued units may
+        // have finished (as Cancelled) other jobs that shared them.
+        state.record_finished_jobs();
         true
     }
 
     /// A point-in-time view of one job; `None` for an unknown id.
+    /// Reading a finished payload refreshes its LRU stamp, so jobs being
+    /// polled stay resident under the `--retain` cap.
     pub fn snapshot(&self, id: JobId) -> Option<JobSnapshot> {
-        let state = self.state.lock().expect("queue state");
+        let mut guard = self.state.lock().expect("queue state");
+        let state = &mut *guard;
+        state.touch += 1;
+        let touch = state.touch;
         let job = state.jobs.get(&id)?;
         let mut snapshot = JobSnapshot {
             id,
@@ -517,24 +745,35 @@ impl Daemon {
             scheduled: job.scheduled,
             errors: Vec::new(),
             rows: Vec::new(),
+            dedup_nanos: job.dedup_nanos,
+            queue_wait_nanos: 0,
+            simulate_nanos: 0,
         };
         let mut pending = 0;
         let mut dropped = 0;
-        for (index, key) in job.keys.iter().enumerate() {
-            match state.units.get(key).map(|unit| &unit.status) {
-                Some(UnitStatus::Done(result)) => {
+        let keys: Vec<mom_store::Key> = job.keys.clone();
+        for (index, key) in keys.iter().enumerate() {
+            let Some(unit) = state.units.get_mut(key) else {
+                dropped += 1;
+                continue;
+            };
+            snapshot.queue_wait_nanos += unit.wait_nanos;
+            snapshot.simulate_nanos += unit.compute_nanos;
+            match &unit.status {
+                UnitStatus::Done(result) => {
                     snapshot.completed += 1;
                     snapshot.rows.push((index, Arc::clone(result)));
+                    unit.last_touch = touch;
                 }
-                Some(UnitStatus::Failed(message)) => {
+                UnitStatus::DoneEvicted => snapshot.completed += 1,
+                UnitStatus::Failed(message) => {
                     snapshot.failed += 1;
                     snapshot.errors.push(message.clone());
                 }
-                Some(UnitStatus::Queued | UnitStatus::Running) => pending += 1,
-                None => dropped += 1,
+                UnitStatus::Queued | UnitStatus::Running => pending += 1,
             }
         }
-        snapshot.state = if job.cancelled || dropped > 0 {
+        snapshot.state = if state.jobs.get(&id).expect("job exists").cancelled || dropped > 0 {
             JobState::Cancelled
         } else if pending > 0 {
             JobState::Running
@@ -568,15 +807,40 @@ impl Daemon {
         while state.running > 0 {
             state = self.idle.wait(state).expect("queue state");
         }
+        // Dropping queued units finished (as Cancelled) the jobs that
+        // wanted them.
+        state.record_finished_jobs();
         ShutdownSummary {
             jobs: state.jobs.len(),
             completed_units: state
                 .units
                 .values()
-                .filter(|unit| matches!(unit.status, UnitStatus::Done(_)))
+                .filter(|unit| matches!(unit.status, UnitStatus::Done(_) | UnitStatus::DoneEvicted))
                 .count(),
             dropped_queued,
         }
+    }
+
+    /// Refreshes the registry's queue gauges (`momsim_serve_queue_depth`,
+    /// `momsim_serve_workers_busy`, `momsim_serve_jobs_active`) from the
+    /// current state.  Called at metrics-scrape time.
+    pub fn publish_gauges(&self) {
+        let state = self.state.lock().expect("queue state");
+        mom_obs::gauge(
+            "momsim_serve_queue_depth",
+            "Units currently waiting in the work queue.",
+        )
+        .set(state.queue.len() as i64);
+        mom_obs::gauge(
+            "momsim_serve_workers_busy",
+            "Worker threads currently computing a unit.",
+        )
+        .set(state.running as i64);
+        mom_obs::gauge(
+            "momsim_serve_jobs_active",
+            "Jobs still owed queued or running units.",
+        )
+        .set(state.active_jobs() as i64);
     }
 
     /// Joins the pool threads (call after [`Daemon::shutdown`]).

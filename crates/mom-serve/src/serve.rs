@@ -25,7 +25,7 @@ use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +36,9 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Most concurrently active jobs before submissions get 429.
     pub queue_limit: usize,
+    /// Most finished unit payloads kept in memory (`--retain`); the least
+    /// recently read beyond this are evicted (the store keeps everything).
+    pub retain: usize,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +47,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:5099".to_string(),
             workers: 2,
             queue_limit: 16,
+            retain: crate::queue::DEFAULT_RETAIN,
         }
     }
 }
@@ -79,7 +83,7 @@ impl Server {
 /// Binds the configured address and starts the daemon.
 pub fn serve(config: &ServeConfig) -> std::io::Result<Server> {
     serve_with(
-        Daemon::new(config.workers, config.queue_limit),
+        Daemon::with_retain(config.workers, config.queue_limit, config.retain),
         &config.addr,
     )
 }
@@ -132,6 +136,45 @@ fn accept_loop(listener: TcpListener, daemon: Arc<Daemon>, stop: Arc<AtomicBool>
     }
 }
 
+/// The bounded-cardinality route label of a request path, for the
+/// per-request metrics (raw paths would mint one series per job id).
+fn route_pattern(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/jobs" => "/jobs",
+        "/shutdown" => "/shutdown",
+        "/metrics" => "/metrics",
+        _ if path.starts_with("/jobs/") => "/jobs/<id>",
+        _ if path.starts_with("/reports/") => "/reports/<name>",
+        _ => "<other>",
+    }
+}
+
+fn record_request(method: &str, path: &str, status: u16, elapsed: Duration) {
+    mom_obs::counter_with(
+        "momsim_serve_requests_total",
+        "HTTP requests served, by method, route pattern and status.",
+        &[
+            ("method", method),
+            ("route", route_pattern(path)),
+            ("status", &status.to_string()),
+        ],
+    )
+    .inc();
+    mom_obs::histogram(
+        "momsim_serve_request_seconds",
+        "Wall time handling one HTTP request.",
+    )
+    .observe(elapsed);
+    mom_obs::log::info(
+        "serve",
+        &format!(
+            "{method} {path} -> {status} ({:.1}ms)",
+            elapsed.as_secs_f64() * 1e3
+        ),
+    );
+}
+
 fn handle_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
@@ -139,12 +182,28 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
         Ok(clone) => clone,
         Err(_) => return,
     });
-    let response = match read_request(&mut reader) {
-        Ok(request) => route(&request.method, &request.path, &request.body, daemon, stop),
-        Err(HttpError::Bad(message)) => Response::error(400, message),
-        Err(HttpError::TooLarge(message)) => Response::error(413, message),
+    let start = Instant::now();
+    let (request, response) = match read_request(&mut reader) {
+        Ok(request) => {
+            let _span = mom_obs::span_fmt("http", || {
+                format!("{} {}", request.method, route_pattern(&request.path))
+            });
+            let response = route(&request.method, &request.path, &request.body, daemon, stop);
+            (Some(request), response)
+        }
+        Err(HttpError::Bad(message)) => (None, Response::error(400, message)),
+        Err(HttpError::TooLarge(message)) => (None, Response::error(413, message)),
         Err(HttpError::Io(_)) => return,
     };
+    match &request {
+        Some(request) => record_request(&request.method, &request.path, response.status, {
+            start.elapsed()
+        }),
+        None => mom_obs::log::warn(
+            "serve",
+            &format!("unreadable request -> {}", response.status),
+        ),
+    }
     let mut stream = stream;
     let _ = response.write_to(&mut stream);
 }
@@ -152,6 +211,13 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
 fn route(method: &str, path: &str, body: &[u8], daemon: &Daemon, stop: &AtomicBool) -> Response {
     match (method, path) {
         ("GET", "/healthz") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+        ("GET", "/metrics") => {
+            // Gauges describe current footprints, so they are refreshed at
+            // scrape time; counters are already live.
+            mom_store::publish_gauges();
+            daemon.publish_gauges();
+            Response::text(200, mom_obs::render_prometheus())
+        }
         ("POST", "/jobs") => submit_route(body, daemon),
         ("GET", "/jobs") => {
             let entries: Vec<Json> = daemon

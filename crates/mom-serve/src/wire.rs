@@ -227,7 +227,8 @@ pub fn parse_submit(doc: &Json) -> Result<JobRequest, String> {
 }
 
 /// Renders a queue snapshot as the `GET /jobs/<id>` document: counters,
-/// state, per-unit errors, and one result row per finished point (rows
+/// state, per-unit errors, a timing breakdown (dedup, queue wait, simulate
+/// and emit milliseconds), and one result row per finished point (rows
 /// stream in as the pool completes them; a running job's document simply
 /// has fewer rows).
 pub fn job_doc(snapshot: &JobSnapshot) -> Json {
@@ -235,6 +236,7 @@ pub fn job_doc(snapshot: &JobSnapshot) -> Json {
         JobKind::Grid(spec) => spec.configs.len().max(1),
         JobKind::Apps => 1,
     };
+    let emit_start = std::time::Instant::now();
     let mut rows = Vec::new();
     for (index, result) in &snapshot.rows {
         match result.as_ref() {
@@ -246,6 +248,13 @@ pub fn job_doc(snapshot: &JobSnapshot) -> Json {
             }
         }
     }
+    let ms = |nanos: u64| Json::Num(nanos as f64 / 1.0e6);
+    let timings = Json::obj([
+        ("dedup_ms", ms(snapshot.dedup_nanos)),
+        ("queue_wait_ms", ms(snapshot.queue_wait_nanos)),
+        ("simulate_ms", ms(snapshot.simulate_nanos)),
+        ("emit_ms", ms(emit_start.elapsed().as_nanos() as u64)),
+    ]);
     Json::obj([
         ("schema", Json::int(1)),
         ("job", Json::Num(snapshot.id as f64)),
@@ -260,6 +269,7 @@ pub fn job_doc(snapshot: &JobSnapshot) -> Json {
             "errors",
             Json::Arr(snapshot.errors.iter().map(Json::str).collect()),
         ),
+        ("timings", timings),
         ("rows", Json::Arr(rows)),
     ])
 }

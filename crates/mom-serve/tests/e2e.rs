@@ -63,6 +63,7 @@ fn daemon_round_trip_dedup_and_shutdown() {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         queue_limit: 4,
+        ..ServeConfig::default()
     })
     .expect("bind an ephemeral port");
     let addr = server.addr().to_string();

@@ -1,0 +1,96 @@
+//! The `--retain` LRU cap: finished unit payloads beyond the cap are
+//! evicted from memory (the eviction counter rises, the job document
+//! loses its rows) while job accounting is untouched — and an evicted
+//! unit resubmitted later is answered from the persistent store again.
+
+use mom_bench::ExperimentSpec;
+use mom_isa::IsaKind;
+use mom_kernels::KernelId;
+use mom_pipeline::PipelineConfig;
+use mom_serve::queue::JobState;
+use mom_serve::wire::JobRequest;
+use mom_serve::Daemon;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn private_store_dir() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("mom-serve-evict-{}", std::process::id()));
+        mom_store::configure(mom_store::StoreConfig {
+            dir: Some(dir.clone()),
+            cold: false,
+        })
+        .expect("configure must run before the first store use");
+        dir
+    })
+}
+
+fn one_point(width: usize) -> JobRequest {
+    JobRequest::Grid {
+        label: format!("width-{width}"),
+        spec: ExperimentSpec {
+            kernels: vec![KernelId::AddBlock],
+            isas: vec![IsaKind::Mom],
+            configs: vec![PipelineConfig::way(width)],
+            replication: 64,
+            ..ExperimentSpec::default()
+        },
+    }
+}
+
+fn evictions() -> u64 {
+    mom_obs::counter(
+        "momsim_serve_unit_evictions_total",
+        "Finished unit payloads evicted from memory by the --retain cap.",
+    )
+    .get()
+}
+
+#[test]
+fn retain_cap_evicts_payloads_but_not_accounting() {
+    private_store_dir();
+    mom_store::global().clear().expect("start cold");
+
+    let daemon = Daemon::with_retain(1, 8, 1);
+    let before = evictions();
+
+    let first = daemon.submit(one_point(2)).expect("queue has room");
+    let snapshot = daemon.wait(first.job).expect("job exists");
+    assert_eq!(snapshot.state, JobState::Done, "{:?}", snapshot.errors);
+    assert_eq!(snapshot.rows.len(), 1, "payload resident while under cap");
+
+    let second = daemon.submit(one_point(4)).expect("queue has room");
+    let snapshot = daemon.wait(second.job).expect("job exists");
+    assert_eq!(snapshot.state, JobState::Done, "{:?}", snapshot.errors);
+
+    // Two Done units against a cap of one: the older payload is gone.
+    assert!(
+        evictions() > before,
+        "the eviction counter records the drop"
+    );
+    let evicted = daemon.snapshot(first.job).expect("job still listed");
+    assert_eq!(evicted.state, JobState::Done, "state survives eviction");
+    assert_eq!(
+        evicted.completed, evicted.total,
+        "counters survive eviction"
+    );
+    assert_eq!(evicted.rows.len(), 0, "the payload itself is evicted");
+
+    // Resubmitting the evicted coordinate is answered from the store —
+    // no recomputation, and the payload is resident again.
+    let timing_before = mom_pipeline::timing_simulations();
+    let third = daemon.submit(one_point(2)).expect("queue has room");
+    assert_eq!(third.deduped, 1, "the store still holds the result");
+    let snapshot = daemon.wait(third.job).expect("job exists");
+    assert_eq!(snapshot.state, JobState::Done, "{:?}", snapshot.errors);
+    assert_eq!(snapshot.rows.len(), 1, "payload re-read from the store");
+    assert_eq!(
+        mom_pipeline::timing_simulations(),
+        timing_before,
+        "an evicted unit must not be simulated again"
+    );
+
+    daemon.shutdown();
+    daemon.join_workers();
+}

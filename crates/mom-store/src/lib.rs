@@ -40,7 +40,7 @@ pub mod store;
 pub use bytes::{ByteReader, ByteWriter, CodecError};
 pub use hash::{Hasher, Key};
 pub use store::{
-    bypass_guard, configure, default_dir, global, BypassGuard, CacheReport, GcReport,
-    NamespaceReport, Store, StoreConfig, TierCounters, FRAME_MAGIC, FRAME_VERSION, NS_RESULT,
-    NS_TRACE,
+    bypass_guard, configure, default_dir, global, publish_gauges, BypassGuard, CacheReport,
+    GcReport, NamespaceReport, Store, StoreConfig, TierCounters, FRAME_MAGIC, FRAME_VERSION,
+    NS_RESULT, NS_TRACE,
 };

@@ -160,6 +160,17 @@ pub struct GcReport {
 
 type MemoryTier = RwLock<HashMap<(String, Key), Arc<Vec<u8>>>>;
 
+/// One accounting event, mirrored into the metrics registry for the
+/// process-global store (see [`Store::mirror`]).
+#[derive(Debug, Clone, Copy)]
+enum StoreEvent {
+    MemoryHit,
+    DiskHit,
+    Miss,
+    Fill,
+    Invalid,
+}
+
 /// A two-tier content-addressed blob store.
 ///
 /// `get`/`put` never fail: the disk tier is best-effort (an unreadable or
@@ -173,6 +184,11 @@ pub struct Store {
     memory: MemoryTier,
     counters: Mutex<HashMap<String, TierCounters>>,
     tmp_counter: AtomicU64,
+    /// Mirror counter bumps into the `mom-obs` metrics registry.  Set only
+    /// on the process-global store: throwaway test stores must not pollute
+    /// process metrics, and `/metrics` must agree with the global store's
+    /// [`CacheReport`].
+    observed: bool,
 }
 
 impl Store {
@@ -184,6 +200,7 @@ impl Store {
             memory: RwLock::new(HashMap::new()),
             counters: Mutex::new(HashMap::new()),
             tmp_counter: AtomicU64::new(0),
+            observed: false,
         }
     }
 
@@ -218,6 +235,53 @@ impl Store {
         f(counters.entry(namespace.to_string()).or_default());
     }
 
+    /// Mirrors one accounting event into the process metrics registry —
+    /// only for the [`global`] store (see the `observed` field), and only
+    /// on paths already guarded by [`Store::is_active`], so bypassed perf
+    /// measurements never touch the registry.
+    fn mirror(&self, namespace: &str, event: StoreEvent) {
+        if !self.observed {
+            return;
+        }
+        const LOOKUPS: &str = "momsim_store_lookups_total";
+        const LOOKUPS_HELP: &str = "Store lookups by namespace and which tier answered.";
+        match event {
+            StoreEvent::MemoryHit => mom_obs::counter_with(
+                LOOKUPS,
+                LOOKUPS_HELP,
+                &[("namespace", namespace), ("outcome", "memory_hit")],
+            )
+            .inc(),
+            StoreEvent::DiskHit => mom_obs::counter_with(
+                LOOKUPS,
+                LOOKUPS_HELP,
+                &[("namespace", namespace), ("outcome", "disk_hit")],
+            )
+            .inc(),
+            StoreEvent::Miss => mom_obs::counter_with(
+                LOOKUPS,
+                LOOKUPS_HELP,
+                &[("namespace", namespace), ("outcome", "miss")],
+            )
+            .inc(),
+            StoreEvent::Fill => mom_obs::counter_with(
+                "momsim_store_fills_total",
+                "Artifacts computed and written to the store.",
+                &[("namespace", namespace)],
+            )
+            .inc(),
+            StoreEvent::Invalid => {
+                mom_obs::counter_with(
+                    "momsim_store_invalid_total",
+                    "On-disk blobs rejected as corrupt, truncated or stale.",
+                    &[("namespace", namespace)],
+                )
+                .inc();
+                self.mirror(namespace, StoreEvent::Miss);
+            }
+        }
+    }
+
     /// Records a hit in a typed in-memory tier layered above this store
     /// (e.g. the `mom-kernels` trace cache's `Arc<KernelRun>` map), so the
     /// [`CacheReport`] covers both tiers even when the raw-blob memory
@@ -225,6 +289,7 @@ impl Store {
     pub fn note_memory_hit(&self, namespace: &str) {
         if self.is_active() {
             self.bump(namespace, |c| c.memory_hits += 1);
+            self.mirror(namespace, StoreEvent::MemoryHit);
         }
     }
 
@@ -243,6 +308,7 @@ impl Store {
             .cloned()
         {
             self.bump(namespace, |c| c.memory_hits += 1);
+            self.mirror(namespace, StoreEvent::MemoryHit);
             return Some(blob);
         }
         match self.read_disk(namespace, key) {
@@ -268,6 +334,7 @@ impl Store {
     }
 
     fn read_disk(&self, namespace: &str, key: Key) -> Option<Vec<u8>> {
+        let _span = mom_obs::span_fmt("store", || format!("read-disk {namespace}"));
         let path = self.blob_path(namespace, key);
         let decoded = path.as_deref().and_then(|p| {
             let bytes = fs::read(p).ok()?;
@@ -276,6 +343,7 @@ impl Store {
         match decoded {
             Some(Ok(payload)) => {
                 self.bump(namespace, |c| c.disk_hits += 1);
+                self.mirror(namespace, StoreEvent::DiskHit);
                 Some(payload)
             }
             Some(Err(())) => {
@@ -288,10 +356,12 @@ impl Store {
                     c.invalid += 1;
                     c.misses += 1;
                 });
+                self.mirror(namespace, StoreEvent::Invalid);
                 None
             }
             None => {
                 self.bump(namespace, |c| c.misses += 1);
+                self.mirror(namespace, StoreEvent::Miss);
                 None
             }
         }
@@ -303,12 +373,14 @@ impl Store {
         if !self.is_active() {
             return;
         }
+        let _span = mom_obs::span_fmt("store", || format!("put {namespace}"));
         self.write_disk(namespace, key, &payload);
         self.memory
             .write()
             .unwrap()
             .insert((namespace.to_string(), key), Arc::new(payload));
         self.bump(namespace, |c| c.fills += 1);
+        self.mirror(namespace, StoreEvent::Fill);
     }
 
     /// Stores a blob on disk only, for callers with their own memory tier.
@@ -316,8 +388,10 @@ impl Store {
         if !self.is_active() {
             return;
         }
+        let _span = mom_obs::span_fmt("store", || format!("put-disk {namespace}"));
         self.write_disk(namespace, key, payload);
         self.bump(namespace, |c| c.fills += 1);
+        self.mirror(namespace, StoreEvent::Fill);
     }
 
     fn write_disk(&self, namespace: &str, key: Key, payload: &[u8]) {
@@ -582,12 +656,36 @@ pub fn global() -> &'static Store {
     GLOBAL.get_or_init(|| {
         let config = PENDING_CONFIG.lock().unwrap().take().unwrap_or_default();
         let dir = config.dir.unwrap_or_else(default_dir);
-        if config.cold {
+        let mut store = if config.cold {
             Store::disabled(Some(dir))
         } else {
             Store::new(Some(dir))
-        }
+        };
+        store.observed = true;
+        store
     })
+}
+
+/// Refreshes the registry's store gauges (`momsim_store_disk_blobs` /
+/// `momsim_store_disk_bytes` per namespace) from a disk scan of the
+/// process-global store.  Called at scrape/snapshot time — gauges describe
+/// a current footprint, not a stream of events.
+pub fn publish_gauges() {
+    let report = global().report();
+    for ns in &report.namespaces {
+        mom_obs::gauge_with(
+            "momsim_store_disk_blobs",
+            "Valid blobs currently in the store's disk tier.",
+            &[("namespace", &ns.namespace)],
+        )
+        .set(ns.disk_blobs as i64);
+        mom_obs::gauge_with(
+            "momsim_store_disk_bytes",
+            "Bytes occupied by the store's disk tier.",
+            &[("namespace", &ns.namespace)],
+        )
+        .set(ns.disk_bytes as i64);
+    }
 }
 
 /// The default disk-tier directory: `target/mom-store` next to the

@@ -14,6 +14,7 @@
 //! momsim serve --workers 4 &
 //! momsim submit fig4 --wait
 //! momsim report fig4 --out BENCH_fig4.json
+//! momsim stats --addr 127.0.0.1:5099
 //! momsim shutdown
 //! ```
 //!
@@ -23,16 +24,16 @@
 //! runtime failure).
 
 /// The first argument that is a subcommand token, skipping the global
-/// store flags (`momsim --store DIR serve` must still dispatch to the
-/// service side).
+/// store and observability flags (`momsim --store DIR serve` must still
+/// dispatch to the service side).
 fn subcommand(args: &[String]) -> Option<&str> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--store" => {
+            "--store" | "--trace-out" => {
                 let _value = it.next();
             }
-            "--cold" => {}
+            "--cold" | "--stats" => {}
             other => return Some(other),
         }
     }
@@ -42,7 +43,7 @@ fn subcommand(args: &[String]) -> Option<&str> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match subcommand(&args) {
-        Some("serve" | "submit" | "status" | "report" | "shutdown") => {
+        Some("serve" | "submit" | "status" | "report" | "shutdown" | "stats") => {
             momsim::serve::cli::cli_main()
         }
         _ => mom_bench::cli::momsim_main(),

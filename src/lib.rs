@@ -21,7 +21,11 @@
 //!   behind the `momsim` CLI,
 //! * [`serve`] — the job-queue simulation daemon (`momsim serve`): HTTP
 //!   submissions, store-backed point deduplication and a sharded worker
-//!   pool, plus the matching client commands.
+//!   pool, plus the matching client commands,
+//! * [`obs`] — the zero-dependency observability layer: the process-global
+//!   metrics registry behind `GET /metrics` and `momsim stats`, span
+//!   tracing with Chrome trace-event export (`--trace-out`), and the
+//!   leveled daemon logger.
 //!
 //! See the `examples/` directory for end-to-end walkthroughs; the `momsim`
 //! binary (`cargo run --release --bin momsim -- list`) runs any registered
@@ -52,6 +56,7 @@ pub use mom_arch as arch;
 pub use mom_bench as bench;
 pub use mom_isa as isa;
 pub use mom_kernels as kernels;
+pub use mom_obs as obs;
 pub use mom_pipeline as pipeline;
 pub use mom_serve as serve;
 pub use mom_simd as simd;
