@@ -493,8 +493,11 @@ USAGE:
       Inspect or maintain the persistent artifact store: hit/miss counters
       and the on-disk footprint (stats, the default), the store directory
       (path), removal of damaged or stale blobs (gc), full deletion (clear).
+      The store directory also holds the daemon's crash journal
+      (journal.wal); clearing the store discards it.
   momsim serve [--addr HOST:PORT] [--workers N] [--queue N] [--retain N]
-               [--log-level off|error|warn|info|debug]
+               [--retries N] [--backoff MS] [--deadline SECS] [--no-journal]
+               [--inject PLAN] [--log-level off|error|warn|info|debug]
       Run the simulation job-queue daemon: accept experiment submissions
       over HTTP, deduplicate grid points against the artifact store and
       against each other, and shard the missing ones across a worker pool.
@@ -502,10 +505,19 @@ USAGE:
       shutdown and per-request lines at --log-level (default info); keeps
       at most --retain finished unit payloads in memory (default 1024),
       evicting the least recently used (the artifact store still holds
-      everything).
+      everything). Workers are supervised: a unit that panics, fails
+      transiently or exceeds --deadline SECS (default 300) is retried up
+      to --retries times (default 3) with jittered backoff starting at
+      --backoff MS (default 50). Accepted jobs are journaled to
+      journal.wal in the store directory and re-admitted after a crash
+      (--no-journal disables this). --inject PLAN enables the
+      deterministic fault-injection harness for chaos testing, e.g.
+      'seed=7,store-write=0.05,worker-panic=0.1:20,delay-ms=25' — never
+      use it in production.
   momsim submit [--addr HOST:PORT] (<experiment> | AXES) [--wait] [--json PATH]
       Submit an experiment to a running daemon; --wait polls until the job
-      finishes and prints a summary (--json writes the result rows).
+      finishes and prints a summary (--json writes the result rows), riding
+      out daemon restarts of up to ten consecutive failed polls.
   momsim status [--addr HOST:PORT] [JOB]
       List a daemon's jobs, or show one job's progress and partial results.
   momsim report [--addr HOST:PORT] <name> [--out PATH]
@@ -517,6 +529,12 @@ USAGE:
   momsim stats [--addr HOST:PORT]
       Print a metrics snapshot in Prometheus text format: this process's
       registry, or — with --addr — a running daemon's GET /metrics.
+
+  Every client command (submit, status, report, shutdown, stats) also
+  takes --retries N (default 2), --backoff MS (first retry delay,
+  default 100) and --timeout SECS (socket deadline, default 120):
+  connection failures and 503 responses are retried with jittered
+  exponential backoff, so clients ride out daemon restarts.
 
 OPTIONS (any command):
   --store DIR

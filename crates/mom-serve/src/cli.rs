@@ -4,7 +4,7 @@
 //! are shared with the batch commands in `mom_bench::cli`; exit codes
 //! follow the same contract (0 success, 2 usage, 1 runtime failure).
 
-use crate::client::{request_json, request_raw};
+use crate::client::{request_json_with, request_raw_with, RetryPolicy};
 use crate::serve::ServeConfig;
 use mom_bench::cli::{
     configure_obs, configure_store, extract_obs_args, extract_store_args, finish_obs, CliError,
@@ -13,6 +13,10 @@ use mom_bench::json::Json;
 use std::time::Duration;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:5099";
+
+/// Consecutive failed status polls `submit --wait` rides out (a daemon
+/// restart takes a few seconds; the job is journalled, so it comes back).
+const WAIT_POLL_TOLERANCE: u32 = 10;
 
 fn finish(result: Result<(), CliError>) -> i32 {
     match result {
@@ -84,6 +88,42 @@ fn positive(flag: &str, value: &str) -> Result<usize, CliError> {
     Ok(n)
 }
 
+fn count(flag: &str, value: &str) -> Result<u32, CliError> {
+    value
+        .parse()
+        .map_err(|e| CliError::Usage(format!("{flag}: {e}")))
+}
+
+/// Pops the client resilience flags (`--retries N`, `--timeout SECS`,
+/// `--backoff MS`) out of an argument list (any position).
+fn extract_retry_args(args: &mut Vec<String>) -> Result<RetryPolicy, CliError> {
+    let mut policy = RetryPolicy::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let take = |args: &mut Vec<String>, i: usize| -> Result<String, CliError> {
+            if i + 1 >= args.len() {
+                return Err(CliError::Usage(format!("{flag} needs a value")));
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(value)
+        };
+        match flag.as_str() {
+            "--retries" => policy.retries = count("--retries", &take(args, i)?)?,
+            "--timeout" => {
+                policy.timeout = Duration::from_secs(positive("--timeout", &take(args, i)?)? as u64)
+            }
+            "--backoff" => {
+                policy.backoff =
+                    Duration::from_millis(positive("--backoff", &take(args, i)?)? as u64)
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(policy)
+}
+
 fn run_serve(args: &[String]) -> Result<(), CliError> {
     let mut config = ServeConfig::default();
     let mut it = args.iter();
@@ -98,6 +138,20 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             "--workers" => config.workers = positive("--workers", value()?)?,
             "--queue" => config.queue_limit = positive("--queue", value()?)?,
             "--retain" => config.retain = positive("--retain", value()?)?,
+            "--retries" => config.supervision.retries = count("--retries", value()?)?,
+            "--backoff" => {
+                config.supervision.backoff =
+                    Duration::from_millis(positive("--backoff", value()?)? as u64)
+            }
+            "--deadline" => {
+                config.supervision.deadline =
+                    Duration::from_secs(positive("--deadline", value()?)? as u64)
+            }
+            "--no-journal" => config.journal = false,
+            "--inject" => {
+                let plan: mom_store::FaultPlan = value()?.parse().map_err(CliError::Usage)?;
+                mom_store::faults::install(plan);
+            }
             "--log-level" => {
                 let level: mom_obs::log::LogLevel = value()?.parse().map_err(CliError::Usage)?;
                 mom_obs::set_log_level(level);
@@ -105,10 +159,15 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown argument {other} (expected --addr HOST:PORT, --workers N, \
-                     --queue N, --retain N, --log-level LEVEL)"
+                     --queue N, --retain N, --retries N, --backoff MS, --deadline SECS, \
+                     --no-journal, --inject PLAN, --log-level LEVEL)"
                 )))
             }
         }
+    }
+    if mom_store::faults::is_active() {
+        println!("momsim serve: FAULT INJECTION ACTIVE (--inject); not for production use");
+        mom_obs::log::warn("serve", "fault injection active (--inject)");
     }
     let server = crate::serve::serve(&config)
         .map_err(|e| CliError::Io(format!("cannot bind {}: {e}", config.addr)))?;
@@ -149,14 +208,15 @@ fn run_stats(args: &[String]) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let remote = args.iter().any(|arg| arg == "--addr");
     let addr = extract_addr(&mut args)?;
+    let policy = extract_retry_args(&mut args)?;
     if !args.is_empty() {
         return Err(CliError::Usage(
-            "momsim stats takes only --addr HOST:PORT".into(),
+            "momsim stats takes only --addr HOST:PORT and the retry flags".into(),
         ));
     }
     if remote {
-        let (status, bytes) =
-            request_raw(&addr, "GET", "/metrics", None).map_err(|e| CliError::Io(e.to_string()))?;
+        let (status, bytes) = request_raw_with(&addr, "GET", "/metrics", None, &policy)
+            .map_err(|e| CliError::Io(e.to_string()))?;
         if status != 200 {
             return Err(CliError::Io(format!("metrics request failed ({status})")));
         }
@@ -282,6 +342,7 @@ fn get_u64(doc: &Json, key: &str) -> u64 {
 fn run_submit(args: &[String]) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let addr = extract_addr(&mut args)?;
+    let policy = extract_retry_args(&mut args)?;
     let (body, options) = submit_body(&args)?;
     let mut wait = false;
     let mut json_path = None;
@@ -297,8 +358,14 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
             }
         }
     }
-    let (status, doc) = request_json(&addr, "POST", "/jobs", Some(body.pretty().as_bytes()))
-        .map_err(|e| CliError::Io(e.to_string()))?;
+    let (status, doc) = request_json_with(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(body.pretty().as_bytes()),
+        &policy,
+    )
+    .map_err(|e| CliError::Io(e.to_string()))?;
     if status != 202 {
         return Err(CliError::Io(format!(
             "submission rejected ({status}): {}",
@@ -316,12 +383,33 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
     if !wait {
         return Ok(());
     }
+    // The poll loop tolerates a bounded run of failed polls on top of the
+    // per-request retries: the job is journalled, so a restarting daemon
+    // recovers it under the same id and the wait just resumes.
+    let mut failed_polls = 0u32;
     loop {
-        let (status, doc) = request_json(&addr, "GET", &format!("/jobs/{job}"), None)
-            .map_err(|e| CliError::Io(e.to_string()))?;
+        let poll = request_json_with(&addr, "GET", &format!("/jobs/{job}"), None, &policy);
+        let (status, doc) = match poll {
+            Ok(answer) => answer,
+            Err(e) => {
+                failed_polls += 1;
+                if failed_polls > WAIT_POLL_TOLERANCE {
+                    return Err(CliError::Io(e.to_string()));
+                }
+                eprintln!("momsim submit: poll failed ({e}); daemon restarting? retrying");
+                std::thread::sleep(Duration::from_millis(500));
+                continue;
+            }
+        };
         if status != 200 {
-            return Err(CliError::Io(format!("job {job} vanished ({status})")));
+            failed_polls += 1;
+            if failed_polls > WAIT_POLL_TOLERANCE {
+                return Err(CliError::Io(format!("job {job} vanished ({status})")));
+            }
+            std::thread::sleep(Duration::from_millis(500));
+            continue;
         }
+        failed_polls = 0;
         let state = doc.get("state").and_then(Json::as_str).unwrap_or("?");
         if state == "running" {
             std::thread::sleep(Duration::from_millis(100));
@@ -357,9 +445,10 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
 fn run_status(args: &[String]) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let addr = extract_addr(&mut args)?;
+    let policy = extract_retry_args(&mut args)?;
     match args.first() {
         None => {
-            let (status, doc) = request_json(&addr, "GET", "/jobs", None)
+            let (status, doc) = request_json_with(&addr, "GET", "/jobs", None, &policy)
                 .map_err(|e| CliError::Io(e.to_string()))?;
             if status != 200 {
                 return Err(CliError::Io(format!("status request failed ({status})")));
@@ -394,8 +483,9 @@ fn run_status(args: &[String]) -> Result<(), CliError> {
             let id: u64 = id
                 .parse()
                 .map_err(|e| CliError::Usage(format!("bad job id '{id}': {e}")))?;
-            let (status, doc) = request_json(&addr, "GET", &format!("/jobs/{id}"), None)
-                .map_err(|e| CliError::Io(e.to_string()))?;
+            let (status, doc) =
+                request_json_with(&addr, "GET", &format!("/jobs/{id}"), None, &policy)
+                    .map_err(|e| CliError::Io(e.to_string()))?;
             if status != 200 {
                 return Err(CliError::Io(format!(
                     "no such job {id} ({})",
@@ -411,6 +501,7 @@ fn run_status(args: &[String]) -> Result<(), CliError> {
 fn run_report(args: &[String]) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let addr = extract_addr(&mut args)?;
+    let policy = extract_retry_args(&mut args)?;
     let mut name = None;
     let mut out = None;
     let mut it = args.iter();
@@ -433,8 +524,9 @@ fn run_report(args: &[String]) -> Result<(), CliError> {
             "momsim report needs a report name (fig4, fig5, tables, apps, ablations)".into(),
         )
     })?;
-    let (status, bytes) = request_raw(&addr, "GET", &format!("/reports/{name}"), None)
-        .map_err(|e| CliError::Io(e.to_string()))?;
+    let (status, bytes) =
+        request_raw_with(&addr, "GET", &format!("/reports/{name}"), None, &policy)
+            .map_err(|e| CliError::Io(e.to_string()))?;
     if status != 200 {
         let detail = std::str::from_utf8(&bytes)
             .ok()
@@ -461,11 +553,14 @@ fn run_report(args: &[String]) -> Result<(), CliError> {
 fn run_shutdown(args: &[String]) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let addr = extract_addr(&mut args)?;
+    let policy = extract_retry_args(&mut args)?;
     if !args.is_empty() {
-        return Err(CliError::Usage("momsim shutdown takes only --addr".into()));
+        return Err(CliError::Usage(
+            "momsim shutdown takes only --addr and the retry flags".into(),
+        ));
     }
-    let (status, doc) =
-        request_json(&addr, "POST", "/shutdown", None).map_err(|e| CliError::Io(e.to_string()))?;
+    let (status, doc) = request_json_with(&addr, "POST", "/shutdown", None, &policy)
+        .map_err(|e| CliError::Io(e.to_string()))?;
     if status != 200 {
         return Err(CliError::Io(format!("shutdown failed ({status})")));
     }

@@ -33,6 +33,12 @@ pub enum HttpError {
     Bad(String),
     /// The head or body exceeds a size limit (413).
     TooLarge(String),
+    /// The peer stopped sending mid-request (408): the socket's read
+    /// deadline expired with bytes still owed.  Distinct from [`Io`]
+    /// (a closed or reset connection, where nobody is left to answer).
+    ///
+    /// [`Io`]: HttpError::Io
+    Timeout(String),
     /// The connection failed mid-read.
     Io(std::io::Error),
 }
@@ -42,8 +48,21 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::Bad(m) => write!(f, "bad request: {m}"),
             HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::Timeout(m) => write!(f, "request timed out: {m}"),
             HttpError::Io(e) => write!(f, "connection error: {e}"),
         }
+    }
+}
+
+/// Classifies a read failure: an expired socket deadline (`WouldBlock` on
+/// Unix sockets with `SO_RCVTIMEO`, `TimedOut` elsewhere) is a slow peer,
+/// everything else a dead one.
+fn read_failure(e: std::io::Error, what: &str) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            HttpError::Timeout(format!("timed out reading {what}"))
+        }
+        _ => HttpError::Io(e),
     }
 }
 
@@ -66,7 +85,7 @@ fn read_head_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
                     )));
                 }
             }
-            Err(e) => return Err(HttpError::Io(e)),
+            Err(e) => return Err(read_failure(e, "a head line")),
         }
     }
     if line.last() == Some(&b'\r') {
@@ -75,8 +94,21 @@ fn read_head_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
     String::from_utf8(line).map_err(|_| HttpError::Bad("head line is not UTF-8".into()))
 }
 
-/// Reads and parses one request from a connection.
-pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
+/// A parsed request line plus headers, before the body is read.  The
+/// server reads the head and body separately so it can scale the body's
+/// read deadline with the advertised `Content-Length`.
+#[derive(Debug)]
+pub struct RequestHead {
+    /// The request method, uppercased.
+    pub method: String,
+    /// The request path, verbatim.
+    pub path: String,
+    /// The advertised body length (0 without a `Content-Length`).
+    pub content_length: usize,
+}
+
+/// Reads and parses one request head (request line + headers).
+pub fn read_request_head(stream: &mut impl BufRead) -> Result<RequestHead, HttpError> {
     let request_line = read_head_line(stream)?;
     let mut parts = request_line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -94,12 +126,10 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
     for _ in 0..=MAX_HEADERS {
         let line = read_head_line(stream)?;
         if line.is_empty() {
-            let mut body = vec![0u8; content_length];
-            stream.read_exact(&mut body).map_err(HttpError::Io)?;
-            return Ok(Request {
+            return Ok(RequestHead {
                 method: method.to_ascii_uppercase(),
                 path: path.to_string(),
-                body,
+                content_length,
             });
         }
         let (name, value) = line
@@ -122,6 +152,29 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
     )))
 }
 
+/// Reads the `content_length`-byte request body following a head.
+pub fn read_request_body(
+    stream: &mut impl BufRead,
+    content_length: usize,
+) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| read_failure(e, "the request body"))?;
+    Ok(body)
+}
+
+/// Reads and parses one complete request from a connection.
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
+    let head = read_request_head(stream)?;
+    let body = read_request_body(stream, head.content_length)?;
+    Ok(Request {
+        method: head.method,
+        path: head.path,
+        body,
+    })
+}
+
 /// The canonical reason phrase of the status codes the daemon emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -130,6 +183,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -204,6 +258,15 @@ impl Response {
 /// `Content-Length` when present, else reads to connection close.
 pub fn read_response(stream: &mut impl BufRead) -> Result<(u16, Vec<u8>), HttpError> {
     let status_line = read_head_line(stream)?;
+    if status_line.is_empty() {
+        // EOF before a single response byte: the daemon dropped the
+        // connection (crash, restart, injected accept fault).  That is a
+        // transport failure, not a protocol one — clients retry it.
+        return Err(HttpError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a response",
+        )));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)

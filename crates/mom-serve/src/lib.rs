@@ -15,20 +15,24 @@
 //! environment is offline, so there is no serialisation crate), [`http`]
 //! is a minimal HTTP/1.1 reader/writer over `std::net`, [`wire`] maps
 //! parsed documents to experiment specs and snapshots back to documents,
-//! [`queue`] is the deduplicating job queue plus worker pool, and
-//! [`serve`] binds them to a TCP listener.  [`client`] and [`cli`] are the
-//! `momsim submit` / `status` / `report` / `shutdown` side.
+//! [`queue`] is the deduplicating job queue plus worker pool (with
+//! supervised, retrying workers), [`journal`] is the crash-safe job
+//! journal recovery replays on startup, and [`serve`] binds them to a TCP
+//! listener.  [`client`] and [`cli`] are the `momsim submit` / `status` /
+//! `report` / `shutdown` side.
 
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod json;
 pub mod queue;
 pub mod serve;
 pub mod wire;
 
+pub use journal::{Journal, Record, RecoverySummary};
 pub use json::{parse, ParseError};
-pub use queue::{Daemon, JobId, SubmitError, SubmitOutcome};
-pub use serve::{serve, serve_with, ServeConfig, Server};
+pub use queue::{Daemon, JobId, SubmitError, SubmitOutcome, Supervision};
+pub use serve::{serve, serve_with, serve_with_timeout, ServeConfig, Server};

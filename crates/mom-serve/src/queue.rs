@@ -13,13 +13,17 @@
 //! (submit-time dedup), and the store's internal locks are never held
 //! while acquiring the queue lock — workers compute with no lock held.
 
+use crate::journal::{Journal, Record, RecoverySummary};
 use crate::wire::JobRequest;
 use mom_bench::schedule::PointJob;
 use mom_bench::{schedule, store, ExperimentPoint, ExperimentSpec};
+use mom_kernels::KernelError;
 use mom_pipeline::PipelineConfig;
+use mom_store::faults::{self, FaultSite};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Instant;
+use std::panic::AssertUnwindSafe;
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Default cap on finished unit payloads kept in memory (`--retain`).
 pub const DEFAULT_RETAIN: usize = 1024;
@@ -56,6 +60,16 @@ fn evictions_counter() -> &'static mom_obs::Counter {
         mom_obs::counter(
             "momsim_serve_unit_evictions_total",
             "Finished unit payloads evicted from memory by the --retain cap.",
+        )
+    })
+}
+
+fn unit_retries_counter() -> &'static mom_obs::Counter {
+    static COUNTER: OnceLock<mom_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        mom_obs::counter(
+            "momsim_unit_retries_total",
+            "Unit compute attempts retried after a transient failure.",
         )
     })
 }
@@ -118,22 +132,63 @@ impl WorkUnit {
         }
     }
 
-    /// Computes the unit through the store-fronted fill path.
-    pub fn compute(&self) -> Result<UnitResult, String> {
+    /// Computes the unit through the store-fronted fill path, classifying
+    /// any failure as transient (worth a retry) or permanent.
+    pub fn compute(&self) -> Result<UnitResult, ComputeError> {
         match self {
             WorkUnit::Point(job) => job
                 .compute()
                 .map(|p| UnitResult::Point(Box::new(p)))
-                .map_err(|e| e.to_string()),
+                .map_err(|e| ComputeError {
+                    // Execution faults can be environmental (an injected
+                    // fault, a torn store write); program validation and
+                    // output mismatches are deterministic.
+                    transient: matches!(e, KernelError::Exec { .. }),
+                    message: e.to_string(),
+                }),
             WorkUnit::Apps {
                 config,
                 seed,
                 frames,
             } => store::stored_app_speedups(config, *seed, *frames)
                 .map(UnitResult::Apps)
-                .map_err(|e| e.to_string()),
+                .map_err(|e| ComputeError {
+                    transient: matches!(
+                        &e,
+                        mom_apps::AppError::Phase {
+                            source: KernelError::Exec { .. },
+                            ..
+                        }
+                    ),
+                    message: e.to_string(),
+                }),
         }
     }
+
+    /// Human-readable coordinates for failure messages
+    /// (`kernel/isa/wayN` for a grid point).
+    pub fn describe(&self) -> String {
+        match self {
+            WorkUnit::Point(job) => format!(
+                "{}/{}/way{}",
+                job.kernel.name(),
+                job.isa.name(),
+                job.config.width
+            ),
+            WorkUnit::Apps { .. } => "app-speedups".to_string(),
+        }
+    }
+}
+
+/// Why one unit compute attempt failed, and whether retrying can help.
+#[derive(Debug)]
+pub struct ComputeError {
+    /// Human-readable failure description.
+    pub message: String,
+    /// `true` when the failure may not repeat (an execution fault, an
+    /// injected fault, a panic, a deadline); `false` for deterministic
+    /// failures (invalid program, output mismatch, bad spec).
+    pub transient: bool,
 }
 
 /// A finished unit's payload.
@@ -263,9 +318,10 @@ impl State {
     }
 
     /// Counts newly terminal jobs into `momsim_serve_jobs_completed_total`,
-    /// once each.  Called after every transition that can finish a job
-    /// (submit-time full dedup, a worker completion, cancel, drain).
-    fn record_finished_jobs(&mut self) {
+    /// once each, and returns them so the caller can journal their
+    /// `JobEnd` records.  Called after every transition that can finish a
+    /// job (submit-time full dedup, a worker completion, cancel, drain).
+    fn record_finished_jobs(&mut self) -> Vec<(JobId, JobState)> {
         let finished: Vec<(JobId, JobState)> = self
             .jobs
             .iter()
@@ -273,10 +329,11 @@ impl State {
             .map(|(&id, job)| (id, self.derive_state(job)))
             .filter(|(_, state)| *state != JobState::Running)
             .collect();
-        for (id, state) in finished {
-            self.jobs.get_mut(&id).expect("job exists").done_recorded = true;
-            jobs_completed_counter(state).inc();
+        for (id, state) in &finished {
+            self.jobs.get_mut(id).expect("job exists").done_recorded = true;
+            jobs_completed_counter(*state).inc();
         }
+        finished
     }
 
     /// Enforces the `--retain` cap: evicts the least recently touched
@@ -452,6 +509,33 @@ pub struct ShutdownSummary {
     pub dropped_queued: usize,
 }
 
+/// Worker supervision policy: how often a transiently failed unit is
+/// retried, how the backoff between attempts grows, and the per-attempt
+/// compute deadline (`momsim serve --retries/--backoff/--deadline`).
+#[derive(Debug, Clone, Copy)]
+pub struct Supervision {
+    /// Extra attempts after the first for a transient failure.
+    pub retries: u32,
+    /// Base backoff between attempts; decorrelated jitter grows from it.
+    pub backoff: Duration,
+    /// Ceiling on the jittered backoff.
+    pub backoff_cap: Duration,
+    /// Per-attempt compute deadline enforced by a watchdog; a unit that
+    /// exceeds it is abandoned and counts as a transient failure.
+    pub deadline: Duration,
+}
+
+impl Default for Supervision {
+    fn default() -> Supervision {
+        Supervision {
+            retries: 3,
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            deadline: Duration::from_secs(300),
+        }
+    }
+}
+
 /// The job queue plus its worker pool.
 pub struct Daemon {
     state: Mutex<State>,
@@ -461,6 +545,12 @@ pub struct Daemon {
     idle: Condvar,
     queue_limit: usize,
     retain_done: usize,
+    supervision: Supervision,
+    /// The crash journal, when `momsim serve` runs with a store directory.
+    /// Lock order: always acquired *after* (or without) the state lock.
+    journal: Mutex<Option<Arc<Journal>>>,
+    /// What startup recovery did, for `/healthz`.
+    recovery: Mutex<Option<RecoverySummary>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -478,12 +568,26 @@ impl Daemon {
     /// in memory (the `--retain` flag); least recently read payloads are
     /// evicted beyond it.
     pub fn with_retain(workers: usize, queue_limit: usize, retain_done: usize) -> Arc<Daemon> {
+        Daemon::with_options(workers, queue_limit, retain_done, Supervision::default())
+    }
+
+    /// [`Daemon::with_retain`] with an explicit worker [`Supervision`]
+    /// policy.
+    pub fn with_options(
+        workers: usize,
+        queue_limit: usize,
+        retain_done: usize,
+        supervision: Supervision,
+    ) -> Arc<Daemon> {
         let daemon = Arc::new(Daemon {
             state: Mutex::new(State::default()),
             work: Condvar::new(),
             idle: Condvar::new(),
             queue_limit: queue_limit.max(1),
             retain_done: retain_done.max(1),
+            supervision,
+            journal: Mutex::new(None),
+            recovery: Mutex::new(None),
             workers: Mutex::new(Vec::new()),
         });
         let mut handles = daemon.workers.lock().expect("worker registry");
@@ -500,10 +604,64 @@ impl Daemon {
         daemon
     }
 
+    /// Attaches the crash journal: workers append unit completions, the
+    /// daemon appends job terminations, and a clean drain truncates it.
+    pub fn set_journal(&self, journal: Arc<Journal>) {
+        *self.journal.lock().expect("journal handle") = Some(journal);
+    }
+
+    /// The attached crash journal, if any.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.journal.lock().expect("journal handle").clone()
+    }
+
+    /// Records what startup recovery found (rendered by `GET /healthz`).
+    pub fn set_recovery(&self, summary: RecoverySummary) {
+        *self.recovery.lock().expect("recovery summary") = Some(summary);
+    }
+
+    /// The startup recovery summary, if a recovery ran.
+    pub fn recovery(&self) -> Option<RecoverySummary> {
+        *self.recovery.lock().expect("recovery summary")
+    }
+
+    /// Appends `JobEnd` records for newly terminal jobs.  Journal appends
+    /// are cheap (one buffered write) and the journal has its own lock, so
+    /// callers may hold the state lock.
+    fn journal_job_ends(&self, finished: &[(JobId, JobState)]) {
+        if finished.is_empty() {
+            return;
+        }
+        if let Some(journal) = self.journal() {
+            for (job, state) in finished {
+                journal.append(&Record::JobEnd {
+                    job: *job,
+                    state: state.name().to_string(),
+                });
+            }
+        }
+    }
+
     /// Accepts a submission: decomposes it into units, answers what the
     /// store already holds, subscribes to what other jobs are computing,
     /// and schedules the rest.
     pub fn submit(&self, request: JobRequest) -> Result<SubmitOutcome, SubmitError> {
+        self.admit(request, None)
+    }
+
+    /// Re-admits a journalled job under its original id during crash
+    /// recovery.  Bypasses the queue limit (recovered work was already
+    /// admitted once); journalling the submission again is the caller's
+    /// business (recovery compacts instead).
+    pub fn resubmit(&self, id: JobId, request: JobRequest) -> Result<SubmitOutcome, SubmitError> {
+        self.admit(request, Some(id))
+    }
+
+    fn admit(
+        &self,
+        request: JobRequest,
+        forced: Option<JobId>,
+    ) -> Result<SubmitOutcome, SubmitError> {
         let _span = mom_obs::span("job", "submit");
         let (label, kind, units) = match request {
             JobRequest::Grid { label, spec } => {
@@ -533,15 +691,29 @@ impl Daemon {
         if state.shutting_down {
             return Err(SubmitError::ShuttingDown);
         }
-        let active = state.active_jobs();
-        if active >= self.queue_limit {
-            return Err(SubmitError::Busy {
-                active,
-                limit: self.queue_limit,
-            });
+        if forced.is_none() {
+            let active = state.active_jobs();
+            if active >= self.queue_limit {
+                return Err(SubmitError::Busy {
+                    active,
+                    limit: self.queue_limit,
+                });
+            }
         }
-        let job_id = state.next_job;
-        state.next_job += 1;
+        let job_id = match forced {
+            Some(id) => {
+                if state.jobs.contains_key(&id) {
+                    return Err(SubmitError::Invalid(format!("job {id} already exists")));
+                }
+                state.next_job = state.next_job.max(id + 1);
+                id
+            }
+            None => {
+                let id = state.next_job;
+                state.next_job += 1;
+                id
+            }
+        };
         let mut outcome = SubmitOutcome {
             job: job_id,
             total: units.len(),
@@ -639,8 +811,9 @@ impl Daemon {
         // A fully store-answered job is terminal right now; and the dedup
         // inserts above may have pushed the resident payload count past
         // the cap.
-        state.record_finished_jobs();
+        let finished = state.record_finished_jobs();
         state.evict_done(self.retain_done);
+        self.journal_job_ends(&finished);
         if outcome.scheduled > 0 {
             self.work.notify_all();
         }
@@ -684,10 +857,17 @@ impl Daemon {
             let compute_start = Instant::now();
             let result = {
                 let _span = mom_obs::span_fmt("job", || format!("compute {}", key.to_hex()));
-                payload.compute()
+                self.supervise(key, &payload)
             };
             let compute_elapsed = compute_start.elapsed();
             compute_seconds_histogram().observe(compute_elapsed);
+            if result.is_ok() {
+                // The payload is in the store; journal the completion so a
+                // crash before the job finishes recovers it for free.
+                if let Some(journal) = self.journal() {
+                    journal.append(&Record::UnitDone { key });
+                }
+            }
             let mut guard = self.state.lock().expect("queue state");
             let state = &mut *guard;
             let touch = state.next_touch();
@@ -700,9 +880,59 @@ impl Daemon {
                 };
             }
             state.running -= 1;
-            state.record_finished_jobs();
+            let finished = state.record_finished_jobs();
             state.evict_done(self.retain_done);
+            self.journal_job_ends(&finished);
             self.idle.notify_all();
+        }
+    }
+
+    /// Runs one unit under supervision: each attempt computes on a helper
+    /// thread (so a watchdog deadline can abandon a stuck unit) under
+    /// `catch_unwind` (so a panic — real or injected — is an error, not a
+    /// dead worker).  Transient failures are retried up to the policy's
+    /// limit with decorrelated-jitter backoff; the final error message
+    /// carries the unit's coordinates and the attempt count.
+    fn supervise(&self, key: mom_store::Key, payload: &WorkUnit) -> Result<UnitResult, String> {
+        let policy = self.supervision;
+        let mut backoff = policy.backoff;
+        let mut attempt = 0u32;
+        loop {
+            let error = match attempt_unit(payload, policy.deadline) {
+                Ok(result) => {
+                    if attempt > 0 {
+                        mom_obs::log::info(
+                            "worker",
+                            &format!("unit {} recovered on attempt {}", key.to_hex(), attempt + 1),
+                        );
+                    }
+                    return Ok(result);
+                }
+                Err(error) => error,
+            };
+            if !error.transient || attempt >= policy.retries {
+                let attempts = attempt + 1;
+                let plural = if attempts == 1 { "" } else { "s" };
+                return Err(format!(
+                    "{}: {} (after {attempts} attempt{plural})",
+                    payload.describe(),
+                    error.message
+                ));
+            }
+            unit_retries_counter().inc();
+            mom_obs::log::warn(
+                "worker",
+                &format!(
+                    "unit {} attempt {} failed transiently: {}; retrying",
+                    key.to_hex(),
+                    attempt + 1,
+                    error.message
+                ),
+            );
+            backoff =
+                decorrelated_jitter(policy.backoff, backoff, policy.backoff_cap, key, attempt);
+            std::thread::sleep(backoff);
+            attempt += 1;
         }
     }
 
@@ -719,7 +949,8 @@ impl Daemon {
         state.prune_queue(false);
         // The cancelled job is terminal now, and dropping queued units may
         // have finished (as Cancelled) other jobs that shared them.
-        state.record_finished_jobs();
+        let finished = state.record_finished_jobs();
+        self.journal_job_ends(&finished);
         true
     }
 
@@ -809,7 +1040,8 @@ impl Daemon {
         }
         // Dropping queued units finished (as Cancelled) the jobs that
         // wanted them.
-        state.record_finished_jobs();
+        let finished = state.record_finished_jobs();
+        self.journal_job_ends(&finished);
         ShutdownSummary {
             jobs: state.jobs.len(),
             completed_units: state
@@ -866,4 +1098,85 @@ impl Daemon {
                 .expect("queue state");
         }
     }
+}
+
+/// One supervised compute attempt: run on a helper thread so the caller
+/// can enforce a deadline, with `catch_unwind` turning a panic into a
+/// transient [`ComputeError`].  The fault plane's worker sites fire here,
+/// inside the unwind boundary, so injected panics exercise exactly the
+/// recovery path a real one would.
+fn attempt_unit(payload: &WorkUnit, deadline: Duration) -> Result<UnitResult, ComputeError> {
+    let unit = payload.clone();
+    let (tx, rx) = mpsc::channel();
+    let handle = match std::thread::Builder::new()
+        .name("mom-serve-compute".to_string())
+        .spawn(move || {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                faults::maybe_delay(FaultSite::WorkerDelay);
+                faults::maybe_panic(FaultSite::WorkerPanic);
+                unit.compute()
+            }));
+            let _ = tx.send(outcome);
+        }) {
+        Ok(handle) => handle,
+        Err(e) => {
+            return Err(ComputeError {
+                message: format!("cannot spawn compute thread: {e}"),
+                transient: true,
+            })
+        }
+    };
+    match rx.recv_timeout(deadline) {
+        Ok(outcome) => {
+            let _ = handle.join();
+            match outcome {
+                Ok(result) => result,
+                Err(panic) => Err(ComputeError {
+                    message: format!("panicked: {}", panic_message(panic.as_ref())),
+                    transient: true,
+                }),
+            }
+        }
+        // The watchdog fired: abandon the helper thread (its send fails
+        // harmlessly once it finishes) so a stuck unit cannot wedge the
+        // worker.
+        Err(_) => Err(ComputeError {
+            message: format!("deadline of {deadline:?} exceeded"),
+            transient: true,
+        }),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Decorrelated-jitter backoff: the next sleep is drawn uniformly from
+/// `[base, 3 * previous]`, capped.  The draw is a deterministic hash of
+/// (unit key, attempt) so test runs reproduce, yet sleeps decorrelate
+/// across units hammering the same recovering resource.
+fn decorrelated_jitter(
+    base: Duration,
+    prev: Duration,
+    cap: Duration,
+    key: mom_store::Key,
+    attempt: u32,
+) -> Duration {
+    let mut x = (key.0 as u64) ^ ((key.0 >> 64) as u64) ^ (u64::from(attempt) << 32);
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let low = u64::try_from(base.as_millis()).unwrap_or(u64::MAX).max(1);
+    let high = u64::try_from(prev.as_millis())
+        .unwrap_or(u64::MAX)
+        .saturating_mul(3)
+        .max(low + 1);
+    Duration::from_millis(low + x % (high - low)).min(cap)
 }

@@ -16,11 +16,13 @@
 //! |                      | unless every point is already stored)          |
 //! | `POST /shutdown`     | drain, summarise, stop accepting               |
 
-use crate::http::{read_request, HttpError, Response};
-use crate::queue::Daemon;
+use crate::http::{read_request_body, read_request_head, HttpError, Request, Response};
+use crate::journal::{self, Journal, Record};
+use crate::queue::{Daemon, Supervision};
 use crate::wire::{job_doc, job_entry, parse_submit};
 use mom_bench::json::Json;
 use mom_bench::{find_experiment, Report};
+use mom_store::faults::{self, FaultSite};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,6 +41,14 @@ pub struct ServeConfig {
     /// Most finished unit payloads kept in memory (`--retain`); the least
     /// recently read beyond this are evicted (the store keeps everything).
     pub retain: usize,
+    /// Worker supervision policy (retries, backoff, deadline).
+    pub supervision: Supervision,
+    /// Socket read deadline for a request head; the body deadline scales
+    /// up from it with the advertised `Content-Length`.
+    pub read_timeout: Duration,
+    /// Whether to keep (and recover from) the crash journal in the store
+    /// directory.  On by default; meaningless without an active store.
+    pub journal: bool,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +58,9 @@ impl Default for ServeConfig {
             workers: 2,
             queue_limit: 16,
             retain: crate::queue::DEFAULT_RETAIN,
+            supervision: Supervision::default(),
+            read_timeout: Duration::from_secs(5),
+            journal: true,
         }
     }
 }
@@ -80,17 +93,75 @@ impl Server {
     }
 }
 
-/// Binds the configured address and starts the daemon.
+/// Binds the configured address and starts the daemon, replaying the
+/// crash journal first when the artifact store has a directory: every
+/// journalled job without a terminal record is re-admitted through the
+/// ordinary dedup path, so only the units genuinely lost to the crash are
+/// recomputed.
 pub fn serve(config: &ServeConfig) -> std::io::Result<Server> {
-    serve_with(
-        Daemon::with_retain(config.workers, config.queue_limit, config.retain),
-        &config.addr,
-    )
+    let daemon = Daemon::with_options(
+        config.workers,
+        config.queue_limit,
+        config.retain,
+        config.supervision,
+    );
+    if config.journal && mom_store::global().is_active() {
+        if let Some(dir) = mom_store::global().dir() {
+            let path = dir.join(journal::JOURNAL_FILE);
+            match Journal::open(&path) {
+                Ok((journal, records)) => {
+                    // Recover before attaching the journal: replayed
+                    // submissions must not re-journal themselves (the
+                    // compaction below rewrites the live ones), and a
+                    // unit finished in this narrow window merely loses
+                    // its UnitDone record — the store still dedups it on
+                    // the next recovery.
+                    let (summary, live) = journal::recover(&daemon, &records);
+                    journal.compact(&live);
+                    daemon.set_journal(Arc::new(journal));
+                    daemon.set_recovery(summary);
+                    if summary.jobs + summary.jobs_skipped > 0 {
+                        mom_obs::log::info(
+                            "journal",
+                            &format!(
+                                "recovered {} unfinished job(s): {} unit(s) answered from \
+                                 the store, {} requeued ({} finished job(s) skipped)",
+                                summary.jobs,
+                                summary.units_done,
+                                summary.units_requeued,
+                                summary.jobs_skipped
+                            ),
+                        );
+                    }
+                }
+                Err(e) => {
+                    mom_obs::log::warn(
+                        "journal",
+                        &format!(
+                            "cannot open {}: {e}; running without a journal",
+                            path.display()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    serve_with_timeout(daemon, &config.addr, config.read_timeout)
 }
 
 /// Starts the accept loop over an existing queue — the seam tests use to
 /// run a daemon with zero workers and observe queued states.
 pub fn serve_with(daemon: Arc<Daemon>, addr: &str) -> std::io::Result<Server> {
+    serve_with_timeout(daemon, addr, Duration::from_secs(5))
+}
+
+/// [`serve_with`] with an explicit head read deadline (tests shrink it to
+/// exercise the 408 path quickly).
+pub fn serve_with_timeout(
+    daemon: Arc<Daemon>,
+    addr: &str,
+    read_timeout: Duration,
+) -> std::io::Result<Server> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -100,7 +171,7 @@ pub fn serve_with(daemon: Arc<Daemon>, addr: &str) -> std::io::Result<Server> {
         let stop = Arc::clone(&stop);
         std::thread::Builder::new()
             .name("mom-serve-accept".to_string())
-            .spawn(move || accept_loop(listener, daemon, stop))
+            .spawn(move || accept_loop(listener, daemon, stop, read_timeout))
             .expect("spawn accept loop")
     };
     Ok(Server {
@@ -110,18 +181,29 @@ pub fn serve_with(daemon: Arc<Daemon>, addr: &str) -> std::io::Result<Server> {
     })
 }
 
-fn accept_loop(listener: TcpListener, daemon: Arc<Daemon>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    daemon: Arc<Daemon>,
+    stop: Arc<AtomicBool>,
+    read_timeout: Duration,
+) {
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                if faults::should_inject(FaultSite::HttpAccept) {
+                    // An injected accept fault: drop the connection on the
+                    // floor, exactly like a listener overflow would.
+                    drop(stream);
+                    continue;
+                }
                 let daemon = Arc::clone(&daemon);
                 let stop = Arc::clone(&stop);
                 connections.retain(|handle| !handle.is_finished());
                 connections.push(
                     std::thread::Builder::new()
                         .name("mom-serve-conn".to_string())
-                        .spawn(move || handle_connection(stream, &daemon, &stop))
+                        .spawn(move || handle_connection(stream, &daemon, &stop, read_timeout))
                         .expect("spawn connection handler"),
                 );
             }
@@ -175,15 +257,40 @@ fn record_request(method: &str, path: &str, status: u16, elapsed: Duration) {
     );
 }
 
-fn handle_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+fn handle_connection(
+    stream: TcpStream,
+    daemon: &Daemon,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+) {
+    if faults::should_inject(FaultSite::HttpRead) {
+        // An injected read fault: the peer sees the connection reset
+        // mid-request, exactly what a daemon crash looks like on the wire.
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     });
     let start = Instant::now();
-    let (request, response) = match read_request(&mut reader) {
+    let outcome = read_request_head(&mut reader).and_then(|head| {
+        if head.content_length > 0 {
+            // A large POST on a slow link is not a dead peer: grant the
+            // body ~64 KiB/s on top of the head deadline (the socket
+            // option lives on the shared fd, so the clone sees it too).
+            let allowance = Duration::from_millis(16 * (head.content_length as u64).div_ceil(1024));
+            let _ = stream.set_read_timeout(Some(read_timeout + allowance));
+        }
+        let body = read_request_body(&mut reader, head.content_length)?;
+        Ok(Request {
+            method: head.method,
+            path: head.path,
+            body,
+        })
+    });
+    let (request, response) = match outcome {
         Ok(request) => {
             let _span = mom_obs::span_fmt("http", || {
                 format!("{} {}", request.method, route_pattern(&request.path))
@@ -193,6 +300,7 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
         }
         Err(HttpError::Bad(message)) => (None, Response::error(400, message)),
         Err(HttpError::TooLarge(message)) => (None, Response::error(413, message)),
+        Err(HttpError::Timeout(message)) => (None, Response::error(408, message)),
         Err(HttpError::Io(_)) => return,
     };
     match &request {
@@ -210,7 +318,24 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
 
 fn route(method: &str, path: &str, body: &[u8], daemon: &Daemon, stop: &AtomicBool) -> Response {
     match (method, path) {
-        ("GET", "/healthz") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+        ("GET", "/healthz") => {
+            let recovery = daemon.recovery().unwrap_or_default();
+            Response::json(
+                200,
+                &Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("recovered_jobs", Json::Num(recovery.jobs as f64)),
+                    (
+                        "recovered_units_done",
+                        Json::Num(recovery.units_done as f64),
+                    ),
+                    (
+                        "recovered_units_requeued",
+                        Json::Num(recovery.units_requeued as f64),
+                    ),
+                ]),
+            )
+        }
         ("GET", "/metrics") => {
             // Gauges describe current footprints, so they are refreshed at
             // scrape time; counters are already live.
@@ -230,6 +355,10 @@ fn route(method: &str, path: &str, body: &[u8], daemon: &Daemon, stop: &AtomicBo
         }
         ("POST", "/shutdown") => {
             let summary = daemon.shutdown();
+            if let Some(journal) = daemon.journal() {
+                // A clean drain leaves nothing to recover.
+                journal.truncate();
+            }
             stop.store(true, Ordering::SeqCst);
             Response::json(
                 200,
@@ -273,16 +402,26 @@ fn submit_route(body: &[u8], daemon: &Daemon) -> Response {
         Err(message) => return Response::error(400, message),
     };
     match daemon.submit(request) {
-        Ok(outcome) => Response::json(
-            202,
-            &Json::obj([
-                ("job", Json::Num(outcome.job as f64)),
-                ("points", Json::Num(outcome.total as f64)),
-                ("scheduled", Json::Num(outcome.scheduled as f64)),
-                ("deduped", Json::Num(outcome.deduped as f64)),
-                ("shared", Json::Num(outcome.shared as f64)),
-            ]),
-        ),
+        Ok(outcome) => {
+            // Journal the acceptance (body verbatim) before answering, so
+            // a crash after the 202 cannot lose the job.
+            if let Some(journal) = daemon.journal() {
+                journal.append(&Record::Submit {
+                    job: outcome.job,
+                    body: text.to_string(),
+                });
+            }
+            Response::json(
+                202,
+                &Json::obj([
+                    ("job", Json::Num(outcome.job as f64)),
+                    ("points", Json::Num(outcome.total as f64)),
+                    ("scheduled", Json::Num(outcome.scheduled as f64)),
+                    ("deduped", Json::Num(outcome.deduped as f64)),
+                    ("shared", Json::Num(outcome.shared as f64)),
+                ]),
+            )
+        }
         Err(crate::queue::SubmitError::Busy { active, limit }) => Response::error(
             429,
             format!("queue full: {active} active jobs (limit {limit})"),

@@ -289,16 +289,21 @@ pub fn job_entry(snapshot: &JobSnapshot) -> Json {
 mod tests {
     use super::*;
 
+    /// The grid variant's parts, as a `Result` so tests can `?`/`unwrap`
+    /// with a real error message instead of panicking in a match arm.
+    fn as_grid(request: JobRequest) -> Result<(String, ExperimentSpec), String> {
+        match request {
+            JobRequest::Grid { label, spec } => Ok((label, spec)),
+            other => Err(format!("expected a grid, got {other:?}")),
+        }
+    }
+
     #[test]
     fn registered_names_resolve_through_the_registry() {
         let doc = Json::obj([("experiment", Json::str("fig4"))]);
-        match parse_submit(&doc).unwrap() {
-            JobRequest::Grid { label, spec } => {
-                assert_eq!(label, "fig4");
-                assert_eq!(spec, find_experiment("fig4").unwrap().spec().unwrap());
-            }
-            other => panic!("expected a grid, got {other:?}"),
-        }
+        let (label, spec) = as_grid(parse_submit(&doc).unwrap()).unwrap();
+        assert_eq!(label, "fig4");
+        assert_eq!(spec, find_experiment("fig4").unwrap().spec().unwrap());
         let doc = Json::obj([("experiment", Json::str("app-speedups"))]);
         assert!(matches!(
             parse_submit(&doc).unwrap(),
@@ -321,16 +326,12 @@ mod tests {
             ("memory", Json::Arr(vec![Json::str("l1l2"), Json::int(12)])),
             ("replication", Json::int(128)),
         ]);
-        match parse_submit(&doc).unwrap() {
-            JobRequest::Grid { label, spec } => {
-                assert_eq!(label, "ad-hoc");
-                assert_eq!(spec.kernels, vec![KernelId::Idct, KernelId::Motion1]);
-                assert_eq!(spec.isas, IsaKind::MEDIA.to_vec());
-                assert_eq!(spec.configs.len(), 4, "2 widths x 2 memories");
-                assert_eq!(spec.replication, 128);
-            }
-            other => panic!("expected a grid, got {other:?}"),
-        }
+        let (label, spec) = as_grid(parse_submit(&doc).unwrap()).unwrap();
+        assert_eq!(label, "ad-hoc");
+        assert_eq!(spec.kernels, vec![KernelId::Idct, KernelId::Motion1]);
+        assert_eq!(spec.isas, IsaKind::MEDIA.to_vec());
+        assert_eq!(spec.configs.len(), 4, "2 widths x 2 memories");
+        assert_eq!(spec.replication, 128);
     }
 
     #[test]

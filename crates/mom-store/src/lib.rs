@@ -34,10 +34,12 @@
 #![warn(missing_docs)]
 
 pub mod bytes;
+pub mod faults;
 pub mod hash;
 pub mod store;
 
 pub use bytes::{ByteReader, ByteWriter, CodecError};
+pub use faults::{FaultPlan, FaultSite};
 pub use hash::{Hasher, Key};
 pub use store::{
     bypass_guard, configure, default_dir, global, publish_gauges, BypassGuard, CacheReport,

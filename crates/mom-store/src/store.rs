@@ -336,7 +336,11 @@ impl Store {
     fn read_disk(&self, namespace: &str, key: Key) -> Option<Vec<u8>> {
         let _span = mom_obs::span_fmt("store", || format!("read-disk {namespace}"));
         let path = self.blob_path(namespace, key);
-        let decoded = path.as_deref().and_then(|p| {
+        // An injected read fault behaves like an unreadable file: the
+        // lookup degrades to a miss and the caller recomputes (the blob
+        // itself stays on disk, untouched).
+        let faulted = crate::faults::should_inject(crate::faults::FaultSite::StoreRead);
+        let decoded = path.as_deref().filter(|_| !faulted).and_then(|p| {
             let bytes = fs::read(p).ok()?;
             Some(decode_frame(&bytes, key))
         });
@@ -398,6 +402,21 @@ impl Store {
         let Some(path) = self.blob_path(namespace, key) else {
             return;
         };
+        if self.try_write_disk(&path, key, payload).is_ok() {
+            return;
+        }
+        // One retry: a transient failure (a full tmpfs, an injected fault)
+        // should not silently cost the artifact its durability.  A second
+        // failure is final — the store is an accelerator, so the payload
+        // still serves from the memory tier and a later fill recomputes.
+        if self.observed {
+            mom_obs::counter_with(
+                "momsim_store_write_retries_total",
+                "Disk-tier fills retried after a write failure.",
+                &[("namespace", namespace)],
+            )
+            .inc();
+        }
         let _ = self.try_write_disk(&path, key, payload);
     }
 
@@ -415,10 +434,21 @@ impl Store {
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
         let result = (|| {
+            use crate::faults::{injected_io_error, FaultSite};
             let mut file = fs::File::create(&tmp)?;
-            file.write_all(&encode_frame(key, payload))?;
+            let frame = encode_frame(key, payload);
+            if let Some(fault) = injected_io_error(FaultSite::StoreWrite, "store write") {
+                // A realistic mid-write failure: some bytes land, then the
+                // write errors, leaving a torn temp file for cleanup.
+                let _ = file.write_all(&frame[..frame.len() / 2]);
+                return Err(fault);
+            }
+            file.write_all(&frame)?;
             file.sync_all()?;
             drop(file);
+            if let Some(fault) = injected_io_error(FaultSite::StoreRename, "store rename") {
+                return Err(fault);
+            }
             fs::rename(&tmp, path)
         })();
         if result.is_err() {

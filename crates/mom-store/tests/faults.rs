@@ -1,0 +1,194 @@
+//! Fill *error*-path suite: the corruption suite proves damaged frames on
+//! read degrade to misses; this one proves a failed fill — a partial
+//! write or a failed rename, injected deterministically by the fault
+//! plane — leaves no temp litter, is retried, and never poisons the
+//! memory tier.
+//!
+//! The fault plane is process-global, so every test serialises on one
+//! mutex and clears the plan before returning.
+
+use mom_store::faults::{self, FaultPlan, FaultSite};
+use mom_store::{Hasher, Key, Store, NS_RESULT};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn temp_dir() -> PathBuf {
+    static UNIQUE: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "mom-faults-{}-{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn key_of(text: &str) -> Key {
+    let mut h = Hasher::new();
+    h.write_str(text);
+    h.finish()
+}
+
+fn blob_path(dir: &Path, key: Key) -> PathBuf {
+    dir.join(NS_RESULT).join(format!("{}.bin", key.to_hex()))
+}
+
+/// Files in the namespace directory that are not finished blobs.
+fn temp_litter(dir: &Path) -> Vec<PathBuf> {
+    match fs::read_dir(dir.join(NS_RESULT)) {
+        Ok(entries) => entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_none_or(|ext| ext != "bin"))
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+#[test]
+fn failed_partial_write_leaves_no_litter_and_memory_tier_survives() {
+    let _serial = serial();
+    let dir = temp_dir();
+    let store = Store::new(Some(dir.clone()));
+    let key = key_of("partial-write-victim");
+    let payload: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+
+    // Both the first write and its retry fail mid-write.
+    faults::install(FaultPlan::new(11).with_site(FaultSite::StoreWrite, 1.0, None));
+    store.put(NS_RESULT, key, payload.clone());
+    faults::clear();
+
+    assert!(
+        faults::injected_count(FaultSite::StoreWrite) == 0,
+        "clear() resets injection counts"
+    );
+    assert!(
+        !blob_path(&dir, key).is_file(),
+        "a failed fill must not publish a blob"
+    );
+    assert!(
+        temp_litter(&dir).is_empty(),
+        "a failed fill must clean up its temp file"
+    );
+    // The memory tier is not poisoned: the same store still serves the
+    // payload it accepted, torn disk write notwithstanding.
+    assert_eq!(
+        store.get(NS_RESULT, key).as_deref().map(Vec::as_slice),
+        Some(payload.as_slice()),
+        "memory tier serves the fill the disk rejected"
+    );
+    // A fresh store over the directory misses cleanly — no torn frame was
+    // ever visible under the blob's final name.
+    let fresh = Store::new(Some(dir.clone()));
+    assert_eq!(fresh.get_disk(NS_RESULT, key), None);
+    assert_eq!(
+        fresh.counters(NS_RESULT).invalid,
+        0,
+        "a miss, not corruption"
+    );
+
+    // With the plan gone the ordinary rewrite path restores durability.
+    store.put_disk(NS_RESULT, key, &payload);
+    assert_eq!(
+        Store::new(Some(dir.clone()))
+            .get_disk(NS_RESULT, key)
+            .as_deref(),
+        Some(payload.as_slice())
+    );
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn failed_rename_leaves_no_litter() {
+    let _serial = serial();
+    let dir = temp_dir();
+    let store = Store::new(Some(dir.clone()));
+    let key = key_of("rename-victim");
+
+    faults::install(FaultPlan::new(12).with_site(FaultSite::StoreRename, 1.0, None));
+    store.put(NS_RESULT, key, b"doomed".to_vec());
+    let injected = faults::injected_count(FaultSite::StoreRename);
+    faults::clear();
+
+    assert!(
+        injected >= 2,
+        "the write is retried ({injected} attempts injected)"
+    );
+    assert!(!blob_path(&dir, key).is_file(), "rename never happened");
+    assert!(
+        temp_litter(&dir).is_empty(),
+        "the fully-written temp file is removed when the rename fails"
+    );
+    assert_eq!(
+        store.get(NS_RESULT, key).as_deref().map(Vec::as_slice),
+        Some(b"doomed".as_slice()),
+        "memory tier unaffected"
+    );
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn a_single_write_fault_is_healed_by_the_retry() {
+    let _serial = serial();
+    let dir = temp_dir();
+    let store = Store::new(Some(dir.clone()));
+    let key = key_of("retry-heals");
+
+    // Budget of exactly one injection: the first attempt fails, the
+    // in-place retry succeeds, and the blob is durable after all.
+    faults::install(FaultPlan::new(13).with_site(FaultSite::StoreWrite, 1.0, Some(1)));
+    store.put(NS_RESULT, key, b"persisted".to_vec());
+    let injected = faults::injected_count(FaultSite::StoreWrite);
+    faults::clear();
+
+    assert_eq!(injected, 1, "exactly the budgeted fault fired");
+    assert_eq!(
+        Store::new(Some(dir.clone()))
+            .get_disk(NS_RESULT, key)
+            .as_deref(),
+        Some(b"persisted".as_slice()),
+        "the retry published the blob"
+    );
+    assert!(temp_litter(&dir).is_empty());
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn injected_read_faults_degrade_to_misses_and_recover() {
+    let _serial = serial();
+    let dir = temp_dir();
+    let store = Store::new(Some(dir.clone()));
+    let key = key_of("read-victim");
+    store.put(NS_RESULT, key, b"present".to_vec());
+    assert!(blob_path(&dir, key).is_file());
+
+    faults::install(FaultPlan::new(14).with_site(FaultSite::StoreRead, 1.0, None));
+    let fresh = Store::new(Some(dir.clone()));
+    assert_eq!(
+        fresh.get_disk(NS_RESULT, key),
+        None,
+        "an injected read fault is a miss"
+    );
+    let counters = fresh.counters(NS_RESULT);
+    assert_eq!(counters.misses, 1);
+    assert_eq!(counters.invalid, 0, "a fault is not corruption");
+    faults::clear();
+
+    assert!(
+        blob_path(&dir, key).is_file(),
+        "the blob itself is untouched by a read fault"
+    );
+    assert_eq!(
+        Store::new(Some(dir.clone()))
+            .get_disk(NS_RESULT, key)
+            .as_deref(),
+        Some(b"present".as_slice()),
+        "service recovers the moment the fault clears"
+    );
+    let _ = fs::remove_dir_all(dir);
+}
